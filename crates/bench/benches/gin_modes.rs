@@ -1,0 +1,87 @@
+//! E4 — GIN operator classes: `jsonb_ops` vs `jsonb_path_ops`
+//! (tutorial slide 82). Expected shape: path_ops has fewer postings and
+//! faster containment; only jsonb_ops can serve key-exists.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mmdb_index::gin::DocId;
+use mmdb_index::{GinIndex, GinMode};
+use mmdb_types::{from_json, Value};
+
+fn corpus(n: usize) -> Vec<Value> {
+    (0..n)
+        .map(|i| {
+            from_json(&format!(
+                r#"{{"user":{{"name":"u{i}","city":"c{}"}},
+                     "tags":["t{}","t{}"],
+                     "price":{},
+                     "meta":{{"active":{},"tier":{}}}}}"#,
+                i % 50,
+                i % 20,
+                (i * 7) % 20,
+                i % 100,
+                i % 2 == 0,
+                i % 5
+            ))
+            .unwrap()
+        })
+        .collect()
+}
+
+fn build(mode: GinMode, docs: &[Value]) -> GinIndex {
+    let mut idx = GinIndex::new(mode);
+    for (i, d) in docs.iter().enumerate() {
+        idx.insert(i as DocId, d);
+    }
+    idx
+}
+
+fn bench_gin(c: &mut Criterion) {
+    let docs = corpus(20_000);
+    let ops = build(GinMode::JsonbOps, &docs);
+    let path_ops = build(GinMode::JsonbPathOps, &docs);
+    println!(
+        "index size — jsonb_ops: {} items / {} postings; jsonb_path_ops: {} items / {} postings",
+        ops.item_count(),
+        ops.posting_count(),
+        path_ops.item_count(),
+        path_ops.posting_count()
+    );
+    assert!(path_ops.posting_count() < ops.posting_count());
+
+    let pattern = from_json(r#"{"tags":["t3"],"meta":{"tier":2}}"#).unwrap();
+    let mut group = c.benchmark_group("e4_gin_modes");
+    group.bench_function("containment_jsonb_ops", |b| {
+        b.iter(|| ops.contains_candidates(&pattern).unwrap());
+    });
+    group.bench_function("containment_jsonb_path_ops", |b| {
+        b.iter(|| path_ops.contains_candidates(&pattern).unwrap());
+    });
+    group.bench_function("key_exists_jsonb_ops", |b| {
+        b.iter(|| ops.key_exists("tags").unwrap());
+    });
+    // And the recheck-complete pipeline.
+    group.bench_function("containment_with_recheck_path_ops", |b| {
+        b.iter(|| {
+            path_ops
+                .contains_candidates(&pattern)
+                .unwrap()
+                .into_iter()
+                .filter(|&id| docs[id as usize].contains(&pattern))
+                .count()
+        });
+    });
+    group.bench_function("containment_seqscan_baseline", |b| {
+        b.iter(|| docs.iter().filter(|d| d.contains(&pattern)).count());
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_gin
+}
+criterion_main!(benches);

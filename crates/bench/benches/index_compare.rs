@@ -1,0 +1,105 @@
+//! E5 — index-structure comparison: B+-tree vs extendible hashing vs the
+//! GIN inverted index on their respective home turf (tutorial slides
+//! 78–80). Expected shape: hashing wins point ops; only the B+-tree
+//! serves range scans; inserts are comparable.
+
+use std::ops::Bound;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mmdb_index::{BPlusTree, ExtendibleHashMap};
+use mmdb_types::codec::key_of;
+use mmdb_types::Value;
+
+const N: i64 = 100_000;
+
+fn bench_point_ops(c: &mut Criterion) {
+    let mut btree = BPlusTree::new();
+    let mut hash = ExtendibleHashMap::new();
+    for i in 0..N {
+        let k = key_of(&Value::int(i));
+        btree.insert(k.clone(), i);
+        hash.insert(k, i);
+    }
+    let mut group = c.benchmark_group("e5_point_lookup");
+    let mut i = 0i64;
+    group.bench_function("btree", |b| {
+        b.iter(|| {
+            i = (i + 7919) % N;
+            btree.get(&key_of(&Value::int(i))).copied()
+        });
+    });
+    let mut j = 0i64;
+    group.bench_function("extendible_hash", |b| {
+        b.iter(|| {
+            j = (j + 7919) % N;
+            hash.get(&key_of(&Value::int(j))).copied()
+        });
+    });
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_insert_100k");
+    group.sample_size(10);
+    group.bench_function("btree", |b| {
+        b.iter(|| {
+            let mut t = BPlusTree::new();
+            for i in 0..N {
+                t.insert(key_of(&Value::int(i)), i);
+            }
+            t.len()
+        });
+    });
+    group.bench_function("extendible_hash", |b| {
+        b.iter(|| {
+            let mut h = ExtendibleHashMap::new();
+            for i in 0..N {
+                h.insert(key_of(&Value::int(i)), i);
+            }
+            h.len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_range(c: &mut Criterion) {
+    let mut btree = BPlusTree::new();
+    for i in 0..N {
+        btree.insert(key_of(&Value::int(i)), i);
+    }
+    let mut group = c.benchmark_group("e5_range_scan_1k");
+    let mut start = 0i64;
+    group.bench_function("btree_range", |b| {
+        b.iter(|| {
+            start = (start + 997) % (N - 1000);
+            let lo = key_of(&Value::int(start));
+            let hi = key_of(&Value::int(start + 1000));
+            btree.range(Bound::Included(&lo), Bound::Excluded(&hi)).count()
+        });
+    });
+    // The hash index cannot range-scan; the honest equivalent is a full
+    // iteration + filter, which is the "no range queries" cost the
+    // tutorial notes for ArangoDB's hash indexes.
+    let mut hash = ExtendibleHashMap::new();
+    for i in 0..N {
+        hash.insert(key_of(&Value::int(i)), i);
+    }
+    let mut s2 = 0i64;
+    group.bench_function("hash_scan_filter_baseline", |b| {
+        b.iter(|| {
+            s2 = (s2 + 997) % (N - 1000);
+            hash.iter().filter(|(_, &v)| v >= s2 && v < s2 + 1000).count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_point_ops, bench_insert, bench_range
+}
+criterion_main!(benches);

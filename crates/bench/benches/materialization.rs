@@ -1,0 +1,90 @@
+//! E6 — column materialization: Vertica flex tables ("promoting virtual
+//! columns to real columns improves query performance") and Sinew's
+//! partially-materialized universal relation. Expected shape: materialized
+//! reads beat virtual navigation, more so for deeply nested paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mmdb_document::FlexTable;
+use mmdb_relational::UniversalRelation;
+use mmdb_types::{from_json, Value};
+
+const N: usize = 50_000;
+
+fn flex(materialized: bool) -> FlexTable {
+    let mut t = FlexTable::new();
+    for i in 0..N {
+        t.load_json(&format!(
+            r#"{{"name":"p{i}","price":{},"category":"c{}"}}"#,
+            i % 500,
+            i % 7
+        ))
+        .unwrap();
+    }
+    if materialized {
+        t.materialize("price");
+    }
+    t
+}
+
+fn universal(materialized: bool) -> UniversalRelation {
+    let mut u = UniversalRelation::new();
+    for i in 0..N {
+        u.insert(
+            from_json(&format!(
+                r#"{{"id":{i},"meta":{{"pricing":{{"amount":{}}}}}}}"#,
+                i % 500
+            ))
+            .unwrap(),
+        );
+    }
+    if materialized {
+        u.materialize("meta.pricing.amount").unwrap();
+    }
+    u
+}
+
+fn bench_flex(c: &mut Criterion) {
+    let virt = flex(false);
+    let real = flex(true);
+    let mut group = c.benchmark_group("e6_flex_table");
+    group.sample_size(20);
+    group.bench_function("select_eq_virtual", |b| {
+        b.iter(|| {
+            let (hits, used) = virt.select_eq("price", &Value::int(250));
+            assert!(!used);
+            hits.len()
+        });
+    });
+    group.bench_function("select_eq_materialized", |b| {
+        b.iter(|| {
+            let (hits, used) = real.select_eq("price", &Value::int(250));
+            assert!(used);
+            hits.len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_universal(c: &mut Criterion) {
+    let virt = universal(false);
+    let real = universal(true);
+    let mut group = c.benchmark_group("e6_universal_relation");
+    group.sample_size(20);
+    group.bench_function("nested_path_virtual", |b| {
+        b.iter(|| virt.select_eq("meta.pricing.amount", &Value::int(250)).unwrap().0.len());
+    });
+    group.bench_function("nested_path_materialized", |b| {
+        b.iter(|| real.select_eq("meta.pricing.amount", &Value::int(250)).unwrap().0.len());
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_flex, bench_universal
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! E8 — path evaluation over trees: XPath navigation vs the ORDPATH path
+//! index (Oracle XMLIndex / MarkLogic path range index). Expected shape:
+//! the path index answers absolute-path queries in O(log paths + hits)
+//! while navigation walks the tree; label-based ancestry checks make
+//! subtree restriction cheap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mmdb_types::Value;
+use mmdb_xml::{Tree, XPath};
+
+/// A catalog tree: `catalog / section*20 / product*50 / (name, price)`.
+fn big_tree() -> Tree {
+    let mut sections = Vec::new();
+    for s in 0..20 {
+        let products: Vec<Value> = (0..50)
+            .map(|p| {
+                Value::object([
+                    ("name", Value::str(format!("product-{s}-{p}"))),
+                    ("price", Value::int((s * 50 + p) % 200)),
+                ])
+            })
+            .collect();
+        sections.push(Value::object([("product", Value::Array(products))]));
+    }
+    Tree::from_json(&Value::object([("section", Value::Array(sections))]))
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let tree = big_tree();
+    let index = tree.build_path_index();
+    let xp = XPath::parse("/section/product/name").unwrap();
+    let mut group = c.benchmark_group("e8_path_lookup");
+
+    group.bench_function("xpath_navigation", |b| {
+        b.iter(|| xp.select(&tree, tree.root()).unwrap().len());
+    });
+    group.bench_function("ordpath_path_index", |b| {
+        b.iter(|| index.lookup("/section/product/name").len());
+    });
+    // Subtree-restricted lookup: names under the 7th section only.
+    let sections = XPath::parse("/section").unwrap().select(&tree, tree.root()).unwrap();
+    let seventh = tree.node(sections[7]).label.clone();
+    group.bench_function("index_lookup_in_subtree", |b| {
+        b.iter(|| index.lookup_in_subtree("/section/product/name", &seventh).len());
+    });
+    let rel = XPath::parse("product/name").unwrap();
+    let ctx = sections[7];
+    group.bench_function("navigation_in_subtree", |b| {
+        b.iter(|| rel.select(&tree, ctx).unwrap().len());
+    });
+    // Descendant-axis query, where navigation must visit everything.
+    let any_name = XPath::parse("//name").unwrap();
+    group.bench_function("descendant_navigation", |b| {
+        b.iter(|| any_name.select(&tree, tree.root()).unwrap().len());
+    });
+    group.bench_function("descendant_index_suffix", |b| {
+        b.iter(|| index.lookup_suffix("/name").len());
+    });
+    group.finish();
+}
+
+fn bench_predicates(c: &mut Criterion) {
+    let tree = big_tree();
+    let filtered = XPath::parse("/section/product[price > 150]/name").unwrap();
+    let mut group = c.benchmark_group("e8_predicate_eval");
+    group.bench_function("xpath_with_comparison_predicate", |b| {
+        b.iter(|| filtered.select(&tree, tree.root()).unwrap().len());
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_paths, bench_predicates
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! E9 — DB2-RDF access paths: S-, O-, SP- and OP-bound lookups over a
+//! 100k-triple store, with the matching access path present vs absent.
+//! Expected shape: a matching index turns a full scan into a lookup;
+//! secondary (SP/OP) paths beat filtering a primary path's postings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mmdb_rdf::sparql::{CmpOp, SelectQuery, TriplePattern};
+use mmdb_rdf::{AccessPaths, Triple, TripleStore};
+use mmdb_types::Value;
+
+const N: usize = 100_000;
+
+fn store(paths: AccessPaths) -> TripleStore {
+    let mut s = TripleStore::new(paths);
+    for i in 0..N {
+        let subj = format!("person{}", i % 10_000);
+        match i % 4 {
+            0 => s.insert(Triple::new(&subj, "knows", format!("person{}", (i + 17) % 10_000))),
+            1 => s.insert(Triple::new(&subj, "creditLimit", Value::int((i % 100) as i64 * 100))),
+            2 => s.insert(Triple::new(&subj, "city", format!("city{}", i % 50))),
+            _ => s.insert(Triple::new(&subj, "ordered", format!("product{}", i % 500))),
+        }
+        .unwrap();
+    }
+    s
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    let indexed = store(AccessPaths::all());
+    let bare = store(AccessPaths::none());
+    let primary_only = store(AccessPaths {
+        direct_primary: true,
+        reverse_primary: true,
+        direct_secondary: false,
+        reverse_secondary: false,
+    });
+
+    let mut group = c.benchmark_group("e9_access_paths");
+    group.sample_size(20);
+    let mut i = 0usize;
+    group.bench_function("s_bound_indexed", |b| {
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            indexed.by_subject(&format!("person{i}")).len()
+        });
+    });
+    group.bench_function("s_bound_scan", |b| {
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            bare.by_subject(&format!("person{i}")).len()
+        });
+    });
+    group.bench_function("sp_bound_secondary", |b| {
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            indexed.by_subject_predicate(&format!("person{i}"), "knows").len()
+        });
+    });
+    group.bench_function("sp_bound_primary_fallback", |b| {
+        b.iter(|| {
+            i = (i + 7919) % 10_000;
+            primary_only.by_subject_predicate(&format!("person{i}"), "knows").len()
+        });
+    });
+    group.bench_function("op_bound_secondary", |b| {
+        b.iter(|| {
+            i = (i + 13) % 500;
+            indexed
+                .by_object_predicate(&Value::str(format!("product{i}")), "ordered")
+                .len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_bgp(c: &mut Criterion) {
+    let indexed = store(AccessPaths::all());
+    let q = SelectQuery::new(vec![
+        TriplePattern::parse("?c", "creditLimit", "?limit"),
+        TriplePattern::parse("?c", "knows", "?friend"),
+        TriplePattern::parse("?friend", "ordered", "?product"),
+    ])
+    .filter("limit", CmpOp::Gt, Value::int(9000))
+    .project(&["product"]);
+    let mut group = c.benchmark_group("e9_bgp_join");
+    group.sample_size(10);
+    group.bench_function("three_pattern_join_indexed", |b| {
+        b.iter(|| q.eval(&indexed).unwrap().len());
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_lookups, bench_bgp
+}
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! E7 — OctopusDB storage-view selection: the same log-structured store
+//! under no views / row view / column view / index view, against the
+//! three workload shapes (point reads, field scans, range queries).
+//! Expected shape: each view wins exactly its favourable workload, the
+//! log-only configuration wins pure writes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mmdb_storage::logstore::{LogStore, ViewKind};
+use mmdb_types::Value;
+
+const N: i64 = 20_000;
+
+fn loaded(views: &[ViewKind]) -> LogStore {
+    let mut s = LogStore::new();
+    for i in 0..N {
+        s.put(
+            Value::int(i),
+            Value::object([
+                ("name", Value::str(format!("r{i}"))),
+                ("price", Value::int(i % 1000)),
+                ("grp", Value::int(i % 10)),
+            ]),
+        );
+    }
+    for v in views {
+        s.add_view(v.clone());
+    }
+    s.catch_up();
+    s
+}
+
+fn bench_point_reads(c: &mut Criterion) {
+    let mut log_only = loaded(&[]);
+    let mut with_row = loaded(&[ViewKind::Row]);
+    let mut group = c.benchmark_group("e7_point_read");
+    group.sample_size(10);
+    let mut i = 0i64;
+    group.bench_function("log_replay_only", |b| {
+        b.iter(|| {
+            i = (i + 7919) % N;
+            log_only.get(&Value::int(i))
+        });
+    });
+    let mut j = 0i64;
+    group.bench_function("row_view", |b| {
+        b.iter(|| {
+            j = (j + 7919) % N;
+            with_row.get(&Value::int(j))
+        });
+    });
+    group.finish();
+}
+
+fn bench_scans(c: &mut Criterion) {
+    let mut no_col = loaded(&[ViewKind::Row]);
+    let mut with_col = loaded(&[ViewKind::Column(vec!["price".into()])]);
+    let mut group = c.benchmark_group("e7_field_scan");
+    group.sample_size(10);
+    group.bench_function("without_column_view", |b| {
+        b.iter(|| no_col.scan_field("price").len());
+    });
+    group.bench_function("column_view", |b| {
+        b.iter(|| with_col.scan_field("price").len());
+    });
+    group.finish();
+}
+
+fn bench_ranges(c: &mut Criterion) {
+    let mut no_idx = loaded(&[]);
+    let mut with_idx = loaded(&[ViewKind::Index("price".into())]);
+    let mut group = c.benchmark_group("e7_range_query");
+    group.sample_size(10);
+    group.bench_function("without_index_view", |b| {
+        b.iter(|| no_idx.range("price", &Value::int(100), &Value::int(110)).len());
+    });
+    group.bench_function("index_view", |b| {
+        b.iter(|| with_idx.range("price", &Value::int(100), &Value::int(110)).len());
+    });
+    group.finish();
+}
+
+fn bench_writes(c: &mut Criterion) {
+    // Write cost vs number of maintained views (maintenance is lazy but
+    // catch_up must eventually pay it; measure write+catch_up together).
+    let mut group = c.benchmark_group("e7_write_cost");
+    group.sample_size(10);
+    for (name, views) in [
+        ("no_views", vec![]),
+        ("row_view", vec![ViewKind::Row]),
+        (
+            "row_col_idx",
+            vec![
+                ViewKind::Row,
+                ViewKind::Column(vec!["price".into()]),
+                ViewKind::Index("price".into()),
+            ],
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut s = LogStore::new();
+                for v in &views {
+                    s.add_view(v.clone());
+                }
+                for i in 0..5000i64 {
+                    s.put(Value::int(i), Value::object([("price", Value::int(i))]));
+                }
+                s.catch_up();
+                s.log().len()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_point_reads, bench_scans, bench_ranges, bench_writes
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E1 — UniBench Workload A: insertion and reading.
+//!
+//! Series: per-model insertion throughput (bulk path), the WAL-backed
+//! transactional insertion path, and 4-model point reads, at growing
+//! scale factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mmdb_bench::gen;
+use mmdb_bench::workloads::{create_mmdb_schema, load_mmdb, workload_a_read};
+use mmdb_core::Database;
+use mmdb_txn::IsolationLevel;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_insert");
+    group.sample_size(10);
+    for scale in [0.05, 0.2] {
+        let data = gen::generate(scale, 42);
+        group.bench_with_input(BenchmarkId::new("bulk_all_models", scale), &data, |b, data| {
+            b.iter(|| {
+                let db = Database::in_memory();
+                create_mmdb_schema(&db).unwrap();
+                load_mmdb(&db, data).unwrap();
+                db
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("txn_orders", scale), &data, |b, data| {
+            b.iter(|| {
+                let db = Database::in_memory();
+                create_mmdb_schema(&db).unwrap();
+                for o in data.orders.iter().take(100) {
+                    db.transact(IsolationLevel::Snapshot, 3, |s| {
+                        s.insert_document("orders", o.to_document())
+                    })
+                    .unwrap();
+                }
+                db
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_point_read");
+    group.sample_size(20);
+    for scale in [0.05, 0.2, 0.5] {
+        let data = gen::generate(scale, 42);
+        let db = Database::in_memory();
+        create_mmdb_schema(&db).unwrap();
+        load_mmdb(&db, &data).unwrap();
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::new("four_models", scale), |b| {
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                workload_a_read(&db, &data, i).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_insert, bench_read
+}
+criterion_main!(benches);

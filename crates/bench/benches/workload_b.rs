@@ -1,0 +1,75 @@
+//! E2 — UniBench Workload B: cross-model queries, multi-model engine vs
+//! the polyglot baseline, plus the Q4 naive-vs-COLLECT language ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use mmdb_bench::gen;
+use mmdb_bench::polyglot::PolyglotStores;
+use mmdb_bench::workloads::{
+    create_mmdb_schema, load_mmdb, q2_mmdb, q3_mmdb, q4_mmdb, q4_mmdb_grouped, q5_mmdb,
+};
+use mmdb_core::Database;
+
+fn setup(scale: f64) -> (Database, PolyglotStores) {
+    let data = gen::generate(scale, 42);
+    let db = Database::in_memory();
+    create_mmdb_schema(&db).unwrap();
+    load_mmdb(&db, &data).unwrap();
+    db.create_fulltext_index("feedback_text", "feedback", "text").unwrap();
+    let poly = PolyglotStores::new().unwrap();
+    poly.load(&data).unwrap();
+    (db, poly)
+}
+
+fn bench_q2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_q2_recommendation");
+    group.sample_size(10);
+    for scale in [0.05, 0.2] {
+        let (db, poly) = setup(scale);
+        group.bench_function(BenchmarkId::new("mmdb_mmql", scale), |b| {
+            b.iter(|| q2_mmdb(&db, 3000).unwrap());
+        });
+        group.bench_function(BenchmarkId::new("polyglot_app_joins", scale), |b| {
+            b.iter(|| poly.recommendation_query(3000).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_q3_q5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_q3_q5");
+    group.sample_size(10);
+    let (db, _) = setup(0.2);
+    group.bench_function("q3_text_join", |b| {
+        b.iter(|| q3_mmdb(&db, "toys", "great").unwrap());
+    });
+    group.bench_function("q5_two_hop_circle", |b| {
+        b.iter(|| q5_mmdb(&db, 5).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_q4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_q4_aggregation");
+    group.sample_size(10);
+    let (db, poly) = setup(0.1);
+    group.bench_function("mmdb_naive_correlated", |b| {
+        b.iter(|| q4_mmdb(&db).unwrap());
+    });
+    group.bench_function("mmdb_collect_rewrite", |b| {
+        b.iter(|| q4_mmdb_grouped(&db).unwrap());
+    });
+    group.bench_function("polyglot_app_joins", |b| {
+        b.iter(|| poly.spend_per_customer().unwrap());
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_q2, bench_q3_q5, bench_q4
+}
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! E3 — UniBench Workload C: the cross-model new-order transaction —
+//! mmdb's atomic path (snapshot and serializable) vs the polyglot
+//! baseline's non-atomic sequential writes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mmdb_bench::gen;
+use mmdb_bench::polyglot::PolyglotStores;
+use mmdb_bench::workloads::{create_mmdb_schema, load_mmdb, place_order_mmdb};
+use mmdb_core::Database;
+use mmdb_txn::IsolationLevel;
+use mmdb_types::Value;
+
+fn order(i: usize, tag: &str) -> Value {
+    Value::object([
+        ("_key", Value::str(format!("ob-{tag}-{i:07}"))),
+        ("customer_id", Value::int(1)),
+        (
+            "orderlines",
+            Value::array([Value::object([
+                ("product_no", Value::str("p0001")),
+                ("price", Value::int(10)),
+            ])]),
+        ),
+        ("total", Value::int(10)),
+    ])
+}
+
+fn bench_new_order(c: &mut Criterion) {
+    let data = gen::generate(0.1, 42);
+    let mut group = c.benchmark_group("e3_new_order_txn");
+    group.sample_size(10);
+
+    let db = Database::in_memory();
+    create_mmdb_schema(&db).unwrap();
+    load_mmdb(&db, &data).unwrap();
+    let mut i = 0usize;
+    group.bench_function("mmdb_snapshot_atomic", |b| {
+        b.iter(|| {
+            i += 1;
+            place_order_mmdb(&db, (i % data.customers.len()) as i64 + 1, &order(i, "si")).unwrap()
+        });
+    });
+
+    // Serializable variant (locks on top of SI).
+    let db2 = Database::in_memory();
+    create_mmdb_schema(&db2).unwrap();
+    load_mmdb(&db2, &data).unwrap();
+    let mut j = 0usize;
+    group.bench_function("mmdb_serializable_atomic", |b| {
+        b.iter(|| {
+            j += 1;
+            let o = order(j, "ser");
+            db2.transact(IsolationLevel::Serializable, 5, |s| {
+                let cid = (j % data.customers.len()) as i64 + 1;
+                s.insert_document("orders", o.clone())?;
+                s.kv_put("cart", &cid.to_string(), o.get_field("_key").clone())
+            })
+            .unwrap()
+        });
+    });
+
+    let poly = PolyglotStores::new().unwrap();
+    poly.load(&data).unwrap();
+    let mut k = 0usize;
+    group.bench_function("polyglot_non_atomic", |b| {
+        b.iter(|| {
+            k += 1;
+            poly.place_order_non_atomic((k % data.customers.len()) as i64 + 1, &order(k, "pg"), None)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+fn bench_contention(c: &mut Criterion) {
+    // Conflict-heavy workload: every transaction writes the same cart key,
+    // measuring abort+retry cost under snapshot isolation.
+    let mut group = c.benchmark_group("e3_contention");
+    group.sample_size(10);
+    let db = Database::in_memory();
+    create_mmdb_schema(&db).unwrap();
+    group.bench_function("hot_key_retry_loop", |b| {
+        b.iter(|| {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    let db = db.mvcc().clone();
+                    std::thread::spawn(move || {
+                        for n in 0..25 {
+                            db.run(IsolationLevel::Snapshot, 50, |txn| {
+                                let v = txn
+                                    .get("kv/cart", b"hot")?
+                                    .map(|v| v.as_int())
+                                    .transpose()?
+                                    .unwrap_or(0);
+                                txn.put("kv/cart", b"hot", Value::int(v + 1))
+                            })
+                            .unwrap();
+                            let _ = (t, n);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_new_order, bench_contention
+}
+criterion_main!(benches);

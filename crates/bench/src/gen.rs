@@ -1,0 +1,337 @@
+//! The deterministic UniBench e-commerce data generator.
+//!
+//! Scale factor 1.0 ≈ 1 000 customers, 200 products, ~2 000 orders. The
+//! same seed always yields the same data set, so mmdb and the polyglot
+//! baseline load identical inputs and results can be cross-checked.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use mmdb_types::Value;
+
+/// A generated customer (relational).
+#[derive(Debug, Clone)]
+pub struct Customer {
+    /// Primary key.
+    pub id: i64,
+    /// Display name.
+    pub name: String,
+    /// Home city.
+    pub place: String,
+    /// Credit limit in whole currency units.
+    pub credit_limit: i64,
+}
+
+/// A generated product (catalog document).
+#[derive(Debug, Clone)]
+pub struct Product {
+    /// Product number, e.g. `p0042`.
+    pub product_no: String,
+    /// Title.
+    pub title: String,
+    /// Category name.
+    pub category: String,
+    /// Unit price.
+    pub price: i64,
+}
+
+/// One orderline inside an order.
+#[derive(Debug, Clone)]
+pub struct OrderLine {
+    /// Product number.
+    pub product_no: String,
+    /// Product title (denormalized, as in the paper's JSON).
+    pub product_name: String,
+    /// Line price.
+    pub price: i64,
+}
+
+/// A generated order (JSON document).
+#[derive(Debug, Clone)]
+pub struct Order {
+    /// Order number, e.g. `o000123`.
+    pub order_no: String,
+    /// Ordering customer.
+    pub customer_id: i64,
+    /// Lines.
+    pub lines: Vec<OrderLine>,
+}
+
+impl Order {
+    /// Total over the lines.
+    pub fn total(&self) -> i64 {
+        self.lines.iter().map(|l| l.price).sum()
+    }
+}
+
+/// A feedback entry (text model).
+#[derive(Debug, Clone)]
+pub struct Feedback {
+    /// Reviewing customer.
+    pub customer_id: i64,
+    /// Reviewed product.
+    pub product_no: String,
+    /// 1–5 stars.
+    pub rating: i64,
+    /// Review text.
+    pub text: String,
+}
+
+/// The full data set.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Customers (relational rows).
+    pub customers: Vec<Customer>,
+    /// `knows` edges between customer ids (graph).
+    pub knows: Vec<(i64, i64)>,
+    /// Product catalog (documents).
+    pub products: Vec<Product>,
+    /// Orders (documents).
+    pub orders: Vec<Order>,
+    /// Shopping cart: customer id → latest order_no (key/value).
+    pub carts: Vec<(i64, String)>,
+    /// Feedback (text).
+    pub feedback: Vec<Feedback>,
+}
+
+const FIRST_NAMES: &[&str] = &[
+    "Mary", "John", "Anne", "William", "Irena", "Jiaheng", "Petra", "Sanna", "Tom", "Li",
+    "Olga", "Marc", "Yuki", "Ravi", "Elena", "Hugo",
+];
+const CITIES: &[&str] = &["Prague", "Helsinki", "Beijing", "Boston", "Tokyo", "Paris", "Oslo", "Delhi"];
+const CATEGORIES: &[&str] = &["toys", "books", "computers", "garden", "music", "sports"];
+const NOUNS: &[&str] = &[
+    "toy", "book", "computer", "train", "robot", "novel", "keyboard", "tent", "guitar", "ball",
+    "puzzle", "atlas", "drone", "lamp", "chair",
+];
+const ADJECTIVES: &[&str] = &[
+    "wooden", "great", "awful", "sturdy", "tiny", "shiny", "classic", "modern", "cheap",
+    "premium", "broken", "lovely",
+];
+
+/// Generate a data set at the given scale factor with a fixed seed.
+pub fn generate(scale: f64, seed: u64) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n_customers = ((1000.0 * scale) as usize).max(10);
+    let n_products = ((200.0 * scale) as usize).max(10);
+
+    let customers: Vec<Customer> = (1..=n_customers as i64)
+        .map(|id| Customer {
+            id,
+            name: format!(
+                "{} {}",
+                FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())],
+                ((b'A' + rng.gen_range(0..26) as u8) as char)
+            ),
+            place: CITIES[rng.gen_range(0..CITIES.len())].to_string(),
+            credit_limit: rng.gen_range(0..100) * 100,
+        })
+        .collect();
+
+    // Social graph: each customer knows ~4 earlier customers (skewed to
+    // recent ids, which produces mild hubs).
+    let mut knows = Vec::new();
+    for c in &customers {
+        if c.id == 1 {
+            continue;
+        }
+        let deg = rng.gen_range(1..=6);
+        for _ in 0..deg {
+            let other = rng.gen_range(1..c.id.max(2));
+            if other != c.id && !knows.contains(&(c.id, other)) {
+                knows.push((c.id, other));
+            }
+        }
+    }
+
+    let products: Vec<Product> = (0..n_products)
+        .map(|i| {
+            let category = CATEGORIES[rng.gen_range(0..CATEGORIES.len())];
+            Product {
+                product_no: format!("p{i:04}"),
+                title: format!(
+                    "{} {}",
+                    ADJECTIVES[rng.gen_range(0..ADJECTIVES.len())],
+                    NOUNS[rng.gen_range(0..NOUNS.len())]
+                ),
+                category: category.to_string(),
+                price: rng.gen_range(1..200),
+            }
+        })
+        .collect();
+
+    // Orders: ~2 per customer, 1–4 lines each.
+    let mut orders = Vec::new();
+    let mut carts = Vec::new();
+    let mut order_seq = 0usize;
+    for c in &customers {
+        let n_orders = rng.gen_range(1..=3);
+        let mut latest = None;
+        for _ in 0..n_orders {
+            let lines: Vec<OrderLine> = (0..rng.gen_range(1..=4))
+                .map(|_| {
+                    let p = &products[rng.gen_range(0..products.len())];
+                    OrderLine {
+                        product_no: p.product_no.clone(),
+                        product_name: p.title.clone(),
+                        price: p.price,
+                    }
+                })
+                .collect();
+            let order_no = format!("o{order_seq:06}");
+            order_seq += 1;
+            latest = Some(order_no.clone());
+            orders.push(Order { order_no, customer_id: c.id, lines });
+        }
+        if let Some(o) = latest {
+            carts.push((c.id, o));
+        }
+    }
+
+    // Feedback: one review per order, text built from the word pools.
+    let feedback: Vec<Feedback> = orders
+        .iter()
+        .map(|o| {
+            let line = &o.lines[0];
+            let rating = rng.gen_range(1..=5);
+            let adj = ADJECTIVES[rng.gen_range(0..ADJECTIVES.len())];
+            Feedback {
+                customer_id: o.customer_id,
+                product_no: line.product_no.clone(),
+                rating,
+                text: format!(
+                    "{} {} — {} stars, would {} again",
+                    adj,
+                    line.product_name,
+                    rating,
+                    if rating >= 3 { "buy" } else { "not buy" }
+                ),
+            }
+        })
+        .collect();
+
+    Dataset { customers, knows, products, orders, carts, feedback }
+}
+
+impl Order {
+    /// The paper-shaped JSON document for this order.
+    pub fn to_document(&self) -> Value {
+        Value::object([
+            ("_key", Value::str(&self.order_no)),
+            ("customer_id", Value::int(self.customer_id)),
+            (
+                "orderlines",
+                Value::Array(
+                    self.lines
+                        .iter()
+                        .map(|l| {
+                            Value::object([
+                                ("product_no", Value::str(&l.product_no)),
+                                ("product_name", Value::str(&l.product_name)),
+                                ("price", Value::int(l.price)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("total", Value::int(self.total())),
+        ])
+    }
+}
+
+impl Product {
+    /// Catalog document.
+    pub fn to_document(&self) -> Value {
+        Value::object([
+            ("_key", Value::str(&self.product_no)),
+            ("title", Value::str(&self.title)),
+            ("category", Value::str(&self.category)),
+            ("price", Value::int(self.price)),
+        ])
+    }
+}
+
+impl Customer {
+    /// Relational row object.
+    pub fn to_row_object(&self) -> Value {
+        Value::object([
+            ("id", Value::int(self.id)),
+            ("name", Value::str(&self.name)),
+            ("place", Value::str(&self.place)),
+            ("credit_limit", Value::int(self.credit_limit)),
+        ])
+    }
+}
+
+impl Feedback {
+    /// Feedback document.
+    pub fn to_document(&self, key: usize) -> Value {
+        Value::object([
+            ("_key", Value::str(format!("f{key:06}"))),
+            ("customer_id", Value::int(self.customer_id)),
+            ("product_no", Value::str(&self.product_no)),
+            ("rating", Value::int(self.rating)),
+            ("text", Value::str(&self.text)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = generate(0.05, 42);
+        let b = generate(0.05, 42);
+        assert_eq!(a.customers.len(), b.customers.len());
+        assert_eq!(a.customers[0].name, b.customers[0].name);
+        assert_eq!(a.orders[0].order_no, b.orders[0].order_no);
+        assert_eq!(a.knows, b.knows);
+        let c = generate(0.05, 43);
+        assert_ne!(
+            a.customers.iter().map(|x| &x.name).collect::<Vec<_>>(),
+            c.customers.iter().map(|x| &x.name).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn shapes_and_referential_integrity() {
+        let d = generate(0.1, 7);
+        assert_eq!(d.customers.len(), 100);
+        assert!(d.orders.len() >= d.customers.len());
+        assert_eq!(d.carts.len(), d.customers.len());
+        // Every order references an existing customer; every line an
+        // existing product; every cart an existing order.
+        let product_nos: std::collections::HashSet<&str> =
+            d.products.iter().map(|p| p.product_no.as_str()).collect();
+        let order_nos: std::collections::HashSet<&str> =
+            d.orders.iter().map(|o| o.order_no.as_str()).collect();
+        for o in &d.orders {
+            assert!(o.customer_id >= 1 && o.customer_id <= d.customers.len() as i64);
+            for l in &o.lines {
+                assert!(product_nos.contains(l.product_no.as_str()));
+            }
+        }
+        for (cid, order_no) in &d.carts {
+            assert!(*cid >= 1 && *cid <= d.customers.len() as i64);
+            assert!(order_nos.contains(order_no.as_str()));
+        }
+        for (a, b) in &d.knows {
+            assert_ne!(a, b, "no self-loops");
+            assert!(*b < *a, "edges point to earlier customers");
+        }
+    }
+
+    #[test]
+    fn documents_have_the_paper_shape() {
+        let d = generate(0.05, 1);
+        let doc = d.orders[0].to_document();
+        assert!(!doc.get_field("orderlines").as_array().unwrap().is_empty());
+        assert!(
+            doc.get_field("orderlines").get_index(0).get_field("product_no").as_str().unwrap()
+                .starts_with('p')
+        );
+        assert!(doc.get_field("total").as_int().unwrap() > 0);
+    }
+}

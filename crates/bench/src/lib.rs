@@ -1,0 +1,24 @@
+//! # mmdb-bench — UniBench and the ablation harness
+//!
+//! The tutorial presents **UniBench** ("a unified benchmark for
+//! multi-model data": an e-commerce application spanning all models, with
+//! Workload A = insertion & reading, B = cross-model query, C =
+//! cross-model transaction). This crate reproduces it:
+//!
+//! * [`gen`] — a deterministic synthetic generator for the five-model
+//!   e-commerce data set (customers relation, social graph, product
+//!   catalog, order documents, shopping-cart pairs, feedback text).
+//! * [`polyglot`] — the **polyglot-persistence baseline**: one single-model
+//!   store per model with application-side joins and no shared
+//!   transactions, standing in for the MongoDB+Neo4j+Redis deployment of
+//!   the tutorial's motivating slide.
+//! * [`workloads`] — Workloads A/B/C implemented against both backends,
+//!   with result cross-checking.
+//! * [`report`] — fixed-width table printing for the `unibench` binary.
+//!
+//! Criterion benches (one per experiment E1–E9) live in `benches/`.
+
+pub mod gen;
+pub mod polyglot;
+pub mod report;
+pub mod workloads;

@@ -1,0 +1,106 @@
+//! Fixed-width table printing for the `unibench` harness.
+
+/// A simple text table.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table with column headers.
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Render with column-aligned padding.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let sep: String = widths.iter().map(|w| format!("+{}", "-".repeat(w + 2))).collect::<String>() + "+\n";
+        out.push_str(&sep);
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (c, w) in cells.iter().zip(&widths) {
+                line.push_str(&format!("| {c:<w$} "));
+            }
+            line.push_str("|\n");
+            line
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+        }
+        out.push_str(&sep);
+        out
+    }
+}
+
+/// Format a duration in adaptive units.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us} µs")
+    } else if us < 1_000_000 {
+        format!("{:.2} ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2} s", us as f64 / 1_000_000.0)
+    }
+}
+
+/// Ops/sec from a count and elapsed time.
+pub fn fmt_throughput(ops: usize, d: std::time::Duration) -> String {
+    let per_sec = ops as f64 / d.as_secs_f64().max(1e-9);
+    if per_sec >= 1_000_000.0 {
+        format!("{:.2} Mop/s", per_sec / 1_000_000.0)
+    } else if per_sec >= 1_000.0 {
+        format!("{:.1} Kop/s", per_sec / 1_000.0)
+    } else {
+        format!("{per_sec:.1} op/s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(&["short".into(), "1".into()]);
+        t.row(&["a much longer name".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.contains("| name"));
+        assert!(s.contains("| a much longer name |"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "all lines same width");
+    }
+
+    #[test]
+    fn duration_and_throughput_formats() {
+        assert_eq!(fmt_duration(Duration::from_micros(500)), "500 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+        assert!(fmt_throughput(1_000, Duration::from_millis(1)).contains("Mop/s"));
+        assert!(fmt_throughput(10, Duration::from_secs(1)).contains("op/s"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Schema extraction from open-schema documents.
+//!
+//! The tutorial's theoretical-challenges slide asks for a "schema language
+//! for multi-model data and schema extraction". This module does the
+//! practical half: given a sample of documents, infer a relational
+//! [`Schema`] — per-field type union (conflicts widen: int ∪ float →
+//! float, anything ∪ object/array → JSON, mixed scalars → JSON),
+//! nullability from missing fields, and a primary-key pick (`_key`, then
+//! `id`, then the first always-present unique field).
+
+use std::collections::BTreeMap;
+
+use mmdb_relational::{ColumnDef, DataType, Schema};
+use mmdb_types::{Error, Number, Result, Value};
+
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum Inferred {
+    Bool,
+    Int,
+    Float,
+    Text,
+    Json,
+}
+
+impl Inferred {
+    fn of(v: &Value) -> Option<Inferred> {
+        Some(match v {
+            Value::Null => return None,
+            Value::Bool(_) => Inferred::Bool,
+            Value::Number(Number::Int(_)) => Inferred::Int,
+            Value::Number(Number::Float(_)) => Inferred::Float,
+            Value::String(_) => Inferred::Text,
+            Value::Bytes(_) | Value::Array(_) | Value::Object(_) => Inferred::Json,
+        })
+    }
+
+    fn union(self, other: Inferred) -> Inferred {
+        use Inferred::*;
+        match (self, other) {
+            (a, b) if a == b => a,
+            (Int, Float) | (Float, Int) => Float,
+            _ => Json,
+        }
+    }
+
+    fn data_type(self) -> DataType {
+        match self {
+            Inferred::Bool => DataType::Bool,
+            Inferred::Int => DataType::Int,
+            Inferred::Float => DataType::Float,
+            Inferred::Text => DataType::Text,
+            Inferred::Json => DataType::Json,
+        }
+    }
+}
+
+/// Result of inference: the schema plus per-column coverage statistics.
+#[derive(Debug)]
+pub struct InferredSchema {
+    /// The inferred relational schema.
+    pub schema: Schema,
+    /// Fraction of sampled documents carrying each column.
+    pub coverage: Vec<(String, f64)>,
+}
+
+/// Infer a schema from sample documents (objects).
+pub fn infer_schema(samples: &[Value]) -> Result<InferredSchema> {
+    if samples.is_empty() {
+        return Err(Error::Schema("cannot infer a schema from zero documents".into()));
+    }
+    struct FieldStat {
+        ty: Option<Inferred>,
+        present: usize,
+        non_null: usize,
+        values_unique: bool,
+        seen: Vec<Value>,
+    }
+    let mut fields: BTreeMap<String, FieldStat> = BTreeMap::new();
+    for doc in samples {
+        let obj = doc.as_object()?;
+        for (k, v) in obj.iter() {
+            let stat = fields.entry(k.to_string()).or_insert(FieldStat {
+                ty: None,
+                present: 0,
+                non_null: 0,
+                values_unique: true,
+                seen: Vec::new(),
+            });
+            stat.present += 1;
+            if let Some(t) = Inferred::of(v) {
+                stat.non_null += 1;
+                stat.ty = Some(match stat.ty {
+                    None => t,
+                    Some(prev) => prev.union(t),
+                });
+            }
+            if stat.values_unique {
+                if stat.seen.contains(v) {
+                    stat.values_unique = false;
+                } else {
+                    stat.seen.push(v.clone());
+                }
+            }
+        }
+    }
+    let n = samples.len();
+    let mut columns = Vec::new();
+    let mut coverage = Vec::new();
+    for (name, stat) in &fields {
+        let dt = stat.ty.map(Inferred::data_type).unwrap_or(DataType::Json);
+        let nullable = stat.present < n || stat.non_null < stat.present;
+        let mut col = ColumnDef::new(name.clone(), dt);
+        col.nullable = nullable;
+        columns.push(col);
+        coverage.push((name.clone(), stat.present as f64 / n as f64));
+    }
+    // Primary key: _key, then id, then first always-present unique column.
+    let pk = ["_key", "id"]
+        .iter()
+        .find(|cand| {
+            fields
+                .get(**cand)
+                .is_some_and(|s| s.present == n && s.non_null == n && s.values_unique)
+        })
+        .map(|s| s.to_string())
+        .or_else(|| {
+            fields
+                .iter()
+                .find(|(_, s)| s.present == n && s.non_null == n && s.values_unique)
+                .map(|(k, _)| k.clone())
+        })
+        .ok_or_else(|| {
+            Error::Schema("no candidate primary key (always-present, unique, non-null)".into())
+        })?;
+    Ok(InferredSchema { schema: Schema::new(columns, &pk)?, coverage })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_types::from_json;
+
+    fn docs(texts: &[&str]) -> Vec<Value> {
+        texts.iter().map(|t| from_json(t).unwrap()).collect()
+    }
+
+    #[test]
+    fn basic_inference() {
+        let s = infer_schema(&docs(&[
+            r#"{"id":1,"name":"Mary","credit":5000.5,"vip":true}"#,
+            r#"{"id":2,"name":"John","credit":3000}"#,
+        ]))
+        .unwrap();
+        let schema = &s.schema;
+        assert_eq!(schema.primary_key_name(), "id");
+        let by_name: std::collections::HashMap<&str, &ColumnDef> =
+            schema.columns().iter().map(|c| (c.name.as_str(), c)).collect();
+        assert_eq!(by_name["id"].data_type, DataType::Int);
+        assert_eq!(by_name["name"].data_type, DataType::Text);
+        assert_eq!(by_name["credit"].data_type, DataType::Float, "int ∪ float widens");
+        assert!(by_name["vip"].nullable, "missing in one doc");
+        assert!(!by_name["name"].nullable);
+    }
+
+    #[test]
+    fn nested_fields_become_json() {
+        let s = infer_schema(&docs(&[r#"{"id":1,"orders":[{"x":1}],"meta":{"a":1}}"#])).unwrap();
+        let by_name: std::collections::HashMap<&str, &ColumnDef> =
+            s.schema.columns().iter().map(|c| (c.name.as_str(), c)).collect();
+        assert_eq!(by_name["orders"].data_type, DataType::Json);
+        assert_eq!(by_name["meta"].data_type, DataType::Json);
+    }
+
+    #[test]
+    fn conflicting_scalars_become_json() {
+        let s = infer_schema(&docs(&[r#"{"id":1,"v":"text"}"#, r#"{"id":2,"v":5}"#])).unwrap();
+        let v = s.schema.columns().iter().find(|c| c.name == "v").unwrap();
+        assert_eq!(v.data_type, DataType::Json);
+    }
+
+    #[test]
+    fn key_preference_and_fallback() {
+        let s = infer_schema(&docs(&[r#"{"_key":"a","id":1}"#, r#"{"_key":"b","id":1}"#])).unwrap();
+        assert_eq!(s.schema.primary_key_name(), "_key", "id is not unique here");
+        let s = infer_schema(&docs(&[r#"{"sku":"x1","n":1}"#, r#"{"sku":"x2","n":1}"#])).unwrap();
+        assert_eq!(s.schema.primary_key_name(), "sku");
+    }
+
+    #[test]
+    fn no_key_candidate_errors() {
+        let e = infer_schema(&docs(&[r#"{"v":1}"#, r#"{"v":1}"#]));
+        assert!(e.is_err());
+        assert!(infer_schema(&[]).is_err());
+    }
+
+    #[test]
+    fn coverage_is_reported() {
+        let s = infer_schema(&docs(&[r#"{"id":1,"rare":true}"#, r#"{"id":2}"#])).unwrap();
+        let cov: std::collections::HashMap<&str, f64> =
+            s.coverage.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        assert_eq!(cov["id"], 1.0);
+        assert_eq!(cov["rare"], 0.5);
+    }
+}

@@ -1,0 +1,258 @@
+//! HPE Vertica-style flex tables.
+//!
+//! Flex tables (tutorial slide 43) "do not require schema definitions" and
+//! accept semi-structured input (JSON, CSV); loaded data lands in an
+//! internal map of key/value pairs exposed as **virtual columns** via
+//! `maplookup()`; "selected keys can be materialized = real table columns",
+//! and "promoting virtual columns to real columns improves query
+//! performance" — measured by ablation E6.
+
+use std::collections::{BTreeSet, HashMap};
+
+use mmdb_types::{Error, Result, Value};
+
+/// A flex table.
+pub struct FlexTable {
+    /// The `__raw__` map column: one key/value map per row.
+    raw: Vec<Value>,
+    /// Materialized real columns.
+    real: HashMap<String, Vec<Value>>,
+    /// All keys ever seen (the virtual-column namespace).
+    keys_seen: BTreeSet<String>,
+}
+
+impl Default for FlexTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlexTable {
+    /// Empty flex table.
+    pub fn new() -> Self {
+        FlexTable { raw: Vec::new(), real: HashMap::new(), keys_seen: BTreeSet::new() }
+    }
+
+    /// Load one JSON object as a row.
+    pub fn load_json(&mut self, json: &str) -> Result<u64> {
+        let v = mmdb_types::from_json(json)?;
+        self.load_object(v)
+    }
+
+    /// Load a parsed object as a row.
+    pub fn load_object(&mut self, object: Value) -> Result<u64> {
+        let obj = object.as_object()?;
+        for (k, _) in obj.iter() {
+            self.keys_seen.insert(k.to_string());
+        }
+        for (col, vec) in self.real.iter_mut() {
+            vec.push(obj.get(col).cloned().unwrap_or(Value::Null));
+        }
+        self.raw.push(object);
+        Ok((self.raw.len() - 1) as u64)
+    }
+
+    /// Load one CSV record given a header. Values are typed by sniffing:
+    /// integers, floats, booleans, else text. Empty fields become NULL.
+    pub fn load_csv_row(&mut self, header: &[&str], line: &str) -> Result<u64> {
+        let fields = split_csv_line(line);
+        if fields.len() != header.len() {
+            return Err(Error::Parse(format!(
+                "csv row has {} fields, header has {}",
+                fields.len(),
+                header.len()
+            )));
+        }
+        let object = Value::object(
+            header
+                .iter()
+                .zip(fields)
+                .map(|(h, f)| (h.to_string(), sniff_type(&f))),
+        );
+        self.load_object(object)
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// The virtual-column namespace (every key seen in any row).
+    pub fn virtual_columns(&self) -> Vec<&str> {
+        self.keys_seen.iter().map(String::as_str).collect()
+    }
+
+    /// Materialized column names (sorted).
+    pub fn real_columns(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.real.keys().map(String::as_str).collect();
+        v.sort();
+        v
+    }
+
+    /// Vertica's `maplookup()`: read a (virtual or real) column of a row.
+    pub fn maplookup(&self, row: u64, column: &str) -> Value {
+        if let Some(vec) = self.real.get(column) {
+            return vec.get(row as usize).cloned().unwrap_or(Value::Null);
+        }
+        self.raw
+            .get(row as usize)
+            .map(|o| o.get_field(column).clone())
+            .unwrap_or(Value::Null)
+    }
+
+    /// Promote a virtual column to a real one (idempotent).
+    pub fn materialize(&mut self, column: &str) {
+        if self.real.contains_key(column) {
+            return;
+        }
+        let vec: Vec<Value> = self.raw.iter().map(|o| o.get_field(column).clone()).collect();
+        self.real.insert(column.to_string(), vec);
+    }
+
+    /// Rows where `column == value`; `(row ids, used_real_column)`.
+    pub fn select_eq(&self, column: &str, value: &Value) -> (Vec<u64>, bool) {
+        if let Some(vec) = self.real.get(column) {
+            let hits = vec
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| *v == value)
+                .map(|(i, _)| i as u64)
+                .collect();
+            return (hits, true);
+        }
+        let hits = self
+            .raw
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.get_field(column) == value)
+            .map(|(i, _)| i as u64)
+            .collect();
+        (hits, false)
+    }
+
+    /// Project one column over all rows.
+    pub fn project(&self, column: &str) -> Vec<Value> {
+        if let Some(vec) = self.real.get(column) {
+            return vec.clone();
+        }
+        self.raw.iter().map(|o| o.get_field(column).clone()).collect()
+    }
+}
+
+fn sniff_type(field: &str) -> Value {
+    let f = field.trim();
+    if f.is_empty() {
+        return Value::Null;
+    }
+    if let Ok(i) = f.parse::<i64>() {
+        return Value::int(i);
+    }
+    if let Ok(x) = f.parse::<f64>() {
+        if x.is_finite() {
+            return Value::float(x);
+        }
+    }
+    match f {
+        "true" | "TRUE" | "True" => Value::Bool(true),
+        "false" | "FALSE" | "False" => Value::Bool(false),
+        _ => Value::str(f),
+    }
+}
+
+/// Minimal CSV field splitter with double-quote quoting.
+fn split_csv_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes && chars.peek() == Some(&'"') => {
+                cur.push('"');
+                chars.next();
+            }
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> FlexTable {
+        let mut t = FlexTable::new();
+        t.load_json(r#"{"name":"Toy","price":66,"tags":"fun"}"#).unwrap();
+        t.load_json(r#"{"name":"Book","price":40}"#).unwrap();
+        t.load_json(r#"{"name":"Computer","price":34,"refurbished":true}"#).unwrap();
+        t
+    }
+
+    #[test]
+    fn schemaless_ingest_and_virtual_columns() {
+        let t = table();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.virtual_columns(), vec!["name", "price", "refurbished", "tags"]);
+        assert_eq!(t.maplookup(0, "price"), Value::int(66));
+        assert_eq!(t.maplookup(1, "tags"), Value::Null);
+        assert_eq!(t.maplookup(99, "price"), Value::Null);
+    }
+
+    #[test]
+    fn materialization_preserves_results() {
+        let mut t = table();
+        let (virt, used) = t.select_eq("price", &Value::int(40));
+        assert!(!used);
+        t.materialize("price");
+        let (real, used) = t.select_eq("price", &Value::int(40));
+        assert!(used);
+        assert_eq!(virt, real);
+        assert_eq!(real, vec![1]);
+        assert_eq!(t.real_columns(), vec!["price"]);
+        t.materialize("price"); // idempotent
+        assert_eq!(t.real_columns(), vec!["price"]);
+    }
+
+    #[test]
+    fn real_columns_follow_new_loads() {
+        let mut t = table();
+        t.materialize("name");
+        t.load_json(r#"{"name":"Pen","price":2}"#).unwrap();
+        let (hits, used) = t.select_eq("name", &Value::str("Pen"));
+        assert!(used);
+        assert_eq!(hits, vec![3]);
+        assert_eq!(t.project("name").len(), 4);
+    }
+
+    #[test]
+    fn csv_ingest_with_type_sniffing() {
+        let mut t = FlexTable::new();
+        let header = ["id", "name", "price", "active"];
+        t.load_csv_row(&header, "1,Toy,66,true").unwrap();
+        t.load_csv_row(&header, "2,\"Book, used\",39.5,false").unwrap();
+        t.load_csv_row(&header, "3,,,").unwrap();
+        assert_eq!(t.maplookup(0, "id"), Value::int(1));
+        assert_eq!(t.maplookup(0, "active"), Value::Bool(true));
+        assert_eq!(t.maplookup(1, "name"), Value::str("Book, used"));
+        assert_eq!(t.maplookup(1, "price"), Value::float(39.5));
+        assert_eq!(t.maplookup(2, "name"), Value::Null);
+        assert!(t.load_csv_row(&header, "too,few").is_err());
+    }
+
+    #[test]
+    fn csv_quote_escaping() {
+        assert_eq!(split_csv_line(r#"a,"b""c",d"#), vec!["a", "b\"c", "d"]);
+        assert_eq!(split_csv_line(""), vec![""]);
+    }
+}

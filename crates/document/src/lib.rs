@@ -1,0 +1,19 @@
+//! # mmdb-document — the document model
+//!
+//! ArangoDB-style document collections (the tutorial's "native multi-model"
+//! exemplar): every document has a primary `_key` attribute served by a
+//! hash index ("primary index — hash index for document `_key` attributes
+//! of all documents in a collection"); without secondary indexes a
+//! collection *is* a key/value store; with them it is a queryable document
+//! store. Persistent (B+-tree) indexes serve path range queries; a GIN
+//! index serves containment and key-exists queries; query-by-example does
+//! what Arango's `byExample` does.
+//!
+//! [`flex`] adds HPE Vertica's flex tables for schemaless CSV/JSON ingest
+//! with virtual → real column promotion.
+
+pub mod collection;
+pub mod flex;
+
+pub use collection::Collection;
+pub use flex::FlexTable;

@@ -1,0 +1,306 @@
+//! Bitmap and bitslice indexes.
+//!
+//! InterSystems Caché (the tutorial's object-model exemplar) indexes low-
+//! cardinality fields as "a series of highly compressed bitstrings" — one
+//! bitmap per distinct value, each bit a row — and extends them with a
+//! **bitslice** index over numeric fields so that `SUM`, `COUNT` and `AVG`
+//! can be computed from the index alone. Oracle builds bitmap indexes over
+//! `json_exists` predicates the same way.
+//!
+//! [`Bitmap`] here is a plain `u64`-block bitset with the boolean algebra
+//! needed by predicates (`and`/`or`/`and_not`); [`BitmapIndex`] maps value →
+//! bitmap; [`BitsliceIndex`] stores one bitmap per bit position of the
+//! numeric value.
+
+use std::collections::BTreeMap;
+
+use mmdb_types::{Error, Result, Value};
+
+/// A growable bitset over row ids.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bitmap {
+    blocks: Vec<u64>,
+}
+
+impl Bitmap {
+    /// Empty bitmap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set bit `row`.
+    pub fn set(&mut self, row: u64) {
+        let block = (row / 64) as usize;
+        if block >= self.blocks.len() {
+            self.blocks.resize(block + 1, 0);
+        }
+        self.blocks[block] |= 1 << (row % 64);
+    }
+
+    /// Clear bit `row`.
+    pub fn clear(&mut self, row: u64) {
+        let block = (row / 64) as usize;
+        if block < self.blocks.len() {
+            self.blocks[block] &= !(1 << (row % 64));
+        }
+    }
+
+    /// Test bit `row`.
+    pub fn get(&self, row: u64) -> bool {
+        let block = (row / 64) as usize;
+        block < self.blocks.len() && self.blocks[block] & (1 << (row % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> u64 {
+        self.blocks.iter().map(|b| b.count_ones() as u64).sum()
+    }
+
+    /// True when no bits are set.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// `self ∧ other`.
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        let n = self.blocks.len().min(other.blocks.len());
+        Bitmap {
+            blocks: (0..n).map(|i| self.blocks[i] & other.blocks[i]).collect(),
+        }
+    }
+
+    /// `self ∨ other`.
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        let n = self.blocks.len().max(other.blocks.len());
+        Bitmap {
+            blocks: (0..n)
+                .map(|i| {
+                    self.blocks.get(i).copied().unwrap_or(0)
+                        | other.blocks.get(i).copied().unwrap_or(0)
+                })
+                .collect(),
+        }
+    }
+
+    /// `self ∧ ¬other`.
+    pub fn and_not(&self, other: &Bitmap) -> Bitmap {
+        Bitmap {
+            blocks: self
+                .blocks
+                .iter()
+                .enumerate()
+                .map(|(i, b)| b & !other.blocks.get(i).copied().unwrap_or(0))
+                .collect(),
+        }
+    }
+
+    /// Iterate set row ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            (0..64).filter_map(move |bit| {
+                if block & (1 << bit) != 0 {
+                    Some(bi as u64 * 64 + bit)
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+impl FromIterator<u64> for Bitmap {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        let mut b = Bitmap::new();
+        for row in iter {
+            b.set(row);
+        }
+        b
+    }
+}
+
+/// Value → bitmap of rows holding that value.
+#[derive(Default)]
+pub struct BitmapIndex {
+    maps: BTreeMap<Value, Bitmap>,
+}
+
+impl BitmapIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `row` holds `value`.
+    pub fn insert(&mut self, value: Value, row: u64) {
+        self.maps.entry(value).or_default().set(row);
+    }
+
+    /// Remove `row` from `value`'s bitmap.
+    pub fn remove(&mut self, value: &Value, row: u64) {
+        if let Some(b) = self.maps.get_mut(value) {
+            b.clear(row);
+            if b.is_empty() {
+                self.maps.remove(value);
+            }
+        }
+    }
+
+    /// Bitmap of rows equal to `value` (empty bitmap when absent).
+    pub fn eq(&self, value: &Value) -> Bitmap {
+        self.maps.get(value).cloned().unwrap_or_default()
+    }
+
+    /// Bitmap of rows with `lo <= value <= hi` (bitmap OR over the range —
+    /// cheap when cardinality is low, which is the bitmap index's habitat).
+    pub fn range(&self, lo: &Value, hi: &Value) -> Bitmap {
+        let mut out = Bitmap::new();
+        for (_, b) in self.maps.range(lo.clone()..=hi.clone()) {
+            out = out.or(b);
+        }
+        out
+    }
+
+    /// Number of distinct values.
+    pub fn cardinality(&self) -> usize {
+        self.maps.len()
+    }
+}
+
+/// Bitslice index over a non-negative integer field: bitmap `slices[i]`
+/// holds the rows whose value has bit `i` set. `SUM` over any selection is
+/// `Σ 2^i · count(slices[i] ∧ selection)` — no row access needed.
+pub struct BitsliceIndex {
+    slices: Vec<Bitmap>,
+    present: Bitmap,
+}
+
+impl Default for BitsliceIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BitsliceIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        BitsliceIndex { slices: vec![Bitmap::new(); 64], present: Bitmap::new() }
+    }
+
+    /// Record `row`'s numeric value (must be a non-negative integer).
+    pub fn insert(&mut self, row: u64, value: &Value) -> Result<()> {
+        let v = value.as_int()?;
+        if v < 0 {
+            return Err(Error::Type("bitslice index requires non-negative integers".into()));
+        }
+        let v = v as u64;
+        for (i, slice) in self.slices.iter_mut().enumerate() {
+            if v & (1 << i) != 0 {
+                slice.set(row);
+            }
+        }
+        self.present.set(row);
+        Ok(())
+    }
+
+    /// Rows with any value recorded.
+    pub fn present(&self) -> &Bitmap {
+        &self.present
+    }
+
+    /// `COUNT` over a selection.
+    pub fn count(&self, selection: &Bitmap) -> u64 {
+        self.present.and(selection).count()
+    }
+
+    /// `SUM` over a selection, from the slices alone.
+    pub fn sum(&self, selection: &Bitmap) -> u64 {
+        self.slices
+            .iter()
+            .enumerate()
+            .map(|(i, slice)| slice.and(selection).count() << i)
+            .sum()
+    }
+
+    /// `AVG` over a selection (`None` for an empty selection).
+    pub fn avg(&self, selection: &Bitmap) -> Option<f64> {
+        let n = self.count(selection);
+        if n == 0 {
+            None
+        } else {
+            Some(self.sum(selection) as f64 / n as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_basics() {
+        let mut b = Bitmap::new();
+        b.set(3);
+        b.set(200);
+        assert!(b.get(3) && b.get(200) && !b.get(4));
+        assert_eq!(b.count(), 2);
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![3, 200]);
+        b.clear(3);
+        assert!(!b.get(3));
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn bitmap_algebra() {
+        let a: Bitmap = [1u64, 2, 3, 64, 65].into_iter().collect();
+        let b: Bitmap = [2u64, 3, 4, 65, 130].into_iter().collect();
+        assert_eq!(a.and(&b).iter().collect::<Vec<_>>(), vec![2, 3, 65]);
+        assert_eq!(a.or(&b).count(), 7);
+        assert_eq!(a.and_not(&b).iter().collect::<Vec<_>>(), vec![1, 64]);
+    }
+
+    #[test]
+    fn bitmap_index_eq_and_range() {
+        let mut idx = BitmapIndex::new();
+        // Low-cardinality field: country.
+        for (row, c) in ["CZ", "FI", "CZ", "DE", "FI", "CZ"].iter().enumerate() {
+            idx.insert(Value::str(*c), row as u64);
+        }
+        assert_eq!(idx.cardinality(), 3);
+        assert_eq!(idx.eq(&Value::str("CZ")).iter().collect::<Vec<_>>(), vec![0, 2, 5]);
+        assert_eq!(idx.eq(&Value::str("XX")).count(), 0);
+        // Range over the value order: CZ..DE covers both.
+        let r = idx.range(&Value::str("CZ"), &Value::str("DE"));
+        assert_eq!(r.count(), 4);
+        idx.remove(&Value::str("CZ"), 2);
+        assert_eq!(idx.eq(&Value::str("CZ")).count(), 2);
+    }
+
+    #[test]
+    fn bitslice_aggregates_match_direct_computation() {
+        let mut idx = BitsliceIndex::new();
+        let values: Vec<u64> = vec![66, 40, 34, 100, 0, 255, 1023];
+        for (row, v) in values.iter().enumerate() {
+            idx.insert(row as u64, &Value::int(*v as i64)).unwrap();
+        }
+        let all: Bitmap = (0..values.len() as u64).collect();
+        assert_eq!(idx.sum(&all), values.iter().sum::<u64>());
+        assert_eq!(idx.count(&all), values.len() as u64);
+        assert_eq!(idx.avg(&all), Some(values.iter().sum::<u64>() as f64 / values.len() as f64));
+        // Aggregates over a selection (rows 0, 2, 4).
+        let sel: Bitmap = [0u64, 2, 4].into_iter().collect();
+        assert_eq!(idx.sum(&sel), (66 + 34));
+        assert_eq!(idx.count(&sel), 3);
+        // Selection mentioning absent rows is harmless.
+        let sel: Bitmap = [0u64, 99].into_iter().collect();
+        assert_eq!(idx.sum(&sel), 66);
+        assert_eq!(idx.count(&sel), 1);
+    }
+
+    #[test]
+    fn bitslice_rejects_bad_values() {
+        let mut idx = BitsliceIndex::new();
+        assert!(idx.insert(0, &Value::int(-1)).is_err());
+        assert!(idx.insert(0, &Value::str("x")).is_err());
+        assert!(idx.avg(&Bitmap::new()).is_none());
+    }
+}

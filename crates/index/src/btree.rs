@@ -1,0 +1,550 @@
+//! A B+-tree: sorted keys in linked leaves, separator keys in internal
+//! nodes, logarithmic point lookups and ordered range scans.
+//!
+//! This is the index the tutorial attributes to nearly every surveyed
+//! system (PostgreSQL, SQL Server, Oracle, Couchbase, Oracle NoSQL DB's
+//! "distributed, shard-local B-trees"). Keys are any `Ord + Clone` type —
+//! mmdb indexes use the order-preserving byte encoding from
+//! `mmdb_types::codec`, so a single tree can index any [`mmdb_types::Value`].
+//!
+//! Deletion rebalances: underflowing nodes borrow from, or merge with, a
+//! sibling, so the tree stays within its height bound under churn.
+
+use std::fmt::Debug;
+use std::ops::Bound;
+
+/// Maximum keys per node (fanout - 1). 32 keeps nodes cache-friendly while
+/// exercising splits/merges in tests.
+const MAX_KEYS: usize = 32;
+const MIN_KEYS: usize = MAX_KEYS / 2;
+
+enum Node<K, V> {
+    Internal {
+        /// `keys[i]` separates `children[i]` (< key) from `children[i+1]` (>= key).
+        keys: Vec<K>,
+        children: Vec<Node<K, V>>,
+    },
+    Leaf {
+        keys: Vec<K>,
+        values: Vec<V>,
+    },
+}
+
+impl<K: Ord + Clone, V> Node<K, V> {
+    fn len(&self) -> usize {
+        match self {
+            Node::Internal { keys, .. } | Node::Leaf { keys, .. } => keys.len(),
+        }
+    }
+
+    fn is_underflow(&self) -> bool {
+        self.len() < MIN_KEYS
+    }
+
+    fn first_key(&self) -> &K {
+        match self {
+            Node::Leaf { keys, .. } => &keys[0],
+            Node::Internal { children, .. } => children[0].first_key(),
+        }
+    }
+}
+
+/// Result of inserting into a subtree.
+enum InsertResult<K, V> {
+    /// Fit without splitting; `Some(old)` when an existing key was replaced.
+    Done(Option<V>),
+    /// The node split: `(separator, new_right_sibling, replaced)`.
+    Split(K, Node<K, V>, Option<V>),
+}
+
+/// The B+-tree map.
+pub struct BPlusTree<K, V> {
+    root: Node<K, V>,
+    len: usize,
+    height: usize,
+}
+
+impl<K: Ord + Clone + Debug, V> Default for BPlusTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone + Debug, V> BPlusTree<K, V> {
+    /// Empty tree.
+    pub fn new() -> Self {
+        BPlusTree { root: Node::Leaf { keys: Vec::new(), values: Vec::new() }, len: 0, height: 1 }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (levels incl. the leaf level).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Insert, returning the previous value under an equal key.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        match Self::insert_rec(&mut self.root, key, value) {
+            InsertResult::Done(old) => {
+                if old.is_none() {
+                    self.len += 1;
+                }
+                old
+            }
+            InsertResult::Split(sep, right, old) => {
+                // Grow a new root.
+                let old_root = std::mem::replace(
+                    &mut self.root,
+                    Node::Leaf { keys: Vec::new(), values: Vec::new() },
+                );
+                self.root = Node::Internal { keys: vec![sep], children: vec![old_root, right] };
+                self.height += 1;
+                if old.is_none() {
+                    self.len += 1;
+                }
+                old
+            }
+        }
+    }
+
+    fn insert_rec(node: &mut Node<K, V>, key: K, value: V) -> InsertResult<K, V> {
+        match node {
+            Node::Leaf { keys, values } => {
+                match keys.binary_search(&key) {
+                    Ok(i) => return InsertResult::Done(Some(std::mem::replace(&mut values[i], value))),
+                    Err(i) => {
+                        keys.insert(i, key);
+                        values.insert(i, value);
+                    }
+                }
+                if keys.len() <= MAX_KEYS {
+                    return InsertResult::Done(None);
+                }
+                // Split the leaf in half; the separator is the first key of
+                // the right half (B+-tree style: separators duplicate keys).
+                let mid = keys.len() / 2;
+                let right_keys = keys.split_off(mid);
+                let right_values = values.split_off(mid);
+                let sep = right_keys[0].clone();
+                InsertResult::Split(sep, Node::Leaf { keys: right_keys, values: right_values }, None)
+            }
+            Node::Internal { keys, children } => {
+                let idx = match keys.binary_search(&key) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                match Self::insert_rec(&mut children[idx], key, value) {
+                    InsertResult::Done(old) => InsertResult::Done(old),
+                    InsertResult::Split(sep, right, old) => {
+                        keys.insert(idx, sep);
+                        children.insert(idx + 1, right);
+                        if keys.len() <= MAX_KEYS {
+                            return InsertResult::Done(old);
+                        }
+                        // Split this internal node; the middle key moves up.
+                        let mid = keys.len() / 2;
+                        let up = keys[mid].clone();
+                        let right_keys = keys.split_off(mid + 1);
+                        keys.pop(); // remove the promoted key from the left
+                        let right_children = children.split_off(mid + 1);
+                        InsertResult::Split(
+                            up,
+                            Node::Internal { keys: right_keys, children: right_children },
+                            old,
+                        )
+                    }
+                }
+            }
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, values } => {
+                    return keys.binary_search(key).ok().map(|i| &values[i]);
+                }
+                Node::Internal { keys, children } => {
+                    let idx = match keys.binary_search(key) {
+                        Ok(i) => i + 1,
+                        Err(i) => i,
+                    };
+                    node = &children[idx];
+                }
+            }
+        }
+    }
+
+    /// Mutable point lookup.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        let mut node = &mut self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, values } => {
+                    return keys.binary_search(key).ok().map(|i| &mut values[i]);
+                }
+                Node::Internal { keys, children } => {
+                    let idx = match keys.binary_search(key) {
+                        Ok(i) => i + 1,
+                        Err(i) => i,
+                    };
+                    node = &mut children[idx];
+                }
+            }
+        }
+    }
+
+    /// True when the key is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Remove a key, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let removed = Self::remove_rec(&mut self.root, key);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        // Shrink the root when an internal root has a single child.
+        loop {
+            let replace = match &mut self.root {
+                Node::Internal { children, .. } if children.len() == 1 => children.pop().expect("one child"),
+                _ => break,
+            };
+            self.root = replace;
+            self.height -= 1;
+        }
+        removed
+    }
+
+    fn remove_rec(node: &mut Node<K, V>, key: &K) -> Option<V> {
+        match node {
+            Node::Leaf { keys, values } => match keys.binary_search(key) {
+                Ok(i) => {
+                    keys.remove(i);
+                    Some(values.remove(i))
+                }
+                Err(_) => None,
+            },
+            Node::Internal { keys, children } => {
+                let idx = match keys.binary_search(key) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                let removed = Self::remove_rec(&mut children[idx], key)?;
+                if children[idx].is_underflow() {
+                    Self::rebalance_child(keys, children, idx);
+                }
+                Some(removed)
+            }
+        }
+    }
+
+    /// Fix an underflowing `children[idx]` by borrowing from or merging
+    /// with a sibling.
+    fn rebalance_child(keys: &mut Vec<K>, children: &mut Vec<Node<K, V>>, idx: usize) {
+        // Try borrowing from the left sibling.
+        if idx > 0 && children[idx - 1].len() > MIN_KEYS {
+            let (left_part, right_part) = children.split_at_mut(idx);
+            let left = left_part.last_mut().expect("left sibling");
+            let cur = &mut right_part[0];
+            match (left, cur) {
+                (Node::Leaf { keys: lk, values: lv }, Node::Leaf { keys: ck, values: cv }) => {
+                    ck.insert(0, lk.pop().expect("nonempty"));
+                    cv.insert(0, lv.pop().expect("nonempty"));
+                    keys[idx - 1] = ck[0].clone();
+                }
+                (
+                    Node::Internal { keys: lk, children: lc },
+                    Node::Internal { keys: ck, children: cc },
+                ) => {
+                    // Rotate through the parent separator.
+                    let sep = std::mem::replace(&mut keys[idx - 1], lk.pop().expect("nonempty"));
+                    ck.insert(0, sep);
+                    cc.insert(0, lc.pop().expect("nonempty"));
+                }
+                _ => unreachable!("siblings are at the same level"),
+            }
+            return;
+        }
+        // Try borrowing from the right sibling.
+        if idx + 1 < children.len() && children[idx + 1].len() > MIN_KEYS {
+            let (left_part, right_part) = children.split_at_mut(idx + 1);
+            let cur = left_part.last_mut().expect("current");
+            let right = &mut right_part[0];
+            match (cur, right) {
+                (Node::Leaf { keys: ck, values: cv }, Node::Leaf { keys: rk, values: rv }) => {
+                    ck.push(rk.remove(0));
+                    cv.push(rv.remove(0));
+                    keys[idx] = rk[0].clone();
+                }
+                (
+                    Node::Internal { keys: ck, children: cc },
+                    Node::Internal { keys: rk, children: rc },
+                ) => {
+                    let sep = std::mem::replace(&mut keys[idx], rk.remove(0));
+                    ck.push(sep);
+                    cc.push(rc.remove(0));
+                }
+                _ => unreachable!("siblings are at the same level"),
+            }
+            return;
+        }
+        // Merge with a sibling (prefer left).
+        let (left_idx, sep_idx) = if idx > 0 { (idx - 1, idx - 1) } else { (idx, idx) };
+        let right_node = children.remove(left_idx + 1);
+        let sep = keys.remove(sep_idx);
+        match (&mut children[left_idx], right_node) {
+            (Node::Leaf { keys: lk, values: lv }, Node::Leaf { keys: rk, values: rv }) => {
+                lk.extend(rk);
+                lv.extend(rv);
+            }
+            (
+                Node::Internal { keys: lk, children: lc },
+                Node::Internal { keys: rk, children: rc },
+            ) => {
+                lk.push(sep);
+                lk.extend(rk);
+                lc.extend(rc);
+            }
+            _ => unreachable!("siblings are at the same level"),
+        }
+    }
+
+    /// Ordered iteration over `(key, value)` pairs within bounds.
+    pub fn range<'a>(
+        &'a self,
+        start: Bound<&K>,
+        end: Bound<&K>,
+    ) -> impl Iterator<Item = (&'a K, &'a V)> + 'a {
+        let mut out = Vec::new();
+        Self::collect_range(&self.root, &start, &end, &mut out);
+        out.into_iter()
+    }
+
+    fn collect_range<'a>(
+        node: &'a Node<K, V>,
+        start: &Bound<&K>,
+        end: &Bound<&K>,
+        out: &mut Vec<(&'a K, &'a V)>,
+    ) {
+        match node {
+            Node::Leaf { keys, values } => {
+                for (k, v) in keys.iter().zip(values) {
+                    let after_start = match start {
+                        Bound::Unbounded => true,
+                        Bound::Included(s) => k >= *s,
+                        Bound::Excluded(s) => k > *s,
+                    };
+                    let before_end = match end {
+                        Bound::Unbounded => true,
+                        Bound::Included(e) => k <= *e,
+                        Bound::Excluded(e) => k < *e,
+                    };
+                    if after_start && before_end {
+                        out.push((k, v));
+                    }
+                }
+            }
+            Node::Internal { keys, children } => {
+                // Prune subtrees wholly outside the bounds.
+                for (i, child) in children.iter().enumerate() {
+                    let child_min: Option<&K> = if i == 0 { None } else { Some(&keys[i - 1]) };
+                    let child_max: Option<&K> = keys.get(i);
+                    let skip_low = match (start, child_max) {
+                        (Bound::Included(s), Some(max)) => max < s,
+                        (Bound::Excluded(s), Some(max)) => max <= s,
+                        _ => false,
+                    };
+                    let skip_high = match (end, child_min) {
+                        (Bound::Included(e), Some(min)) => min > e,
+                        (Bound::Excluded(e), Some(min)) => min >= e,
+                        _ => false,
+                    };
+                    if !skip_low && !skip_high {
+                        Self::collect_range(child, start, end, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Full ordered iteration.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+    }
+
+    /// Check structural invariants (tests/debug): sorted keys, node
+    /// occupancy, separator correctness, uniform depth.
+    pub fn check_invariants(&self) {
+        fn walk<K: Ord + Clone, V>(node: &Node<K, V>, depth: usize, leaf_depth: &mut Option<usize>, is_root: bool) {
+            match node {
+                Node::Leaf { keys, values } => {
+                    assert_eq!(keys.len(), values.len());
+                    assert!(keys.windows(2).all(|w| w[0] < w[1]), "leaf keys sorted");
+                    assert!(is_root || keys.len() >= MIN_KEYS, "leaf occupancy");
+                    match leaf_depth {
+                        None => *leaf_depth = Some(depth),
+                        Some(d) => assert_eq!(*d, depth, "uniform leaf depth"),
+                    }
+                }
+                Node::Internal { keys, children } => {
+                    assert_eq!(children.len(), keys.len() + 1);
+                    assert!(keys.windows(2).all(|w| w[0] < w[1]), "internal keys sorted");
+                    assert!(is_root || keys.len() >= MIN_KEYS, "internal occupancy");
+                    assert!(!is_root || children.len() >= 2, "root with single child");
+                    for (i, child) in children.iter().enumerate() {
+                        if i > 0 {
+                            assert!(child.first_key() >= &keys[i - 1], "separator bound");
+                        }
+                        walk(child, depth + 1, leaf_depth, false);
+                    }
+                }
+            }
+        }
+        if self.len > 0 {
+            let mut leaf_depth = None;
+            walk(&self.root, 0, &mut leaf_depth, true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_overwrite() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.insert(5, "a"), None);
+        assert_eq!(t.insert(5, "b"), Some("a"));
+        assert_eq!(t.get(&5), Some(&"b"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&7), None);
+    }
+
+    #[test]
+    fn thousands_of_keys_ascending_and_descending() {
+        for keys in [
+            (0..5000).collect::<Vec<i64>>(),
+            (0..5000).rev().collect::<Vec<i64>>(),
+        ] {
+            let mut t = BPlusTree::new();
+            for &k in &keys {
+                t.insert(k, k * 2);
+            }
+            t.check_invariants();
+            assert_eq!(t.len(), 5000);
+            assert!(t.height() > 2, "tree should have split: h={}", t.height());
+            for &k in &keys {
+                assert_eq!(t.get(&k), Some(&(k * 2)));
+            }
+        }
+    }
+
+    #[test]
+    fn pseudorandom_workload_with_deletes() {
+        // Deterministic LCG to avoid a rand dependency here.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as i64 % 10_000
+        };
+        let mut t = BPlusTree::new();
+        let mut shadow = std::collections::BTreeMap::new();
+        for _ in 0..20_000 {
+            let k = next();
+            if k % 3 == 0 {
+                assert_eq!(t.remove(&k), shadow.remove(&k));
+            } else {
+                assert_eq!(t.insert(k, k), shadow.insert(k, k));
+            }
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), shadow.len());
+        let got: Vec<_> = t.iter().map(|(k, v)| (*k, *v)).collect();
+        let want: Vec<_> = shadow.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn remove_everything_shrinks_to_empty() {
+        let mut t = BPlusTree::new();
+        for k in 0..2000 {
+            t.insert(k, ());
+        }
+        for k in 0..2000 {
+            assert_eq!(t.remove(&k), Some(()));
+            if k % 100 == 0 {
+                t.check_invariants();
+            }
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.remove(&5), None);
+    }
+
+    #[test]
+    fn range_scans() {
+        let mut t = BPlusTree::new();
+        for k in (0..1000).step_by(2) {
+            t.insert(k, k);
+        }
+        let got: Vec<i64> = t
+            .range(Bound::Included(&100), Bound::Excluded(&110))
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(got, vec![100, 102, 104, 106, 108]);
+        // Excluded start, included end.
+        let got: Vec<i64> = t
+            .range(Bound::Excluded(&100), Bound::Included(&106))
+            .map(|(k, _)| *k)
+            .collect();
+        assert_eq!(got, vec![102, 104, 106]);
+        // Unbounded scans return everything in order.
+        let all: Vec<i64> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(all.len(), 500);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+        // Empty range.
+        assert_eq!(t.range(Bound::Included(&2000), Bound::Unbounded).count(), 0);
+    }
+
+    #[test]
+    fn byte_keys_work_with_memcomparable_encoding() {
+        use mmdb_types::codec::key_of;
+        use mmdb_types::Value;
+        let mut t: BPlusTree<Vec<u8>, String> = BPlusTree::new();
+        for i in 0..100 {
+            t.insert(key_of(&Value::int(i)), format!("v{i}"));
+        }
+        t.insert(key_of(&Value::str("zzz")), "string key".into());
+        assert_eq!(t.get(&key_of(&Value::int(42))), Some(&"v42".to_string()));
+        // Range over the numeric bracket: strings sort after all numbers.
+        let lo = key_of(&Value::int(10));
+        let hi = key_of(&Value::int(20));
+        let hits = t.range(Bound::Included(&lo), Bound::Excluded(&hi)).count();
+        assert_eq!(hits, 10);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut t = BPlusTree::new();
+        for k in 0..100 {
+            t.insert(k, 0);
+        }
+        *t.get_mut(&50).unwrap() = 99;
+        assert_eq!(t.get(&50), Some(&99));
+        assert!(t.get_mut(&1000).is_none());
+    }
+}

@@ -1,0 +1,316 @@
+//! ORDPATH node labels and a path index for tree-structured data.
+//!
+//! Oracle's XMLIndex "preserves the position of each node using a variant
+//! of the ORDPATHS numbering schema" (tutorial, native-XML indexing).
+//! An ORDPATH is a dotted label like `1.3.5`: children extend the parent
+//! label, so **document order** is label order and **ancestry** is label
+//! prefixing — both testable without touching the tree. Insertion between
+//! existing siblings never relabels: even "caret" components create room
+//! (`1.3` < `1.4.1` < `1.5`, where `4` is a caret that does not count as a
+//! level).
+//!
+//! [`PathIndex`] maps root-to-node tag paths (e.g. `/product/name`) to the
+//! labelled nodes bearing them — the structure behind MarkLogic's "path
+//! range index" and the E8 ablation (path index vs. tree navigation).
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An ORDPATH label.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OrdPath {
+    components: Vec<i64>,
+}
+
+impl OrdPath {
+    /// The root label, `1`.
+    pub fn root() -> Self {
+        OrdPath { components: vec![1] }
+    }
+
+    /// Build from raw components (odd = real level, even = caret).
+    pub fn from_components(components: Vec<i64>) -> Self {
+        assert!(!components.is_empty(), "empty ORDPATH");
+        OrdPath { components }
+    }
+
+    /// Raw components.
+    pub fn components(&self) -> &[i64] {
+        &self.components
+    }
+
+    /// Label of this node's `n`-th initial child (0-based): append `2n+1`.
+    pub fn child(&self, n: u64) -> OrdPath {
+        let mut c = self.components.clone();
+        c.push(2 * n as i64 + 1);
+        OrdPath { components: c }
+    }
+
+    /// Depth = number of *odd* components minus one (carets don't count).
+    pub fn depth(&self) -> usize {
+        self.components.iter().filter(|c| *c % 2 != 0).count() - 1
+    }
+
+    /// True when `self` is a (strict or equal) prefix-ancestor of `other`.
+    pub fn is_ancestor_of_or_self(&self, other: &OrdPath) -> bool {
+        other.components.len() >= self.components.len()
+            && other.components[..self.components.len()] == self.components[..]
+    }
+
+    /// True when `self` is a strict ancestor of `other`.
+    pub fn is_ancestor_of(&self, other: &OrdPath) -> bool {
+        self != other && self.is_ancestor_of_or_self(other)
+    }
+
+    /// A label strictly between two sibling labels, inserted without
+    /// relabelling either (the ORDPATH "careting in" trick).
+    ///
+    /// Preconditions: `left < right`. The result `m` satisfies
+    /// `left < m < right` in document order.
+    pub fn between(left: &OrdPath, right: &OrdPath) -> OrdPath {
+        debug_assert!(left < right, "between() needs left < right");
+        // Find the first differing component.
+        let n = left.components.len().min(right.components.len());
+        for i in 0..n {
+            let (a, b) = (left.components[i], right.components[i]);
+            match a.cmp(&b) {
+                Ordering::Equal => continue,
+                Ordering::Less => {
+                    if b - a > 1 {
+                        // Room for a component strictly in between; keep it
+                        // odd if possible so depth stays meaningful,
+                        // otherwise use the even caret + `.1`.
+                        let mid = a + 1;
+                        let mut c = left.components[..i].to_vec();
+                        if mid % 2 != 0 && mid < b {
+                            c.push(mid);
+                        } else {
+                            c.push(mid); // even caret
+                            c.push(1);
+                        }
+                        return OrdPath { components: c };
+                    }
+                    // Adjacent (e.g. 3 and 4, or 3 and 5 handled above):
+                    // descend under an even caret of the left value.
+                    let mut c = left.components[..i].to_vec();
+                    c.push(a + 1); // even caret between a and b when b == a+1? No:
+                                   // b == a+1 means caret equals b; instead extend left.
+                    if a + 1 == b {
+                        // No integer strictly between: extend the *left*
+                        // label with a caret tail: left.(max).
+                        c = left.components[..=i].to_vec();
+                        c.extend_from_slice(&left.components[i + 1..]);
+                        c.push(i64::MAX / 2); // far beyond any real sibling tail
+                        return OrdPath { components: c };
+                    }
+                    c.push(1);
+                    return OrdPath { components: c };
+                }
+                Ordering::Greater => unreachable!("left < right violated"),
+            }
+        }
+        // One is a prefix of the other; since left < right, left is the
+        // prefix: insert under left after all of right's branch point.
+        let branch = right.components[left.components.len()];
+        let mut c = left.components.clone();
+        // A component smaller than `branch`: use branch - 1 (even caret ok).
+        c.push(branch - 1);
+        c.push(1);
+        OrdPath { components: c }
+    }
+}
+
+impl PartialOrd for OrdPath {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdPath {
+    /// Document order: component-wise, with "shorter is ancestor ⇒ earlier".
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.components.cmp(&other.components)
+    }
+}
+
+impl fmt::Display for OrdPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.components.iter().enumerate() {
+            if i > 0 {
+                write!(f, ".")?;
+            }
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A path index: tag-path string → ordered (label, payload) postings.
+///
+/// Payloads are typically node ids. Lookup by exact path is a map probe;
+/// subtree restriction uses the ORDPATH prefix property.
+pub struct PathIndex<T> {
+    postings: BTreeMap<String, Vec<(OrdPath, T)>>,
+}
+
+impl<T: Clone> Default for PathIndex<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> PathIndex<T> {
+    /// Empty index.
+    pub fn new() -> Self {
+        PathIndex { postings: BTreeMap::new() }
+    }
+
+    /// Index a node: `path` like `/product/name`, its label and payload.
+    pub fn insert(&mut self, path: &str, label: OrdPath, payload: T) {
+        let list = self.postings.entry(path.to_string()).or_default();
+        let pos = list.partition_point(|(l, _)| l < &label);
+        list.insert(pos, (label, payload));
+    }
+
+    /// All nodes with exactly this tag path, in document order.
+    pub fn lookup(&self, path: &str) -> Vec<&(OrdPath, T)> {
+        self.postings.get(path).map(|v| v.iter().collect()).unwrap_or_default()
+    }
+
+    /// Nodes with this tag path *inside the subtree* rooted at `root`.
+    pub fn lookup_in_subtree(&self, path: &str, root: &OrdPath) -> Vec<&(OrdPath, T)> {
+        self.postings
+            .get(path)
+            .map(|v| {
+                v.iter()
+                    .filter(|(l, _)| root.is_ancestor_of_or_self(l))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Paths matching a trailing pattern (`//name` ≙ suffix `/name`).
+    pub fn lookup_suffix(&self, suffix: &str) -> Vec<&(OrdPath, T)> {
+        self.postings
+            .iter()
+            .filter(|(p, _)| p.ends_with(suffix))
+            .flat_map(|(_, v)| v.iter())
+            .collect()
+    }
+
+    /// Number of distinct paths.
+    pub fn path_count(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn children_follow_document_order() {
+        let root = OrdPath::root();
+        let a = root.child(0); // 1.1
+        let b = root.child(1); // 1.3
+        let a1 = a.child(0); // 1.1.1
+        assert!(root < a);
+        assert!(a < a1, "parent precedes child");
+        assert!(a1 < b, "whole subtree precedes next sibling");
+        assert_eq!(a.to_string(), "1.1");
+        assert_eq!(b.to_string(), "1.3");
+    }
+
+    #[test]
+    fn ancestry_is_prefixing() {
+        let root = OrdPath::root();
+        let a = root.child(2);
+        let a_b = a.child(4);
+        assert!(root.is_ancestor_of(&a_b));
+        assert!(a.is_ancestor_of(&a_b));
+        assert!(!a_b.is_ancestor_of(&a));
+        assert!(!a.is_ancestor_of(&a));
+        assert!(a.is_ancestor_of_or_self(&a));
+        // Siblings are not ancestors.
+        let c = root.child(3);
+        assert!(!a.is_ancestor_of(&c) && !c.is_ancestor_of(&a));
+    }
+
+    #[test]
+    fn depth_ignores_carets() {
+        assert_eq!(OrdPath::root().depth(), 0);
+        assert_eq!(OrdPath::root().child(0).depth(), 1);
+        // 1.4.1 — the 4 is a caret: same depth as 1.3.
+        let careted = OrdPath::from_components(vec![1, 4, 1]);
+        assert_eq!(careted.depth(), 1);
+    }
+
+    #[test]
+    fn between_inserts_without_relabeling() {
+        let root = OrdPath::root();
+        let a = root.child(0); // 1.1
+        let b = root.child(1); // 1.3
+        let m = OrdPath::between(&a, &b); // e.g. 1.2.1
+        assert!(a < m && m < b, "{a} < {m} < {b} violated");
+        // Insert again in the new gaps — repeatedly.
+        let m2 = OrdPath::between(&a, &m);
+        assert!(a < m2 && m2 < m);
+        let m3 = OrdPath::between(&m, &b);
+        assert!(m < m3 && m3 < b);
+        // Stress: 50 consecutive between-insertions stay ordered.
+        let (mut lo, hi) = (a.clone(), b.clone());
+        let mut all = vec![a.clone()];
+        for _ in 0..50 {
+            let mid = OrdPath::between(&lo, &hi);
+            assert!(lo < mid && mid < hi, "{lo} < {mid} < {hi}");
+            all.push(mid.clone());
+            lo = mid;
+        }
+        all.push(b.clone());
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn between_prefix_case() {
+        // left is an ancestor-prefix of right.
+        let a = OrdPath::from_components(vec![1, 3]);
+        let b = OrdPath::from_components(vec![1, 3, 5]);
+        let m = OrdPath::between(&a, &b);
+        assert!(a < m && m < b, "{a} < {m} < {b}");
+    }
+
+    #[test]
+    fn path_index_lookup_and_subtree() {
+        let mut idx: PathIndex<u32> = PathIndex::new();
+        let root = OrdPath::root();
+        let p1 = root.child(0);
+        let p2 = root.child(1);
+        idx.insert("/catalog/product", p1.clone(), 10);
+        idx.insert("/catalog/product", p2.clone(), 20);
+        idx.insert("/catalog/product/name", p1.child(0), 11);
+        idx.insert("/catalog/product/name", p2.child(0), 21);
+        let names = idx.lookup("/catalog/product/name");
+        assert_eq!(names.iter().map(|(_, t)| *t).collect::<Vec<_>>(), vec![11, 21]);
+        // Restrict to p1's subtree.
+        let inside = idx.lookup_in_subtree("/catalog/product/name", &p1);
+        assert_eq!(inside.iter().map(|(_, t)| *t).collect::<Vec<_>>(), vec![11]);
+        // Suffix (descendant-or-self axis) lookup.
+        let any_name = idx.lookup_suffix("/name");
+        assert_eq!(any_name.len(), 2);
+        assert_eq!(idx.lookup("/nope"), Vec::<&(OrdPath, u32)>::new());
+        assert_eq!(idx.path_count(), 2);
+    }
+
+    #[test]
+    fn postings_stay_in_document_order() {
+        let mut idx: PathIndex<u32> = PathIndex::new();
+        let root = OrdPath::root();
+        // Insert out of order.
+        for i in [3u64, 0, 4, 1, 2] {
+            idx.insert("/x", root.child(i), i as u32);
+        }
+        let got: Vec<u32> = idx.lookup("/x").iter().map(|(_, t)| *t).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,376 @@
+//! An R-tree for the spatial model.
+//!
+//! The tutorial's multi-model diagram includes *Spatial* among the models,
+//! and its index survey notes MySQL keeps "R-trees for spatial data". This
+//! is a classic Guttman R-tree with quadratic split: bounding rectangles in
+//! internal nodes, data rectangles in leaves, window (intersection) and
+//! containment queries, plus best-first nearest-neighbour search.
+
+/// An axis-aligned rectangle (use `Rect::point` for points).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Minimum corner (x, y).
+    pub min: [f64; 2],
+    /// Maximum corner (x, y).
+    pub max: [f64; 2],
+}
+
+impl Rect {
+    /// Construct, normalizing the corner order.
+    pub fn new(a: [f64; 2], b: [f64; 2]) -> Rect {
+        Rect {
+            min: [a[0].min(b[0]), a[1].min(b[1])],
+            max: [a[0].max(b[0]), a[1].max(b[1])],
+        }
+    }
+
+    /// A degenerate rectangle at one point.
+    pub fn point(x: f64, y: f64) -> Rect {
+        Rect { min: [x, y], max: [x, y] }
+    }
+
+    /// Area.
+    pub fn area(&self) -> f64 {
+        (self.max[0] - self.min[0]) * (self.max[1] - self.min[1])
+    }
+
+    /// Smallest rectangle covering both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: [self.min[0].min(other.min[0]), self.min[1].min(other.min[1])],
+            max: [self.max[0].max(other.max[0]), self.max[1].max(other.max[1])],
+        }
+    }
+
+    /// Area growth needed to cover `other`.
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// True when the rectangles overlap (boundary touch counts).
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min[0] <= other.max[0]
+            && other.min[0] <= self.max[0]
+            && self.min[1] <= other.max[1]
+            && other.min[1] <= self.max[1]
+    }
+
+    /// True when `self` fully contains `other`.
+    pub fn contains(&self, other: &Rect) -> bool {
+        self.min[0] <= other.min[0]
+            && self.min[1] <= other.min[1]
+            && self.max[0] >= other.max[0]
+            && self.max[1] >= other.max[1]
+    }
+
+    /// Minimum squared distance from a point to this rectangle.
+    pub fn min_dist2(&self, x: f64, y: f64) -> f64 {
+        let dx = (self.min[0] - x).max(0.0).max(x - self.max[0]);
+        let dy = (self.min[1] - y).max(0.0).max(y - self.max[1]);
+        dx * dx + dy * dy
+    }
+}
+
+const MAX_ENTRIES: usize = 8;
+const MIN_ENTRIES: usize = 3;
+
+enum RNode<T> {
+    Leaf(Vec<(Rect, T)>),
+    Internal(Vec<(Rect, RNode<T>)>),
+}
+
+impl<T> RNode<T> {
+    fn mbr(&self) -> Rect {
+        let rects: Vec<Rect> = match self {
+            RNode::Leaf(es) => es.iter().map(|(r, _)| *r).collect(),
+            RNode::Internal(es) => es.iter().map(|(r, _)| *r).collect(),
+        };
+        rects
+            .iter()
+            .skip(1)
+            .fold(rects[0], |acc, r| acc.union(r))
+    }
+
+}
+
+/// The R-tree.
+pub struct RTree<T> {
+    root: RNode<T>,
+    len: usize,
+}
+
+impl<T> Default for RTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> RTree<T> {
+    /// Empty tree.
+    pub fn new() -> Self {
+        RTree { root: RNode::Leaf(Vec::new()), len: 0 }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert an entry.
+    pub fn insert(&mut self, rect: Rect, value: T) {
+        self.len += 1;
+        if let Some(right) = Self::insert_rec(&mut self.root, rect, value) {
+            // Root split: grow the tree by one level.
+            let left = std::mem::replace(&mut self.root, RNode::Leaf(Vec::new()));
+            self.root = RNode::Internal(vec![(left.mbr(), left), (right.mbr(), right)]);
+        }
+    }
+
+    /// Insert into the subtree; when the node splits, it keeps the left
+    /// half and returns the split-off right sibling for the parent to link.
+    fn insert_rec(node: &mut RNode<T>, rect: Rect, value: T) -> Option<RNode<T>> {
+        match node {
+            RNode::Leaf(entries) => {
+                entries.push((rect, value));
+                if entries.len() <= MAX_ENTRIES {
+                    return None;
+                }
+                let (left, right) = quadratic_split(std::mem::take(entries));
+                *node = RNode::Leaf(left);
+                Some(RNode::Leaf(right))
+            }
+            RNode::Internal(entries) => {
+                // Choose the child needing least enlargement (area breaks ties).
+                let idx = entries
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, (r1, _)), (_, (r2, _))| {
+                        r1.enlargement(&rect)
+                            .partial_cmp(&r2.enlargement(&rect))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(
+                                r1.area()
+                                    .partial_cmp(&r2.area())
+                                    .unwrap_or(std::cmp::Ordering::Equal),
+                            )
+                    })
+                    .map(|(i, _)| i)
+                    .expect("internal node has children");
+                match Self::insert_rec(&mut entries[idx].1, rect, value) {
+                    None => {
+                        entries[idx].0 = entries[idx].0.union(&rect);
+                        None
+                    }
+                    Some(split_off) => {
+                        entries[idx].0 = entries[idx].1.mbr();
+                        entries.push((split_off.mbr(), split_off));
+                        if entries.len() <= MAX_ENTRIES {
+                            return None;
+                        }
+                        let (left, right) = quadratic_split(std::mem::take(entries));
+                        *node = RNode::Internal(left);
+                        Some(RNode::Internal(right))
+                    }
+                }
+            }
+        }
+    }
+
+    /// All entries whose rectangle intersects `window`.
+    pub fn search(&self, window: &Rect) -> Vec<(&Rect, &T)> {
+        let mut out = Vec::new();
+        Self::search_rec(&self.root, window, &mut out);
+        out
+    }
+
+    fn search_rec<'a>(node: &'a RNode<T>, window: &Rect, out: &mut Vec<(&'a Rect, &'a T)>) {
+        match node {
+            RNode::Leaf(entries) => {
+                for (r, v) in entries {
+                    if r.intersects(window) {
+                        out.push((r, v));
+                    }
+                }
+            }
+            RNode::Internal(entries) => {
+                for (r, child) in entries {
+                    if r.intersects(window) {
+                        Self::search_rec(child, window, out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The `k` entries nearest to `(x, y)` by rectangle distance,
+    /// best-first search.
+    pub fn nearest(&self, x: f64, y: f64, k: usize) -> Vec<(&Rect, &T)> {
+        use std::collections::BinaryHeap;
+        // Min-heap via reversed ordering on distance.
+        struct Cand<'a, T> {
+            dist2: f64,
+            node: Option<&'a RNode<T>>,
+            entry: Option<(&'a Rect, &'a T)>,
+        }
+        impl<T> PartialEq for Cand<'_, T> {
+            fn eq(&self, o: &Self) -> bool {
+                self.dist2 == o.dist2
+            }
+        }
+        impl<T> Eq for Cand<'_, T> {}
+        impl<T> PartialOrd for Cand<'_, T> {
+            fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+        impl<T> Ord for Cand<'_, T> {
+            fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                // Reverse for min-heap.
+                o.dist2.partial_cmp(&self.dist2).unwrap_or(std::cmp::Ordering::Equal)
+            }
+        }
+        let mut heap = BinaryHeap::new();
+        heap.push(Cand { dist2: 0.0, node: Some(&self.root), entry: None });
+        let mut out = Vec::new();
+        while let Some(c) = heap.pop() {
+            if let Some(e) = c.entry {
+                out.push(e);
+                if out.len() == k {
+                    break;
+                }
+                continue;
+            }
+            match c.node.expect("node or entry") {
+                RNode::Leaf(entries) => {
+                    for (r, v) in entries {
+                        heap.push(Cand { dist2: r.min_dist2(x, y), node: None, entry: Some((r, v)) });
+                    }
+                }
+                RNode::Internal(entries) => {
+                    for (r, child) in entries {
+                        heap.push(Cand { dist2: r.min_dist2(x, y), node: Some(child), entry: None });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Guttman's quadratic split.
+fn quadratic_split<E>(mut entries: Vec<(Rect, E)>) -> (Vec<(Rect, E)>, Vec<(Rect, E)>) {
+    // Pick the pair wasting the most area as seeds.
+    let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
+    for i in 0..entries.len() {
+        for j in i + 1..entries.len() {
+            let waste = entries[i].0.union(&entries[j].0).area()
+                - entries[i].0.area()
+                - entries[j].0.area();
+            if waste > worst {
+                worst = waste;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+    // Take the higher index first so removal doesn't shift the other.
+    let e2 = entries.remove(s2);
+    let e1 = entries.remove(s1);
+    let mut left = vec![e1];
+    let mut right = vec![e2];
+    let (mut lmbr, mut rmbr) = (left[0].0, right[0].0);
+    while let Some(e) = entries.pop() {
+        // Force balance when one side must take everything remaining.
+        if left.len() + entries.len() + 1 == MIN_ENTRIES {
+            lmbr = lmbr.union(&e.0);
+            left.push(e);
+            continue;
+        }
+        if right.len() + entries.len() + 1 == MIN_ENTRIES {
+            rmbr = rmbr.union(&e.0);
+            right.push(e);
+            continue;
+        }
+        if lmbr.enlargement(&e.0) <= rmbr.enlargement(&e.0) {
+            lmbr = lmbr.union(&e.0);
+            left.push(e);
+        } else {
+            rmbr = rmbr.union(&e.0);
+            right.push(e);
+        }
+    }
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_geometry() {
+        let a = Rect::new([0.0, 0.0], [2.0, 2.0]);
+        let b = Rect::new([1.0, 1.0], [3.0, 3.0]);
+        assert!(a.intersects(&b));
+        assert_eq!(a.union(&b), Rect::new([0.0, 0.0], [3.0, 3.0]));
+        assert_eq!(a.area(), 4.0);
+        assert!(a.contains(&Rect::point(1.0, 1.0)));
+        assert!(!a.contains(&b));
+        let far = Rect::new([10.0, 10.0], [11.0, 11.0]);
+        assert!(!a.intersects(&far));
+        assert_eq!(far.min_dist2(10.5, 9.0), 1.0);
+        assert_eq!(far.min_dist2(10.5, 10.5), 0.0);
+    }
+
+    #[test]
+    fn window_search_on_grid() {
+        let mut t = RTree::new();
+        for x in 0..20 {
+            for y in 0..20 {
+                t.insert(Rect::point(x as f64, y as f64), (x, y));
+            }
+        }
+        assert_eq!(t.len(), 400);
+        let hits = t.search(&Rect::new([2.5, 2.5], [5.5, 4.5]));
+        // x ∈ {3,4,5}, y ∈ {3,4}: 6 points.
+        assert_eq!(hits.len(), 6);
+        let empty = t.search(&Rect::new([100.0, 100.0], [101.0, 101.0]));
+        assert!(empty.is_empty());
+        // Full window returns all.
+        assert_eq!(t.search(&Rect::new([-1.0, -1.0], [21.0, 21.0])).len(), 400);
+    }
+
+    #[test]
+    fn nearest_neighbours() {
+        let mut t = RTree::new();
+        for x in 0..10 {
+            for y in 0..10 {
+                t.insert(Rect::point(x as f64 * 10.0, y as f64 * 10.0), (x, y));
+            }
+        }
+        let near = t.nearest(12.0, 13.0, 1);
+        assert_eq!(*near[0].1, (1, 1), "closest grid point to (12,13) is (10,10)");
+        let near3 = t.nearest(0.0, 0.0, 3);
+        assert_eq!(near3.len(), 3);
+        assert_eq!(*near3[0].1, (0, 0));
+        // Distances are non-decreasing.
+        let d: Vec<f64> = near3.iter().map(|(r, _)| r.min_dist2(0.0, 0.0)).collect();
+        assert!(d.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn overlapping_rectangles() {
+        let mut t = RTree::new();
+        t.insert(Rect::new([0.0, 0.0], [10.0, 10.0]), "big");
+        t.insert(Rect::new([2.0, 2.0], [3.0, 3.0]), "small");
+        t.insert(Rect::new([20.0, 20.0], [30.0, 30.0]), "far");
+        let hits = t.search(&Rect::point(2.5, 2.5));
+        let names: Vec<&str> = hits.iter().map(|(_, v)| **v).collect();
+        assert!(names.contains(&"big") && names.contains(&"small"));
+        assert!(!names.contains(&"far"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Property tests for the index substrate: every structure against a
+//! shadow model or an exhaustive reference computation.
+
+use std::ops::Bound;
+
+use proptest::prelude::*;
+
+use mmdb_index::bitmap::Bitmap;
+use mmdb_index::gin::{DocId, GinIndex};
+use mmdb_index::ordpath::OrdPath;
+use mmdb_index::rtree::{RTree, Rect};
+use mmdb_index::{BPlusTree, ExtendibleHashMap, GinMode};
+use mmdb_types::{from_json, Value};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// B+-tree == BTreeMap under mixed insert/remove, plus range scans.
+    #[test]
+    fn btree_matches_btreemap(
+        ops in prop::collection::vec((0i64..500, any::<bool>()), 0..600),
+        lo in 0i64..500,
+        width in 0i64..200,
+    ) {
+        let mut tree = BPlusTree::new();
+        let mut shadow = std::collections::BTreeMap::new();
+        for (k, is_insert) in ops {
+            if is_insert {
+                prop_assert_eq!(tree.insert(k, k * 2), shadow.insert(k, k * 2));
+            } else {
+                prop_assert_eq!(tree.remove(&k), shadow.remove(&k));
+            }
+        }
+        tree.check_invariants();
+        prop_assert_eq!(tree.len(), shadow.len());
+        let hi = lo + width;
+        let got: Vec<(i64, i64)> = tree
+            .range(Bound::Included(&lo), Bound::Excluded(&hi))
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        let want: Vec<(i64, i64)> = shadow.range(lo..hi).map(|(k, v)| (*k, *v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Extendible hash == HashMap.
+    #[test]
+    fn exthash_matches_hashmap(ops in prop::collection::vec((0u32..300, any::<bool>()), 0..500)) {
+        let mut map = ExtendibleHashMap::new();
+        let mut shadow = std::collections::HashMap::new();
+        for (k, is_insert) in ops {
+            if is_insert {
+                prop_assert_eq!(map.insert(k, k as u64), shadow.insert(k, k as u64));
+            } else {
+                prop_assert_eq!(map.remove(&k), shadow.remove(&k));
+            }
+        }
+        prop_assert_eq!(map.len(), shadow.len());
+        for (k, v) in &shadow {
+            prop_assert_eq!(map.get(k), Some(v));
+        }
+    }
+
+    /// Bitmap algebra obeys set semantics.
+    #[test]
+    fn bitmap_algebra_is_set_algebra(
+        a in prop::collection::btree_set(0u64..500, 0..80),
+        b in prop::collection::btree_set(0u64..500, 0..80),
+    ) {
+        let ba: Bitmap = a.iter().copied().collect();
+        let bb: Bitmap = b.iter().copied().collect();
+        let and: Vec<u64> = ba.and(&bb).iter().collect();
+        let or: Vec<u64> = ba.or(&bb).iter().collect();
+        let diff: Vec<u64> = ba.and_not(&bb).iter().collect();
+        prop_assert_eq!(and, a.intersection(&b).copied().collect::<Vec<_>>());
+        prop_assert_eq!(or, a.union(&b).copied().collect::<Vec<_>>());
+        prop_assert_eq!(diff, a.difference(&b).copied().collect::<Vec<_>>());
+        prop_assert_eq!(ba.count(), a.len() as u64);
+    }
+
+    /// GIN candidates are always a superset of true containment matches,
+    /// in both operator classes; recheck yields exactness.
+    #[test]
+    fn gin_candidates_are_lossy_supersets(
+        docs in prop::collection::vec(
+            prop::collection::btree_map("[a-d]{1}", 0i64..4, 1..4), 1..30),
+        pattern in prop::collection::btree_map("[a-d]{1}", 0i64..4, 1..2),
+    ) {
+        let to_value = |m: &std::collections::BTreeMap<String, i64>| {
+            Value::object(m.iter().map(|(k, v)| (k.clone(), Value::int(*v))))
+        };
+        let values: Vec<Value> = docs.iter().map(&to_value).collect();
+        let pat = to_value(&pattern);
+        for mode in [GinMode::JsonbOps, GinMode::JsonbPathOps] {
+            let mut idx = GinIndex::new(mode);
+            for (i, d) in values.iter().enumerate() {
+                idx.insert(i as DocId, d);
+            }
+            let cands = idx.contains_candidates(&pat).unwrap();
+            let truth: Vec<DocId> = values
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| d.contains(&pat))
+                .map(|(i, _)| i as DocId)
+                .collect();
+            for t in &truth {
+                prop_assert!(cands.contains(t), "mode {mode:?} missed a true match");
+            }
+            let rechecked: Vec<DocId> = cands
+                .into_iter()
+                .filter(|&i| values[i as usize].contains(&pat))
+                .collect();
+            prop_assert_eq!(rechecked, truth);
+        }
+    }
+
+    /// ORDPATH `between` always produces a strictly-between label, and
+    /// repeated insertion keeps a sorted sequence sorted.
+    #[test]
+    fn ordpath_between_stays_ordered(splits in prop::collection::vec(0usize..20, 1..40)) {
+        let root = OrdPath::root();
+        let mut labels = vec![root.child(0), root.child(1)];
+        for s in splits {
+            let i = s % (labels.len() - 1);
+            let mid = OrdPath::between(&labels[i], &labels[i + 1]);
+            prop_assert!(labels[i] < mid && mid < labels[i + 1],
+                "{} < {} < {} violated", labels[i], mid, labels[i + 1]);
+            labels.insert(i + 1, mid);
+        }
+        prop_assert!(labels.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// R-tree window search equals a linear filter.
+    #[test]
+    fn rtree_search_matches_linear_scan(
+        points in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 0..150),
+        wx in 0.0f64..100.0,
+        wy in 0.0f64..100.0,
+        ww in 0.0f64..50.0,
+        wh in 0.0f64..50.0,
+    ) {
+        let mut tree = RTree::new();
+        for (i, (x, y)) in points.iter().enumerate() {
+            tree.insert(Rect::point(*x, *y), i);
+        }
+        let window = Rect::new([wx, wy], [wx + ww, wy + wh]);
+        let mut got: Vec<usize> = tree.search(&window).into_iter().map(|(_, &i)| i).collect();
+        got.sort_unstable();
+        let want: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, (x, y))| window.intersects(&Rect::point(*x, *y)))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// R-tree nearest(k=1) equals the argmin of distances.
+    #[test]
+    fn rtree_nearest_matches_argmin(
+        points in prop::collection::vec((0.0f64..100.0, 0.0f64..100.0), 1..100),
+        qx in 0.0f64..100.0,
+        qy in 0.0f64..100.0,
+    ) {
+        let mut tree = RTree::new();
+        for (i, (x, y)) in points.iter().enumerate() {
+            tree.insert(Rect::point(*x, *y), i);
+        }
+        let got = tree.nearest(qx, qy, 1);
+        let got_d = got[0].0.min_dist2(qx, qy);
+        let best = points
+            .iter()
+            .map(|(x, y)| (x - qx).powi(2) + (y - qy).powi(2))
+            .fold(f64::INFINITY, f64::min);
+        prop_assert!((got_d - best).abs() < 1e-9, "got {got_d}, best {best}");
+    }
+}
+
+#[test]
+fn gin_mode_debug_names() {
+    // Keep GinMode Debug-printable for the proptest message above.
+    assert_eq!(format!("{:?}", GinMode::JsonbOps), "JsonbOps");
+}
+
+#[test]
+fn from_json_available_for_gin_docs() {
+    // (Compile-time guard that the dev-dependency wiring stays intact.)
+    let v = from_json(r#"{"a":1}"#).unwrap();
+    assert_eq!(v.get_field("a"), &Value::int(1));
+}

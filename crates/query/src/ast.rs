@@ -1,0 +1,190 @@
+//! The MMQL abstract syntax tree.
+
+use mmdb_types::Value;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` / `AND`
+    And,
+    /// `||` / `OR`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `IN` — membership in an array.
+    In,
+    /// `LIKE` — SQL-style pattern with `%` and `_`.
+    Like,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// Variable reference.
+    Var(String),
+    /// `base.field`
+    Field(Box<Expr>, String),
+    /// `base[index-expr]`
+    Index(Box<Expr>, Box<Expr>),
+    /// `base[*]` — array expansion; collects the remaining trailing path
+    /// applied to each element (AQL semantics).
+    Spread(Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `!expr`
+    Not(Box<Expr>),
+    /// `-expr`
+    Neg(Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// `[e1, e2, …]`
+    Array(Vec<Expr>),
+    /// `{k: v, …}`
+    Object(Vec<(String, Expr)>),
+    /// `( FOR … RETURN … )` — subquery producing an array.
+    Subquery(Box<Query>),
+    /// `cond ? a : b`
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Literal helper.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Variable helper.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+
+    /// Field access helper.
+    pub fn field(self, name: &str) -> Expr {
+        Expr::Field(Box::new(self), name.to_string())
+    }
+}
+
+/// Traversal direction keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraversalDirection {
+    /// `OUTBOUND`
+    Outbound,
+    /// `INBOUND`
+    Inbound,
+    /// `ANY`
+    Any,
+}
+
+/// Sort direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Ascending (default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// Aggregate functions in COLLECT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Row count.
+    Count,
+    /// Numeric sum.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Average.
+    Avg,
+}
+
+/// Query clauses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    /// `FOR var IN source` — source is a collection name (as `Var`) or any
+    /// array-valued expression.
+    For {
+        /// Loop variable.
+        var: String,
+        /// Iterated expression.
+        source: Expr,
+    },
+    /// `FOR var IN min..max DIRECTION start edgeCollection` — graph
+    /// traversal; binds `var` to each visited vertex document.
+    Traverse {
+        /// Vertex variable.
+        var: String,
+        /// Minimum depth.
+        min_depth: u32,
+        /// Maximum depth.
+        max_depth: u32,
+        /// Direction.
+        direction: TraversalDirection,
+        /// Start-vertex expression (a `collection/key` handle string).
+        start: Box<Expr>,
+        /// Edge collection name.
+        edges: String,
+    },
+    /// `FILTER expr`
+    Filter(Expr),
+    /// `LET var = expr`
+    Let {
+        /// Bound variable.
+        var: String,
+        /// Value expression.
+        value: Expr,
+    },
+    /// `SORT expr [ASC|DESC] (, expr [ASC|DESC])*`
+    Sort(Vec<(Expr, SortOrder)>),
+    /// `LIMIT [offset,] count`
+    Limit {
+        /// Rows to skip.
+        offset: usize,
+        /// Rows to keep.
+        count: usize,
+    },
+    /// `COLLECT key = expr [INTO group] [AGGREGATE name = F(expr), …]`
+    Collect {
+        /// Group key: `(var, key expression)`; `None` groups everything
+        /// into one group (pure aggregation).
+        key: Option<(String, Expr)>,
+        /// `INTO` variable collecting the group's scopes as objects.
+        into: Option<String>,
+        /// Aggregations: `(var, func, argument)`.
+        aggregates: Vec<(String, AggFunc, Expr)>,
+    },
+}
+
+/// A full query: clauses then `RETURN`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Pipeline clauses in order.
+    pub clauses: Vec<Clause>,
+    /// The RETURN expression.
+    pub ret: Expr,
+    /// `RETURN DISTINCT`?
+    pub distinct: bool,
+}

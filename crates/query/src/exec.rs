@@ -1,0 +1,658 @@
+//! The MMQL plan interpreter: a pipeline over binding environments.
+
+use std::collections::HashMap;
+use std::ops::Bound;
+
+use mmdb_graph::Direction;
+use mmdb_types::{Error, Result, Value};
+
+use crate::ast::{AggFunc, Expr, Query, SortOrder, TraversalDirection};
+use crate::eval::eval_expr;
+use crate::plan::{build_plan, Plan, PlanBound, PlanNode};
+use crate::world::World;
+
+/// A binding environment: variable → value.
+///
+/// Implemented as a persistent (structurally shared) frame list so that
+/// `clone()` is O(1) regardless of how large the bound values are — a
+/// `FOR` over N items under an env holding a big `LET` array must not
+/// deep-copy that array N times. Lookups walk the frames (shadowing =
+/// nearest frame wins); the frame count is the number of bound variables,
+/// which MMQL keeps small.
+#[derive(Clone, Default)]
+pub struct Env {
+    head: Option<std::sync::Arc<EnvFrame>>,
+}
+
+struct EnvFrame {
+    name: String,
+    value: Value,
+    parent: Option<std::sync::Arc<EnvFrame>>,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn new() -> Env {
+        Env { head: None }
+    }
+
+    /// Look up a variable (innermost binding wins).
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        let mut cur = self.head.as_deref();
+        while let Some(f) = cur {
+            if f.name == name {
+                return Some(&f.value);
+            }
+            cur = f.parent.as_deref();
+        }
+        None
+    }
+
+    /// Bind (or shadow) a variable. O(1); earlier clones are unaffected.
+    pub fn insert(&mut self, name: String, value: Value) {
+        self.head = Some(std::sync::Arc::new(EnvFrame {
+            name,
+            value,
+            parent: self.head.take(),
+        }));
+    }
+
+    /// Visible bindings (shadowed frames skipped), outermost-first order
+    /// not guaranteed.
+    pub fn bindings(&self) -> Vec<(&str, &Value)> {
+        let mut seen: Vec<&str> = Vec::new();
+        let mut out = Vec::new();
+        let mut cur = self.head.as_deref();
+        while let Some(f) = cur {
+            if !seen.contains(&f.name.as_str()) {
+                seen.push(&f.name);
+                out.push((f.name.as_str(), &f.value));
+            }
+            cur = f.parent.as_deref();
+        }
+        out
+    }
+}
+
+/// Execute a parsed query (plans and optimizes it first).
+pub fn execute_query(world: &World, query: &Query) -> Result<Vec<Value>> {
+    execute_query_with_env(world, query, Env::new())
+}
+
+/// Execute a query with initial bindings (correlated subqueries pass the
+/// enclosing scope here).
+pub fn execute_query_with_env(world: &World, query: &Query, env: Env) -> Result<Vec<Value>> {
+    let plan = crate::optimize::optimize(build_plan(query)?, world);
+    execute_plan_with_env(world, &plan, env)
+}
+
+/// Execute an already-optimized plan.
+pub fn execute_plan(world: &World, plan: &Plan) -> Result<Vec<Value>> {
+    execute_plan_with_env(world, plan, Env::new())
+}
+
+/// Execute a plan from an initial environment.
+pub fn execute_plan_with_env(world: &World, plan: &Plan, env: Env) -> Result<Vec<Value>> {
+    let mut envs = vec![env];
+    for node in &plan.nodes {
+        envs = apply_node(world, node, envs)?;
+        if envs.is_empty() {
+            break;
+        }
+    }
+    let mut out = Vec::with_capacity(envs.len());
+    for env in &envs {
+        out.push(eval_expr(world, env, &plan.ret)?);
+    }
+    if plan.distinct {
+        let mut seen = Vec::new();
+        out.retain(|v| {
+            if seen.contains(v) {
+                false
+            } else {
+                seen.push(v.clone());
+                true
+            }
+        });
+    }
+    Ok(out)
+}
+
+fn apply_node(world: &World, node: &PlanNode, envs: Vec<Env>) -> Result<Vec<Env>> {
+    match node {
+        PlanNode::For { var, source } => {
+            let mut out = Vec::new();
+            for env in envs {
+                let items = resolve_source(world, &env, source)?;
+                for item in items {
+                    let mut e = env.clone();
+                    e.insert(var.clone(), item);
+                    out.push(e);
+                }
+            }
+            Ok(out)
+        }
+        PlanNode::IndexScan { var, source, path, lo, hi, residual } => {
+            let lo_b = plan_bound(lo);
+            let hi_b = plan_bound(hi);
+            let mut out = Vec::new();
+            for env in envs {
+                let docs: Vec<Value> = if let Ok(coll) = world.collection(source) {
+                    coll.range_bounds(path, lo_b, hi_b)?.0
+                } else {
+                    let table = world.catalog.table(source)?;
+                    let schema = table.schema().clone();
+                    table
+                        .select_range(path, lo_b, hi_b)?
+                        .0
+                        .iter()
+                        .map(|row| schema.object_from_row(row))
+                        .collect()
+                };
+                for doc in docs {
+                    let mut e = env.clone();
+                    e.insert(var.clone(), doc);
+                    if let Some(res) = residual {
+                        if !eval_expr(world, &e, res)?.is_truthy() {
+                            continue;
+                        }
+                    }
+                    out.push(e);
+                }
+            }
+            Ok(out)
+        }
+        PlanNode::Traverse { var, min_depth, max_depth, direction, start, edges } => {
+            let dir = match direction {
+                TraversalDirection::Outbound => Direction::Outbound,
+                TraversalDirection::Inbound => Direction::Inbound,
+                TraversalDirection::Any => Direction::Any,
+            };
+            let graph = world.graph_with_edges(edges)?;
+            let spec = mmdb_graph::TraversalSpec {
+                min_depth: *min_depth as usize,
+                max_depth: *max_depth as usize,
+                direction: dir,
+                edge_collection: Some(edges.clone()),
+            };
+            let mut out = Vec::new();
+            for env in envs {
+                let start_v = eval_expr(world, &env, start)?;
+                let Value::String(handle) = start_v else {
+                    if start_v.is_null() {
+                        continue; // null start traverses nothing
+                    }
+                    return Err(Error::Type(format!(
+                        "traversal start must be a 'collection/key' handle string, got {}",
+                        start_v.type_name()
+                    )));
+                };
+                for visited in mmdb_graph::traverse(&graph, &handle, &spec)? {
+                    let Some(mut doc) = graph.vertex(&visited.vertex)? else { continue };
+                    // Attach the handle and depth, like AQL's `_id`.
+                    if let Ok(obj) = doc.as_object_mut() {
+                        obj.insert("_id", Value::str(&visited.vertex));
+                        obj.insert("_depth", Value::int(visited.depth as i64));
+                    }
+                    let mut e = env.clone();
+                    e.insert(var.clone(), doc);
+                    out.push(e);
+                }
+            }
+            Ok(out)
+        }
+        PlanNode::Filter(pred) => {
+            let mut out = Vec::new();
+            for env in envs {
+                if eval_expr(world, &env, pred)?.is_truthy() {
+                    out.push(env);
+                }
+            }
+            Ok(out)
+        }
+        PlanNode::Let { var, value } => {
+            let mut out = Vec::new();
+            for env in envs {
+                let v = eval_expr(world, &env, value)?;
+                let mut e = env;
+                e.insert(var.clone(), v);
+                out.push(e);
+            }
+            Ok(out)
+        }
+        PlanNode::Sort(keys) => {
+            let mut decorated: Vec<(Vec<Value>, Env)> = Vec::with_capacity(envs.len());
+            for env in envs {
+                let mut ks = Vec::with_capacity(keys.len());
+                for (e, _) in keys {
+                    ks.push(eval_expr(world, &env, e)?);
+                }
+                decorated.push((ks, env));
+            }
+            decorated.sort_by(|(a, _), (b, _)| {
+                for (i, (_, order)) in keys.iter().enumerate() {
+                    let c = a[i].cmp(&b[i]);
+                    let c = if *order == SortOrder::Desc { c.reverse() } else { c };
+                    if c != std::cmp::Ordering::Equal {
+                        return c;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            Ok(decorated.into_iter().map(|(_, e)| e).collect())
+        }
+        PlanNode::Limit { offset, count } => {
+            Ok(envs.into_iter().skip(*offset).take(*count).collect())
+        }
+        PlanNode::Collect { key, into, aggregates } => {
+            // Group envs by key value (or one big group).
+            let mut order: Vec<Value> = Vec::new();
+            let mut groups: HashMap<Value, Vec<Env>> = HashMap::new();
+            for env in envs {
+                let k = match key {
+                    Some((_, e)) => eval_expr(world, &env, e)?,
+                    None => Value::Null,
+                };
+                if !groups.contains_key(&k) {
+                    order.push(k.clone());
+                }
+                groups.entry(k).or_default().push(env);
+            }
+            order.sort();
+            let mut out = Vec::with_capacity(order.len());
+            for k in order {
+                let members = groups.remove(&k).expect("group exists");
+                let mut env = Env::new();
+                if let Some((var, _)) = key {
+                    env.insert(var.clone(), k);
+                }
+                if let Some(into_var) = into {
+                    let scopes: Vec<Value> = members
+                        .iter()
+                        .map(|m| {
+                            Value::object(
+                                m.bindings().into_iter().map(|(k, v)| (k.to_string(), v.clone())),
+                            )
+                        })
+                        .collect();
+                    env.insert(into_var.clone(), Value::Array(scopes));
+                }
+                for (var, func, argexpr) in aggregates {
+                    let mut vals = Vec::with_capacity(members.len());
+                    for m in &members {
+                        vals.push(eval_expr(world, m, argexpr)?);
+                    }
+                    env.insert(var.clone(), aggregate(*func, &vals)?);
+                }
+                out.push(env);
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn plan_bound(b: &PlanBound) -> Bound<&Value> {
+    match b {
+        PlanBound::Unbounded => Bound::Unbounded,
+        PlanBound::Included(v) => Bound::Included(v),
+        PlanBound::Excluded(v) => Bound::Excluded(v),
+    }
+}
+
+fn resolve_source(world: &World, env: &Env, source: &Expr) -> Result<Vec<Value>> {
+    // A bare identifier: bound variable first, then store name.
+    if let Expr::Var(name) = source {
+        if let Some(v) = env.get(name) {
+            return as_iterable(v.clone());
+        }
+        return world.scan_source(name);
+    }
+    as_iterable(eval_expr(world, env, source)?)
+}
+
+fn as_iterable(v: Value) -> Result<Vec<Value>> {
+    match v {
+        Value::Array(items) => Ok(items),
+        Value::Null => Ok(Vec::new()),
+        other => Err(Error::Type(format!(
+            "FOR needs an array source, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn aggregate(func: AggFunc, vals: &[Value]) -> Result<Value> {
+    Ok(match func {
+        AggFunc::Count => Value::int(vals.len() as i64),
+        AggFunc::Sum => crate::functions::call_function(
+            World::in_memory_static(),
+            "SUM",
+            vec![Value::Array(vals.to_vec())],
+        )?,
+        AggFunc::Min => vals.iter().filter(|v| !v.is_null()).min().cloned().unwrap_or(Value::Null),
+        AggFunc::Max => vals.iter().max().cloned().unwrap_or(Value::Null),
+        AggFunc::Avg => {
+            let nums: Vec<f64> = vals
+                .iter()
+                .filter_map(|v| match v {
+                    Value::Number(n) => Some(n.as_f64()),
+                    _ => None,
+                })
+                .collect();
+            if nums.is_empty() {
+                Value::Null
+            } else {
+                Value::float(nums.iter().sum::<f64>() / nums.len() as f64)
+            }
+        }
+    })
+}
+
+impl World {
+    /// A process-wide empty world used where builtins need a `World`
+    /// reference but only touch pure functions (aggregate SUM).
+    fn in_memory_static() -> &'static World {
+        static EMPTY: std::sync::OnceLock<World> = std::sync::OnceLock::new();
+        EMPTY.get_or_init(World::in_memory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+    use mmdb_relational::{ColumnDef, DataType, Schema};
+
+    /// Build the paper's slide-27 world: customer relation, social graph,
+    /// shopping-cart kv pairs, order JSON documents.
+    fn paper_world() -> World {
+        let w = World::in_memory();
+        // Customer relation.
+        let t = w
+            .catalog
+            .create_table(
+                "customers",
+                Schema::new(
+                    vec![
+                        ColumnDef::new("id", DataType::Int),
+                        ColumnDef::new("name", DataType::Text),
+                        ColumnDef::new("credit_limit", DataType::Int),
+                    ],
+                    "id",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        for (id, name, limit) in [(1, "Mary", 5000), (2, "John", 3000), (3, "Anne", 2000)] {
+            t.insert(vec![Value::int(id), Value::str(name), Value::int(limit)]).unwrap();
+        }
+        // Social graph: Mary knows John; Anne knows Mary.
+        let g = w.create_graph("social").unwrap();
+        g.create_vertex_collection("persons").unwrap();
+        g.create_edge_collection("knows").unwrap();
+        for id in 1..=3 {
+            g.add_vertex(
+                "persons",
+                mmdb_types::from_json(&format!(r#"{{"_key":"{id}"}}"#)).unwrap(),
+            )
+            .unwrap();
+        }
+        g.add_edge("knows", "persons/1", "persons/2", mmdb_types::from_json("{}").unwrap())
+            .unwrap();
+        g.add_edge("knows", "persons/3", "persons/1", mmdb_types::from_json("{}").unwrap())
+            .unwrap();
+        // Shopping cart (kv).
+        w.kv.create_bucket("cart").unwrap();
+        w.kv.put("cart", "1", Value::str("34e5e759")).unwrap();
+        w.kv.put("cart", "2", Value::str("0c6df508")).unwrap();
+        // Orders (documents).
+        let orders = w.create_collection("orders").unwrap();
+        orders
+            .insert_json(
+                r#"{"_key":"0c6df508","orderlines":[
+                    {"product_no":"2724f","product_name":"Toy","price":66},
+                    {"product_no":"3424g","product_name":"Book","price":40}]}"#,
+            )
+            .unwrap();
+        orders
+            .insert_json(r#"{"_key":"34e5e759","orderlines":[{"product_no":"9999x","price":5}]}"#)
+            .unwrap();
+        w
+    }
+
+    #[test]
+    fn the_paper_recommendation_query() {
+        // "Return all product_no which are ordered by a friend of a
+        // customer whose credit_limit > 3000"  ⇒  ["2724f", "3424g"].
+        let w = paper_world();
+        let got = run(
+            &w,
+            r#"
+            FOR c IN customers
+              FILTER c.credit_limit > 3000
+              FOR friend IN 1..1 OUTBOUND CONCAT("persons/", c.id) knows
+                LET order = DOC("orders", KV_GET("cart", friend._key))
+                FOR line IN order.orderlines
+                  RETURN line.product_no
+            "#,
+        )
+        .unwrap();
+        assert_eq!(got, vec![Value::str("2724f"), Value::str("3424g")]);
+    }
+
+    #[test]
+    fn filter_sort_limit() {
+        let w = paper_world();
+        let got = run(
+            &w,
+            "FOR c IN customers SORT c.credit_limit DESC LIMIT 2 RETURN c.name",
+        )
+        .unwrap();
+        assert_eq!(got, vec![Value::str("Mary"), Value::str("John")]);
+        let got = run(&w, "FOR c IN customers SORT c.name LIMIT 1, 1 RETURN c.name").unwrap();
+        assert_eq!(got, vec![Value::str("John")]);
+    }
+
+    #[test]
+    fn let_and_subquery() {
+        let w = paper_world();
+        let got = run(
+            &w,
+            r#"
+            LET rich = (FOR c IN customers FILTER c.credit_limit >= 3000 RETURN c.name)
+            FOR n IN rich
+              RETURN UPPER(n)
+            "#,
+        )
+        .unwrap();
+        assert_eq!(got, vec![Value::str("MARY"), Value::str("JOHN")]);
+    }
+
+    #[test]
+    fn correlated_subquery() {
+        let w = paper_world();
+        let got = run(
+            &w,
+            r#"
+            FOR c IN customers
+              LET doubled = (FOR x IN [1] RETURN c.credit_limit * 2)
+              SORT c.id
+              RETURN doubled[0]
+            "#,
+        )
+        .unwrap();
+        assert_eq!(got, vec![Value::int(10000), Value::int(6000), Value::int(4000)]);
+    }
+
+    #[test]
+    fn collect_group_and_aggregate() {
+        let w = World::in_memory();
+        let c = w.create_collection("sales").unwrap();
+        for (grp, amount) in [("a", 10), ("b", 5), ("a", 20), ("b", 7), ("a", 30)] {
+            c.insert_json(&format!(r#"{{"grp":"{grp}","amount":{amount}}}"#)).unwrap();
+        }
+        let got = run(
+            &w,
+            r#"
+            FOR s IN sales
+              COLLECT g = s.grp AGGREGATE total = SUM(s.amount), n = COUNT()
+              SORT g
+              RETURN {grp: g, total: total, n: n}
+            "#,
+        )
+        .unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].get_field("total"), &Value::int(60));
+        assert_eq!(got[0].get_field("n"), &Value::int(3));
+        assert_eq!(got[1].get_field("total"), &Value::int(12));
+    }
+
+    #[test]
+    fn collect_into_groups() {
+        let w = World::in_memory();
+        let c = w.create_collection("sales").unwrap();
+        for (grp, amount) in [("a", 10), ("b", 5), ("a", 20)] {
+            c.insert_json(&format!(r#"{{"grp":"{grp}","amount":{amount}}}"#)).unwrap();
+        }
+        let got = run(
+            &w,
+            "FOR s IN sales COLLECT g = s.grp INTO members RETURN LENGTH(members)",
+        )
+        .unwrap();
+        assert_eq!(got, vec![Value::int(2), Value::int(1)]);
+    }
+
+    #[test]
+    fn distinct_results() {
+        let w = World::in_memory();
+        let got = run(&w, "FOR x IN [1,2,2,3,1] RETURN DISTINCT x").unwrap();
+        assert_eq!(got, vec![Value::int(1), Value::int(2), Value::int(3)]);
+    }
+
+    #[test]
+    fn for_over_expression_and_null() {
+        let w = World::in_memory();
+        let got = run(&w, "FOR x IN RANGE(1, 3) RETURN x * x").unwrap();
+        assert_eq!(got, vec![Value::int(1), Value::int(4), Value::int(9)]);
+        let got = run(&w, "LET a = NULL FOR x IN a RETURN x").unwrap();
+        assert!(got.is_empty());
+        assert!(run(&w, "FOR x IN 42 RETURN x").is_err());
+    }
+
+    #[test]
+    fn bound_variable_shadows_nothing_but_unbound_name_errors() {
+        let w = World::in_memory();
+        assert!(matches!(run(&w, "FOR x IN nothere RETURN x"), Err(Error::NotFound(_))));
+        let got = run(&w, "LET nothere = [7] FOR x IN nothere RETURN x").unwrap();
+        assert_eq!(got, vec![Value::int(7)]);
+    }
+
+    #[test]
+    fn index_scan_agrees_with_full_scan() {
+        let w = World::in_memory();
+        let c = w.create_collection("products").unwrap();
+        for i in 0..200 {
+            c.insert_json(&format!(r#"{{"_key":"p{i}","price":{},"cat":{}}}"#, i % 50, i % 3))
+                .unwrap();
+        }
+        let q = "FOR p IN products FILTER p.price >= 10 && p.price < 12 && p.cat == 0 SORT p._key RETURN p._key";
+        let unindexed = run(&w, q).unwrap();
+        c.create_persistent_index("price").unwrap();
+        let indexed = run(&w, q).unwrap();
+        assert_eq!(unindexed, indexed);
+        assert!(!indexed.is_empty());
+    }
+
+    #[test]
+    fn traversal_depths_and_inbound() {
+        let w = paper_world();
+        // Who knows Mary (inbound)?
+        let got = run(
+            &w,
+            r#"FOR v IN 1..1 INBOUND "persons/1" knows RETURN v._key"#,
+        )
+        .unwrap();
+        assert_eq!(got, vec![Value::str("3")]);
+        // Two hops outbound from Anne: Mary (1), John (2).
+        let got = run(
+            &w,
+            r#"FOR v IN 1..2 OUTBOUND "persons/3" knows SORT v._depth RETURN [v._key, v._depth]"#,
+        )
+        .unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], Value::array([Value::str("1"), Value::int(1)]));
+        assert_eq!(got[1], Value::array([Value::str("2"), Value::int(2)]));
+    }
+
+    #[test]
+    fn cross_model_functions_in_queries() {
+        let w = paper_world();
+        // RDF.
+        w.rdf.write().insert(mmdb_rdf::Triple::new("mary", "likes", "toys")).unwrap();
+        let got = run(&w, r#"FOR t IN TRIPLES("mary", NULL, NULL) RETURN t.p"#).unwrap();
+        assert_eq!(got, vec![Value::str("likes")]);
+        // XML.
+        w.register_xml(
+            "catalog",
+            mmdb_xml::parse_xml(r#"<catalog><product no="1"><name>Toy</name></product></catalog>"#)
+                .unwrap(),
+        );
+        let got = run(&w, r#"RETURN XPATH("catalog", "/catalog/product/name")"#).unwrap();
+        assert_eq!(got, vec![Value::array([Value::str("Toy")])]);
+        // Fulltext.
+        let c = w.create_collection("reviews").unwrap();
+        c.insert_json(r#"{"_key":"r1","text":"great wooden toy"}"#).unwrap();
+        c.insert_json(r#"{"_key":"r2","text":"awful book"}"#).unwrap();
+        w.create_fulltext_index("review_text", "reviews", "text").unwrap();
+        let got = run(&w, r#"FOR r IN FULLTEXT("review_text", "toy") RETURN r._key"#).unwrap();
+        assert_eq!(got, vec![Value::str("r1")]);
+        // Graph helper functions.
+        let got = run(
+            &w,
+            r#"RETURN SHORTEST_PATH("persons/3", "persons/2", "knows").cost"#,
+        )
+        .unwrap();
+        assert_eq!(got, vec![Value::float(2.0)]);
+        let got = run(&w, r#"RETURN NEIGHBORS("persons/1", "knows", "ANY")"#).unwrap();
+        assert_eq!(
+            got,
+            vec![Value::array([Value::str("persons/2"), Value::str("persons/3")])]
+        );
+    }
+
+    #[test]
+    fn spatial_functions() {
+        let w = World::in_memory();
+        w.create_spatial_index("shops").unwrap();
+        for (x, y, name) in [(0.0, 0.0, "a"), (5.0, 5.0, "b"), (100.0, 100.0, "far")] {
+            w.spatial_insert("shops", x, y, Value::str(name)).unwrap();
+        }
+        let got = run(&w, r#"RETURN GEO_WITHIN("shops", -1, -1, 10, 10)"#).unwrap();
+        assert_eq!(got, vec![Value::array([Value::str("a"), Value::str("b")])]);
+        let got = run(&w, r#"RETURN GEO_NEAREST("shops", 90, 90, 1)"#).unwrap();
+        assert_eq!(got, vec![Value::array([Value::str("far")])]);
+        assert!(run(&w, r#"RETURN GEO_WITHIN("nope", 0, 0, 1, 1)"#).is_err());
+        assert!(w.create_spatial_index("shops").is_err());
+    }
+
+    #[test]
+    fn kv_bucket_iteration() {
+        let w = paper_world();
+        let got = run(&w, "FOR e IN cart SORT e._key RETURN e.value").unwrap();
+        assert_eq!(got, vec![Value::str("34e5e759"), Value::str("0c6df508")]);
+    }
+
+    #[test]
+    fn spread_in_return_like_the_paper() {
+        let w = paper_world();
+        let got = run(
+            &w,
+            r#"LET order = DOC("orders", "0c6df508") RETURN order.orderlines[*].product_no"#,
+        )
+        .unwrap();
+        assert_eq!(
+            got,
+            vec![Value::array([Value::str("2724f"), Value::str("3424g")])]
+        );
+    }
+}

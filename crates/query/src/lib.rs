@@ -1,0 +1,56 @@
+//! # mmdb-query — MMQL, the unified multi-model query language
+//!
+//! The tutorial's second open challenge: "a new unified query language
+//! can query multi-model data together". MMQL is that language for mmdb —
+//! AQL-flavoured (`FOR … FILTER … RETURN`, the shape of the paper's
+//! ArangoDB recommendation query) with graph-traversal clauses, document
+//! path navigation, grouping/aggregation, and cross-model functions
+//! reaching the key/value, RDF, XML and full-text models:
+//!
+//! ```text
+//! LET ids = (FOR c IN customers FILTER c.credit_limit > 3000 RETURN c._key)
+//! FOR id IN ids
+//!   FOR friend IN 1..1 OUTBOUND CONCAT("customers/", id) knows
+//!     LET order = DOC("orders", KV_GET("cart", friend._key))
+//!     RETURN order.orderlines[*].product_no
+//! ```
+//!
+//! Pipeline: [`lex`] → [`parse`] → [`plan`] (logical operators) →
+//! [`optimize`] (predicate pushdown + index selection) → [`exec`]
+//! (bindings interpreter over a [`world::World`] of model stores).
+//! [`sql`] is a second frontend: a SQL `SELECT` subset compiling onto the
+//! same logical plan, demonstrating the "one algebra, many syntaxes"
+//! architecture the tutorial ascribes to multi-model engines.
+
+pub mod ast;
+pub mod eval;
+pub mod exec;
+pub mod functions;
+pub mod lex;
+pub mod optimize;
+pub mod parse;
+pub mod plan;
+pub mod sql;
+pub mod world;
+
+pub use exec::execute_query;
+pub use parse::parse_query;
+pub use world::World;
+
+use mmdb_types::{Result, Value};
+
+/// Parse, plan, optimize and run an MMQL query against a world.
+pub fn run(world: &World, text: &str) -> Result<Vec<Value>> {
+    let query = parse_query(text)?;
+    let plan = plan::build_plan(&query)?;
+    let plan = optimize::optimize(plan, world);
+    exec::execute_plan(world, &plan)
+}
+
+/// Parse and run a SQL SELECT against a world.
+pub fn run_sql(world: &World, text: &str) -> Result<Vec<Value>> {
+    let query = sql::parse_sql(text)?;
+    let plan = plan::build_plan(&query)?;
+    let plan = optimize::optimize(plan, world);
+    exec::execute_plan(world, &plan)
+}

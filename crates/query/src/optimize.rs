@@ -1,0 +1,385 @@
+//! The rule-based optimizer.
+//!
+//! Rules, in order:
+//!
+//! 1. **Constant folding** — literal subexpressions collapse
+//!    (`2 * 3 > 5` → `true`).
+//! 2. **Filter merging** — adjacent FILTERs conjoin, so later rules see
+//!    one predicate.
+//! 3. **Index selection** — a `For` over a named source immediately
+//!    followed by a `Filter` whose conjuncts include `var.path op literal`
+//!    becomes an `IndexScan` when the source has a matching persistent
+//!    (document) or secondary (relational) index; leftover conjuncts stay
+//!    as the scan's residual predicate. This is the tutorial's
+//!    "query optimization = pick the right index" story in miniature.
+
+use mmdb_types::Value;
+
+use crate::ast::{BinOp, Expr};
+use crate::eval::like_match;
+use crate::plan::{Plan, PlanBound, PlanNode};
+use crate::world::World;
+
+/// Optimize a plan against a world (index metadata lookups only).
+pub fn optimize(mut plan: Plan, world: &World) -> Plan {
+    // 1. Constant folding everywhere.
+    for node in &mut plan.nodes {
+        match node {
+            PlanNode::For { source, .. } => fold(source),
+            PlanNode::Filter(e) => fold(e),
+            PlanNode::Let { value, .. } => fold(value),
+            PlanNode::Sort(keys) => keys.iter_mut().for_each(|(e, _)| fold(e)),
+            PlanNode::Traverse { start, .. } => fold(start),
+            _ => {}
+        }
+    }
+    fold(&mut plan.ret);
+
+    // 2. Merge adjacent filters.
+    let mut merged: Vec<PlanNode> = Vec::with_capacity(plan.nodes.len());
+    for node in plan.nodes {
+        if let (PlanNode::Filter(b), Some(PlanNode::Filter(a))) = (&node, merged.last_mut()) {
+            *a = Expr::Binary(BinOp::And, Box::new(a.clone()), Box::new(b.clone()));
+            continue;
+        }
+        merged.push(node);
+    }
+
+    // 3. Index selection on For+Filter pairs.
+    let mut out: Vec<PlanNode> = Vec::with_capacity(merged.len());
+    let mut iter = merged.into_iter().peekable();
+    while let Some(node) = iter.next() {
+        if let PlanNode::For { var, source: Expr::Var(name) } = &node {
+            if let Some(PlanNode::Filter(pred)) = iter.peek() {
+                if let Some(scan) = try_index_scan(world, var, name, pred) {
+                    iter.next(); // consume the filter
+                    out.push(scan);
+                    continue;
+                }
+            }
+        }
+        out.push(node);
+    }
+    plan.nodes = out;
+    plan
+}
+
+/// A single extracted comparison `var.path op literal`.
+struct PathCmp {
+    path: String,
+    op: BinOp,
+    value: Value,
+}
+
+fn try_index_scan(world: &World, var: &str, source: &str, pred: &Expr) -> Option<PlanNode> {
+    // The name must be a real store (not a bound variable at runtime) —
+    // conservative: only document collections and tables are indexable,
+    // and a bound variable shadowing a store name would change semantics,
+    // so require the name to resolve.
+    let indexed_paths: Vec<String> = if let Ok(coll) = world.collection(source) {
+        coll.indexed_paths()
+    } else if let Ok(table) = world.catalog.table(source) {
+        table.indexed_columns()
+    } else {
+        return None;
+    };
+    if indexed_paths.is_empty() {
+        return None;
+    }
+    let mut conjuncts = Vec::new();
+    split_conjuncts(pred, &mut conjuncts);
+    // Find the first conjunct whose path has an index.
+    let mut chosen: Option<(usize, PathCmp)> = None;
+    for (i, c) in conjuncts.iter().enumerate() {
+        if let Some(pc) = extract_path_cmp(c, var) {
+            if indexed_paths.contains(&pc.path) {
+                chosen = Some((i, pc));
+                break;
+            }
+        }
+    }
+    let (idx, pc) = chosen?;
+    let (lo, hi) = match pc.op {
+        BinOp::Eq => (PlanBound::Included(pc.value.clone()), PlanBound::Included(pc.value)),
+        BinOp::Lt => (PlanBound::Unbounded, PlanBound::Excluded(pc.value)),
+        BinOp::Le => (PlanBound::Unbounded, PlanBound::Included(pc.value)),
+        BinOp::Gt => (PlanBound::Excluded(pc.value), PlanBound::Unbounded),
+        BinOp::Ge => (PlanBound::Included(pc.value), PlanBound::Unbounded),
+        _ => return None,
+    };
+    // Rebuild the residual from the remaining conjuncts.
+    let residual = conjuncts
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| *i != idx)
+        .map(|(_, e)| e.clone())
+        .reduce(|a, b| Expr::Binary(BinOp::And, Box::new(a), Box::new(b)));
+    Some(PlanNode::IndexScan {
+        var: var.to_string(),
+        source: source.to_string(),
+        path: pc.path,
+        lo,
+        hi,
+        residual,
+    })
+}
+
+fn split_conjuncts<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+    if let Expr::Binary(BinOp::And, a, b) = e {
+        split_conjuncts(a, out);
+        split_conjuncts(b, out);
+    } else {
+        out.push(e);
+    }
+}
+
+/// Match `var.path op literal` (or reversed) where path is a chain of
+/// field/constant-index accesses rooted at `var`.
+fn extract_path_cmp(e: &Expr, var: &str) -> Option<PathCmp> {
+    let Expr::Binary(op, l, r) = e else { return None };
+    let (path_side, lit_side, op) = match (&**l, &**r) {
+        (_, Expr::Literal(_)) => (l, r, *op),
+        (Expr::Literal(_), _) => (r, l, flip(*op)?),
+        _ => return None,
+    };
+    let Expr::Literal(value) = &**lit_side else { return None };
+    let path = path_of(path_side, var)?;
+    Some(PathCmp { path, op, value: value.clone() })
+}
+
+fn flip(op: BinOp) -> Option<BinOp> {
+    Some(match op {
+        BinOp::Eq => BinOp::Eq,
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        _ => return None,
+    })
+}
+
+fn path_of(e: &Expr, var: &str) -> Option<String> {
+    match e {
+        Expr::Var(v) if v == var => Some(String::new()),
+        Expr::Field(base, name) => {
+            let p = path_of(base, var)?;
+            Some(if p.is_empty() { name.clone() } else { format!("{p}.{name}") })
+        }
+        Expr::Index(base, idx) => {
+            let p = path_of(base, var)?;
+            if let Expr::Literal(Value::Number(n)) = &**idx {
+                n.as_i64().map(|i| format!("{p}[{i}]"))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Fold constant subexpressions in place.
+pub fn fold(e: &mut Expr) {
+    match e {
+        Expr::Binary(op, l, r) => {
+            fold(l);
+            fold(r);
+            if let (Expr::Literal(a), Expr::Literal(b)) = (&**l, &**r) {
+                if let Some(v) = fold_binary(*op, a, b) {
+                    *e = Expr::Literal(v);
+                }
+            }
+        }
+        Expr::Not(inner) => {
+            fold(inner);
+            if let Expr::Literal(v) = &**inner {
+                *e = Expr::Literal(Value::Bool(!v.is_truthy()));
+            }
+        }
+        Expr::Neg(inner) => {
+            fold(inner);
+            if let Expr::Literal(Value::Number(n)) = &**inner {
+                // Preserve int-ness for integral inputs.
+                let folded = match n.as_i64() {
+                    Some(i) => Value::int(-i),
+                    None => Value::float(-n.as_f64()),
+                };
+                *e = Expr::Literal(folded);
+            }
+        }
+        Expr::Field(base, _) | Expr::Spread(base) => fold(base),
+        Expr::Index(base, idx) => {
+            fold(base);
+            fold(idx);
+        }
+        Expr::Array(items) => items.iter_mut().for_each(fold),
+        Expr::Object(fields) => fields.iter_mut().for_each(|(_, v)| fold(v)),
+        Expr::Call(_, args) => args.iter_mut().for_each(fold),
+        Expr::Ternary(c, a, b) => {
+            fold(c);
+            fold(a);
+            fold(b);
+            if let Expr::Literal(cv) = &**c {
+                *e = if cv.is_truthy() { (**a).clone() } else { (**b).clone() };
+            }
+        }
+        Expr::Literal(_) | Expr::Var(_) | Expr::Subquery(_) => {}
+    }
+}
+
+fn fold_binary(op: BinOp, a: &Value, b: &Value) -> Option<Value> {
+    Some(match op {
+        BinOp::Eq => Value::Bool(a == b),
+        BinOp::Ne => Value::Bool(a != b),
+        BinOp::Lt => Value::Bool(a < b),
+        BinOp::Le => Value::Bool(a <= b),
+        BinOp::Gt => Value::Bool(a > b),
+        BinOp::Ge => Value::Bool(a >= b),
+        BinOp::And => Value::Bool(a.is_truthy() && b.is_truthy()),
+        BinOp::Or => Value::Bool(a.is_truthy() || b.is_truthy()),
+        BinOp::In => match b {
+            Value::Array(items) => Value::Bool(items.contains(a)),
+            _ => Value::Bool(false),
+        },
+        BinOp::Like => match (a, b) {
+            (Value::String(s), Value::String(p)) => Value::Bool(like_match(s, p)),
+            _ => Value::Bool(false),
+        },
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+            let (Value::Number(x), Value::Number(y)) = (a, b) else {
+                // Leave string concat etc. to runtime.
+                return None;
+            };
+            let (x, y) = (x.as_f64(), y.as_f64());
+            let f = match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => {
+                    if y == 0.0 {
+                        return None; // keep the runtime error
+                    }
+                    x / y
+                }
+                BinOp::Mod => {
+                    if y == 0.0 {
+                        return None;
+                    }
+                    x % y
+                }
+                _ => unreachable!(),
+            };
+            if f.fract() == 0.0
+                && f.abs() < 9.0e18
+                && matches!((a, b), (Value::Number(p), Value::Number(q)) if p.is_int() && q.is_int())
+            {
+                Value::int(f as i64)
+            } else {
+                Value::float(f)
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_expr, parse_query};
+    use crate::plan::build_plan;
+
+    #[test]
+    fn constant_folding() {
+        let mut e = parse_expr("1 + 2 * 3").unwrap();
+        fold(&mut e);
+        assert_eq!(e, Expr::Literal(Value::int(7)));
+        let mut e = parse_expr("2 > 1 && false").unwrap();
+        fold(&mut e);
+        assert_eq!(e, Expr::Literal(Value::Bool(false)));
+        let mut e = parse_expr("true ? x : y").unwrap();
+        fold(&mut e);
+        assert_eq!(e, Expr::Var("x".into()));
+        // Division by zero is left for runtime.
+        let mut e = parse_expr("1 / 0").unwrap();
+        fold(&mut e);
+        assert!(matches!(e, Expr::Binary(..)));
+    }
+
+    #[test]
+    fn index_selection_rewrites_for_filter() {
+        let w = World::in_memory();
+        let c = w.create_collection("products").unwrap();
+        for i in 0..10 {
+            c.insert_json(&format!(r#"{{"_key":"p{i}","price":{i}}}"#)).unwrap();
+        }
+        c.create_persistent_index("price").unwrap();
+        let q = parse_query("FOR p IN products FILTER p.price > 5 && p.price < 8 RETURN p").unwrap();
+        let plan = optimize(build_plan(&q).unwrap(), &w);
+        assert_eq!(plan.nodes.len(), 1);
+        match &plan.nodes[0] {
+            PlanNode::IndexScan { path, lo, hi, residual, .. } => {
+                assert_eq!(path, "price");
+                assert_eq!(lo, &PlanBound::Excluded(Value::int(5)));
+                assert_eq!(hi, &PlanBound::Unbounded);
+                assert!(residual.is_some(), "the < 8 conjunct survives as residual");
+            }
+            other => panic!("expected IndexScan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_index_no_rewrite() {
+        let w = World::in_memory();
+        w.create_collection("products").unwrap();
+        let q = parse_query("FOR p IN products FILTER p.price > 5 RETURN p").unwrap();
+        let plan = optimize(build_plan(&q).unwrap(), &w);
+        assert_eq!(plan.nodes.len(), 2);
+        assert!(matches!(plan.nodes[0], PlanNode::For { .. }));
+    }
+
+    #[test]
+    fn reversed_literal_comparisons_flip() {
+        let w = World::in_memory();
+        let c = w.create_collection("products").unwrap();
+        c.insert_json(r#"{"_key":"a","price":5}"#).unwrap();
+        c.create_persistent_index("price").unwrap();
+        let q = parse_query("FOR p IN products FILTER 5 <= p.price RETURN p").unwrap();
+        let plan = optimize(build_plan(&q).unwrap(), &w);
+        match &plan.nodes[0] {
+            PlanNode::IndexScan { lo, .. } => {
+                assert_eq!(lo, &PlanBound::Included(Value::int(5)));
+            }
+            other => panic!("expected IndexScan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adjacent_filters_merge() {
+        let w = World::in_memory();
+        let q = parse_query("FOR x IN [1,2,3] FILTER x > 1 FILTER x < 3 RETURN x").unwrap();
+        let plan = optimize(build_plan(&q).unwrap(), &w);
+        assert_eq!(plan.nodes.len(), 2, "two filters fold into one");
+    }
+
+    #[test]
+    fn relational_index_also_selected() {
+        use mmdb_relational::{ColumnDef, DataType, Schema};
+        let w = World::in_memory();
+        let t = w
+            .catalog
+            .create_table(
+                "customers",
+                Schema::new(
+                    vec![
+                        ColumnDef::new("id", DataType::Int),
+                        ColumnDef::new("credit_limit", DataType::Int),
+                    ],
+                    "id",
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        t.create_index("credit_limit").unwrap();
+        let q = parse_query("FOR c IN customers FILTER c.credit_limit > 3000 RETURN c").unwrap();
+        let plan = optimize(build_plan(&q).unwrap(), &w);
+        assert!(matches!(&plan.nodes[0], PlanNode::IndexScan { source, .. } if source == "customers"));
+    }
+}

@@ -1,0 +1,23 @@
+//! # mmdb-rdf — the RDF model
+//!
+//! A triple store patterned on DB2-RDF as the tutorial summarizes it:
+//! triples with an associated graph, reachable through four access paths —
+//!
+//! * **direct primary** — indexed by subject,
+//! * **reverse primary** — indexed by object,
+//! * **direct secondary** — triples sharing subject and predicate,
+//! * **reverse secondary** — triples sharing object and predicate,
+//!
+//! plus a datatype mapping for literal values (ours: literals *are*
+//! [`mmdb_types::Value`]s, so numbers compare numerically in FILTERs).
+//!
+//! [`sparql`] evaluates SPARQL-style basic graph patterns with joins,
+//! FILTER and a GROUP BY/aggregate subset (the tutorial: "SELECT, GROUP
+//! BY, HAVING, SUM, MAX, …"). Which access paths exist is configurable —
+//! ablation E9 measures each path's effect.
+
+pub mod sparql;
+pub mod triple;
+
+pub use sparql::{Binding, SelectQuery, TermPattern, TriplePattern};
+pub use triple::{AccessPaths, Triple, TripleStore};

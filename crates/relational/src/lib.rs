@@ -1,0 +1,22 @@
+//! # mmdb-relational — the relational model
+//!
+//! Schema-ful tables over heap files, in the PostgreSQL mould the tutorial
+//! leads its storage survey with: typed columns (including `Json` — the
+//! `orders JSONB` column of the slide example), heap storage, B+-tree
+//! secondary indexes, and a catalog.
+//!
+//! [`universal`] adds Sinew's alternative: a *universal relation* over
+//! multi-structured data — "one column for each unique key in the data
+//! set; nested data is flattened into separate columns" — with physical
+//! columns only *partially materialized* (ablation E6 measures the
+//! materialization effect).
+
+pub mod catalog;
+pub mod schema;
+pub mod table;
+pub mod universal;
+
+pub use catalog::Catalog;
+pub use schema::{ColumnDef, DataType, Schema};
+pub use table::{Predicate, Table};
+pub use universal::UniversalRelation;

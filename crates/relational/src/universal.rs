@@ -1,0 +1,254 @@
+//! Sinew's universal relation over multi-structured data.
+//!
+//! Sinew (Tahara, Diamond & Abadi, SIGMOD 2014 — tutorial slide 36) layers
+//! SQL over schemaless data by exposing a *logical* universal relation —
+//! "one column for each unique key in the data set; nested data is
+//! flattened into separate columns" — while *physically* materializing only
+//! some columns; the rest live in a serialized catch-all column per row.
+//!
+//! Queries on materialized columns read a dense vector; queries on virtual
+//! columns must deserialize the catch-all of every row. Promoting a hot
+//! column is [`UniversalRelation::materialize`]; the same idea is HPE
+//! Vertica's flex-table "promoting virtual columns to real columns
+//! improves query performance" — ablation E6 measures it.
+
+use std::collections::{BTreeMap, HashMap};
+
+use mmdb_types::{Path, Result, Value};
+
+/// The universal relation.
+pub struct UniversalRelation {
+    /// Logical column set: flattened dotted paths seen so far, with counts.
+    logical: BTreeMap<String, u64>,
+    /// Physically materialized columns: dense vectors aligned with rows.
+    materialized: HashMap<String, Vec<Value>>,
+    /// Catch-all: the full original object per row (Sinew keeps unpromoted
+    /// attributes serialized; we keep the decoded object — the *access
+    /// asymmetry* is preserved because virtual reads must navigate it).
+    rows: Vec<Value>,
+}
+
+impl Default for UniversalRelation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Flatten an object's nested keys into dotted paths (arrays are treated
+/// as opaque values, following Sinew's column model).
+fn flatten_into(prefix: &str, v: &Value, out: &mut Vec<(String, Value)>) {
+    match v {
+        Value::Object(obj) => {
+            for (k, val) in obj.iter() {
+                let path = if prefix.is_empty() { k.to_string() } else { format!("{prefix}.{k}") };
+                flatten_into(&path, val, out);
+            }
+        }
+        other => out.push((prefix.to_string(), other.clone())),
+    }
+}
+
+impl UniversalRelation {
+    /// Empty relation.
+    pub fn new() -> Self {
+        UniversalRelation {
+            logical: BTreeMap::new(),
+            materialized: HashMap::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Ingest one object (any shape). Returns its row id.
+    pub fn insert(&mut self, object: Value) -> u64 {
+        let mut flat = Vec::new();
+        flatten_into("", &object, &mut flat);
+        for (path, _) in &flat {
+            *self.logical.entry(path.clone()).or_insert(0) += 1;
+        }
+        // Extend materialized columns (missing → Null).
+        for (col, vec) in self.materialized.iter_mut() {
+            let v = flat
+                .iter()
+                .find(|(p, _)| p == col)
+                .map(|(_, v)| v.clone())
+                .unwrap_or(Value::Null);
+            vec.push(v);
+        }
+        self.rows.push(object);
+        (self.rows.len() - 1) as u64
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were ingested.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The logical schema: every column (dotted path) with its occurrence
+    /// count — this is Sinew's "column for each unique key".
+    pub fn logical_columns(&self) -> Vec<(&str, u64)> {
+        self.logical.iter().map(|(k, v)| (k.as_str(), *v)).collect()
+    }
+
+    /// Columns currently materialized.
+    pub fn materialized_columns(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.materialized.keys().map(String::as_str).collect();
+        v.sort();
+        v
+    }
+
+    /// Promote a column to a physical vector (idempotent).
+    pub fn materialize(&mut self, column: &str) -> Result<()> {
+        if self.materialized.contains_key(column) {
+            return Ok(());
+        }
+        let path = Path::parse(column)?;
+        let vec: Vec<Value> = self
+            .rows
+            .iter()
+            .map(|row| path.eval_point(row).cloned())
+            .collect::<Result<_>>()?;
+        self.materialized.insert(column.to_string(), vec);
+        Ok(())
+    }
+
+    /// Demote a column back to virtual.
+    pub fn dematerialize(&mut self, column: &str) {
+        self.materialized.remove(column);
+    }
+
+    /// Read one column of one row (materialized fast path, else navigate).
+    pub fn value_at(&self, row: u64, column: &str) -> Result<Value> {
+        if let Some(vec) = self.materialized.get(column) {
+            return Ok(vec.get(row as usize).cloned().unwrap_or(Value::Null));
+        }
+        let path = Path::parse(column)?;
+        Ok(self
+            .rows
+            .get(row as usize)
+            .map(|r| path.eval_point(r).cloned())
+            .transpose()?
+            .unwrap_or(Value::Null))
+    }
+
+    /// Select rows where `column op value` holds, returning `(row ids,
+    /// used_materialized)` — the bool feeds ablation E6.
+    pub fn select_eq(&self, column: &str, value: &Value) -> Result<(Vec<u64>, bool)> {
+        if let Some(vec) = self.materialized.get(column) {
+            let hits = vec
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| *v == value)
+                .map(|(i, _)| i as u64)
+                .collect();
+            return Ok((hits, true));
+        }
+        let path = Path::parse(column)?;
+        let mut hits = Vec::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            if path.eval_point(row)? == value {
+                hits.push(i as u64);
+            }
+        }
+        Ok((hits, false))
+    }
+
+    /// The full original object of a row.
+    pub fn row(&self, row: u64) -> Option<&Value> {
+        self.rows.get(row as usize)
+    }
+
+    /// Advisor: columns appearing in at least `fraction` of rows — Sinew
+    /// materializes "popular" keys.
+    pub fn popular_columns(&self, fraction: f64) -> Vec<&str> {
+        let n = self.rows.len().max(1) as f64;
+        self.logical
+            .iter()
+            .filter(|(_, &c)| c as f64 / n >= fraction)
+            .map(|(k, _)| k.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_types::from_json;
+
+    fn relation() -> UniversalRelation {
+        let mut u = UniversalRelation::new();
+        u.insert(from_json(r#"{"id":1,"name":"Mary","meta":{"city":"Prague"}}"#).unwrap());
+        u.insert(from_json(r#"{"id":2,"name":"John","meta":{"city":"Helsinki","zip":"00100"}}"#).unwrap());
+        u.insert(from_json(r#"{"id":3,"extra":true}"#).unwrap());
+        u
+    }
+
+    #[test]
+    fn logical_schema_is_union_of_flattened_keys() {
+        let u = relation();
+        let cols: Vec<&str> = u.logical_columns().iter().map(|(c, _)| *c).collect();
+        assert_eq!(cols, vec!["extra", "id", "meta.city", "meta.zip", "name"]);
+        let counts: std::collections::HashMap<&str, u64> =
+            u.logical_columns().into_iter().collect();
+        assert_eq!(counts["id"], 3);
+        assert_eq!(counts["meta.zip"], 1);
+    }
+
+    #[test]
+    fn virtual_and_materialized_reads_agree() {
+        let mut u = relation();
+        let (virt, used) = u.select_eq("meta.city", &Value::str("Prague")).unwrap();
+        assert!(!used);
+        u.materialize("meta.city").unwrap();
+        let (mat, used) = u.select_eq("meta.city", &Value::str("Prague")).unwrap();
+        assert!(used);
+        assert_eq!(virt, mat);
+        assert_eq!(virt, vec![0]);
+        assert_eq!(u.value_at(0, "meta.city").unwrap(), Value::str("Prague"));
+        assert_eq!(u.value_at(2, "meta.city").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn materialized_columns_track_new_inserts() {
+        let mut u = relation();
+        u.materialize("name").unwrap();
+        u.insert(from_json(r#"{"id":4,"name":"Petra"}"#).unwrap());
+        let (hits, used) = u.select_eq("name", &Value::str("Petra")).unwrap();
+        assert!(used);
+        assert_eq!(hits, vec![3]);
+    }
+
+    #[test]
+    fn dematerialize_falls_back_to_navigation() {
+        let mut u = relation();
+        u.materialize("id").unwrap();
+        u.dematerialize("id");
+        let (hits, used) = u.select_eq("id", &Value::int(2)).unwrap();
+        assert!(!used);
+        assert_eq!(hits, vec![1]);
+        assert!(u.materialized_columns().is_empty());
+    }
+
+    #[test]
+    fn popularity_advisor() {
+        let u = relation();
+        let popular = u.popular_columns(0.6);
+        assert!(popular.contains(&"id"));
+        assert!(!popular.contains(&"meta.zip"));
+        let all = u.popular_columns(0.0);
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn row_access_and_len() {
+        let u = relation();
+        assert_eq!(u.len(), 3);
+        assert!(!u.is_empty());
+        assert_eq!(u.row(2).unwrap().get_field("extra"), &Value::Bool(true));
+        assert!(u.row(99).is_none());
+    }
+}

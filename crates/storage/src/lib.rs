@@ -1,0 +1,33 @@
+//! # mmdb-storage — the storage substrate
+//!
+//! Every storage strategy the EDBT 2017 tutorial surveys lives here:
+//!
+//! * [`page`] / [`disk`] / [`buffer`] / [`heap`] — the classical
+//!   relational-style stack: 8 KiB slotted pages in files, a CLOCK buffer
+//!   pool, heap record files addressed by [`heap::RecordId`]. PostgreSQL,
+//!   Oracle and DB2 store their relational *and* their JSON/XML payloads
+//!   this way, so every mmdb model can too.
+//! * [`wal`] — a redo-only write-ahead log with CRC-checked records and
+//!   crash recovery, shared by all models (the tutorial's "one system
+//!   implements fault tolerance" argument for multi-model databases).
+//! * [`lsm`] — a memtable + SSTable log-structured merge engine in the
+//!   style of Cassandra/Bigtable ("SSTables — proposed in Google system
+//!   Bigtable"), used by the key/value model.
+//! * [`logstore`] — OctopusDB's "one size fits all" architecture: a single
+//!   central log of all writes, with optional *storage views* (row, column,
+//!   index) materialized from it, and a view advisor that turns query
+//!   optimization + index selection into one storage-view-selection
+//!   problem. Benchmarked as ablation E7.
+
+pub mod buffer;
+pub mod disk;
+pub mod heap;
+pub mod logstore;
+pub mod lsm;
+pub mod page;
+pub mod wal;
+
+pub use buffer::BufferPool;
+pub use disk::{DiskManager, PageId, PAGE_SIZE};
+pub use heap::{HeapFile, RecordId};
+pub use wal::{Lsn, Wal, WalRecord};

@@ -1,0 +1,594 @@
+//! OctopusDB-style log-structured storage with selectable *storage views*.
+//!
+//! The tutorial presents OctopusDB (Dittrich & Jindal, CIDR 2011) as the
+//! "one size *can* fit all" position: every insert/update becomes an entry
+//! in one central log; on top of the log one may materialize any number of
+//! optional **storage views** — row-oriented, column-oriented, or
+//! index-oriented — and "query optimization, view maintenance and index
+//! selection suddenly become a single problem: storage view selection".
+//!
+//! This module implements exactly that: [`CentralLog`], three view kinds,
+//! lazy view maintenance, and a [`ViewAdvisor`] that picks views from a
+//! workload profile. Ablation E7 benches each view kind against its
+//! favourable and unfavourable workloads.
+
+use std::collections::{BTreeMap, HashMap};
+
+use mmdb_types::{Error, Result, Value};
+
+/// One operation in the central log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogOp {
+    /// Insert or overwrite a record (an object) under a key.
+    Put {
+        /// Record key.
+        key: Value,
+        /// Record payload (object).
+        value: Value,
+    },
+    /// Remove the record under a key.
+    Delete {
+        /// Record key.
+        key: Value,
+    },
+}
+
+/// The append-only central log: the primary (and only mandatory) copy of
+/// the data.
+#[derive(Default)]
+pub struct CentralLog {
+    entries: Vec<LogOp>,
+}
+
+impl CentralLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an operation, returning its position.
+    pub fn append(&mut self, op: LogOp) -> usize {
+        self.entries.push(op);
+        self.entries.len() - 1
+    }
+
+    /// Entries from `from` (exclusive tail catch-up helper).
+    pub fn since(&self, from: usize) -> &[LogOp] {
+        &self.entries[from..]
+    }
+
+    /// Total number of log entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Ground-truth point lookup by replaying the log backwards. Correct
+    /// with *zero* views materialized — this is the OctopusDB claim that
+    /// the log alone is a complete store; views only buy speed.
+    pub fn replay_get(&self, key: &Value) -> Option<Value> {
+        for op in self.entries.iter().rev() {
+            match op {
+                LogOp::Put { key: k, value } if k == key => return Some(value.clone()),
+                LogOp::Delete { key: k } if k == key => return None,
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+/// Kinds of storage view the advisor can recommend.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ViewKind {
+    /// Row view: key → full record. Serves point reads.
+    Row,
+    /// Column view over the named fields. Serves column scans.
+    Column(Vec<String>),
+    /// Index view on one field. Serves range/equality predicates.
+    Index(String),
+}
+
+/// Row-oriented view: latest record per key.
+#[derive(Default)]
+pub struct RowView {
+    rows: HashMap<Value, Value>,
+}
+
+impl RowView {
+    fn apply(&mut self, op: &LogOp) {
+        match op {
+            LogOp::Put { key, value } => {
+                self.rows.insert(key.clone(), value.clone());
+            }
+            LogOp::Delete { key } => {
+                self.rows.remove(key);
+            }
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &Value) -> Option<&Value> {
+        self.rows.get(key)
+    }
+
+    /// Live record count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the view holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Column-oriented view: per-field value vectors aligned by row position.
+///
+/// Deletes mark the row dead; scans skip dead rows. (A real system would
+/// periodically rewrite the columns; the dead-row ratio is visible via
+/// [`ColumnView::dead_ratio`].)
+pub struct ColumnView {
+    fields: Vec<String>,
+    keys: Vec<Value>,
+    live: Vec<bool>,
+    columns: Vec<Vec<Value>>,
+    key_pos: HashMap<Value, usize>,
+}
+
+impl ColumnView {
+    fn new(fields: Vec<String>) -> Self {
+        let n = fields.len();
+        ColumnView {
+            fields,
+            keys: Vec::new(),
+            live: Vec::new(),
+            columns: vec![Vec::new(); n],
+            key_pos: HashMap::new(),
+        }
+    }
+
+    fn apply(&mut self, op: &LogOp) {
+        match op {
+            LogOp::Put { key, value } => {
+                if let Some(&pos) = self.key_pos.get(key) {
+                    self.live[pos] = false; // supersede the old version
+                }
+                let pos = self.keys.len();
+                self.keys.push(key.clone());
+                self.live.push(true);
+                for (ci, f) in self.fields.iter().enumerate() {
+                    self.columns[ci].push(value.get_field(f).clone());
+                }
+                self.key_pos.insert(key.clone(), pos);
+            }
+            LogOp::Delete { key } => {
+                if let Some(pos) = self.key_pos.remove(key) {
+                    self.live[pos] = false;
+                }
+            }
+        }
+    }
+
+    /// Scan one column, yielding `(key, value)` for live rows.
+    pub fn scan_field(&self, field: &str) -> Result<Vec<(&Value, &Value)>> {
+        let ci = self
+            .fields
+            .iter()
+            .position(|f| f == field)
+            .ok_or_else(|| Error::NotFound(format!("column view has no field '{field}'")))?;
+        Ok(self
+            .keys
+            .iter()
+            .zip(&self.columns[ci])
+            .zip(&self.live)
+            .filter(|(_, &live)| live)
+            .map(|((k, v), _)| (k, v))
+            .collect())
+    }
+
+    /// Fraction of dead (superseded/deleted) rows in the view.
+    pub fn dead_ratio(&self) -> f64 {
+        if self.live.is_empty() {
+            return 0.0;
+        }
+        self.live.iter().filter(|l| !**l).count() as f64 / self.live.len() as f64
+    }
+}
+
+/// Index view: sorted map from a field's value to the keys holding it.
+pub struct IndexView {
+    field: String,
+    map: BTreeMap<Value, Vec<Value>>,
+    /// Reverse map for maintenance on overwrite/delete.
+    by_key: HashMap<Value, Value>,
+}
+
+impl IndexView {
+    fn new(field: String) -> Self {
+        IndexView { field, map: BTreeMap::new(), by_key: HashMap::new() }
+    }
+
+    fn apply(&mut self, op: &LogOp) {
+        match op {
+            LogOp::Put { key, value } => {
+                self.unlink(key);
+                let fv = value.get_field(&self.field).clone();
+                self.map.entry(fv.clone()).or_default().push(key.clone());
+                self.by_key.insert(key.clone(), fv);
+            }
+            LogOp::Delete { key } => self.unlink(key),
+        }
+    }
+
+    fn unlink(&mut self, key: &Value) {
+        if let Some(old) = self.by_key.remove(key) {
+            if let Some(keys) = self.map.get_mut(&old) {
+                keys.retain(|k| k != key);
+                if keys.is_empty() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Keys whose field value lies in `[lo, hi]`.
+    pub fn range(&self, lo: &Value, hi: &Value) -> Vec<&Value> {
+        self.map
+            .range(lo.clone()..=hi.clone())
+            .flat_map(|(_, ks)| ks.iter())
+            .collect()
+    }
+
+    /// Keys whose field value equals `v`.
+    pub fn eq(&self, v: &Value) -> Vec<&Value> {
+        self.map.get(v).map(|ks| ks.iter().collect()).unwrap_or_default()
+    }
+}
+
+/// The log store: central log plus whatever views are materialized.
+pub struct LogStore {
+    log: CentralLog,
+    row: Option<(RowView, usize)>,
+    columns: Vec<(ColumnView, usize)>,
+    indexes: Vec<(IndexView, usize)>,
+}
+
+impl Default for LogStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogStore {
+    /// A store with no views (log only).
+    pub fn new() -> Self {
+        LogStore { log: CentralLog::new(), row: None, columns: Vec::new(), indexes: Vec::new() }
+    }
+
+    /// Materialize a view; it backfills from the log immediately.
+    pub fn add_view(&mut self, kind: ViewKind) {
+        match kind {
+            ViewKind::Row => {
+                if self.row.is_none() {
+                    self.row = Some((RowView::default(), 0));
+                }
+            }
+            ViewKind::Column(fields) => self.columns.push((ColumnView::new(fields), 0)),
+            ViewKind::Index(field) => self.indexes.push((IndexView::new(field), 0)),
+        }
+        self.catch_up();
+    }
+
+    /// Drop all views (back to log-only).
+    pub fn drop_views(&mut self) {
+        self.row = None;
+        self.columns.clear();
+        self.indexes.clear();
+    }
+
+    /// Append a put. Views are maintained lazily at read time (OctopusDB's
+    /// "optional" views), so writes cost O(1) regardless of view count —
+    /// call [`LogStore::catch_up`] to force maintenance.
+    pub fn put(&mut self, key: Value, value: Value) {
+        self.log.append(LogOp::Put { key, value });
+    }
+
+    /// Append a delete.
+    pub fn delete(&mut self, key: Value) {
+        self.log.append(LogOp::Delete { key });
+    }
+
+    /// Bring every view up to the log tail.
+    pub fn catch_up(&mut self) {
+        let log = &self.log;
+        if let Some((view, upto)) = &mut self.row {
+            for op in log.since(*upto) {
+                view.apply(op);
+            }
+            *upto = log.len();
+        }
+        for (view, upto) in &mut self.columns {
+            for op in log.since(*upto) {
+                view.apply(op);
+            }
+            *upto = log.len();
+        }
+        for (view, upto) in &mut self.indexes {
+            for op in log.since(*upto) {
+                view.apply(op);
+            }
+            *upto = log.len();
+        }
+    }
+
+    /// Point read: row view if materialized, else log replay.
+    pub fn get(&mut self, key: &Value) -> Option<Value> {
+        self.catch_up();
+        match &self.row {
+            Some((view, _)) => view.get(key).cloned(),
+            None => self.log.replay_get(key),
+        }
+    }
+
+    /// Column scan: column view if one covers the field, else full replay.
+    pub fn scan_field(&mut self, field: &str) -> Vec<(Value, Value)> {
+        self.catch_up();
+        for (view, _) in &self.columns {
+            if let Ok(rows) = view.scan_field(field) {
+                return rows.into_iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            }
+        }
+        // Fallback: replay into a row image and project.
+        let mut rows: HashMap<Value, Value> = HashMap::new();
+        for op in self.log.since(0) {
+            match op {
+                LogOp::Put { key, value } => {
+                    rows.insert(key.clone(), value.clone());
+                }
+                LogOp::Delete { key } => {
+                    rows.remove(key);
+                }
+            }
+        }
+        rows.into_iter()
+            .map(|(k, v)| {
+                let field_value = v.get_field(field).clone();
+                (k, field_value)
+            })
+            .collect()
+    }
+
+    /// Range query on a field: index view if materialized, else scan.
+    pub fn range(&mut self, field: &str, lo: &Value, hi: &Value) -> Vec<Value> {
+        self.catch_up();
+        for (view, _) in &self.indexes {
+            if view.field == field {
+                return view.range(lo, hi).into_iter().cloned().collect();
+            }
+        }
+        self.scan_field(field)
+            .into_iter()
+            .filter(|(_, v)| v >= lo && v <= hi)
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Which views are currently materialized.
+    pub fn materialized(&self) -> Vec<ViewKind> {
+        let mut out = Vec::new();
+        if self.row.is_some() {
+            out.push(ViewKind::Row);
+        }
+        for (v, _) in &self.columns {
+            out.push(ViewKind::Column(v.fields.clone()));
+        }
+        for (v, _) in &self.indexes {
+            out.push(ViewKind::Index(v.field.clone()));
+        }
+        out
+    }
+
+    /// The central log (read access for recovery/inspection).
+    pub fn log(&self) -> &CentralLog {
+        &self.log
+    }
+}
+
+/// Observed workload counts used by the advisor.
+#[derive(Debug, Default, Clone)]
+pub struct WorkloadProfile {
+    /// Point lookups by key.
+    pub point_reads: u64,
+    /// Writes (puts + deletes).
+    pub writes: u64,
+    /// Full scans of a single field: field → count.
+    pub field_scans: HashMap<String, u64>,
+    /// Range predicates on a field: field → count.
+    pub range_queries: HashMap<String, u64>,
+}
+
+/// Picks storage views for a workload — OctopusDB's "single problem".
+///
+/// Cost model (unitless): a point read costs `log_len` without a row view
+/// and `1` with; a field scan costs `row_width × n` from rows and `n` from
+/// a column; a range query costs `n` from a scan and `log n + k` from an
+/// index. A view costs its maintenance (`writes`) amortized. The advisor
+/// recommends every view whose saving exceeds its maintenance.
+pub struct ViewAdvisor {
+    /// Approximate live record count.
+    pub record_count: u64,
+    /// Approximate fields per record.
+    pub row_width: u64,
+}
+
+impl ViewAdvisor {
+    /// Recommend views for the profile.
+    pub fn recommend(&self, profile: &WorkloadProfile) -> Vec<ViewKind> {
+        let n = self.record_count.max(1);
+        let mut out = Vec::new();
+        // Row view: saves (replay - 1) per point read; costs 1 per write.
+        let row_saving = profile.point_reads.saturating_mul(n.saturating_sub(1));
+        if row_saving > profile.writes {
+            out.push(ViewKind::Row);
+        }
+        // Column view: group all scanned fields into one view.
+        let scanned: Vec<String> = profile
+            .field_scans
+            .iter()
+            .filter(|(_, &c)| c.saturating_mul(n * self.row_width.saturating_sub(1)) > profile.writes)
+            .map(|(f, _)| f.clone())
+            .collect();
+        if !scanned.is_empty() {
+            let mut fields = scanned;
+            fields.sort();
+            out.push(ViewKind::Column(fields));
+        }
+        // Index views: one per hot range field.
+        let mut idx_fields: Vec<&String> = profile
+            .range_queries
+            .iter()
+            .filter(|(_, &c)| {
+                let log_n = 64 - n.leading_zeros() as u64;
+                c.saturating_mul(n.saturating_sub(log_n)) > profile.writes
+            })
+            .map(|(f, _)| f)
+            .collect();
+        idx_fields.sort();
+        for f in idx_fields {
+            out.push(ViewKind::Index(f.clone()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_types::Value;
+
+    fn rec(name: &str, price: i64) -> Value {
+        Value::object([("name", Value::str(name)), ("price", Value::int(price))])
+    }
+
+    #[test]
+    fn log_only_store_is_complete() {
+        let mut s = LogStore::new();
+        s.put(Value::int(1), rec("toy", 66));
+        s.put(Value::int(2), rec("book", 40));
+        s.put(Value::int(1), rec("toy2", 70));
+        s.delete(Value::int(2));
+        assert_eq!(s.get(&Value::int(1)).unwrap().get_field("name"), &Value::str("toy2"));
+        assert_eq!(s.get(&Value::int(2)), None);
+        assert!(s.materialized().is_empty());
+    }
+
+    #[test]
+    fn row_view_serves_point_reads() {
+        let mut s = LogStore::new();
+        for i in 0..100 {
+            s.put(Value::int(i), rec("p", i));
+        }
+        s.add_view(ViewKind::Row);
+        assert_eq!(s.get(&Value::int(42)).unwrap().get_field("price"), &Value::int(42));
+        // Writes after materialization are picked up lazily.
+        s.put(Value::int(42), rec("updated", 1));
+        assert_eq!(s.get(&Value::int(42)).unwrap().get_field("name"), &Value::str("updated"));
+    }
+
+    #[test]
+    fn column_view_scans_one_field() {
+        let mut s = LogStore::new();
+        for i in 0..10 {
+            s.put(Value::int(i), rec(&format!("p{i}"), i * 10));
+        }
+        s.add_view(ViewKind::Column(vec!["price".into()]));
+        let prices = s.scan_field("price");
+        assert_eq!(prices.len(), 10);
+        // Update supersedes the old row version in the column view.
+        s.put(Value::int(0), rec("p0", 999));
+        let prices = s.scan_field("price");
+        assert_eq!(prices.len(), 10);
+        assert!(prices.iter().any(|(_, v)| v == &Value::int(999)));
+        assert!(!prices.iter().any(|(_, v)| v == &Value::int(0)));
+    }
+
+    #[test]
+    fn column_view_tracks_dead_rows() {
+        let mut s = LogStore::new();
+        s.add_view(ViewKind::Column(vec!["price".into()]));
+        for i in 0..10 {
+            s.put(Value::int(i), rec("p", i));
+        }
+        for i in 0..5 {
+            s.delete(Value::int(i));
+        }
+        s.catch_up();
+        let (view, _) = &s.columns[0];
+        assert!(view.dead_ratio() > 0.4);
+        assert_eq!(s.scan_field("price").len(), 5);
+    }
+
+    #[test]
+    fn index_view_serves_ranges_and_handles_updates() {
+        let mut s = LogStore::new();
+        for i in 0..100 {
+            s.put(Value::int(i), rec("p", i));
+        }
+        s.add_view(ViewKind::Index("price".into()));
+        let hits = s.range("price", &Value::int(10), &Value::int(19));
+        assert_eq!(hits.len(), 10);
+        // Move one record out of the range; the index must unlink it.
+        s.put(Value::int(15), rec("p", 1000));
+        let hits = s.range("price", &Value::int(10), &Value::int(19));
+        assert_eq!(hits.len(), 9);
+        s.delete(Value::int(11));
+        let hits = s.range("price", &Value::int(10), &Value::int(19));
+        assert_eq!(hits.len(), 8);
+    }
+
+    #[test]
+    fn range_without_index_falls_back_to_scan() {
+        let mut s = LogStore::new();
+        for i in 0..50 {
+            s.put(Value::int(i), rec("p", i));
+        }
+        let hits = s.range("price", &Value::int(0), &Value::int(4));
+        assert_eq!(hits.len(), 5);
+    }
+
+    #[test]
+    fn views_backfill_on_materialization() {
+        let mut s = LogStore::new();
+        for i in 0..20 {
+            s.put(Value::int(i), rec("p", i));
+        }
+        s.add_view(ViewKind::Index("price".into()));
+        assert_eq!(s.range("price", &Value::int(0), &Value::int(100)).len(), 20);
+    }
+
+    #[test]
+    fn advisor_recommends_matching_views() {
+        let advisor = ViewAdvisor { record_count: 10_000, row_width: 10 };
+        // Point-read heavy.
+        let mut p = WorkloadProfile { point_reads: 1000, writes: 100, ..Default::default() };
+        assert!(advisor.recommend(&p).contains(&ViewKind::Row));
+        // Scan heavy.
+        p = WorkloadProfile::default();
+        p.field_scans.insert("price".into(), 50);
+        p.writes = 100;
+        assert!(matches!(&advisor.recommend(&p)[..], [ViewKind::Column(f)] if f == &vec!["price".to_string()]));
+        // Range heavy.
+        p = WorkloadProfile::default();
+        p.range_queries.insert("price".into(), 50);
+        p.writes = 100;
+        assert_eq!(advisor.recommend(&p), vec![ViewKind::Index("price".into())]);
+        // Write-only: no views.
+        p = WorkloadProfile { writes: 1_000_000, ..Default::default() };
+        assert!(advisor.recommend(&p).is_empty());
+    }
+}

@@ -1,0 +1,536 @@
+//! A redo-only write-ahead log with CRC-checked records and recovery.
+//!
+//! One WAL serves every model — this is the tutorial's "one system
+//! implements fault tolerance" argument for multi-model over polyglot
+//! persistence: a MongoDB+Neo4j+Redis deployment has three logs and no
+//! common recovery point, while mmdb has exactly one.
+//!
+//! The log is a sequence of records, each framed as
+//! `len: u32 | crc32: u32 | payload`. Write records carry a *domain*
+//! string (e.g. `"doc/orders"`, `"graph/knows/edge"`) so recovery can route
+//! each write back to the owning model. Recovery replays the writes of
+//! committed transactions in log order and discards uncommitted tails —
+//! including torn final records, which are detected by the CRC.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, BytesMut};
+use parking_lot::Mutex;
+
+use mmdb_types::{Error, Result};
+
+/// Log sequence number: byte offset of a record in the log.
+pub type Lsn = u64;
+
+/// Transaction identifier as recorded in the log.
+pub type TxId = u64;
+
+/// A single WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// Transaction start.
+    Begin { txid: TxId },
+    /// A write (`value: None` encodes a delete) in some model domain.
+    Write {
+        /// Owning transaction.
+        txid: TxId,
+        /// Routing tag, e.g. `"doc/orders"`.
+        domain: String,
+        /// Encoded key.
+        key: Vec<u8>,
+        /// Encoded new value; `None` is a delete.
+        value: Option<Vec<u8>>,
+    },
+    /// Transaction commit — the durability point.
+    Commit { txid: TxId },
+    /// Transaction abort.
+    Abort { txid: TxId },
+    /// Checkpoint marker: everything before this LSN is already in the
+    /// data files, so recovery may start here.
+    Checkpoint,
+}
+
+const T_BEGIN: u8 = 1;
+const T_WRITE: u8 = 2;
+const T_COMMIT: u8 = 3;
+const T_ABORT: u8 = 4;
+const T_CHECKPOINT: u8 = 5;
+
+impl WalRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut b = BytesMut::new();
+        match self {
+            WalRecord::Begin { txid } => {
+                b.put_u8(T_BEGIN);
+                b.put_u64(*txid);
+            }
+            WalRecord::Commit { txid } => {
+                b.put_u8(T_COMMIT);
+                b.put_u64(*txid);
+            }
+            WalRecord::Abort { txid } => {
+                b.put_u8(T_ABORT);
+                b.put_u64(*txid);
+            }
+            WalRecord::Checkpoint => b.put_u8(T_CHECKPOINT),
+            WalRecord::Write { txid, domain, key, value } => {
+                b.put_u8(T_WRITE);
+                b.put_u64(*txid);
+                b.put_u32(domain.len() as u32);
+                b.put_slice(domain.as_bytes());
+                b.put_u32(key.len() as u32);
+                b.put_slice(key);
+                match value {
+                    Some(v) => {
+                        b.put_u8(1);
+                        b.put_u32(v.len() as u32);
+                        b.put_slice(v);
+                    }
+                    None => b.put_u8(0),
+                }
+            }
+        }
+        b.to_vec()
+    }
+
+    fn decode(mut buf: &[u8]) -> Result<WalRecord> {
+        let corrupt = || Error::Storage("corrupt WAL record".into());
+        if buf.is_empty() {
+            return Err(corrupt());
+        }
+        let tag = buf.get_u8();
+        let rec = match tag {
+            T_BEGIN => WalRecord::Begin { txid: read_u64(&mut buf)? },
+            T_COMMIT => WalRecord::Commit { txid: read_u64(&mut buf)? },
+            T_ABORT => WalRecord::Abort { txid: read_u64(&mut buf)? },
+            T_CHECKPOINT => WalRecord::Checkpoint,
+            T_WRITE => {
+                let txid = read_u64(&mut buf)?;
+                let dlen = read_u32(&mut buf)? as usize;
+                if buf.len() < dlen {
+                    return Err(corrupt());
+                }
+                let domain = std::str::from_utf8(&buf[..dlen])
+                    .map_err(|_| corrupt())?
+                    .to_string();
+                buf.advance(dlen);
+                let klen = read_u32(&mut buf)? as usize;
+                if buf.len() < klen {
+                    return Err(corrupt());
+                }
+                let key = buf[..klen].to_vec();
+                buf.advance(klen);
+                if buf.is_empty() {
+                    return Err(corrupt());
+                }
+                let has_value = buf.get_u8() == 1;
+                let value = if has_value {
+                    let vlen = read_u32(&mut buf)? as usize;
+                    if buf.len() < vlen {
+                        return Err(corrupt());
+                    }
+                    let v = buf[..vlen].to_vec();
+                    buf.advance(vlen);
+                    Some(v)
+                } else {
+                    None
+                };
+                WalRecord::Write { txid, domain, key, value }
+            }
+            _ => return Err(corrupt()),
+        };
+        if !buf.is_empty() {
+            return Err(corrupt());
+        }
+        Ok(rec)
+    }
+}
+
+fn read_u64(buf: &mut &[u8]) -> Result<u64> {
+    if buf.len() < 8 {
+        return Err(Error::Storage("corrupt WAL record".into()));
+    }
+    Ok(buf.get_u64())
+}
+
+fn read_u32(buf: &mut &[u8]) -> Result<u32> {
+    if buf.len() < 4 {
+        return Err(Error::Storage("corrupt WAL record".into()));
+    }
+    Ok(buf.get_u32())
+}
+
+/// CRC-32 (IEEE 802.3 polynomial), table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB88320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+enum WalBackend {
+    File(File),
+    Memory(Vec<u8>),
+}
+
+/// The write-ahead log.
+pub struct Wal {
+    inner: Mutex<WalInner>,
+}
+
+struct WalInner {
+    backend: WalBackend,
+    next_lsn: Lsn,
+}
+
+impl Wal {
+    /// Open (or create) a file-backed WAL, appending after existing content.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(path.as_ref())
+            .map_err(|e| Error::Storage(format!("open wal {:?}: {e}", path.as_ref())))?;
+        let len = file.metadata().map_err(|e| Error::Storage(e.to_string()))?.len();
+        Ok(Wal {
+            inner: Mutex::new(WalInner { backend: WalBackend::File(file), next_lsn: len }),
+        })
+    }
+
+    /// An in-memory WAL (tests; volatile databases).
+    pub fn in_memory() -> Self {
+        Wal {
+            inner: Mutex::new(WalInner { backend: WalBackend::Memory(Vec::new()), next_lsn: 0 }),
+        }
+    }
+
+    /// Append one record, returning its LSN. Not yet durable — call
+    /// [`Wal::sync`] (commit does).
+    pub fn append(&self, record: &WalRecord) -> Result<Lsn> {
+        let payload = record.encode();
+        let mut framed = Vec::with_capacity(payload.len() + 8);
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&crc32(&payload).to_le_bytes());
+        framed.extend_from_slice(&payload);
+        let mut inner = self.inner.lock();
+        let lsn = inner.next_lsn;
+        match &mut inner.backend {
+            WalBackend::File(f) => f
+                .write_all(&framed)
+                .map_err(|e| Error::Storage(format!("wal append: {e}")))?,
+            WalBackend::Memory(v) => v.extend_from_slice(&framed),
+        }
+        inner.next_lsn += framed.len() as u64;
+        Ok(lsn)
+    }
+
+    /// Durably flush appended records.
+    pub fn sync(&self) -> Result<()> {
+        let inner = self.inner.lock();
+        if let WalBackend::File(f) = &inner.backend {
+            f.sync_data().map_err(|e| Error::Storage(format!("wal fsync: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Next LSN to be assigned (== current log length in bytes).
+    pub fn tail_lsn(&self) -> Lsn {
+        self.inner.lock().next_lsn
+    }
+
+    /// Read back the whole log (in-memory backend) — test helper.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let inner = self.inner.lock();
+        match &inner.backend {
+            WalBackend::Memory(v) => v.clone(),
+            WalBackend::File(_) => Vec::new(),
+        }
+    }
+}
+
+/// One redo operation surfaced by recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedoOp {
+    /// Committing transaction.
+    pub txid: TxId,
+    /// Model routing tag.
+    pub domain: String,
+    /// Encoded key.
+    pub key: Vec<u8>,
+    /// New value; `None` is a delete.
+    pub value: Option<Vec<u8>>,
+}
+
+/// Outcome of scanning a log for recovery.
+#[derive(Debug, Default)]
+pub struct Recovery {
+    /// Redo operations of committed transactions, in log order, starting
+    /// at the last checkpoint.
+    pub redo: Vec<RedoOp>,
+    /// Transactions that began but never committed (work to discard).
+    pub losers: Vec<TxId>,
+    /// Records dropped because the log ended mid-record (torn write).
+    pub torn_tail: bool,
+    /// Byte length of the valid log prefix. When `torn_tail` is set the
+    /// caller should truncate the log to this length before appending, or
+    /// later appends would hide behind the corruption and be lost by the
+    /// next recovery.
+    pub valid_len: u64,
+}
+
+/// Scan raw log bytes and compute the redo set.
+pub fn recover_from_bytes(full: &[u8]) -> Recovery {
+    let mut data = full;
+    let mut records: Vec<WalRecord> = Vec::new();
+    let mut torn = false;
+    let mut valid_len = 0u64;
+    while data.len() >= 8 {
+        let len = u32::from_le_bytes(data[0..4].try_into().expect("len")) as usize;
+        let crc = u32::from_le_bytes(data[4..8].try_into().expect("crc"));
+        if data.len() < 8 + len {
+            torn = true;
+            break;
+        }
+        let payload = &data[8..8 + len];
+        if crc32(payload) != crc {
+            // Corrupt record: everything after it is untrustworthy.
+            torn = true;
+            break;
+        }
+        match WalRecord::decode(payload) {
+            Ok(r) => records.push(r),
+            Err(_) => {
+                torn = true;
+                break;
+            }
+        }
+        data = &data[8 + len..];
+        valid_len += 8 + len as u64;
+    }
+    if !data.is_empty() && data.len() < 8 {
+        torn = true;
+    }
+
+    // Start replay at the last checkpoint.
+    let start = records
+        .iter()
+        .rposition(|r| matches!(r, WalRecord::Checkpoint))
+        .map(|i| i + 1)
+        .unwrap_or(0);
+
+    let mut committed = std::collections::HashSet::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut aborted = std::collections::HashSet::new();
+    for r in &records[start..] {
+        match r {
+            WalRecord::Begin { txid } => {
+                seen.insert(*txid);
+            }
+            WalRecord::Commit { txid } => {
+                committed.insert(*txid);
+            }
+            WalRecord::Abort { txid } => {
+                aborted.insert(*txid);
+            }
+            _ => {}
+        }
+    }
+    let mut redo = Vec::new();
+    for r in &records[start..] {
+        if let WalRecord::Write { txid, domain, key, value } = r {
+            if committed.contains(txid) {
+                redo.push(RedoOp {
+                    txid: *txid,
+                    domain: domain.clone(),
+                    key: key.clone(),
+                    value: value.clone(),
+                });
+            }
+        }
+    }
+    let losers = seen
+        .into_iter()
+        .filter(|t| !committed.contains(t) && !aborted.contains(t))
+        .collect();
+    Recovery { redo, losers, torn_tail: torn, valid_len }
+}
+
+/// Recover from a file-backed log.
+pub fn recover_from_file(path: impl AsRef<Path>) -> Result<Recovery> {
+    let mut data = Vec::new();
+    match File::open(path.as_ref()) {
+        Ok(mut f) => {
+            f.read_to_end(&mut data)
+                .map_err(|e| Error::Storage(format!("read wal: {e}")))?;
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(Error::Storage(format!("open wal: {e}"))),
+    }
+    Ok(recover_from_bytes(&data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(txid: TxId, key: &str, val: Option<&str>) -> WalRecord {
+        WalRecord::Write {
+            txid,
+            domain: "doc/orders".into(),
+            key: key.as_bytes().to_vec(),
+            value: val.map(|v| v.as_bytes().to_vec()),
+        }
+    }
+
+    #[test]
+    fn record_encode_decode_roundtrip() {
+        for r in [
+            WalRecord::Begin { txid: 7 },
+            WalRecord::Commit { txid: 7 },
+            WalRecord::Abort { txid: 9 },
+            WalRecord::Checkpoint,
+            w(7, "k1", Some("v1")),
+            w(7, "k2", None),
+        ] {
+            assert_eq!(WalRecord::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF43926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn committed_writes_are_redone_uncommitted_discarded() {
+        let wal = Wal::in_memory();
+        wal.append(&WalRecord::Begin { txid: 1 }).unwrap();
+        wal.append(&w(1, "a", Some("1"))).unwrap();
+        wal.append(&WalRecord::Begin { txid: 2 }).unwrap();
+        wal.append(&w(2, "b", Some("2"))).unwrap();
+        wal.append(&WalRecord::Commit { txid: 1 }).unwrap();
+        // txn 2 never commits.
+        let rec = recover_from_bytes(&wal.snapshot_bytes());
+        assert_eq!(rec.redo.len(), 1);
+        assert_eq!(rec.redo[0].key, b"a");
+        assert_eq!(rec.losers, vec![2]);
+        assert!(!rec.torn_tail);
+    }
+
+    #[test]
+    fn aborted_txn_is_not_a_loser() {
+        let wal = Wal::in_memory();
+        wal.append(&WalRecord::Begin { txid: 3 }).unwrap();
+        wal.append(&w(3, "x", Some("v"))).unwrap();
+        wal.append(&WalRecord::Abort { txid: 3 }).unwrap();
+        let rec = recover_from_bytes(&wal.snapshot_bytes());
+        assert!(rec.redo.is_empty());
+        assert!(rec.losers.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_truncates_replay() {
+        let wal = Wal::in_memory();
+        wal.append(&WalRecord::Begin { txid: 1 }).unwrap();
+        wal.append(&w(1, "old", Some("x"))).unwrap();
+        wal.append(&WalRecord::Commit { txid: 1 }).unwrap();
+        wal.append(&WalRecord::Checkpoint).unwrap();
+        wal.append(&WalRecord::Begin { txid: 2 }).unwrap();
+        wal.append(&w(2, "new", Some("y"))).unwrap();
+        wal.append(&WalRecord::Commit { txid: 2 }).unwrap();
+        let rec = recover_from_bytes(&wal.snapshot_bytes());
+        assert_eq!(rec.redo.len(), 1);
+        assert_eq!(rec.redo[0].key, b"new");
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_dropped() {
+        let wal = Wal::in_memory();
+        wal.append(&WalRecord::Begin { txid: 1 }).unwrap();
+        wal.append(&w(1, "a", Some("1"))).unwrap();
+        wal.append(&WalRecord::Commit { txid: 1 }).unwrap();
+        let mut bytes = wal.snapshot_bytes();
+        let full = recover_from_bytes(&bytes);
+        assert_eq!(full.redo.len(), 1);
+        // Simulate a crash mid-write of a subsequent record.
+        let good_len = bytes.len() as u64;
+        bytes.extend_from_slice(&[20, 0, 0, 0, 0xAA, 0xBB]);
+        let rec = recover_from_bytes(&bytes);
+        assert!(rec.torn_tail);
+        assert_eq!(rec.redo.len(), 1, "prefix remains recoverable");
+        assert_eq!(rec.valid_len, good_len, "valid_len marks the truncation point");
+        assert!(!full.torn_tail);
+        assert_eq!(full.valid_len, good_len);
+    }
+
+    #[test]
+    fn corrupt_crc_stops_replay_at_corruption() {
+        let wal = Wal::in_memory();
+        wal.append(&WalRecord::Begin { txid: 1 }).unwrap();
+        wal.append(&w(1, "a", Some("1"))).unwrap();
+        wal.append(&WalRecord::Commit { txid: 1 }).unwrap();
+        let mut bytes = wal.snapshot_bytes();
+        // Flip a payload byte of the *middle* record.
+        let n = bytes.len();
+        bytes[n / 2] ^= 0xFF;
+        let rec = recover_from_bytes(&bytes);
+        assert!(rec.torn_tail);
+        // The commit follows the corruption, so nothing can be redone.
+        assert!(rec.redo.is_empty());
+    }
+
+    #[test]
+    fn file_backed_wal_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("mmdb-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let wal = Wal::open(&path).unwrap();
+            wal.append(&WalRecord::Begin { txid: 1 }).unwrap();
+            wal.append(&w(1, "persist", Some("yes"))).unwrap();
+            wal.append(&WalRecord::Commit { txid: 1 }).unwrap();
+            wal.sync().unwrap();
+        }
+        let rec = recover_from_file(&path).unwrap();
+        assert_eq!(rec.redo.len(), 1);
+        assert_eq!(rec.redo[0].domain, "doc/orders");
+        // Appending after reopen extends, not truncates.
+        {
+            let wal = Wal::open(&path).unwrap();
+            assert!(wal.tail_lsn() > 0);
+            wal.append(&WalRecord::Begin { txid: 2 }).unwrap();
+            wal.append(&w(2, "more", Some("data"))).unwrap();
+            wal.append(&WalRecord::Commit { txid: 2 }).unwrap();
+            wal.sync().unwrap();
+        }
+        let rec = recover_from_file(&path).unwrap();
+        assert_eq!(rec.redo.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn recovery_of_missing_file_is_empty() {
+        let rec = recover_from_file("/nonexistent/path/to.wal").unwrap();
+        assert!(rec.redo.is_empty());
+        assert!(!rec.torn_tail);
+    }
+}

@@ -1,0 +1,16 @@
+//! # mmdb-text — the full-text substrate
+//!
+//! "Full-text search … in general quite common" is one of the tutorial's
+//! query-approach classes (Riak ships Solr; MarkLogic's *universal index*
+//! is "an inverted index for each word (or phrase)"). This crate provides
+//! the text model: a [`tokenize`]r, a positional [`inverted`] index, a
+//! boolean/phrase/prefix [`query`] language, and BM25 [`score`]-ranked
+//! retrieval.
+
+pub mod inverted;
+pub mod query;
+pub mod score;
+pub mod tokenize;
+
+pub use inverted::TextIndex;
+pub use query::TextQuery;

@@ -1,0 +1,257 @@
+//! Full-text query evaluation: boolean operators, phrases, prefixes.
+//!
+//! Matches the feature list the tutorial credits to Riak/Solr: "wildcards,
+//! proximity search, range search, Boolean operators, grouping".
+
+use crate::inverted::{DocId, TextIndex};
+
+/// A text query tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TextQuery {
+    /// A single term (normalized at evaluation time).
+    Term(String),
+    /// Exact phrase: terms at consecutive positions.
+    Phrase(Vec<String>),
+    /// Terms within `slop` positions of each other, in order.
+    Proximity(Vec<String>, u32),
+    /// Prefix match (trailing-wildcard search, `king*`).
+    Prefix(String),
+    /// All subqueries match.
+    And(Vec<TextQuery>),
+    /// Any subquery matches.
+    Or(Vec<TextQuery>),
+    /// First matches, second does not.
+    Not(Box<TextQuery>, Box<TextQuery>),
+}
+
+impl TextQuery {
+    /// Convenience: parse a simple query string. Space-separated terms are
+    /// AND-ed; `"quoted strings"` are phrases; `term*` is a prefix.
+    pub fn parse(text: &str) -> TextQuery {
+        let mut clauses = Vec::new();
+        let mut rest = text.trim();
+        while !rest.is_empty() {
+            if let Some(inner) = rest.strip_prefix('"') {
+                match inner.find('"') {
+                    Some(end) => {
+                        let phrase: Vec<String> =
+                            inner[..end].split_whitespace().map(|w| w.to_lowercase()).collect();
+                        if !phrase.is_empty() {
+                            clauses.push(TextQuery::Phrase(phrase));
+                        }
+                        rest = inner[end + 1..].trim_start();
+                    }
+                    None => {
+                        // Unterminated quote: treat the remainder as terms.
+                        for w in inner.split_whitespace() {
+                            clauses.push(TextQuery::Term(w.to_lowercase()));
+                        }
+                        rest = "";
+                    }
+                }
+            } else {
+                let end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+                let word = &rest[..end];
+                if let Some(prefix) = word.strip_suffix('*') {
+                    if !prefix.is_empty() {
+                        clauses.push(TextQuery::Prefix(prefix.to_lowercase()));
+                    }
+                } else if !word.is_empty() {
+                    clauses.push(TextQuery::Term(word.to_lowercase()));
+                }
+                rest = rest[end..].trim_start();
+            }
+        }
+        match clauses.len() {
+            0 => TextQuery::And(Vec::new()),
+            1 => clauses.pop().expect("one clause"),
+            _ => TextQuery::And(clauses),
+        }
+    }
+
+    /// Evaluate against an index, returning matching doc ids (sorted).
+    pub fn eval(&self, index: &TextIndex) -> Vec<DocId> {
+        match self {
+            TextQuery::Term(t) => {
+                let norm = t.to_lowercase();
+                index
+                    .postings(&norm)
+                    .map(|p| p.keys().copied().collect())
+                    .unwrap_or_default()
+            }
+            TextQuery::Prefix(p) => index.prefix_docs(&p.to_lowercase()),
+            TextQuery::Phrase(terms) => positional_match(index, terms, 0),
+            TextQuery::Proximity(terms, slop) => positional_match(index, terms, *slop),
+            TextQuery::And(subs) => {
+                if subs.is_empty() {
+                    return Vec::new();
+                }
+                let mut lists: Vec<Vec<DocId>> = subs.iter().map(|q| q.eval(index)).collect();
+                lists.sort_by_key(Vec::len);
+                let mut result = lists[0].clone();
+                for l in &lists[1..] {
+                    result.retain(|d| l.binary_search(d).is_ok());
+                }
+                result
+            }
+            TextQuery::Or(subs) => {
+                let mut out: Vec<DocId> = subs.iter().flat_map(|q| q.eval(index)).collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+            TextQuery::Not(keep, exclude) => {
+                let ex = exclude.eval(index);
+                keep.eval(index)
+                    .into_iter()
+                    .filter(|d| ex.binary_search(d).is_err())
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Documents where the terms occur in order, with gaps of at most `slop`
+/// between consecutive terms (slop 0 = exact phrase).
+fn positional_match(index: &TextIndex, terms: &[String], slop: u32) -> Vec<DocId> {
+    if terms.is_empty() {
+        return Vec::new();
+    }
+    let normalized: Vec<String> = terms.iter().map(|t| t.to_lowercase()).collect();
+    let mut postings = Vec::with_capacity(normalized.len());
+    for t in &normalized {
+        match index.postings(t) {
+            Some(p) => postings.push(p),
+            None => return Vec::new(),
+        }
+    }
+    // Candidate docs: those in all postings.
+    let mut docs: Vec<DocId> = postings[0].keys().copied().collect();
+    for p in &postings[1..] {
+        docs.retain(|d| p.contains_key(d));
+    }
+    docs.retain(|d| {
+        // Chain positions: for each start of term0, find term1 at
+        // start+1..=start+1+slop, etc.
+        fn chain(
+            postings: &[&std::collections::BTreeMap<DocId, crate::inverted::Posting>],
+            doc: DocId,
+            term_idx: usize,
+            prev_pos: u32,
+            slop: u32,
+        ) -> bool {
+            if term_idx == postings.len() {
+                return true;
+            }
+            postings[term_idx][&doc]
+                .positions
+                .iter()
+                .filter(|&&p| p > prev_pos && p <= prev_pos + 1 + slop)
+                .any(|&p| chain(postings, doc, term_idx + 1, p, slop))
+        }
+        postings[0][d]
+            .positions
+            .iter()
+            .any(|&p0| chain(&postings, *d, 1, p0, slop))
+    });
+    docs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx() -> TextIndex {
+        let mut i = TextIndex::default();
+        i.index(1, "the king's speech is a film");
+        i.index(2, "speech by the king");
+        i.index(3, "the queen gave a speech");
+        i.index(4, "kingfisher birds");
+        i
+    }
+
+    #[test]
+    fn term_and_case_insensitivity() {
+        let i = idx();
+        assert_eq!(TextQuery::Term("KING".into()).eval(&i), vec![1, 2]);
+        assert_eq!(TextQuery::Term("speech".into()).eval(&i), vec![1, 2, 3]);
+        assert!(TextQuery::Term("castle".into()).eval(&i).is_empty());
+    }
+
+    #[test]
+    fn boolean_operators() {
+        let i = idx();
+        let q = TextQuery::And(vec![
+            TextQuery::Term("king".into()),
+            TextQuery::Term("speech".into()),
+        ]);
+        assert_eq!(q.eval(&i), vec![1, 2]);
+        let q = TextQuery::Or(vec![
+            TextQuery::Term("queen".into()),
+            TextQuery::Term("birds".into()),
+        ]);
+        assert_eq!(q.eval(&i), vec![3, 4]);
+        let q = TextQuery::Not(
+            Box::new(TextQuery::Term("speech".into())),
+            Box::new(TextQuery::Term("king".into())),
+        );
+        assert_eq!(q.eval(&i), vec![3]);
+    }
+
+    #[test]
+    fn phrase_requires_adjacency() {
+        let i = idx();
+        let q = TextQuery::Phrase(vec!["king".into(), "s".into(), "speech".into()]);
+        assert_eq!(q.eval(&i), vec![1]);
+        // "speech king" never occurs in that order adjacently.
+        let q = TextQuery::Phrase(vec!["speech".into(), "king".into()]);
+        assert!(q.eval(&i).is_empty());
+    }
+
+    #[test]
+    fn proximity_allows_gaps() {
+        let i = idx();
+        // doc 2: "speech by the king" — speech..king distance 3.
+        let q = TextQuery::Proximity(vec!["speech".into(), "king".into()], 2);
+        assert_eq!(q.eval(&i), vec![2]);
+        let tight = TextQuery::Proximity(vec!["speech".into(), "king".into()], 1);
+        assert!(tight.eval(&i).is_empty());
+    }
+
+    #[test]
+    fn prefix_wildcard() {
+        let i = idx();
+        assert_eq!(TextQuery::Prefix("king".into()).eval(&i), vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn parser_builds_expected_trees() {
+        assert_eq!(TextQuery::parse("king"), TextQuery::Term("king".into()));
+        assert_eq!(
+            TextQuery::parse("king speech"),
+            TextQuery::And(vec![
+                TextQuery::Term("king".into()),
+                TextQuery::Term("speech".into())
+            ])
+        );
+        assert_eq!(
+            TextQuery::parse("\"the king\" film*"),
+            TextQuery::And(vec![
+                TextQuery::Phrase(vec!["the".into(), "king".into()]),
+                TextQuery::Prefix("film".into()),
+            ])
+        );
+        // Degenerate inputs don't panic.
+        assert_eq!(TextQuery::parse(""), TextQuery::And(vec![]));
+        let _ = TextQuery::parse("\"unterminated phrase");
+        let _ = TextQuery::parse("*");
+    }
+
+    #[test]
+    fn parsed_query_end_to_end() {
+        let i = idx();
+        // "the king" is adjacent in doc 1 ("the king's …") and doc 2.
+        assert_eq!(TextQuery::parse("\"the king\"").eval(&i), vec![1, 2]);
+        assert_eq!(TextQuery::parse("king* speech").eval(&i), vec![1, 2]);
+    }
+}

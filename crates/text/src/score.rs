@@ -1,0 +1,113 @@
+//! BM25 ranking over the inverted index.
+
+use crate::inverted::{DocId, TextIndex};
+
+/// BM25 parameters (standard defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct Bm25Params {
+    /// Term-frequency saturation.
+    pub k1: f64,
+    /// Length-normalization strength.
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// A scored search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// Matching document.
+    pub doc: DocId,
+    /// BM25 score (higher is better).
+    pub score: f64,
+}
+
+/// Rank documents for a bag of query terms; returns hits sorted by
+/// descending score (stable by doc id), truncated to `limit`.
+pub fn bm25_search(index: &TextIndex, query: &str, limit: usize) -> Vec<Hit> {
+    bm25_search_with(index, query, limit, Bm25Params::default())
+}
+
+/// As [`bm25_search`] with explicit parameters.
+pub fn bm25_search_with(
+    index: &TextIndex,
+    query: &str,
+    limit: usize,
+    params: Bm25Params,
+) -> Vec<Hit> {
+    let terms = index.tokenizer().terms(query);
+    let n = index.doc_count() as f64;
+    let avg_len = index.avg_doc_len().max(1.0);
+    let mut scores: std::collections::BTreeMap<DocId, f64> = std::collections::BTreeMap::new();
+    for term in &terms {
+        let Some(postings) = index.postings(term) else { continue };
+        let df = postings.len() as f64;
+        // BM25+-style idf floor keeps very common terms non-negative.
+        let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+        for (doc, posting) in postings {
+            let tf = posting.positions.len() as f64;
+            let len_norm =
+                1.0 - params.b + params.b * index.doc_len(*doc) as f64 / avg_len;
+            let s = idf * (tf * (params.k1 + 1.0)) / (tf + params.k1 * len_norm);
+            *scores.entry(*doc).or_insert(0.0) += s;
+        }
+    }
+    let mut hits: Vec<Hit> = scores.into_iter().map(|(doc, score)| Hit { doc, score }).collect();
+    hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.doc.cmp(&b.doc)));
+    hits.truncate(limit);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx() -> TextIndex {
+        let mut i = TextIndex::default();
+        i.index(1, "rust database engine");
+        i.index(2, "database database database systems and other systems of databases");
+        i.index(3, "a short note about gardening");
+        i.index(4, "rust");
+        i
+    }
+
+    #[test]
+    fn matches_are_ranked() {
+        let i = idx();
+        let hits = bm25_search(&i, "database", 10);
+        let docs: Vec<DocId> = hits.iter().map(|h| h.doc).collect();
+        assert!(docs.contains(&1) && docs.contains(&2));
+        assert!(!docs.contains(&3));
+        // Scores are positive and sorted descending.
+        assert!(hits.iter().all(|h| h.score > 0.0));
+        assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn rare_terms_outrank_common_ones() {
+        let i = idx();
+        // "engine" is rarer than "database": a doc matching only "engine"
+        // should beat a doc matching only "database" for query "engine database".
+        let hits = bm25_search(&i, "rust engine", 10);
+        assert_eq!(hits[0].doc, 1, "doc 1 matches both query terms");
+    }
+
+    #[test]
+    fn length_normalization_favours_short_docs() {
+        let i = idx();
+        let hits = bm25_search(&i, "rust", 10);
+        assert_eq!(hits[0].doc, 4, "the one-word doc is maximally on-topic");
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let i = idx();
+        assert_eq!(bm25_search(&i, "database rust gardening", 2).len(), 2);
+        assert!(bm25_search(&i, "absent-term", 5).is_empty());
+        assert!(bm25_search(&i, "", 5).is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! Tokenization: text → lowercase terms with positions.
+
+/// A token with its position (term index, not byte offset) in the field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Normalized (lowercased) term.
+    pub term: String,
+    /// 0-based position among the document's tokens.
+    pub position: u32,
+}
+
+/// Default English stopword list (small, matching typical search defaults).
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "for", "if", "in",
+    "into", "is", "it", "no", "not", "of", "on", "or", "such", "that", "the",
+    "their", "then", "there", "these", "they", "this", "to", "was", "will",
+    "with",
+];
+
+/// Tokenizer configuration.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    /// Drop stopwords (positions still advance so phrases stay aligned).
+    pub remove_stopwords: bool,
+    /// Minimum term length kept.
+    pub min_len: usize,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Tokenizer { remove_stopwords: false, min_len: 1 }
+    }
+}
+
+impl Tokenizer {
+    /// Split on non-alphanumeric boundaries, lowercase, filter.
+    pub fn tokenize(&self, text: &str) -> Vec<Token> {
+        let mut out = Vec::new();
+        let mut position = 0u32;
+        for word in text.split(|c: char| !c.is_alphanumeric()) {
+            if word.is_empty() {
+                continue;
+            }
+            let term = word.to_lowercase();
+            let keep = term.len() >= self.min_len
+                && !(self.remove_stopwords && STOPWORDS.contains(&term.as_str()));
+            if keep {
+                out.push(Token { term, position });
+            }
+            // Positions count every word (even filtered ones) so that
+            // phrase offsets survive stopword removal.
+            position += 1;
+        }
+        out
+    }
+
+    /// Just the terms, for callers that don't need positions.
+    pub fn terms(&self, text: &str) -> Vec<String> {
+        self.tokenize(text).into_iter().map(|t| t.term).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_lowercases() {
+        let t = Tokenizer::default();
+        let toks = t.terms("The King's Speech, by Mark Logue!");
+        assert_eq!(toks, vec!["the", "king", "s", "speech", "by", "mark", "logue"]);
+    }
+
+    #[test]
+    fn positions_are_sequential() {
+        let t = Tokenizer::default();
+        let toks = t.tokenize("one two  three");
+        assert_eq!(toks[0].position, 0);
+        assert_eq!(toks[1].position, 1);
+        assert_eq!(toks[2].position, 2);
+    }
+
+    #[test]
+    fn stopwords_removed_but_positions_preserved() {
+        let t = Tokenizer { remove_stopwords: true, min_len: 1 };
+        let toks = t.tokenize("the quick fox");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].term, "quick");
+        assert_eq!(toks[0].position, 1, "position counts the removed stopword");
+        assert_eq!(toks[1].position, 2);
+    }
+
+    #[test]
+    fn min_len_filter() {
+        let t = Tokenizer { remove_stopwords: false, min_len: 3 };
+        assert_eq!(t.terms("a an ant antler"), vec!["ant", "antler"]);
+    }
+
+    #[test]
+    fn unicode_words() {
+        let t = Tokenizer::default();
+        assert_eq!(t.terms("Přílíš žluťoučký kůň"), vec!["přílíš", "žluťoučký", "kůň"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        let t = Tokenizer::default();
+        assert!(t.terms("").is_empty());
+        assert!(t.terms("!!! ... ---").is_empty());
+    }
+}

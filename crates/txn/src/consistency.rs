@@ -1,0 +1,90 @@
+//! Hybrid per-model consistency levels.
+//!
+//! The tutorial's multi-model-transaction challenge observes that "graph
+//! data and relational data may have different requirements on the
+//! consistency models": an order must be exactly right, a "likes" edge
+//! can be a little stale or lossy. A [`ConsistencyPolicy`] assigns each
+//! domain (or domain prefix) a [`ConsistencyLevel`]; the MVCC layer skips
+//! write validation and snapshot pinning for `Eventual` domains.
+
+use std::collections::HashMap;
+
+/// Consistency required of a domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConsistencyLevel {
+    /// Full snapshot isolation semantics (default).
+    #[default]
+    Strong,
+    /// Last-write-wins, no conflict aborts, reads see latest committed.
+    Eventual,
+}
+
+/// Domain → level mapping with longest-prefix matching, so `graph/` can
+/// cover every graph collection while `graph/payments` stays strong.
+#[derive(Debug, Clone, Default)]
+pub struct ConsistencyPolicy {
+    exact: HashMap<String, ConsistencyLevel>,
+    prefixes: Vec<(String, ConsistencyLevel)>,
+}
+
+impl ConsistencyPolicy {
+    /// All-strong policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set an exact domain's level.
+    pub fn set(&mut self, domain: &str, level: ConsistencyLevel) {
+        self.exact.insert(domain.to_string(), level);
+    }
+
+    /// Set a level for every domain with the given prefix.
+    pub fn set_prefix(&mut self, prefix: &str, level: ConsistencyLevel) {
+        self.prefixes.push((prefix.to_string(), level));
+        // Longest prefix first so the most specific rule wins.
+        self.prefixes.sort_by_key(|(p, _)| std::cmp::Reverse(p.len()));
+    }
+
+    /// The level for a domain.
+    pub fn level(&self, domain: &str) -> ConsistencyLevel {
+        if let Some(&l) = self.exact.get(domain) {
+            return l;
+        }
+        for (p, l) in &self.prefixes {
+            if domain.starts_with(p.as_str()) {
+                return *l;
+            }
+        }
+        ConsistencyLevel::Strong
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_strong() {
+        let p = ConsistencyPolicy::new();
+        assert_eq!(p.level("anything"), ConsistencyLevel::Strong);
+    }
+
+    #[test]
+    fn exact_overrides_prefix() {
+        let mut p = ConsistencyPolicy::new();
+        p.set_prefix("graph/", ConsistencyLevel::Eventual);
+        p.set("graph/payments", ConsistencyLevel::Strong);
+        assert_eq!(p.level("graph/likes"), ConsistencyLevel::Eventual);
+        assert_eq!(p.level("graph/payments"), ConsistencyLevel::Strong);
+        assert_eq!(p.level("doc/orders"), ConsistencyLevel::Strong);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut p = ConsistencyPolicy::new();
+        p.set_prefix("g/", ConsistencyLevel::Eventual);
+        p.set_prefix("g/critical/", ConsistencyLevel::Strong);
+        assert_eq!(p.level("g/x"), ConsistencyLevel::Eventual);
+        assert_eq!(p.level("g/critical/x"), ConsistencyLevel::Strong);
+    }
+}

@@ -1,0 +1,311 @@
+//! Strict two-phase locking with deadlock detection.
+//!
+//! The lock manager is the serializable upgrade path over snapshot
+//! isolation: transactions acquire shared locks to read and exclusive
+//! locks to write, hold them to commit/abort (strict 2PL), and a wait-for
+//! graph cycle check picks deadlock victims eagerly (no timeouts).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use mmdb_types::{Error, Result};
+
+/// Transaction id as used by the lock manager.
+pub type TxId = u64;
+
+/// Lock modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read) — compatible with other shared locks.
+    Shared,
+    /// Exclusive (write) — compatible with nothing.
+    Exclusive,
+}
+
+/// A lockable resource: `(domain, key bytes)`.
+pub type LockKey = (String, Vec<u8>);
+
+#[derive(Default)]
+struct LockState {
+    /// Current holders with their strongest mode.
+    holders: HashMap<TxId, LockMode>,
+    /// FIFO of waiting (txid, mode) pairs.
+    waiters: VecDeque<(TxId, LockMode)>,
+}
+
+#[derive(Default)]
+struct LmInner {
+    table: HashMap<LockKey, LockState>,
+    /// Edges txid → txids it waits for.
+    wait_for: HashMap<TxId, HashSet<TxId>>,
+    /// Locks held per transaction (for release_all).
+    held: HashMap<TxId, HashSet<LockKey>>,
+    /// Victims that must abort (woken with an error).
+    doomed: HashSet<TxId>,
+}
+
+/// The lock manager.
+pub struct LockManager {
+    inner: Arc<(Mutex<LmInner>, Condvar)>,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LockManager {
+    /// New empty manager.
+    pub fn new() -> Self {
+        LockManager { inner: Arc::new((Mutex::new(LmInner::default()), Condvar::new())) }
+    }
+
+    fn compatible(state: &LockState, txid: TxId, mode: LockMode) -> bool {
+        state.holders.iter().all(|(&h, &hm)| {
+            h == txid
+                || (mode == LockMode::Shared && hm == LockMode::Shared)
+        })
+    }
+
+    /// Acquire (or upgrade) a lock, blocking until granted. Returns
+    /// `Err(TxnConflict)` when this transaction is chosen as a deadlock
+    /// victim; the caller must abort and release.
+    pub fn acquire(&self, txid: TxId, key: LockKey, mode: LockMode) -> Result<()> {
+        let (lock, cv) = &*self.inner;
+        let mut inner = lock.lock();
+        loop {
+            if inner.doomed.remove(&txid) {
+                inner.wait_for.remove(&txid);
+                Self::remove_waiter(&mut inner, txid, &key);
+                return Err(Error::TxnConflict(format!("transaction {txid} chosen as deadlock victim")));
+            }
+            let state = inner.table.entry(key.clone()).or_default();
+            let already = state.holders.get(&txid).copied();
+            if already == Some(LockMode::Exclusive)
+                || (already == Some(LockMode::Shared) && mode == LockMode::Shared)
+            {
+                return Ok(());
+            }
+            // Upgrade shared→exclusive: grantable when sole holder.
+            if already == Some(LockMode::Shared)
+                && mode == LockMode::Exclusive
+                && state.holders.len() == 1
+            {
+                state.holders.insert(txid, LockMode::Exclusive);
+                return Ok(());
+            }
+            if already.is_none() && Self::compatible(state, txid, mode) && state.waiters.is_empty()
+            {
+                state.holders.insert(txid, mode);
+                inner.held.entry(txid).or_default().insert(key.clone());
+                return Ok(());
+            }
+            // Must wait. Record wait-for edges and check for deadlock.
+            if !state.waiters.iter().any(|(t, m)| *t == txid && *m == mode) {
+                state.waiters.push_back((txid, mode));
+            }
+            let blockers: HashSet<TxId> =
+                state.holders.keys().copied().filter(|&h| h != txid).collect();
+            inner.wait_for.insert(txid, blockers);
+            if let Some(victim) = Self::find_deadlock_victim(&inner, txid) {
+                if victim == txid {
+                    inner.wait_for.remove(&txid);
+                    Self::remove_waiter(&mut inner, txid, &key);
+                    return Err(Error::TxnConflict(format!(
+                        "transaction {txid} chosen as deadlock victim"
+                    )));
+                }
+                inner.doomed.insert(victim);
+                cv.notify_all();
+            }
+            cv.wait(&mut inner);
+            // Re-evaluate from the top; clear our wait edges first.
+            inner.wait_for.remove(&txid);
+            Self::promote_waiters(&mut inner, &key);
+        }
+    }
+
+    fn remove_waiter(inner: &mut LmInner, txid: TxId, key: &LockKey) {
+        if let Some(state) = inner.table.get_mut(key) {
+            state.waiters.retain(|(t, _)| *t != txid);
+        }
+    }
+
+    /// Grant locks to compatible queue heads.
+    fn promote_waiters(inner: &mut LmInner, key: &LockKey) {
+        let Some(state) = inner.table.get_mut(key) else { return };
+        let mut granted = Vec::new();
+        while let Some(&(t, m)) = state.waiters.front() {
+            if Self::compatible(state, t, m) {
+                state.waiters.pop_front();
+                state.holders.insert(t, m);
+                granted.push(t);
+                if m == LockMode::Exclusive {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        for t in granted {
+            inner.held.entry(t).or_default().insert(key.clone());
+            inner.wait_for.remove(&t);
+        }
+    }
+
+    /// DFS cycle detection from `start`; returns the victim (the youngest
+    /// = largest txid on the cycle).
+    fn find_deadlock_victim(inner: &LmInner, start: TxId) -> Option<TxId> {
+        let mut stack = vec![(start, vec![start])];
+        let mut visited = HashSet::new();
+        while let Some((t, path)) = stack.pop() {
+            if let Some(next) = inner.wait_for.get(&t) {
+                for &n in next {
+                    if n == start {
+                        return path.iter().copied().max();
+                    }
+                    if visited.insert(n) {
+                        let mut p = path.clone();
+                        p.push(n);
+                        stack.push((n, p));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Release every lock of a transaction (commit or abort).
+    pub fn release_all(&self, txid: TxId) {
+        let (lock, cv) = &*self.inner;
+        let mut inner = lock.lock();
+        inner.doomed.remove(&txid);
+        inner.wait_for.remove(&txid);
+        let keys: Vec<LockKey> = inner.held.remove(&txid).into_iter().flatten().collect();
+        for key in keys {
+            if let Some(state) = inner.table.get_mut(&key) {
+                state.holders.remove(&txid);
+                state.waiters.retain(|(t, _)| *t != txid);
+            }
+            Self::promote_waiters(&mut inner, &key);
+        }
+        // Drop empty entries to keep the table small.
+        inner.table.retain(|_, s| !s.holders.is_empty() || !s.waiters.is_empty());
+        cv.notify_all();
+    }
+
+    /// Number of keys with any holder/waiter (observability).
+    pub fn active_keys(&self) -> usize {
+        self.inner.0.lock().table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    fn k(s: &str) -> LockKey {
+        ("t".to_string(), s.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn shared_locks_coexist_exclusive_excludes() {
+        let lm = LockManager::new();
+        lm.acquire(1, k("a"), LockMode::Shared).unwrap();
+        lm.acquire(2, k("a"), LockMode::Shared).unwrap();
+        // An exclusive waiter blocks; use a thread + release to observe.
+        let lm = Arc::new(lm);
+        let lm2 = Arc::clone(&lm);
+        let h = thread::spawn(move || lm2.acquire(3, k("a"), LockMode::Exclusive));
+        thread::sleep(Duration::from_millis(50));
+        assert!(!h.is_finished(), "exclusive must wait for shared holders");
+        lm.release_all(1);
+        lm.release_all(2);
+        h.join().unwrap().unwrap();
+        lm.release_all(3);
+        assert_eq!(lm.active_keys(), 0);
+    }
+
+    #[test]
+    fn reacquire_and_upgrade() {
+        let lm = LockManager::new();
+        lm.acquire(1, k("a"), LockMode::Shared).unwrap();
+        lm.acquire(1, k("a"), LockMode::Shared).unwrap();
+        lm.acquire(1, k("a"), LockMode::Exclusive).unwrap(); // sole-holder upgrade
+        lm.acquire(1, k("a"), LockMode::Shared).unwrap(); // X covers S
+        lm.release_all(1);
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_a_victim_aborted() {
+        let lm = Arc::new(LockManager::new());
+        lm.acquire(1, k("a"), LockMode::Exclusive).unwrap();
+        lm.acquire(2, k("b"), LockMode::Exclusive).unwrap();
+        let lm1 = Arc::clone(&lm);
+        let t1 = thread::spawn(move || {
+            let r = lm1.acquire(1, k("b"), LockMode::Exclusive);
+            if r.is_err() {
+                lm1.release_all(1);
+            }
+            r
+        });
+        thread::sleep(Duration::from_millis(50));
+        let lm2 = Arc::clone(&lm);
+        let t2 = thread::spawn(move || {
+            let r = lm2.acquire(2, k("a"), LockMode::Exclusive);
+            if r.is_err() {
+                lm2.release_all(2);
+            }
+            r
+        });
+        let r1 = t1.join().unwrap();
+        let r2 = t2.join().unwrap();
+        // Exactly one aborts, the other eventually proceeds.
+        assert!(r1.is_err() ^ r2.is_err(), "exactly one victim: {r1:?} {r2:?}");
+        lm.release_all(1);
+        lm.release_all(2);
+    }
+
+    #[test]
+    fn fifo_fairness_prevents_writer_starvation() {
+        let lm = Arc::new(LockManager::new());
+        lm.acquire(1, k("a"), LockMode::Shared).unwrap();
+        // Writer queues first, then another reader.
+        let lmw = Arc::clone(&lm);
+        let w = thread::spawn(move || {
+            lmw.acquire(2, k("a"), LockMode::Exclusive).unwrap();
+            lmw.release_all(2);
+        });
+        thread::sleep(Duration::from_millis(50));
+        let lmr = Arc::clone(&lm);
+        let r = thread::spawn(move || {
+            lmr.acquire(3, k("a"), LockMode::Shared).unwrap();
+            lmr.release_all(3);
+        });
+        thread::sleep(Duration::from_millis(50));
+        lm.release_all(1);
+        w.join().unwrap();
+        r.join().unwrap();
+    }
+
+    #[test]
+    fn release_unblocks_waiters() {
+        let lm = Arc::new(LockManager::new());
+        lm.acquire(1, k("x"), LockMode::Exclusive).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let h = thread::spawn(move || {
+            lm2.acquire(2, k("x"), LockMode::Shared).unwrap();
+            lm2.release_all(2);
+            true
+        });
+        thread::sleep(Duration::from_millis(30));
+        lm.release_all(1);
+        assert!(h.join().unwrap());
+    }
+}

@@ -1,0 +1,669 @@
+//! Multi-version concurrency control with snapshot isolation, optional
+//! serializable upgrade, WAL durability, and commit hooks.
+//!
+//! Every transactional key is `(domain, key-bytes)`; domains name model
+//! collections (`"doc/orders"`, `"kv/cart"`, …), so one transaction spans
+//! every data model — the tutorial's "cross-model transaction".
+//!
+//! Protocol: a transaction reads the latest version with
+//! `commit_ts <= start_ts` (its snapshot) and buffers writes locally. At
+//! commit, *first-committer-wins* validation rejects the transaction if
+//! any written key has a version committed after its snapshot; surviving
+//! writes get a fresh commit timestamp, go to the WAL (Begin/Write*/Commit
+//!   + fsync), install into the version chains, and fire the registered
+//!   commit hooks so model stores can update their indexes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use mmdb_storage::wal::{self, Wal, WalRecord};
+use mmdb_types::codec::{value_from_bytes, value_to_bytes};
+use mmdb_types::{Error, Result, Value};
+
+use crate::consistency::{ConsistencyLevel, ConsistencyPolicy};
+use crate::locks::{LockManager, LockMode};
+
+/// Isolation levels offered per transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IsolationLevel {
+    /// Snapshot isolation (default): consistent reads, FCW write conflicts.
+    #[default]
+    Snapshot,
+    /// Serializable: snapshot + strict 2PL on reads and writes.
+    Serializable,
+}
+
+/// A transactional key.
+pub type TxnKey = (String, Vec<u8>);
+
+#[derive(Debug, Clone)]
+struct Version {
+    commit_ts: u64,
+    value: Option<Value>,
+}
+
+/// One committed write, as passed to commit hooks.
+#[derive(Debug, Clone)]
+pub struct CommittedWrite {
+    /// Model domain, e.g. `"doc/orders"`.
+    pub domain: String,
+    /// Key bytes.
+    pub key: Vec<u8>,
+    /// New value; `None` is a delete.
+    pub value: Option<Value>,
+}
+
+type CommitHook = Box<dyn Fn(&[CommittedWrite]) + Send + Sync>;
+
+struct StoreInner {
+    versions: RwLock<HashMap<TxnKey, Vec<Version>>>,
+    clock: AtomicU64,
+    next_txid: AtomicU64,
+    wal: Option<Arc<Wal>>,
+    locks: LockManager,
+    policy: RwLock<ConsistencyPolicy>,
+    hooks: RwLock<Vec<CommitHook>>,
+    /// Serializes validate+install (the commit critical section).
+    commit_mutex: Mutex<()>,
+    aborts: AtomicU64,
+    commits: AtomicU64,
+}
+
+/// The shared MVCC store.
+#[derive(Clone)]
+pub struct MvccStore {
+    inner: Arc<StoreInner>,
+}
+
+impl Default for MvccStore {
+    fn default() -> Self {
+        Self::new(None)
+    }
+}
+
+impl MvccStore {
+    /// New store; pass a WAL for durability.
+    pub fn new(wal: Option<Arc<Wal>>) -> Self {
+        MvccStore {
+            inner: Arc::new(StoreInner {
+                versions: RwLock::new(HashMap::new()),
+                clock: AtomicU64::new(1),
+                next_txid: AtomicU64::new(1),
+                wal,
+                locks: LockManager::new(),
+                policy: RwLock::new(ConsistencyPolicy::default()),
+                hooks: RwLock::new(Vec::new()),
+                commit_mutex: Mutex::new(()),
+                aborts: AtomicU64::new(0),
+                commits: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Register a commit hook (fired after every successful commit with
+    /// its write set).
+    pub fn add_commit_hook(&self, hook: impl Fn(&[CommittedWrite]) + Send + Sync + 'static) {
+        self.inner.hooks.write().push(Box::new(hook));
+    }
+
+    /// Set the per-domain consistency policy.
+    pub fn set_policy(&self, policy: ConsistencyPolicy) {
+        *self.inner.policy.write() = policy;
+    }
+
+    /// Begin a transaction.
+    pub fn begin(&self, isolation: IsolationLevel) -> Transaction {
+        Transaction {
+            store: self.inner.clone(),
+            txid: self.inner.next_txid.fetch_add(1, Ordering::SeqCst),
+            start_ts: self.inner.clock.load(Ordering::SeqCst),
+            isolation,
+            writes: Vec::new(),
+            closed: false,
+        }
+    }
+
+    /// Latest committed value (outside any transaction).
+    pub fn get_latest(&self, domain: &str, key: &[u8]) -> Option<Value> {
+        let versions = self.inner.versions.read();
+        versions
+            .get(&(domain.to_string(), key.to_vec()))
+            .and_then(|chain| chain.last())
+            .and_then(|v| v.value.clone())
+    }
+
+    /// Run `f` inside a transaction, retrying on conflict up to
+    /// `max_retries` times (the canonical SI client loop).
+    pub fn run<T>(
+        &self,
+        isolation: IsolationLevel,
+        max_retries: usize,
+        mut f: impl FnMut(&mut Transaction) -> Result<T>,
+    ) -> Result<T> {
+        let mut attempt = 0;
+        loop {
+            let mut txn = self.begin(isolation);
+            match f(&mut txn).and_then(|v| txn.commit().map(|_| v)) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() && attempt < max_retries => {
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// `(commits, aborts)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.inner.commits.load(Ordering::SeqCst),
+            self.inner.aborts.load(Ordering::SeqCst),
+        )
+    }
+
+    /// Drop versions no live snapshot can see (all but the newest version
+    /// with `commit_ts <= horizon`).
+    pub fn vacuum(&self, horizon: u64) -> usize {
+        let mut versions = self.inner.versions.write();
+        let mut dropped = 0;
+        versions.retain(|_, chain| {
+            // Keep the newest version at-or-before the horizon plus
+            // everything after it.
+            if let Some(keep_from) = chain.iter().rposition(|v| v.commit_ts <= horizon) {
+                dropped += keep_from;
+                chain.drain(..keep_from);
+            }
+            // Fully-deleted, single-tombstone chains can go entirely.
+            if chain.len() == 1 && chain[0].value.is_none() && chain[0].commit_ts <= horizon {
+                dropped += 1;
+                return false;
+            }
+            true
+        });
+        dropped
+    }
+
+    /// Current logical time (usable as a vacuum horizon).
+    pub fn now(&self) -> u64 {
+        self.inner.clock.load(Ordering::SeqCst)
+    }
+
+    /// Apply WAL recovery output: reinstall the committed writes of the
+    /// log (used at startup). Fires commit hooks so model stores rebuild.
+    pub fn recover(&self, recovery: &wal::Recovery) -> Result<usize> {
+        let mut by_txn: Vec<CommittedWrite> = Vec::new();
+        for op in &recovery.redo {
+            let value = op.value.as_deref().map(value_from_bytes).transpose()?;
+            by_txn.push(CommittedWrite { domain: op.domain.clone(), key: op.key.clone(), value });
+        }
+        let ts = self.inner.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        {
+            let mut versions = self.inner.versions.write();
+            for w in &by_txn {
+                versions
+                    .entry((w.domain.clone(), w.key.clone()))
+                    .or_default()
+                    .push(Version { commit_ts: ts, value: w.value.clone() });
+            }
+        }
+        let hooks = self.inner.hooks.read();
+        for h in hooks.iter() {
+            h(&by_txn);
+        }
+        Ok(by_txn.len())
+    }
+}
+
+/// A buffered write.
+#[derive(Debug, Clone)]
+struct PendingWrite {
+    key: TxnKey,
+    value: Option<Value>,
+}
+
+/// An open transaction.
+pub struct Transaction {
+    store: Arc<StoreInner>,
+    txid: u64,
+    start_ts: u64,
+    isolation: IsolationLevel,
+    writes: Vec<PendingWrite>,
+    closed: bool,
+}
+
+impl Transaction {
+    /// This transaction's id.
+    pub fn id(&self) -> u64 {
+        self.txid
+    }
+
+    /// The snapshot timestamp.
+    pub fn start_ts(&self) -> u64 {
+        self.start_ts
+    }
+
+    fn check_open(&self) -> Result<()> {
+        if self.closed {
+            return Err(Error::TxnClosed(format!("transaction {} is closed", self.txid)));
+        }
+        Ok(())
+    }
+
+    /// Read a key: own writes first, then the snapshot. Domains with
+    /// `Eventual` consistency read latest-committed instead (fresher but
+    /// not snapshot-stable).
+    pub fn get(&self, domain: &str, key: &[u8]) -> Result<Option<Value>> {
+        self.check_open()?;
+        let tkey: TxnKey = (domain.to_string(), key.to_vec());
+        if let Some(w) = self.writes.iter().rev().find(|w| w.key == tkey) {
+            return Ok(w.value.clone());
+        }
+        if self.isolation == IsolationLevel::Serializable {
+            self.store.locks.acquire(self.txid, tkey.clone(), LockMode::Shared)?;
+        }
+        let level = self.store.policy.read().level(domain);
+        let versions = self.store.versions.read();
+        let chain = versions.get(&tkey);
+        Ok(match level {
+            ConsistencyLevel::Eventual => chain.and_then(|c| c.last()).and_then(|v| v.value.clone()),
+            ConsistencyLevel::Strong => chain
+                .and_then(|c| c.iter().rev().find(|v| v.commit_ts <= self.start_ts))
+                .and_then(|v| v.value.clone()),
+        })
+    }
+
+    /// Buffer a write.
+    pub fn put(&mut self, domain: &str, key: &[u8], value: Value) -> Result<()> {
+        self.write(domain, key, Some(value))
+    }
+
+    /// Buffer a delete.
+    pub fn delete(&mut self, domain: &str, key: &[u8]) -> Result<()> {
+        self.write(domain, key, None)
+    }
+
+    fn write(&mut self, domain: &str, key: &[u8], value: Option<Value>) -> Result<()> {
+        self.check_open()?;
+        let tkey: TxnKey = (domain.to_string(), key.to_vec());
+        if self.isolation == IsolationLevel::Serializable {
+            self.store.locks.acquire(self.txid, tkey.clone(), LockMode::Exclusive)?;
+        }
+        self.writes.push(PendingWrite { key: tkey, value });
+        Ok(())
+    }
+
+    /// Number of buffered writes.
+    pub fn write_count(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Commit. On `TxnConflict` the transaction is rolled back and should
+    /// be retried by the caller.
+    pub fn commit(mut self) -> Result<u64> {
+        self.check_open()?;
+        self.closed = true;
+        if self.writes.is_empty() {
+            self.release_locks();
+            return Ok(self.start_ts);
+        }
+        let _guard = self.store.commit_mutex.lock();
+        // First-committer-wins validation for strong domains.
+        {
+            let policy = self.store.policy.read();
+            let versions = self.store.versions.read();
+            for w in &self.writes {
+                if policy.level(&w.key.0) == ConsistencyLevel::Eventual {
+                    continue;
+                }
+                if let Some(chain) = versions.get(&w.key) {
+                    if let Some(last) = chain.last() {
+                        if last.commit_ts > self.start_ts {
+                            drop(versions);
+                            drop(policy);
+                            self.store.aborts.fetch_add(1, Ordering::SeqCst);
+                            self.release_locks();
+                            return Err(Error::TxnConflict(format!(
+                                "write-write conflict on {}/{:?}",
+                                w.key.0, w.key.1
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        let commit_ts = self.store.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        // WAL first (durability), then install.
+        if let Some(wal) = &self.store.wal {
+            wal.append(&WalRecord::Begin { txid: self.txid })?;
+            for w in &self.writes {
+                wal.append(&WalRecord::Write {
+                    txid: self.txid,
+                    domain: w.key.0.clone(),
+                    key: w.key.1.clone(),
+                    value: w.value.as_ref().map(|v| value_to_bytes(v).to_vec()),
+                })?;
+            }
+            wal.append(&WalRecord::Commit { txid: self.txid })?;
+            wal.sync()?;
+        }
+        let committed: Vec<CommittedWrite> = {
+            let mut versions = self.store.versions.write();
+            self.writes
+                .iter()
+                .map(|w| {
+                    versions
+                        .entry(w.key.clone())
+                        .or_default()
+                        .push(Version { commit_ts, value: w.value.clone() });
+                    CommittedWrite {
+                        domain: w.key.0.clone(),
+                        key: w.key.1.clone(),
+                        value: w.value.clone(),
+                    }
+                })
+                .collect()
+        };
+        self.store.commits.fetch_add(1, Ordering::SeqCst);
+        self.release_locks();
+        let hooks = self.store.hooks.read();
+        for h in hooks.iter() {
+            h(&committed);
+        }
+        Ok(commit_ts)
+    }
+
+    /// Abort: discard buffered writes, release locks, log the abort.
+    pub fn abort(mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        self.store.aborts.fetch_add(1, Ordering::SeqCst);
+        if let Some(wal) = &self.store.wal {
+            let _ = wal.append(&WalRecord::Abort { txid: self.txid });
+        }
+        self.release_locks();
+    }
+
+    fn release_locks(&self) {
+        if self.isolation == IsolationLevel::Serializable {
+            self.store.locks.release_all(self.txid);
+        }
+    }
+}
+
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        if !self.closed {
+            // Implicit abort on drop.
+            self.closed = true;
+            self.store.aborts.fetch_add(1, Ordering::SeqCst);
+            self.release_locks();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> MvccStore {
+        MvccStore::new(None)
+    }
+
+    #[test]
+    fn read_your_writes_and_commit_visibility() {
+        let s = store();
+        let mut t = s.begin(IsolationLevel::Snapshot);
+        t.put("kv/cart", b"1", Value::str("34e5e759")).unwrap();
+        assert_eq!(t.get("kv/cart", b"1").unwrap(), Some(Value::str("34e5e759")));
+        assert_eq!(s.get_latest("kv/cart", b"1"), None, "uncommitted is invisible");
+        t.commit().unwrap();
+        assert_eq!(s.get_latest("kv/cart", b"1"), Some(Value::str("34e5e759")));
+    }
+
+    #[test]
+    fn snapshot_reads_ignore_later_commits() {
+        let s = store();
+        let mut setup = s.begin(IsolationLevel::Snapshot);
+        setup.put("d", b"k", Value::int(1)).unwrap();
+        setup.commit().unwrap();
+
+        let reader = s.begin(IsolationLevel::Snapshot);
+        assert_eq!(reader.get("d", b"k").unwrap(), Some(Value::int(1)));
+
+        let mut writer = s.begin(IsolationLevel::Snapshot);
+        writer.put("d", b"k", Value::int(2)).unwrap();
+        writer.commit().unwrap();
+
+        // The old snapshot still sees 1.
+        assert_eq!(reader.get("d", b"k").unwrap(), Some(Value::int(1)));
+        assert_eq!(s.get_latest("d", b"k"), Some(Value::int(2)));
+    }
+
+    #[test]
+    fn first_committer_wins() {
+        let s = store();
+        let mut t1 = s.begin(IsolationLevel::Snapshot);
+        let mut t2 = s.begin(IsolationLevel::Snapshot);
+        t1.put("d", b"k", Value::int(1)).unwrap();
+        t2.put("d", b"k", Value::int(2)).unwrap();
+        t1.commit().unwrap();
+        let e = t2.commit().unwrap_err();
+        assert!(e.is_retryable());
+        assert_eq!(s.get_latest("d", b"k"), Some(Value::int(1)));
+        let (commits, aborts) = s.stats();
+        assert_eq!((commits, aborts), (1, 1));
+    }
+
+    #[test]
+    fn cross_model_atomicity() {
+        // The UniBench Workload C shape: one txn touches four domains.
+        let s = store();
+        let mut t = s.begin(IsolationLevel::Snapshot);
+        t.put("rel/customers", b"1", Value::int(4500)).unwrap();
+        t.put("kv/cart", b"1", Value::str("o1")).unwrap();
+        t.put("doc/orders", b"o1", Value::object([("total", Value::int(500))])).unwrap();
+        t.put("graph/ordered", b"1->o1", Value::Bool(true)).unwrap();
+        t.commit().unwrap();
+        for (d, k) in [
+            ("rel/customers", b"1".as_slice()),
+            ("kv/cart", b"1"),
+            ("doc/orders", b"o1"),
+            ("graph/ordered", b"1->o1"),
+        ] {
+            assert!(s.get_latest(d, k).is_some(), "{d} missing");
+        }
+        // And an aborted txn leaves nothing anywhere.
+        let mut t = s.begin(IsolationLevel::Snapshot);
+        t.put("rel/customers", b"2", Value::int(1)).unwrap();
+        t.put("doc/orders", b"o2", Value::Null).unwrap();
+        t.abort();
+        assert_eq!(s.get_latest("rel/customers", b"2"), None);
+    }
+
+    #[test]
+    fn deletes_are_versions() {
+        let s = store();
+        let mut t = s.begin(IsolationLevel::Snapshot);
+        t.put("d", b"k", Value::int(1)).unwrap();
+        t.commit().unwrap();
+        let old_reader = s.begin(IsolationLevel::Snapshot);
+        let mut t = s.begin(IsolationLevel::Snapshot);
+        t.delete("d", b"k").unwrap();
+        t.commit().unwrap();
+        assert_eq!(s.get_latest("d", b"k"), None);
+        assert_eq!(old_reader.get("d", b"k").unwrap(), Some(Value::int(1)));
+    }
+
+    #[test]
+    fn closed_transactions_reject_use() {
+        let s = store();
+        let t = s.begin(IsolationLevel::Snapshot);
+        let id = t.id();
+        t.commit().unwrap();
+        let t2 = s.begin(IsolationLevel::Snapshot);
+        assert!(t2.id() > id);
+        // commit consumes; dropping without commit aborts implicitly.
+        let t3 = s.begin(IsolationLevel::Snapshot);
+        drop(t3);
+        let (_, aborts) = s.stats();
+        assert_eq!(aborts, 1);
+    }
+
+    #[test]
+    fn run_retries_conflicts() {
+        let s = store();
+        let mut t0 = s.begin(IsolationLevel::Snapshot);
+        t0.put("d", b"counter", Value::int(0)).unwrap();
+        t0.commit().unwrap();
+        // Interleave two increments manually to force one conflict, then
+        // verify `run` retries to success.
+        let s2 = s.clone();
+        let result = s.run(IsolationLevel::Snapshot, 5, |t| {
+            let v = t.get("d", b"counter")?.unwrap_or(Value::int(0)).as_int()?;
+            // Sneak in a competing committed write on the first attempt.
+            if v == 0 {
+                let mut rogue = s2.begin(IsolationLevel::Snapshot);
+                rogue.put("d", b"counter", Value::int(100)).unwrap();
+                let _ = rogue.commit();
+            }
+            t.put("d", b"counter", Value::int(v + 1))?;
+            Ok(())
+        });
+        result.unwrap();
+        assert_eq!(s.get_latest("d", b"counter"), Some(Value::int(101)));
+    }
+
+    #[test]
+    fn serializable_blocks_write_skew() {
+        // Classic write skew: t1 reads A writes B, t2 reads B writes A.
+        // Under SI both commit; under serializable one is a deadlock
+        // victim or serialized cleanly.
+        let s = store();
+        let mut setup = s.begin(IsolationLevel::Snapshot);
+        setup.put("d", b"A", Value::int(1)).unwrap();
+        setup.put("d", b"B", Value::int(1)).unwrap();
+        setup.commit().unwrap();
+
+        // Under SI: both commit (the anomaly).
+        let mut t1 = s.begin(IsolationLevel::Snapshot);
+        let mut t2 = s.begin(IsolationLevel::Snapshot);
+        let a = t1.get("d", b"A").unwrap().unwrap().as_int().unwrap();
+        let b = t2.get("d", b"B").unwrap().unwrap().as_int().unwrap();
+        t1.put("d", b"B", Value::int(a - 1)).unwrap();
+        t2.put("d", b"A", Value::int(b - 1)).unwrap();
+        assert!(t1.commit().is_ok());
+        assert!(t2.commit().is_ok(), "SI permits write skew");
+
+        // Under serializable: the lock manager interleaves them safely —
+        // run them in threads; at least one sees the other's effect.
+        let s = store();
+        let mut setup = s.begin(IsolationLevel::Snapshot);
+        setup.put("d", b"A", Value::int(1)).unwrap();
+        setup.put("d", b"B", Value::int(1)).unwrap();
+        setup.commit().unwrap();
+        let s1 = s.clone();
+        let h1 = std::thread::spawn(move || {
+            s1.run(IsolationLevel::Serializable, 10, |t| {
+                let a = t.get("d", b"A")?.unwrap().as_int()?;
+                t.put("d", b"B", Value::int(a - 1))?;
+                Ok(())
+            })
+        });
+        let s2 = s.clone();
+        let h2 = std::thread::spawn(move || {
+            s2.run(IsolationLevel::Serializable, 10, |t| {
+                let b = t.get("d", b"B")?.unwrap().as_int()?;
+                t.put("d", b"A", Value::int(b - 1))?;
+                Ok(())
+            })
+        });
+        h1.join().unwrap().unwrap();
+        h2.join().unwrap().unwrap();
+        let a = s.get_latest("d", b"A").unwrap().as_int().unwrap();
+        let b = s.get_latest("d", b"B").unwrap().as_int().unwrap();
+        // The serial orders are t1;t2 → (-1,0) and t2;t1 → (0,-1); write
+        // skew would give (0,0).
+        assert!(
+            (a, b) == (-1, 0) || (a, b) == (0, -1),
+            "serializable outcome must equal a serial order, got ({a},{b})"
+        );
+    }
+
+    #[test]
+    fn wal_durability_and_recovery() {
+        let wal = Arc::new(Wal::in_memory());
+        let s = MvccStore::new(Some(Arc::clone(&wal)));
+        let mut t = s.begin(IsolationLevel::Snapshot);
+        t.put("doc/orders", b"o1", Value::object([("n", Value::int(1))])).unwrap();
+        t.put("kv/cart", b"c1", Value::str("o1")).unwrap();
+        t.commit().unwrap();
+        let mut t = s.begin(IsolationLevel::Snapshot);
+        t.put("doc/orders", b"o2", Value::Null).unwrap();
+        t.abort();
+
+        // "Crash": rebuild a fresh store from the log.
+        let recovery = wal::recover_from_bytes(&wal.snapshot_bytes());
+        let s2 = MvccStore::new(None);
+        let replayed = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let r2 = replayed.clone();
+        s2.add_commit_hook(move |ws| {
+            r2.fetch_add(ws.len(), Ordering::SeqCst);
+        });
+        let n = s2.recover(&recovery).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(replayed.load(Ordering::SeqCst), 2);
+        assert_eq!(
+            s2.get_latest("doc/orders", b"o1").unwrap().get_field("n"),
+            &Value::int(1)
+        );
+        assert_eq!(s2.get_latest("doc/orders", b"o2"), None, "aborted txn not replayed");
+    }
+
+    #[test]
+    fn eventual_domains_skip_validation_and_read_fresh() {
+        let s = store();
+        let mut policy = ConsistencyPolicy::default();
+        policy.set("graph/likes", ConsistencyLevel::Eventual);
+        s.set_policy(policy);
+
+        let mut t1 = s.begin(IsolationLevel::Snapshot);
+        let mut t2 = s.begin(IsolationLevel::Snapshot);
+        t1.put("graph/likes", b"e1", Value::int(1)).unwrap();
+        t2.put("graph/likes", b"e1", Value::int(2)).unwrap();
+        t1.commit().unwrap();
+        // Same key, both eventual: no conflict, last write wins.
+        t2.commit().unwrap();
+        assert_eq!(s.get_latest("graph/likes", b"e1"), Some(Value::int(2)));
+
+        // Eventual reads see fresh data even from an old snapshot.
+        let reader = s.begin(IsolationLevel::Snapshot);
+        let mut w = s.begin(IsolationLevel::Snapshot);
+        w.put("graph/likes", b"e2", Value::int(9)).unwrap();
+        w.commit().unwrap();
+        assert_eq!(reader.get("graph/likes", b"e2").unwrap(), Some(Value::int(9)));
+    }
+
+    #[test]
+    fn vacuum_drops_dead_versions() {
+        let s = store();
+        for i in 0..10 {
+            let mut t = s.begin(IsolationLevel::Snapshot);
+            t.put("d", b"k", Value::int(i)).unwrap();
+            t.commit().unwrap();
+        }
+        let dropped = s.vacuum(s.now());
+        assert_eq!(dropped, 9, "nine superseded versions reclaimed");
+        assert_eq!(s.get_latest("d", b"k"), Some(Value::int(9)));
+        // Deleted keys vanish entirely.
+        let mut t = s.begin(IsolationLevel::Snapshot);
+        t.delete("d", b"k").unwrap();
+        t.commit().unwrap();
+        s.vacuum(s.now());
+        assert_eq!(s.get_latest("d", b"k"), None);
+    }
+}

@@ -1,0 +1,119 @@
+//! The common error type shared by every mmdb crate.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors produced anywhere in the engine.
+///
+/// A single workspace-wide error enum keeps cross-crate plumbing simple: the
+/// storage engine, the query executor and the transaction manager can all
+/// surface their failures through one channel without conversion
+/// boilerplate at every crate boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Malformed input text (JSON, XML, MMQL, SQL...). Carries a
+    /// human-readable message including position information.
+    Parse(String),
+    /// A value had the wrong type for the requested operation.
+    Type(String),
+    /// A named object (collection, table, graph, index...) does not exist.
+    NotFound(String),
+    /// An object with the same name or key already exists.
+    AlreadyExists(String),
+    /// A schema constraint was violated (arity, declared type, key...).
+    Schema(String),
+    /// Underlying storage failure (I/O, corrupt page, checksum...).
+    Storage(String),
+    /// Transaction aborted: write-write conflict, deadlock victim, or
+    /// explicit rollback. The transaction must be retried by the caller.
+    TxnConflict(String),
+    /// The transaction handle was used after commit/abort.
+    TxnClosed(String),
+    /// Query planning or execution failure not covered above.
+    Query(String),
+    /// An operation is not supported by the chosen configuration
+    /// (e.g. range scan on a hash index).
+    Unsupported(String),
+    /// Internal invariant violation — always a bug in mmdb itself.
+    Internal(String),
+}
+
+impl Error {
+    /// Short machine-readable tag for the error class, useful in tests and
+    /// structured logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Parse(_) => "parse",
+            Error::Type(_) => "type",
+            Error::NotFound(_) => "not_found",
+            Error::AlreadyExists(_) => "already_exists",
+            Error::Schema(_) => "schema",
+            Error::Storage(_) => "storage",
+            Error::TxnConflict(_) => "txn_conflict",
+            Error::TxnClosed(_) => "txn_closed",
+            Error::Query(_) => "query",
+            Error::Unsupported(_) => "unsupported",
+            Error::Internal(_) => "internal",
+        }
+    }
+
+    /// True when retrying the whole transaction could succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Error::TxnConflict(_))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (kind, msg) = match self {
+            Error::Parse(m) => ("parse error", m),
+            Error::Type(m) => ("type error", m),
+            Error::NotFound(m) => ("not found", m),
+            Error::AlreadyExists(m) => ("already exists", m),
+            Error::Schema(m) => ("schema violation", m),
+            Error::Storage(m) => ("storage error", m),
+            Error::TxnConflict(m) => ("transaction conflict", m),
+            Error::TxnClosed(m) => ("transaction closed", m),
+            Error::Query(m) => ("query error", m),
+            Error::Unsupported(m) => ("unsupported", m),
+            Error::Internal(m) => ("internal error", m),
+        };
+        write!(f, "{kind}: {msg}")
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Storage(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        let e = Error::NotFound("collection 'orders'".into());
+        assert_eq!(e.to_string(), "not found: collection 'orders'");
+        assert_eq!(e.kind(), "not_found");
+    }
+
+    #[test]
+    fn only_conflicts_are_retryable() {
+        assert!(Error::TxnConflict("ww".into()).is_retryable());
+        assert!(!Error::Storage("disk".into()).is_retryable());
+        assert!(!Error::Parse("bad".into()).is_retryable());
+    }
+
+    #[test]
+    fn io_error_converts_to_storage() {
+        let io = std::io::Error::other("boom");
+        let e: Error = io.into();
+        assert_eq!(e.kind(), "storage");
+    }
+}

@@ -1,0 +1,368 @@
+//! A small path language for reaching into nested values.
+//!
+//! This is the common denominator of the access syntaxes the tutorial
+//! surveys: PostgreSQL's `#>'{Orderlines,1}'`, Oracle NoSQL's
+//! `c.orders.orderlines[0].price`, AQL's `order.orderlines[*].Product_no`,
+//! and the path keys of GIN/path indexes. A [`Path`] is a sequence of
+//! [`PathStep`]s: field names, array indexes, or the `[*]` wildcard that
+//! fans out over array elements.
+
+use std::fmt;
+
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+/// One step of a [`Path`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PathStep {
+    /// Object field by name.
+    Field(String),
+    /// Array element by index (negative counts from the end).
+    Index(i64),
+    /// `[*]` — all elements of an array.
+    Wildcard,
+}
+
+/// A parsed path such as `orders.orderlines[*].product_no`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Path {
+    steps: Vec<PathStep>,
+}
+
+impl Path {
+    /// The empty path (resolves to the value itself).
+    pub fn root() -> Path {
+        Path { steps: Vec::new() }
+    }
+
+    /// Build from explicit steps.
+    pub fn from_steps(steps: Vec<PathStep>) -> Path {
+        Path { steps }
+    }
+
+    /// Parse `a.b[0].c[*]` syntax.
+    ///
+    /// Grammar: `ident ( '.' ident | '[' (int | '*') ']' )*`. Identifiers
+    /// may also be quoted with double quotes to allow dots inside names:
+    /// `"weird.key".inner`.
+    pub fn parse(text: &str) -> Result<Path> {
+        let mut steps = Vec::new();
+        let bytes = text.as_bytes();
+        let mut i = 0usize;
+        let err = |msg: &str| Error::Parse(format!("path '{text}': {msg}"));
+        let mut expect_field = true;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'.' => {
+                    if expect_field {
+                        return Err(err("unexpected '.'"));
+                    }
+                    expect_field = true;
+                    i += 1;
+                }
+                b'[' => {
+                    if expect_field && !steps.is_empty() {
+                        return Err(err("unexpected '['"));
+                    }
+                    let close = text[i..]
+                        .find(']')
+                        .map(|o| i + o)
+                        .ok_or_else(|| err("missing ']'"))?;
+                    let inner = text[i + 1..close].trim();
+                    if inner == "*" {
+                        steps.push(PathStep::Wildcard);
+                    } else {
+                        let idx: i64 = inner
+                            .parse()
+                            .map_err(|_| err("index must be an integer or *"))?;
+                        steps.push(PathStep::Index(idx));
+                    }
+                    expect_field = false;
+                    i = close + 1;
+                }
+                b'"' => {
+                    if !expect_field {
+                        return Err(err("unexpected quoted name"));
+                    }
+                    let close = text[i + 1..]
+                        .find('"')
+                        .map(|o| i + 1 + o)
+                        .ok_or_else(|| err("unterminated quoted name"))?;
+                    steps.push(PathStep::Field(text[i + 1..close].to_string()));
+                    expect_field = false;
+                    i = close + 1;
+                }
+                _ => {
+                    if !expect_field {
+                        return Err(err("expected '.' or '['"));
+                    }
+                    let start = i;
+                    while i < bytes.len() && bytes[i] != b'.' && bytes[i] != b'[' {
+                        i += 1;
+                    }
+                    let name = text[start..i].trim();
+                    if name.is_empty() {
+                        return Err(err("empty field name"));
+                    }
+                    steps.push(PathStep::Field(name.to_string()));
+                    expect_field = false;
+                }
+            }
+        }
+        if expect_field && !steps.is_empty() {
+            return Err(err("path ends with '.'"));
+        }
+        Ok(Path { steps })
+    }
+
+    /// The steps.
+    pub fn steps(&self) -> &[PathStep] {
+        &self.steps
+    }
+
+    /// True when no step is a wildcard (a *point* path).
+    pub fn is_point(&self) -> bool {
+        !self.steps.iter().any(|s| matches!(s, PathStep::Wildcard))
+    }
+
+    /// Append a field step, builder style.
+    pub fn field(mut self, name: impl Into<String>) -> Path {
+        self.steps.push(PathStep::Field(name.into()));
+        self
+    }
+
+    /// Append an index step, builder style.
+    pub fn index(mut self, idx: i64) -> Path {
+        self.steps.push(PathStep::Index(idx));
+        self
+    }
+
+    /// Append a wildcard step, builder style.
+    pub fn wildcard(mut self) -> Path {
+        self.steps.push(PathStep::Wildcard);
+        self
+    }
+
+    /// Resolve against a value with forgiving semantics: a missing field or
+    /// out-of-range index yields `Null`. Wildcards fan out, so the result
+    /// is a list; a point path yields exactly one element.
+    pub fn eval<'v>(&self, value: &'v Value) -> Vec<&'v Value> {
+        let mut current: Vec<&Value> = vec![value];
+        for step in &self.steps {
+            let mut next = Vec::with_capacity(current.len());
+            for v in current {
+                match step {
+                    PathStep::Field(name) => next.push(v.get_field(name)),
+                    PathStep::Index(i) => next.push(v.get_index(*i)),
+                    PathStep::Wildcard => {
+                        if let Value::Array(items) = v {
+                            next.extend(items.iter());
+                        }
+                        // Wildcard over a non-array fans out to nothing,
+                        // mirroring AQL's `doc.scalar[*]` behaviour.
+                    }
+                }
+            }
+            current = next;
+        }
+        current
+    }
+
+    /// Resolve a point path to a single value (`Null` when absent).
+    /// Wildcard paths return a type error.
+    pub fn eval_point<'v>(&self, value: &'v Value) -> Result<&'v Value> {
+        if !self.is_point() {
+            return Err(Error::Type(format!("path {self} contains a wildcard")));
+        }
+        Ok(self.eval(value).pop().unwrap_or(&Value::Null))
+    }
+
+    /// Set the value at a point path, creating intermediate objects as
+    /// needed (arrays are not auto-created; indexing a non-array fails).
+    pub fn set(&self, target: &mut Value, new_value: Value) -> Result<()> {
+        if self.steps.is_empty() {
+            *target = new_value;
+            return Ok(());
+        }
+        let mut cur = target;
+        for (i, step) in self.steps.iter().enumerate() {
+            let last = i + 1 == self.steps.len();
+            match step {
+                PathStep::Field(name) => {
+                    if cur.is_null() {
+                        *cur = Value::Object(Default::default());
+                    }
+                    let obj = cur.as_object_mut().map_err(|_| {
+                        Error::Type(format!("path {self}: cannot set field on non-object"))
+                    })?;
+                    if !obj.contains_key(name) {
+                        obj.insert(name.clone(), Value::Null);
+                    }
+                    cur = obj.get_mut(name).expect("just inserted");
+                }
+                PathStep::Index(idx) => {
+                    let arr = match cur {
+                        Value::Array(a) => a,
+                        _ => {
+                            return Err(Error::Type(format!(
+                                "path {self}: cannot index non-array"
+                            )))
+                        }
+                    };
+                    let n = arr.len() as i64;
+                    let j = if *idx < 0 { n + idx } else { *idx };
+                    if j < 0 || j >= n {
+                        return Err(Error::Type(format!("path {self}: index out of range")));
+                    }
+                    cur = &mut arr[j as usize];
+                }
+                PathStep::Wildcard => {
+                    return Err(Error::Type(format!("path {self}: cannot set a wildcard")))
+                }
+            }
+            if last {
+                *cur = new_value;
+                return Ok(());
+            }
+        }
+        unreachable!("loop always returns on the last step")
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, step) in self.steps.iter().enumerate() {
+            match step {
+                PathStep::Field(name) => {
+                    if i > 0 {
+                        write!(f, ".")?;
+                    }
+                    if name.contains('.') || name.contains('[') {
+                        write!(f, "\"{name}\"")?;
+                    } else {
+                        write!(f, "{name}")?;
+                    }
+                }
+                PathStep::Index(idx) => write!(f, "[{idx}]")?,
+                PathStep::Wildcard => write!(f, "[*]")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for Path {
+    type Err = Error;
+    fn from_str(s: &str) -> Result<Self> {
+        Path::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::from_json;
+
+    fn order() -> Value {
+        from_json(
+            r#"{"order_no":"0c6df508","orderlines":[
+                {"product_no":"2724f","price":66},
+                {"product_no":"3424g","price":40}]}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn point_paths() {
+        let doc = order();
+        let p = Path::parse("orderlines[0].product_no").unwrap();
+        assert_eq!(p.eval_point(&doc).unwrap(), &Value::str("2724f"));
+        let p = Path::parse("orderlines[-1].price").unwrap();
+        assert_eq!(p.eval_point(&doc).unwrap(), &Value::int(40));
+        let p = Path::parse("missing.deeper").unwrap();
+        assert_eq!(p.eval_point(&doc).unwrap(), &Value::Null);
+    }
+
+    #[test]
+    fn wildcard_fans_out_like_aql() {
+        // The paper's AQL example: Order.orderlines[*].Product_no
+        let doc = order();
+        let p = Path::parse("orderlines[*].product_no").unwrap();
+        let got: Vec<_> = p.eval(&doc);
+        assert_eq!(got, vec![&Value::str("2724f"), &Value::str("3424g")]);
+        assert!(!p.is_point());
+        assert!(p.eval_point(&doc).is_err());
+    }
+
+    #[test]
+    fn wildcard_over_scalar_is_empty() {
+        let doc = order();
+        let p = Path::parse("order_no[*]").unwrap();
+        assert!(p.eval(&doc).is_empty());
+    }
+
+    #[test]
+    fn quoted_field_names() {
+        let doc = from_json(r#"{"weird.key":{"x":1}}"#).unwrap();
+        let p = Path::parse("\"weird.key\".x").unwrap();
+        assert_eq!(p.eval_point(&doc).unwrap(), &Value::int(1));
+        // Display round-trips the quoting.
+        assert_eq!(Path::parse(&p.to_string()).unwrap(), p);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Path::parse("a..b").is_err());
+        assert!(Path::parse("a.").is_err());
+        assert!(Path::parse("a[").is_err());
+        assert!(Path::parse("a[x]").is_err());
+        assert!(Path::parse(".a").is_err());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for text in ["a.b[0].c", "a[*].b", "x", "x[-2]", "a.b.c.d[3][*]"] {
+            let p = Path::parse(text).unwrap();
+            assert_eq!(p.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn set_creates_intermediate_objects() {
+        let mut v = Value::Object(Default::default());
+        Path::parse("a.b.c").unwrap().set(&mut v, Value::int(7)).unwrap();
+        assert_eq!(
+            Path::parse("a.b.c").unwrap().eval_point(&v).unwrap(),
+            &Value::int(7)
+        );
+    }
+
+    #[test]
+    fn set_into_existing_array() {
+        let mut doc = order();
+        Path::parse("orderlines[1].price")
+            .unwrap()
+            .set(&mut doc, Value::int(99))
+            .unwrap();
+        assert_eq!(
+            Path::parse("orderlines[1].price").unwrap().eval_point(&doc).unwrap(),
+            &Value::int(99)
+        );
+    }
+
+    #[test]
+    fn set_errors() {
+        let mut doc = order();
+        assert!(Path::parse("order_no.x").unwrap().set(&mut doc, Value::int(1)).is_err());
+        assert!(Path::parse("orderlines[9].x").unwrap().set(&mut doc, Value::int(1)).is_err());
+        assert!(Path::parse("orderlines[*]").unwrap().set(&mut doc, Value::int(1)).is_err());
+    }
+
+    #[test]
+    fn root_path_replaces_whole_value() {
+        let mut v = Value::int(1);
+        Path::root().set(&mut v, Value::str("x")).unwrap();
+        assert_eq!(v, Value::str("x"));
+        assert_eq!(Path::root().eval_point(&v).unwrap(), &Value::str("x"));
+    }
+}

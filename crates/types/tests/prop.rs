@@ -1,0 +1,92 @@
+//! Property-based tests for the open data model: JSON round-trips, codec
+//! round-trips, and order preservation of the key encoding.
+
+use mmdb_types::codec::{key_of, value_from_bytes, value_to_bytes};
+use mmdb_types::{from_json, to_json, to_json_pretty, Number, Value};
+use proptest::prelude::*;
+
+/// Strategy generating arbitrary mmdb values (bounded depth/size).
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::int),
+        // Finite floats only; NaN is normalized to null at construction.
+        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::float),
+        "[a-zA-Z0-9 _\\-\u{00e9}\u{4e16}]{0,12}".prop_map(Value::str),
+    ];
+    leaf.prop_recursive(3, 32, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            prop::collection::vec(("[a-z]{1,6}", inner), 0..6)
+                .prop_map(Value::object),
+        ]
+    })
+}
+
+/// JSON-representable values (no bytes), for JSON round-trips.
+fn arb_json_value() -> impl Strategy<Value = Value> {
+    arb_value()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn json_roundtrip(v in arb_json_value()) {
+        let text = to_json(&v);
+        let back = from_json(&text).unwrap();
+        prop_assert_eq!(&back, &v);
+        let pretty = to_json_pretty(&v);
+        prop_assert_eq!(from_json(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn codec_roundtrip(v in arb_value()) {
+        let bytes = value_to_bytes(&v);
+        prop_assert_eq!(value_from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn key_encoding_preserves_total_order(a in arb_value(), b in arb_value()) {
+        let (ka, kb) = (key_of(&a), key_of(&b));
+        prop_assert_eq!(ka.cmp(&kb), a.cmp(&b), "keys disagree for {} vs {}", a, b);
+    }
+
+    #[test]
+    fn value_order_is_total_and_consistent(a in arb_value(), b in arb_value(), c in arb_value()) {
+        // Antisymmetry.
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // Eq consistency.
+        prop_assert_eq!(a == b, a.cmp(&b) == std::cmp::Ordering::Equal);
+        // Transitivity (spot form): sort and check pairwise.
+        let mut v = [a, b, c];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
+    }
+
+    #[test]
+    fn number_order_matches_math(a in any::<i64>(), b in any::<f64>().prop_filter("finite", |f| f.is_finite())) {
+        let va = Value::Number(Number::Int(a));
+        let vb = Value::Number(Number::Float(b));
+        // Compare against exact math via i128/f64 widening where possible.
+        if b.fract() == 0.0 && b.abs() < 9.0e18 {
+            let bi = b as i64;
+            prop_assert_eq!(va.cmp(&vb), (a as i128).cmp(&(bi as i128)));
+        }
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,64}") {
+        let _ = from_json(&s);
+    }
+
+    #[test]
+    fn containment_is_reflexive(v in arb_value()) {
+        prop_assert!(v.contains(&v) || matches!(v, Value::Array(_)));
+        // Arrays: self-containment holds element-wise too.
+        if let Value::Array(_) = v {
+            prop_assert!(v.contains(&v));
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # mmdb-xml — the tree model (XML and JSON unified)
+//!
+//! MarkLogic "models a JSON document similarly to an XML document = a
+//! tree, rooted at an auxiliary document node … a unified way to manage
+//! and index documents of both types" (tutorial, document-store section).
+//! This crate is that unified tree:
+//!
+//! * [`node`] — an arena tree of document/element/text/scalar nodes, each
+//!   carrying an ORDPATH label, buildable from XML text *or* a JSON
+//!   [`mmdb_types::Value`].
+//! * [`parse`] — a hand-written XML parser (elements, attributes, text,
+//!   comments, entities).
+//! * [`xpath`] — an XPath-lite evaluator: `/a/b`, `//name`, `@attr`, `*`,
+//!   positional and comparison predicates — enough to run the paper's
+//!   MarkLogic example (`doc[Orderlines/Product_no = $product/@no]`).
+//!
+//! The ORDPATH labels make document order and ancestorship label-local and
+//! power the path index of ablation E8.
+
+pub mod node;
+pub mod parse;
+pub mod xpath;
+
+pub use node::{NodeId, NodeKind, Tree};
+pub use parse::parse_xml;
+pub use xpath::XPath;

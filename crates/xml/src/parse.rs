@@ -1,0 +1,345 @@
+//! A hand-written XML parser producing [`Tree`]s.
+//!
+//! Supports elements, attributes (single or double quoted), text content,
+//! self-closing tags, comments, CDATA, the XML declaration, and the five
+//! predefined entities plus numeric character references. Namespaces are
+//! treated lexically (prefixes stay in names) — enough for the tutorial's
+//! examples and the benchmark corpus.
+
+use crate::node::{NodeKind, Tree};
+use mmdb_types::{Error, Result};
+
+/// Parse an XML document into a [`Tree`].
+pub fn parse_xml(text: &str) -> Result<Tree> {
+    let mut p = XmlParser { bytes: text.as_bytes(), pos: 0 };
+    let mut tree = Tree::new();
+    p.skip_prolog()?;
+    let root = tree.root();
+    p.parse_element(&mut tree, root)?;
+    p.skip_ws_and_comments()?;
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after document element"));
+    }
+    Ok(tree)
+}
+
+struct XmlParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error::Parse(format!("xml: {msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_until(&mut self, marker: &str) -> Result<()> {
+        match find_sub(&self.bytes[self.pos..], marker.as_bytes()) {
+            Some(off) => {
+                self.pos += off + marker.len();
+                Ok(())
+            }
+            None => Err(self.err(&format!("missing '{marker}'"))),
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.pos += 4;
+                self.skip_until("-->")?;
+            } else if self.starts_with("<?") {
+                self.pos += 2;
+                self.skip_until("?>")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_prolog(&mut self) -> Result<()> {
+        self.skip_ws_and_comments()?;
+        if self.starts_with("<!DOCTYPE") {
+            self.skip_until(">")?;
+            self.skip_ws_and_comments()?;
+        }
+        Ok(())
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in name"))?
+            .to_string())
+    }
+
+    fn parse_element(&mut self, tree: &mut Tree, parent: usize) -> Result<usize> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return Ok(tree.append_child(parent, NodeKind::Element { name, attributes }));
+                }
+                Some(_) => {
+                    let aname = self.parse_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err("expected '=' in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = self
+                        .peek()
+                        .filter(|&q| q == b'"' || q == b'\'')
+                        .ok_or_else(|| self.err("attribute value must be quoted"))?;
+                    self.pos += 1;
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != quote) {
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in attribute"))?;
+                    let value = decode_entities(raw).map_err(|m| self.err(&m))?;
+                    self.pos += 1;
+                    attributes.push((aname, value));
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+        let id = tree.append_child(parent, NodeKind::Element { name: name.clone(), attributes });
+        // Content loop.
+        loop {
+            if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(self.err(&format!("mismatched close tag </{close}> for <{name}>")));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.err("expected '>' in close tag"));
+                }
+                self.pos += 1;
+                return Ok(id);
+            }
+            if self.starts_with("<!--") {
+                self.pos += 4;
+                self.skip_until("-->")?;
+                continue;
+            }
+            if self.starts_with("<![CDATA[") {
+                self.pos += 9;
+                let start = self.pos;
+                match find_sub(&self.bytes[self.pos..], b"]]>") {
+                    Some(off) => {
+                        let text = std::str::from_utf8(&self.bytes[start..start + off])
+                            .map_err(|_| self.err("invalid UTF-8 in CDATA"))?;
+                        tree.append_child(id, NodeKind::Text(text.to_string()));
+                        self.pos = start + off + 3;
+                    }
+                    None => return Err(self.err("unterminated CDATA")),
+                }
+                continue;
+            }
+            match self.peek() {
+                Some(b'<') => {
+                    self.parse_element(tree, id)?;
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while self.peek().is_some_and(|c| c != b'<') {
+                        self.pos += 1;
+                    }
+                    let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in text"))?;
+                    let text = decode_entities(raw).map_err(|m| self.err(&m))?;
+                    if !text.trim().is_empty() {
+                        tree.append_child(id, NodeKind::Text(text));
+                    }
+                }
+                None => return Err(self.err(&format!("unclosed element <{name}>"))),
+            }
+        }
+    }
+}
+
+fn find_sub(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|w| w == needle)
+}
+
+fn decode_entities(raw: &str) -> std::result::Result<String, String> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semi = rest.find(';').ok_or("unterminated entity")?;
+        let entity = &rest[1..semi];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let cp = u32::from_str_radix(&entity[2..], 16)
+                    .map_err(|_| "invalid hex character reference".to_string())?;
+                out.push(char::from_u32(cp).ok_or("invalid codepoint")?);
+            }
+            _ if entity.starts_with('#') => {
+                let cp: u32 = entity[1..]
+                    .parse()
+                    .map_err(|_| "invalid character reference".to_string())?;
+                out.push(char::from_u32(cp).ok_or("invalid codepoint")?);
+            }
+            other => return Err(format!("unknown entity '&{other};'")),
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    /// The paper's MarkLogic XQuery example document.
+    const PAPER_XML: &str = r#"<?xml version="1.0"?>
+        <product no="3424g">
+            <name>The King's Speech</name>
+            <author>Mark Logue</author>
+            <author>Peter Conradi</author>
+        </product>"#;
+
+    #[test]
+    fn parses_the_paper_product() {
+        let t = parse_xml(PAPER_XML).unwrap();
+        let product = t.node(t.root()).children[0];
+        assert_eq!(t.name(product), Some("product"));
+        assert_eq!(t.attribute(product, "no"), Some("3424g"));
+        let children: Vec<&str> = t.node(product).children.iter().filter_map(|&c| t.name(c)).collect();
+        assert_eq!(children, vec!["name", "author", "author"]);
+        let name = t.node(product).children[0];
+        assert_eq!(t.string_value(name), "The King's Speech");
+        t.check_label_invariants().unwrap();
+    }
+
+    #[test]
+    fn self_closing_and_nested() {
+        let t = parse_xml("<a><b/><c><d x='1'/></c></a>").unwrap();
+        let a = t.node(t.root()).children[0];
+        assert_eq!(t.node(a).children.len(), 2);
+        let c = t.node(a).children[1];
+        let d = t.node(c).children[0];
+        assert_eq!(t.attribute(d, "x"), Some("1"));
+    }
+
+    #[test]
+    fn entities_and_charrefs() {
+        let t = parse_xml("<m a=\"&lt;&amp;&gt;\">x &quot;y&quot; &#65;&#x42;</m>").unwrap();
+        let m = t.node(t.root()).children[0];
+        assert_eq!(t.attribute(m, "a"), Some("<&>"));
+        assert_eq!(t.string_value(m), "x \"y\" AB");
+    }
+
+    #[test]
+    fn comments_and_cdata() {
+        let t = parse_xml("<r><!-- note --><v><![CDATA[a<b&c]]></v></r>").unwrap();
+        let r = t.node(t.root()).children[0];
+        assert_eq!(t.node(r).children.len(), 1);
+        assert_eq!(t.string_value(r), "a<b&c");
+    }
+
+    #[test]
+    fn mixed_content_preserves_order() {
+        let t = parse_xml("<p>one<b>two</b>three</p>").unwrap();
+        let p = t.node(t.root()).children[0];
+        assert_eq!(t.string_value(p), "onetwothree");
+        let kinds: Vec<bool> = t
+            .node(p)
+            .children
+            .iter()
+            .map(|&c| matches!(t.node(c).kind, NodeKind::Text(_)))
+            .collect();
+        assert_eq!(kinds, vec![true, false, true]);
+    }
+
+    #[test]
+    fn malformed_documents_rejected() {
+        for bad in [
+            "<a><b></a></b>",
+            "<a>",
+            "<a><a>",
+            "text only",
+            "<a></a><b></b>",
+            "<a attr></a>",
+            "<a x=unquoted></a>",
+            "<a>&undefined;</a>",
+        ] {
+            assert!(parse_xml(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn doctype_and_prolog_skipped() {
+        let t = parse_xml("<?xml version=\"1.0\"?><!DOCTYPE r><!-- hi --><r/>").unwrap();
+        assert_eq!(t.name(t.node(t.root()).children[0]), Some("r"));
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let t = parse_xml("<a>\n  <b>x</b>\n</a>").unwrap();
+        let a = t.node(t.root()).children[0];
+        assert_eq!(t.node(a).children.len(), 1);
+    }
+}

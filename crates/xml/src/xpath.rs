@@ -1,0 +1,572 @@
+//! XPath-lite: the slice of XPath the tutorial's MarkLogic examples use.
+//!
+//! Supported: absolute (`/a/b`) and descendant (`//name`) paths, the
+//! wildcard `*`, `text()`, attribute access `@no` (final step and inside
+//! predicates), positional predicates (`[2]`, 1-based), existence
+//! predicates (`[author]`) and comparison predicates
+//! (`[Price > 50]`, `[@no = "3424g"]`), chained arbitrarily.
+
+use crate::node::{NodeId, NodeKind, Tree};
+use mmdb_types::{Error, Number, Result, Value};
+
+/// Node test of one step.
+#[derive(Debug, Clone, PartialEq)]
+enum Test {
+    /// Element by name.
+    Name(String),
+    /// Any element.
+    Any,
+    /// `text()` nodes.
+    Text,
+    /// `@name` — attribute (final step / predicates only).
+    Attr(String),
+}
+
+/// Axis of one step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Axis {
+    /// `/` — children.
+    Child,
+    /// `//` — descendant-or-self then children.
+    Descendant,
+}
+
+/// Comparison operators in predicates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Cmp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+#[derive(Debug, Clone)]
+enum Pred {
+    /// `[3]` — position within the parent's selected children (1-based).
+    Position(usize),
+    /// `[relpath]` — at least one node matches.
+    Exists(XPath),
+    /// `[relpath op literal]` — existential comparison.
+    Compare(XPath, Cmp, Value),
+}
+
+#[derive(Debug, Clone)]
+struct Step {
+    axis: Axis,
+    test: Test,
+    predicates: Vec<Pred>,
+}
+
+/// A parsed XPath expression.
+#[derive(Debug, Clone)]
+pub struct XPath {
+    steps: Vec<Step>,
+    absolute: bool,
+}
+
+impl XPath {
+    /// Parse an expression.
+    pub fn parse(text: &str) -> Result<XPath> {
+        let mut p = Parser { text, pos: 0 };
+        let xp = p.parse_path()?;
+        p.skip_ws();
+        if p.pos != text.len() {
+            return Err(Error::Parse(format!(
+                "xpath '{text}': trailing characters at {}",
+                p.pos
+            )));
+        }
+        Ok(xp)
+    }
+
+    /// Select element/text nodes from a context node. Attribute-final
+    /// paths are not node-selecting — use [`XPath::values`].
+    pub fn select(&self, tree: &Tree, context: NodeId) -> Result<Vec<NodeId>> {
+        if matches!(self.steps.last().map(|s| &s.test), Some(Test::Attr(_))) {
+            return Err(Error::Unsupported(
+                "attribute steps select values, not nodes — use values()".into(),
+            ));
+        }
+        self.select_nodes(tree, context)
+    }
+
+    fn select_nodes(&self, tree: &Tree, context: NodeId) -> Result<Vec<NodeId>> {
+        let mut current = vec![context];
+        for step in &self.steps {
+            if matches!(step.test, Test::Attr(_)) {
+                return Err(Error::Unsupported("attribute step mid-path".into()));
+            }
+            let mut next = Vec::new();
+            for &ctx in &current {
+                let candidates: Vec<NodeId> = match step.axis {
+                    Axis::Child => tree.node(ctx).children.clone(),
+                    Axis::Descendant => tree.descendants(ctx),
+                };
+                let mut matched: Vec<NodeId> = candidates
+                    .into_iter()
+                    .filter(|&n| test_matches(tree, n, &step.test))
+                    .collect();
+                // Apply predicates per context node (XPath positional
+                // semantics are per parent context).
+                for pred in &step.predicates {
+                    matched = apply_pred(tree, matched, pred)?;
+                }
+                next.extend(matched);
+            }
+            // Preserve document order, dedupe (descendant axes can repeat).
+            next.sort_by(|a, b| tree.node(*a).label.cmp(&tree.node(*b).label));
+            next.dedup();
+            current = next;
+        }
+        Ok(current)
+    }
+
+    /// Evaluate to values: typed values of selected nodes, or attribute
+    /// strings when the final step is `@name`.
+    pub fn values(&self, tree: &Tree, context: NodeId) -> Result<Vec<Value>> {
+        if let Some(Step { test: Test::Attr(attr), axis, .. }) = self.steps.last() {
+            let prefix = XPath {
+                steps: self.steps[..self.steps.len() - 1].to_vec(),
+                absolute: self.absolute,
+            };
+            let owners = prefix.select_nodes(tree, context)?;
+            let mut out = Vec::new();
+            for o in owners {
+                match axis {
+                    Axis::Child => {
+                        if let Some(v) = tree.attribute(o, attr) {
+                            out.push(Value::str(v));
+                        }
+                    }
+                    Axis::Descendant => {
+                        for d in std::iter::once(o).chain(tree.descendants(o)) {
+                            if let Some(v) = tree.attribute(d, attr) {
+                                out.push(Value::str(v));
+                            }
+                        }
+                    }
+                }
+            }
+            return Ok(out);
+        }
+        Ok(self
+            .select_nodes(tree, context)?
+            .into_iter()
+            .map(|n| tree.typed_value(n))
+            .collect())
+    }
+}
+
+fn test_matches(tree: &Tree, n: NodeId, test: &Test) -> bool {
+    match test {
+        Test::Name(name) => tree.name(n) == Some(name.as_str()),
+        Test::Any => matches!(tree.node(n).kind, NodeKind::Element { .. }),
+        Test::Text => matches!(tree.node(n).kind, NodeKind::Text(_) | NodeKind::Scalar(_)),
+        Test::Attr(_) => false,
+    }
+}
+
+fn apply_pred(tree: &Tree, nodes: Vec<NodeId>, pred: &Pred) -> Result<Vec<NodeId>> {
+    match pred {
+        Pred::Position(k) => Ok(nodes
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| i + 1 == *k)
+            .map(|(_, n)| n)
+            .collect()),
+        Pred::Exists(path) => {
+            let mut out = Vec::new();
+            for n in nodes {
+                if !path.values(tree, n)?.is_empty() {
+                    out.push(n);
+                }
+            }
+            Ok(out)
+        }
+        Pred::Compare(path, op, literal) => {
+            let mut out = Vec::new();
+            for n in nodes {
+                let vals = path.values(tree, n)?;
+                if vals.iter().any(|v| compare(v, *op, literal)) {
+                    out.push(n);
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// XPath-flavoured comparison: when the literal is numeric, try to coerce
+/// the node value to a number first.
+fn compare(v: &Value, op: Cmp, literal: &Value) -> bool {
+    let coerced;
+    let left = if matches!(literal, Value::Number(_)) {
+        match v {
+            Value::String(s) => match s.trim().parse::<f64>() {
+                Ok(f) => {
+                    coerced = Value::float(f);
+                    &coerced
+                }
+                Err(_) => return false,
+            },
+            other => other,
+        }
+    } else {
+        v
+    };
+    match op {
+        Cmp::Eq => left == literal,
+        Cmp::Ne => left != literal,
+        Cmp::Lt => left < literal,
+        Cmp::Le => left <= literal,
+        Cmp::Gt => left > literal,
+        Cmp::Ge => left >= literal,
+    }
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error::Parse(format!("xpath '{}': {msg} at {}", self.text, self.pos))
+    }
+
+    fn rest(&self) -> &str {
+        &self.text[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        while self.rest().starts_with(' ') {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_path(&mut self) -> Result<XPath> {
+        let mut steps = Vec::new();
+        let absolute = self.rest().starts_with('/');
+        // Leading axis for the first step.
+        let mut axis = if self.eat("//") {
+            Axis::Descendant
+        } else {
+            let _ = self.eat("/"); // absolute child axis or relative path
+            Axis::Child
+        };
+        loop {
+            steps.push(self.parse_step(axis)?);
+            if self.eat("//") {
+                axis = Axis::Descendant;
+            } else if self.eat("/") {
+                axis = Axis::Child;
+            } else {
+                break;
+            }
+        }
+        Ok(XPath { steps, absolute })
+    }
+
+    fn parse_step(&mut self, axis: Axis) -> Result<Step> {
+        self.skip_ws();
+        let test = if self.eat("@") {
+            Test::Attr(self.parse_name()?)
+        } else if self.eat("text()") {
+            Test::Text
+        } else if self.eat("*") {
+            Test::Any
+        } else {
+            Test::Name(self.parse_name()?)
+        };
+        let mut predicates = Vec::new();
+        while self.eat("[") {
+            predicates.push(self.parse_pred()?);
+            if !self.eat("]") {
+                return Err(self.err("expected ']'"));
+            }
+        }
+        Ok(Step { axis, test, predicates })
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        let mut advance = 0;
+        for c in self.rest().chars() {
+            if c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':') {
+                advance += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        self.pos += advance;
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(self.text[start..self.pos].to_string())
+    }
+
+    fn parse_pred(&mut self) -> Result<Pred> {
+        self.skip_ws();
+        // Positional?
+        let digits: String = self.rest().chars().take_while(char::is_ascii_digit).collect();
+        if !digits.is_empty()
+            && self.rest()[digits.len()..].trim_start().starts_with(']')
+        {
+            self.pos += digits.len();
+            let k: usize = digits.parse().map_err(|_| self.err("bad position"))?;
+            if k == 0 {
+                return Err(self.err("positions are 1-based"));
+            }
+            return Ok(Pred::Position(k));
+        }
+        // A relative path, optionally compared to a literal.
+        let path = self.parse_rel_path_in_pred()?;
+        self.skip_ws();
+        let op = if self.eat("!=") {
+            Some(Cmp::Ne)
+        } else if self.eat("<=") {
+            Some(Cmp::Le)
+        } else if self.eat(">=") {
+            Some(Cmp::Ge)
+        } else if self.eat("=") {
+            Some(Cmp::Eq)
+        } else if self.eat("<") {
+            Some(Cmp::Lt)
+        } else if self.eat(">") {
+            Some(Cmp::Gt)
+        } else {
+            None
+        };
+        let Some(op) = op else {
+            return Ok(Pred::Exists(path));
+        };
+        self.skip_ws();
+        let literal = self.parse_literal()?;
+        Ok(Pred::Compare(path, op, literal))
+    }
+
+    fn parse_rel_path_in_pred(&mut self) -> Result<XPath> {
+        let mut steps = Vec::new();
+        let mut axis = if self.eat("//") {
+            Axis::Descendant
+        } else {
+            let _ = self.eat("/");
+            Axis::Child
+        };
+        loop {
+            steps.push(self.parse_step_no_preds(axis)?);
+            if self.eat("//") {
+                axis = Axis::Descendant;
+            } else if self.eat("/") {
+                axis = Axis::Child;
+            } else {
+                break;
+            }
+        }
+        Ok(XPath { steps, absolute: false })
+    }
+
+    /// Steps inside predicates don't nest predicates (keeps the grammar
+    /// simple; MarkLogic examples don't need deeper nesting).
+    fn parse_step_no_preds(&mut self, axis: Axis) -> Result<Step> {
+        self.skip_ws();
+        let test = if self.eat("@") {
+            Test::Attr(self.parse_name()?)
+        } else if self.eat("text()") {
+            Test::Text
+        } else if self.eat("*") {
+            Test::Any
+        } else {
+            Test::Name(self.parse_name()?)
+        };
+        Ok(Step { axis, test, predicates: Vec::new() })
+    }
+
+    fn parse_literal(&mut self) -> Result<Value> {
+        self.skip_ws();
+        let rest = self.rest();
+        if let Some(q) = rest.chars().next().filter(|&c| c == '"' || c == '\'') {
+            let inner = &rest[1..];
+            let end = inner.find(q).ok_or_else(|| self.err("unterminated string"))?;
+            let s = inner[..end].to_string();
+            self.pos += end + 2;
+            return Ok(Value::str(s));
+        }
+        let num: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+            .collect();
+        if num.is_empty() {
+            return Err(self.err("expected a literal"));
+        }
+        self.pos += num.len();
+        if let Ok(i) = num.parse::<i64>() {
+            return Ok(Value::Number(Number::Int(i)));
+        }
+        let f: f64 = num.parse().map_err(|_| self.err("bad number literal"))?;
+        Ok(Value::float(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_xml;
+    use crate::node::Tree;
+    use mmdb_types::from_json;
+
+    fn catalog() -> Tree {
+        parse_xml(
+            r#"<catalog>
+                <product no="3424g"><name>The King's Speech</name><price>25</price></product>
+                <product no="2724f"><name>Toy</name><price>66</price></product>
+                <product no="2454f"><name>Computer</name><price>34</price></product>
+            </catalog>"#,
+        )
+        .unwrap()
+    }
+
+    fn sel(t: &Tree, xp: &str) -> Vec<String> {
+        XPath::parse(xp)
+            .unwrap()
+            .select(t, t.root())
+            .unwrap()
+            .into_iter()
+            .map(|n| t.string_value(n))
+            .collect()
+    }
+
+    #[test]
+    fn absolute_child_paths() {
+        let t = catalog();
+        assert_eq!(
+            sel(&t, "/catalog/product/name"),
+            vec!["The King's Speech", "Toy", "Computer"]
+        );
+        assert!(sel(&t, "/catalog/missing").is_empty());
+    }
+
+    #[test]
+    fn descendant_axis_and_wildcard() {
+        let t = catalog();
+        assert_eq!(sel(&t, "//name").len(), 3);
+        assert_eq!(sel(&t, "/catalog/*").len(), 3);
+        assert_eq!(sel(&t, "//product/name"), sel(&t, "/catalog/product/name"));
+    }
+
+    #[test]
+    fn positional_predicates() {
+        let t = catalog();
+        assert_eq!(sel(&t, "/catalog/product[2]/name"), vec!["Toy"]);
+        assert!(sel(&t, "/catalog/product[9]").is_empty());
+        assert!(XPath::parse("/a[0]").is_err(), "positions are 1-based");
+    }
+
+    #[test]
+    fn comparison_predicates_numeric_coercion() {
+        let t = catalog();
+        // Text "66" coerces for the numeric comparison.
+        assert_eq!(sel(&t, "/catalog/product[price > 30]/name"), vec!["Toy", "Computer"]);
+        assert_eq!(sel(&t, "/catalog/product[price = 25]/name"), vec!["The King's Speech"]);
+        assert_eq!(sel(&t, "/catalog/product[price != 25]").len(), 2);
+        assert_eq!(sel(&t, "/catalog/product[price <= 34]").len(), 2);
+    }
+
+    #[test]
+    fn attribute_predicates_and_values() {
+        let t = catalog();
+        assert_eq!(
+            sel(&t, r#"/catalog/product[@no = "3424g"]/name"#),
+            vec!["The King's Speech"]
+        );
+        let vals = XPath::parse("/catalog/product/@no")
+            .unwrap()
+            .values(&t, t.root())
+            .unwrap();
+        assert_eq!(vals.len(), 3);
+        assert_eq!(vals[0], Value::str("3424g"));
+        // Attribute-final paths are not node-selecting.
+        assert!(XPath::parse("/catalog/product/@no").unwrap().select(&t, t.root()).is_err());
+    }
+
+    #[test]
+    fn existence_predicates() {
+        let t = parse_xml("<r><a><x/></a><a/></r>").unwrap();
+        let hits = XPath::parse("/r/a[x]").unwrap().select(&t, t.root()).unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn text_nodes() {
+        let t = catalog();
+        let texts = sel(&t, "//name/text()");
+        assert_eq!(texts.len(), 3);
+    }
+
+    #[test]
+    fn the_paper_marklogic_join() {
+        // let $product := doc("/myXML1.xml")/product
+        // let $order := doc("/myJSON1.json")[Orderlines/Product_no = $product/@no]
+        // return $order/Order_no   ⇒ 0c6df508
+        let xml = parse_xml(
+            r#"<product no="3424g"><name>The King's Speech</name></product>"#,
+        )
+        .unwrap();
+        let json = Tree::from_json(
+            &from_json(
+                r#"{"Order_no":"0c6df508","Orderlines":[
+                    {"Product_no":"2724f","Price":66},
+                    {"Product_no":"3424g","Price":40}]}"#,
+            )
+            .unwrap(),
+        );
+        let no = XPath::parse("/product/@no").unwrap().values(&xml, xml.root()).unwrap();
+        assert_eq!(no, vec![Value::str("3424g")]);
+        // The JSON doc qualifies iff some Orderlines/Product_no equals it.
+        let products = XPath::parse("/Orderlines/Product_no")
+            .unwrap()
+            .values(&json, json.root())
+            .unwrap();
+        assert!(products.contains(&no[0]));
+        let order_no = XPath::parse("/Order_no").unwrap().values(&json, json.root()).unwrap();
+        assert_eq!(order_no, vec![Value::str("0c6df508")]);
+    }
+
+    #[test]
+    fn json_trees_are_first_class_xpath_targets() {
+        let t = Tree::from_json(
+            &from_json(r#"{"Orderlines":[{"Price":66},{"Price":40}]}"#).unwrap(),
+        );
+        let hits = XPath::parse("/Orderlines[Price > 50]").unwrap().select(&t, t.root()).unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(XPath::parse("/a[").is_err());
+        assert!(XPath::parse("/a[b = ]").is_err());
+        assert!(XPath::parse("/a]").is_err());
+        assert!(XPath::parse("").is_err());
+        assert!(XPath::parse("/a[b = 'unterminated]").is_err());
+    }
+
+    #[test]
+    fn relative_paths_from_inner_context() {
+        let t = catalog();
+        let products = XPath::parse("/catalog/product").unwrap().select(&t, t.root()).unwrap();
+        let names = XPath::parse("name").unwrap();
+        let first = names.values(&t, products[0]).unwrap();
+        assert_eq!(first, vec![Value::str("The King's Speech")]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Polyglot persistence vs one multi-model database — the tutorial's
+//! central comparison, on a miniature UniBench data set.
+//!
+//! Shows (1) the same cross-model query written once in MMQL vs as
+//! hand-rolled application joins across three stores, and (2) what a
+//! crash mid-"transaction" does to each architecture.
+
+use mmdb_bench::gen;
+use mmdb_bench::polyglot::PolyglotStores;
+use mmdb_bench::workloads;
+use mmdb_core::Database;
+use mmdb_types::{Result, Value};
+use std::time::Instant;
+
+fn main() -> Result<()> {
+    let data = gen::generate(0.2, 42);
+    println!(
+        "data: {} customers / {} edges / {} orders\n",
+        data.customers.len(),
+        data.knows.len(),
+        data.orders.len()
+    );
+
+    // ---- load both architectures -----------------------------------------
+    let db = Database::in_memory();
+    workloads::create_mmdb_schema(&db)?;
+    workloads::load_mmdb(&db, &data)?;
+    db.create_fulltext_index("feedback_text", "feedback", "text")?;
+    let poly = PolyglotStores::new()?;
+    poly.load(&data)?;
+
+    // ---- one query, two architectures --------------------------------------
+    println!("Q2 (recommendation): products ordered by friends of rich customers");
+    let t = Instant::now();
+    let mm = workloads::q2_mmdb(&db, 3000)?;
+    println!("  multi-model: one MMQL statement, {} results in {:?}", mm.len(), t.elapsed());
+    let t = Instant::now();
+    let pg = poly.recommendation_query(3000)?;
+    println!("  polyglot:    ~40 lines of glue code, {} results in {:?}", pg.len(), t.elapsed());
+    assert_eq!(mm, pg, "same answers");
+
+    // ---- one transaction, two architectures --------------------------------
+    println!("\nWorkload C with a crash injected between store writes:");
+    let order = Value::object([
+        ("_key", Value::str("oCRASH")),
+        ("customer_id", Value::int(1)),
+        (
+            "orderlines",
+            Value::array([Value::object([("product_no", Value::str("p0001")), ("price", Value::int(10))])]),
+        ),
+        ("total", Value::int(10)),
+    ]);
+
+    // Multi-model: the crash aborts the transaction; nothing is visible.
+    let mut s = db.begin(mmdb_txn::IsolationLevel::Snapshot);
+    s.kv_put("cart", "1", Value::str("oCRASH"))?;
+    s.insert_document("orders", order.clone())?;
+    s.abort(); // ← the "crash"
+    let cart_after = db.kv().get("cart", "1")?;
+    let order_after = db.get_document("orders", "oCRASH")?;
+    println!(
+        "  multi-model: cart untouched ({}), order absent ({}) — atomic",
+        cart_after.map(|v| v.to_string()).unwrap_or_else(|| "none".into()),
+        order_after.is_none()
+    );
+
+    // Polyglot: the cart write survives, the order never lands.
+    poly.place_order_non_atomic(1, &order, Some(1))?;
+    let dangling = poly.count_inconsistencies()?;
+    println!("  polyglot:    {dangling} dangling cross-store reference(s) — unrecoverable by any single store");
+    assert!(dangling > 0);
+
+    println!("\n(The full comparison with timings: `cargo run --release --bin unibench`.)");
+    Ok(())
+}

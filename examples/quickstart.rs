@@ -1,0 +1,49 @@
+//! Quickstart: one database, five data models, one query language.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use mmdb::{Database, Result, Value};
+
+fn main() -> Result<()> {
+    let db = Database::in_memory();
+
+    // A document collection...
+    db.create_collection("customers")?;
+    db.insert_json("customers", r#"{"_key":"1","name":"Mary","credit_limit":5000}"#)?;
+    db.insert_json("customers", r#"{"_key":"2","name":"John","credit_limit":3000}"#)?;
+    db.insert_json("customers", r#"{"_key":"3","name":"Anne","credit_limit":2000}"#)?;
+
+    // ...a key/value bucket...
+    db.create_bucket("cart")?;
+    db.kv_put("cart", "1", Value::str("order-34e5e759"))?;
+
+    // ...and a graph, all in the same engine.
+    let g = db.create_graph("social")?;
+    g.create_vertex_collection("persons")?;
+    g.create_edge_collection("knows")?;
+    for key in ["1", "2", "3"] {
+        g.add_vertex("persons", mmdb::from_json(&format!(r#"{{"_key":"{key}"}}"#))?)?;
+    }
+    g.add_edge("knows", "persons/1", "persons/2", mmdb::from_json("{}")?)?;
+
+    // MMQL spans them all.
+    let rich = db.query("FOR c IN customers FILTER c.credit_limit > 2500 SORT c.name RETURN c.name")?;
+    println!("customers over 2500: {rich:?}");
+
+    let friends = db.query(r#"FOR f IN 1..1 OUTBOUND "persons/1" knows RETURN f._key"#)?;
+    println!("Mary knows: {friends:?}");
+
+    let cart = db.query(r#"RETURN KV_GET("cart", "1")"#)?;
+    println!("Mary's cart: {cart:?}");
+
+    // Cross-model transactions are atomic.
+    db.transact(mmdb::substrate::txn::IsolationLevel::Snapshot, 3, |s| {
+        s.insert_document("customers", mmdb::from_json(r#"{"_key":"4","name":"Petra","credit_limit":4000}"#)?)?;
+        s.kv_put("cart", "4", Value::str("order-fresh"))
+    })?;
+    println!("after txn: {} customers", db.query("FOR c IN customers RETURN 1")?.len());
+
+    Ok(())
+}

@@ -1,0 +1,155 @@
+//! `mmdb-shell` — an interactive MMQL/SQL shell over one multi-model
+//! database.
+//!
+//! ```text
+//! cargo run --bin mmdb-shell
+//! mmdb> .demo                       -- load the paper's example data
+//! mmdb> FOR c IN customers FILTER c.credit_limit > 3000 RETURN c.name
+//! ["Mary"]
+//! mmdb> .sql SELECT name FROM customers ORDER BY name
+//! mmdb> .explain FOR c IN customers FILTER c.credit_limit > 3000 RETURN c
+//! mmdb> .quit
+//! ```
+
+use std::io::{BufRead, Write};
+
+use mmdb::{Database, Value};
+
+fn main() {
+    let db = Database::in_memory();
+    println!("mmdb shell — MMQL by default; .help for commands");
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("mmdb> ");
+        out.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match dispatch(&db, line) {
+            Ok(Reply::Quit) => break,
+            Ok(Reply::Text(t)) => println!("{t}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
+
+enum Reply {
+    Text(String),
+    Quit,
+}
+
+fn dispatch(db: &Database, line: &str) -> mmdb::Result<Reply> {
+    if let Some(rest) = line.strip_prefix('.') {
+        let (cmd, arg) = rest.split_once(' ').unwrap_or((rest, ""));
+        return match cmd {
+            "quit" | "exit" | "q" => Ok(Reply::Quit),
+            "help" => Ok(Reply::Text(HELP.trim().to_string())),
+            "demo" => {
+                load_demo(db)?;
+                Ok(Reply::Text("loaded the paper's demo data (customers, social, cart, orders)".into()))
+            }
+            "sql" => render(db.query_sql(arg)?),
+            "explain" => Ok(Reply::Text(db.explain(arg)?)),
+            "collections" => {
+                let mut names: Vec<String> = db.world().collections.read().keys().cloned().collect();
+                names.sort();
+                Ok(Reply::Text(format!(
+                    "collections: {names:?}\ntables: {:?}\nbuckets: {:?}",
+                    db.world().catalog.table_names(),
+                    db.world().kv.buckets()
+                )))
+            }
+            "create" => {
+                db.create_collection(arg.trim())?;
+                Ok(Reply::Text(format!("created collection '{}'", arg.trim())))
+            }
+            "insert" => {
+                // .insert <collection> <json>
+                let (coll, json) = arg
+                    .split_once(' ')
+                    .ok_or_else(|| mmdb::Error::Parse(".insert <collection> <json>".into()))?;
+                let key = db.insert_json(coll, json)?;
+                Ok(Reply::Text(format!("inserted '{key}'")))
+            }
+            other => Ok(Reply::Text(format!("unknown command '.{other}' — try .help"))),
+        };
+    }
+    render(db.query(line)?)
+}
+
+fn render(rows: Vec<Value>) -> mmdb::Result<Reply> {
+    let mut text = String::new();
+    for r in &rows {
+        text.push_str(&mmdb::to_json(r));
+        text.push('\n');
+    }
+    text.push_str(&format!("({} row{})", rows.len(), if rows.len() == 1 { "" } else { "s" }));
+    Ok(Reply::Text(text))
+}
+
+const HELP: &str = r#"
+MMQL statements run directly:  FOR c IN customers FILTER ... RETURN ...
+Commands:
+  .demo                load the EDBT'17 paper's example data set
+  .sql <SELECT ...>    run a SQL query
+  .explain <mmql>      show the optimized logical plan
+  .create <name>       create a document collection
+  .insert <coll> <json>  insert one document
+  .collections         list collections / tables / buckets
+  .help  .quit
+"#;
+
+fn load_demo(db: &Database) -> mmdb::Result<()> {
+    use mmdb::substrate::relational::{ColumnDef, DataType, Schema};
+    db.create_table(
+        "customers",
+        Schema::new(
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("name", DataType::Text),
+                ColumnDef::new("credit_limit", DataType::Int),
+            ],
+            "id",
+        )?,
+    )?;
+    for (id, name, limit) in [(1, "Mary", 5000), (2, "John", 3000), (3, "Anne", 2000)] {
+        db.insert_row(
+            "customers",
+            &mmdb::from_json(&format!(r#"{{"id":{id},"name":"{name}","credit_limit":{limit}}}"#))?,
+        )?;
+    }
+    let g = db.create_graph("social")?;
+    g.create_vertex_collection("persons")?;
+    g.create_edge_collection("knows")?;
+    for id in 1..=3 {
+        g.add_vertex("persons", mmdb::from_json(&format!(r#"{{"_key":"{id}"}}"#))?)?;
+    }
+    g.add_edge("knows", "persons/1", "persons/2", mmdb::from_json("{}")?)?;
+    g.add_edge("knows", "persons/3", "persons/1", mmdb::from_json("{}")?)?;
+    db.create_bucket("cart")?;
+    db.kv_put("cart", "1", Value::str("34e5e759"))?;
+    db.kv_put("cart", "2", Value::str("0c6df508"))?;
+    db.create_collection("orders")?;
+    db.insert_json(
+        "orders",
+        r#"{"_key":"0c6df508","orderlines":[
+            {"product_no":"2724f","product_name":"Toy","price":66},
+            {"product_no":"3424g","product_name":"Book","price":40}]}"#,
+    )?;
+    db.insert_json(
+        "orders",
+        r#"{"_key":"34e5e759","orderlines":[{"product_no":"1111a","price":2}]}"#,
+    )?;
+    Ok(())
+}

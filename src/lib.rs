@@ -1,0 +1,47 @@
+//! # mmdb — a multi-model database in one engine
+//!
+//! `mmdb` is a from-scratch Rust reproduction of the system landscape laid
+//! out in *Lu & Holubová, "Multi-model Data Management: What's New and
+//! What's Next?", EDBT 2017*: one integrated database backend supporting
+//! the relational, document (JSON), property-graph, key/value, RDF, XML and
+//! full-text data models, with a unified query language (MMQL), cross-model
+//! indexes, and cross-model ACID transactions.
+//!
+//! This crate is the user-facing umbrella: it re-exports the facade from
+//! [`mmdb_core`] plus the building-block crates for users who want to reach
+//! below the facade.
+//!
+//! ```
+//! use mmdb::Database;
+//!
+//! let db = Database::in_memory();
+//! db.create_collection("customers").unwrap();
+//! db.insert_json("customers", r#"{"_key":"1","name":"Mary","credit_limit":5000}"#)
+//!     .unwrap();
+//! let rows = db
+//!     .query("FOR c IN customers FILTER c.credit_limit > 3000 RETURN c.name")
+//!     .unwrap();
+//! assert_eq!(rows[0], mmdb::Value::str("Mary"));
+//! ```
+
+pub use mmdb_core::{Database, Session};
+pub use mmdb_types::{from_json, to_json, to_json_pretty, Error, Number, Path, Result, Value};
+
+/// The facade crate itself (evolution, schema inference, sessions).
+pub use mmdb_core as core;
+
+/// Building-block crates, re-exported for power users.
+pub mod substrate {
+    pub use mmdb_document as document;
+    pub use mmdb_graph as graph;
+    pub use mmdb_index as index;
+    pub use mmdb_kv as kv;
+    pub use mmdb_query as query;
+    pub use mmdb_rdf as rdf;
+    pub use mmdb_relational as relational;
+    pub use mmdb_storage as storage;
+    pub use mmdb_text as text;
+    pub use mmdb_txn as txn;
+    pub use mmdb_types as types;
+    pub use mmdb_xml as xml;
+}

@@ -1,0 +1,159 @@
+//! Integration test: concurrent cross-model transactions preserve
+//! invariants — the "one system guarantees inter-model data consistency"
+//! argument, under contention.
+
+use std::sync::Arc;
+use std::thread;
+
+use mmdb::{Database, Value};
+use mmdb_txn::IsolationLevel;
+
+/// Invariant: money moves between a relational account and a kv wallet;
+/// the sum is conserved no matter how transfers interleave.
+#[test]
+fn cross_model_balance_is_conserved_under_concurrency() {
+    let db = Arc::new(Database::in_memory());
+    db.create_bucket("wallet").unwrap();
+    use mmdb::substrate::relational::{ColumnDef, DataType, Schema};
+    db.create_table(
+        "accounts",
+        Schema::new(
+            vec![ColumnDef::new("id", DataType::Int), ColumnDef::new("balance", DataType::Int)],
+            "id",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.insert_row("accounts", &mmdb::from_json(r#"{"id":1,"balance":1000}"#).unwrap()).unwrap();
+    db.kv_put("wallet", "1", Value::int(0)).unwrap();
+
+    let threads: Vec<_> = (0..4)
+        .map(|_| {
+            let db = Arc::clone(&db);
+            thread::spawn(move || {
+                for _ in 0..50 {
+                    db.transact(IsolationLevel::Snapshot, 100, |s| {
+                        // Move 1 from the account to the wallet.
+                        let mut acc = s.get_row("accounts", &Value::int(1))?.unwrap();
+                        let bal = acc.get_field("balance").as_int()?;
+                        acc.as_object_mut()?.insert("balance", Value::int(bal - 1));
+                        s.update_row("accounts", acc)?;
+                        let w = s.kv_get("wallet", "1")?.unwrap().as_int()?;
+                        s.kv_put("wallet", "1", Value::int(w + 1))
+                    })
+                    .unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let bal = db.query("FOR a IN accounts RETURN a.balance").unwrap()[0].as_int().unwrap();
+    let wallet = db.kv().get("wallet", "1").unwrap().unwrap().as_int().unwrap();
+    assert_eq!(bal + wallet, 1000, "total conserved: {bal} + {wallet}");
+    assert_eq!(wallet, 200, "every transfer applied exactly once");
+    let (commits, _aborts) = db.mvcc().stats();
+    assert!(commits >= 200 + 2);
+    // Note: abort counts under contention are timing-dependent (threads
+    // may happen to serialize), so the invariant checks above are the
+    // test; retries are exercised deterministically in mmdb-txn's suite.
+}
+
+/// The same under serializable isolation (2PL on top of SI).
+#[test]
+fn serializable_transfers_also_conserve() {
+    let db = Arc::new(Database::in_memory());
+    db.create_bucket("a").unwrap();
+    db.create_bucket("b").unwrap();
+    db.kv_put("a", "x", Value::int(500)).unwrap();
+    db.kv_put("b", "x", Value::int(500)).unwrap();
+    let threads: Vec<_> = (0..3)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            thread::spawn(move || {
+                for i in 0..30 {
+                    // Alternate directions to invite deadlocks.
+                    let (from, to) = if (t + i) % 2 == 0 { ("a", "b") } else { ("b", "a") };
+                    db.transact(IsolationLevel::Serializable, 200, |s| {
+                        let f = s.kv_get(from, "x")?.unwrap().as_int()?;
+                        let g = s.kv_get(to, "x")?.unwrap().as_int()?;
+                        s.kv_put(from, "x", Value::int(f - 1))?;
+                        s.kv_put(to, "x", Value::int(g + 1))
+                    })
+                    .unwrap();
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let a = db.kv().get("a", "x").unwrap().unwrap().as_int().unwrap();
+    let b = db.kv().get("b", "x").unwrap().unwrap().as_int().unwrap();
+    assert_eq!(a + b, 1000, "conserved under serializable: {a} + {b}");
+}
+
+/// Readers see stable snapshots while writers churn.
+#[test]
+fn snapshot_readers_are_stable_under_writes() {
+    let db = Arc::new(Database::in_memory());
+    db.create_bucket("counters").unwrap();
+    db.kv_put("counters", "c", Value::int(0)).unwrap();
+
+    let writer = {
+        let db = Arc::clone(&db);
+        thread::spawn(move || {
+            for i in 1..=100 {
+                db.transact(IsolationLevel::Snapshot, 100, |s| {
+                    s.kv_put("counters", "c", Value::int(i))
+                })
+                .unwrap();
+            }
+        })
+    };
+    let reader = {
+        let db = Arc::clone(&db);
+        thread::spawn(move || {
+            for _ in 0..50 {
+                let s = db.begin(IsolationLevel::Snapshot);
+                let v1 = s.kv_get("counters", "c").unwrap().unwrap();
+                std::thread::yield_now();
+                let v2 = s.kv_get("counters", "c").unwrap().unwrap();
+                assert_eq!(v1, v2, "a snapshot must not move");
+                s.abort();
+            }
+        })
+    };
+    writer.join().unwrap();
+    reader.join().unwrap();
+    assert_eq!(db.kv().get("counters", "c").unwrap(), Some(Value::int(100)));
+}
+
+/// Hybrid consistency: eventual domains don't conflict, strong ones do.
+#[test]
+fn hybrid_consistency_per_model() {
+    let db = Database::in_memory();
+    db.create_bucket("likes").unwrap();
+    db.create_bucket("payments").unwrap();
+    let mut policy = mmdb_txn::ConsistencyPolicy::new();
+    policy.set_prefix("kv/likes", mmdb_txn::ConsistencyLevel::Eventual);
+    db.set_consistency(policy);
+
+    // Two concurrent writers to the *eventual* domain: both commit.
+    let mut t1 = db.begin(IsolationLevel::Snapshot);
+    let mut t2 = db.begin(IsolationLevel::Snapshot);
+    t1.kv_put("likes", "post-1", Value::int(10)).unwrap();
+    t2.kv_put("likes", "post-1", Value::int(11)).unwrap();
+    t1.commit().unwrap();
+    t2.commit().unwrap();
+    assert_eq!(db.kv().get("likes", "post-1").unwrap(), Some(Value::int(11)));
+
+    // The same race on the *strong* domain: second one aborts.
+    let mut t1 = db.begin(IsolationLevel::Snapshot);
+    let mut t2 = db.begin(IsolationLevel::Snapshot);
+    t1.kv_put("payments", "inv-1", Value::int(100)).unwrap();
+    t2.kv_put("payments", "inv-1", Value::int(200)).unwrap();
+    t1.commit().unwrap();
+    assert!(t2.commit().unwrap_err().is_retryable());
+}

@@ -1,0 +1,121 @@
+//! Property-based integration tests: different access paths through the
+//! engine must agree — index scans vs full scans, MMQL vs SQL, documents
+//! in vs documents out.
+
+use proptest::prelude::*;
+
+use mmdb::{Database, Value};
+
+fn arb_doc() -> impl Strategy<Value = (String, i64, String)> {
+    ("[a-z]{1,8}", -1000i64..1000, "[a-c]{1}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random documents, random range predicate: indexed and unindexed
+    /// evaluation agree.
+    #[test]
+    fn index_scan_equals_full_scan(
+        docs in prop::collection::vec(arb_doc(), 1..60),
+        lo in -1000i64..1000,
+        width in 0i64..500,
+    ) {
+        let db = Database::in_memory();
+        db.create_collection("d").unwrap();
+        let coll = db.world().collection("d").unwrap();
+        for (i, (name, price, cat)) in docs.iter().enumerate() {
+            coll.insert(Value::object([
+                ("_key", Value::str(format!("k{i}"))),
+                ("name", Value::str(name.clone())),
+                ("price", Value::int(*price)),
+                ("cat", Value::str(cat.clone())),
+            ])).unwrap();
+        }
+        let hi = lo + width;
+        let q = format!(
+            "FOR x IN d FILTER x.price >= {lo} && x.price <= {hi} SORT x._key RETURN x._key"
+        );
+        let unindexed = db.query(&q).unwrap();
+        coll.create_persistent_index("price").unwrap();
+        let indexed = db.query(&q).unwrap();
+        prop_assert_eq!(unindexed, indexed);
+    }
+
+    /// The SQL frontend and MMQL agree on equivalent filters/sorts.
+    #[test]
+    fn sql_equals_mmql(
+        rows in prop::collection::vec((0i64..500, -100i64..100), 1..40),
+        threshold in -100i64..100,
+    ) {
+        let db = Database::in_memory();
+        use mmdb::substrate::relational::{ColumnDef, DataType, Schema};
+        db.create_table(
+            "t",
+            Schema::new(
+                vec![ColumnDef::new("id", DataType::Int), ColumnDef::new("v", DataType::Int)],
+                "id",
+            ).unwrap(),
+        ).unwrap();
+        let table = db.world().catalog.table("t").unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for (id, v) in &rows {
+            if seen.insert(*id) {
+                table.insert(vec![Value::int(*id), Value::int(*v)]).unwrap();
+            }
+        }
+        let sql = db.query_sql(&format!("SELECT v FROM t WHERE v > {threshold} ORDER BY id")).unwrap();
+        let mmql = db.query(&format!("FOR r IN t FILTER r.v > {threshold} SORT r.id RETURN r.v")).unwrap();
+        prop_assert_eq!(sql, mmql);
+    }
+
+    /// Documents survive the full insert → WAL → commit-hook → query path.
+    #[test]
+    fn document_roundtrip_through_transactions(
+        docs in prop::collection::vec(arb_doc(), 1..20),
+    ) {
+        let db = Database::in_memory();
+        db.create_collection("c").unwrap();
+        let mut keys = Vec::new();
+        for (i, (name, price, _)) in docs.iter().enumerate() {
+            let key = db.transact(mmdb_txn::IsolationLevel::Snapshot, 3, |s| {
+                s.insert_document("c", Value::object([
+                    ("_key", Value::str(format!("k{i}"))),
+                    ("name", Value::str(name.clone())),
+                    ("price", Value::int(*price)),
+                ]))
+            }).unwrap();
+            keys.push(key);
+        }
+        for (i, (name, price, _)) in docs.iter().enumerate() {
+            let doc = db.get_document("c", &keys[i]).unwrap().unwrap();
+            prop_assert_eq!(doc.get_field("name"), &Value::str(name.clone()));
+            prop_assert_eq!(doc.get_field("price"), &Value::int(*price));
+        }
+        let n = db.query("FOR x IN c RETURN 1").unwrap().len();
+        prop_assert_eq!(n, docs.len());
+    }
+
+    /// COLLECT aggregates equal a reference computation.
+    #[test]
+    fn collect_sum_equals_reference(
+        items in prop::collection::vec((0i64..5, -50i64..50), 1..50),
+    ) {
+        let db = Database::in_memory();
+        db.create_collection("s").unwrap();
+        let coll = db.world().collection("s").unwrap();
+        let mut reference: std::collections::BTreeMap<i64, i64> = Default::default();
+        for (grp, v) in &items {
+            coll.insert(Value::object([("grp", Value::int(*grp)), ("v", Value::int(*v))])).unwrap();
+            *reference.entry(*grp).or_default() += v;
+        }
+        let rows = db.query(
+            "FOR x IN s COLLECT g = x.grp AGGREGATE total = SUM(x.v) SORT g RETURN [g, total]"
+        ).unwrap();
+        let got: Vec<(i64, i64)> = rows.iter().map(|r| {
+            (r.get_index(0).as_int().unwrap(), r.get_index(1).as_int().unwrap())
+        }).collect();
+        let want: Vec<(i64, i64)> = reference.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+}
