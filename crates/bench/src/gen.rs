@@ -124,7 +124,7 @@ pub fn generate(scale: f64, seed: u64) -> Dataset {
                 ((b'A' + rng.gen_range(0..26) as u8) as char)
             ),
             place: CITIES[rng.gen_range(0..CITIES.len())].to_string(),
-            credit_limit: rng.gen_range(0..100) * 100,
+            credit_limit: rng.gen_range(0..100i64) * 100,
         })
         .collect();
 

@@ -1,0 +1,382 @@
+//! # mmdb-client — the Rust client library
+//!
+//! A blocking client for `mmdb-server` speaking `mmdb-protocol`. The
+//! API mirrors the embedded `Database`/`Session` surface: queries,
+//! typed model operations, explicit `begin`/`commit`/`abort`, DDL, and
+//! `ADMIN STATS`. One [`Client`] is one connection and one (optional)
+//! open transaction; [`Pool`] multiplexes clients across threads.
+//!
+//! Server-side failures come back as the same [`Error`] values the
+//! embedded engine would have produced, so code can move between
+//! embedded and networked deployments without changing its error
+//! handling.
+
+mod pool;
+
+pub use pool::{Pool, PoolConfig, PooledClient};
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use mmdb_protocol::{
+    frame, schema_to_value, DdlOp, Request, Response, SessionOp, PROTOCOL_VERSION,
+};
+use mmdb_relational::Schema;
+use mmdb_types::{Error, Result, Value};
+
+/// Connection tunables.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Socket read timeout; `None` blocks indefinitely.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout.
+    pub write_timeout: Option<Duration>,
+    /// Maximum frame payload accepted or produced.
+    pub max_frame_len: u32,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_frame_len: frame::MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// One connection to a mmdb server.
+pub struct Client {
+    stream: TcpStream,
+    config: ClientConfig,
+    server: String,
+    /// Set after an I/O or framing failure: the stream position is
+    /// unknown, so the connection must not be reused.
+    poisoned: bool,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client")
+            .field("server", &self.server)
+            .field("peer", &self.stream.peer_addr().ok())
+            .field("poisoned", &self.poisoned)
+            .finish()
+    }
+}
+
+impl Client {
+    /// Connect with default configuration and perform the handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        Client::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit configuration and perform the handshake.
+    pub fn connect_with(addr: impl ToSocketAddrs, config: ClientConfig) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(config.read_timeout)?;
+        stream.set_write_timeout(config.write_timeout)?;
+        stream.set_nodelay(true)?;
+        let mut client =
+            Client { stream, config, server: String::new(), poisoned: false };
+        match client.call(&Request::Hello { version: PROTOCOL_VERSION })? {
+            Response::Hello { server, .. } => {
+                client.server = server;
+                Ok(client)
+            }
+            other => Err(Error::Protocol(format!("unexpected handshake reply: {other:?}"))),
+        }
+    }
+
+    /// The server identification from the handshake, e.g. `mmdb/0.1.0`.
+    pub fn server_version(&self) -> &str {
+        &self.server
+    }
+
+    /// True when an I/O failure made this connection unusable.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Send one request and wait for its response.
+    ///
+    /// Engine errors reported by the server come back as `Err` with the
+    /// original error kind; the connection stays usable. I/O and
+    /// framing failures (including a read timeout) poison the
+    /// connection.
+    pub fn call(&mut self, req: &Request) -> Result<Response> {
+        if self.poisoned {
+            return Err(Error::Protocol(
+                "connection poisoned by an earlier I/O failure".into(),
+            ));
+        }
+        let result = (|| {
+            frame::write_frame(&mut self.stream, &req.encode(), self.config.max_frame_len)?;
+            let payload = frame::read_frame(&mut self.stream, self.config.max_frame_len)?;
+            Response::decode(&payload)
+        })();
+        match result {
+            Ok(Response::Err { kind, message }) => {
+                Err(Response::into_error(&kind, message))
+            }
+            Ok(resp) => Ok(resp),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn expect_ok(&mut self, req: &Request) -> Result<()> {
+        match self.call(req)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(req, &other)),
+        }
+    }
+
+    fn expect_key(&mut self, req: &Request) -> Result<String> {
+        match self.call(req)? {
+            Response::Key(k) => Ok(k),
+            other => Err(unexpected(req, &other)),
+        }
+    }
+
+    fn expect_maybe(&mut self, req: &Request) -> Result<Option<Value>> {
+        match self.call(req)? {
+            Response::Maybe(v) => Ok(v),
+            other => Err(unexpected(req, &other)),
+        }
+    }
+
+    // ---- queries -----------------------------------------------------------
+
+    /// Run an MMQL query; returns the result rows.
+    pub fn query(&mut self, text: &str) -> Result<Vec<Value>> {
+        match self.call(&Request::Query { text: text.into() })? {
+            Response::Rows(rows) => Ok(rows),
+            other => Err(unexpected(&Request::Query { text: text.into() }, &other)),
+        }
+    }
+
+    /// Run a SQL query; returns the result rows.
+    pub fn query_sql(&mut self, text: &str) -> Result<Vec<Value>> {
+        match self.call(&Request::Sql { text: text.into() })? {
+            Response::Rows(rows) => Ok(rows),
+            other => Err(unexpected(&Request::Sql { text: text.into() }, &other)),
+        }
+    }
+
+    /// Explain an MMQL query plan.
+    pub fn explain(&mut self, text: &str) -> Result<String> {
+        match self.call(&Request::Explain { text: text.into() })? {
+            Response::Text(t) => Ok(t),
+            other => Err(unexpected(&Request::Explain { text: text.into() }, &other)),
+        }
+    }
+
+    /// Liveness check.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&Request::Ping, &other)),
+        }
+    }
+
+    /// Fetch the server's metrics snapshot.
+    pub fn admin_stats(&mut self) -> Result<Value> {
+        match self.call(&Request::Admin { command: "STATS".into() })? {
+            Response::Stats(v) => Ok(v),
+            other => Err(unexpected(&Request::Admin { command: "STATS".into() }, &other)),
+        }
+    }
+
+    // ---- transactions ------------------------------------------------------
+
+    /// Open an explicit transaction; returns the transaction id.
+    pub fn begin(&mut self, serializable: bool) -> Result<u64> {
+        match self.call(&Request::Begin { serializable })? {
+            Response::TxnBegun { txn_id } => Ok(txn_id as u64),
+            other => Err(unexpected(&Request::Begin { serializable }, &other)),
+        }
+    }
+
+    /// Commit the open transaction; returns the commit timestamp.
+    pub fn commit(&mut self) -> Result<u64> {
+        match self.call(&Request::Commit)? {
+            Response::Committed { commit_ts } => Ok(commit_ts as u64),
+            other => Err(unexpected(&Request::Commit, &other)),
+        }
+    }
+
+    /// Abort the open transaction.
+    pub fn abort(&mut self) -> Result<()> {
+        match self.call(&Request::Abort)? {
+            Response::Aborted => Ok(()),
+            other => Err(unexpected(&Request::Abort, &other)),
+        }
+    }
+
+    // ---- typed operations --------------------------------------------------
+    // Inside an explicit transaction these stage writes; outside one
+    // each op auto-commits.
+
+    pub fn insert_document(&mut self, collection: &str, doc: Value) -> Result<String> {
+        self.expect_key(&Request::Op(SessionOp::InsertDocument {
+            collection: collection.into(),
+            doc,
+        }))
+    }
+
+    pub fn update_document(&mut self, collection: &str, key: &str, doc: Value) -> Result<()> {
+        self.expect_ok(&Request::Op(SessionOp::UpdateDocument {
+            collection: collection.into(),
+            key: key.into(),
+            doc,
+        }))
+    }
+
+    pub fn remove_document(&mut self, collection: &str, key: &str) -> Result<()> {
+        self.expect_ok(&Request::Op(SessionOp::RemoveDocument {
+            collection: collection.into(),
+            key: key.into(),
+        }))
+    }
+
+    pub fn get_document(&mut self, collection: &str, key: &str) -> Result<Option<Value>> {
+        self.expect_maybe(&Request::Op(SessionOp::GetDocument {
+            collection: collection.into(),
+            key: key.into(),
+        }))
+    }
+
+    pub fn kv_put(&mut self, bucket: &str, key: &str, value: Value) -> Result<()> {
+        self.expect_ok(&Request::Op(SessionOp::KvPut {
+            bucket: bucket.into(),
+            key: key.into(),
+            value,
+        }))
+    }
+
+    pub fn kv_delete(&mut self, bucket: &str, key: &str) -> Result<()> {
+        self.expect_ok(&Request::Op(SessionOp::KvDelete {
+            bucket: bucket.into(),
+            key: key.into(),
+        }))
+    }
+
+    pub fn kv_get(&mut self, bucket: &str, key: &str) -> Result<Option<Value>> {
+        self.expect_maybe(&Request::Op(SessionOp::KvGet {
+            bucket: bucket.into(),
+            key: key.into(),
+        }))
+    }
+
+    pub fn insert_row(&mut self, table: &str, row: Value) -> Result<()> {
+        self.expect_ok(&Request::Op(SessionOp::InsertRow { table: table.into(), row }))
+    }
+
+    pub fn update_row(&mut self, table: &str, row: Value) -> Result<()> {
+        self.expect_ok(&Request::Op(SessionOp::UpdateRow { table: table.into(), row }))
+    }
+
+    pub fn delete_row(&mut self, table: &str, pk: Value) -> Result<()> {
+        self.expect_ok(&Request::Op(SessionOp::DeleteRow { table: table.into(), pk }))
+    }
+
+    pub fn get_row(&mut self, table: &str, pk: Value) -> Result<Option<Value>> {
+        self.expect_maybe(&Request::Op(SessionOp::GetRow { table: table.into(), pk }))
+    }
+
+    pub fn add_vertex(&mut self, graph: &str, collection: &str, doc: Value) -> Result<String> {
+        self.expect_key(&Request::Op(SessionOp::AddVertex {
+            graph: graph.into(),
+            collection: collection.into(),
+            doc,
+        }))
+    }
+
+    pub fn add_edge(
+        &mut self,
+        graph: &str,
+        collection: &str,
+        from: &str,
+        to: &str,
+        properties: Value,
+    ) -> Result<String> {
+        self.expect_key(&Request::Op(SessionOp::AddEdge {
+            graph: graph.into(),
+            collection: collection.into(),
+            from: from.into(),
+            to: to.into(),
+            properties,
+        }))
+    }
+
+    pub fn rdf_insert(&mut self, subject: &str, predicate: &str, object: Value) -> Result<()> {
+        self.expect_ok(&Request::Op(SessionOp::RdfInsert {
+            subject: subject.into(),
+            predicate: predicate.into(),
+            object,
+        }))
+    }
+
+    pub fn rdf_remove(&mut self, subject: &str, predicate: &str, object: Value) -> Result<()> {
+        self.expect_ok(&Request::Op(SessionOp::RdfRemove {
+            subject: subject.into(),
+            predicate: predicate.into(),
+            object,
+        }))
+    }
+
+    // ---- DDL ---------------------------------------------------------------
+
+    pub fn create_collection(&mut self, name: &str) -> Result<()> {
+        self.expect_ok(&Request::Ddl(DdlOp::CreateCollection { name: name.into() }))
+    }
+
+    pub fn create_bucket(&mut self, name: &str) -> Result<()> {
+        self.expect_ok(&Request::Ddl(DdlOp::CreateBucket { name: name.into() }))
+    }
+
+    pub fn create_graph(&mut self, name: &str) -> Result<()> {
+        self.expect_ok(&Request::Ddl(DdlOp::CreateGraph { name: name.into() }))
+    }
+
+    pub fn create_vertex_collection(&mut self, graph: &str, name: &str) -> Result<()> {
+        self.expect_ok(&Request::Ddl(DdlOp::CreateVertexCollection {
+            graph: graph.into(),
+            name: name.into(),
+        }))
+    }
+
+    pub fn create_edge_collection(&mut self, graph: &str, name: &str) -> Result<()> {
+        self.expect_ok(&Request::Ddl(DdlOp::CreateEdgeCollection {
+            graph: graph.into(),
+            name: name.into(),
+        }))
+    }
+
+    pub fn create_table(&mut self, name: &str, schema: &Schema) -> Result<()> {
+        self.expect_ok(&Request::Ddl(DdlOp::CreateTable {
+            name: name.into(),
+            schema: schema_to_value(schema),
+        }))
+    }
+
+    pub fn create_fulltext_index(
+        &mut self,
+        name: &str,
+        collection: &str,
+        field: &str,
+    ) -> Result<()> {
+        self.expect_ok(&Request::Ddl(DdlOp::CreateFulltextIndex {
+            name: name.into(),
+            collection: collection.into(),
+            field: field.into(),
+        }))
+    }
+}
+
+fn unexpected(req: &Request, resp: &Response) -> Error {
+    Error::Protocol(format!("unexpected response to {req:?}: {resp:?}"))
+}

@@ -1,0 +1,162 @@
+//! A fixed-size connection pool.
+//!
+//! [`Pool::get`] hands out a [`PooledClient`] — a smart pointer that
+//! returns its connection to the pool on drop, unless the connection was
+//! poisoned by an I/O failure, in which case it is discarded and its
+//! slot freed for a fresh connection. Checkout blocks up to
+//! `checkout_timeout` when every connection is busy, then fails with a
+//! retryable `busy` error, mirroring the server's own backpressure.
+
+use std::net::ToSocketAddrs;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use mmdb_types::{Error, Result};
+
+use crate::{Client, ClientConfig};
+
+/// Pool tunables.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Maximum simultaneously open connections.
+    pub max_size: usize,
+    /// How long [`Pool::get`] waits for a free connection.
+    pub checkout_timeout: Duration,
+    /// Per-connection configuration.
+    pub client: ClientConfig,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            max_size: 8,
+            checkout_timeout: Duration::from_secs(5),
+            client: ClientConfig::default(),
+        }
+    }
+}
+
+struct PoolInner {
+    addr: String,
+    config: PoolConfig,
+    idle: Mutex<Vec<Client>>,
+    returned: Condvar,
+    /// Connections currently open or being opened.
+    open: AtomicUsize,
+}
+
+/// A thread-safe pool of [`Client`] connections to one server.
+#[derive(Clone)]
+pub struct Pool {
+    inner: Arc<PoolInner>,
+}
+
+impl Pool {
+    /// Create a pool for `addr`. Connections open lazily on checkout.
+    pub fn new(addr: impl Into<String>, config: PoolConfig) -> Pool {
+        Pool {
+            inner: Arc::new(PoolInner {
+                addr: addr.into(),
+                config,
+                idle: Mutex::new(Vec::new()),
+                returned: Condvar::new(),
+                open: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Check out a connection, opening one if under `max_size`, waiting
+    /// otherwise. Fails with a retryable `busy` error on timeout.
+    pub fn get(&self) -> Result<PooledClient> {
+        let inner = &self.inner;
+        let deadline = Instant::now() + inner.config.checkout_timeout;
+        loop {
+            if let Some(client) = inner.idle.lock().pop() {
+                return Ok(PooledClient { client: Some(client), pool: Arc::clone(inner) });
+            }
+            // Reserve a slot before connecting so concurrent checkouts
+            // can't overshoot max_size.
+            let prev = inner.open.fetch_add(1, Ordering::SeqCst);
+            if prev < inner.config.max_size {
+                let addr: &str = &inner.addr;
+                match Client::connect_with(
+                    resolve(addr)?,
+                    inner.config.client.clone(),
+                ) {
+                    Ok(client) => {
+                        return Ok(PooledClient {
+                            client: Some(client),
+                            pool: Arc::clone(inner),
+                        })
+                    }
+                    Err(e) => {
+                        inner.open.fetch_sub(1, Ordering::SeqCst);
+                        return Err(e);
+                    }
+                }
+            }
+            inner.open.fetch_sub(1, Ordering::SeqCst);
+            let mut idle = inner.idle.lock();
+            if idle.is_empty() {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(Error::Busy(format!(
+                        "no pooled connection became free within {:?}",
+                        inner.config.checkout_timeout
+                    )));
+                }
+                inner.returned.wait_for(&mut idle, deadline - now);
+            }
+            if let Some(client) = idle.pop() {
+                return Ok(PooledClient { client: Some(client), pool: Arc::clone(inner) });
+            }
+        }
+    }
+
+    /// Currently open connections (idle + checked out).
+    pub fn open_connections(&self) -> usize {
+        self.inner.open.load(Ordering::SeqCst)
+    }
+}
+
+fn resolve(addr: &str) -> Result<std::net::SocketAddr> {
+    addr.to_socket_addrs()?
+        .next()
+        .ok_or_else(|| Error::Storage(format!("address '{addr}' did not resolve")))
+}
+
+/// A checked-out connection; returns to the pool on drop.
+pub struct PooledClient {
+    client: Option<Client>,
+    pool: Arc<PoolInner>,
+}
+
+impl Deref for PooledClient {
+    type Target = Client;
+    fn deref(&self) -> &Client {
+        self.client.as_ref().expect("client taken")
+    }
+}
+
+impl DerefMut for PooledClient {
+    fn deref_mut(&mut self) -> &mut Client {
+        self.client.as_mut().expect("client taken")
+    }
+}
+
+impl Drop for PooledClient {
+    fn drop(&mut self) {
+        let Some(client) = self.client.take() else { return };
+        if client.is_poisoned() {
+            // Broken connection: free the slot instead of recycling it.
+            self.pool.open.fetch_sub(1, Ordering::SeqCst);
+        } else {
+            self.pool.idle.lock().push(client);
+        }
+        self.pool.returned.notify_one();
+    }
+}

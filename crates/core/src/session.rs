@@ -19,6 +19,13 @@ use mmdb_types::codec::{encode_composite_key, key_of};
 use mmdb_types::{Error, Result, Value};
 
 /// An open cross-model transaction.
+///
+/// A `Session` is an owned value: whichever component holds it (an
+/// embedded caller, a server connection) owns the transaction. Dropping
+/// an uncommitted session aborts it completely — staged writes are
+/// discarded, locks released, and a WAL abort record written if anything
+/// was staged — so disconnecting clients can simply be dropped and never
+/// leak a half-open transaction.
 pub struct Session {
     world: Arc<World>,
     txn: Transaction,
@@ -43,6 +50,11 @@ impl Session {
     /// Abort the transaction.
     pub fn abort(self) {
         self.txn.abort()
+    }
+
+    /// Number of writes staged so far (0 means read-only).
+    pub fn write_count(&self) -> usize {
+        self.txn.write_count()
     }
 
     // ---- documents ---------------------------------------------------------
@@ -483,6 +495,25 @@ mod tests {
         assert!(db.get_document("orders", "x").unwrap().is_none());
         assert_eq!(db.kv().get("cart", "9").unwrap(), None);
         assert!(db.query("FOR c IN customers RETURN c").unwrap().is_empty());
+    }
+
+    #[test]
+    fn dropped_session_aborts_and_releases_locks() {
+        // The server reaps a disconnected connection by dropping its
+        // session; that must behave exactly like an explicit abort.
+        let db = db_with_stores();
+        {
+            let mut s = db.begin(IsolationLevel::Serializable);
+            s.kv_put("cart", "7", Value::str("orphaned")).unwrap();
+            assert_eq!(s.write_count(), 1);
+        } // dropped without commit
+        assert_eq!(db.kv().get("cart", "7").unwrap(), None);
+        // The lock is free again: a fresh serializable txn writes the key.
+        db.transact(IsolationLevel::Serializable, 1, |s| {
+            s.kv_put("cart", "7", Value::str("fresh"))
+        })
+        .unwrap();
+        assert_eq!(db.kv().get("cart", "7").unwrap(), Some(Value::str("fresh")));
     }
 
     #[test]

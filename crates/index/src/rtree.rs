@@ -262,8 +262,11 @@ impl<T> RTree<T> {
     }
 }
 
+/// The two groups a node's entries are partitioned into on overflow.
+type SplitGroups<E> = (Vec<(Rect, E)>, Vec<(Rect, E)>);
+
 /// Guttman's quadratic split.
-fn quadratic_split<E>(mut entries: Vec<(Rect, E)>) -> (Vec<(Rect, E)>, Vec<(Rect, E)>) {
+fn quadratic_split<E>(mut entries: Vec<(Rect, E)>) -> SplitGroups<E> {
     // Pick the pair wasting the most area as seeds.
     let (mut s1, mut s2, mut worst) = (0, 1, f64::NEG_INFINITY);
     for i in 0..entries.len() {

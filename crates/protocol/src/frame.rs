@@ -1,0 +1,104 @@
+//! Length-prefixed framing.
+//!
+//! Every message on the wire is one frame: a 4-byte big-endian payload
+//! length followed by that many payload bytes. The length never includes
+//! the header itself. Both sides enforce a maximum payload length so a
+//! corrupt or hostile peer cannot make the other side allocate
+//! arbitrarily much memory; an oversized header is a protocol error and
+//! the connection should be closed.
+
+use std::io::{Read, Write};
+
+use mmdb_types::{Error, Result};
+
+/// Size of the frame header in bytes.
+pub const HEADER_LEN: usize = 4;
+
+/// Default cap on a frame payload (16 MiB). Large enough for bulk query
+/// results, small enough to bound per-connection memory.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Write one frame (header + payload) and flush.
+pub fn write_frame(w: &mut impl Write, payload: &[u8], max_len: u32) -> Result<()> {
+    if payload.len() > max_len as usize {
+        return Err(Error::Protocol(format!(
+            "outgoing frame of {} bytes exceeds the {} byte limit",
+            payload.len(),
+            max_len
+        )));
+    }
+    let header = (payload.len() as u32).to_be_bytes();
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame's payload. Blocks until a full frame arrives.
+///
+/// Returns `Error::Protocol` when the announced length exceeds `max_len`
+/// (the caller must close the connection: the stream position is inside
+/// a frame that will never be read). I/O failures — including read
+/// timeouts configured on the stream — surface as `Error::Storage` via
+/// the `io::Error` conversion.
+pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Vec<u8>> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let len = u32::from_be_bytes(header);
+    if len > max_len {
+        return Err(Error::Protocol(format!(
+            "incoming frame announces {len} bytes, exceeding the {max_len} byte limit"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_payload() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello", MAX_FRAME_LEN).unwrap();
+        assert_eq!(buf.len(), HEADER_LEN + 5);
+        let got = read_frame(&mut &buf[..], MAX_FRAME_LEN).unwrap();
+        assert_eq!(got, b"hello");
+    }
+
+    #[test]
+    fn empty_payload_is_legal() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"", MAX_FRAME_LEN).unwrap();
+        let got = read_frame(&mut &buf[..], MAX_FRAME_LEN).unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn oversized_incoming_frame_is_a_protocol_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_LEN + 1).to_be_bytes());
+        buf.extend_from_slice(&[0; 16]);
+        let err = read_frame(&mut &buf[..], MAX_FRAME_LEN).unwrap_err();
+        assert_eq!(err.kind(), "protocol");
+    }
+
+    #[test]
+    fn oversized_outgoing_frame_is_rejected_before_writing() {
+        let mut buf = Vec::new();
+        let err = write_frame(&mut buf, &[0u8; 32], 16).unwrap_err();
+        assert_eq!(err.kind(), "protocol");
+        assert!(buf.is_empty(), "nothing written for a rejected frame");
+    }
+
+    #[test]
+    fn truncated_stream_is_an_io_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef", MAX_FRAME_LEN).unwrap();
+        buf.truncate(buf.len() - 2);
+        let err = read_frame(&mut &buf[..], MAX_FRAME_LEN).unwrap_err();
+        assert_eq!(err.kind(), "storage");
+    }
+}

@@ -1,0 +1,602 @@
+//! Request and response messages.
+//!
+//! Messages are encoded as tagged [`Value`] arrays (`["query", "FOR c
+//! ..."]`) and serialized with the engine's own binary value codec
+//! (`mmdb_types::codec`). Reusing the storage codec means the wire
+//! format gets the full `Value` domain — nested documents, bytes,
+//! floats — for free, and one codec is fuzzed instead of two.
+
+use mmdb_types::codec::{value_from_bytes, value_to_bytes};
+use mmdb_types::{Error, Result, Value};
+
+/// Version of the wire protocol. The server refuses a `Hello` carrying a
+/// different major version.
+pub const PROTOCOL_VERSION: i64 = 1;
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Handshake; must be the first request on a connection.
+    Hello { version: i64 },
+    /// Liveness check.
+    Ping,
+    /// Run an MMQL query outside any explicit transaction.
+    Query { text: String },
+    /// Run a SQL query outside any explicit transaction.
+    Sql { text: String },
+    /// Explain an MMQL query plan.
+    Explain { text: String },
+    /// Open an explicit transaction on this connection.
+    Begin { serializable: bool },
+    /// Commit the connection's open transaction.
+    Commit,
+    /// Abort the connection's open transaction.
+    Abort,
+    /// A typed data operation; runs in the open transaction when one
+    /// exists, otherwise auto-commits.
+    Op(SessionOp),
+    /// A DDL operation (always auto-committed).
+    Ddl(DdlOp),
+    /// An administrative command, e.g. `STATS`.
+    Admin { command: String },
+}
+
+/// Typed data operations mirroring `mmdb_core::Session`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionOp {
+    InsertDocument { collection: String, doc: Value },
+    UpdateDocument { collection: String, key: String, doc: Value },
+    RemoveDocument { collection: String, key: String },
+    GetDocument { collection: String, key: String },
+    KvPut { bucket: String, key: String, value: Value },
+    KvDelete { bucket: String, key: String },
+    KvGet { bucket: String, key: String },
+    InsertRow { table: String, row: Value },
+    UpdateRow { table: String, row: Value },
+    DeleteRow { table: String, pk: Value },
+    GetRow { table: String, pk: Value },
+    AddVertex { graph: String, collection: String, doc: Value },
+    AddEdge { graph: String, collection: String, from: String, to: String, properties: Value },
+    RdfInsert { subject: String, predicate: String, object: Value },
+    RdfRemove { subject: String, predicate: String, object: Value },
+}
+
+/// DDL operations mirroring the `Database` catalog methods.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DdlOp {
+    CreateCollection { name: String },
+    CreateBucket { name: String },
+    CreateGraph { name: String },
+    CreateVertexCollection { graph: String, name: String },
+    CreateEdgeCollection { graph: String, name: String },
+    /// `schema` uses the encoding of [`crate::schema::schema_to_value`].
+    CreateTable { name: String, schema: Value },
+    CreateFulltextIndex { name: String, collection: String, field: String },
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Generic success with no payload.
+    Ok,
+    /// Reply to `Ping`.
+    Pong,
+    /// Handshake acknowledgement.
+    Hello { version: i64, server: String },
+    /// Query result rows.
+    Rows(Vec<Value>),
+    /// A point lookup's result.
+    Maybe(Option<Value>),
+    /// A generated key (document insert, vertex/edge insert).
+    Key(String),
+    /// Transaction opened; carries its id.
+    TxnBegun { txn_id: i64 },
+    /// Transaction committed at this timestamp.
+    Committed { commit_ts: i64 },
+    /// Transaction aborted.
+    Aborted,
+    /// Free-form text (EXPLAIN output).
+    Text(String),
+    /// `ADMIN STATS` payload.
+    Stats(Value),
+    /// Any failure; `kind` matches [`Error::kind`].
+    Err { kind: String, message: String },
+}
+
+impl Response {
+    /// Convert an engine error into its wire form.
+    pub fn from_error(e: &Error) -> Response {
+        let text = e.to_string();
+        // Display is "<kind words>: <message>"; keep just the message.
+        let message = match text.split_once(": ") {
+            Some((_, m)) => m.to_string(),
+            None => text,
+        };
+        Response::Err { kind: e.kind().to_string(), message }
+    }
+
+    /// Convert a wire error back into the engine error it came from.
+    pub fn into_error(kind: &str, message: String) -> Error {
+        match kind {
+            "parse" => Error::Parse(message),
+            "type" => Error::Type(message),
+            "not_found" => Error::NotFound(message),
+            "already_exists" => Error::AlreadyExists(message),
+            "schema" => Error::Schema(message),
+            "storage" => Error::Storage(message),
+            "txn_conflict" => Error::TxnConflict(message),
+            "txn_closed" => Error::TxnClosed(message),
+            "query" => Error::Query(message),
+            "unsupported" => Error::Unsupported(message),
+            "protocol" => Error::Protocol(message),
+            "busy" => Error::Busy(message),
+            _ => Error::Internal(message),
+        }
+    }
+}
+
+fn tagged(tag: &str, fields: Vec<Value>) -> Value {
+    let mut items = vec![Value::str(tag)];
+    items.extend(fields);
+    Value::Array(items)
+}
+
+fn parts(v: &Value) -> Result<(&str, &[Value])> {
+    let items = v.as_array()?;
+    let Some((tag, rest)) = items.split_first() else {
+        return Err(Error::Protocol("empty message".into()));
+    };
+    Ok((tag.as_str().map_err(|_| Error::Protocol("non-string message tag".into()))?, rest))
+}
+
+fn field<'a>(rest: &'a [Value], idx: usize, tag: &str) -> Result<&'a Value> {
+    rest.get(idx)
+        .ok_or_else(|| Error::Protocol(format!("'{tag}' message is missing field {idx}")))
+}
+
+fn str_field(rest: &[Value], idx: usize, tag: &str) -> Result<String> {
+    Ok(field(rest, idx, tag)?
+        .as_str()
+        .map_err(|_| Error::Protocol(format!("'{tag}' field {idx} must be a string")))?
+        .to_string())
+}
+
+fn int_field(rest: &[Value], idx: usize, tag: &str) -> Result<i64> {
+    field(rest, idx, tag)?
+        .as_int()
+        .map_err(|_| Error::Protocol(format!("'{tag}' field {idx} must be an integer")))
+}
+
+fn bool_field(rest: &[Value], idx: usize, tag: &str) -> Result<bool> {
+    field(rest, idx, tag)?
+        .as_bool()
+        .map_err(|_| Error::Protocol(format!("'{tag}' field {idx} must be a bool")))
+}
+
+impl Request {
+    /// Encode to a wire payload (to be framed by the caller).
+    pub fn encode(&self) -> Vec<u8> {
+        value_to_bytes(&self.to_value()).to_vec()
+    }
+
+    /// Decode from a wire payload.
+    pub fn decode(payload: &[u8]) -> Result<Request> {
+        let v = value_from_bytes(payload)
+            .map_err(|e| Error::Protocol(format!("undecodable request payload: {e}")))?;
+        Request::from_value(&v)
+    }
+
+    fn to_value(&self) -> Value {
+        match self {
+            Request::Hello { version } => tagged("hello", vec![Value::int(*version)]),
+            Request::Ping => tagged("ping", vec![]),
+            Request::Query { text } => tagged("query", vec![Value::str(text)]),
+            Request::Sql { text } => tagged("sql", vec![Value::str(text)]),
+            Request::Explain { text } => tagged("explain", vec![Value::str(text)]),
+            Request::Begin { serializable } => {
+                tagged("begin", vec![Value::Bool(*serializable)])
+            }
+            Request::Commit => tagged("commit", vec![]),
+            Request::Abort => tagged("abort", vec![]),
+            Request::Op(op) => tagged("op", vec![op.to_value()]),
+            Request::Ddl(op) => tagged("ddl", vec![op.to_value()]),
+            Request::Admin { command } => tagged("admin", vec![Value::str(command)]),
+        }
+    }
+
+    fn from_value(v: &Value) -> Result<Request> {
+        let (tag, rest) = parts(v)?;
+        Ok(match tag {
+            "hello" => Request::Hello { version: int_field(rest, 0, tag)? },
+            "ping" => Request::Ping,
+            "query" => Request::Query { text: str_field(rest, 0, tag)? },
+            "sql" => Request::Sql { text: str_field(rest, 0, tag)? },
+            "explain" => Request::Explain { text: str_field(rest, 0, tag)? },
+            "begin" => Request::Begin { serializable: bool_field(rest, 0, tag)? },
+            "commit" => Request::Commit,
+            "abort" => Request::Abort,
+            "op" => Request::Op(SessionOp::from_value(field(rest, 0, tag)?)?),
+            "ddl" => Request::Ddl(DdlOp::from_value(field(rest, 0, tag)?)?),
+            "admin" => Request::Admin { command: str_field(rest, 0, tag)? },
+            other => return Err(Error::Protocol(format!("unknown request tag '{other}'"))),
+        })
+    }
+
+    /// The command label used by the server's per-command metrics.
+    pub fn command_label(&self) -> &'static str {
+        match self {
+            Request::Hello { .. } => "hello",
+            Request::Ping => "ping",
+            Request::Query { .. } => "query",
+            Request::Sql { .. } => "sql",
+            Request::Explain { .. } => "explain",
+            Request::Begin { .. } => "begin",
+            Request::Commit => "commit",
+            Request::Abort => "abort",
+            Request::Op(_) => "op",
+            Request::Ddl(_) => "ddl",
+            Request::Admin { .. } => "admin",
+        }
+    }
+}
+
+impl SessionOp {
+    fn to_value(&self) -> Value {
+        match self {
+            SessionOp::InsertDocument { collection, doc } => {
+                tagged("insert_doc", vec![Value::str(collection), doc.clone()])
+            }
+            SessionOp::UpdateDocument { collection, key, doc } => {
+                tagged("update_doc", vec![Value::str(collection), Value::str(key), doc.clone()])
+            }
+            SessionOp::RemoveDocument { collection, key } => {
+                tagged("remove_doc", vec![Value::str(collection), Value::str(key)])
+            }
+            SessionOp::GetDocument { collection, key } => {
+                tagged("get_doc", vec![Value::str(collection), Value::str(key)])
+            }
+            SessionOp::KvPut { bucket, key, value } => {
+                tagged("kv_put", vec![Value::str(bucket), Value::str(key), value.clone()])
+            }
+            SessionOp::KvDelete { bucket, key } => {
+                tagged("kv_del", vec![Value::str(bucket), Value::str(key)])
+            }
+            SessionOp::KvGet { bucket, key } => {
+                tagged("kv_get", vec![Value::str(bucket), Value::str(key)])
+            }
+            SessionOp::InsertRow { table, row } => {
+                tagged("insert_row", vec![Value::str(table), row.clone()])
+            }
+            SessionOp::UpdateRow { table, row } => {
+                tagged("update_row", vec![Value::str(table), row.clone()])
+            }
+            SessionOp::DeleteRow { table, pk } => {
+                tagged("delete_row", vec![Value::str(table), pk.clone()])
+            }
+            SessionOp::GetRow { table, pk } => {
+                tagged("get_row", vec![Value::str(table), pk.clone()])
+            }
+            SessionOp::AddVertex { graph, collection, doc } => {
+                tagged("add_vertex", vec![Value::str(graph), Value::str(collection), doc.clone()])
+            }
+            SessionOp::AddEdge { graph, collection, from, to, properties } => tagged(
+                "add_edge",
+                vec![
+                    Value::str(graph),
+                    Value::str(collection),
+                    Value::str(from),
+                    Value::str(to),
+                    properties.clone(),
+                ],
+            ),
+            SessionOp::RdfInsert { subject, predicate, object } => tagged(
+                "rdf_insert",
+                vec![Value::str(subject), Value::str(predicate), object.clone()],
+            ),
+            SessionOp::RdfRemove { subject, predicate, object } => tagged(
+                "rdf_remove",
+                vec![Value::str(subject), Value::str(predicate), object.clone()],
+            ),
+        }
+    }
+
+    fn from_value(v: &Value) -> Result<SessionOp> {
+        let (tag, rest) = parts(v)?;
+        Ok(match tag {
+            "insert_doc" => SessionOp::InsertDocument {
+                collection: str_field(rest, 0, tag)?,
+                doc: field(rest, 1, tag)?.clone(),
+            },
+            "update_doc" => SessionOp::UpdateDocument {
+                collection: str_field(rest, 0, tag)?,
+                key: str_field(rest, 1, tag)?,
+                doc: field(rest, 2, tag)?.clone(),
+            },
+            "remove_doc" => SessionOp::RemoveDocument {
+                collection: str_field(rest, 0, tag)?,
+                key: str_field(rest, 1, tag)?,
+            },
+            "get_doc" => SessionOp::GetDocument {
+                collection: str_field(rest, 0, tag)?,
+                key: str_field(rest, 1, tag)?,
+            },
+            "kv_put" => SessionOp::KvPut {
+                bucket: str_field(rest, 0, tag)?,
+                key: str_field(rest, 1, tag)?,
+                value: field(rest, 2, tag)?.clone(),
+            },
+            "kv_del" => SessionOp::KvDelete {
+                bucket: str_field(rest, 0, tag)?,
+                key: str_field(rest, 1, tag)?,
+            },
+            "kv_get" => SessionOp::KvGet {
+                bucket: str_field(rest, 0, tag)?,
+                key: str_field(rest, 1, tag)?,
+            },
+            "insert_row" => SessionOp::InsertRow {
+                table: str_field(rest, 0, tag)?,
+                row: field(rest, 1, tag)?.clone(),
+            },
+            "update_row" => SessionOp::UpdateRow {
+                table: str_field(rest, 0, tag)?,
+                row: field(rest, 1, tag)?.clone(),
+            },
+            "delete_row" => SessionOp::DeleteRow {
+                table: str_field(rest, 0, tag)?,
+                pk: field(rest, 1, tag)?.clone(),
+            },
+            "get_row" => SessionOp::GetRow {
+                table: str_field(rest, 0, tag)?,
+                pk: field(rest, 1, tag)?.clone(),
+            },
+            "add_vertex" => SessionOp::AddVertex {
+                graph: str_field(rest, 0, tag)?,
+                collection: str_field(rest, 1, tag)?,
+                doc: field(rest, 2, tag)?.clone(),
+            },
+            "add_edge" => SessionOp::AddEdge {
+                graph: str_field(rest, 0, tag)?,
+                collection: str_field(rest, 1, tag)?,
+                from: str_field(rest, 2, tag)?,
+                to: str_field(rest, 3, tag)?,
+                properties: field(rest, 4, tag)?.clone(),
+            },
+            "rdf_insert" => SessionOp::RdfInsert {
+                subject: str_field(rest, 0, tag)?,
+                predicate: str_field(rest, 1, tag)?,
+                object: field(rest, 2, tag)?.clone(),
+            },
+            "rdf_remove" => SessionOp::RdfRemove {
+                subject: str_field(rest, 0, tag)?,
+                predicate: str_field(rest, 1, tag)?,
+                object: field(rest, 2, tag)?.clone(),
+            },
+            other => return Err(Error::Protocol(format!("unknown op tag '{other}'"))),
+        })
+    }
+}
+
+impl DdlOp {
+    fn to_value(&self) -> Value {
+        match self {
+            DdlOp::CreateCollection { name } => tagged("create_collection", vec![Value::str(name)]),
+            DdlOp::CreateBucket { name } => tagged("create_bucket", vec![Value::str(name)]),
+            DdlOp::CreateGraph { name } => tagged("create_graph", vec![Value::str(name)]),
+            DdlOp::CreateVertexCollection { graph, name } => {
+                tagged("create_vcoll", vec![Value::str(graph), Value::str(name)])
+            }
+            DdlOp::CreateEdgeCollection { graph, name } => {
+                tagged("create_ecoll", vec![Value::str(graph), Value::str(name)])
+            }
+            DdlOp::CreateTable { name, schema } => {
+                tagged("create_table", vec![Value::str(name), schema.clone()])
+            }
+            DdlOp::CreateFulltextIndex { name, collection, field } => tagged(
+                "create_ftidx",
+                vec![Value::str(name), Value::str(collection), Value::str(field)],
+            ),
+        }
+    }
+
+    fn from_value(v: &Value) -> Result<DdlOp> {
+        let (tag, rest) = parts(v)?;
+        Ok(match tag {
+            "create_collection" => DdlOp::CreateCollection { name: str_field(rest, 0, tag)? },
+            "create_bucket" => DdlOp::CreateBucket { name: str_field(rest, 0, tag)? },
+            "create_graph" => DdlOp::CreateGraph { name: str_field(rest, 0, tag)? },
+            "create_vcoll" => DdlOp::CreateVertexCollection {
+                graph: str_field(rest, 0, tag)?,
+                name: str_field(rest, 1, tag)?,
+            },
+            "create_ecoll" => DdlOp::CreateEdgeCollection {
+                graph: str_field(rest, 0, tag)?,
+                name: str_field(rest, 1, tag)?,
+            },
+            "create_table" => DdlOp::CreateTable {
+                name: str_field(rest, 0, tag)?,
+                schema: field(rest, 1, tag)?.clone(),
+            },
+            "create_ftidx" => DdlOp::CreateFulltextIndex {
+                name: str_field(rest, 0, tag)?,
+                collection: str_field(rest, 1, tag)?,
+                field: str_field(rest, 2, tag)?,
+            },
+            other => return Err(Error::Protocol(format!("unknown ddl tag '{other}'"))),
+        })
+    }
+}
+
+impl Response {
+    /// Encode to a wire payload (to be framed by the caller).
+    pub fn encode(&self) -> Vec<u8> {
+        value_to_bytes(&self.to_value()).to_vec()
+    }
+
+    /// Decode from a wire payload.
+    pub fn decode(payload: &[u8]) -> Result<Response> {
+        let v = value_from_bytes(payload)
+            .map_err(|e| Error::Protocol(format!("undecodable response payload: {e}")))?;
+        Response::from_value(&v)
+    }
+
+    fn to_value(&self) -> Value {
+        match self {
+            Response::Ok => tagged("ok", vec![]),
+            Response::Pong => tagged("pong", vec![]),
+            Response::Hello { version, server } => {
+                tagged("hello", vec![Value::int(*version), Value::str(server)])
+            }
+            Response::Rows(rows) => tagged("rows", vec![Value::Array(rows.clone())]),
+            Response::Maybe(opt) => match opt {
+                // Distinct arities disambiguate `Some(Null)` from `None`.
+                Some(v) => tagged("maybe", vec![v.clone()]),
+                None => tagged("maybe", vec![]),
+            },
+            Response::Key(k) => tagged("key", vec![Value::str(k)]),
+            Response::TxnBegun { txn_id } => tagged("begun", vec![Value::int(*txn_id)]),
+            Response::Committed { commit_ts } => {
+                tagged("committed", vec![Value::int(*commit_ts)])
+            }
+            Response::Aborted => tagged("aborted", vec![]),
+            Response::Text(t) => tagged("text", vec![Value::str(t)]),
+            Response::Stats(v) => tagged("stats", vec![v.clone()]),
+            Response::Err { kind, message } => {
+                tagged("err", vec![Value::str(kind), Value::str(message)])
+            }
+        }
+    }
+
+    fn from_value(v: &Value) -> Result<Response> {
+        let (tag, rest) = parts(v)?;
+        Ok(match tag {
+            "ok" => Response::Ok,
+            "pong" => Response::Pong,
+            "hello" => Response::Hello {
+                version: int_field(rest, 0, tag)?,
+                server: str_field(rest, 1, tag)?,
+            },
+            "rows" => Response::Rows(
+                field(rest, 0, tag)?
+                    .as_array()
+                    .map_err(|_| Error::Protocol("'rows' payload must be an array".into()))?
+                    .to_vec(),
+            ),
+            "maybe" => Response::Maybe(rest.first().cloned()),
+            "key" => Response::Key(str_field(rest, 0, tag)?),
+            "begun" => Response::TxnBegun { txn_id: int_field(rest, 0, tag)? },
+            "committed" => Response::Committed { commit_ts: int_field(rest, 0, tag)? },
+            "aborted" => Response::Aborted,
+            "text" => Response::Text(str_field(rest, 0, tag)?),
+            "stats" => Response::Stats(field(rest, 0, tag)?.clone()),
+            "err" => Response::Err {
+                kind: str_field(rest, 0, tag)?,
+                message: str_field(rest, 1, tag)?,
+            },
+            other => return Err(Error::Protocol(format!("unknown response tag '{other}'"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = vec![
+            Request::Hello { version: PROTOCOL_VERSION },
+            Request::Ping,
+            Request::Query { text: "FOR c IN customers RETURN c".into() },
+            Request::Sql { text: "SELECT * FROM customers".into() },
+            Request::Explain { text: "FOR c IN customers RETURN c".into() },
+            Request::Begin { serializable: true },
+            Request::Commit,
+            Request::Abort,
+            Request::Op(SessionOp::InsertDocument {
+                collection: "orders".into(),
+                doc: Value::object([("_key", Value::str("o1")), ("total", Value::int(5))]),
+            }),
+            Request::Op(SessionOp::KvGet { bucket: "cart".into(), key: "1".into() }),
+            Request::Op(SessionOp::AddEdge {
+                graph: "social".into(),
+                collection: "knows".into(),
+                from: "persons/1".into(),
+                to: "persons/2".into(),
+                properties: Value::object([("since", Value::int(2020))]),
+            }),
+            Request::Ddl(DdlOp::CreateCollection { name: "orders".into() }),
+            Request::Ddl(DdlOp::CreateFulltextIndex {
+                name: "fb".into(),
+                collection: "feedback".into(),
+                field: "text".into(),
+            }),
+            Request::Admin { command: "STATS".into() },
+        ];
+        for req in cases {
+            let bytes = req.encode();
+            assert_eq!(Request::decode(&bytes).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = vec![
+            Response::Ok,
+            Response::Pong,
+            Response::Hello { version: PROTOCOL_VERSION, server: "mmdb".into() },
+            Response::Rows(vec![Value::int(1), Value::str("x")]),
+            Response::Maybe(None),
+            Response::Maybe(Some(Value::Null)),
+            Response::Maybe(Some(Value::object([("a", Value::int(1))]))),
+            Response::Key("o1".into()),
+            Response::TxnBegun { txn_id: 42 },
+            Response::Committed { commit_ts: 7 },
+            Response::Aborted,
+            Response::Text("plan".into()),
+            Response::Stats(Value::object([("requests", Value::int(9))])),
+            Response::Err { kind: "not_found".into(), message: "no such thing".into() },
+        ];
+        for resp in cases {
+            let bytes = resp.encode();
+            assert_eq!(Response::decode(&bytes).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn some_null_is_distinct_from_none() {
+        let some_null = Response::Maybe(Some(Value::Null)).encode();
+        let none = Response::Maybe(None).encode();
+        assert_ne!(some_null, none);
+        assert_eq!(Response::decode(&some_null).unwrap(), Response::Maybe(Some(Value::Null)));
+        assert_eq!(Response::decode(&none).unwrap(), Response::Maybe(None));
+    }
+
+    #[test]
+    fn errors_map_through_the_wire_faithfully() {
+        for e in [
+            Error::Parse("x".into()),
+            Error::NotFound("x".into()),
+            Error::TxnConflict("x".into()),
+            Error::Busy("x".into()),
+            Error::Protocol("x".into()),
+            Error::Internal("x".into()),
+        ] {
+            let Response::Err { kind, message } = Response::from_error(&e) else {
+                panic!("from_error must produce Err");
+            };
+            let back = Response::into_error(&kind, message);
+            assert_eq!(back.kind(), e.kind());
+            assert_eq!(back.is_retryable(), e.is_retryable());
+        }
+    }
+
+    #[test]
+    fn garbage_and_unknown_tags_are_protocol_errors() {
+        assert_eq!(Request::decode(b"\xff\xfe\xfd").unwrap_err().kind(), "protocol");
+        let unknown = value_to_bytes(&Value::Array(vec![Value::str("explode")]));
+        assert_eq!(Request::decode(&unknown).unwrap_err().kind(), "protocol");
+        assert_eq!(Response::decode(&unknown).unwrap_err().kind(), "protocol");
+        let not_array = value_to_bytes(&Value::int(3));
+        assert!(Request::decode(&not_array).is_err());
+    }
+}

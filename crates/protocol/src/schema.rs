@@ -1,0 +1,116 @@
+//! Relational schemas as wire values.
+//!
+//! `CREATE TABLE` over the wire ships the schema as a `Value` object:
+//! `{"columns": [{"name": ..., "type": ..., "nullable": ...}, ...],
+//! "primary_key": ...}`. Types use their SQL spelling (`INT`, `TEXT`,
+//! ...), matching `DataType`'s `Display`.
+
+use mmdb_relational::{ColumnDef, DataType, Schema};
+use mmdb_types::{Error, Result, Value};
+
+/// Encode a schema for the wire.
+pub fn schema_to_value(schema: &Schema) -> Value {
+    let columns: Vec<Value> = schema
+        .columns()
+        .iter()
+        .map(|c| {
+            Value::object([
+                ("name", Value::str(&c.name)),
+                ("type", Value::str(c.data_type.to_string())),
+                ("nullable", Value::Bool(c.nullable)),
+            ])
+        })
+        .collect();
+    Value::object([
+        ("columns", Value::Array(columns)),
+        ("primary_key", Value::str(schema.primary_key_name())),
+    ])
+}
+
+/// Decode a wire schema back into a [`Schema`].
+pub fn schema_from_value(v: &Value) -> Result<Schema> {
+    let columns = v
+        .get_field("columns")
+        .as_array()
+        .map_err(|_| Error::Protocol("schema needs a 'columns' array".into()))?;
+    let mut defs = Vec::with_capacity(columns.len());
+    for c in columns {
+        let name = c
+            .get_field("name")
+            .as_str()
+            .map_err(|_| Error::Protocol("schema column needs a string 'name'".into()))?;
+        let ty = data_type_from_str(
+            c.get_field("type")
+                .as_str()
+                .map_err(|_| Error::Protocol("schema column needs a string 'type'".into()))?,
+        )?;
+        let mut def = ColumnDef::new(name, ty);
+        if let Value::Bool(false) = c.get_field("nullable") {
+            def = def.not_null();
+        }
+        defs.push(def);
+    }
+    let pk = v
+        .get_field("primary_key")
+        .as_str()
+        .map_err(|_| Error::Protocol("schema needs a string 'primary_key'".into()))?;
+    Schema::new(defs, pk)
+}
+
+fn data_type_from_str(s: &str) -> Result<DataType> {
+    Ok(match s.to_ascii_uppercase().as_str() {
+        "BOOL" => DataType::Bool,
+        "INT" => DataType::Int,
+        "FLOAT" => DataType::Float,
+        "TEXT" => DataType::Text,
+        "JSON" => DataType::Json,
+        "BYTES" => DataType::Bytes,
+        other => return Err(Error::Protocol(format!("unknown column type '{other}'"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_round_trips() {
+        let schema = Schema::new(
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("name", DataType::Text).not_null(),
+                ColumnDef::new("meta", DataType::Json),
+            ],
+            "id",
+        )
+        .unwrap();
+        let v = schema_to_value(&schema);
+        let back = schema_from_value(&v).unwrap();
+        assert_eq!(back.primary_key_name(), "id");
+        assert_eq!(back.columns().len(), 3);
+        assert_eq!(back.columns()[1].data_type, DataType::Text);
+        assert!(!back.columns()[1].nullable);
+        assert!(back.columns()[2].nullable);
+    }
+
+    #[test]
+    fn bad_schemas_are_protocol_errors() {
+        assert_eq!(
+            schema_from_value(&Value::object([("columns", Value::int(1))]))
+                .unwrap_err()
+                .kind(),
+            "protocol"
+        );
+        let bad_type = Value::object([
+            (
+                "columns",
+                Value::Array(vec![Value::object([
+                    ("name", Value::str("id")),
+                    ("type", Value::str("DECIMAL")),
+                ])]),
+            ),
+            ("primary_key", Value::str("id")),
+        ]);
+        assert_eq!(schema_from_value(&bad_type).unwrap_err().kind(), "protocol");
+    }
+}

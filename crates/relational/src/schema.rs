@@ -241,7 +241,7 @@ mod tests {
     fn validation_failures() {
         let s = customers();
         // Wrong arity.
-        assert!(s.validate(&mut vec![Value::int(1)]).is_err());
+        assert!(s.validate(&mut [Value::int(1)]).is_err());
         // NOT NULL violation.
         let mut row = vec![Value::int(1), Value::Null, Value::Null, Value::Null];
         assert!(s.validate(&mut row).is_err());

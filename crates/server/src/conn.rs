@@ -1,0 +1,344 @@
+//! Per-connection protocol loop.
+//!
+//! Each connection is served by one worker thread: read a framed
+//! request, dispatch it against the shared [`Database`], write the
+//! framed response. The socket read is polled on a short tick so the
+//! loop observes shutdown promptly while still draining any request
+//! whose bytes have already started arriving.
+//!
+//! A connection owns at most one [`Session`]. When the loop exits with
+//! the session still open — client vanished, protocol error, shutdown —
+//! dropping it aborts the transaction (see `mmdb_core::session`), and
+//! the reap is counted in the metrics.
+
+use std::io::{ErrorKind, Read};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use mmdb_core::Session;
+use mmdb_protocol::{frame, DdlOp, Request, Response, SessionOp, PROTOCOL_VERSION};
+use mmdb_types::{Error, Result, Value};
+use mmdb_txn::IsolationLevel;
+
+use crate::{ServerInner, SERVER_NAME};
+
+/// Outcome of one polled frame read.
+enum FrameRead {
+    /// A complete frame payload.
+    Frame(Vec<u8>),
+    /// Clean end: EOF between frames, idle timeout, or shutdown.
+    Closed,
+}
+
+/// Read one frame, waking every poll tick to check for shutdown.
+///
+/// The stream must have a read timeout (the poll tick) configured.
+/// Between frames, shutdown or `idle_timeout` closes the connection;
+/// once the first byte of a frame has arrived the read keeps going —
+/// draining the in-flight request — until `read_timeout` of silence.
+fn read_frame_polled(stream: &mut TcpStream, inner: &ServerInner) -> Result<FrameRead> {
+    let mut header = [0u8; frame::HEADER_LEN];
+    match fill(stream, &mut header, inner, true)? {
+        FillRead::Done => {}
+        FillRead::Closed => return Ok(FrameRead::Closed),
+    }
+    let len = u32::from_be_bytes(header);
+    if len > inner.config.max_frame_len {
+        return Err(Error::Protocol(format!(
+            "incoming frame announces {len} bytes, exceeding the {} byte limit",
+            inner.config.max_frame_len
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    match fill(stream, &mut payload, inner, false)? {
+        FillRead::Done => Ok(FrameRead::Frame(payload)),
+        FillRead::Closed => Err(Error::Protocol("connection closed mid-frame".into())),
+    }
+}
+
+enum FillRead {
+    Done,
+    Closed,
+}
+
+fn fill(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    inner: &ServerInner,
+    frame_start: bool,
+) -> Result<FillRead> {
+    let started = Instant::now();
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if frame_start && filled == 0 {
+                    return Ok(FillRead::Closed);
+                }
+                return Err(Error::Protocol("connection closed mid-frame".into()));
+            }
+            Ok(n) => filled += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                let waiting_for_first_byte = frame_start && filled == 0;
+                if waiting_for_first_byte {
+                    if inner.shutting_down() {
+                        return Ok(FillRead::Closed);
+                    }
+                    if started.elapsed() >= inner.config.idle_timeout {
+                        return Ok(FillRead::Closed);
+                    }
+                } else if started.elapsed() >= inner.config.read_timeout {
+                    return Err(Error::Storage(format!(
+                        "read stalled mid-frame for {:?}",
+                        inner.config.read_timeout
+                    )));
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(FillRead::Done)
+}
+
+/// Serve one connection until it closes.
+pub(crate) fn handle_connection(inner: &ServerInner, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(inner.config.poll_interval));
+    let _ = stream.set_write_timeout(Some(inner.config.write_timeout));
+    let _ = stream.set_nodelay(true);
+
+    let mut conn = ConnState { session: None, hello_done: false };
+    loop {
+        let payload = match read_frame_polled(&mut stream, inner) {
+            Ok(FrameRead::Frame(p)) => p,
+            Ok(FrameRead::Closed) => break,
+            Err(e) => {
+                // Tell the peer why before closing (best effort: the
+                // error may be the peer disappearing).
+                let resp = Response::from_error(&e);
+                let _ = frame::write_frame(
+                    &mut stream,
+                    &resp.encode(),
+                    inner.config.max_frame_len,
+                );
+                break;
+            }
+        };
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                let resp = Response::from_error(&e);
+                let _ = frame::write_frame(
+                    &mut stream,
+                    &resp.encode(),
+                    inner.config.max_frame_len,
+                );
+                break;
+            }
+        };
+        let started = Instant::now();
+        let response = dispatch(inner, &mut conn, &request);
+        let ok = !matches!(response, Response::Err { .. });
+        inner.metrics.record_request(&request, ok, started.elapsed());
+        if frame::write_frame(&mut stream, &response.encode(), inner.config.max_frame_len)
+            .is_err()
+        {
+            break;
+        }
+        // A failed handshake ends the connection after the error reply.
+        if !conn.hello_done {
+            break;
+        }
+    }
+    if let Some(session) = conn.session.take() {
+        inner.metrics.sessions_reaped.fetch_add(1, Ordering::Relaxed);
+        drop(session); // abort-on-drop
+    }
+}
+
+struct ConnState {
+    session: Option<Session>,
+    hello_done: bool,
+}
+
+fn dispatch(inner: &ServerInner, conn: &mut ConnState, req: &Request) -> Response {
+    match run_request(inner, conn, req) {
+        Ok(resp) => resp,
+        Err(e) => Response::from_error(&e),
+    }
+}
+
+fn run_request(inner: &ServerInner, conn: &mut ConnState, req: &Request) -> Result<Response> {
+    if !conn.hello_done {
+        return match req {
+            Request::Hello { version } if *version == PROTOCOL_VERSION => {
+                conn.hello_done = true;
+                Ok(Response::Hello { version: PROTOCOL_VERSION, server: SERVER_NAME.into() })
+            }
+            Request::Hello { version } => Err(Error::Protocol(format!(
+                "protocol version mismatch: client {version}, server {PROTOCOL_VERSION}"
+            ))),
+            _ => Err(Error::Protocol("first request must be 'hello'".into())),
+        };
+    }
+    let db = &inner.db;
+    Ok(match req {
+        Request::Hello { .. } => {
+            Response::Hello { version: PROTOCOL_VERSION, server: SERVER_NAME.into() }
+        }
+        Request::Ping => Response::Pong,
+        // Queries always run on the committed state, matching the
+        // embedded `Database::query` semantics.
+        Request::Query { text } => Response::Rows(db.query(text)?),
+        Request::Sql { text } => Response::Rows(db.query_sql(text)?),
+        Request::Explain { text } => Response::Text(db.explain(text)?),
+        Request::Begin { serializable } => {
+            if conn.session.is_some() {
+                return Err(Error::TxnClosed(
+                    "a transaction is already open on this connection".into(),
+                ));
+            }
+            let isolation = if *serializable {
+                IsolationLevel::Serializable
+            } else {
+                IsolationLevel::Snapshot
+            };
+            let session = db.begin(isolation);
+            let txn_id = session.id() as i64;
+            conn.session = Some(session);
+            Response::TxnBegun { txn_id }
+        }
+        Request::Commit => {
+            let session = conn
+                .session
+                .take()
+                .ok_or_else(|| Error::TxnClosed("no open transaction to commit".into()))?;
+            let commit_ts = session.commit()? as i64;
+            Response::Committed { commit_ts }
+        }
+        Request::Abort => {
+            let session = conn
+                .session
+                .take()
+                .ok_or_else(|| Error::TxnClosed("no open transaction to abort".into()))?;
+            session.abort();
+            Response::Aborted
+        }
+        Request::Op(op) => match conn.session.as_mut() {
+            Some(session) => apply_op(session, op)?,
+            // No explicit transaction: auto-commit the single op,
+            // retrying conflicts like the embedded `transact` helper.
+            None => {
+                let mut result = None;
+                db.transact(IsolationLevel::Snapshot, 3, |s| {
+                    result = Some(apply_op(s, op)?);
+                    Ok(())
+                })?;
+                result.ok_or_else(|| Error::Internal("auto-commit produced no response".into()))?
+            }
+        },
+        Request::Ddl(op) => apply_ddl(db, op)?,
+        Request::Admin { command } => run_admin(inner, command)?,
+    })
+}
+
+fn apply_op(s: &mut Session, op: &SessionOp) -> Result<Response> {
+    Ok(match op {
+        SessionOp::InsertDocument { collection, doc } => {
+            Response::Key(s.insert_document(collection, doc.clone())?)
+        }
+        SessionOp::UpdateDocument { collection, key, doc } => {
+            s.update_document(collection, key, doc.clone())?;
+            Response::Ok
+        }
+        SessionOp::RemoveDocument { collection, key } => {
+            s.remove_document(collection, key)?;
+            Response::Ok
+        }
+        SessionOp::GetDocument { collection, key } => {
+            Response::Maybe(s.get_document(collection, key)?)
+        }
+        SessionOp::KvPut { bucket, key, value } => {
+            s.kv_put(bucket, key, value.clone())?;
+            Response::Ok
+        }
+        SessionOp::KvDelete { bucket, key } => {
+            s.kv_delete(bucket, key)?;
+            Response::Ok
+        }
+        SessionOp::KvGet { bucket, key } => Response::Maybe(s.kv_get(bucket, key)?),
+        SessionOp::InsertRow { table, row } => {
+            s.insert_row(table, row.clone())?;
+            Response::Ok
+        }
+        SessionOp::UpdateRow { table, row } => {
+            s.update_row(table, row.clone())?;
+            Response::Ok
+        }
+        SessionOp::DeleteRow { table, pk } => {
+            s.delete_row(table, pk)?;
+            Response::Ok
+        }
+        SessionOp::GetRow { table, pk } => Response::Maybe(s.get_row(table, pk)?),
+        SessionOp::AddVertex { graph, collection, doc } => {
+            Response::Key(s.add_vertex(graph, collection, doc.clone())?)
+        }
+        SessionOp::AddEdge { graph, collection, from, to, properties } => {
+            Response::Key(s.add_edge(graph, collection, from, to, properties.clone())?)
+        }
+        SessionOp::RdfInsert { subject, predicate, object } => {
+            s.rdf_insert(subject, predicate, object.clone())?;
+            Response::Ok
+        }
+        SessionOp::RdfRemove { subject, predicate, object } => {
+            s.rdf_remove(subject, predicate, object)?;
+            Response::Ok
+        }
+    })
+}
+
+fn apply_ddl(db: &mmdb_core::Database, op: &DdlOp) -> Result<Response> {
+    match op {
+        DdlOp::CreateCollection { name } => db.create_collection(name)?,
+        DdlOp::CreateBucket { name } => db.create_bucket(name)?,
+        DdlOp::CreateGraph { name } => {
+            db.create_graph(name)?;
+        }
+        DdlOp::CreateVertexCollection { graph, name } => {
+            db.world().graph(graph)?.create_vertex_collection(name)?;
+        }
+        DdlOp::CreateEdgeCollection { graph, name } => {
+            db.world().graph(graph)?.create_edge_collection(name)?;
+        }
+        DdlOp::CreateTable { name, schema } => {
+            let schema = mmdb_protocol::schema_from_value(schema)?;
+            db.create_table(name, schema)?;
+        }
+        DdlOp::CreateFulltextIndex { name, collection, field } => {
+            db.create_fulltext_index(name, collection, field)?;
+        }
+    }
+    Ok(Response::Ok)
+}
+
+fn run_admin(inner: &ServerInner, command: &str) -> Result<Response> {
+    match command.trim().to_ascii_uppercase().as_str() {
+        "STATS" => {
+            let mut stats = inner.metrics.snapshot();
+            let (commits, aborts) = inner.db.mvcc().stats();
+            if let Ok(obj) = stats.as_object_mut() {
+                obj.insert(
+                    "engine",
+                    Value::object([
+                        ("commits", Value::int(commits as i64)),
+                        ("aborts", Value::int(aborts as i64)),
+                    ]),
+                );
+            }
+            Ok(Response::Stats(stats))
+        }
+        "PING" => Ok(Response::Pong),
+        other => Err(Error::Unsupported(format!("unknown admin command '{other}'"))),
+    }
+}

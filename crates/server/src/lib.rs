@@ -1,0 +1,238 @@
+//! # mmdb-server — the networked front-end
+//!
+//! Exposes one [`Database`](mmdb_core::Database) over TCP using the
+//! `mmdb-protocol` wire format. Deliberately `std::net` only: a
+//! fixed-size pool of worker threads serves connections handed over by
+//! an acceptor thread through a bounded queue, which keeps the
+//! concurrency model legible and the dependency count at zero.
+//!
+//! * **Backpressure** — when `max_connections` connections are open or
+//!   queued, new arrivals get a framed `busy` error and are closed
+//!   instead of piling up unbounded.
+//! * **Timeouts** — socket reads poll on a short tick (so shutdown is
+//!   observed quickly), stalled mid-frame reads and writes are bounded,
+//!   and idle connections are closed after `idle_timeout`.
+//! * **Graceful shutdown** — [`Server::shutdown`] stops accepting,
+//!   lets every in-flight request finish and flush its response, aborts
+//!   transactions orphaned by their connections, then joins all threads.
+//! * **Observability** — a [`Metrics`] registry counts connections,
+//!   requests, and errors, with a latency histogram per command;
+//!   clients read it with `ADMIN STATS`.
+
+mod conn;
+mod metrics;
+
+pub use metrics::{CommandStats, LatencyHistogram, Metrics, COMMAND_LABELS};
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use mmdb_core::Database;
+use mmdb_protocol::{frame, Response};
+use mmdb_types::{Error, Result};
+
+/// Server identification string sent in the handshake.
+pub const SERVER_NAME: &str = concat!("mmdb/", env!("CARGO_PKG_VERSION"));
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7687`; port 0 picks an ephemeral
+    /// port (see [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads, i.e. connections served concurrently.
+    pub workers: usize,
+    /// Open + queued connections beyond which new arrivals are refused
+    /// with a `busy` error.
+    pub max_connections: usize,
+    /// Poll tick for socket reads; bounds how fast shutdown is observed.
+    pub poll_interval: Duration,
+    /// How long a read may stall mid-frame before the connection is
+    /// dropped.
+    pub read_timeout: Duration,
+    /// Per-write socket timeout.
+    pub write_timeout: Duration,
+    /// Idle connections (no frame started) are closed after this long.
+    pub idle_timeout: Duration,
+    /// Maximum frame payload size accepted or produced.
+    pub max_frame_len: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            max_connections: 64,
+            poll_interval: Duration::from_millis(25),
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(300),
+            max_frame_len: frame::MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// State shared by the acceptor, the workers, and [`Server`].
+pub(crate) struct ServerInner {
+    pub(crate) db: Arc<Database>,
+    pub(crate) config: ServerConfig,
+    pub(crate) metrics: Metrics,
+    shutdown: AtomicBool,
+    /// Open + queued connections, for the backpressure check.
+    active: AtomicU64,
+    queue: Mutex<VecDeque<TcpStream>>,
+    queue_ready: Condvar,
+}
+
+impl ServerInner {
+    pub(crate) fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A running mmdb server. Dropping it without calling
+/// [`Server::shutdown`] shuts down non-gracefully (threads are
+/// detached).
+pub struct Server {
+    inner: Arc<ServerInner>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving `db` in background threads.
+    pub fn start(db: Arc<Database>, config: ServerConfig) -> Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        // Non-blocking accept, polled on the tick: a plain blocking
+        // accept would never observe the shutdown flag.
+        listener.set_nonblocking(true)?;
+
+        let inner = Arc::new(ServerInner {
+            db,
+            config: config.clone(),
+            metrics: Metrics::default(),
+            shutdown: AtomicBool::new(false),
+            active: AtomicU64::new(0),
+            queue: Mutex::new(VecDeque::new()),
+            queue_ready: Condvar::new(),
+        });
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("mmdb-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("mmdb-acceptor".into())
+                .spawn(move || accept_loop(&inner, listener))
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(Server { inner, local_addr, acceptor: Some(acceptor), workers })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The server's metrics registry.
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// Stop gracefully: refuse new connections, drain in-flight
+    /// requests, abort orphaned transactions, join every thread.
+    pub fn shutdown(mut self) -> Result<()> {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue_ready.notify_all();
+        if let Some(h) = self.acceptor.take() {
+            h.join().map_err(|_| Error::Internal("acceptor thread panicked".into()))?;
+        }
+        for h in self.workers.drain(..) {
+            h.join().map_err(|_| Error::Internal("worker thread panicked".into()))?;
+        }
+        Ok(())
+    }
+}
+
+fn accept_loop(inner: &ServerInner, listener: TcpListener) {
+    while !inner.shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let active = inner.active.load(Ordering::SeqCst);
+                if active >= inner.config.max_connections as u64 {
+                    inner.metrics.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                    reject_busy(inner, stream);
+                    continue;
+                }
+                inner.active.fetch_add(1, Ordering::SeqCst);
+                inner.metrics.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                let mut queue = inner.queue.lock();
+                queue.push_back(stream);
+                drop(queue);
+                inner.queue_ready.notify_one();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(inner.config.poll_interval);
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. aborted handshake);
+                // back off a tick and keep listening.
+                std::thread::sleep(inner.config.poll_interval);
+            }
+        }
+    }
+}
+
+/// Answer an over-capacity connection with a framed `busy` error.
+///
+/// The peer's `hello` may not have arrived yet; the error frame is
+/// written immediately — the protocol is strictly request/response from
+/// the client's view, and a client that just connected is by definition
+/// waiting for its first response.
+fn reject_busy(inner: &ServerInner, mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(inner.config.write_timeout));
+    let resp = Response::from_error(&Error::Busy(format!(
+        "server at capacity ({} connections)",
+        inner.config.max_connections
+    )));
+    let _ = frame::write_frame(&mut stream, &resp.encode(), inner.config.max_frame_len);
+}
+
+fn worker_loop(inner: &Arc<ServerInner>) {
+    loop {
+        let stream = {
+            let mut queue = inner.queue.lock();
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if inner.shutting_down() {
+                    break None;
+                }
+                inner.queue_ready.wait_for(&mut queue, inner.config.poll_interval);
+            }
+        };
+        let Some(stream) = stream else { return };
+        inner.metrics.connections_active.fetch_add(1, Ordering::Relaxed);
+        conn::handle_connection(inner, stream);
+        inner.metrics.connections_active.fetch_sub(1, Ordering::Relaxed);
+        inner.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}

@@ -1,0 +1,221 @@
+//! Server-side observability.
+//!
+//! Lock-free counters plus a log-scale latency histogram per command,
+//! cheap enough to record on every request. `ADMIN STATS` renders a
+//! snapshot as a `Value` object so any client can read it without a
+//! separate metrics endpoint.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use mmdb_protocol::Request;
+use mmdb_types::Value;
+
+/// Commands tracked individually. Indexes into [`Metrics::commands`].
+pub const COMMAND_LABELS: [&str; 11] = [
+    "hello", "ping", "query", "sql", "explain", "begin", "commit", "abort", "op", "ddl", "admin",
+];
+
+fn command_index(label: &str) -> usize {
+    COMMAND_LABELS.iter().position(|l| *l == label).unwrap_or(0)
+}
+
+/// Power-of-two microsecond buckets: bucket `i` holds latencies in
+/// `[2^i, 2^(i+1))` µs; the last bucket is open-ended (≥ ~134 s).
+const BUCKETS: usize = 28;
+
+/// A log₂-bucketed latency histogram.
+#[derive(Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_micros: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Record one observation.
+    pub fn record(&self, elapsed: Duration) {
+        let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let idx = (64 - micros.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Approximate percentile in microseconds: the upper bound of the
+    /// bucket containing the `q`-quantile observation. 0 when empty.
+    pub fn percentile_micros(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << (i + 1);
+            }
+        }
+        1u64 << BUCKETS
+    }
+
+    fn mean_micros(&self) -> u64 {
+        self.total_micros.load(Ordering::Relaxed).checked_div(self.count()).unwrap_or(0)
+    }
+
+    fn to_value(&self) -> Value {
+        Value::object([
+            ("count", Value::int(self.count() as i64)),
+            ("mean_us", Value::int(self.mean_micros() as i64)),
+            ("p50_us", Value::int(self.percentile_micros(0.50) as i64)),
+            ("p95_us", Value::int(self.percentile_micros(0.95) as i64)),
+            ("p99_us", Value::int(self.percentile_micros(0.99) as i64)),
+        ])
+    }
+}
+
+/// Per-command counters.
+#[derive(Default)]
+pub struct CommandStats {
+    /// Requests served (including failed ones).
+    pub count: AtomicU64,
+    /// Requests answered with an error response.
+    pub errors: AtomicU64,
+    /// Service-time distribution.
+    pub latency: LatencyHistogram,
+}
+
+/// The server's metrics registry.
+#[derive(Default)]
+pub struct Metrics {
+    /// Connections accepted and handed to a worker.
+    pub connections_accepted: AtomicU64,
+    /// Connections refused because the server was at capacity.
+    pub connections_rejected: AtomicU64,
+    /// Currently open connections.
+    pub connections_active: AtomicU64,
+    /// Open transactions aborted because their connection went away.
+    pub sessions_reaped: AtomicU64,
+    /// Total requests served across all commands.
+    pub requests_total: AtomicU64,
+    /// Total error responses across all commands.
+    pub errors_total: AtomicU64,
+    commands: [CommandStats; COMMAND_LABELS.len()],
+}
+
+impl Metrics {
+    /// Record one served request with its outcome and service time.
+    pub fn record_request(&self, req: &Request, ok: bool, elapsed: Duration) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        let cmd = &self.commands[command_index(req.command_label())];
+        cmd.count.fetch_add(1, Ordering::Relaxed);
+        cmd.latency.record(elapsed);
+        if !ok {
+            self.errors_total.fetch_add(1, Ordering::Relaxed);
+            cmd.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Per-command stats, for tests and direct inspection.
+    pub fn command(&self, label: &str) -> &CommandStats {
+        &self.commands[command_index(label)]
+    }
+
+    /// Render everything as the `ADMIN STATS` payload.
+    pub fn snapshot(&self) -> Value {
+        let mut commands = Vec::new();
+        for (label, stats) in COMMAND_LABELS.iter().zip(&self.commands) {
+            if stats.count.load(Ordering::Relaxed) == 0 {
+                continue;
+            }
+            let mut obj = stats.latency.to_value();
+            if let Ok(o) = obj.as_object_mut() {
+                o.insert("command", Value::str(*label));
+                o.insert("errors", Value::int(stats.errors.load(Ordering::Relaxed) as i64));
+            }
+            commands.push(obj);
+        }
+        Value::object([
+            (
+                "connections",
+                Value::object([
+                    (
+                        "accepted",
+                        Value::int(self.connections_accepted.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "rejected_busy",
+                        Value::int(self.connections_rejected.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "active",
+                        Value::int(self.connections_active.load(Ordering::Relaxed) as i64),
+                    ),
+                ]),
+            ),
+            (
+                "requests",
+                Value::object([
+                    ("total", Value::int(self.requests_total.load(Ordering::Relaxed) as i64)),
+                    ("errors", Value::int(self.errors_total.load(Ordering::Relaxed) as i64)),
+                ]),
+            ),
+            (
+                "sessions_reaped",
+                Value::int(self.sessions_reaped.load(Ordering::Relaxed) as i64),
+            ),
+            ("commands", Value::Array(commands)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = LatencyHistogram::default();
+        for micros in [1u64, 2, 4, 100, 100, 100, 100, 100, 10_000, 1_000_000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.percentile_micros(0.50);
+        assert!((64..=256).contains(&p50), "p50 near 100µs, got {p50}");
+        let p99 = h.percentile_micros(0.99);
+        assert!(p99 >= 1_000_000, "p99 covers the 1s outlier, got {p99}");
+        assert!(h.percentile_micros(0.50) <= h.percentile_micros(0.95));
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.percentile_micros(0.99), 0);
+    }
+
+    #[test]
+    fn snapshot_counts_by_command() {
+        let m = Metrics::default();
+        let q = Request::Query { text: "RETURN 1".into() };
+        m.record_request(&q, true, Duration::from_micros(50));
+        m.record_request(&q, false, Duration::from_micros(80));
+        m.record_request(&Request::Ping, true, Duration::from_micros(2));
+        assert_eq!(m.requests_total.load(Ordering::Relaxed), 3);
+        assert_eq!(m.errors_total.load(Ordering::Relaxed), 1);
+        assert_eq!(m.command("query").count.load(Ordering::Relaxed), 2);
+        let snap = m.snapshot();
+        assert_eq!(snap.get_field("requests").get_field("total"), &Value::int(3));
+        let commands = snap.get_field("commands").as_array().unwrap();
+        assert_eq!(commands.len(), 2, "only commands actually used appear");
+        assert!(commands
+            .iter()
+            .any(|c| c.get_field("command") == &Value::str("query")
+                && c.get_field("p50_us").as_int().unwrap() > 0));
+    }
+}

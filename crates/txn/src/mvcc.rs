@@ -9,9 +9,9 @@
 //! `commit_ts <= start_ts` (its snapshot) and buffers writes locally. At
 //! commit, *first-committer-wins* validation rejects the transaction if
 //! any written key has a version committed after its snapshot; surviving
-//! writes get a fresh commit timestamp, go to the WAL (Begin/Write*/Commit
-//!   + fsync), install into the version chains, and fire the registered
-//!   commit hooks so model stores can update their indexes.
+//! writes get a fresh commit timestamp, go to the WAL (Begin/Write*/
+//! Commit + fsync), install into the version chains, and fire the
+//! registered commit hooks so model stores can update their indexes.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -377,14 +377,25 @@ impl Transaction {
 
     /// Abort: discard buffered writes, release locks, log the abort.
     pub fn abort(mut self) {
+        self.abort_in_place();
+    }
+
+    /// Shared abort path. Also runs on [`Drop`], so a transaction that goes
+    /// out of scope uncommitted (a crashed request handler, a client that
+    /// disconnected mid-transaction) leaves the same WAL trace as an
+    /// explicit `ABORT` and never holds locks past its lifetime.
+    fn abort_in_place(&mut self) {
         if self.closed {
             return;
         }
         self.closed = true;
         self.store.aborts.fetch_add(1, Ordering::SeqCst);
         if let Some(wal) = &self.store.wal {
-            let _ = wal.append(&WalRecord::Abort { txid: self.txid });
+            if !self.writes.is_empty() {
+                let _ = wal.append(&WalRecord::Abort { txid: self.txid });
+            }
         }
+        self.writes.clear();
         self.release_locks();
     }
 
@@ -397,12 +408,7 @@ impl Transaction {
 
 impl Drop for Transaction {
     fn drop(&mut self) {
-        if !self.closed {
-            // Implicit abort on drop.
-            self.closed = true;
-            self.store.aborts.fetch_add(1, Ordering::SeqCst);
-            self.release_locks();
-        }
+        self.abort_in_place();
     }
 }
 
@@ -512,6 +518,35 @@ mod tests {
         drop(t3);
         let (_, aborts) = s.stats();
         assert_eq!(aborts, 1);
+    }
+
+    #[test]
+    fn drop_aborts_like_explicit_abort() {
+        // A write transaction that falls out of scope (handler panic,
+        // client disconnect) must leave the same trace as `abort()`:
+        // nothing installed, an Abort record in the WAL, locks released.
+        let wal = Arc::new(Wal::in_memory());
+        let s = MvccStore::new(Some(Arc::clone(&wal)));
+        {
+            let mut t = s.begin(IsolationLevel::Serializable);
+            t.put("doc/orders", b"orphan", Value::int(1)).unwrap();
+        } // dropped uncommitted
+        assert_eq!(s.get_latest("doc/orders", b"orphan"), None);
+        let (_, aborts) = s.stats();
+        assert_eq!(aborts, 1);
+        let recovery = wal::recover_from_bytes(&wal.snapshot_bytes());
+        let s2 = MvccStore::new(None);
+        assert_eq!(s2.recover(&recovery).unwrap(), 0, "orphan writes never replayed");
+        // The exclusive lock is gone: a new serializable txn acquires it
+        // immediately rather than deadlocking.
+        let mut t2 = s.begin(IsolationLevel::Serializable);
+        t2.put("doc/orders", b"orphan", Value::int(2)).unwrap();
+        t2.commit().unwrap();
+        assert_eq!(s.get_latest("doc/orders", b"orphan"), Some(Value::int(2)));
+        // Read-only drops stay cheap: no WAL record is appended for them.
+        let before = wal.snapshot_bytes().len();
+        drop(s.begin(IsolationLevel::Snapshot));
+        assert_eq!(wal.snapshot_bytes().len(), before);
     }
 
     #[test]

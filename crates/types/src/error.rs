@@ -36,6 +36,12 @@ pub enum Error {
     /// An operation is not supported by the chosen configuration
     /// (e.g. range scan on a hash index).
     Unsupported(String),
+    /// Wire-protocol violation between client and server (bad frame,
+    /// oversized message, unknown request tag, version mismatch).
+    Protocol(String),
+    /// The server refused the connection or request because it is at
+    /// capacity. Retrying later can succeed.
+    Busy(String),
     /// Internal invariant violation — always a bug in mmdb itself.
     Internal(String),
 }
@@ -55,13 +61,15 @@ impl Error {
             Error::TxnClosed(_) => "txn_closed",
             Error::Query(_) => "query",
             Error::Unsupported(_) => "unsupported",
+            Error::Protocol(_) => "protocol",
+            Error::Busy(_) => "busy",
             Error::Internal(_) => "internal",
         }
     }
 
     /// True when retrying the whole transaction could succeed.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, Error::TxnConflict(_))
+        matches!(self, Error::TxnConflict(_) | Error::Busy(_))
     }
 }
 
@@ -78,6 +86,8 @@ impl fmt::Display for Error {
             Error::TxnClosed(m) => ("transaction closed", m),
             Error::Query(m) => ("query error", m),
             Error::Unsupported(m) => ("unsupported", m),
+            Error::Protocol(m) => ("protocol error", m),
+            Error::Busy(m) => ("server busy", m),
             Error::Internal(m) => ("internal error", m),
         };
         write!(f, "{kind}: {msg}")

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Tier-1 gate for mmdb (see ROADMAP.md "Tier-1 verify").
+#
+# Run from the repository root:
+#   scripts/ci.sh
+#
+# Everything must pass before a PR lands: a warning-free release build,
+# the full test suite (unit + integration + property + doc tests), and
+# clippy with warnings promoted to errors.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1 gate passed"

@@ -1,0 +1,283 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Same macro/builder surface as criterion for the subset mmdb's benches
+//! use (`criterion_group!` struct form, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`), but the
+//! statistics are simple: each benchmark runs for a fraction of the
+//! configured measurement time and reports mean/min wall-clock per
+//! iteration on stdout. No plots, no persistence, no regression analysis.
+//!
+//! Under `cargo test`, harness-less bench binaries are invoked with
+//! `--test`; like real criterion, this runs every benchmark body exactly
+//! once so benches stay compile- and panic-checked by the test suite.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark runner configuration and registry.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(300),
+            warm_up_time: Duration::from_millis(20),
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        // Real measurement times are tuned for statistical confidence;
+        // this harness only needs a stable mean, so cap the budget.
+        self.measurement_time = d.min(Duration::from_millis(400));
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d.min(Duration::from_millis(50));
+        self
+    }
+
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = name.to_string();
+        run_one(self, &label, &mut f);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d.min(Duration::from_millis(400));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(self.criterion, &label, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(self.criterion, &label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; `iter` times the supplied routine.
+pub struct Bencher {
+    iters_done: u64,
+    total: Duration,
+    min: Duration,
+    budget: Duration,
+    test_mode: bool,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.iters_done = 1;
+            self.total = Duration::from_nanos(1);
+            self.min = self.total;
+            return;
+        }
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            self.total += elapsed;
+            self.min = self.min.min(elapsed);
+            self.iters_done += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(criterion: &Criterion, label: &str, f: &mut F) {
+    if !criterion.test_mode {
+        // Warm-up pass (results discarded).
+        let mut warm = Bencher {
+            iters_done: 0,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+            budget: criterion.warm_up_time,
+            test_mode: false,
+        };
+        f(&mut warm);
+    }
+    let mut b = Bencher {
+        iters_done: 0,
+        total: Duration::ZERO,
+        min: Duration::MAX,
+        budget: criterion.measurement_time,
+        test_mode: criterion.test_mode,
+    };
+    f(&mut b);
+    if criterion.test_mode {
+        println!("test bench {label} ... ok");
+    } else if b.iters_done > 0 {
+        let mean = b.total / (b.iters_done as u32).max(1);
+        println!(
+            "bench {label}: mean {mean:?}, min {:?}, {} iters",
+            b.min, b.iters_done
+        );
+    }
+}
+
+/// Declare a benchmark group: plain `criterion_group!(name, target, ...)`
+/// or the struct form with `name =`/`config = `/`targets = `.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+);
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        group.bench_with_input(BenchmarkId::new("scaled", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_benches() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.test_mode = false;
+        sample_bench(&mut c);
+        c.bench_function("top_level", |b| b.iter(|| 1 + 1));
+        c.final_summary();
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion { test_mode: true, ..Default::default() };
+        let mut count = 0u64;
+        c.bench_function("once", |b| {
+            b.iter(|| count += 1);
+        });
+        assert_eq!(count, 1);
+    }
+}

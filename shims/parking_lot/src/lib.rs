@@ -1,0 +1,285 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors minimal, API-compatible substitutes for the handful of external
+//! crates it uses (see `DESIGN.md`, "Dependency policy"). This one wraps
+//! `std::sync` primitives behind `parking_lot`'s panic-free interface:
+//! `lock()`/`read()`/`write()` return guards directly and poisoning is
+//! swallowed (a poisoned std lock yields its inner guard), which matches
+//! parking_lot's no-poisoning semantics closely enough for this codebase.
+
+use std::sync;
+
+/// A mutex whose `lock` never returns a poison error.
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+/// Guard for [`Mutex`]. Holds the std guard in an `Option` so that
+/// [`Condvar::wait`] can temporarily take it (std's wait consumes the
+/// guard; parking_lot's borrows it).
+pub struct MutexGuard<'a, T: ?Sized> {
+    guard: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex { inner: sync::Mutex::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        MutexGuard { guard: Some(guard) }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { guard: Some(g) }),
+            Err(sync::TryLockError::Poisoned(p)) => {
+                Some(MutexGuard { guard: Some(p.into_inner()) })
+            }
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard taken during condvar wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard taken during condvar wait")
+    }
+}
+
+/// Condition variable with parking_lot's borrow-the-guard `wait`.
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar { inner: sync::Condvar::new() }
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.guard.take().expect("guard already taken");
+        let g = match self.inner.wait(g) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.guard = Some(g);
+    }
+
+    /// Waits with a timeout; returns true when the wait timed out.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> bool {
+        let g = guard.guard.take().expect("guard already taken");
+        let (g, res) = match self.inner.wait_timeout(g, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(p) => {
+                let (g, r) = p.into_inner();
+                (g, r)
+            }
+        };
+        guard.guard = Some(g);
+        res.timed_out()
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// A reader-writer lock whose accessors never return poison errors.
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    guard: sync::RwLockReadGuard<'a, T>,
+}
+
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    guard: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock { inner: sync::RwLock::new(value) }
+    }
+
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let guard = match self.inner.read() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        RwLockReadGuard { guard }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let guard = match self.inner.write() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        RwLockWriteGuard { guard }
+    }
+
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(g) => Some(RwLockReadGuard { guard: g }),
+            Err(sync::TryLockError::Poisoned(p)) => {
+                Some(RwLockReadGuard { guard: p.into_inner() })
+            }
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(g) => Some(RwLockWriteGuard { guard: g }),
+            Err(sync::TryLockError::Poisoned(p)) => {
+                Some(RwLockWriteGuard { guard: p.into_inner() })
+            }
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn mutex_and_rwlock_basics() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        let rw = RwLock::new(vec![1, 2]);
+        assert_eq!(rw.read().len(), 2);
+        rw.write().push(3);
+        assert_eq!(rw.read().len(), 3);
+        assert!(m.try_lock().is_some());
+        assert!(rw.try_read().is_some());
+        assert!(rw.try_write().is_some());
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut done = m.lock();
+            while !*done {
+                cv.wait(&mut done);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        assert!(cv.wait_for(&mut g, Duration::from_millis(10)));
+    }
+}

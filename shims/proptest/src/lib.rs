@@ -1,0 +1,928 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of proptest's API that mmdb's property tests use: the
+//! [`Strategy`] trait with `prop_map`/`prop_filter`/`prop_recursive`,
+//! `any::<T>()`, range and regex-lite string strategies, tuple and
+//! collection composition, `prop_oneof!`, and the `proptest!` /
+//! `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the panic
+//!   message and the deterministic per-case seed) but is not minimized.
+//! * **Deterministic seeds.** Cases derive from a hash of the test name
+//!   and the case index, so runs are reproducible by construction; there
+//!   is no `PROPTEST_CASES`/persistence machinery.
+//! * Generated value distributions are similar in spirit (edge-case
+//!   biased integers, structured recursion) but not identical.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+pub mod test_runner {
+    /// Per-test configuration. Only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic splitmix64 RNG used to drive all strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Stable seed from the fully-qualified test name and case index.
+        pub fn for_case(test_name: &str, case: u32) -> TestRng {
+            let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng { state: h ^ ((case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)) }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform usize in `[0, bound)`; `bound` must be nonzero.
+        pub fn below(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+// ---- the Strategy trait ----------------------------------------------------
+
+pub mod strategy {
+    use super::*;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, reason, f }
+        }
+
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        {
+            let leaf = self.boxed();
+            Recursive {
+                leaf,
+                recurse: Arc::new(move |inner| recurse(inner).boxed()),
+                depth,
+            }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` combinator.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_filter` combinator: regenerate until the predicate accepts.
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        pub(crate) inner: S,
+        pub(crate) reason: &'static str,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter '{}' rejected 1000 candidates in a row", self.reason)
+        }
+    }
+
+    /// `prop_recursive` combinator: bounded structural recursion.
+    pub struct Recursive<T> {
+        pub(crate) leaf: BoxedStrategy<T>,
+        pub(crate) recurse: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+        pub(crate) depth: u32,
+    }
+
+    impl<T> Clone for Recursive<T> {
+        fn clone(&self) -> Self {
+            Recursive {
+                leaf: self.leaf.clone(),
+                recurse: Arc::clone(&self.recurse),
+                depth: self.depth,
+            }
+        }
+    }
+
+    impl<T: 'static> Strategy for Recursive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            // Choose a nesting level for this case, then stack the
+            // recursion that many times over a leaf/shallower mix.
+            let levels = rng.below(self.depth as usize + 1);
+            let mut current = self.leaf.clone();
+            for _ in 0..levels {
+                let inner = Union::new(vec![self.leaf.clone(), current]).boxed();
+                current = (self.recurse)(inner);
+            }
+            current.generate(rng)
+        }
+    }
+
+    /// `prop_oneof!` support: uniform choice among same-typed strategies.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union { options: self.options.clone() }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    // ---- numeric range strategies ------------------------------------------
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = ((rng.next_u64() as u128) % span) as i128;
+                    (self.start as i128 + v) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    let v = ((rng.next_u64() as u128) % span) as i128;
+                    (start as i128 + v) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    // ---- string strategies (regex-lite) ------------------------------------
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+
+    // ---- tuple strategies ---------------------------------------------------
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub use strategy::{BoxedStrategy, Just, Strategy, Union};
+
+// ---- any::<T>() -------------------------------------------------------------
+
+pub mod arbitrary {
+    use super::*;
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    // Bias towards boundary values, as real proptest does.
+                    if rng.below(8) == 0 {
+                        const EDGES: [i128; 5] = [0, 1, -1, <$t>::MAX as i128, <$t>::MIN as i128];
+                        EDGES[rng.below(EDGES.len())] as $t
+                    } else {
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            match rng.below(16) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                3 => 0.0,
+                4 => -0.0,
+                // Small-magnitude values with fractional parts.
+                5..=9 => (rng.next_u64() as i64 % 2_000_000) as f64 / 128.0,
+                // Full-range bit patterns, re-rolled onto a wide exponent.
+                _ => {
+                    let m = rng.unit_f64() * 2.0 - 1.0;
+                    let e = (rng.below(601) as i32) - 300;
+                    m * 10f64.powi(e)
+                }
+            }
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32((rng.next_u64() % 0xD800_u64) as u32).unwrap_or('a')
+        }
+    }
+}
+
+pub use arbitrary::any;
+
+// ---- collection / sample modules (under `prop::`) ---------------------------
+
+/// Size bound for collection strategies.
+#[derive(Clone, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max_exclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange { min: r.start, max_exclusive: r.end }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange { min: *r.start(), max_exclusive: *r.end() + 1 }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { min: n, max_exclusive: n + 1 }
+    }
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.min + rng.below(self.max_exclusive - self.min)
+    }
+}
+
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`. Sets deduplicate, so the requested minimum
+    /// is best-effort: we draw extra candidates before giving up.
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            for _ in 0..target.saturating_mul(4).max(8) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// Strategy for `BTreeMap`, same dedup caveat as sets.
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size: size.into() }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let target = self.size.pick(rng);
+            let mut out = BTreeMap::new();
+            for _ in 0..target.saturating_mul(4).max(8) {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod sample {
+    use super::*;
+
+    /// Uniform choice from a fixed list.
+    #[derive(Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len())].clone()
+        }
+    }
+}
+
+/// Namespace mirror of proptest's `prop::` module tree.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+// ---- regex-lite string generation -------------------------------------------
+
+pub mod string {
+    use super::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum CharSet {
+        /// Inclusive char ranges.
+        Ranges(Vec<(char, char)>),
+        /// `\PC`: any printable (non-control) character.
+        Printable,
+    }
+
+    #[derive(Debug, Clone)]
+    struct Element {
+        set: CharSet,
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    /// Generate a string matching a small regex subset: literal chars,
+    /// `[...]` classes with ranges and `\`-escapes, `\PC`, and `{n}` /
+    /// `{m,n}` / `{m,}` repetition. This covers every pattern used in
+    /// mmdb's property tests; anything else panics loudly.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let elements = parse(pattern);
+        let mut out = String::new();
+        for el in &elements {
+            let n = el.min + rng.below(el.max_inclusive - el.min + 1);
+            for _ in 0..n {
+                out.push(pick(&el.set, rng));
+            }
+        }
+        out
+    }
+
+    fn pick(set: &CharSet, rng: &mut TestRng) -> char {
+        match set {
+            CharSet::Printable => {
+                // Mostly ASCII printable, occasionally multibyte.
+                const EXTRAS: [char; 6] = ['é', '世', '界', 'λ', '😀', 'ß'];
+                if rng.below(8) == 0 {
+                    EXTRAS[rng.below(EXTRAS.len())]
+                } else {
+                    char::from_u32(0x20 + rng.below(0x5F) as u32).unwrap()
+                }
+            }
+            CharSet::Ranges(ranges) => {
+                let total: u32 = ranges.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+                let mut i = rng.below(total as usize) as u32;
+                for (a, b) in ranges {
+                    let span = *b as u32 - *a as u32 + 1;
+                    if i < span {
+                        return char::from_u32(*a as u32 + i).unwrap();
+                    }
+                    i -= span;
+                }
+                unreachable!("char class selection out of range")
+            }
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Element> {
+        let mut chars = pattern.chars().peekable();
+        let mut out = Vec::new();
+        while let Some(c) = chars.next() {
+            let set = match c {
+                '[' => parse_class(&mut chars, pattern),
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        match chars.next() {
+                            Some('C') => {}
+                            other => {
+                                panic!("unsupported regex category \\P{other:?} in {pattern:?}")
+                            }
+                        }
+                        CharSet::Printable
+                    }
+                    Some(esc) => CharSet::Ranges(vec![(unescape(esc), unescape(esc))]),
+                    None => panic!("dangling backslash in {pattern:?}"),
+                },
+                lit => CharSet::Ranges(vec![(lit, lit)]),
+            };
+            let (min, max_inclusive) = parse_repeat(&mut chars, pattern);
+            out.push(Element { set, min, max_inclusive });
+        }
+        out
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            'r' => '\r',
+            't' => '\t',
+            other => other,
+        }
+    }
+
+    fn parse_class(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> CharSet {
+        let mut ranges = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let c = chars.next().unwrap_or_else(|| panic!("unclosed [ in {pattern:?}"));
+            match c {
+                ']' => {
+                    if let Some(p) = pending {
+                        ranges.push((p, p));
+                    }
+                    if ranges.is_empty() {
+                        panic!("empty char class in {pattern:?}");
+                    }
+                    return CharSet::Ranges(ranges);
+                }
+                '\\' => {
+                    let esc = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("dangling backslash in {pattern:?}"));
+                    if let Some(p) = pending.take() {
+                        ranges.push((p, p));
+                    }
+                    pending = Some(unescape(esc));
+                }
+                '-' if pending.is_some() && chars.peek() != Some(&']') => {
+                    let lo = pending.take().unwrap();
+                    let hi = chars.next().unwrap();
+                    let hi = if hi == '\\' {
+                        unescape(chars.next().unwrap_or_else(|| {
+                            panic!("dangling backslash in {pattern:?}")
+                        }))
+                    } else {
+                        hi
+                    };
+                    assert!(lo <= hi, "inverted range {lo}-{hi} in {pattern:?}");
+                    ranges.push((lo, hi));
+                }
+                other => {
+                    if let Some(p) = pending.take() {
+                        ranges.push((p, p));
+                    }
+                    pending = Some(other);
+                }
+            }
+        }
+    }
+
+    fn parse_repeat(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> (usize, usize) {
+        if chars.peek() != Some(&'{') {
+            return (1, 1);
+        }
+        chars.next();
+        let mut spec = String::new();
+        loop {
+            match chars.next() {
+                Some('}') => break,
+                Some(c) => spec.push(c),
+                None => panic!("unclosed {{ in {pattern:?}"),
+            }
+        }
+        if let Some((lo, hi)) = spec.split_once(',') {
+            let min: usize = lo.trim().parse().unwrap_or_else(|_| {
+                panic!("bad repeat '{{{spec}}}' in {pattern:?}")
+            });
+            if hi.trim().is_empty() {
+                (min, min + 8)
+            } else {
+                let max: usize = hi.trim().parse().unwrap_or_else(|_| {
+                    panic!("bad repeat '{{{spec}}}' in {pattern:?}")
+                });
+                (min, max)
+            }
+        } else {
+            let n: usize = spec.trim().parse().unwrap_or_else(|_| {
+                panic!("bad repeat '{{{spec}}}' in {pattern:?}")
+            });
+            (n, n)
+        }
+    }
+}
+
+// ---- macros -----------------------------------------------------------------
+
+/// Run each `#[test] fn name(arg in strategy, ...) { body }` once per case
+/// with freshly generated inputs. `prop_assert*` failures report the case
+/// number; re-running is deterministic (seeds derive from the test name).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg).cases; $($rest)*);
+    };
+    (@impl $cases:expr; $(
+        $(#[doc = $doc:expr])*
+        #[test]
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[doc = $doc])*
+            #[test]
+            fn $name() {
+                let cases: u32 = $cases;
+                let full_name = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..cases {
+                    let mut proptest_rng = $crate::test_runner::TestRng::for_case(full_name, case);
+                    $(let $arg = $crate::strategy::Strategy::generate(
+                        &($strat), &mut proptest_rng);)+
+                    let result: ::std::result::Result<(), ::std::string::String> =
+                        (move || {
+                            { $body }
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(message) = result {
+                        panic!("proptest {full_name} failed at case {case}: {message}");
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl $crate::test_runner::ProptestConfig::default().cases; $($rest)*);
+    };
+}
+
+/// Uniform choice between strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+/// Check a condition inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Check equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}`", left, right));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                left, right, format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Check inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` == `{:?}`", left, right));
+        }
+    }};
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_strings_and_collections_generate_in_bounds() {
+        let mut rng = TestRng::for_case("shim::self_test", 0);
+        for _ in 0..200 {
+            let n = Strategy::generate(&(0i64..10), &mut rng);
+            assert!((0..10).contains(&n));
+            let s = Strategy::generate(&"[a-c]{1,4}", &mut rng);
+            assert!((1..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let v = Strategy::generate(&prop::collection::vec(0u8..255, 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+            let pair = Strategy::generate(&(0usize..3, "[x-z]{1}"), &mut rng);
+            assert!(pair.0 < 3);
+        }
+    }
+
+    #[test]
+    fn oneof_map_filter_and_recursive_compose() {
+        let mut rng = TestRng::for_case("shim::compose", 3);
+        let strat = prop_oneof![Just(1i64), (10i64..20).prop_map(|v| v * 2)]
+            .prop_filter("nonzero", |v| *v != 0);
+        for _ in 0..100 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!(v == 1 || (20..40).contains(&v));
+        }
+        #[derive(Debug, Clone, PartialEq)]
+        enum T {
+            Leaf(i64),
+            Node(Vec<T>),
+        }
+        let tree = Just(0i64).prop_map(T::Leaf).prop_recursive(3, 16, 4, |inner| {
+            prop::collection::vec(inner, 0..4).prop_map(T::Node)
+        });
+        let mut saw_node = false;
+        for case in 0..64 {
+            let mut rng = TestRng::for_case("shim::tree", case);
+            if matches!(Strategy::generate(&tree, &mut rng), T::Node(_)) {
+                saw_node = true;
+            }
+        }
+        assert!(saw_node, "recursion never recursed");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: args bind, asserts work, doc comments parse.
+        #[test]
+        fn macro_smoke(a in 0i64..100, b in prop::sample::select(vec![1i64, 2, 3])) {
+            prop_assert!(a >= 0, "a was {}", a);
+            prop_assert_eq!(b, b);
+            prop_assert_ne!(b, 4);
+        }
+    }
+}

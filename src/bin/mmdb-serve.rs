@@ -1,0 +1,152 @@
+//! `mmdb-serve` — run a mmdb server over TCP.
+//!
+//! ```text
+//! cargo run --bin mmdb-serve -- --addr 127.0.0.1:7687 --demo
+//! # elsewhere:
+//! cargo run --bin mmdb-shell -- --connect 127.0.0.1:7687
+//! ```
+//!
+//! Options:
+//!   --addr HOST:PORT       listen address (default 127.0.0.1:7687; port 0 = ephemeral)
+//!   --data-dir PATH        durable database directory (default: in-memory)
+//!   --workers N            worker threads (default 4)
+//!   --max-connections N    connection cap before busy-rejection (default 64)
+//!   --demo                 preload the paper's demo data set
+//!
+//! The server runs until stdin closes or a `quit` line arrives, then
+//! shuts down gracefully (draining in-flight requests).
+
+use std::io::BufRead;
+use std::sync::Arc;
+
+use mmdb::Database;
+use mmdb_server::{Server, ServerConfig};
+
+fn main() {
+    let mut config = ServerConfig { addr: "127.0.0.1:7687".into(), ..ServerConfig::default() };
+    let mut data_dir: Option<String> = None;
+    let mut demo = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag_value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage(&format!("{} needs a value", args[*i - 1])))
+        };
+        match args[i].as_str() {
+            "--addr" => config.addr = flag_value(&mut i),
+            "--data-dir" => data_dir = Some(flag_value(&mut i)),
+            "--workers" => {
+                config.workers = flag_value(&mut i).parse().unwrap_or_else(|_| usage("--workers needs a number"))
+            }
+            "--max-connections" => {
+                config.max_connections =
+                    flag_value(&mut i).parse().unwrap_or_else(|_| usage("--max-connections needs a number"))
+            }
+            "--demo" => demo = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+
+    let db = match &data_dir {
+        Some(dir) => match Database::open(dir) {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("cannot open database at {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Database::in_memory(),
+    };
+    let db = Arc::new(db);
+    if demo {
+        if let Err(e) = load_demo(&db) {
+            eprintln!("cannot load demo data: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let server = match Server::start(Arc::clone(&db), config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("mmdb-serve listening on {}", server.local_addr());
+    println!("(close stdin or type 'quit' to shut down)");
+
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        match line {
+            Ok(l) if l.trim() == "quit" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    println!("shutting down...");
+    if let Err(e) = server.shutdown() {
+        eprintln!("shutdown error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}");
+    }
+    eprintln!(
+        "usage: mmdb-serve [--addr HOST:PORT] [--data-dir PATH] [--workers N] \
+         [--max-connections N] [--demo]"
+    );
+    std::process::exit(2);
+}
+
+/// The shell's `.demo` data set, server-side (see `mmdb-shell`).
+fn load_demo(db: &Database) -> mmdb::Result<()> {
+    use mmdb::substrate::relational::{ColumnDef, DataType, Schema};
+    use mmdb::Value;
+    db.create_table(
+        "customers",
+        Schema::new(
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("name", DataType::Text),
+                ColumnDef::new("credit_limit", DataType::Int),
+            ],
+            "id",
+        )?,
+    )?;
+    for (id, name, limit) in [(1, "Mary", 5000), (2, "John", 3000), (3, "Anne", 2000)] {
+        db.insert_row(
+            "customers",
+            &mmdb::from_json(&format!(r#"{{"id":{id},"name":"{name}","credit_limit":{limit}}}"#))?,
+        )?;
+    }
+    let g = db.create_graph("social")?;
+    g.create_vertex_collection("persons")?;
+    g.create_edge_collection("knows")?;
+    for id in 1..=3 {
+        g.add_vertex("persons", mmdb::from_json(&format!(r#"{{"_key":"{id}"}}"#))?)?;
+    }
+    g.add_edge("knows", "persons/1", "persons/2", mmdb::from_json("{}")?)?;
+    g.add_edge("knows", "persons/3", "persons/1", mmdb::from_json("{}")?)?;
+    db.create_bucket("cart")?;
+    db.kv_put("cart", "1", Value::str("34e5e759"))?;
+    db.kv_put("cart", "2", Value::str("0c6df508"))?;
+    db.create_collection("orders")?;
+    db.insert_json(
+        "orders",
+        r#"{"_key":"0c6df508","orderlines":[
+            {"product_no":"2724f","product_name":"Toy","price":66},
+            {"product_no":"3424g","product_name":"Book","price":40}]}"#,
+    )?;
+    db.insert_json(
+        "orders",
+        r#"{"_key":"34e5e759","orderlines":[{"product_no":"1111a","price":2}]}"#,
+    )?;
+    Ok(())
+}

@@ -10,14 +10,56 @@
 //! mmdb> .explain FOR c IN customers FILTER c.credit_limit > 3000 RETURN c
 //! mmdb> .quit
 //! ```
+//!
+//! With `--connect host:port` the shell speaks to a running
+//! `mmdb-serve` over the wire protocol instead of an embedded engine;
+//! the same statements and dot-commands work, plus `.begin`/`.commit`/
+//! `.abort` for explicit transactions and `.stats` for server metrics.
 
 use std::io::{BufRead, Write};
 
 use mmdb::{Database, Value};
+use mmdb_client::Client;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let connect = args.iter().position(|a| a == "--connect").map(|i| {
+        args.get(i + 1)
+            .cloned()
+            .unwrap_or_else(|| {
+                eprintln!("usage: mmdb-shell [--connect host:port]");
+                std::process::exit(2);
+            })
+    });
+    match connect {
+        Some(addr) => run_remote(&addr),
+        None => run_embedded(),
+    }
+}
+
+fn run_embedded() {
     let db = Database::in_memory();
     println!("mmdb shell — MMQL by default; .help for commands");
+    repl(|line| dispatch(&db, line));
+}
+
+fn run_remote(addr: &str) {
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "mmdb shell — connected to {} ({}); .help for commands",
+        addr,
+        client.server_version()
+    );
+    repl(move |line| dispatch_remote(&mut client, line));
+}
+
+fn repl(mut handle: impl FnMut(&str) -> mmdb::Result<Reply>) {
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
     loop {
@@ -36,7 +78,7 @@ fn main() {
         if line.is_empty() {
             continue;
         }
-        match dispatch(&db, line) {
+        match handle(line) {
             Ok(Reply::Quit) => break,
             Ok(Reply::Text(t)) => println!("{t}"),
             Err(e) => println!("error: {e}"),
@@ -88,6 +130,54 @@ fn dispatch(db: &Database, line: &str) -> mmdb::Result<Reply> {
     render(db.query(line)?)
 }
 
+fn dispatch_remote(client: &mut Client, line: &str) -> mmdb::Result<Reply> {
+    if let Some(rest) = line.strip_prefix('.') {
+        let (cmd, arg) = rest.split_once(' ').unwrap_or((rest, ""));
+        return match cmd {
+            "quit" | "exit" | "q" => Ok(Reply::Quit),
+            "help" => Ok(Reply::Text(format!("{}{}", HELP.trim(), REMOTE_HELP.trim_end()))),
+            "demo" => {
+                load_demo_remote(client)?;
+                Ok(Reply::Text(
+                    "loaded the paper's demo data (customers, social, cart, orders)".into(),
+                ))
+            }
+            "sql" => render(client.query_sql(arg)?),
+            "explain" => Ok(Reply::Text(client.explain(arg)?)),
+            "create" => {
+                client.create_collection(arg.trim())?;
+                Ok(Reply::Text(format!("created collection '{}'", arg.trim())))
+            }
+            "insert" => {
+                let (coll, json) = arg
+                    .split_once(' ')
+                    .ok_or_else(|| mmdb::Error::Parse(".insert <collection> <json>".into()))?;
+                let key = client.insert_document(coll, mmdb::from_json(json)?)?;
+                Ok(Reply::Text(format!("inserted '{key}'")))
+            }
+            "begin" => {
+                let id = client.begin(arg.trim() == "serializable")?;
+                Ok(Reply::Text(format!("transaction {id} open")))
+            }
+            "commit" => {
+                let ts = client.commit()?;
+                Ok(Reply::Text(format!("committed at ts {ts}")))
+            }
+            "abort" => {
+                client.abort()?;
+                Ok(Reply::Text("aborted".into()))
+            }
+            "ping" => {
+                client.ping()?;
+                Ok(Reply::Text("pong".into()))
+            }
+            "stats" => Ok(Reply::Text(mmdb::to_json_pretty(&client.admin_stats()?))),
+            other => Ok(Reply::Text(format!("unknown command '.{other}' — try .help"))),
+        };
+    }
+    render(client.query(line)?)
+}
+
 fn render(rows: Vec<Value>) -> mmdb::Result<Reply> {
     let mut text = String::new();
     for r in &rows {
@@ -109,6 +199,61 @@ Commands:
   .collections         list collections / tables / buckets
   .help  .quit
 "#;
+
+const REMOTE_HELP: &str = r#"
+Remote-only commands (--connect mode):
+  .begin [serializable]  open an explicit transaction
+  .commit  .abort        finish the open transaction
+  .stats                 server metrics (ADMIN STATS)
+  .ping                  liveness check
+"#;
+
+/// The same demo data as [`load_demo`], loaded through the wire API.
+fn load_demo_remote(client: &mut Client) -> mmdb::Result<()> {
+    use mmdb::substrate::relational::{ColumnDef, DataType, Schema};
+    client.create_table(
+        "customers",
+        &Schema::new(
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("name", DataType::Text),
+                ColumnDef::new("credit_limit", DataType::Int),
+            ],
+            "id",
+        )?,
+    )?;
+    for (id, name, limit) in [(1, "Mary", 5000), (2, "John", 3000), (3, "Anne", 2000)] {
+        client.insert_row(
+            "customers",
+            mmdb::from_json(&format!(r#"{{"id":{id},"name":"{name}","credit_limit":{limit}}}"#))?,
+        )?;
+    }
+    client.create_graph("social")?;
+    client.create_vertex_collection("social", "persons")?;
+    client.create_edge_collection("social", "knows")?;
+    for id in 1..=3 {
+        client.add_vertex("social", "persons", mmdb::from_json(&format!(r#"{{"_key":"{id}"}}"#))?)?;
+    }
+    client.add_edge("social", "knows", "persons/1", "persons/2", mmdb::from_json("{}")?)?;
+    client.add_edge("social", "knows", "persons/3", "persons/1", mmdb::from_json("{}")?)?;
+    client.create_bucket("cart")?;
+    client.kv_put("cart", "1", Value::str("34e5e759"))?;
+    client.kv_put("cart", "2", Value::str("0c6df508"))?;
+    client.create_collection("orders")?;
+    client.insert_document(
+        "orders",
+        mmdb::from_json(
+            r#"{"_key":"0c6df508","orderlines":[
+            {"product_no":"2724f","product_name":"Toy","price":66},
+            {"product_no":"3424g","product_name":"Book","price":40}]}"#,
+        )?,
+    )?;
+    client.insert_document(
+        "orders",
+        mmdb::from_json(r#"{"_key":"34e5e759","orderlines":[{"product_no":"1111a","price":2}]}"#)?,
+    )?;
+    Ok(())
+}
 
 fn load_demo(db: &Database) -> mmdb::Result<()> {
     use mmdb::substrate::relational::{ColumnDef, DataType, Schema};

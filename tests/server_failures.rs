@@ -1,0 +1,218 @@
+//! Failure-path behavior of the client/server stack: malformed and
+//! oversized frames, capacity rejection, client-side timeouts, session
+//! reaping on disconnect, and graceful shutdown.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mmdb::{Database, Value};
+use mmdb_client::{Client, ClientConfig};
+use mmdb_protocol::{frame, Request, Response, PROTOCOL_VERSION};
+use mmdb_server::{Server, ServerConfig};
+
+fn start_server(config: ServerConfig) -> (Arc<Database>, Server, String) {
+    let db = Arc::new(Database::in_memory());
+    db.create_bucket("cart").unwrap();
+    let server = Server::start(Arc::clone(&db), config).unwrap();
+    let addr = server.local_addr().to_string();
+    (db, server, addr)
+}
+
+/// Wait until `cond` holds or panic after a couple of seconds.
+fn eventually(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for: {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn oversized_frame_gets_a_protocol_error_not_a_hang() {
+    let (_db, server, addr) = start_server(ServerConfig::default());
+    let mut raw = TcpStream::connect(&addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    // A header announcing far more than MAX_FRAME_LEN. The server must
+    // answer with a framed protocol error and close — without reading
+    // (or allocating) the announced payload.
+    raw.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    let payload = frame::read_frame(&mut raw, frame::MAX_FRAME_LEN).unwrap();
+    match Response::decode(&payload).unwrap() {
+        Response::Err { kind, .. } => assert_eq!(kind, "protocol"),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    // The connection is closed afterwards.
+    let mut buf = [0u8; 1];
+    assert_eq!(raw.read(&mut buf).unwrap(), 0, "server closes after protocol error");
+
+    // The server is still healthy for new connections.
+    let mut client = Client::connect(&addr).unwrap();
+    client.ping().unwrap();
+    assert!(server.metrics().errors_total.load(Ordering::Relaxed) <= 1);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn undecodable_payload_gets_a_protocol_error() {
+    let (_db, server, addr) = start_server(ServerConfig::default());
+    let mut raw = TcpStream::connect(&addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    frame::write_frame(&mut raw, &[0xff, 0xfe, 0xfd], frame::MAX_FRAME_LEN).unwrap();
+    let payload = frame::read_frame(&mut raw, frame::MAX_FRAME_LEN).unwrap();
+    match Response::decode(&payload).unwrap() {
+        Response::Err { kind, .. } => assert_eq!(kind, "protocol"),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn handshake_is_required_and_version_checked() {
+    let (_db, server, addr) = start_server(ServerConfig::default());
+
+    // Skipping hello is a protocol error.
+    let mut raw = TcpStream::connect(&addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    frame::write_frame(&mut raw, &Request::Ping.encode(), frame::MAX_FRAME_LEN).unwrap();
+    let payload = frame::read_frame(&mut raw, frame::MAX_FRAME_LEN).unwrap();
+    match Response::decode(&payload).unwrap() {
+        Response::Err { kind, .. } => assert_eq!(kind, "protocol"),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+
+    // A wrong version is refused.
+    let mut raw = TcpStream::connect(&addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    frame::write_frame(
+        &mut raw,
+        &Request::Hello { version: PROTOCOL_VERSION + 1 }.encode(),
+        frame::MAX_FRAME_LEN,
+    )
+    .unwrap();
+    let payload = frame::read_frame(&mut raw, frame::MAX_FRAME_LEN).unwrap();
+    match Response::decode(&payload).unwrap() {
+        Response::Err { kind, message } => {
+            assert_eq!(kind, "protocol");
+            assert!(message.contains("version"), "{message}");
+        }
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn at_capacity_connections_get_a_clean_busy_error() {
+    let (_db, server, addr) = start_server(ServerConfig {
+        workers: 1,
+        max_connections: 1,
+        ..ServerConfig::default()
+    });
+
+    // First client occupies the only slot (handshake completed = accepted).
+    let mut first = Client::connect(&addr).unwrap();
+    first.ping().unwrap();
+
+    // Second client is rejected with a retryable busy error.
+    let err = Client::connect(&addr).unwrap_err();
+    assert_eq!(err.kind(), "busy");
+    assert!(err.is_retryable());
+    assert_eq!(server.metrics().connections_rejected.load(Ordering::Relaxed), 1);
+
+    // Freeing the slot lets a new connection in.
+    drop(first);
+    eventually("slot freed and connection accepted", || Client::connect(&addr).is_ok());
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn client_read_timeout_surfaces_as_err() {
+    // A listener that accepts and then stays silent.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let hold = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        std::thread::sleep(Duration::from_secs(2));
+        drop(stream);
+    });
+
+    let started = Instant::now();
+    let err = Client::connect_with(
+        &*addr,
+        ClientConfig { read_timeout: Some(Duration::from_millis(200)), ..ClientConfig::default() },
+    )
+    .unwrap_err();
+    assert_eq!(err.kind(), "storage", "timeout is an I/O-class error: {err}");
+    assert!(
+        started.elapsed() < Duration::from_secs(2),
+        "timeout must fire well before the server would answer"
+    );
+    hold.join().unwrap();
+}
+
+#[test]
+fn poisoned_connections_refuse_further_use() {
+    let (_db, server, addr) = start_server(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+    client.ping().unwrap();
+    server.shutdown().unwrap();
+    // The server is gone: the next call fails and poisons the client...
+    assert!(client.ping().is_err());
+    assert!(client.is_poisoned());
+    // ...and later calls fail fast with a protocol error.
+    assert_eq!(client.ping().unwrap_err().kind(), "protocol");
+}
+
+#[test]
+fn disconnecting_mid_transaction_reaps_the_session() {
+    let (db, server, addr) = start_server(ServerConfig::default());
+    let (_, aborts_before) = db.mvcc().stats();
+
+    let mut client = Client::connect(&addr).unwrap();
+    client.begin(false).unwrap();
+    client.kv_put("cart", "zombie", Value::int(1)).unwrap();
+    drop(client); // vanish without commit or abort
+
+    eventually("orphaned session reaped", || {
+        server.metrics().sessions_reaped.load(Ordering::Relaxed) == 1
+    });
+    let (_, aborts_after) = db.mvcc().stats();
+    assert!(aborts_after > aborts_before, "engine recorded the abort");
+    assert!(db.kv().get("cart", "zombie").unwrap().is_none(), "no trace of the orphan");
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn shutdown_drains_open_connections_and_aborts_their_transactions() {
+    let (db, server, addr) = start_server(ServerConfig::default());
+
+    // One connection idles; one holds an open transaction with writes.
+    let mut idle = Client::connect(&addr).unwrap();
+    idle.ping().unwrap();
+    let mut in_txn = Client::connect(&addr).unwrap();
+    in_txn.begin(false).unwrap();
+    in_txn.kv_put("cart", "w", Value::int(1)).unwrap();
+
+    let (_, aborts_before) = db.mvcc().stats();
+    let started = Instant::now();
+    server.shutdown().unwrap();
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "graceful shutdown must not hang on open connections"
+    );
+
+    // The orphaned transaction was aborted, not leaked.
+    let (_, aborts_after) = db.mvcc().stats();
+    assert!(aborts_after > aborts_before);
+    assert!(db.kv().get("cart", "w").unwrap().is_none());
+
+    // Both clients now observe a dead server.
+    assert!(idle.ping().is_err());
+    assert!(in_txn.ping().is_err());
+
+    // The port no longer accepts mmdb connections.
+    assert!(Client::connect(&addr).is_err());
+}
