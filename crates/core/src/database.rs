@@ -85,9 +85,31 @@ impl Database {
         self.world.create_collection(name).map(|_| ())
     }
 
-    /// Create a relational table.
+    /// Create a relational table. The schema is committed through MVCC as
+    /// a `ddl/table` write, so it reaches the WAL and recovery can rebuild
+    /// the table before replaying its rows — reopening a database never
+    /// requires re-issuing `create_table`.
     pub fn create_table(&self, name: &str, schema: Schema) -> Result<Arc<Table>> {
-        self.world.catalog.create_table(name, schema)
+        if self.world.catalog.table(name).is_ok() {
+            return Err(Error::AlreadyExists(format!("table '{name}'")));
+        }
+        let schema_value = schema.to_value();
+        let mut attempt = 0;
+        loop {
+            let mut txn = self.mvcc.begin(IsolationLevel::Snapshot);
+            let staged = match txn.get("ddl/table", name.as_bytes()) {
+                // A concurrent creator may have won since the check above.
+                Ok(Some(_)) => Err(Error::AlreadyExists(format!("table '{name}'"))),
+                Ok(None) => txn.put("ddl/table", name.as_bytes(), schema_value.clone()),
+                Err(e) => Err(e),
+            };
+            match staged.and_then(|()| txn.commit()) {
+                // The commit hook created the table (see apply_committed).
+                Ok(_) => return self.world.catalog.table(name),
+                Err(e) if e.is_retryable() && attempt < 3 => attempt += 1,
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Create a key/value bucket.
@@ -243,9 +265,9 @@ mod tests {
         }
         {
             let db = Database::open(&dir).unwrap();
-            // Model stores must be rebuilt from the WAL... but DDL is not
-            // logged, so collections/buckets are recreated implicitly by
-            // recovery (apply_committed creates missing stores).
+            // Model stores are rebuilt from the WAL alone: schemaless
+            // stores (collections, buckets) are recreated on demand and
+            // tables replay from their ddl/table records.
             assert_eq!(
                 db.get_document("orders", "o1").unwrap().unwrap().get_field("total"),
                 &Value::int(66)

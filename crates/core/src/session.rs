@@ -9,11 +9,14 @@
 //! the graph.
 //!
 //! Domain encoding: `doc/<coll>`, `kv/<bucket>`, `rel/<table>`,
-//! `graph/<graph>/v/<coll>`, `graph/<graph>/e/<coll>`, `rdf`.
+//! `graph/<graph>/v/<coll>`, `graph/<graph>/e/<coll>`, `rdf`, and
+//! `ddl/table` for WAL-logged schema changes (key = table name, value =
+//! the schema as a `Value`; see [`mmdb_relational::Schema::to_value`]).
 
 use std::sync::Arc;
 
 use mmdb_query::World;
+use mmdb_relational::Schema;
 use mmdb_txn::{CommittedWrite, Transaction};
 use mmdb_types::codec::{encode_composite_key, key_of};
 use mmdb_types::{Error, Result, Value};
@@ -259,15 +262,38 @@ impl Session {
 
 /// Apply a committed write set to the model stores. Called from the MVCC
 /// commit hook and from WAL recovery; creates missing schemaless stores
-/// (collections, buckets, graphs) on demand so recovery works without
-/// re-running DDL. Relational tables need their schema and must be
-/// re-created by the application before recovery replays their rows.
+/// (collections, buckets, graphs) on demand. Relational tables carry
+/// their schema in WAL-logged `ddl/table` writes (see
+/// `Database::create_table`), which replay in log order ahead of the
+/// rows they govern — recovery needs no help from the application.
 pub fn apply_committed(world: &World, writes: &[CommittedWrite]) -> Result<()> {
     for w in writes {
         let mut parts = w.domain.splitn(2, '/');
         let model = parts.next().unwrap_or_default();
         let rest = parts.next().unwrap_or_default();
         match model {
+            "ddl" => {
+                if rest != "table" {
+                    return Err(Error::Internal(format!("unknown ddl domain '{rest}'")));
+                }
+                let name = std::str::from_utf8(&w.key)
+                    .map_err(|_| Error::Internal("non-utf8 table name".into()))?;
+                match &w.value {
+                    Some(schema_value) => {
+                        // Idempotent: live commits race nobody (the hook
+                        // runs post-validation), but recovery may replay a
+                        // create the application already issued.
+                        if world.catalog.table(name).is_err() {
+                            world
+                                .catalog
+                                .create_table(name, Schema::from_value(schema_value)?)?;
+                        }
+                    }
+                    None => {
+                        let _ = world.catalog.drop_table(name);
+                    }
+                }
+            }
             "doc" => {
                 let coll = match world.collection(rest) {
                     Ok(c) => c,
@@ -304,7 +330,9 @@ pub fn apply_committed(world: &World, writes: &[CommittedWrite]) -> Result<()> {
             }
             "rel" => {
                 let Ok(table) = world.catalog.table(rest) else {
-                    // Schema unknown at recovery: skip (see doc comment).
+                    // Unknown table: its ddl/table record replays earlier
+                    // in the same log, so this only happens for rows whose
+                    // table was later dropped — nothing to apply.
                     continue;
                 };
                 match &w.value {

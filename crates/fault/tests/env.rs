@@ -1,0 +1,15 @@
+//! `MMDB_FAILPOINTS` is read on first registry use. This lives in its own
+//! test binary (own process) so the env var is set before anything touches
+//! the registry; the unit suite would race with it.
+#![cfg(feature = "failpoints")]
+
+use mmdb_fault::{eval, hits, Decision};
+
+#[test]
+fn env_var_arms_sites_on_first_use() {
+    std::env::set_var("MMDB_FAILPOINTS", "env.site=2:error;other.site=off");
+    assert_eq!(eval("env.site"), Decision::Proceed, "gated to the 2nd hit");
+    assert!(matches!(eval("env.site"), Decision::Fail(_)));
+    assert_eq!(eval("other.site"), Decision::Proceed);
+    assert_eq!(hits("env.site"), 2);
+}

@@ -157,7 +157,7 @@ impl KvStore {
 
     /// Force-compact a bucket.
     pub fn compact(&self, bucket: &str) -> Result<()> {
-        self.with_bucket(bucket, |b| b.write().compact_full())
+        self.with_bucket(bucket, |b| b.write().compact_full())?
     }
 }
 

@@ -3,75 +3,28 @@
 //! `CREATE TABLE` over the wire ships the schema as a `Value` object:
 //! `{"columns": [{"name": ..., "type": ..., "nullable": ...}, ...],
 //! "primary_key": ...}`. Types use their SQL spelling (`INT`, `TEXT`,
-//! ...), matching `DataType`'s `Display`.
+//! ...), matching `DataType`'s `Display`. The encoding itself lives on
+//! [`Schema`] (`to_value`/`from_value`) because the WAL's `ddl/table`
+//! records share it; this module keeps the wire-facing API and maps
+//! decode failures to protocol errors.
 
-use mmdb_relational::{ColumnDef, DataType, Schema};
+use mmdb_relational::Schema;
 use mmdb_types::{Error, Result, Value};
 
 /// Encode a schema for the wire.
 pub fn schema_to_value(schema: &Schema) -> Value {
-    let columns: Vec<Value> = schema
-        .columns()
-        .iter()
-        .map(|c| {
-            Value::object([
-                ("name", Value::str(&c.name)),
-                ("type", Value::str(c.data_type.to_string())),
-                ("nullable", Value::Bool(c.nullable)),
-            ])
-        })
-        .collect();
-    Value::object([
-        ("columns", Value::Array(columns)),
-        ("primary_key", Value::str(schema.primary_key_name())),
-    ])
+    schema.to_value()
 }
 
 /// Decode a wire schema back into a [`Schema`].
 pub fn schema_from_value(v: &Value) -> Result<Schema> {
-    let columns = v
-        .get_field("columns")
-        .as_array()
-        .map_err(|_| Error::Protocol("schema needs a 'columns' array".into()))?;
-    let mut defs = Vec::with_capacity(columns.len());
-    for c in columns {
-        let name = c
-            .get_field("name")
-            .as_str()
-            .map_err(|_| Error::Protocol("schema column needs a string 'name'".into()))?;
-        let ty = data_type_from_str(
-            c.get_field("type")
-                .as_str()
-                .map_err(|_| Error::Protocol("schema column needs a string 'type'".into()))?,
-        )?;
-        let mut def = ColumnDef::new(name, ty);
-        if let Value::Bool(false) = c.get_field("nullable") {
-            def = def.not_null();
-        }
-        defs.push(def);
-    }
-    let pk = v
-        .get_field("primary_key")
-        .as_str()
-        .map_err(|_| Error::Protocol("schema needs a string 'primary_key'".into()))?;
-    Schema::new(defs, pk)
-}
-
-fn data_type_from_str(s: &str) -> Result<DataType> {
-    Ok(match s.to_ascii_uppercase().as_str() {
-        "BOOL" => DataType::Bool,
-        "INT" => DataType::Int,
-        "FLOAT" => DataType::Float,
-        "TEXT" => DataType::Text,
-        "JSON" => DataType::Json,
-        "BYTES" => DataType::Bytes,
-        other => return Err(Error::Protocol(format!("unknown column type '{other}'"))),
-    })
+    Schema::from_value(v).map_err(|e| Error::Protocol(e.to_string()))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mmdb_relational::{ColumnDef, DataType};
 
     #[test]
     fn schema_round_trips() {

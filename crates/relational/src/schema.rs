@@ -37,6 +37,21 @@ impl DataType {
     }
 }
 
+impl DataType {
+    /// Parse the SQL spelling produced by `Display` (case-insensitive).
+    pub fn from_sql(s: &str) -> Result<DataType> {
+        Ok(match s.to_ascii_uppercase().as_str() {
+            "BOOL" => DataType::Bool,
+            "INT" => DataType::Int,
+            "FLOAT" => DataType::Float,
+            "TEXT" => DataType::Text,
+            "JSON" => DataType::Json,
+            "BYTES" => DataType::Bytes,
+            other => return Err(Error::Schema(format!("unknown column type '{other}'"))),
+        })
+    }
+}
+
 impl std::fmt::Display for DataType {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
@@ -190,6 +205,58 @@ impl Schema {
                 .map(|(c, v)| (c.name.clone(), v.clone())),
         )
     }
+
+    /// Encode the schema as a `Value` object:
+    /// `{"columns": [{"name", "type", "nullable"}, ...], "primary_key"}`,
+    /// with types in their SQL spelling. This is the shape shared by the
+    /// wire protocol's `CREATE TABLE` and the WAL's `ddl/table` records.
+    pub fn to_value(&self) -> Value {
+        let columns: Vec<Value> = self
+            .columns
+            .iter()
+            .map(|c| {
+                Value::object([
+                    ("name", Value::str(&c.name)),
+                    ("type", Value::str(c.data_type.to_string())),
+                    ("nullable", Value::Bool(c.nullable)),
+                ])
+            })
+            .collect();
+        Value::object([
+            ("columns", Value::Array(columns)),
+            ("primary_key", Value::str(self.primary_key_name())),
+        ])
+    }
+
+    /// Decode [`Schema::to_value`] output back into a schema.
+    pub fn from_value(v: &Value) -> Result<Schema> {
+        let columns = v
+            .get_field("columns")
+            .as_array()
+            .map_err(|_| Error::Schema("schema needs a 'columns' array".into()))?;
+        let mut defs = Vec::with_capacity(columns.len());
+        for c in columns {
+            let name = c
+                .get_field("name")
+                .as_str()
+                .map_err(|_| Error::Schema("schema column needs a string 'name'".into()))?;
+            let ty = DataType::from_sql(
+                c.get_field("type")
+                    .as_str()
+                    .map_err(|_| Error::Schema("schema column needs a string 'type'".into()))?,
+            )?;
+            let mut def = ColumnDef::new(name, ty);
+            if let Value::Bool(false) = c.get_field("nullable") {
+                def = def.not_null();
+            }
+            defs.push(def);
+        }
+        let pk = v
+            .get_field("primary_key")
+            .as_str()
+            .map_err(|_| Error::Schema("schema needs a string 'primary_key'".into()))?;
+        Schema::new(defs, pk)
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +331,22 @@ mod tests {
         // Unknown key rejected.
         let bad = mmdb_types::from_json(r#"{"id":2,"oops":1}"#).unwrap();
         assert!(s.row_from_object(&bad).is_err());
+    }
+
+    #[test]
+    fn value_encoding_round_trips() {
+        let s = customers();
+        let back = Schema::from_value(&s.to_value()).unwrap();
+        assert_eq!(back.primary_key_name(), "id");
+        assert_eq!(back.columns().len(), s.columns().len());
+        for (a, b) in back.columns().iter().zip(s.columns()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.data_type, b.data_type);
+            assert_eq!(a.nullable, b.nullable);
+        }
+        assert_eq!(Schema::from_value(&Value::int(3)).unwrap_err().kind(), "schema");
+        assert!(DataType::from_sql("text").is_ok(), "case-insensitive");
+        assert!(DataType::from_sql("DECIMAL").is_err());
     }
 
     #[test]

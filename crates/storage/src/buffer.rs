@@ -153,6 +153,9 @@ impl BufferPool {
 
     /// Write all dirty frames back and fsync.
     pub fn flush_all(&self) -> Result<()> {
+        mmdb_fault::fail_point!("buffer.flush", |msg| Error::Storage(format!(
+            "buffer flush: {msg}"
+        )));
         let mut inner = self.inner.lock();
         for frame in inner.frames.iter_mut().flatten() {
             if frame.dirty {

@@ -133,7 +133,22 @@ impl DiskManager {
     /// Write a page from `buf` (must be `PAGE_SIZE` long).
     pub fn write_page(&self, page: PageId, buf: &[u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
-        self.backend.write(page, buf)
+        // Failpoint `disk.write_page`: `short` writes a torn page (tail
+        // zeroed) and then errors, the classic partial-page crash.
+        match mmdb_fault::eval("disk.write_page") {
+            mmdb_fault::Decision::Proceed => self.backend.write(page, buf),
+            mmdb_fault::Decision::Fail(msg) => {
+                Err(Error::Storage(format!("write page {page}: {msg}")))
+            }
+            mmdb_fault::Decision::Short => {
+                let mut torn = buf.to_vec();
+                for b in &mut torn[PAGE_SIZE / 2..] {
+                    *b = 0;
+                }
+                self.backend.write(page, &torn)?;
+                Err(Error::Storage(format!("write page {page}: torn page (injected)")))
+            }
+        }
     }
 
     /// Durably flush all written pages.

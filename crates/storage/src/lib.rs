@@ -31,3 +31,15 @@ pub use buffer::BufferPool;
 pub use disk::{DiskManager, PageId, PAGE_SIZE};
 pub use heap::{HeapFile, RecordId};
 pub use wal::{Lsn, Wal, WalRecord};
+
+/// Every failpoint site this crate declares (see `mmdb-fault`). The
+/// crash-recovery torture suite iterates this roster, so adding a
+/// `fail_point!` here without extending the list fails that suite.
+pub const FAILPOINT_SITES: &[&str] = &[
+    "wal.append",
+    "wal.sync",
+    "disk.write_page",
+    "buffer.flush",
+    "lsm.flush",
+    "lsm.compact",
+];

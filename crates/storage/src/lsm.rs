@@ -169,7 +169,7 @@ impl LsmTree {
         self.memtable_bytes += key.len() + entry.as_ref().map_or(0, Vec::len);
         self.memtable.insert(key, entry);
         if self.memtable_bytes >= self.config.memtable_bytes {
-            self.flush();
+            self.flush()?;
         }
         Ok(())
     }
@@ -192,22 +192,28 @@ impl LsmTree {
     }
 
     /// Force the memtable into an SSTable run.
-    pub fn flush(&mut self) {
+    pub fn flush(&mut self) -> Result<()> {
+        mmdb_fault::fail_point!("lsm.flush", |msg| Error::Storage(format!(
+            "lsm flush: {msg}"
+        )));
         if self.memtable.is_empty() {
-            return;
+            return Ok(());
         }
         let entries: Vec<(Vec<u8>, Entry)> = std::mem::take(&mut self.memtable).into_iter().collect();
         self.memtable_bytes = 0;
         self.tables.insert(0, SsTable::from_sorted(entries));
         self.stats.flushes += 1;
-        self.maybe_compact();
+        self.maybe_compact()
     }
 
-    fn maybe_compact(&mut self) {
+    fn maybe_compact(&mut self) -> Result<()> {
         // Size-tiered: when there are `tier_fanout` runs of similar size,
         // merge them. Simplification: merge the newest `tier_fanout` runs
         // whenever the run count reaches the fanout.
         while self.tables.len() >= self.config.tier_fanout {
+            mmdb_fault::fail_point!("lsm.compact", |msg| Error::Storage(format!(
+                "lsm compaction: {msg}"
+            )));
             let group: Vec<SsTable> = self.tables.drain(0..self.config.tier_fanout).collect();
             // If this merge consumes every run, tombstones can be dropped.
             let drop_tombstones = self.tables.is_empty();
@@ -218,22 +224,27 @@ impl LsmTree {
                 break;
             }
         }
+        Ok(())
     }
 
     /// Merge everything into a single run, dropping tombstones.
-    pub fn compact_full(&mut self) {
-        self.flush();
+    pub fn compact_full(&mut self) -> Result<()> {
+        self.flush()?;
+        mmdb_fault::fail_point!("lsm.compact", |msg| Error::Storage(format!(
+            "lsm compaction: {msg}"
+        )));
         if self.tables.len() <= 1 {
             // Still rewrite a single run to purge tombstones.
             if let Some(t) = self.tables.pop() {
                 self.tables.push(merge_runs(vec![t], true));
                 self.stats.compactions += 1;
             }
-            return;
+            return Ok(());
         }
         let group: Vec<SsTable> = self.tables.drain(..).collect();
         self.tables.push(merge_runs(group, true));
         self.stats.compactions += 1;
+        Ok(())
     }
 
     /// Range scan over live entries, `start..end` (end exclusive; `None` =
@@ -334,7 +345,7 @@ mod tests {
             for i in 0..50 {
                 t.put(k(i), format!("r{round}").into_bytes()).unwrap();
             }
-            t.flush();
+            t.flush().unwrap();
         }
         for i in 0..50 {
             assert_eq!(t.get(&k(i)), Some(b"r4".to_vec()));
@@ -345,11 +356,11 @@ mod tests {
     fn tombstones_shadow_older_runs_until_full_compaction() {
         let mut t = small_tree();
         t.put(k(1), b"v".to_vec()).unwrap();
-        t.flush();
+        t.flush().unwrap();
         t.delete(k(1)).unwrap();
-        t.flush();
+        t.flush().unwrap();
         assert_eq!(t.get(&k(1)), None);
-        t.compact_full();
+        t.compact_full().unwrap();
         assert_eq!(t.get(&k(1)), None);
         assert_eq!(t.run_count(), 1);
         assert_eq!(t.live_len(), 0);
@@ -406,7 +417,7 @@ mod tests {
         for i in 0..200 {
             t.put(k(i), b"v".to_vec()).unwrap();
         }
-        t.flush();
+        t.flush().unwrap();
         for i in 10_000..10_100 {
             assert_eq!(t.get(&k(i)), None);
         }

@@ -228,20 +228,36 @@ impl Wal {
         framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         framed.extend_from_slice(&crc32(&payload).to_le_bytes());
         framed.extend_from_slice(&payload);
+        // Failpoint `wal.append`: `short` tears the record mid-frame —
+        // the bytes land in the log, so recovery must detect and truncate
+        // the torn tail.
+        let write_len = match mmdb_fault::eval("wal.append") {
+            mmdb_fault::Decision::Proceed => framed.len(),
+            mmdb_fault::Decision::Fail(msg) => {
+                return Err(Error::Storage(format!("wal append: {msg}")))
+            }
+            mmdb_fault::Decision::Short => framed.len() / 2,
+        };
         let mut inner = self.inner.lock();
         let lsn = inner.next_lsn;
         match &mut inner.backend {
             WalBackend::File(f) => f
-                .write_all(&framed)
+                .write_all(&framed[..write_len])
                 .map_err(|e| Error::Storage(format!("wal append: {e}")))?,
-            WalBackend::Memory(v) => v.extend_from_slice(&framed),
+            WalBackend::Memory(v) => v.extend_from_slice(&framed[..write_len]),
         }
-        inner.next_lsn += framed.len() as u64;
+        inner.next_lsn += write_len as u64;
+        if write_len < framed.len() {
+            return Err(Error::Storage("wal append: torn write (injected)".into()));
+        }
         Ok(lsn)
     }
 
     /// Durably flush appended records.
     pub fn sync(&self) -> Result<()> {
+        // Failpoint `wal.sync`: `delay(ms)` models a slow fsync, `error`
+        // a failed one.
+        mmdb_fault::fail_point!("wal.sync", |msg| Error::Storage(format!("wal fsync: {msg}")));
         let inner = self.inner.lock();
         if let WalBackend::File(f) = &inner.backend {
             f.sync_data().map_err(|e| Error::Storage(format!("wal fsync: {e}")))?;

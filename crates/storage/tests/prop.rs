@@ -92,7 +92,7 @@ proptest! {
                 shadow.remove(&key);
             }
             if i % flush_every == 0 {
-                lsm.flush();
+                lsm.flush().unwrap();
             }
         }
         for (k, v) in &shadow {
@@ -102,7 +102,7 @@ proptest! {
         let want: Vec<(Vec<u8>, Vec<u8>)> =
             shadow.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
         prop_assert_eq!(scan, want.clone());
-        lsm.compact_full();
+        lsm.compact_full().unwrap();
         prop_assert_eq!(lsm.scan(None, None), want);
     }
 

@@ -309,6 +309,14 @@ impl Transaction {
             self.release_locks();
             return Ok(self.start_ts);
         }
+        // Failpoint `txn.commit.before_wal`: a crash or error here loses
+        // the transaction entirely — nothing has reached the log.
+        if let Some(msg) = mmdb_fault::eval_to_error("txn.commit.before_wal") {
+            self.store.aborts.fetch_add(1, Ordering::SeqCst);
+            self.release_locks();
+            self.writes.clear();
+            return Err(Error::Storage(format!("commit: {msg}")));
+        }
         let _guard = self.store.commit_mutex.lock();
         // First-committer-wins validation for strong domains.
         {
@@ -335,20 +343,36 @@ impl Transaction {
             }
         }
         let commit_ts = self.store.clock.fetch_add(1, Ordering::SeqCst) + 1;
-        // WAL first (durability), then install.
-        if let Some(wal) = &self.store.wal {
-            wal.append(&WalRecord::Begin { txid: self.txid })?;
-            for w in &self.writes {
-                wal.append(&WalRecord::Write {
-                    txid: self.txid,
-                    domain: w.key.0.clone(),
-                    key: w.key.1.clone(),
-                    value: w.value.as_ref().map(|v| value_to_bytes(v).to_vec()),
-                })?;
+        // WAL first (durability), then install. A WAL failure must leave
+        // the transaction fully aborted — nothing installed, locks
+        // released — not half-committed (failure atomicity; exercised by
+        // the wal.* failpoints).
+        let wal_result: Result<()> = (|| {
+            if let Some(wal) = &self.store.wal {
+                wal.append(&WalRecord::Begin { txid: self.txid })?;
+                for w in &self.writes {
+                    wal.append(&WalRecord::Write {
+                        txid: self.txid,
+                        domain: w.key.0.clone(),
+                        key: w.key.1.clone(),
+                        value: w.value.as_ref().map(|v| value_to_bytes(v).to_vec()),
+                    })?;
+                }
+                wal.append(&WalRecord::Commit { txid: self.txid })?;
+                wal.sync()?;
             }
-            wal.append(&WalRecord::Commit { txid: self.txid })?;
-            wal.sync()?;
+            Ok(())
+        })();
+        if let Err(e) = wal_result {
+            self.store.aborts.fetch_add(1, Ordering::SeqCst);
+            self.release_locks();
+            self.writes.clear();
+            return Err(e);
         }
+        // Failpoint `txn.commit.after_wal`: the durability point has
+        // passed — a crash here must still surface the transaction as
+        // committed after recovery (crash-only site: panic/delay).
+        mmdb_fault::fail_point!("txn.commit.after_wal");
         let committed: Vec<CommittedWrite> = {
             let mut versions = self.store.versions.write();
             self.writes

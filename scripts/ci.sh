@@ -20,4 +20,13 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> crash-recovery torture suite (--features failpoints)"
+cargo test -q --features failpoints --test crash_recovery
+
+echo "==> failpoints stay a no-op when the feature is off"
+cargo test -q -p mmdb-fault
+
+echo "==> cargo clippy --features failpoints (lints the torture suite)"
+cargo clippy -p mmdb --all-targets --features failpoints -- -D warnings
+
 echo "==> tier-1 gate passed"

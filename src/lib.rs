@@ -30,6 +30,10 @@ pub use mmdb_types::{from_json, to_json, to_json_pretty, Error, Number, Path, Re
 /// The facade crate itself (evolution, schema inference, sessions).
 pub use mmdb_core as core;
 
+/// Deterministic fault injection (no-op unless built with the
+/// `failpoints` feature; see `tests/crash_recovery.rs`).
+pub use mmdb_fault as fault;
+
 /// Building-block crates, re-exported for power users.
 pub mod substrate {
     pub use mmdb_document as document;
