@@ -12,8 +12,10 @@
 //! handling.
 
 mod pool;
+mod retry;
 
-pub use pool::{Pool, PoolConfig, PooledClient};
+pub use pool::{Pool, PoolConfig, PoolStats, PooledClient};
+pub use retry::RetryPolicy;
 
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -152,25 +154,50 @@ impl Client {
 
     /// Run an MMQL query; returns the result rows.
     pub fn query(&mut self, text: &str) -> Result<Vec<Value>> {
-        match self.call(&Request::Query { text: text.into() })? {
-            Response::Rows(rows) => Ok(rows),
-            other => Err(unexpected(&Request::Query { text: text.into() }, &other)),
-        }
+        self.query_request(Request::Query { text: text.into(), deadline_ms: None })
+    }
+
+    /// Run an MMQL query with an execution deadline. The server caps the
+    /// budget by its own `max_query_time` and aborts the query with a
+    /// retryable `deadline_exceeded` error once it expires.
+    pub fn query_with_deadline(&mut self, text: &str, deadline: Duration) -> Result<Vec<Value>> {
+        self.query_request(Request::Query {
+            text: text.into(),
+            deadline_ms: Some(deadline.as_millis().min(u64::MAX as u128) as u64),
+        })
     }
 
     /// Run a SQL query; returns the result rows.
     pub fn query_sql(&mut self, text: &str) -> Result<Vec<Value>> {
-        match self.call(&Request::Sql { text: text.into() })? {
+        self.query_request(Request::Sql { text: text.into(), deadline_ms: None })
+    }
+
+    /// Run a SQL query with an execution deadline (see
+    /// [`Client::query_with_deadline`]).
+    pub fn query_sql_with_deadline(
+        &mut self,
+        text: &str,
+        deadline: Duration,
+    ) -> Result<Vec<Value>> {
+        self.query_request(Request::Sql {
+            text: text.into(),
+            deadline_ms: Some(deadline.as_millis().min(u64::MAX as u128) as u64),
+        })
+    }
+
+    fn query_request(&mut self, req: Request) -> Result<Vec<Value>> {
+        match self.call(&req)? {
             Response::Rows(rows) => Ok(rows),
-            other => Err(unexpected(&Request::Sql { text: text.into() }, &other)),
+            other => Err(unexpected(&req, &other)),
         }
     }
 
     /// Explain an MMQL query plan.
     pub fn explain(&mut self, text: &str) -> Result<String> {
-        match self.call(&Request::Explain { text: text.into() })? {
+        let req = Request::Explain { text: text.into(), deadline_ms: None };
+        match self.call(&req)? {
             Response::Text(t) => Ok(t),
-            other => Err(unexpected(&Request::Explain { text: text.into() }, &other)),
+            other => Err(unexpected(&req, &other)),
         }
     }
 
@@ -187,6 +214,16 @@ impl Client {
         match self.call(&Request::Admin { command: "STATS".into() })? {
             Response::Stats(v) => Ok(v),
             other => Err(unexpected(&Request::Admin { command: "STATS".into() }, &other)),
+        }
+    }
+
+    /// Fetch the server's health summary: `{"status": "ok"}` while the
+    /// engine accepts writes, `{"status": "degraded", "reason": ...}` once
+    /// a durability failure has latched it read-only.
+    pub fn admin_health(&mut self) -> Result<Value> {
+        match self.call(&Request::Admin { command: "HEALTH".into() })? {
+            Response::Stats(v) => Ok(v),
+            other => Err(unexpected(&Request::Admin { command: "HEALTH".into() }, &other)),
         }
     }
 

@@ -1,4 +1,4 @@
-//! A fixed-size connection pool.
+//! A fixed-size connection pool with health checks and automatic retry.
 //!
 //! [`Pool::get`] hands out a [`PooledClient`] — a smart pointer that
 //! returns its connection to the pool on drop, unless the connection was
@@ -6,10 +6,20 @@
 //! slot freed for a fresh connection. Checkout blocks up to
 //! `checkout_timeout` when every connection is busy, then fails with a
 //! retryable `busy` error, mirroring the server's own backpressure.
+//!
+//! Connections that sat idle longer than `health_check_after` are pinged
+//! on checkout; a dead one (killed by the server's `idle_timeout`, a
+//! server restart, a dropped NAT mapping) is discarded and replaced
+//! instead of being handed to the caller to fail on first use.
+//!
+//! [`Pool::retry_read`] and [`Pool::retry_write`] run a closure against a
+//! checked-out connection under a [`RetryPolicy`], with the
+//! read/write-appropriate notion of what is safe to retry (see
+//! `crate::retry`). Retry activity is surfaced in [`Pool::stats`].
 
 use std::net::ToSocketAddrs;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -17,6 +27,7 @@ use parking_lot::{Condvar, Mutex};
 
 use mmdb_types::{Error, Result};
 
+use crate::retry::{Rng, RetryPolicy};
 use crate::{Client, ClientConfig};
 
 /// Pool tunables.
@@ -26,6 +37,9 @@ pub struct PoolConfig {
     pub max_size: usize,
     /// How long [`Pool::get`] waits for a free connection.
     pub checkout_timeout: Duration,
+    /// Idle connections older than this are liveness-checked (one `ping`)
+    /// before being handed out; dead ones are discarded and replaced.
+    pub health_check_after: Duration,
     /// Per-connection configuration.
     pub client: ClientConfig,
 }
@@ -35,18 +49,47 @@ impl Default for PoolConfig {
         PoolConfig {
             max_size: 8,
             checkout_timeout: Duration::from_secs(5),
+            health_check_after: Duration::from_secs(60),
             client: ClientConfig::default(),
         }
     }
 }
 
+/// Counters describing the pool's lifetime activity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Connections currently open (idle + checked out).
+    pub open: usize,
+    /// Connections currently idle in the pool.
+    pub idle: usize,
+    /// Retries caused by pre-send failures (checkout timeout or connect
+    /// failure), across reads and writes.
+    pub retries_connect: u64,
+    /// Read operations retried after a mid-call or server-reported failure.
+    pub retries_read: u64,
+    /// Write operations retried after a server-reported retryable failure.
+    pub retries_write: u64,
+    /// Idle connections discarded by the checkout health check.
+    pub unhealthy_discarded: u64,
+}
+
+struct IdleConn {
+    client: Client,
+    /// When the connection went idle (for the checkout health check).
+    since: Instant,
+}
+
 struct PoolInner {
     addr: String,
     config: PoolConfig,
-    idle: Mutex<Vec<Client>>,
+    idle: Mutex<Vec<IdleConn>>,
     returned: Condvar,
     /// Connections currently open or being opened.
     open: AtomicUsize,
+    retries_connect: AtomicU64,
+    retries_read: AtomicU64,
+    retries_write: AtomicU64,
+    unhealthy_discarded: AtomicU64,
 }
 
 /// A thread-safe pool of [`Client`] connections to one server.
@@ -65,6 +108,10 @@ impl Pool {
                 idle: Mutex::new(Vec::new()),
                 returned: Condvar::new(),
                 open: AtomicUsize::new(0),
+                retries_connect: AtomicU64::new(0),
+                retries_read: AtomicU64::new(0),
+                retries_write: AtomicU64::new(0),
+                unhealthy_discarded: AtomicU64::new(0),
             }),
         }
     }
@@ -75,7 +122,7 @@ impl Pool {
         let inner = &self.inner;
         let deadline = Instant::now() + inner.config.checkout_timeout;
         loop {
-            if let Some(client) = inner.idle.lock().pop() {
+            if let Some(client) = self.pop_healthy_idle() {
                 return Ok(PooledClient { client: Some(client), pool: Arc::clone(inner) });
             }
             // Reserve a slot before connecting so concurrent checkouts
@@ -100,26 +147,129 @@ impl Pool {
                 }
             }
             inner.open.fetch_sub(1, Ordering::SeqCst);
-            let mut idle = inner.idle.lock();
-            if idle.is_empty() {
-                let now = Instant::now();
-                if now >= deadline {
-                    return Err(Error::Busy(format!(
-                        "no pooled connection became free within {:?}",
-                        inner.config.checkout_timeout
-                    )));
+            {
+                let mut idle = inner.idle.lock();
+                if idle.is_empty() {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(Error::Busy(format!(
+                            "no pooled connection became free within {:?}",
+                            inner.config.checkout_timeout
+                        )));
+                    }
+                    inner.returned.wait_for(&mut idle, deadline - now);
                 }
-                inner.returned.wait_for(&mut idle, deadline - now);
             }
-            if let Some(client) = idle.pop() {
-                return Ok(PooledClient { client: Some(client), pool: Arc::clone(inner) });
+            // Loop back: re-examine the idle list (with health check) or
+            // try to open a freed slot.
+        }
+    }
+
+    /// Pop idle connections until one passes the health check. Fresh
+    /// connections (idle < `health_check_after`) are trusted as-is; stale
+    /// ones must answer a `ping`, and the dead are discarded with their
+    /// slot freed.
+    fn pop_healthy_idle(&self) -> Option<Client> {
+        let inner = &self.inner;
+        loop {
+            let entry = inner.idle.lock().pop()?;
+            if entry.since.elapsed() < inner.config.health_check_after {
+                return Some(entry.client);
             }
+            let mut client = entry.client;
+            if client.ping().is_ok() {
+                return Some(client);
+            }
+            // Dead connection (server idle-reaped it, restarted, ...):
+            // free the slot and keep looking.
+            inner.open.fetch_sub(1, Ordering::SeqCst);
+            inner.unhealthy_discarded.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Run a **read** operation with automatic retry: pre-send failures,
+    /// mid-call I/O failures, and server-reported retryable errors all
+    /// back off and re-run the closure on a fresh checkout.
+    pub fn retry_read<T>(
+        &self,
+        policy: &RetryPolicy,
+        mut op: impl FnMut(&mut Client) -> Result<T>,
+    ) -> Result<T> {
+        self.run_with_retry(policy, true, &mut op)
+    }
+
+    /// Run a **write** operation with automatic retry: only pre-send
+    /// failures (the request never left the client) and server-reported
+    /// retryable errors (the server rolled the attempt back) are retried.
+    /// A connection that dies mid-call is *not* retried — the write may
+    /// already have applied.
+    pub fn retry_write<T>(
+        &self,
+        policy: &RetryPolicy,
+        mut op: impl FnMut(&mut Client) -> Result<T>,
+    ) -> Result<T> {
+        self.run_with_retry(policy, false, &mut op)
+    }
+
+    fn run_with_retry<T>(
+        &self,
+        policy: &RetryPolicy,
+        is_read: bool,
+        op: &mut dyn FnMut(&mut Client) -> Result<T>,
+    ) -> Result<T> {
+        let inner = &self.inner;
+        let mut rng = Rng::from_entropy();
+        let mut prev_delay = policy.base_delay;
+        let mut slept = Duration::ZERO;
+        let mut attempt = 0u32;
+        loop {
+            // Classify the failure: pre-send (request never left), mid-call
+            // (connection poisoned, response unknown), or server-reported
+            // (clean engine error over a healthy connection).
+            let (err, retryable, counter) = match self.get() {
+                Err(e) => (e, true, &inner.retries_connect),
+                Ok(mut conn) => match op(&mut conn) {
+                    Ok(v) => return Ok(v),
+                    Err(e) if conn.is_poisoned() => {
+                        let counter =
+                            if is_read { &inner.retries_read } else { &inner.retries_write };
+                        (e, is_read, counter)
+                    }
+                    Err(e) => {
+                        let retryable = e.is_retryable();
+                        let counter =
+                            if is_read { &inner.retries_read } else { &inner.retries_write };
+                        (e, retryable, counter)
+                    }
+                },
+            };
+            if !retryable || attempt >= policy.max_retries || slept >= policy.budget {
+                return Err(err);
+            }
+            attempt += 1;
+            counter.fetch_add(1, Ordering::Relaxed);
+            let delay = policy.next_delay(prev_delay, &mut rng).min(policy.budget - slept);
+            std::thread::sleep(delay);
+            slept += delay;
+            prev_delay = delay.max(policy.base_delay);
         }
     }
 
     /// Currently open connections (idle + checked out).
     pub fn open_connections(&self) -> usize {
         self.inner.open.load(Ordering::SeqCst)
+    }
+
+    /// A snapshot of the pool's counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            open: self.inner.open.load(Ordering::SeqCst),
+            idle: self.inner.idle.lock().len(),
+            retries_connect: self.inner.retries_connect.load(Ordering::Relaxed),
+            retries_read: self.inner.retries_read.load(Ordering::Relaxed),
+            retries_write: self.inner.retries_write.load(Ordering::Relaxed),
+            unhealthy_discarded: self.inner.unhealthy_discarded.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -155,7 +305,7 @@ impl Drop for PooledClient {
             // Broken connection: free the slot instead of recycling it.
             self.pool.open.fetch_sub(1, Ordering::SeqCst);
         } else {
-            self.pool.idle.lock().push(client);
+            self.pool.idle.lock().push(IdleConn { client, since: Instant::now() });
         }
         self.pool.returned.notify_one();
     }

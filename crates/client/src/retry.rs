@@ -1,0 +1,141 @@
+//! Automatic retry with exponential backoff and decorrelated jitter.
+//!
+//! A [`RetryPolicy`] describes *how* to back off; the pool's
+//! `retry_read`/`retry_write` methods decide *what* is safe to retry:
+//!
+//! * **Reads** retry on pre-send failures (checkout timeout, connect
+//!   refused), on mid-call I/O failures (the connection poisoned with the
+//!   response unknown — harmless to re-issue a read), and on
+//!   server-reported retryable errors (`busy`, `txn_conflict`,
+//!   `deadline_exceeded`).
+//! * **Writes** retry on pre-send failures (the request never left the
+//!   client, so re-sending cannot double-apply) and on server-reported
+//!   retryable errors (the server processed the request and rolled it
+//!   back). A mid-call I/O failure on a write is **not** retried: the
+//!   write may have committed before the connection died, and re-issuing
+//!   it is not idempotent.
+//!
+//! Backoff follows the "decorrelated jitter" scheme: each delay is drawn
+//! uniformly from `[base, prev * 3]`, clamped to `max_delay`. Jitter
+//! spreads synchronized retry storms (every client backing off from the
+//! same busy server) across time; decorrelation keeps the expected delay
+//! growing without the lockstep of plain exponential doubling.
+
+use std::time::Duration;
+
+/// Tunables for automatic retries.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum retry attempts after the initial try.
+    pub max_retries: u32,
+    /// Lower bound (and first value) of the backoff delay.
+    pub base_delay: Duration,
+    /// Upper clamp on any single backoff delay.
+    pub max_delay: Duration,
+    /// Total backoff sleep budget across all attempts; once spent, the
+    /// next failure is returned to the caller even if retries remain.
+    pub budget: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 5,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(640),
+            budget: Duration::from_secs(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The next backoff delay: uniform in `[base_delay, prev * 3]`,
+    /// clamped to `max_delay`.
+    pub(crate) fn next_delay(&self, prev: Duration, rng: &mut Rng) -> Duration {
+        let lo = self.base_delay.as_millis().min(u64::MAX as u128) as u64;
+        let hi = prev
+            .as_millis()
+            .min(u64::MAX as u128)
+            .saturating_mul(3)
+            .min(self.max_delay.as_millis()) as u64;
+        Duration::from_millis(if hi <= lo { lo } else { rng.range(lo, hi) })
+    }
+}
+
+/// A tiny xorshift64* generator — good enough to decorrelate backoff
+/// delays, and keeps the client crate free of a real RNG dependency.
+pub(crate) struct Rng(u64);
+
+impl Rng {
+    pub(crate) fn from_entropy() -> Rng {
+        // Wall-clock nanos mixed with ASLR-ish address entropy; backoff
+        // jitter only needs clients to disagree with each other.
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0x9e3779b97f4a7c15);
+        let stack_addr = &nanos as *const u64 as u64;
+        Rng((nanos ^ stack_addr.rotate_left(32)) | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    /// Uniform-ish in `[lo, hi]` (inclusive); `hi > lo` required.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_stay_within_policy_bounds() {
+        let policy = RetryPolicy::default();
+        let mut rng = Rng::from_entropy();
+        let mut prev = policy.base_delay;
+        for _ in 0..100 {
+            let d = policy.next_delay(prev, &mut rng);
+            assert!(d >= policy.base_delay, "{d:?} below base");
+            assert!(d <= policy.max_delay, "{d:?} above clamp");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn delays_are_jittered_not_lockstep() {
+        let policy = RetryPolicy {
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(1000),
+            ..RetryPolicy::default()
+        };
+        let mut rng = Rng::from_entropy();
+        let prev = Duration::from_millis(300);
+        let draws: Vec<Duration> =
+            (0..32).map(|_| policy.next_delay(prev, &mut rng)).collect();
+        let distinct = draws.iter().collect::<std::collections::HashSet<_>>().len();
+        assert!(distinct > 5, "expected jittered delays, got {draws:?}");
+    }
+
+    #[test]
+    fn degenerate_range_returns_base() {
+        let policy = RetryPolicy {
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_millis(50),
+            ..RetryPolicy::default()
+        };
+        let mut rng = Rng::from_entropy();
+        assert_eq!(
+            policy.next_delay(Duration::from_millis(50), &mut rng),
+            Duration::from_millis(50)
+        );
+    }
+}

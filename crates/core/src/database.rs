@@ -9,7 +9,7 @@ use mmdb_query::World;
 use mmdb_relational::{Schema, Table};
 use mmdb_storage::wal::{self, Wal};
 use mmdb_txn::{ConsistencyPolicy, IsolationLevel, MvccStore};
-use mmdb_types::{Error, Result, Value};
+use mmdb_types::{CancelToken, Error, Result, Value};
 
 use crate::session::{apply_committed, Session};
 
@@ -211,9 +211,38 @@ impl Database {
         mmdb_query::run(&self.world, text)
     }
 
+    /// Run an MMQL query under a cancellation token: the executor checks
+    /// it in every scan/join/traversal loop and aborts with a retryable
+    /// `deadline_exceeded` error once the token is cancelled or its
+    /// deadline passes. The server mints one token per request from the
+    /// client-supplied budget.
+    pub fn query_with(&self, text: &str, cancel: &CancelToken) -> Result<Vec<Value>> {
+        mmdb_query::run_with(&self.world, text, cancel)
+    }
+
     /// Run a SQL SELECT over the latest committed state.
     pub fn query_sql(&self, text: &str) -> Result<Vec<Value>> {
         mmdb_query::run_sql(&self.world, text)
+    }
+
+    /// Like [`Database::query_sql`], under a cancellation token.
+    pub fn query_sql_with(&self, text: &str, cancel: &CancelToken) -> Result<Vec<Value>> {
+        mmdb_query::run_sql_with(&self.world, text, cancel)
+    }
+
+    // ---- health --------------------------------------------------------------
+
+    /// True when the engine has latched into degraded read-only mode after
+    /// an unrecoverable durability failure (see `MvccStore::is_degraded`).
+    /// Reads keep serving; writes fail fast with `read_only`. Reopening
+    /// the database clears the latch via normal recovery.
+    pub fn is_degraded(&self) -> bool {
+        self.mvcc.is_degraded()
+    }
+
+    /// The durability failure that degraded the engine, if any.
+    pub fn degraded_reason(&self) -> Option<String> {
+        self.mvcc.degraded_reason()
     }
 
     /// EXPLAIN: the optimized logical plan of an MMQL query.

@@ -19,7 +19,7 @@ use mmdb_query::World;
 use mmdb_relational::Schema;
 use mmdb_txn::{CommittedWrite, Transaction};
 use mmdb_types::codec::{encode_composite_key, key_of};
-use mmdb_types::{Error, Result, Value};
+use mmdb_types::{CancelToken, Error, Result, Value};
 
 /// An open cross-model transaction.
 ///
@@ -33,16 +33,36 @@ pub struct Session {
     world: Arc<World>,
     txn: Transaction,
     generated: u64,
+    cancel: CancelToken,
 }
 
 impl Session {
     pub(crate) fn new(world: Arc<World>, txn: Transaction) -> Session {
-        Session { world, txn, generated: 0 }
+        Session { world, txn, generated: 0, cancel: CancelToken::none() }
     }
 
     /// The underlying transaction id.
     pub fn id(&self) -> u64 {
         self.txn.id()
+    }
+
+    /// Attach a cancellation token; [`Session::query`] runs under it. The
+    /// server installs one per request so a client-supplied deadline
+    /// reaches the executor's cooperative checkpoints.
+    pub fn set_cancel_token(&mut self, cancel: CancelToken) {
+        self.cancel = cancel;
+    }
+
+    /// The session's current cancellation token.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// Run an MMQL query under this session's cancellation token. Queries
+    /// read the latest committed model stores (they do not see this
+    /// session's staged, uncommitted writes).
+    pub fn query(&self, text: &str) -> Result<Vec<Value>> {
+        mmdb_query::run_with(&self.world, text, &self.cancel)
     }
 
     /// Commit the transaction; returns the commit timestamp.

@@ -20,12 +20,17 @@ pub enum Request {
     Hello { version: i64 },
     /// Liveness check.
     Ping,
-    /// Run an MMQL query outside any explicit transaction.
-    Query { text: String },
-    /// Run a SQL query outside any explicit transaction.
-    Sql { text: String },
-    /// Explain an MMQL query plan.
-    Explain { text: String },
+    /// Run an MMQL query outside any explicit transaction. `deadline_ms`
+    /// is an optional execution budget in milliseconds; the server caps it
+    /// by its own `max_query_time` and aborts the query cooperatively with
+    /// a retryable `deadline_exceeded` error once it expires.
+    Query { text: String, deadline_ms: Option<u64> },
+    /// Run a SQL query outside any explicit transaction (same optional
+    /// deadline semantics as `Query`).
+    Sql { text: String, deadline_ms: Option<u64> },
+    /// Explain an MMQL query plan (same optional deadline semantics as
+    /// `Query`; planning is cheap so the budget rarely matters).
+    Explain { text: String, deadline_ms: Option<u64> },
     /// Open an explicit transaction on this connection.
     Begin { serializable: bool },
     /// Commit the connection's open transaction.
@@ -130,6 +135,9 @@ impl Response {
             "unsupported" => Error::Unsupported(message),
             "protocol" => Error::Protocol(message),
             "busy" => Error::Busy(message),
+            "deadline_exceeded" => Error::DeadlineExceeded(message),
+            "read_only" => Error::ReadOnly(message),
+            "corruption" => Error::Corruption(message),
             _ => Error::Internal(message),
         }
     }
@@ -173,6 +181,32 @@ fn bool_field(rest: &[Value], idx: usize, tag: &str) -> Result<bool> {
         .map_err(|_| Error::Protocol(format!("'{tag}' field {idx} must be a bool")))
 }
 
+/// An optional trailing non-negative integer field. Absent fields decode
+/// to `None`, which keeps new trailing fields backward compatible: old
+/// clients simply never send them, old servers never read them.
+fn opt_ms_field(rest: &[Value], idx: usize, tag: &str) -> Result<Option<u64>> {
+    match rest.get(idx) {
+        None => Ok(None),
+        Some(v) => {
+            let ms = v
+                .as_int()
+                .map_err(|_| Error::Protocol(format!("'{tag}' field {idx} must be an integer")))?;
+            u64::try_from(ms).map(Some).map_err(|_| {
+                Error::Protocol(format!("'{tag}' field {idx} must be a non-negative integer"))
+            })
+        }
+    }
+}
+
+/// Encode a query-style message: the text, plus the deadline only when set.
+fn query_fields(text: &str, deadline_ms: Option<u64>) -> Vec<Value> {
+    let mut fields = vec![Value::str(text)];
+    if let Some(ms) = deadline_ms {
+        fields.push(Value::int(ms as i64));
+    }
+    fields
+}
+
 impl Request {
     /// Encode to a wire payload (to be framed by the caller).
     pub fn encode(&self) -> Vec<u8> {
@@ -190,9 +224,13 @@ impl Request {
         match self {
             Request::Hello { version } => tagged("hello", vec![Value::int(*version)]),
             Request::Ping => tagged("ping", vec![]),
-            Request::Query { text } => tagged("query", vec![Value::str(text)]),
-            Request::Sql { text } => tagged("sql", vec![Value::str(text)]),
-            Request::Explain { text } => tagged("explain", vec![Value::str(text)]),
+            Request::Query { text, deadline_ms } => {
+                tagged("query", query_fields(text, *deadline_ms))
+            }
+            Request::Sql { text, deadline_ms } => tagged("sql", query_fields(text, *deadline_ms)),
+            Request::Explain { text, deadline_ms } => {
+                tagged("explain", query_fields(text, *deadline_ms))
+            }
             Request::Begin { serializable } => {
                 tagged("begin", vec![Value::Bool(*serializable)])
             }
@@ -209,9 +247,18 @@ impl Request {
         Ok(match tag {
             "hello" => Request::Hello { version: int_field(rest, 0, tag)? },
             "ping" => Request::Ping,
-            "query" => Request::Query { text: str_field(rest, 0, tag)? },
-            "sql" => Request::Sql { text: str_field(rest, 0, tag)? },
-            "explain" => Request::Explain { text: str_field(rest, 0, tag)? },
+            "query" => Request::Query {
+                text: str_field(rest, 0, tag)?,
+                deadline_ms: opt_ms_field(rest, 1, tag)?,
+            },
+            "sql" => Request::Sql {
+                text: str_field(rest, 0, tag)?,
+                deadline_ms: opt_ms_field(rest, 1, tag)?,
+            },
+            "explain" => Request::Explain {
+                text: str_field(rest, 0, tag)?,
+                deadline_ms: opt_ms_field(rest, 1, tag)?,
+            },
             "begin" => Request::Begin { serializable: bool_field(rest, 0, tag)? },
             "commit" => Request::Commit,
             "abort" => Request::Abort,
@@ -506,9 +553,12 @@ mod tests {
         let cases = vec![
             Request::Hello { version: PROTOCOL_VERSION },
             Request::Ping,
-            Request::Query { text: "FOR c IN customers RETURN c".into() },
-            Request::Sql { text: "SELECT * FROM customers".into() },
-            Request::Explain { text: "FOR c IN customers RETURN c".into() },
+            Request::Query { text: "FOR c IN customers RETURN c".into(), deadline_ms: None },
+            Request::Query { text: "FOR c IN customers RETURN c".into(), deadline_ms: Some(100) },
+            Request::Sql { text: "SELECT * FROM customers".into(), deadline_ms: None },
+            Request::Sql { text: "SELECT * FROM customers".into(), deadline_ms: Some(5000) },
+            Request::Explain { text: "FOR c IN customers RETURN c".into(), deadline_ms: None },
+            Request::Explain { text: "FOR c IN customers RETURN c".into(), deadline_ms: Some(1) },
             Request::Begin { serializable: true },
             Request::Commit,
             Request::Abort,
@@ -578,6 +628,9 @@ mod tests {
             Error::NotFound("x".into()),
             Error::TxnConflict("x".into()),
             Error::Busy("x".into()),
+            Error::DeadlineExceeded("x".into()),
+            Error::ReadOnly("x".into()),
+            Error::Corruption("x".into()),
             Error::Protocol("x".into()),
             Error::Internal("x".into()),
         ] {
@@ -598,5 +651,32 @@ mod tests {
         assert_eq!(Response::decode(&unknown).unwrap_err().kind(), "protocol");
         let not_array = value_to_bytes(&Value::int(3));
         assert!(Request::decode(&not_array).is_err());
+    }
+
+    #[test]
+    fn deadline_is_an_optional_trailing_field() {
+        // A bare ["query", text] (what pre-deadline clients send) still
+        // decodes, to a request with no deadline.
+        let legacy = value_to_bytes(&Value::Array(vec![
+            Value::str("query"),
+            Value::str("RETURN 1"),
+        ]));
+        assert_eq!(
+            Request::decode(&legacy).unwrap(),
+            Request::Query { text: "RETURN 1".into(), deadline_ms: None }
+        );
+        // A negative or non-integer deadline is a protocol violation.
+        let negative = value_to_bytes(&Value::Array(vec![
+            Value::str("query"),
+            Value::str("RETURN 1"),
+            Value::int(-5),
+        ]));
+        assert_eq!(Request::decode(&negative).unwrap_err().kind(), "protocol");
+        let bogus = value_to_bytes(&Value::Array(vec![
+            Value::str("sql"),
+            Value::str("SELECT 1"),
+            Value::str("soon"),
+        ]));
+        assert_eq!(Request::decode(&bogus).unwrap_err().kind(), "protocol");
     }
 }

@@ -32,8 +32,10 @@ fn arb_request() -> impl Strategy<Value = Request> {
         Just(Request::Commit),
         Just(Request::Abort),
         any::<i64>().prop_map(|version| Request::Hello { version }),
-        "[ -~]{0,40}".prop_map(|text| Request::Query { text }),
-        "[ -~]{0,40}".prop_map(|text| Request::Sql { text }),
+        ("[ -~]{0,40}", prop_oneof![Just(None), (0u64..120_000).prop_map(Some)])
+            .prop_map(|(text, deadline_ms)| Request::Query { text, deadline_ms }),
+        ("[ -~]{0,40}", prop_oneof![Just(None), (0u64..120_000).prop_map(Some)])
+            .prop_map(|(text, deadline_ms)| Request::Sql { text, deadline_ms }),
         any::<bool>().prop_map(|serializable| Request::Begin { serializable }),
         "[a-z]{1,8}".prop_map(|name| Request::Ddl(DdlOp::CreateBucket { name })),
         ("[a-z]{1,8}", "[a-z]{1,8}", arb_value())

@@ -1,0 +1,92 @@
+//! Cooperative cancellation checkpoints for the executor.
+//!
+//! The executor's inner loops call [`tick`] once per item. `tick` consults
+//! a thread-local [`CancelToken`] installed by [`scope`] for the duration
+//! of one query: subqueries re-enter the executor through `eval_expr`, and
+//! the thread-local lets them observe the same token without threading a
+//! parameter through every `eval` signature.
+//!
+//! A `query.eval_tick` failpoint sits in front of the token check so the
+//! torture suite can dilate execution (`query.eval_tick=delay(..)`) and
+//! force a deadline to expire deterministically. Without the `failpoints`
+//! feature the failpoint is a no-op and `tick` on a default token reduces
+//! to one thread-local read and a branch.
+
+use std::cell::RefCell;
+
+use mmdb_types::{CancelToken, Result};
+
+/// Failpoint sites owned by this crate (see `mmdb-fault`).
+pub const FAILPOINT_SITES: &[&str] = &["query.eval_tick"];
+
+thread_local! {
+    static CURRENT: RefCell<CancelToken> = RefCell::new(CancelToken::none());
+}
+
+/// Install `token` as this thread's active cancellation token for the
+/// lifetime of the returned guard; the previous token is restored on drop.
+/// Nested scopes (a query run from inside another query's evaluation)
+/// stack correctly.
+pub fn scope(token: &CancelToken) -> ScopeGuard {
+    let previous = CURRENT.with(|c| c.replace(token.clone()));
+    ScopeGuard { previous: Some(previous) }
+}
+
+/// Restores the previously installed token when dropped.
+pub struct ScopeGuard {
+    previous: Option<CancelToken>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if let Some(previous) = self.previous.take() {
+            CURRENT.with(|c| *c.borrow_mut() = previous);
+        }
+    }
+}
+
+/// Cooperative checkpoint called from the executor's inner loops. Returns
+/// `Err(DeadlineExceeded)` once the active token is cancelled or expired.
+pub fn tick() -> Result<()> {
+    // The failpoint first: a configured delay must be *observed* by the
+    // deadline check that follows, so `query.eval_tick=delay(25)` reliably
+    // walks a query past a small budget.
+    mmdb_fault::eval_unit("query.eval_tick");
+    CURRENT.with(|c| c.borrow().check())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn tick_is_ok_with_no_scope_installed() {
+        assert!(tick().is_ok());
+    }
+
+    #[test]
+    fn tick_observes_the_scoped_token_and_restores_on_drop() {
+        let token = CancelToken::new();
+        token.cancel();
+        {
+            let _guard = scope(&token);
+            assert_eq!(tick().unwrap_err().kind(), "deadline_exceeded");
+        }
+        assert!(tick().is_ok(), "guard drop restores the previous token");
+    }
+
+    #[test]
+    fn nested_scopes_stack() {
+        let outer = CancelToken::with_timeout(Duration::from_secs(3600));
+        let inner = CancelToken::new();
+        inner.cancel();
+        let _outer_guard = scope(&outer);
+        assert!(tick().is_ok());
+        {
+            let _inner_guard = scope(&inner);
+            assert!(tick().is_err());
+        }
+        assert!(tick().is_ok(), "inner guard restores the outer token");
+    }
+}

@@ -7,6 +7,7 @@ use mmdb_graph::Direction;
 use mmdb_types::{Error, Result, Value};
 
 use crate::ast::{AggFunc, Expr, Query, SortOrder, TraversalDirection};
+use crate::cancel;
 use crate::eval::eval_expr;
 use crate::plan::{build_plan, Plan, PlanBound, PlanNode};
 use crate::world::World;
@@ -102,6 +103,7 @@ pub fn execute_plan_with_env(world: &World, plan: &Plan, env: Env) -> Result<Vec
     }
     let mut out = Vec::with_capacity(envs.len());
     for env in &envs {
+        cancel::tick()?;
         out.push(eval_expr(world, env, &plan.ret)?);
     }
     if plan.distinct {
@@ -125,6 +127,7 @@ fn apply_node(world: &World, node: &PlanNode, envs: Vec<Env>) -> Result<Vec<Env>
             for env in envs {
                 let items = resolve_source(world, &env, source)?;
                 for item in items {
+                    cancel::tick()?;
                     let mut e = env.clone();
                     e.insert(var.clone(), item);
                     out.push(e);
@@ -150,6 +153,7 @@ fn apply_node(world: &World, node: &PlanNode, envs: Vec<Env>) -> Result<Vec<Env>
                         .collect()
                 };
                 for doc in docs {
+                    cancel::tick()?;
                     let mut e = env.clone();
                     e.insert(var.clone(), doc);
                     if let Some(res) = residual {
@@ -188,6 +192,7 @@ fn apply_node(world: &World, node: &PlanNode, envs: Vec<Env>) -> Result<Vec<Env>
                     )));
                 };
                 for visited in mmdb_graph::traverse(&graph, &handle, &spec)? {
+                    cancel::tick()?;
                     let Some(mut doc) = graph.vertex(&visited.vertex)? else { continue };
                     // Attach the handle and depth, like AQL's `_id`.
                     if let Ok(obj) = doc.as_object_mut() {
@@ -204,6 +209,7 @@ fn apply_node(world: &World, node: &PlanNode, envs: Vec<Env>) -> Result<Vec<Env>
         PlanNode::Filter(pred) => {
             let mut out = Vec::new();
             for env in envs {
+                cancel::tick()?;
                 if eval_expr(world, &env, pred)?.is_truthy() {
                     out.push(env);
                 }
@@ -213,6 +219,7 @@ fn apply_node(world: &World, node: &PlanNode, envs: Vec<Env>) -> Result<Vec<Env>
         PlanNode::Let { var, value } => {
             let mut out = Vec::new();
             for env in envs {
+                cancel::tick()?;
                 let v = eval_expr(world, &env, value)?;
                 let mut e = env;
                 e.insert(var.clone(), v);
@@ -438,6 +445,39 @@ mod tests {
         )
         .unwrap();
         assert_eq!(got, vec![Value::str("2724f"), Value::str("3424g")]);
+    }
+
+    #[test]
+    fn an_expired_token_aborts_the_recommendation_query() {
+        let w = paper_world();
+        let token = mmdb_types::CancelToken::with_timeout(std::time::Duration::ZERO);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let err = crate::run_with(
+            &w,
+            r#"
+            FOR c IN customers
+              FILTER c.credit_limit > 3000
+              FOR friend IN 1..1 OUTBOUND CONCAT("persons/", c.id) knows
+                LET order = DOC("orders", KV_GET("cart", friend._key))
+                FOR line IN order.orderlines
+                  RETURN line.product_no
+            "#,
+            &token,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), "deadline_exceeded");
+        assert!(err.is_retryable());
+        // The scope guard restored the default token: the same query runs
+        // clean afterwards on this thread.
+        assert!(run(&w, "FOR c IN customers RETURN c.name").is_ok());
+    }
+
+    #[test]
+    fn a_live_token_does_not_disturb_results() {
+        let w = paper_world();
+        let token = mmdb_types::CancelToken::with_timeout(std::time::Duration::from_secs(3600));
+        let got = crate::run_with(&w, "FOR c IN customers RETURN c.name", &token).unwrap();
+        assert_eq!(got, vec![Value::str("Mary"), Value::str("John"), Value::str("Anne")]);
     }
 
     #[test]

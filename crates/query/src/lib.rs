@@ -23,6 +23,7 @@
 //! architecture the tutorial ascribes to multi-model engines.
 
 pub mod ast;
+pub mod cancel;
 pub mod eval;
 pub mod exec;
 pub mod functions;
@@ -33,14 +34,23 @@ pub mod plan;
 pub mod sql;
 pub mod world;
 
+pub use cancel::FAILPOINT_SITES;
 pub use exec::execute_query;
 pub use parse::parse_query;
 pub use world::World;
 
-use mmdb_types::{Result, Value};
+use mmdb_types::{CancelToken, Result, Value};
 
 /// Parse, plan, optimize and run an MMQL query against a world.
 pub fn run(world: &World, text: &str) -> Result<Vec<Value>> {
+    run_with(world, text, &CancelToken::none())
+}
+
+/// Like [`run`], under a cancellation token: the executor checks it
+/// cooperatively in every scan/join/traversal loop and aborts with a
+/// retryable `deadline_exceeded` error once it trips.
+pub fn run_with(world: &World, text: &str, cancel: &CancelToken) -> Result<Vec<Value>> {
+    let _scope = cancel::scope(cancel);
     let query = parse_query(text)?;
     let plan = plan::build_plan(&query)?;
     let plan = optimize::optimize(plan, world);
@@ -49,6 +59,12 @@ pub fn run(world: &World, text: &str) -> Result<Vec<Value>> {
 
 /// Parse and run a SQL SELECT against a world.
 pub fn run_sql(world: &World, text: &str) -> Result<Vec<Value>> {
+    run_sql_with(world, text, &CancelToken::none())
+}
+
+/// Like [`run_sql`], under a cancellation token.
+pub fn run_sql_with(world: &World, text: &str, cancel: &CancelToken) -> Result<Vec<Value>> {
+    let _scope = cancel::scope(cancel);
     let query = sql::parse_sql(text)?;
     let plan = plan::build_plan(&query)?;
     let plan = optimize::optimize(plan, world);

@@ -14,11 +14,11 @@
 use std::io::{ErrorKind, Read};
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mmdb_core::Session;
 use mmdb_protocol::{frame, DdlOp, Request, Response, SessionOp, PROTOCOL_VERSION};
-use mmdb_types::{Error, Result, Value};
+use mmdb_types::{CancelToken, Error, Result, Value};
 use mmdb_txn::IsolationLevel;
 
 use crate::{ServerInner, SERVER_NAME};
@@ -189,10 +189,16 @@ fn run_request(inner: &ServerInner, conn: &mut ConnState, req: &Request) -> Resu
         }
         Request::Ping => Response::Pong,
         // Queries always run on the committed state, matching the
-        // embedded `Database::query` semantics.
-        Request::Query { text } => Response::Rows(db.query(text)?),
-        Request::Sql { text } => Response::Rows(db.query_sql(text)?),
-        Request::Explain { text } => Response::Text(db.explain(text)?),
+        // embedded `Database::query` semantics. Each gets a cancellation
+        // token derived from the client deadline, capped by the server's
+        // own `max_query_time` budget.
+        Request::Query { text, deadline_ms } => {
+            Response::Rows(db.query_with(text, &query_budget(inner, *deadline_ms))?)
+        }
+        Request::Sql { text, deadline_ms } => {
+            Response::Rows(db.query_sql_with(text, &query_budget(inner, *deadline_ms))?)
+        }
+        Request::Explain { text, .. } => Response::Text(db.explain(text)?),
         Request::Begin { serializable } => {
             if conn.session.is_some() {
                 return Err(Error::TxnClosed(
@@ -322,6 +328,17 @@ fn apply_ddl(db: &mmdb_core::Database, op: &DdlOp) -> Result<Response> {
     Ok(Response::Ok)
 }
 
+/// The effective execution budget for one query: the client's requested
+/// deadline, capped by the server's `max_query_time`.
+fn query_budget(inner: &ServerInner, deadline_ms: Option<u64>) -> CancelToken {
+    let cap = inner.config.max_query_time;
+    let budget = match deadline_ms {
+        Some(ms) => cap.min(Duration::from_millis(ms)),
+        None => cap,
+    };
+    CancelToken::with_timeout(budget)
+}
+
 fn run_admin(inner: &ServerInner, command: &str) -> Result<Response> {
     match command.trim().to_ascii_uppercase().as_str() {
         "STATS" => {
@@ -339,6 +356,20 @@ fn run_admin(inner: &ServerInner, command: &str) -> Result<Response> {
             Ok(Response::Stats(stats))
         }
         "PING" => Ok(Response::Pong),
+        // Health summary for load balancers and operators: `ok` while the
+        // engine accepts writes, `degraded` once a durability failure has
+        // latched it read-only (reads keep serving; drain writes elsewhere).
+        "HEALTH" => {
+            let degraded = inner.db.is_degraded();
+            let mut fields = vec![(
+                "status".to_string(),
+                Value::str(if degraded { "degraded" } else { "ok" }),
+            )];
+            if let Some(reason) = inner.db.degraded_reason() {
+                fields.push(("reason".to_string(), Value::str(&reason)));
+            }
+            Ok(Response::Stats(Value::object(fields)))
+        }
         other => Err(Error::Unsupported(format!("unknown admin command '{other}'"))),
     }
 }

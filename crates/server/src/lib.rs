@@ -62,6 +62,10 @@ pub struct ServerConfig {
     pub idle_timeout: Duration,
     /// Maximum frame payload size accepted or produced.
     pub max_frame_len: u32,
+    /// Hard cap on any single query's execution budget. A client-supplied
+    /// deadline can only shorten it; queries exceeding the budget abort
+    /// cooperatively with a retryable `deadline_exceeded` error.
+    pub max_query_time: Duration,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +79,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(5),
             idle_timeout: Duration::from_secs(300),
             max_frame_len: frame::MAX_FRAME_LEN,
+            max_query_time: Duration::from_secs(30),
         }
     }
 }

@@ -202,7 +202,7 @@ mod tests {
     #[test]
     fn snapshot_counts_by_command() {
         let m = Metrics::default();
-        let q = Request::Query { text: "RETURN 1".into() };
+        let q = Request::Query { text: "RETURN 1".into(), deadline_ms: None };
         m.record_request(&q, true, Duration::from_micros(50));
         m.record_request(&q, false, Duration::from_micros(80));
         m.record_request(&Request::Ping, true, Duration::from_micros(2));

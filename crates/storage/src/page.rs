@@ -62,7 +62,7 @@ impl SlottedPage {
         let slots = p.slot_count() as usize;
         let free_end = p.free_end() as usize;
         if HEADER_SIZE + slots * SLOT_SIZE > free_end || free_end > PAGE_SIZE {
-            return Err(Error::Storage("corrupt page header".into()));
+            return Err(Error::Corruption("corrupt page header".into()));
         }
         Ok(p)
     }

@@ -14,7 +14,7 @@
 //! registered commit hooks so model stores can update their indexes.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -70,6 +70,38 @@ struct StoreInner {
     commit_mutex: Mutex<()>,
     aborts: AtomicU64,
     commits: AtomicU64,
+    /// Latched after an unrecoverable durability failure (a failed WAL
+    /// fsync): the store degrades to read-only. See [`StoreInner::latch_degraded`].
+    degraded: AtomicBool,
+    degraded_reason: RwLock<Option<String>>,
+}
+
+impl StoreInner {
+    /// Engage the degraded read-only latch.
+    ///
+    /// After a failed fsync the state of the WAL tail is unknowable — the
+    /// kernel may have dropped the dirty pages, so retrying the sync can
+    /// "succeed" without the data ever reaching disk (the fsyncgate
+    /// failure mode). The only safe continuation is to stop accepting
+    /// writes entirely; reads still serve from the in-memory version
+    /// store. The latch clears when the database is reopened and recovery
+    /// re-establishes a trustworthy log.
+    fn latch_degraded(&self, reason: &str) {
+        let mut slot = self.degraded_reason.write();
+        // Keep the first cause; later failures are consequences.
+        if !self.degraded.swap(true, Ordering::SeqCst) {
+            *slot = Some(reason.to_string());
+        }
+    }
+
+    fn read_only_error(&self) -> Error {
+        let reason = self
+            .degraded_reason
+            .read()
+            .clone()
+            .unwrap_or_else(|| "durability failure".into());
+        Error::ReadOnly(format!("store is degraded after a durability failure: {reason}"))
+    }
 }
 
 /// The shared MVCC store.
@@ -99,6 +131,8 @@ impl MvccStore {
                 commit_mutex: Mutex::new(()),
                 aborts: AtomicU64::new(0),
                 commits: AtomicU64::new(0),
+                degraded: AtomicBool::new(false),
+                degraded_reason: RwLock::new(None),
             }),
         }
     }
@@ -154,6 +188,19 @@ impl MvccStore {
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// True once the store has latched into degraded read-only mode after
+    /// an unrecoverable durability failure. Reads keep serving; writes and
+    /// commits fail fast with a `read_only` error. Reopening the database
+    /// (which rebuilds the store via WAL recovery) clears the condition.
+    pub fn is_degraded(&self) -> bool {
+        self.inner.degraded.load(Ordering::SeqCst)
+    }
+
+    /// The first durability failure that latched degraded mode, if any.
+    pub fn degraded_reason(&self) -> Option<String> {
+        self.inner.degraded_reason.read().clone()
     }
 
     /// `(commits, aborts)` counters.
@@ -287,6 +334,9 @@ impl Transaction {
 
     fn write(&mut self, domain: &str, key: &[u8], value: Option<Value>) -> Result<()> {
         self.check_open()?;
+        if self.store.degraded.load(Ordering::SeqCst) {
+            return Err(self.store.read_only_error());
+        }
         let tkey: TxnKey = (domain.to_string(), key.to_vec());
         if self.isolation == IsolationLevel::Serializable {
             self.store.locks.acquire(self.txid, tkey.clone(), LockMode::Exclusive)?;
@@ -308,6 +358,14 @@ impl Transaction {
         if self.writes.is_empty() {
             self.release_locks();
             return Ok(self.start_ts);
+        }
+        // Writes staged before the degraded latch engaged must not reach
+        // the (untrustworthy) WAL either.
+        if self.store.degraded.load(Ordering::SeqCst) {
+            self.store.aborts.fetch_add(1, Ordering::SeqCst);
+            self.release_locks();
+            self.writes.clear();
+            return Err(self.store.read_only_error());
         }
         // Failpoint `txn.commit.before_wal`: a crash or error here loses
         // the transaction entirely — nothing has reached the log.
@@ -347,6 +405,7 @@ impl Transaction {
         // the transaction fully aborted — nothing installed, locks
         // released — not half-committed (failure atomicity; exercised by
         // the wal.* failpoints).
+        let mut sync_failed = false;
         let wal_result: Result<()> = (|| {
             if let Some(wal) = &self.store.wal {
                 wal.append(&WalRecord::Begin { txid: self.txid })?;
@@ -359,7 +418,10 @@ impl Transaction {
                     })?;
                 }
                 wal.append(&WalRecord::Commit { txid: self.txid })?;
-                wal.sync()?;
+                if let Err(e) = wal.sync() {
+                    sync_failed = true;
+                    return Err(e);
+                }
             }
             Ok(())
         })();
@@ -367,6 +429,16 @@ impl Transaction {
             self.store.aborts.fetch_add(1, Ordering::SeqCst);
             self.release_locks();
             self.writes.clear();
+            // A failed append aborts cleanly and the store stays usable —
+            // nothing ambiguous reached the log. A failed *fsync* is
+            // different: the durability of everything buffered is now
+            // unknowable, so the store latches into degraded read-only
+            // mode (see `latch_degraded`). This transaction still reports
+            // the original storage error; subsequent writes get
+            // `read_only`.
+            if sync_failed {
+                self.store.latch_degraded(&e.to_string());
+            }
             return Err(e);
         }
         // Failpoint `txn.commit.after_wal`: the durability point has
@@ -442,6 +514,41 @@ mod tests {
 
     fn store() -> MvccStore {
         MvccStore::new(None)
+    }
+
+    #[test]
+    fn degraded_latch_rejects_writes_but_keeps_reads() {
+        let s = store();
+        assert!(!s.is_degraded());
+        assert!(s.degraded_reason().is_none());
+        // Seed a committed value, then stage a write in a transaction that
+        // opened *before* the latch engages.
+        let mut t = s.begin(IsolationLevel::Snapshot);
+        t.put("kv/cart", b"1", Value::str("before")).unwrap();
+        t.commit().unwrap();
+        let mut straddler = s.begin(IsolationLevel::Snapshot);
+        straddler.put("kv/cart", b"2", Value::str("staged")).unwrap();
+
+        s.inner.latch_degraded("fsync: disk on fire");
+        assert!(s.is_degraded());
+        assert_eq!(s.degraded_reason().as_deref(), Some("fsync: disk on fire"));
+
+        // New writes fail fast with read_only.
+        let mut w = s.begin(IsolationLevel::Snapshot);
+        let err = w.put("kv/cart", b"3", Value::int(1)).unwrap_err();
+        assert_eq!(err.kind(), "read_only");
+        assert!(!err.is_retryable());
+        // The straddling transaction cannot sneak its staged writes in.
+        assert_eq!(straddler.commit().unwrap_err().kind(), "read_only");
+        // Reads keep serving, both latest-committed and transactional.
+        assert_eq!(s.get_latest("kv/cart", b"1"), Some(Value::str("before")));
+        let r = s.begin(IsolationLevel::Snapshot);
+        assert_eq!(r.get("kv/cart", b"1").unwrap(), Some(Value::str("before")));
+        // Read-only transactions still commit (nothing to make durable).
+        r.commit().unwrap();
+        // The first reason sticks even if a second failure latches again.
+        s.inner.latch_degraded("a later consequence");
+        assert_eq!(s.degraded_reason().as_deref(), Some("fsync: disk on fire"));
     }
 
     #[test]

@@ -42,6 +42,18 @@ pub enum Error {
     /// The server refused the connection or request because it is at
     /// capacity. Retrying later can succeed.
     Busy(String),
+    /// The request's deadline expired before execution finished. The work
+    /// was abandoned cooperatively; retrying with a larger budget (or on a
+    /// less loaded server) can succeed.
+    DeadlineExceeded(String),
+    /// The engine is latched into degraded read-only mode after an
+    /// unrecoverable durability failure. Reads still serve; writes must go
+    /// elsewhere until the database is reopened and recovers.
+    ReadOnly(String),
+    /// On-disk data failed an integrity check (page checksum mismatch).
+    /// Unlike [`Error::Storage`] this is not an I/O failure: the bytes came
+    /// back, but they are not the bytes that were written.
+    Corruption(String),
     /// Internal invariant violation — always a bug in mmdb itself.
     Internal(String),
 }
@@ -63,13 +75,16 @@ impl Error {
             Error::Unsupported(_) => "unsupported",
             Error::Protocol(_) => "protocol",
             Error::Busy(_) => "busy",
+            Error::DeadlineExceeded(_) => "deadline_exceeded",
+            Error::ReadOnly(_) => "read_only",
+            Error::Corruption(_) => "corruption",
             Error::Internal(_) => "internal",
         }
     }
 
     /// True when retrying the whole transaction could succeed.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, Error::TxnConflict(_) | Error::Busy(_))
+        matches!(self, Error::TxnConflict(_) | Error::Busy(_) | Error::DeadlineExceeded(_))
     }
 }
 
@@ -88,6 +103,9 @@ impl fmt::Display for Error {
             Error::Unsupported(m) => ("unsupported", m),
             Error::Protocol(m) => ("protocol error", m),
             Error::Busy(m) => ("server busy", m),
+            Error::DeadlineExceeded(m) => ("deadline exceeded", m),
+            Error::ReadOnly(m) => ("read-only mode", m),
+            Error::Corruption(m) => ("data corruption", m),
             Error::Internal(m) => ("internal error", m),
         };
         write!(f, "{kind}: {msg}")
@@ -114,9 +132,13 @@ mod tests {
     }
 
     #[test]
-    fn only_conflicts_are_retryable() {
+    fn only_transient_failures_are_retryable() {
         assert!(Error::TxnConflict("ww".into()).is_retryable());
+        assert!(Error::Busy("queue full".into()).is_retryable());
+        assert!(Error::DeadlineExceeded("100ms budget".into()).is_retryable());
         assert!(!Error::Storage("disk".into()).is_retryable());
+        assert!(!Error::ReadOnly("degraded".into()).is_retryable());
+        assert!(!Error::Corruption("page 3".into()).is_retryable());
         assert!(!Error::Parse("bad".into()).is_retryable());
     }
 

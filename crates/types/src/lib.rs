@@ -13,12 +13,14 @@
 //! Nothing in here knows about storage or query processing; the higher
 //! crates all depend on this one and on nothing else of ours.
 
+pub mod cancel;
 pub mod codec;
 pub mod error;
 pub mod json;
 pub mod path;
 pub mod value;
 
+pub use cancel::CancelToken;
 pub use error::{Error, Result};
 pub use json::{from_json, to_json, to_json_pretty};
 pub use path::{Path, PathStep};

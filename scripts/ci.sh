@@ -23,8 +23,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> crash-recovery torture suite (--features failpoints)"
 cargo test -q --features failpoints --test crash_recovery
 
+echo "==> request-lifecycle torture suite (--features failpoints)"
+cargo test -q --features failpoints --test lifecycle_torture
+
 echo "==> failpoints stay a no-op when the feature is off"
 cargo test -q -p mmdb-fault
+# Deadline checks ride the same feature: a default build must run the
+# query cancellation scaffolding as free no-ops.
+cargo test -q -p mmdb-query cancel
 
 echo "==> cargo clippy --features failpoints (lints the torture suite)"
 cargo clippy -p mmdb --all-targets --features failpoints -- -D warnings

@@ -172,6 +172,7 @@ fn dispatch_remote(client: &mut Client, line: &str) -> mmdb::Result<Reply> {
                 Ok(Reply::Text("pong".into()))
             }
             "stats" => Ok(Reply::Text(mmdb::to_json_pretty(&client.admin_stats()?))),
+            "health" => Ok(Reply::Text(mmdb::to_json_pretty(&client.admin_health()?))),
             other => Ok(Reply::Text(format!("unknown command '.{other}' — try .help"))),
         };
     }
@@ -205,6 +206,7 @@ Remote-only commands (--connect mode):
   .begin [serializable]  open an explicit transaction
   .commit  .abort        finish the open transaction
   .stats                 server metrics (ADMIN STATS)
+  .health                server health: ok | degraded (ADMIN HEALTH)
   .ping                  liveness check
 "#;
 

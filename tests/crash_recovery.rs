@@ -76,6 +76,7 @@ fn all_sites() -> Vec<&'static str> {
     let mut sites: Vec<&'static str> = mmdb::substrate::storage::FAILPOINT_SITES
         .iter()
         .chain(mmdb::substrate::txn::FAILPOINT_SITES)
+        .chain(mmdb::substrate::query::FAILPOINT_SITES)
         .copied()
         .collect();
     sites.sort_unstable();
@@ -196,6 +197,10 @@ fn doomed_op(db: &Database, site: &str) -> mmdb::Result<()> {
         "disk.write_page" | "buffer.flush" => db.world().catalog.pool().flush_all(),
         // LSM sites: compaction first flushes the memtable, then merges.
         "lsm.flush" | "lsm.compact" => db.kv().compact("cart"),
+        // Query-path site: every executor loop iteration ticks it, so any
+        // query crosses it many times. Queries write nothing, so a crash
+        // here must leave no marks at all.
+        "query.eval_tick" => db.query(RECOMMENDATION).map(|_| ()),
         other => panic!(
             "failpoint site '{other}' has no doomed operation in the torture harness — \
              a new site was registered without extending tests/crash_recovery.rs"
@@ -279,10 +284,19 @@ fn error_injection_fails_cleanly_with_no_partial_state() {
     seed(&db);
     let baseline = probes(&db);
     for site in all_sites() {
-        // Crash-only site: it sits past the durability point, where
-        // returning an error would disown an already-durable commit.
-        if site == "txn.commit.after_wal" {
-            continue;
+        match site {
+            // Crash-only site: it sits past the durability point, where
+            // returning an error would disown an already-durable commit.
+            "txn.commit.after_wal" => continue,
+            // Unit site (`eval_unit`): `error` degrades to off by design —
+            // cancellation errors come from the deadline token, tortured
+            // in tests/lifecycle_torture.rs.
+            "query.eval_tick" => continue,
+            // An fsync failure is not a clean abort: it latches the engine
+            // into degraded read-only mode. Exercised separately below (and
+            // end to end in tests/lifecycle_torture.rs).
+            "wal.sync" => continue,
+            _ => {}
         }
         let hits_before = fault::hits(site);
         fault::set(site, "error").unwrap();
@@ -298,6 +312,23 @@ fn error_injection_fails_cleanly_with_no_partial_state() {
     // The engine keeps accepting work after every injected failure.
     db.kv_put("cart", "after-errors", Value::int(1)).unwrap();
     assert_eq!(db.kv().get("cart", "after-errors").unwrap(), Some(Value::int(1)));
+
+    // `wal.sync` last: a failed fsync leaves the WAL tail's durability
+    // unknowable, so instead of a clean abort the engine aborts *and*
+    // latches degraded read-only mode. Reads keep answering; writes are
+    // refused fast with a non-retryable `read_only` error.
+    let hits_before = fault::hits("wal.sync");
+    fault::set("wal.sync", "error").unwrap();
+    let err = doomed_op(&db, "wal.sync").expect_err("fsync error injection must surface");
+    fault::clear_all();
+    assert!(fault::hits("wal.sync") > hits_before, "wal.sync failpoint never fired");
+    assert_eq!(err.kind(), "storage", "the failing commit reports the storage error");
+    assert_eq!(probes(&db), baseline, "a failed fsync leaked partial state");
+    let (doc, kv, rel) = doomed_marks(&db);
+    assert!(!doc && !kv && !rel, "aborted transaction left marks");
+    assert!(db.is_degraded(), "fsync failure must latch degraded mode");
+    let err = db.kv_put("cart", "rejected", Value::int(1)).unwrap_err();
+    assert_eq!(err.kind(), "read_only", "{err}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

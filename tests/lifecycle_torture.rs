@@ -1,0 +1,318 @@
+//! Request-lifecycle torture suite. Built only with `--features
+//! failpoints` (see the `[[test]]` entry in Cargo.toml); `scripts/ci.sh`
+//! runs it.
+//!
+//! Tortures the three legs of request-lifecycle hardening end to end,
+//! through the real client/server stack:
+//!
+//!   1. **Deadlines** — a query slowed by the `query.eval_tick` failpoint
+//!      is aborted cooperatively once the client's deadline (or the
+//!      server's own `max_query_time` cap) expires, surfacing as a
+//!      retryable `deadline_exceeded` error on a connection that stays
+//!      healthy.
+//!   2. **Degraded read-only mode** — an injected fsync failure
+//!      (`wal.sync=error`) latches the engine read-only: writes fail fast
+//!      with `read_only`, reads keep answering, `ADMIN HEALTH` reports
+//!      `degraded`, and only a reopen (restart after the disk is fixed)
+//!      clears the latch.
+//!   3. **Client retry** — a pool under a [`RetryPolicy`] completes a
+//!      read workload across dropped connections and checkout pressure
+//!      with zero caller-visible errors, counting its retries in
+//!      [`PoolStats`].
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+use mmdb::substrate::txn::IsolationLevel;
+use mmdb::{fault, Database, Value};
+use mmdb_client::{Client, Pool, PoolConfig, RetryPolicy};
+use mmdb_server::{Server, ServerConfig};
+
+/// The paper's cross-model recommendation query (same as
+/// `tests/paper_scenario.rs`); the oracle answer is `["2724f", "3424g"]`.
+const RECOMMENDATION: &str = r#"
+    FOR c IN customers
+      FILTER c.credit_limit > 3000
+      FOR friend IN 1..1 OUTBOUND CONCAT("persons/", c.id) knows
+        LET order = DOC("orders", KV_GET("cart", friend._key))
+        FILTER order != NULL
+        FOR line IN order.orderlines
+          RETURN line.product_no
+"#;
+
+/// Failpoints are process-global, so the tests in this binary serialize
+/// (even the ones that arm nothing: a concurrently armed `delay` would
+/// slow their queries).
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = LOCK
+        .get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    fault::clear_all();
+    guard
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mmdb-lifecycle-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Seed the paper scenario (the same data `tests/crash_recovery.rs`
+/// uses), enough for the recommendation query to do real cross-model
+/// work: relational customers, a social graph, a kv cart, and document
+/// orders.
+fn seed(db: &Database) {
+    use mmdb::substrate::relational::{ColumnDef, DataType, Schema};
+    db.create_table(
+        "customers",
+        Schema::new(
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("name", DataType::Text),
+                ColumnDef::new("credit_limit", DataType::Int),
+            ],
+            "id",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_bucket("cart").unwrap();
+    db.create_collection("orders").unwrap();
+    let g = db.create_graph("social").unwrap();
+    g.create_vertex_collection("persons").unwrap();
+    g.create_edge_collection("knows").unwrap();
+    for (id, name, limit) in [(1, "Mary", 5000), (2, "John", 3000), (3, "Anne", 2000)] {
+        db.transact(IsolationLevel::Snapshot, 3, |s| {
+            s.insert_row(
+                "customers",
+                mmdb::from_json(&format!(
+                    r#"{{"id":{id},"name":"{name}","credit_limit":{limit}}}"#
+                ))
+                .unwrap(),
+            )?;
+            s.add_vertex(
+                "social",
+                "persons",
+                mmdb::from_json(&format!(r#"{{"_key":"{id}"}}"#)).unwrap(),
+            )
+            .map(|_| ())
+        })
+        .unwrap();
+    }
+    db.transact(IsolationLevel::Snapshot, 3, |s| {
+        s.add_edge("social", "knows", "persons/1", "persons/2", mmdb::from_json("{}").unwrap())
+            .map(|_| ())
+    })
+    .unwrap();
+    db.kv_put("cart", "2", Value::str("0c6df508")).unwrap();
+    db.insert_json(
+        "orders",
+        r#"{"_key":"0c6df508","orderlines":[
+            {"product_no":"2724f","product_name":"Toy","price":66},
+            {"product_no":"3424g","product_name":"Book","price":40}]}"#,
+    )
+    .unwrap();
+}
+
+fn oracle() -> Vec<Value> {
+    vec![Value::str("2724f"), Value::str("3424g")]
+}
+
+#[test]
+fn a_client_deadline_aborts_a_slow_query_with_a_retryable_error() {
+    let _serial = lock();
+    let db = Arc::new(Database::in_memory());
+    seed(&db);
+    let server = Server::start(Arc::clone(&db), ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr().to_string()).unwrap();
+
+    // Sanity: with a generous deadline the query answers normally.
+    assert_eq!(
+        client.query_with_deadline(RECOMMENDATION, Duration::from_secs(10)).unwrap(),
+        oracle()
+    );
+
+    // Slow every executor tick down; a 100ms deadline now expires after a
+    // handful of iterations and the query aborts cooperatively.
+    fault::set("query.eval_tick", "delay(25)").unwrap();
+    let err = client
+        .query_with_deadline(RECOMMENDATION, Duration::from_millis(100))
+        .expect_err("the deadline must abort the slowed query");
+    fault::clear_all();
+    assert_eq!(err.kind(), "deadline_exceeded", "{err}");
+    assert!(err.is_retryable(), "deadline_exceeded must invite a retry");
+
+    // The error travelled the wire as a clean response: the same
+    // connection serves the same query to completion once the delay is
+    // gone.
+    assert_eq!(client.query(RECOMMENDATION).unwrap(), oracle());
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn the_server_cap_bounds_queries_that_carry_no_deadline() {
+    let _serial = lock();
+    let db = Arc::new(Database::in_memory());
+    seed(&db);
+    let server = Server::start(
+        Arc::clone(&db),
+        ServerConfig { max_query_time: Duration::from_millis(80), ..ServerConfig::default() },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr().to_string()).unwrap();
+
+    fault::set("query.eval_tick", "delay(25)").unwrap();
+    // No client deadline at all: the server's own budget is the backstop.
+    let err = client.query(RECOMMENDATION).expect_err("the server cap must fire");
+    // A client deadline can only shorten the budget, never extend it.
+    let err2 = client
+        .query_with_deadline(RECOMMENDATION, Duration::from_secs(3600))
+        .expect_err("a huge client deadline must not override the cap");
+    fault::clear_all();
+    assert_eq!(err.kind(), "deadline_exceeded", "{err}");
+    assert_eq!(err2.kind(), "deadline_exceeded", "{err2}");
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn an_fsync_failure_latches_degraded_read_only_mode_until_reopen() {
+    let _serial = lock();
+    let dir = fresh_dir("degraded");
+    {
+        let db = Arc::new(Database::open(&dir).unwrap());
+        db.create_bucket("cart").unwrap();
+        db.kv_put("cart", "committed", Value::int(1)).unwrap();
+        let server = Server::start(Arc::clone(&db), ServerConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr().to_string()).unwrap();
+        assert_eq!(client.admin_health().unwrap().get_field("status"), &Value::str("ok"));
+
+        // The write that hits the failing fsync reports the storage error
+        // and latches the engine.
+        fault::set("wal.sync", "error").unwrap();
+        let err = client.kv_put("cart", "doomed", Value::int(2)).unwrap_err();
+        assert_eq!(err.kind(), "storage", "{err}");
+        fault::clear_all();
+
+        // The latch outlives the fault: the disk may be "fine" again, but
+        // the WAL tail's durability is unknowable, so writes stay refused.
+        let err = client.kv_put("cart", "rejected", Value::int(3)).unwrap_err();
+        assert_eq!(err.kind(), "read_only", "{err}");
+        assert!(!err.is_retryable(), "read_only is not retryable on this node");
+
+        // Reads keep serving the committed state...
+        assert_eq!(client.kv_get("cart", "committed").unwrap(), Some(Value::int(1)));
+        assert_eq!(
+            client.query(r#"RETURN KV_GET("cart", "committed")"#).unwrap(),
+            vec![Value::int(1)]
+        );
+        // ...and the health endpoint tells operators to drain writes.
+        let health = client.admin_health().unwrap();
+        assert_eq!(health.get_field("status"), &Value::str("degraded"));
+        assert_ne!(health.get_field("reason"), &Value::Null, "reason must be reported");
+        server.shutdown().unwrap();
+    }
+
+    // Reopen after the "disk is fixed": recovery replays the log and the
+    // latch is gone. The doomed write resurfaces — its records reached the
+    // WAL file before the failed fsync, which is exactly the ambiguity
+    // (reported-failed but actually durable) that justifies latching
+    // instead of letting the engine keep acknowledging writes.
+    let db = Database::open(&dir).unwrap();
+    assert!(!db.is_degraded(), "a clean reopen clears the latch");
+    assert_eq!(db.kv().get("cart", "committed").unwrap(), Some(Value::int(1)));
+    assert_eq!(db.kv().get("cart", "doomed").unwrap(), Some(Value::int(2)));
+    db.kv_put("cart", "after", Value::int(4)).unwrap();
+    assert_eq!(db.kv().get("cart", "after").unwrap(), Some(Value::int(4)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn a_retrying_pool_rides_through_dropped_connections_without_caller_errors() {
+    let _serial = lock();
+    let db = Arc::new(Database::in_memory());
+    seed(&db);
+    // The server reaps idle connections aggressively, killing pooled
+    // connections between checkouts — the "injected connection drop".
+    let server = Server::start(
+        Arc::clone(&db),
+        ServerConfig { idle_timeout: Duration::from_millis(100), ..ServerConfig::default() },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Health checks are disabled (threshold far above the test's
+    // lifetime) so the dead connections reach the caller's operation and
+    // the *retry* path — not the checkout health check — must absorb them.
+    let pool = Pool::new(
+        &addr,
+        PoolConfig {
+            max_size: 2,
+            health_check_after: Duration::from_secs(3600),
+            ..PoolConfig::default()
+        },
+    );
+    let policy = RetryPolicy {
+        max_retries: 8,
+        base_delay: Duration::from_millis(5),
+        max_delay: Duration::from_millis(80),
+        budget: Duration::from_secs(10),
+    };
+
+    for round in 0..4 {
+        let rows = pool
+            .retry_read(&policy, |c| c.query(RECOMMENDATION))
+            .unwrap_or_else(|e| panic!("round {round}: caller saw an error: {e}"));
+        assert_eq!(rows, oracle(), "round {round}");
+        // Let the server idle-reap the pooled connection before the next
+        // read, so that read starts on a dead socket.
+        std::thread::sleep(Duration::from_millis(250));
+    }
+    let stats = pool.stats();
+    assert!(
+        stats.retries_read >= 1,
+        "the workload must actually have retried over dead connections: {stats:?}"
+    );
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn checkout_pressure_is_retried_not_surfaced() {
+    let _serial = lock();
+    let db = Arc::new(Database::in_memory());
+    db.create_bucket("cart").unwrap();
+    db.kv_put("cart", "k", Value::int(7)).unwrap();
+    let server = Server::start(Arc::clone(&db), ServerConfig::default()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // A one-connection pool whose only connection is checked out: `get`
+    // times out with a retryable `busy`, and the retry loop wins once the
+    // hog lets go.
+    let pool = Pool::new(
+        &addr,
+        PoolConfig {
+            max_size: 1,
+            checkout_timeout: Duration::from_millis(50),
+            ..PoolConfig::default()
+        },
+    );
+    let hog = pool.get().unwrap();
+    let release = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        drop(hog);
+    });
+    let policy = RetryPolicy {
+        max_retries: 20,
+        base_delay: Duration::from_millis(10),
+        max_delay: Duration::from_millis(50),
+        budget: Duration::from_secs(10),
+    };
+    let got = pool.retry_read(&policy, |c| c.kv_get("cart", "k")).unwrap();
+    assert_eq!(got, Some(Value::int(7)));
+    release.join().unwrap();
+    let stats = pool.stats();
+    assert!(stats.retries_connect >= 1, "checkout pressure must show up as retries: {stats:?}");
+    server.shutdown().unwrap();
+}

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use mmdb::{Database, Value};
-use mmdb_client::{Client, ClientConfig};
+use mmdb_client::{Client, ClientConfig, Pool, PoolConfig};
 use mmdb_protocol::{frame, Request, Response, PROTOCOL_VERSION};
 use mmdb_server::{Server, ServerConfig};
 
@@ -151,6 +151,115 @@ fn client_read_timeout_surfaces_as_err() {
         "timeout must fire well before the server would answer"
     );
     hold.join().unwrap();
+}
+
+#[test]
+fn a_slowloris_frame_is_cut_off_at_the_read_timeout() {
+    let (_db, server, addr) = start_server(ServerConfig {
+        read_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+    let mut raw = TcpStream::connect(&addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    // Drip a frame header byte by byte and then stall, never completing
+    // the frame. Each byte arrives "recently", but the frame as a whole
+    // stalls past `read_timeout`: the worker must cut the connection off
+    // instead of sitting captive for the (much longer) idle timeout.
+    let started = Instant::now();
+    for byte in &8u32.to_be_bytes()[..3] {
+        raw.write_all(std::slice::from_ref(byte)).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let payload = frame::read_frame(&mut raw, frame::MAX_FRAME_LEN).unwrap();
+    match Response::decode(&payload).unwrap() {
+        Response::Err { kind, message } => {
+            assert_eq!(kind, "storage");
+            assert!(message.contains("stalled"), "{message}");
+        }
+        other => panic!("expected a stall error, got {other:?}"),
+    }
+    let mut buf = [0u8; 1];
+    assert_eq!(raw.read(&mut buf).unwrap(), 0, "server closes the slowloris connection");
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "the cutoff tracks read_timeout, not idle_timeout"
+    );
+
+    // The worker is free again and the counters saw exactly one doomed
+    // connection, which never got a request far enough to be counted.
+    eventually("slowloris connection retired", || {
+        server.metrics().connections_active.load(Ordering::Relaxed) == 0
+    });
+    let mut probe = Client::connect(&addr).unwrap();
+    let stats = probe.admin_stats().unwrap();
+    assert_eq!(stats.get_field("connections").get_field("accepted"), &Value::int(2));
+    assert_eq!(stats.get_field("connections").get_field("active"), &Value::int(1));
+    assert_eq!(stats.get_field("requests").get_field("errors"), &Value::int(0));
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn idle_connections_are_reaped_after_the_idle_timeout() {
+    let (_db, server, addr) = start_server(ServerConfig {
+        idle_timeout: Duration::from_millis(100),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&addr).unwrap();
+    client.ping().unwrap();
+
+    // Going quiet between frames trips `idle_timeout`, and the server
+    // closes the connection without writing anything (a clean close, not
+    // an error frame).
+    eventually("idle connection reaped", || {
+        server.metrics().connections_active.load(Ordering::Relaxed) == 0
+    });
+    assert!(client.ping().is_err(), "the reaped connection is dead from the client side");
+    assert!(client.is_poisoned());
+
+    // No transaction was open, so nothing needed force-aborting, and the
+    // server keeps serving fresh connections.
+    assert_eq!(server.metrics().sessions_reaped.load(Ordering::Relaxed), 0);
+    let mut probe = Client::connect(&addr).unwrap();
+    let stats = probe.admin_stats().unwrap();
+    assert_eq!(stats.get_field("connections").get_field("accepted"), &Value::int(2));
+    assert_eq!(stats.get_field("connections").get_field("active"), &Value::int(1));
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn the_pool_health_check_replaces_reaped_connections() {
+    let (_db, server, addr) = start_server(ServerConfig {
+        idle_timeout: Duration::from_millis(100),
+        ..ServerConfig::default()
+    });
+    // `health_check_after: ZERO` pings every idle connection on checkout.
+    let pool = Pool::new(
+        &addr,
+        PoolConfig {
+            max_size: 2,
+            health_check_after: Duration::ZERO,
+            ..PoolConfig::default()
+        },
+    );
+    {
+        let mut conn = pool.get().unwrap();
+        conn.ping().unwrap();
+    } // back to the idle list
+    eventually("server reaped the idle pooled connection", || {
+        server.metrics().connections_active.load(Ordering::Relaxed) == 0
+    });
+
+    // Checkout pings the stale idle connection, finds it dead, discards
+    // it, and hands out a fresh working one — the caller never sees the
+    // corpse.
+    let mut conn = pool.get().unwrap();
+    conn.ping().unwrap();
+    drop(conn);
+    let stats = pool.stats();
+    assert_eq!(stats.unhealthy_discarded, 1, "{stats:?}");
+    assert_eq!(stats.open, 1, "the dead connection's slot was freed: {stats:?}");
+    server.shutdown().unwrap();
 }
 
 #[test]
