@@ -194,7 +194,18 @@ impl Client {
 
     /// Explain an MMQL query plan.
     pub fn explain(&mut self, text: &str) -> Result<String> {
-        let req = Request::Explain { text: text.into(), deadline_ms: None };
+        let req = Request::Explain { text: text.into(), deadline_ms: None, analyze: false };
+        match self.call(&req)? {
+            Response::Text(t) => Ok(t),
+            other => Err(unexpected(&req, &other)),
+        }
+    }
+
+    /// EXPLAIN ANALYZE: run the query on the server and return the plan
+    /// annotated with actual per-operator row counts, timings, and access
+    /// paths.
+    pub fn explain_analyze(&mut self, text: &str) -> Result<String> {
+        let req = Request::Explain { text: text.into(), deadline_ms: None, analyze: true };
         match self.call(&req)? {
             Response::Text(t) => Ok(t),
             other => Err(unexpected(&req, &other)),
@@ -214,6 +225,16 @@ impl Client {
         match self.call(&Request::Admin { command: "STATS".into() })? {
             Response::Stats(v) => Ok(v),
             other => Err(unexpected(&Request::Admin { command: "STATS".into() }, &other)),
+        }
+    }
+
+    /// Fetch the server's slow-query log: the most recent queries whose
+    /// execution exceeded `ServerConfig::slow_query_threshold`, newest
+    /// last, each with text, total time, and per-operator breakdown.
+    pub fn admin_slowlog(&mut self) -> Result<Value> {
+        match self.call(&Request::Admin { command: "SLOWLOG".into() })? {
+            Response::Stats(v) => Ok(v),
+            other => Err(unexpected(&Request::Admin { command: "SLOWLOG".into() }, &other)),
         }
     }
 

@@ -230,6 +230,29 @@ impl Database {
         mmdb_query::run_sql_with(&self.world, text, cancel)
     }
 
+    /// Like [`Database::query_with`], but also collect an [`ExecStats`]
+    /// runtime profile — per operator: rows in/out, wall time, access
+    /// path. The server uses this for `EXPLAIN ANALYZE` and the
+    /// slow-query log.
+    ///
+    /// [`ExecStats`]: mmdb_query::ExecStats
+    pub fn query_traced_with(
+        &self,
+        text: &str,
+        cancel: &CancelToken,
+    ) -> Result<(Vec<Value>, mmdb_query::ExecStats)> {
+        mmdb_query::run_traced(&self.world, text, cancel)
+    }
+
+    /// Like [`Database::query_sql_with`], with an `ExecStats` profile.
+    pub fn query_sql_traced_with(
+        &self,
+        text: &str,
+        cancel: &CancelToken,
+    ) -> Result<(Vec<Value>, mmdb_query::ExecStats)> {
+        mmdb_query::run_sql_traced(&self.world, text, cancel)
+    }
+
     // ---- health --------------------------------------------------------------
 
     /// True when the engine has latched into degraded read-only mode after
@@ -250,6 +273,19 @@ impl Database {
         let q = mmdb_query::parse_query(text)?;
         let plan = mmdb_query::plan::build_plan(&q)?;
         Ok(mmdb_query::optimize::optimize(plan, &self.world).explain())
+    }
+
+    /// EXPLAIN ANALYZE: run the query and render the plan annotated with
+    /// actual row counts, per-operator timings, and the access path each
+    /// operator took (named index vs full scan).
+    pub fn explain_analyze(&self, text: &str) -> Result<String> {
+        self.explain_analyze_with(text, &CancelToken::none())
+    }
+
+    /// Like [`Database::explain_analyze`], under a cancellation token.
+    pub fn explain_analyze_with(&self, text: &str, cancel: &CancelToken) -> Result<String> {
+        let (_rows, stats) = self.query_traced_with(text, cancel)?;
+        Ok(stats.render())
     }
 }
 
@@ -338,5 +374,23 @@ mod tests {
         db.world().collection("p").unwrap().create_persistent_index("price").unwrap();
         let after = db.explain("FOR x IN p FILTER x.price > 1 RETURN x").unwrap();
         assert!(after.contains("IndexScan"), "{after}");
+    }
+
+    #[test]
+    fn explain_analyze_reports_actual_access_path() {
+        let db = Database::in_memory();
+        db.create_collection("p").unwrap();
+        for i in 0..10 {
+            db.insert_json("p", &format!(r#"{{"_key":"k{i}","price":{i}}}"#)).unwrap();
+        }
+        let q = "FOR x IN p FILTER x.price > 7 RETURN x.price";
+        let before = db.explain_analyze(q).unwrap();
+        assert!(before.contains("full scan"), "{before}");
+        assert!(before.contains("rows returned: 2"), "{before}");
+        db.world().collection("p").unwrap().create_persistent_index("price").unwrap();
+        let after = db.explain_analyze(q).unwrap();
+        assert!(after.contains("index 'price'"), "{after}");
+        assert!(!after.contains("full scan"), "{after}");
+        assert!(after.contains("rows returned: 2"), "{after}");
     }
 }

@@ -21,4 +21,5 @@ pub mod schema_infer;
 pub mod session;
 
 pub use database::Database;
+pub use mmdb_query::{ExecStats, OpStats};
 pub use session::Session;

@@ -29,8 +29,12 @@ pub enum Request {
     /// deadline semantics as `Query`).
     Sql { text: String, deadline_ms: Option<u64> },
     /// Explain an MMQL query plan (same optional deadline semantics as
-    /// `Query`; planning is cheap so the budget rarely matters).
-    Explain { text: String, deadline_ms: Option<u64> },
+    /// `Query`). With `analyze` set the server *runs* the query and
+    /// returns the plan annotated with actual per-operator row counts,
+    /// timings, and access paths (`EXPLAIN ANALYZE`). The flag is an
+    /// optional trailing field like `deadline_ms`: old clients never send
+    /// it, and servers decode absence as `false`.
+    Explain { text: String, deadline_ms: Option<u64>, analyze: bool },
     /// Open an explicit transaction on this connection.
     Begin { serializable: bool },
     /// Commit the connection's open transaction.
@@ -186,7 +190,7 @@ fn bool_field(rest: &[Value], idx: usize, tag: &str) -> Result<bool> {
 /// clients simply never send them, old servers never read them.
 fn opt_ms_field(rest: &[Value], idx: usize, tag: &str) -> Result<Option<u64>> {
     match rest.get(idx) {
-        None => Ok(None),
+        None | Some(Value::Null) => Ok(None),
         Some(v) => {
             let ms = v
                 .as_int()
@@ -195,6 +199,16 @@ fn opt_ms_field(rest: &[Value], idx: usize, tag: &str) -> Result<Option<u64>> {
                 Error::Protocol(format!("'{tag}' field {idx} must be a non-negative integer"))
             })
         }
+    }
+}
+
+/// An optional trailing boolean field; absent decodes to `false`.
+fn opt_bool_field(rest: &[Value], idx: usize, tag: &str) -> Result<bool> {
+    match rest.get(idx) {
+        None => Ok(false),
+        Some(v) => v
+            .as_bool()
+            .map_err(|_| Error::Protocol(format!("'{tag}' field {idx} must be a bool"))),
     }
 }
 
@@ -228,8 +242,17 @@ impl Request {
                 tagged("query", query_fields(text, *deadline_ms))
             }
             Request::Sql { text, deadline_ms } => tagged("sql", query_fields(text, *deadline_ms)),
-            Request::Explain { text, deadline_ms } => {
-                tagged("explain", query_fields(text, *deadline_ms))
+            Request::Explain { text, deadline_ms, analyze } => {
+                let mut fields = query_fields(text, *deadline_ms);
+                if *analyze {
+                    // Pad the deadline slot so the flag always sits at
+                    // index 2; Null decodes as "no deadline".
+                    if fields.len() < 2 {
+                        fields.push(Value::Null);
+                    }
+                    fields.push(Value::Bool(true));
+                }
+                tagged("explain", fields)
             }
             Request::Begin { serializable } => {
                 tagged("begin", vec![Value::Bool(*serializable)])
@@ -258,6 +281,7 @@ impl Request {
             "explain" => Request::Explain {
                 text: str_field(rest, 0, tag)?,
                 deadline_ms: opt_ms_field(rest, 1, tag)?,
+                analyze: opt_bool_field(rest, 2, tag)?,
             },
             "begin" => Request::Begin { serializable: bool_field(rest, 0, tag)? },
             "commit" => Request::Commit,
@@ -557,8 +581,26 @@ mod tests {
             Request::Query { text: "FOR c IN customers RETURN c".into(), deadline_ms: Some(100) },
             Request::Sql { text: "SELECT * FROM customers".into(), deadline_ms: None },
             Request::Sql { text: "SELECT * FROM customers".into(), deadline_ms: Some(5000) },
-            Request::Explain { text: "FOR c IN customers RETURN c".into(), deadline_ms: None },
-            Request::Explain { text: "FOR c IN customers RETURN c".into(), deadline_ms: Some(1) },
+            Request::Explain {
+                text: "FOR c IN customers RETURN c".into(),
+                deadline_ms: None,
+                analyze: false,
+            },
+            Request::Explain {
+                text: "FOR c IN customers RETURN c".into(),
+                deadline_ms: Some(1),
+                analyze: false,
+            },
+            Request::Explain {
+                text: "FOR c IN customers RETURN c".into(),
+                deadline_ms: None,
+                analyze: true,
+            },
+            Request::Explain {
+                text: "FOR c IN customers RETURN c".into(),
+                deadline_ms: Some(250),
+                analyze: true,
+            },
             Request::Begin { serializable: true },
             Request::Commit,
             Request::Abort,
@@ -676,6 +718,38 @@ mod tests {
             Value::str("sql"),
             Value::str("SELECT 1"),
             Value::str("soon"),
+        ]));
+        assert_eq!(Request::decode(&bogus).unwrap_err().kind(), "protocol");
+    }
+
+    #[test]
+    fn analyze_is_an_optional_trailing_field() {
+        // A bare ["explain", text] (what pre-analyze clients send) still
+        // decodes: no deadline, analyze off.
+        let legacy =
+            value_to_bytes(&Value::Array(vec![Value::str("explain"), Value::str("RETURN 1")]));
+        assert_eq!(
+            Request::decode(&legacy).unwrap(),
+            Request::Explain { text: "RETURN 1".into(), deadline_ms: None, analyze: false }
+        );
+        // Null in the deadline slot pads the frame so analyze can sit at
+        // index 2 without implying a deadline.
+        let padded = value_to_bytes(&Value::Array(vec![
+            Value::str("explain"),
+            Value::str("RETURN 1"),
+            Value::Null,
+            Value::Bool(true),
+        ]));
+        assert_eq!(
+            Request::decode(&padded).unwrap(),
+            Request::Explain { text: "RETURN 1".into(), deadline_ms: None, analyze: true }
+        );
+        // A non-bool flag is a protocol violation.
+        let bogus = value_to_bytes(&Value::Array(vec![
+            Value::str("explain"),
+            Value::str("RETURN 1"),
+            Value::Null,
+            Value::str("yes"),
         ]));
         assert_eq!(Request::decode(&bogus).unwrap_err().kind(), "protocol");
     }

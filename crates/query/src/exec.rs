@@ -101,8 +101,15 @@ pub fn execute_plan_with_env(world: &World, plan: &Plan, env: Env) -> Result<Vec
             break;
         }
     }
+    project_return(world, plan, &envs)
+}
+
+/// Evaluate the RETURN expression over the surviving environments and
+/// apply DISTINCT (the pipeline's final step, shared by the plain and
+/// traced executors).
+fn project_return(world: &World, plan: &Plan, envs: &[Env]) -> Result<Vec<Value>> {
     let mut out = Vec::with_capacity(envs.len());
-    for env in &envs {
+    for env in envs {
         cancel::tick()?;
         out.push(eval_expr(world, env, &plan.ret)?);
     }
@@ -118,6 +125,72 @@ pub fn execute_plan_with_env(world: &World, plan: &Plan, env: Env) -> Result<Vec
         });
     }
     Ok(out)
+}
+
+/// Execute a plan while collecting an [`ExecStats`] profile: per node,
+/// rows in/out, wall time, and the access path taken. The overhead is
+/// O(plan nodes) — two clock reads and one struct push per operator —
+/// so tracing every server-side query is affordable; the untraced
+/// [`execute_plan_with_env`] path is left byte-for-byte alone.
+pub fn execute_plan_traced(
+    world: &World,
+    plan: &Plan,
+    env: Env,
+) -> Result<(Vec<Value>, crate::stats::ExecStats)> {
+    use crate::stats::{ExecStats, OpStats};
+    let started = std::time::Instant::now();
+    let mut envs = vec![env];
+    let mut ops: Vec<OpStats> = Vec::with_capacity(plan.nodes.len() + 1);
+    for node in &plan.nodes {
+        let rows_in = envs.len();
+        let access_path = describe_access_path(world, node, envs.first());
+        let node_started = std::time::Instant::now();
+        envs = apply_node(world, node, envs)?;
+        ops.push(OpStats {
+            op: node.describe(),
+            rows_in,
+            rows_out: envs.len(),
+            elapsed: node_started.elapsed(),
+            access_path,
+        });
+        if envs.is_empty() {
+            break;
+        }
+    }
+    let rows_in = envs.len();
+    let ret_started = std::time::Instant::now();
+    let out = project_return(world, plan, &envs)?;
+    ops.push(OpStats {
+        op: plan.describe_return(),
+        rows_in,
+        rows_out: out.len(),
+        elapsed: ret_started.elapsed(),
+        access_path: None,
+    });
+    let stats = ExecStats { ops, rows_returned: out.len(), total: started.elapsed() };
+    Ok((out, stats))
+}
+
+/// How a node will read its source, resolved against the world and the
+/// incoming environment — the "which path actually ran" annotation.
+fn describe_access_path(world: &World, node: &PlanNode, env: Option<&Env>) -> Option<String> {
+    match node {
+        PlanNode::For { source: Expr::Var(name), .. } => {
+            if env.is_some_and(|e| e.get(name).is_some()) {
+                Some(format!("bound variable '{name}'"))
+            } else {
+                world.resolve_source(name).map(|kind| format!("full scan ({kind} '{name}')"))
+            }
+        }
+        PlanNode::For { .. } => Some("expression".to_string()),
+        PlanNode::IndexScan { source, path, .. } => {
+            Some(format!("index '{path}' on '{source}'"))
+        }
+        PlanNode::Traverse { edges, .. } => {
+            Some(format!("graph traversal via edge collection '{edges}'"))
+        }
+        _ => None,
+    }
 }
 
 fn apply_node(world: &World, node: &PlanNode, envs: Vec<Env>) -> Result<Vec<Env>> {
@@ -140,6 +213,7 @@ fn apply_node(world: &World, node: &PlanNode, envs: Vec<Env>) -> Result<Vec<Env>
             let hi_b = plan_bound(hi);
             let mut out = Vec::new();
             for env in envs {
+                world.access.note_index_scan();
                 let docs: Vec<Value> = if let Ok(coll) = world.collection(source) {
                     coll.range_bounds(path, lo_b, hi_b)?.0
                 } else {

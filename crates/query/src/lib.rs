@@ -32,11 +32,13 @@ pub mod optimize;
 pub mod parse;
 pub mod plan;
 pub mod sql;
+pub mod stats;
 pub mod world;
 
 pub use cancel::FAILPOINT_SITES;
 pub use exec::execute_query;
 pub use parse::parse_query;
+pub use stats::{ExecStats, OpStats};
 pub use world::World;
 
 use mmdb_types::{CancelToken, Result, Value};
@@ -69,4 +71,30 @@ pub fn run_sql_with(world: &World, text: &str, cancel: &CancelToken) -> Result<V
     let plan = plan::build_plan(&query)?;
     let plan = optimize::optimize(plan, world);
     exec::execute_plan(world, &plan)
+}
+
+/// Like [`run_with`], but collect an [`ExecStats`] runtime profile —
+/// per operator: rows in/out, wall time, access path taken. This is the
+/// `EXPLAIN ANALYZE` / slow-query-log execution path.
+pub fn run_traced(
+    world: &World,
+    text: &str,
+    cancel: &CancelToken,
+) -> Result<(Vec<Value>, ExecStats)> {
+    let _scope = cancel::scope(cancel);
+    let query = parse_query(text)?;
+    let plan = optimize::optimize(plan::build_plan(&query)?, world);
+    exec::execute_plan_traced(world, &plan, exec::Env::new())
+}
+
+/// Like [`run_sql_with`], with an [`ExecStats`] runtime profile.
+pub fn run_sql_traced(
+    world: &World,
+    text: &str,
+    cancel: &CancelToken,
+) -> Result<(Vec<Value>, ExecStats)> {
+    let _scope = cancel::scope(cancel);
+    let query = sql::parse_sql(text)?;
+    let plan = optimize::optimize(plan::build_plan(&query)?, world);
+    exec::execute_plan_traced(world, &plan, exec::Env::new())
 }

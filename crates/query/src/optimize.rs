@@ -35,14 +35,22 @@ pub fn optimize(mut plan: Plan, world: &World) -> Plan {
     }
     fold(&mut plan.ret);
 
-    // 2. Merge adjacent filters.
+    // 2. Merge adjacent filters. Both sides are moved, not cloned: the
+    //    accumulated conjunction is taken out of the vec and rebuilt with
+    //    the incoming predicate, so merging a chain of N filters is O(N)
+    //    in total AST size instead of quadratic.
     let mut merged: Vec<PlanNode> = Vec::with_capacity(plan.nodes.len());
     for node in plan.nodes {
-        if let (PlanNode::Filter(b), Some(PlanNode::Filter(a))) = (&node, merged.last_mut()) {
-            *a = Expr::Binary(BinOp::And, Box::new(a.clone()), Box::new(b.clone()));
-            continue;
+        if let PlanNode::Filter(b) = node {
+            if let Some(PlanNode::Filter(a)) = merged.last_mut() {
+                let lhs = std::mem::replace(a, Expr::Literal(Value::Null));
+                *a = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(b));
+            } else {
+                merged.push(PlanNode::Filter(b));
+            }
+        } else {
+            merged.push(node);
         }
-        merged.push(node);
     }
 
     // 3. Index selection on For+Filter pairs.
@@ -349,6 +357,47 @@ mod tests {
             }
             other => panic!("expected IndexScan, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn long_filter_chains_merge_linearly_and_keep_semantics() {
+        // Regression: merging used to clone both the accumulated
+        // conjunction and the incoming filter per step, making long
+        // FILTER chains quadratic in AST size. The rebuild must keep
+        // every conjunct exactly once and preserve results. The merged
+        // predicate is a left-deep tree, so recursive evaluation needs
+        // more than the default test-thread stack.
+        std::thread::Builder::new()
+            .stack_size(32 * 1024 * 1024)
+            .spawn(long_filter_chain_body)
+            .unwrap()
+            .join()
+            .unwrap();
+    }
+
+    fn long_filter_chain_body() {
+        let w = World::in_memory();
+        let n = 500;
+        let mut text = String::from("FOR x IN [1,2,3]");
+        for i in 0..n {
+            text.push_str(&format!(" FILTER x != {}", i + 10));
+        }
+        text.push_str(" RETURN x");
+        let q = parse_query(&text).unwrap();
+        let plan = optimize(build_plan(&q).unwrap(), &w);
+        assert_eq!(plan.nodes.len(), 2, "all filters fold into one");
+        let PlanNode::Filter(pred) = &plan.nodes[1] else {
+            panic!("expected a merged Filter, got {:?}", plan.nodes[1]);
+        };
+        fn count_conjuncts(e: &Expr) -> usize {
+            match e {
+                Expr::Binary(BinOp::And, a, b) => count_conjuncts(a) + count_conjuncts(b),
+                _ => 1,
+            }
+        }
+        assert_eq!(count_conjuncts(pred), n, "no conjunct lost or duplicated");
+        let got = crate::run(&w, &text).unwrap();
+        assert_eq!(got, vec![Value::int(1), Value::int(2), Value::int(3)]);
     }
 
     #[test]

@@ -101,37 +101,46 @@ pub struct Plan {
     pub distinct: bool,
 }
 
+impl PlanNode {
+    /// The node's one-line textual form, shared by `EXPLAIN` and the
+    /// `EXPLAIN ANALYZE` renderer.
+    pub fn describe(&self) -> String {
+        match self {
+            PlanNode::For { var, source } => format!("For {var} IN {source:?}"),
+            PlanNode::IndexScan { var, source, path, lo, hi, residual } => format!(
+                "IndexScan {var} IN {source} ON {path} [{lo:?}, {hi:?}] residual={}",
+                residual.is_some()
+            ),
+            PlanNode::Traverse { var, min_depth, max_depth, direction, edges, .. } => {
+                format!("Traverse {var} {min_depth}..{max_depth} {direction:?} {edges}")
+            }
+            PlanNode::Filter(_) => "Filter".to_string(),
+            PlanNode::Let { var, .. } => format!("Let {var}"),
+            PlanNode::Sort(keys) => format!("Sort ({} keys)", keys.len()),
+            PlanNode::Limit { offset, count } => format!("Limit {offset},{count}"),
+            PlanNode::Collect { key, aggregates, .. } => format!(
+                "Collect key={} aggs={}",
+                key.as_ref().map(|(v, _)| v.as_str()).unwrap_or("-"),
+                aggregates.len()
+            ),
+        }
+    }
+}
+
 impl Plan {
+    /// The RETURN line's textual form (the pipeline's final operator).
+    pub fn describe_return(&self) -> String {
+        if self.distinct { "Return DISTINCT".to_string() } else { "Return".to_string() }
+    }
+
     /// One-line-per-node textual form (EXPLAIN).
     pub fn explain(&self) -> String {
         let mut out = String::new();
         for n in &self.nodes {
-            let line = match n {
-                PlanNode::For { var, source } => format!("For {var} IN {source:?}"),
-                PlanNode::IndexScan { var, source, path, lo, hi, residual } => format!(
-                    "IndexScan {var} IN {source} ON {path} [{lo:?}, {hi:?}] residual={}",
-                    residual.is_some()
-                ),
-                PlanNode::Traverse { var, min_depth, max_depth, direction, edges, .. } => {
-                    format!("Traverse {var} {min_depth}..{max_depth} {direction:?} {edges}")
-                }
-                PlanNode::Filter(_) => "Filter".to_string(),
-                PlanNode::Let { var, .. } => format!("Let {var}"),
-                PlanNode::Sort(keys) => format!("Sort ({} keys)", keys.len()),
-                PlanNode::Limit { offset, count } => format!("Limit {offset},{count}"),
-                PlanNode::Collect { key, aggregates, .. } => format!(
-                    "Collect key={} aggs={}",
-                    key.as_ref().map(|(v, _)| v.as_str()).unwrap_or("-"),
-                    aggregates.len()
-                ),
-            };
-            out.push_str(&line);
+            out.push_str(&n.describe());
             out.push('\n');
         }
-        out.push_str("Return");
-        if self.distinct {
-            out.push_str(" DISTINCT");
-        }
+        out.push_str(&self.describe_return());
         out
     }
 }

@@ -36,6 +36,39 @@ pub struct FulltextIndex {
     next_id: TextDocId,
 }
 
+/// Global access-path counters: how often the executor served a named
+/// source from an index versus falling back to a full store scan. Fed by
+/// [`World::scan_source`] and the executor's `IndexScan` operator; read
+/// by the server's `ADMIN STATS`. Plain relaxed atomics — one increment
+/// per operator application, nothing per row.
+#[derive(Default)]
+pub struct AccessStats {
+    index_scans: std::sync::atomic::AtomicU64,
+    full_scans: std::sync::atomic::AtomicU64,
+}
+
+impl AccessStats {
+    /// Record an index-served scan.
+    pub fn note_index_scan(&self) {
+        self.index_scans.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Record a full store scan.
+    pub fn note_full_scan(&self) {
+        self.full_scans.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Index-served scans so far.
+    pub fn index_scans(&self) -> u64 {
+        self.index_scans.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Full store scans so far.
+    pub fn full_scans(&self) -> u64 {
+        self.full_scans.load(std::sync::atomic::Ordering::Relaxed)
+    }
+}
+
 /// All reachable model stores.
 pub struct World {
     pool: Arc<BufferPool>,
@@ -57,6 +90,8 @@ pub struct World {
     /// Spatial indexes by name: R-trees over `(rect, payload)` entries
     /// (the `GEO_WITHIN` / `GEO_NEAREST` functions' targets).
     pub spatial: RwLock<HashMap<String, mmdb_index::rtree::RTree<Value>>>,
+    /// Index-hit vs full-scan counters across all queries.
+    pub access: AccessStats,
 }
 
 impl Default for World {
@@ -79,6 +114,7 @@ impl World {
             xml_docs: RwLock::new(HashMap::new()),
             fulltext: RwLock::new(HashMap::new()),
             spatial: RwLock::new(HashMap::new()),
+            access: AccessStats::default(),
         }
     }
 
@@ -223,9 +259,11 @@ impl World {
     /// `{_key, value}`.
     pub fn scan_source(&self, name: &str) -> Result<Vec<Value>> {
         if let Ok(coll) = self.collection(name) {
+            self.access.note_full_scan();
             return coll.all();
         }
         if let Ok(table) = self.catalog.table(name) {
+            self.access.note_full_scan();
             let schema = table.schema().clone();
             return Ok(table
                 .scan()?
@@ -234,6 +272,7 @@ impl World {
                 .collect());
         }
         if self.kv.buckets().contains(&name.to_string()) {
+            self.access.note_full_scan();
             return Ok(self
                 .kv
                 .scan_all(name)?

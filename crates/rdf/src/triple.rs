@@ -255,8 +255,11 @@ impl TripleStore {
         }
     }
 
-    /// All triples (optionally restricted to one named graph).
+    /// All triples (optionally restricted to one named graph). Always a
+    /// full scan — no access path covers an unbound pattern — so it
+    /// counts against the scan-fallback counter like the other scans.
     pub fn all(&self, graph: Option<&str>) -> Vec<&Triple> {
+        self.bump(false);
         self.scan(|t| match graph {
             None => true,
             Some(g) => t.graph.as_deref() == Some(g),

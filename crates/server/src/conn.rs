@@ -192,13 +192,28 @@ fn run_request(inner: &ServerInner, conn: &mut ConnState, req: &Request) -> Resu
         // embedded `Database::query` semantics. Each gets a cancellation
         // token derived from the client deadline, capped by the server's
         // own `max_query_time` budget.
+        // Every query runs traced: the per-operator overhead is two clock
+        // reads and one small struct per plan node — negligible next to
+        // the operator's own work — and it feeds the slow-query log.
         Request::Query { text, deadline_ms } => {
-            Response::Rows(db.query_with(text, &query_budget(inner, *deadline_ms))?)
+            let (rows, stats) =
+                db.query_traced_with(text, &query_budget(inner, *deadline_ms))?;
+            note_slow_query(inner, "mmql", text, &stats);
+            Response::Rows(rows)
         }
         Request::Sql { text, deadline_ms } => {
-            Response::Rows(db.query_sql_with(text, &query_budget(inner, *deadline_ms))?)
+            let (rows, stats) =
+                db.query_sql_traced_with(text, &query_budget(inner, *deadline_ms))?;
+            note_slow_query(inner, "sql", text, &stats);
+            Response::Rows(rows)
         }
-        Request::Explain { text, .. } => Response::Text(db.explain(text)?),
+        Request::Explain { text, deadline_ms, analyze } => {
+            if *analyze {
+                Response::Text(db.explain_analyze_with(text, &query_budget(inner, *deadline_ms))?)
+            } else {
+                Response::Text(db.explain(text)?)
+            }
+        }
         Request::Begin { serializable } => {
             if conn.session.is_some() {
                 return Err(Error::TxnClosed(
@@ -231,19 +246,23 @@ fn run_request(inner: &ServerInner, conn: &mut ConnState, req: &Request) -> Resu
             session.abort();
             Response::Aborted
         }
-        Request::Op(op) => match conn.session.as_mut() {
-            Some(session) => apply_op(session, op)?,
-            // No explicit transaction: auto-commit the single op,
-            // retrying conflicts like the embedded `transact` helper.
-            None => {
-                let mut result = None;
-                db.transact(IsolationLevel::Snapshot, 3, |s| {
-                    result = Some(apply_op(s, op)?);
-                    Ok(())
-                })?;
-                result.ok_or_else(|| Error::Internal("auto-commit produced no response".into()))?
+        Request::Op(op) => {
+            inner.metrics.record_model_op(op_model(op));
+            match conn.session.as_mut() {
+                Some(session) => apply_op(session, op)?,
+                // No explicit transaction: auto-commit the single op,
+                // retrying conflicts like the embedded `transact` helper.
+                None => {
+                    let mut result = None;
+                    db.transact(IsolationLevel::Snapshot, 3, |s| {
+                        result = Some(apply_op(s, op)?);
+                        Ok(())
+                    })?;
+                    result
+                        .ok_or_else(|| Error::Internal("auto-commit produced no response".into()))?
+                }
             }
-        },
+        }
         Request::Ddl(op) => apply_ddl(db, op)?,
         Request::Admin { command } => run_admin(inner, command)?,
     })
@@ -328,6 +347,43 @@ fn apply_ddl(db: &mmdb_core::Database, op: &DdlOp) -> Result<Response> {
     Ok(Response::Ok)
 }
 
+/// The data model a typed operation belongs to, for the per-model
+/// operation counters in `ADMIN STATS`.
+fn op_model(op: &SessionOp) -> &'static str {
+    match op {
+        SessionOp::InsertDocument { .. }
+        | SessionOp::UpdateDocument { .. }
+        | SessionOp::RemoveDocument { .. }
+        | SessionOp::GetDocument { .. } => "document",
+        SessionOp::KvPut { .. } | SessionOp::KvDelete { .. } | SessionOp::KvGet { .. } => "kv",
+        SessionOp::InsertRow { .. }
+        | SessionOp::UpdateRow { .. }
+        | SessionOp::DeleteRow { .. }
+        | SessionOp::GetRow { .. } => "relational",
+        SessionOp::AddVertex { .. } | SessionOp::AddEdge { .. } => "graph",
+        SessionOp::RdfInsert { .. } | SessionOp::RdfRemove { .. } => "rdf",
+    }
+}
+
+/// Record a successfully executed query in the slow-query log when its
+/// execution time reached the configured threshold.
+fn note_slow_query(
+    inner: &ServerInner,
+    kind: &str,
+    text: &str,
+    stats: &mmdb_core::ExecStats,
+) {
+    if stats.total < inner.config.slow_query_threshold {
+        return;
+    }
+    let mut entry = stats.to_value();
+    if let Ok(obj) = entry.as_object_mut() {
+        obj.insert("kind", Value::str(kind));
+        obj.insert("query", Value::str(text));
+    }
+    inner.push_slowlog(entry);
+}
+
 /// The effective execution budget for one query: the client's requested
 /// deadline, capped by the server's `max_query_time`.
 fn query_budget(inner: &ServerInner, deadline_ms: Option<u64>) -> CancelToken {
@@ -344,6 +400,8 @@ fn run_admin(inner: &ServerInner, command: &str) -> Result<Response> {
         "STATS" => {
             let mut stats = inner.metrics.snapshot();
             let (commits, aborts) = inner.db.mvcc().stats();
+            let world = inner.db.world();
+            let rdf = world.rdf.read().stats();
             if let Ok(obj) = stats.as_object_mut() {
                 obj.insert(
                     "engine",
@@ -352,8 +410,24 @@ fn run_admin(inner: &ServerInner, command: &str) -> Result<Response> {
                         ("aborts", Value::int(aborts as i64)),
                     ]),
                 );
+                // Access paths taken by query operators since startup:
+                // index-served scans vs full scans, plus the RDF triple
+                // store's own indexed-vs-scan fallback counters.
+                obj.insert(
+                    "access_paths",
+                    Value::object([
+                        ("index_scans", Value::int(world.access.index_scans() as i64)),
+                        ("full_scans", Value::int(world.access.full_scans() as i64)),
+                        ("rdf_indexed", Value::int(rdf.indexed as i64)),
+                        ("rdf_scans", Value::int(rdf.scans as i64)),
+                    ]),
+                );
             }
             Ok(Response::Stats(stats))
+        }
+        "SLOWLOG" => {
+            let entries: Vec<Value> = inner.slowlog.lock().iter().cloned().collect();
+            Ok(Response::Stats(Value::Array(entries)))
         }
         "PING" => Ok(Response::Pong),
         // Health summary for load balancers and operators: `ok` while the

@@ -22,7 +22,7 @@
 mod conn;
 mod metrics;
 
-pub use metrics::{CommandStats, LatencyHistogram, Metrics, COMMAND_LABELS};
+pub use metrics::{CommandStats, LatencyHistogram, Metrics, COMMAND_LABELS, MODEL_LABELS};
 
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -66,6 +66,10 @@ pub struct ServerConfig {
     /// deadline can only shorten it; queries exceeding the budget abort
     /// cooperatively with a retryable `deadline_exceeded` error.
     pub max_query_time: Duration,
+    /// Queries (MMQL or SQL) whose execution takes at least this long are
+    /// recorded in the slow-query log, readable with `ADMIN SLOWLOG`.
+    /// `Duration::ZERO` logs every query.
+    pub slow_query_threshold: Duration,
 }
 
 impl Default for ServerConfig {
@@ -80,15 +84,22 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(300),
             max_frame_len: frame::MAX_FRAME_LEN,
             max_query_time: Duration::from_secs(30),
+            slow_query_threshold: Duration::from_millis(250),
         }
     }
 }
+
+/// Slow-query log entries kept; the oldest is evicted beyond this.
+pub(crate) const SLOWLOG_CAPACITY: usize = 128;
 
 /// State shared by the acceptor, the workers, and [`Server`].
 pub(crate) struct ServerInner {
     pub(crate) db: Arc<Database>,
     pub(crate) config: ServerConfig,
     pub(crate) metrics: Metrics,
+    /// Ring buffer of recent slow queries (newest last), each a `Value`
+    /// object with the query text, total time, and per-operator stats.
+    pub(crate) slowlog: Mutex<VecDeque<mmdb_types::Value>>,
     shutdown: AtomicBool,
     /// Open + queued connections, for the backpressure check.
     active: AtomicU64,
@@ -99,6 +110,15 @@ pub(crate) struct ServerInner {
 impl ServerInner {
     pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Append a slow-query entry, evicting the oldest at capacity.
+    pub(crate) fn push_slowlog(&self, entry: mmdb_types::Value) {
+        let mut log = self.slowlog.lock();
+        if log.len() == SLOWLOG_CAPACITY {
+            log.pop_front();
+        }
+        log.push_back(entry);
     }
 }
 
@@ -125,6 +145,7 @@ impl Server {
             db,
             config: config.clone(),
             metrics: Metrics::default(),
+            slowlog: Mutex::new(VecDeque::new()),
             shutdown: AtomicBool::new(false),
             active: AtomicU64::new(0),
             queue: Mutex::new(VecDeque::new()),

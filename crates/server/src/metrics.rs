@@ -20,6 +20,14 @@ fn command_index(label: &str) -> usize {
     COMMAND_LABELS.iter().position(|l| *l == label).unwrap_or(0)
 }
 
+/// Data models with per-model operation counters. Indexes into
+/// [`Metrics::model_ops`].
+pub const MODEL_LABELS: [&str; 5] = ["document", "kv", "relational", "graph", "rdf"];
+
+fn model_index(label: &str) -> Option<usize> {
+    MODEL_LABELS.iter().position(|l| *l == label)
+}
+
 /// Power-of-two microsecond buckets: bucket `i` holds latencies in
 /// `[2^i, 2^(i+1))` µs; the last bucket is open-ended (≥ ~134 s).
 const BUCKETS: usize = 28;
@@ -30,6 +38,7 @@ pub struct LatencyHistogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     total_micros: AtomicU64,
+    max_micros: AtomicU64,
 }
 
 impl LatencyHistogram {
@@ -40,6 +49,7 @@ impl LatencyHistogram {
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
     }
 
     /// Number of observations.
@@ -47,22 +57,34 @@ impl LatencyHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// The largest observation, exactly. 0 when empty.
+    pub fn max_micros(&self) -> u64 {
+        self.max_micros.load(Ordering::Relaxed)
+    }
+
     /// Approximate percentile in microseconds: the upper bound of the
-    /// bucket containing the `q`-quantile observation. 0 when empty.
+    /// bucket containing the `q`-quantile observation, clamped to the
+    /// exact running maximum. The clamp matters most in the open-ended
+    /// top bucket, which would otherwise report its 2²⁸ µs (~268 s) upper
+    /// bound for any saturating observation. 0 when empty.
     pub fn percentile_micros(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
             return 0;
         }
+        let max = self.max_micros();
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= rank {
-                return 1u64 << (i + 1);
+                return (1u64 << (i + 1)).min(max);
             }
         }
-        1u64 << BUCKETS
+        // Unreachable: `rank <= total` and the buckets sum to `total`,
+        // so the loop always returns. Report the max rather than a
+        // fabricated bucket bound if the counts ever race.
+        max
     }
 
     fn mean_micros(&self) -> u64 {
@@ -107,6 +129,8 @@ pub struct Metrics {
     /// Total error responses across all commands.
     pub errors_total: AtomicU64,
     commands: [CommandStats; COMMAND_LABELS.len()],
+    /// Typed data operations served, by data model (see [`MODEL_LABELS`]).
+    model_ops: [AtomicU64; MODEL_LABELS.len()],
 }
 
 impl Metrics {
@@ -125,6 +149,19 @@ impl Metrics {
     /// Per-command stats, for tests and direct inspection.
     pub fn command(&self, label: &str) -> &CommandStats {
         &self.commands[command_index(label)]
+    }
+
+    /// Count one typed data operation against its model ("document",
+    /// "kv", "relational", "graph", "rdf"). Unknown labels are ignored.
+    pub fn record_model_op(&self, model: &str) {
+        if let Some(i) = model_index(model) {
+            self.model_ops[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Operations served for one model, for tests and direct inspection.
+    pub fn model_ops(&self, model: &str) -> u64 {
+        model_index(model).map(|i| self.model_ops[i].load(Ordering::Relaxed)).unwrap_or(0)
     }
 
     /// Render everything as the `ADMIN STATS` payload.
@@ -171,6 +208,12 @@ impl Metrics {
                 Value::int(self.sessions_reaped.load(Ordering::Relaxed) as i64),
             ),
             ("commands", Value::Array(commands)),
+            (
+                "model_ops",
+                Value::object(MODEL_LABELS.iter().zip(&self.model_ops).map(|(label, n)| {
+                    (*label, Value::int(n.load(Ordering::Relaxed) as i64))
+                })),
+            ),
         ])
     }
 }
@@ -197,6 +240,57 @@ mod tests {
     fn empty_histogram_reports_zero() {
         let h = LatencyHistogram::default();
         assert_eq!(h.percentile_micros(0.99), 0);
+    }
+
+    #[test]
+    fn percentiles_clamp_to_exact_max() {
+        // 9×100µs + 1×5000µs. The p50 observation sits in bucket 6
+        // ([64,128)µs) so reports that bucket's 128µs upper bound; p95
+        // and p99 land on the 5000µs outlier, whose bucket bound (8192)
+        // must clamp to the exact running max.
+        let h = LatencyHistogram::default();
+        for _ in 0..9 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_micros(5000));
+        assert_eq!(h.max_micros(), 5000);
+        assert_eq!(h.percentile_micros(0.50), 128);
+        assert_eq!(h.percentile_micros(0.95), 5000);
+        assert_eq!(h.percentile_micros(0.99), 5000);
+    }
+
+    #[test]
+    fn saturated_top_bucket_reports_max_not_bucket_bound() {
+        // 200s lands in the open-ended top bucket. The old report was the
+        // bucket's 2^28µs (~268s) upper bound — worse than the actual
+        // worst case. It must now be the exact observation.
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_secs(200));
+        assert_eq!(h.percentile_micros(0.99), 200_000_000);
+        assert!(h.percentile_micros(0.99) < 1u64 << BUCKETS);
+    }
+
+    #[test]
+    fn single_observation_is_every_percentile() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(100));
+        for q in [0.50, 0.95, 0.99] {
+            assert_eq!(h.percentile_micros(q), 100);
+        }
+    }
+
+    #[test]
+    fn model_ops_count_by_label() {
+        let m = Metrics::default();
+        m.record_model_op("document");
+        m.record_model_op("document");
+        m.record_model_op("rdf");
+        m.record_model_op("nonsense"); // ignored
+        assert_eq!(m.model_ops("document"), 2);
+        assert_eq!(m.model_ops("rdf"), 1);
+        assert_eq!(m.model_ops("kv"), 0);
+        let snap = m.snapshot();
+        assert_eq!(snap.get_field("model_ops").get_field("document"), &Value::int(2));
     }
 
     #[test]

@@ -35,4 +35,9 @@ cargo test -q -p mmdb-query cancel
 echo "==> cargo clippy --features failpoints (lints the torture suite)"
 cargo clippy -p mmdb --all-targets --features failpoints -- -D warnings
 
+echo "==> unibench smoke run (tiny scale factor)"
+# Not a performance gate — just proves the bench binary builds, generates
+# data, and completes every workload end to end.
+cargo run -q --release -p mmdb-bench --bin unibench -- --scale 0.05 --workload all --seed 21
+
 echo "==> tier-1 gate passed"

@@ -11,6 +11,7 @@
 //!   --data-dir PATH        durable database directory (default: in-memory)
 //!   --workers N            worker threads (default 4)
 //!   --max-connections N    connection cap before busy-rejection (default 64)
+//!   --slow-query-ms N      slow-query log threshold in ms (default 250; 0 logs everything)
 //!   --demo                 preload the paper's demo data set
 //!
 //! The server runs until stdin closes or a `quit` line arrives, then
@@ -43,6 +44,11 @@ fn main() {
             "--max-connections" => {
                 config.max_connections =
                     flag_value(&mut i).parse().unwrap_or_else(|_| usage("--max-connections needs a number"))
+            }
+            "--slow-query-ms" => {
+                config.slow_query_threshold = std::time::Duration::from_millis(
+                    flag_value(&mut i).parse().unwrap_or_else(|_| usage("--slow-query-ms needs a number")),
+                )
             }
             "--demo" => demo = true,
             "--help" | "-h" => usage(""),
@@ -100,7 +106,7 @@ fn usage(problem: &str) -> ! {
     }
     eprintln!(
         "usage: mmdb-serve [--addr HOST:PORT] [--data-dir PATH] [--workers N] \
-         [--max-connections N] [--demo]"
+         [--max-connections N] [--slow-query-ms N] [--demo]"
     );
     std::process::exit(2);
 }

@@ -103,6 +103,7 @@ fn dispatch(db: &Database, line: &str) -> mmdb::Result<Reply> {
             }
             "sql" => render(db.query_sql(arg)?),
             "explain" => Ok(Reply::Text(db.explain(arg)?)),
+            "analyze" => Ok(Reply::Text(db.explain_analyze(arg)?)),
             "collections" => {
                 let mut names: Vec<String> = db.world().collections.read().keys().cloned().collect();
                 names.sort();
@@ -144,6 +145,7 @@ fn dispatch_remote(client: &mut Client, line: &str) -> mmdb::Result<Reply> {
             }
             "sql" => render(client.query_sql(arg)?),
             "explain" => Ok(Reply::Text(client.explain(arg)?)),
+            "analyze" => Ok(Reply::Text(client.explain_analyze(arg)?)),
             "create" => {
                 client.create_collection(arg.trim())?;
                 Ok(Reply::Text(format!("created collection '{}'", arg.trim())))
@@ -172,6 +174,7 @@ fn dispatch_remote(client: &mut Client, line: &str) -> mmdb::Result<Reply> {
                 Ok(Reply::Text("pong".into()))
             }
             "stats" => Ok(Reply::Text(mmdb::to_json_pretty(&client.admin_stats()?))),
+            "slowlog" => Ok(Reply::Text(mmdb::to_json_pretty(&client.admin_slowlog()?))),
             "health" => Ok(Reply::Text(mmdb::to_json_pretty(&client.admin_health()?))),
             other => Ok(Reply::Text(format!("unknown command '.{other}' — try .help"))),
         };
@@ -195,6 +198,7 @@ Commands:
   .demo                load the EDBT'17 paper's example data set
   .sql <SELECT ...>    run a SQL query
   .explain <mmql>      show the optimized logical plan
+  .analyze <mmql>      EXPLAIN ANALYZE: run it, show actual rows/timings/access paths
   .create <name>       create a document collection
   .insert <coll> <json>  insert one document
   .collections         list collections / tables / buckets
@@ -206,6 +210,7 @@ Remote-only commands (--connect mode):
   .begin [serializable]  open an explicit transaction
   .commit  .abort        finish the open transaction
   .stats                 server metrics (ADMIN STATS)
+  .slowlog               recent slow queries (ADMIN SLOWLOG)
   .health                server health: ok | degraded (ADMIN HEALTH)
   .ping                  liveness check
 "#;

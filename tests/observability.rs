@@ -1,0 +1,177 @@
+//! End-to-end query observability: EXPLAIN ANALYZE over the wire, the
+//! slow-query log, and the expanded `ADMIN STATS` counters.
+//!
+//! The paper's position is that a multi-model engine must remain
+//! *inspectable* — one engine, many models, still one place to ask
+//! "what did my query actually do". These tests drive the whole stack:
+//! client → wire protocol → server → traced executor → stats render.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mmdb::{Database, Value};
+use mmdb_client::Client;
+use mmdb_server::{Server, ServerConfig};
+
+/// The EDBT'17 slide-27 recommendation query (see tests/paper_scenario.rs).
+const RECOMMENDATION: &str = r#"
+    FOR c IN customers
+      FILTER c.credit_limit > 3000
+      FOR friend IN 1..1 OUTBOUND CONCAT("persons/", c.id) knows
+        LET order = DOC("orders", KV_GET("cart", friend._key))
+        FILTER order != NULL
+        FOR line IN order.orderlines
+          RETURN line.product_no
+"#;
+
+/// The paper's running example, loaded through the embedded API.
+fn paper_db() -> Database {
+    let db = Database::in_memory();
+    db.create_collection("customers").unwrap();
+    for (id, name, limit) in [(1, "Mary", 5000), (2, "John", 3000), (3, "Anne", 2000)] {
+        db.insert_json(
+            "customers",
+            &format!(r#"{{"_key":"{id}","id":{id},"name":"{name}","credit_limit":{limit}}}"#),
+        )
+        .unwrap();
+    }
+    let g = db.create_graph("social").unwrap();
+    g.create_vertex_collection("persons").unwrap();
+    g.create_edge_collection("knows").unwrap();
+    for id in 1..=3 {
+        g.add_vertex("persons", mmdb::from_json(&format!(r#"{{"_key":"{id}"}}"#)).unwrap())
+            .unwrap();
+    }
+    g.add_edge("knows", "persons/1", "persons/2", mmdb::from_json("{}").unwrap()).unwrap();
+    db.create_bucket("cart").unwrap();
+    db.kv_put("cart", "2", Value::str("0c6df508")).unwrap();
+    db.create_collection("orders").unwrap();
+    db.insert_json(
+        "orders",
+        r#"{"_key":"0c6df508","orderlines":[
+            {"product_no":"2724f","price":66},{"product_no":"3424g","price":40}]}"#,
+    )
+    .unwrap();
+    db
+}
+
+fn start(config: ServerConfig) -> (Arc<Database>, Server, String) {
+    let db = Arc::new(paper_db());
+    let server = Server::start(Arc::clone(&db), config).unwrap();
+    let addr = server.local_addr().to_string();
+    (db, server, addr)
+}
+
+#[test]
+fn explain_analyze_reports_rows_timings_and_access_paths() {
+    let (db, server, addr) = start(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+
+    let report = client.explain_analyze(RECOMMENDATION).unwrap();
+    // Every operator line carries actual row counts and a timing; the
+    // customer scan reports its access path.
+    assert!(report.contains("rows:"), "{report}");
+    assert!(report.contains("time:"), "{report}");
+    assert!(report.contains("full scan"), "{report}");
+    assert!(report.contains("rows returned: 2"), "{report}");
+    assert!(report.contains("Traverse"), "{report}");
+
+    // After an index on the filtered field appears, the same query's
+    // access path flips from a full collection scan to the named index.
+    db.world().collection("customers").unwrap().create_persistent_index("credit_limit").unwrap();
+    let report = client.explain_analyze(RECOMMENDATION).unwrap();
+    assert!(report.contains("index 'credit_limit'"), "{report}");
+    assert!(!report.contains("full scan (document-collection 'customers')"), "{report}");
+    assert!(report.contains("rows returned: 2"), "{report}");
+
+    // Plain EXPLAIN still answers and does not carry runtime numbers.
+    let plan = client.explain(RECOMMENDATION).unwrap();
+    assert!(!plan.contains("time:"), "{plan}");
+
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn slow_query_log_records_queries_over_the_threshold() {
+    // Threshold zero: every query is "slow", so the log fills.
+    let config =
+        ServerConfig { slow_query_threshold: Duration::ZERO, ..ServerConfig::default() };
+    let (_db, server, addr) = start(config);
+    let mut client = Client::connect(&addr).unwrap();
+
+    let log = client.admin_slowlog().unwrap();
+    assert_eq!(log, Value::Array(vec![]), "log starts empty");
+
+    client.query(RECOMMENDATION).unwrap();
+    client.query("FOR x IN no_such_source RETURN x").unwrap_err();
+    // ^ errors must NOT land in the slow-query log, only completed
+    //   executions do.
+    let log = client.admin_slowlog().unwrap();
+    let entries = log.as_array().unwrap();
+    assert_eq!(entries.len(), 1, "{log:?}");
+    let entry = &entries[0];
+    assert_eq!(entry.get_field("kind"), &Value::str("mmql"));
+    assert_eq!(entry.get_field("query"), &Value::str(RECOMMENDATION));
+    assert_eq!(entry.get_field("rows"), &Value::int(2));
+    assert!(entry.get_field("total_us").as_int().unwrap() >= 0);
+    let ops = entry.get_field("ops").as_array().unwrap();
+    assert!(!ops.is_empty(), "per-operator breakdown present");
+    assert!(ops.iter().all(|op| op.get_field("elapsed_us").as_int().is_ok()));
+
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn fast_queries_stay_out_of_the_slow_query_log() {
+    // The default threshold (hundreds of ms) is far above these queries.
+    let (_db, server, addr) = start(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+    for _ in 0..5 {
+        client.query(RECOMMENDATION).unwrap();
+    }
+    let log = client.admin_slowlog().unwrap();
+    assert_eq!(log, Value::Array(vec![]));
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn admin_stats_reports_access_paths_and_model_ops() {
+    let (db, server, addr) = start(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Typed ops across three models.
+    client
+        .insert_document("orders", mmdb::from_json(r#"{"_key":"x1","total":1}"#).unwrap())
+        .unwrap();
+    client.kv_put("cart", "9", Value::str("x1")).unwrap();
+    client.kv_get("cart", "9").unwrap();
+    client.rdf_insert("mary", "knows", Value::str("john")).unwrap();
+
+    // A query whose FOR runs as a full collection scan...
+    client.query("FOR c IN customers FILTER c.credit_limit > 3000 RETURN c._key").unwrap();
+    // ...and RDF lookups: one indexed (bound subject), one full scan.
+    client.query("RETURN TRIPLES(\"mary\", NULL, NULL)").unwrap();
+    client.query("RETURN TRIPLES(NULL, NULL, NULL)").unwrap();
+
+    let stats = client.admin_stats().unwrap();
+    let models = stats.get_field("model_ops");
+    assert_eq!(models.get_field("document").as_int().unwrap(), 1);
+    assert_eq!(models.get_field("kv").as_int().unwrap(), 2);
+    assert_eq!(models.get_field("rdf").as_int().unwrap(), 1);
+    assert_eq!(models.get_field("relational").as_int().unwrap(), 0);
+
+    let paths = stats.get_field("access_paths");
+    assert!(paths.get_field("full_scans").as_int().unwrap() >= 1, "{paths:?}");
+    assert_eq!(paths.get_field("index_scans").as_int().unwrap(), 0);
+    assert!(paths.get_field("rdf_indexed").as_int().unwrap() >= 1, "{paths:?}");
+    assert!(paths.get_field("rdf_scans").as_int().unwrap() >= 1, "{paths:?}");
+
+    // With an index, re-running the query bumps the index-scan counter.
+    db.world().collection("customers").unwrap().create_persistent_index("credit_limit").unwrap();
+    client.query("FOR c IN customers FILTER c.credit_limit > 3000 RETURN c._key").unwrap();
+    let stats = client.admin_stats().unwrap();
+    let paths = stats.get_field("access_paths");
+    assert!(paths.get_field("index_scans").as_int().unwrap() >= 1, "{paths:?}");
+
+    server.shutdown().unwrap();
+}
