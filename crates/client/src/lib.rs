@@ -238,6 +238,16 @@ impl Client {
         }
     }
 
+    /// Clear the server's slow-query log. Returns `{"dropped": N}` with
+    /// the number of entries discarded.
+    pub fn admin_slowlog_reset(&mut self) -> Result<Value> {
+        let req = Request::Admin { command: "SLOWLOG RESET".into() };
+        match self.call(&req)? {
+            Response::Stats(v) => Ok(v),
+            other => Err(unexpected(&req, &other)),
+        }
+    }
+
     /// Fetch the server's health summary: `{"status": "ok"}` while the
     /// engine accepts writes, `{"status": "degraded", "reason": ...}` once
     /// a durability failure has latched it read-only.

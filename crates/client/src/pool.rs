@@ -288,13 +288,13 @@ pub struct PooledClient {
 impl Deref for PooledClient {
     type Target = Client;
     fn deref(&self) -> &Client {
-        self.client.as_ref().expect("client taken")
+        self.client.as_ref().expect("client taken") // lint: allow(panic, client is Some from checkout until drop returns it to the pool)
     }
 }
 
 impl DerefMut for PooledClient {
     fn deref_mut(&mut self) -> &mut Client {
-        self.client.as_mut().expect("client taken")
+        self.client.as_mut().expect("client taken") // lint: allow(panic, client is Some from checkout until drop returns it to the pool)
     }
 }
 

@@ -132,7 +132,7 @@ mod registry {
             if let Ok(spec) = std::env::var("MMDB_FAILPOINTS") {
                 // A bad env spec is a harness bug; failing loudly beats
                 // silently running the test without its faults.
-                apply_spec(&mut map, &spec).expect("invalid MMDB_FAILPOINTS");
+                apply_spec(&mut map, &spec).expect("invalid MMDB_FAILPOINTS"); // lint: allow(panic, bad MMDB_FAILPOINTS spec is a harness bug; failing loudly is the contract)
             }
             Mutex::new(map)
         });
@@ -211,7 +211,7 @@ mod registry {
             Action::Off => Decision::Proceed,
             Action::Error => Decision::Fail(format!("injected failure at {site}")),
             Action::Short => Decision::Short,
-            Action::Panic => panic!("failpoint {site}: injected panic"),
+            Action::Panic => panic!("failpoint {site}: injected panic"), // lint: allow(panic, Action..Panic IS the injected fault; panicking here is the feature)
             Action::Delay(ms) => {
                 std::thread::sleep(std::time::Duration::from_millis(ms));
                 Decision::Proceed

@@ -87,8 +87,15 @@ impl Graph {
 
     /// Add an edge collection.
     pub fn create_edge_collection(&self, name: &str) -> Result<()> {
+        // Check `vertices` with a temporary guard before taking `edges`:
+        // holding `edges` while reading `vertices` would nest opposite
+        // to `create_vertex_collection` (declared order: vertices before
+        // edges) and risk an AB/BA deadlock.
+        if self.vertices.read().contains_key(name) {
+            return Err(Error::AlreadyExists(format!("collection '{name}'")));
+        }
         let mut es = self.edges.write();
-        if es.contains_key(name) || self.vertices.read().contains_key(name) {
+        if es.contains_key(name) {
             return Err(Error::AlreadyExists(format!("collection '{name}'")));
         }
         es.insert(name.to_string(), Arc::new(Collection::create(name, Arc::clone(&self.pool))?));

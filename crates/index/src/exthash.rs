@@ -128,7 +128,7 @@ impl<K: Hash + Eq + Clone, V> ExtendibleHashMap<K, V> {
         if local == self.global_depth {
             // Double the directory.
             if self.global_depth >= 62 {
-                panic!("extendible hash directory limit reached");
+                panic!("extendible hash directory limit reached"); // lint: allow(panic, 2^62 directory entries exceeds addressable memory; unreachable capacity invariant)
             }
             let old = self.directory.clone();
             self.directory.extend(old);

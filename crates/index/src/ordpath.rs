@@ -107,7 +107,7 @@ impl OrdPath {
                     c.push(1);
                     return OrdPath { components: c };
                 }
-                Ordering::Greater => unreachable!("left < right violated"),
+                Ordering::Greater => unreachable!("left < right violated"), // lint: allow(panic, caller guarantees left < right; Greater contradicts the precondition)
             }
         }
         // One is a prefix of the other; since left < right, left is the

@@ -160,7 +160,7 @@ impl<T> RTree<T> {
                             )
                     })
                     .map(|(i, _)| i)
-                    .expect("internal node has children");
+                    .expect("internal node has children"); // lint: allow(panic, R-tree invariant: internal nodes always have at least one child)
                 match Self::insert_rec(&mut entries[idx].1, rect, value) {
                     None => {
                         entries[idx].0 = entries[idx].0.union(&rect);
@@ -245,7 +245,7 @@ impl<T> RTree<T> {
                 }
                 continue;
             }
-            match c.node.expect("node or entry") {
+            match c.node.expect("node or entry") { // lint: allow(panic, candidates carry node xor entry; the entry case returned above)
                 RNode::Leaf(entries) => {
                     for (r, v) in entries {
                         heap.push(Cand { dist2: r.min_dist2(x, y), node: None, entry: Some((r, v)) });

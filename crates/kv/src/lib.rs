@@ -119,7 +119,7 @@ impl KvStore {
             if last == 0xFF {
                 end.pop();
             } else {
-                *end.last_mut().expect("nonempty") += 1;
+                *end.last_mut().expect("nonempty") += 1; // lint: allow(panic, while-let just matched Some, so end is nonempty)
                 break;
             }
         }

@@ -1,0 +1,7 @@
+// "engine.gone" is rostered but no code fires it: a stale entry that
+// gives false torture coverage.
+pub const FAILPOINT_SITES: &[&str] = &["engine.flush", "engine.gone"];
+
+pub fn flush() {
+    mmdb_fault::fail_point!("engine.flush");
+}

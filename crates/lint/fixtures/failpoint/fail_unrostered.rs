@@ -1,0 +1,11 @@
+// "engine.compact" fires at runtime but is missing from the roster:
+// the torture suite would never exercise it.
+pub const FAILPOINT_SITES: &[&str] = &["engine.flush"];
+
+pub fn flush() {
+    mmdb_fault::fail_point!("engine.flush");
+}
+
+pub fn compact() {
+    mmdb_fault::fail_point!("engine.compact");
+}

@@ -1,0 +1,14 @@
+// Roster and call sites agree: every fail_point! literal is rostered,
+// every roster entry has a live call site.
+pub const FAILPOINT_SITES: &[&str] = &[
+    "engine.flush",
+    "engine.compact",
+];
+
+pub fn flush() {
+    mmdb_fault::fail_point!("engine.flush");
+}
+
+pub fn compact() -> Result<(), String> {
+    mmdb_fault::eval_to_error("engine.compact").map_or(Ok(()), Err)
+}

@@ -1,0 +1,11 @@
+// A staged site, not yet rostered, suppressed with a reason at the
+// call site.
+pub const FAILPOINT_SITES: &[&str] = &["engine.flush"];
+
+pub fn flush() {
+    mmdb_fault::fail_point!("engine.flush");
+}
+
+pub fn experimental() {
+    mmdb_fault::fail_point!("engine.staged"); // lint: allow(failpoint, staged site; rostered when the feature lands)
+}

@@ -1,0 +1,8 @@
+// Undeclared nesting: `journal` acquired while `cache` is held, with
+// no [[lock_order]] entry — a deadlock risk the table never blessed.
+pub fn refresh(s: &Store) {
+    let cache = s.cache.write();
+    let journal = s.journal.lock();
+    drop(journal);
+    drop(cache);
+}

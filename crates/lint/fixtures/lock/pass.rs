@@ -1,0 +1,7 @@
+// Nested acquisition in the declared order (accounts before ledger in
+// the test's lint.toml): allowed.
+pub fn transfer(bank: &Bank) {
+    let accounts = bank.accounts.lock();
+    let mut ledger = bank.ledger.lock();
+    ledger.push(accounts.len());
+}

@@ -1,0 +1,8 @@
+// Undeclared nesting, suppressed at the inner acquisition with the
+// reason.
+pub fn snapshot(s: &Store) {
+    let cache = s.cache.read();
+    let journal = s.journal.lock(); // lint: allow(lock, both locks private to this type; snapshot is the only nesting site)
+    drop(journal);
+    drop(cache);
+}

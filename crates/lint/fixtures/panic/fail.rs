@@ -1,0 +1,13 @@
+// A bare unwrap, an expect, and a panic! on non-test paths: three
+// violations.
+pub fn head(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn tail(v: &[u32]) -> u32 {
+    *v.last().expect("nonempty")
+}
+
+pub fn boom() {
+    panic!("unconditional");
+}

@@ -1,0 +1,15 @@
+// Clean engine code: fallible lookups return Option/Result; unwraps
+// only appear inside test regions, which the lexer marks and the rule
+// skips.
+pub fn head(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,12 @@
+// The same unwrap, but with the invariant asserted and a reasoned
+// pragma: no violation.
+pub fn head(v: &[u32]) -> u32 {
+    assert!(!v.is_empty());
+    *v.first().unwrap() // lint: allow(panic, asserted nonempty one line up)
+}
+
+pub fn tail(v: &[u32]) -> u32 {
+    assert!(!v.is_empty());
+    // lint: allow(panic, asserted nonempty; pragma on the comment line above also counts)
+    *v.last().unwrap()
+}

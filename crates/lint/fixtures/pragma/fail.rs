@@ -1,0 +1,11 @@
+// Two malformed pragmas: an unknown rule name, and a known rule with
+// no reason. Each is itself a violation (and suppresses nothing).
+pub fn a() {
+    let x: Option<u32> = None;
+    let _ = x.unwrap(); // lint: allow(panics, typo in the rule name)
+}
+
+pub fn b() {
+    let x: Option<u32> = None;
+    let _ = x.unwrap(); // lint: allow(panic)
+}

@@ -1,0 +1,5 @@
+// A well-formed pragma: known rule, nonempty reason.
+pub fn head(v: &[u32]) -> u32 {
+    assert!(!v.is_empty());
+    *v.first().unwrap() // lint: allow(panic, asserted nonempty above)
+}

@@ -1,0 +1,8 @@
+// Relaxed outside a designated counter module, no pragma: violation.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static FLAG: AtomicU64 = AtomicU64::new(0);
+
+pub fn set() {
+    FLAG.store(1, Ordering::Relaxed);
+}

@@ -1,0 +1,9 @@
+// This fixture is scanned under a designated counter-module path
+// (see the test's lint.toml), where Relaxed is allowed wholesale.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static HITS: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}

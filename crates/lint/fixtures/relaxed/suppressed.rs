@@ -1,0 +1,8 @@
+// Relaxed outside a counter module, but with a reasoned pragma.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub static GEN: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() {
+    GEN.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed, generation hint only; readers revalidate under the lock)
+}

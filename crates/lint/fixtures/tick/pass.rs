@@ -1,0 +1,18 @@
+// Every loop in an executor file ticks per iteration (or forwards
+// ticking to a callee whose name says so).
+pub fn drain(rows: &[u64]) -> Result<u64, String> {
+    let mut sum = 0;
+    for r in rows {
+        cancel::tick()?;
+        sum += *r;
+    }
+    Ok(sum)
+}
+
+pub fn pump(rows: &[u64]) -> Result<u64, String> {
+    let mut sum = 0;
+    while sum < 10 {
+        tick_and_add(&mut sum, rows)?;
+    }
+    Ok(sum)
+}

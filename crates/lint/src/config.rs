@@ -1,0 +1,256 @@
+//! `lint.toml` — the linter's declarative configuration.
+//!
+//! A deliberately tiny TOML subset parser (zero dependencies): bare
+//! tables `[name]`, array-of-tables `[[name]]`, string values, and
+//! string arrays (single- or multi-line). That is everything the
+//! config needs; anything else in the file is a hard error so typos
+//! cannot silently disable a rule.
+
+use std::collections::BTreeMap;
+
+/// One `outer` lock may be held while acquiring `inner`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEdge {
+    pub outer: String,
+    pub inner: String,
+}
+
+/// Parsed `lint.toml`.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    /// Path prefixes never scanned (fixtures, build output).
+    pub skip: Vec<String>,
+    /// Path prefixes exempt from the no-panic rule (vendored shims,
+    /// benchmark harness — not engine code).
+    pub no_panic_exempt: Vec<String>,
+    /// Path prefixes exempt from the failpoint-roster rule (the
+    /// failpoint framework itself).
+    pub failpoints_exempt: Vec<String>,
+    /// Files where `Ordering::Relaxed` is allowed without a pragma
+    /// (designated counter modules).
+    pub relaxed_allowed: Vec<String>,
+    /// Files whose loops must call `cancel::tick()` (executors).
+    pub tick_files: Vec<String>,
+    /// Path prefixes exempt from the lock-nesting rule.
+    pub locks_exempt: Vec<String>,
+    /// The declared lock-order table: permitted nestings.
+    pub lock_order: Vec<LockEdge>,
+}
+
+impl Config {
+    /// Parse `lint.toml` text.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut sections: BTreeMap<String, BTreeMap<String, Vec<String>>> = BTreeMap::new();
+        let mut lock_order: Vec<LockEdge> = Vec::new();
+        let mut current: Option<String> = None;
+        let mut in_lock_order = false;
+        let mut pending_key: Option<(String, Vec<String>)> = None;
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some((key, mut items)) = pending_key.take() {
+                // Continuation of a multi-line array.
+                let (more, done) = parse_array_items(&line)?;
+                items.extend(more);
+                if done {
+                    insert_value(&mut sections, &mut lock_order, &current, in_lock_order, &key, items, lineno)?;
+                } else {
+                    pending_key = Some((key, items));
+                }
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+                if name.trim() != "lock_order" {
+                    return Err(format!("lint.toml:{}: unknown array-of-tables [[{}]]", lineno + 1, name.trim()));
+                }
+                in_lock_order = true;
+                current = None;
+                lock_order.push(LockEdge { outer: String::new(), inner: String::new() });
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                in_lock_order = false;
+                current = Some(name.trim().to_string());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("lint.toml:{}: expected `key = value`", lineno + 1));
+            };
+            let key = key.trim().to_string();
+            let value = value.trim();
+            if let Some(open) = value.strip_prefix('[') {
+                let (items, done) = parse_array_items(open)?;
+                if done {
+                    insert_value(&mut sections, &mut lock_order, &current, in_lock_order, &key, items, lineno)?;
+                } else {
+                    pending_key = Some((key, items));
+                }
+            } else {
+                let s = parse_string(value)
+                    .ok_or_else(|| format!("lint.toml:{}: expected a quoted string", lineno + 1))?;
+                insert_value(&mut sections, &mut lock_order, &current, in_lock_order, &key, vec![s], lineno)?;
+            }
+        }
+        if pending_key.is_some() {
+            return Err("lint.toml: unterminated array".to_string());
+        }
+
+        let get = |section: &str, key: &str| -> Vec<String> {
+            sections.get(section).and_then(|s| s.get(key)).cloned().unwrap_or_default()
+        };
+        for (i, e) in lock_order.iter().enumerate() {
+            if e.outer.is_empty() || e.inner.is_empty() {
+                return Err(format!("lint.toml: [[lock_order]] entry {} needs both `outer` and `inner`", i + 1));
+            }
+        }
+        Ok(Config {
+            skip: get("scan", "skip"),
+            no_panic_exempt: get("no_panic", "exempt"),
+            failpoints_exempt: get("failpoints", "exempt"),
+            relaxed_allowed: get("relaxed", "allowed"),
+            tick_files: get("executor_tick", "files"),
+            locks_exempt: get("locks", "exempt"),
+            lock_order,
+        })
+    }
+
+    /// Is the declared lock order table happy with `outer` held while
+    /// acquiring `inner`?
+    pub fn lock_edge_declared(&self, outer: &str, inner: &str) -> bool {
+        self.lock_order.iter().any(|e| e.outer == outer && e.inner == inner)
+    }
+}
+
+fn insert_value(
+    sections: &mut BTreeMap<String, BTreeMap<String, Vec<String>>>,
+    lock_order: &mut [LockEdge],
+    current: &Option<String>,
+    in_lock_order: bool,
+    key: &str,
+    items: Vec<String>,
+    lineno: usize,
+) -> Result<(), String> {
+    if in_lock_order {
+        let entry = lock_order
+            .last_mut()
+            .ok_or_else(|| format!("lint.toml:{}: key outside a table", lineno + 1))?;
+        let value = items
+            .first()
+            .cloned()
+            .ok_or_else(|| format!("lint.toml:{}: [[lock_order]] values must be strings", lineno + 1))?;
+        match key {
+            "outer" => entry.outer = value,
+            "inner" => entry.inner = value,
+            other => {
+                return Err(format!("lint.toml:{}: unknown [[lock_order]] key `{other}`", lineno + 1))
+            }
+        }
+        return Ok(());
+    }
+    let section = current
+        .clone()
+        .ok_or_else(|| format!("lint.toml:{}: key `{key}` outside a [section]", lineno + 1))?;
+    sections.entry(section).or_default().insert(key.to_string(), items);
+    Ok(())
+}
+
+/// Parse items after an opening `[`; returns (items, closed?).
+fn parse_array_items(rest: &str) -> Result<(Vec<String>, bool), String> {
+    let mut items = Vec::new();
+    let mut s = rest.trim();
+    loop {
+        s = s.trim_start_matches(',').trim();
+        if s.is_empty() {
+            return Ok((items, false));
+        }
+        if let Some(after) = s.strip_prefix(']') {
+            if !after.trim().is_empty() {
+                return Err(format!("lint.toml: trailing content after `]`: `{after}`"));
+            }
+            return Ok((items, true));
+        }
+        if !s.starts_with('"') {
+            return Err(format!("lint.toml: array items must be quoted strings, got `{s}`"));
+        }
+        let end = s[1..]
+            .find('"')
+            .ok_or_else(|| format!("lint.toml: unterminated string in `{s}`"))?;
+        items.push(s[1..1 + end].to_string());
+        s = &s[end + 2..];
+    }
+}
+
+fn parse_string(v: &str) -> Option<String> {
+    let v = v.trim();
+    let inner = v.strip_prefix('"')?.strip_suffix('"')?;
+    if inner.contains('"') {
+        return None;
+    }
+    Some(inner.to_string())
+}
+
+/// Strip a `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_shape() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[scan]
+skip = ["target", "crates/lint/fixtures"]
+
+[no_panic]
+exempt = [
+    "shims/",   # vendored
+    "crates/bench/",
+]
+
+[relaxed]
+allowed = ["crates/server/src/metrics.rs"]
+
+[executor_tick]
+files = ["crates/query/src/exec.rs"]
+
+[[lock_order]]
+outer = "queue"
+inner = "slowlog"
+
+[[lock_order]]
+outer = "versions"
+inner = "wal"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.skip, vec!["target", "crates/lint/fixtures"]);
+        assert_eq!(cfg.no_panic_exempt, vec!["shims/", "crates/bench/"]);
+        assert!(cfg.lock_edge_declared("queue", "slowlog"));
+        assert!(cfg.lock_edge_declared("versions", "wal"));
+        assert!(!cfg.lock_edge_declared("slowlog", "queue"));
+    }
+
+    #[test]
+    fn rejects_unknown_shapes() {
+        assert!(Config::parse("[scan]\nskip = 3\n").is_err());
+        assert!(Config::parse("key = \"x\"\n").is_err());
+        assert!(Config::parse("[[locks]]\n").is_err());
+        assert!(Config::parse("[[lock_order]]\nouter = \"a\"\n").is_err());
+    }
+}

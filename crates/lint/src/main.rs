@@ -1,0 +1,65 @@
+//! `mmdb-lint` — scan the workspace for invariant violations.
+//!
+//! ```text
+//! cargo run --release -p mmdb-lint            # from the repo root
+//! cargo run --release -p mmdb-lint -- --root /path/to/repo
+//! ```
+//!
+//! Prints `file:line: rule: message` per violation and exits nonzero if
+//! any were found. Configuration lives in `<root>/lint.toml`; see
+//! DESIGN.md "Static analysis" for the rule catalogue and the pragma
+//! grammar.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let mut root = PathBuf::from(".");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => root = PathBuf::from(p),
+                    None => usage("--root needs a path"),
+                }
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+
+    let started = Instant::now();
+    let diags = match mmdb_lint::scan_root(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("mmdb-lint: {e}");
+            std::process::exit(2);
+        }
+    };
+    let files = mmdb_lint::count_rs_files(&root).unwrap_or(0);
+    for d in &diags {
+        println!("{d}");
+    }
+    let elapsed = started.elapsed();
+    if diags.is_empty() {
+        println!("mmdb-lint: {files} files clean in {elapsed:.2?}");
+    } else {
+        eprintln!(
+            "mmdb-lint: {} violation(s) across {files} files in {elapsed:.2?}",
+            diags.len()
+        );
+        std::process::exit(1);
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}");
+    }
+    eprintln!("usage: mmdb-lint [--root PATH]");
+    std::process::exit(2);
+}

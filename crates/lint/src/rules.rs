@@ -1,0 +1,848 @@
+//! The rule engine: five project-specific invariants plus the pragma
+//! meta-rule.
+//!
+//! | rule        | invariant                                                      |
+//! |-------------|----------------------------------------------------------------|
+//! | `panic`     | no `.unwrap()`/`.expect(`/`panic!`/`unreachable!`/`todo!` on non-test engine paths |
+//! | `failpoint` | every `fail_point!`/`mmdb_fault::eval*` site is rostered in its crate's `FAILPOINT_SITES`, and every roster entry has a live call site |
+//! | `relaxed`   | `Ordering::Relaxed` only in the designated counter modules     |
+//! | `tick`      | every loop in the executor files contains a `cancel::tick()` (or tick-forwarding) call |
+//! | `lock`      | nested `.lock()`/`.read()`/`.write()` acquisitions follow the declared lock-order table |
+//! | `pragma`    | every `// lint: allow(rule, reason)` names a known rule and gives a reason |
+//!
+//! Suppression is pragma-only and always carries a reason:
+//! `// lint: allow(panic, length checked two lines up)` on the
+//! offending line, or on a comment-only line directly above it.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::Config;
+use crate::lex::{contains_token, find_token, is_ident, string_literals, SourceFile};
+
+/// Every rule name a pragma may reference.
+pub const RULE_NAMES: &[&str] = &["panic", "failpoint", "relaxed", "tick", "lock", "pragma"];
+
+/// One `file:line: rule: message` finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.path, self.line, self.rule, self.msg)
+    }
+}
+
+/// Run every rule over the lexed files.
+pub fn check_files(files: &[SourceFile], cfg: &Config) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for file in files {
+        check_pragmas(file, &mut out);
+        check_no_panic(file, cfg, &mut out);
+        check_relaxed(file, cfg, &mut out);
+        check_tick(file, cfg, &mut out);
+        check_locks(file, cfg, &mut out);
+    }
+    check_failpoints(files, cfg, &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Test-only source by location: `tests/`, `benches/`, `examples/`,
+/// `fixtures/` trees hold no production paths.
+fn is_test_path(path: &str) -> bool {
+    path.split('/').any(|c| matches!(c, "tests" | "benches" | "examples" | "fixtures"))
+}
+
+fn path_exempt(path: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p.as_str()))
+}
+
+// ---- pragmas ---------------------------------------------------------------
+
+/// Pragmas parsed from one comment: `(rule, has_reason)` pairs.
+fn parse_pragmas(comment: &str) -> Option<Vec<(String, bool)>> {
+    // A pragma comment *starts* with `lint:` (doc comments that merely
+    // quote the grammar mid-sentence are not pragmas).
+    let trimmed = comment.trim_start();
+    if !trimmed.starts_with("lint:") {
+        return None;
+    }
+    let mut rest = &trimmed[5..];
+    let mut out = Vec::new();
+    while let Some(open) = rest.find("allow(") {
+        let body_start = open + 6;
+        let Some(close) = rest[body_start..].find(')') else {
+            out.push((String::new(), false));
+            break;
+        };
+        let body = &rest[body_start..body_start + close];
+        match body.split_once(',') {
+            Some((rule, reason)) => {
+                out.push((rule.trim().to_string(), !reason.trim().is_empty()))
+            }
+            None => out.push((body.trim().to_string(), false)),
+        }
+        rest = &rest[body_start + close + 1..];
+    }
+    Some(out)
+}
+
+/// Is `rule` suppressed at `idx` — by a pragma on the line itself, or
+/// on the run of comment-only lines directly above it?
+fn suppressed(file: &SourceFile, idx: usize, rule: &str) -> bool {
+    let allows = |i: usize| -> bool {
+        parse_pragmas(&file.lines[i].comment)
+            .is_some_and(|ps| ps.iter().any(|(r, ok)| r == rule && *ok))
+    };
+    if allows(idx) {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let line = &file.lines[i];
+        if !line.code.trim().is_empty() {
+            return false;
+        }
+        if line.comment.is_empty() {
+            return false;
+        }
+        if allows(i) {
+            return true;
+        }
+    }
+    false
+}
+
+/// The pragma meta-rule: malformed or unknown-rule pragmas are
+/// themselves violations, so a typo can never silently suppress.
+fn check_pragmas(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        let Some(pragmas) = parse_pragmas(&line.comment) else { continue };
+        if pragmas.is_empty() {
+            out.push(Diagnostic {
+                path: file.path.clone(),
+                line: idx + 1,
+                rule: "pragma",
+                msg: "`lint:` comment without an `allow(rule, reason)` clause".to_string(),
+            });
+            continue;
+        }
+        for (rule, has_reason) in pragmas {
+            if !RULE_NAMES.contains(&rule.as_str()) {
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: idx + 1,
+                    rule: "pragma",
+                    msg: format!(
+                        "unknown rule '{rule}' in lint pragma (known: {})",
+                        RULE_NAMES.join(", ")
+                    ),
+                });
+            } else if !has_reason {
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: idx + 1,
+                    rule: "pragma",
+                    msg: format!(
+                        "lint pragma for '{rule}' needs a reason: `lint: allow({rule}, <why>)`"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---- rule: panic -----------------------------------------------------------
+
+const PANIC_PATTERNS: &[&str] = &[".unwrap()", ".expect(", "panic!", "unreachable!", "todo!"];
+
+fn check_no_panic(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if is_test_path(&file.path) || path_exempt(&file.path, &cfg.no_panic_exempt) {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let mut found: Vec<&str> = Vec::new();
+        for pat in PANIC_PATTERNS {
+            let hit = if pat.starts_with('.') {
+                line.masked.contains(pat)
+            } else {
+                contains_token(&line.masked, pat)
+            };
+            if hit {
+                found.push(pat);
+            }
+        }
+        if found.is_empty() || suppressed(file, idx, "panic") {
+            continue;
+        }
+        out.push(Diagnostic {
+            path: file.path.clone(),
+            line: idx + 1,
+            rule: "panic",
+            msg: format!(
+                "{} on a non-test engine path; return a typed Error or annotate \
+                 `// lint: allow(panic, <reason>)`",
+                found.join(" and ")
+            ),
+        });
+    }
+}
+
+// ---- rule: relaxed ---------------------------------------------------------
+
+fn check_relaxed(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if is_test_path(&file.path) || cfg.relaxed_allowed.iter().any(|p| p == &file.path) {
+        return;
+    }
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || !line.masked.contains("Ordering::Relaxed") {
+            continue;
+        }
+        if suppressed(file, idx, "relaxed") {
+            continue;
+        }
+        out.push(Diagnostic {
+            path: file.path.clone(),
+            line: idx + 1,
+            rule: "relaxed",
+            msg: "Ordering::Relaxed outside the designated counter modules; use a \
+                  stronger ordering or annotate `// lint: allow(relaxed, <reason>)`"
+                .to_string(),
+        });
+    }
+}
+
+// ---- rule: tick ------------------------------------------------------------
+
+fn check_tick(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if !cfg.tick_files.iter().any(|p| p == &file.path) {
+        return;
+    }
+    let (text, line_of) = file.masked_text();
+    let chars: Vec<char> = text.chars().collect();
+    for (kw_pos, body) in find_loops(&chars) {
+        let line_idx = line_of[kw_pos];
+        if file.lines[line_idx].in_test {
+            continue;
+        }
+        let body_text: String = chars[body.0..body.1].iter().collect();
+        if calls_tick(&body_text) {
+            continue;
+        }
+        if suppressed(file, line_idx, "tick") {
+            continue;
+        }
+        out.push(Diagnostic {
+            path: file.path.clone(),
+            line: line_idx + 1,
+            rule: "tick",
+            msg: "executor loop without a cancel::tick() call — rows iterated here \
+                  escape deadlines; tick per item or annotate \
+                  `// lint: allow(tick, <reason>)`"
+                .to_string(),
+        });
+    }
+}
+
+/// Does `body` call a tick function — `cancel::tick()`, `.tick()`, or
+/// any tick-forwarding helper (`tick_every(..)`, `forward_ticks(..)`)?
+fn calls_tick(body: &str) -> bool {
+    let cs: Vec<char> = body.chars().collect();
+    let mut k = 0usize;
+    while k < cs.len() {
+        if is_ident(cs[k]) && (k == 0 || !is_ident(cs[k - 1])) {
+            let start = k;
+            while k < cs.len() && is_ident(cs[k]) {
+                k += 1;
+            }
+            let ident: String = cs[start..k].iter().collect();
+            if ident.contains("tick") && cs.get(k) == Some(&'(') {
+                return true;
+            }
+        } else {
+            k += 1;
+        }
+    }
+    false
+}
+
+/// Find `for`/`while`/`loop` loops: (keyword position, body span).
+fn find_loops(chars: &[char]) -> Vec<(usize, (usize, usize))> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if !c.is_alphabetic() || (i > 0 && is_ident(chars[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let mut j = i;
+        while j < chars.len() && is_ident(chars[j]) {
+            j += 1;
+        }
+        let word: String = chars[i..j].iter().collect();
+        let needs_in = match word.as_str() {
+            "for" => true,
+            "while" | "loop" => false,
+            _ => {
+                i = j;
+                continue;
+            }
+        };
+        // `for<'a>` higher-ranked bounds are not loops.
+        let next_nonws = chars[j..].iter().find(|c| !c.is_whitespace());
+        if word == "for" && next_nonws == Some(&'<') {
+            i = j;
+            continue;
+        }
+        if word == "loop" && next_nonws != Some(&'{') {
+            i = j;
+            continue;
+        }
+        // Scan the header to the body's `{` at bracket depth 0.
+        let mut k = j;
+        let mut depth = 0i32;
+        let mut saw_in = false;
+        let mut open = None;
+        while k < chars.len() {
+            match chars[k] {
+                '(' | '[' => depth += 1,
+                ')' | ']' => depth -= 1,
+                '{' if depth == 0 => {
+                    open = Some(k);
+                    break;
+                }
+                ';' if depth == 0 => break, // not a loop header after all
+                c2 if is_ident(c2) => {
+                    let mut m = k;
+                    while m < chars.len() && is_ident(chars[m]) {
+                        m += 1;
+                    }
+                    let w: String = chars[k..m].iter().collect();
+                    if w == "in" && (k == 0 || !is_ident(chars[k - 1])) {
+                        saw_in = true;
+                    }
+                    k = m;
+                    continue;
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(open) = open else {
+            i = j;
+            continue;
+        };
+        if needs_in && !saw_in {
+            // `impl Trait for Type {` — not a loop.
+            i = j;
+            continue;
+        }
+        // Matching close brace.
+        let mut level = 0i32;
+        let mut end = open;
+        for (off, &c2) in chars[open..].iter().enumerate() {
+            match c2 {
+                '{' => level += 1,
+                '}' => {
+                    level -= 1;
+                    if level == 0 {
+                        end = open + off;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        out.push((i, (open, end + 1)));
+        i = j;
+    }
+    out
+}
+
+// ---- rule: lock ------------------------------------------------------------
+
+#[derive(Debug)]
+struct Guard {
+    /// Last path segment of the receiver, e.g. `versions` for
+    /// `self.store.versions.write()`.
+    name: String,
+    /// Binding variable when the guard was `let`-bound.
+    var: Option<String>,
+    /// Brace depth of the binding; the guard dies when a line starts
+    /// shallower than this.
+    depth: i32,
+}
+
+fn check_locks(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+    if is_test_path(&file.path) || path_exempt(&file.path, &cfg.locks_exempt) {
+        return;
+    }
+    let (text, line_of) = file.masked_text();
+    let chars: Vec<char> = text.chars().collect();
+    for (start, end) in find_fn_bodies(&chars) {
+        let first_line = line_of[start];
+        let last_line = line_of[end.min(line_of.len() - 1)];
+        if file.lines[first_line].in_test {
+            continue;
+        }
+        lint_fn_locks(file, cfg, first_line, last_line, out);
+    }
+}
+
+/// Body spans (between the braces) of every `fn` item.
+fn find_fn_bodies(chars: &[char]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < chars.len() {
+        if chars[i] == 'f'
+            && chars[i + 1] == 'n'
+            && (i == 0 || !is_ident(chars[i - 1]))
+            && chars.get(i + 2).is_some_and(|&c| !is_ident(c))
+        {
+            // Find the body `{` at paren depth 0, or `;` (no body).
+            let mut depth = 0i32;
+            let mut k = i + 2;
+            let mut open = None;
+            while k < chars.len() {
+                match chars[k] {
+                    '(' | '[' => depth += 1,
+                    ')' | ']' => depth -= 1,
+                    '{' if depth == 0 => {
+                        open = Some(k);
+                        break;
+                    }
+                    ';' if depth == 0 => break,
+                    _ => {}
+                }
+                k += 1;
+            }
+            if let Some(open) = open {
+                let mut level = 0i32;
+                for (off, &c) in chars[open..].iter().enumerate() {
+                    match c {
+                        '{' => level += 1,
+                        '}' => {
+                            level -= 1;
+                            if level == 0 {
+                                out.push((open, open + off));
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                i = open + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+const ACQUIRE_PATTERNS: &[&str] = &[".lock()", ".read()", ".write()"];
+
+fn lint_fn_locks(
+    file: &SourceFile,
+    cfg: &Config,
+    first_line: usize,
+    last_line: usize,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut active: Vec<Guard> = Vec::new();
+    let lines = file.lines.iter().enumerate().take(last_line + 1).skip(first_line);
+    for (idx, line) in lines {
+        if line.in_test {
+            continue;
+        }
+        active.retain(|g| line.depth >= g.depth);
+        if line.masked.contains("drop(") {
+            active.retain(|g| match &g.var {
+                Some(v) => {
+                    !line.masked.contains(&format!("drop({v})"))
+                        && !line.masked.contains(&format!("drop(&{v})"))
+                }
+                None => true,
+            });
+        }
+        let lchars: Vec<char> = line.masked.chars().collect();
+        let mut pos = 0usize;
+        let mut line_acquires: Vec<Guard> = Vec::new();
+        loop {
+            let mut best: Option<(usize, &str)> = None;
+            for pat in ACQUIRE_PATTERNS {
+                if let Some(p) = find_token_from(&lchars, pat, pos) {
+                    if best.is_none_or(|(b, _)| p < b) {
+                        best = Some((p, pat));
+                    }
+                }
+            }
+            let Some((at, pat)) = best else { break };
+            let name = receiver_name(&lchars, at);
+            // Report undeclared nestings against everything still held.
+            let quiet = suppressed(file, idx, "lock");
+            for g in active.iter().chain(line_acquires.iter()) {
+                if g.name == name || cfg.lock_edge_declared(&g.name, &name) || quiet {
+                    continue;
+                }
+                out.push(Diagnostic {
+                    path: file.path.clone(),
+                    line: idx + 1,
+                    rule: "lock",
+                    msg: format!(
+                        "'{name}' acquired while '{}' is held — undeclared lock \
+                         nesting (deadlock risk); declare `[[lock_order]] outer = \
+                         \"{}\" / inner = \"{name}\"` in lint.toml if this order is \
+                         intended, or drop the outer guard first",
+                        g.name, g.name
+                    ),
+                });
+            }
+            // Held beyond this statement? Only a plain `let g = ...();`
+            // binding keeps the guard alive; any other shape consumes it
+            // within the statement.
+            let after: String = lchars[at + pat.len()..].iter().collect();
+            let has_let = find_token(&line.masked, "let", 0)
+                .is_some_and(|let_at| let_at < at);
+            let held = after.trim_start().starts_with(';') && has_let;
+            let depth_here = line.depth
+                + lchars[..at].iter().filter(|&&c| c == '{').count() as i32
+                - lchars[..at].iter().filter(|&&c| c == '}').count() as i32;
+            let guard = Guard { name, var: let_binding(&line.masked), depth: depth_here };
+            if held {
+                active.push(guard);
+            } else {
+                // Alive for the rest of this statement (same line).
+                line_acquires.push(guard);
+            }
+            pos = at + pat.len();
+        }
+    }
+}
+
+/// Find `needle` as a token in `chars` at or after `from`.
+fn find_token_from(chars: &[char], needle: &str, from: usize) -> Option<usize> {
+    let s: String = chars[from..].iter().collect();
+    find_token(&s, needle, 0).map(|p| p + from)
+}
+
+/// The identifier immediately left of the acquisition's dot: the lock's
+/// field name (`versions` for `self.store.versions.write()`).
+fn receiver_name(chars: &[char], dot_at: usize) -> String {
+    let mut start = dot_at;
+    while start > 0 && is_ident(chars[start - 1]) {
+        start -= 1;
+    }
+    if start == dot_at {
+        return "<expr>".to_string();
+    }
+    chars[start..dot_at].iter().collect()
+}
+
+/// The variable bound by a `let [mut] name = ...` line, if any.
+fn let_binding(masked: &str) -> Option<String> {
+    let at = find_token(masked, "let", 0)?;
+    let rest: Vec<char> = masked.chars().skip(at + 3).collect();
+    let mut i = 0usize;
+    while i < rest.len() && rest[i].is_whitespace() {
+        i += 1;
+    }
+    // Skip a `mut` keyword.
+    if rest.len() >= i + 4 && rest[i..i + 3] == ['m', 'u', 't'] && rest[i + 3].is_whitespace() {
+        i += 4;
+        while i < rest.len() && rest[i].is_whitespace() {
+            i += 1;
+        }
+    }
+    let start = i;
+    while i < rest.len() && is_ident(rest[i]) {
+        i += 1;
+    }
+    if i == start {
+        return None; // tuple/struct pattern — treated as unnamed
+    }
+    Some(rest[start..i].iter().collect())
+}
+
+// ---- rule: failpoint -------------------------------------------------------
+
+const FAILPOINT_MARKERS: &[&str] = &[
+    "fail_point!(",
+    "mmdb_fault::eval(",
+    "mmdb_fault::eval_unit(",
+    "mmdb_fault::eval_to_error(",
+];
+
+/// The crate a workspace-relative path belongs to.
+fn crate_of(path: &str) -> String {
+    let parts: Vec<&str> = path.split('/').collect();
+    if parts.len() >= 2 && parts[0] == "crates" {
+        return format!("crates/{}", parts[1]);
+    }
+    if parts.len() >= 2 && parts[0] == "shims" {
+        return format!("shims/{}", parts[1]);
+    }
+    "mmdb".to_string() // the root package (src/, tests/)
+}
+
+fn check_failpoints(files: &[SourceFile], cfg: &Config, out: &mut Vec<Diagnostic>) {
+    // site → first declaration/use location, per crate.
+    type SiteMap = BTreeMap<String, (String, usize)>;
+    let mut rosters: BTreeMap<String, SiteMap> = BTreeMap::new();
+    let mut uses: BTreeMap<String, SiteMap> = BTreeMap::new();
+    let mut suppressed_sites: BTreeSet<(String, String)> = BTreeSet::new();
+
+    for file in files {
+        if path_exempt(&file.path, &cfg.failpoints_exempt) || is_test_path(&file.path) {
+            continue;
+        }
+        let krate = crate_of(&file.path);
+        // Roster: `FAILPOINT_SITES ... = &[ "a", "b", ... ];` — find the
+        // initializer's bracket span in the masked view, then read the
+        // site strings from the aligned code view.
+        let (masked, line_of) = file.masked_text();
+        let (code, _) = file.code_text();
+        let mchars: Vec<char> = masked.chars().collect();
+        let cchars: Vec<char> = code.chars().collect();
+        let mut from = 0usize;
+        while let Some(at) = find_token(&masked, "FAILPOINT_SITES", from) {
+            from = at + 1;
+            // The initializer's `=`; a re-export (`pub use ...;`) has none
+            // before the `;`.
+            let Some(eq) = mchars[at..].iter().position(|&c| c == '=' || c == ';') else {
+                continue;
+            };
+            if mchars[at + eq] == ';' {
+                continue;
+            }
+            let Some(open_rel) = mchars[at + eq..].iter().position(|&c| c == '[') else {
+                continue;
+            };
+            let open = at + eq + open_rel;
+            let mut depth = 0i32;
+            let mut close = open;
+            for (off, &c) in mchars[open..].iter().enumerate() {
+                match c {
+                    '[' => depth += 1,
+                    ']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            close = open + off;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let span: String = cchars[open..close].iter().collect();
+            // Record each site at the line its literal sits on.
+            let mut scan_from = open;
+            for site in string_literals(&span) {
+                let lineno = line_of[scan_from.min(line_of.len() - 1)];
+                // Advance past this literal for per-line attribution.
+                let needle = format!("\"{site}\"");
+                let tail: String = cchars[scan_from..close].iter().collect();
+                let here = tail.find(&needle).map(|p| scan_from + p).unwrap_or(scan_from);
+                let lineno = line_of.get(here).copied().unwrap_or(lineno);
+                scan_from = here + needle.chars().count();
+                let entry = rosters.entry(krate.clone()).or_default();
+                entry.entry(site.clone()).or_insert((file.path.clone(), lineno + 1));
+                if suppressed(file, lineno, "failpoint") {
+                    suppressed_sites.insert((krate.clone(), site));
+                }
+            }
+            from = close;
+        }
+        // Call sites.
+        for (i, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            for marker in FAILPOINT_MARKERS {
+                let Some(at) = find_token(&line.masked, marker, 0) else { continue };
+                // The site string: first literal at/after the marker on
+                // this line, else the first on the next line (wrapped call).
+                let code_tail: String = line.code.chars().skip(at).collect();
+                let mut lits = string_literals(&code_tail);
+                if lits.is_empty() {
+                    if let Some(next) = file.lines.get(i + 1) {
+                        lits = string_literals(&next.code);
+                    }
+                }
+                let Some(site) = lits.first() else { continue };
+                let entry = uses.entry(krate.clone()).or_default();
+                entry.entry(site.clone()).or_insert((file.path.clone(), i + 1));
+                if suppressed(file, i, "failpoint") {
+                    suppressed_sites.insert((krate.clone(), site.clone()));
+                }
+            }
+        }
+    }
+
+    let empty = BTreeMap::new();
+    for (krate, used) in &uses {
+        let roster = rosters.get(krate).unwrap_or(&empty);
+        for (site, (path, line)) in used {
+            if roster.contains_key(site) || suppressed_sites.contains(&(krate.clone(), site.clone())) {
+                continue;
+            }
+            out.push(Diagnostic {
+                path: path.clone(),
+                line: *line,
+                rule: "failpoint",
+                msg: format!(
+                    "failpoint site \"{site}\" is not in {krate}'s FAILPOINT_SITES \
+                     roster — the torture suite cannot find it"
+                ),
+            });
+        }
+    }
+    for (krate, roster) in &rosters {
+        let used = uses.get(krate).unwrap_or(&empty);
+        for (site, (path, line)) in roster {
+            if used.contains_key(site) || suppressed_sites.contains(&(krate.clone(), site.clone())) {
+                continue;
+            }
+            out.push(Diagnostic {
+                path: path.clone(),
+                line: *line,
+                rule: "failpoint",
+                msg: format!(
+                    "rostered failpoint site \"{site}\" has no live call site in \
+                     {krate} — stale roster entry"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::analyze;
+
+    fn scan_one(path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
+        check_files(&[analyze(path, src)], cfg)
+    }
+
+    #[test]
+    fn panic_rule_flags_and_pragma_suppresses() {
+        let cfg = Config::default();
+        let d = scan_one("crates/x/src/lib.rs", "fn f() { x.unwrap(); }\n", &cfg);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "panic");
+        let d = scan_one(
+            "crates/x/src/lib.rs",
+            "fn f() { x.unwrap(); } // lint: allow(panic, infallible here)\n",
+            &cfg,
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn pragma_needs_known_rule_and_reason() {
+        let cfg = Config::default();
+        let d = scan_one("crates/x/src/lib.rs", "// lint: allow(panics, x)\n", &cfg);
+        assert_eq!(d[0].rule, "pragma");
+        let d = scan_one("crates/x/src/lib.rs", "// lint: allow(panic)\n", &cfg);
+        assert_eq!(d[0].rule, "pragma");
+    }
+
+    #[test]
+    fn loops_are_found_and_impl_for_is_not_a_loop() {
+        let src = "impl Display for Foo { fn f(&self) { for x in items { use_it(x); } } }\n";
+        let mut cfg = Config::default();
+        cfg.tick_files.push("crates/q/src/exec.rs".to_string());
+        let d = scan_one("crates/q/src/exec.rs", src, &cfg);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "tick");
+        let src = "fn f() { for x in items { cancel::tick()?; use_it(x); } }\n";
+        assert!(scan_one("crates/q/src/exec.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn lock_nesting_against_the_table() {
+        let mut cfg = Config::default();
+        let src = "fn f(&self) {\n    let a = self.queue.lock();\n    let b = self.slowlog.lock();\n}\n";
+        let d = scan_one("crates/x/src/lib.rs", src, &cfg);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "lock");
+        assert_eq!(d[0].line, 3);
+        cfg.lock_order.push(crate::config::LockEdge {
+            outer: "queue".to_string(),
+            inner: "slowlog".to_string(),
+        });
+        assert!(scan_one("crates/x/src/lib.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_does_not_nest() {
+        let cfg = Config::default();
+        let src = "fn f(&self) {\n    self.queue.lock().push(1);\n    let b = self.slowlog.lock();\n}\n";
+        assert!(scan_one("crates/x/src/lib.rs", src, &cfg).is_empty());
+        // ...but two acquisitions inside one statement do nest.
+        let src = "fn f(&self) { self.a.lock().push(self.b.lock().pop()); }\n";
+        let d = scan_one("crates/x/src/lib.rs", src, &cfg);
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn dropped_guard_releases() {
+        let cfg = Config::default();
+        let src = "fn f(&self) {\n    let a = self.queue.lock();\n    drop(a);\n    let b = self.slowlog.lock();\n}\n";
+        assert!(scan_one("crates/x/src/lib.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn scoped_guard_releases_at_block_end() {
+        let cfg = Config::default();
+        let src = "fn f(&self) {\n    {\n        let a = self.queue.lock();\n        a.push(1);\n    }\n    let b = self.slowlog.lock();\n}\n";
+        assert!(scan_one("crates/x/src/lib.rs", src, &cfg).is_empty(), "guard scope ended");
+    }
+
+    #[test]
+    fn failpoint_roster_both_directions() {
+        let cfg = Config::default();
+        let rostered_and_used = "pub const FAILPOINT_SITES: &[&str] = &[\"a.b\"];\nfn f() { mmdb_fault::fail_point!(\"a.b\"); }\n";
+        assert!(scan_one("crates/x/src/lib.rs", rostered_and_used, &cfg).is_empty());
+        let unrostered = "fn f() { mmdb_fault::fail_point!(\"a.b\"); }\n";
+        let d = scan_one("crates/x/src/lib.rs", unrostered, &cfg);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].msg.contains("not in"), "{}", d[0].msg);
+        let stale = "pub const FAILPOINT_SITES: &[&str] = &[\"a.b\"];\n";
+        let d = scan_one("crates/x/src/lib.rs", stale, &cfg);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].msg.contains("stale"), "{}", d[0].msg);
+    }
+
+    #[test]
+    fn relaxed_only_in_designated_modules() {
+        let mut cfg = Config::default();
+        let src = "fn f() { c.fetch_add(1, Ordering::Relaxed); }\n";
+        let d = scan_one("crates/x/src/lib.rs", src, &cfg);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "relaxed");
+        cfg.relaxed_allowed.push("crates/x/src/lib.rs".to_string());
+        assert!(scan_one("crates/x/src/lib.rs", src, &cfg).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_invisible_to_rules() {
+        let cfg = Config::default();
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); panic!(); }\n}\n";
+        assert!(scan_one("crates/x/src/lib.rs", src, &cfg).is_empty());
+        assert!(scan_one("crates/x/tests/it.rs", "fn f() { x.unwrap(); }\n", &cfg).is_empty());
+    }
+}

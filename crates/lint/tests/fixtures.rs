@@ -1,0 +1,211 @@
+//! Fixture-corpus tests: every rule has at least one passing, one
+//! failing, and (where suppression applies) one pragma-suppressed
+//! fixture under `crates/lint/fixtures/`. The fixtures are excluded
+//! from the workspace scan by `lint.toml` (`[scan] skip`); here each
+//! one is linted in isolation under a synthetic workspace-relative
+//! path so crate attribution and per-rule path config behave exactly
+//! as they do on the real tree.
+
+use mmdb_lint::{scan_sources, Config, Diagnostic};
+
+/// The config the fixtures are written against (mirrors the shape of
+/// the real `lint.toml`, with fixture-sized contents).
+fn cfg() -> Config {
+    Config::parse(
+        r#"
+[no_panic]
+exempt = ["shims/"]
+
+[relaxed]
+allowed = ["crates/engine/src/metrics.rs"]
+
+[executor_tick]
+files = ["crates/engine/src/exec.rs"]
+
+[[lock_order]]
+outer = "accounts"
+inner = "ledger"
+"#,
+    )
+    .expect("fixture config parses")
+}
+
+/// Lint one fixture under the given synthetic path.
+fn lint(path: &str, text: &str) -> Vec<Diagnostic> {
+    scan_sources(&[(path, text)], &cfg())
+}
+
+fn rules(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+// ---- panic -----------------------------------------------------------------
+
+#[test]
+fn panic_pass() {
+    let d = lint("crates/engine/src/lib.rs", include_str!("../fixtures/panic/pass.rs"));
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn panic_fail() {
+    let d = lint("crates/engine/src/lib.rs", include_str!("../fixtures/panic/fail.rs"));
+    assert_eq!(rules(&d), ["panic", "panic", "panic"], "{d:?}");
+}
+
+#[test]
+fn panic_suppressed() {
+    let d = lint("crates/engine/src/lib.rs", include_str!("../fixtures/panic/suppressed.rs"));
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn panic_ignores_test_paths_and_exempt_prefixes() {
+    let text = include_str!("../fixtures/panic/fail.rs");
+    assert!(lint("crates/engine/tests/it.rs", text).is_empty());
+    assert!(lint("shims/parking_lot/src/lib.rs", text).is_empty());
+}
+
+// ---- failpoint -------------------------------------------------------------
+
+#[test]
+fn failpoint_pass() {
+    let d = lint("crates/engine/src/lib.rs", include_str!("../fixtures/failpoint/pass.rs"));
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn failpoint_fail_unrostered() {
+    let d = lint(
+        "crates/engine/src/lib.rs",
+        include_str!("../fixtures/failpoint/fail_unrostered.rs"),
+    );
+    assert_eq!(rules(&d), ["failpoint"], "{d:?}");
+    assert!(d[0].msg.contains("engine.compact"), "{d:?}");
+    assert!(d[0].msg.contains("not in"), "{d:?}");
+}
+
+#[test]
+fn failpoint_fail_stale_roster_entry() {
+    let d = lint(
+        "crates/engine/src/lib.rs",
+        include_str!("../fixtures/failpoint/fail_stale.rs"),
+    );
+    assert_eq!(rules(&d), ["failpoint"], "{d:?}");
+    assert!(d[0].msg.contains("engine.gone"), "{d:?}");
+}
+
+#[test]
+fn failpoint_suppressed() {
+    let d = lint("crates/engine/src/lib.rs", include_str!("../fixtures/failpoint/suppressed.rs"));
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn failpoint_roster_and_use_may_live_in_different_files_of_one_crate() {
+    let roster = "pub const FAILPOINT_SITES: &[&str] = &[\"engine.flush\"];\n";
+    let caller = "pub fn f() { mmdb_fault::fail_point!(\"engine.flush\"); }\n";
+    let d = scan_sources(
+        &[("crates/engine/src/lib.rs", roster), ("crates/engine/src/flush.rs", caller)],
+        &cfg(),
+    );
+    assert!(d.is_empty(), "{d:?}");
+    // The same pair split across *crates* fails both ways.
+    let d = scan_sources(
+        &[("crates/engine/src/lib.rs", roster), ("crates/other/src/lib.rs", caller)],
+        &cfg(),
+    );
+    assert_eq!(rules(&d), ["failpoint", "failpoint"], "{d:?}");
+}
+
+// ---- relaxed ---------------------------------------------------------------
+
+#[test]
+fn relaxed_pass_in_designated_module() {
+    let d = lint("crates/engine/src/metrics.rs", include_str!("../fixtures/relaxed/pass.rs"));
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn relaxed_fail_elsewhere() {
+    let d = lint("crates/engine/src/lib.rs", include_str!("../fixtures/relaxed/fail.rs"));
+    assert_eq!(rules(&d), ["relaxed"], "{d:?}");
+}
+
+#[test]
+fn relaxed_suppressed() {
+    let d = lint("crates/engine/src/lib.rs", include_str!("../fixtures/relaxed/suppressed.rs"));
+    assert!(d.is_empty(), "{d:?}");
+}
+
+// ---- tick ------------------------------------------------------------------
+
+#[test]
+fn tick_pass() {
+    let d = lint("crates/engine/src/exec.rs", include_str!("../fixtures/tick/pass.rs"));
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn tick_fail() {
+    let d = lint("crates/engine/src/exec.rs", include_str!("../fixtures/tick/fail.rs"));
+    assert_eq!(rules(&d), ["tick"], "{d:?}");
+}
+
+#[test]
+fn tick_suppressed() {
+    let d = lint("crates/engine/src/exec.rs", include_str!("../fixtures/tick/suppressed.rs"));
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn tick_rule_only_applies_to_configured_files() {
+    let d = lint("crates/engine/src/lib.rs", include_str!("../fixtures/tick/fail.rs"));
+    assert!(d.is_empty(), "{d:?}");
+}
+
+// ---- lock ------------------------------------------------------------------
+
+#[test]
+fn lock_pass_declared_order() {
+    let d = lint("crates/engine/src/lib.rs", include_str!("../fixtures/lock/pass.rs"));
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn lock_fail_undeclared_nesting() {
+    let d = lint("crates/engine/src/lib.rs", include_str!("../fixtures/lock/fail.rs"));
+    assert_eq!(rules(&d), ["lock"], "{d:?}");
+    assert!(d[0].msg.contains("'journal'"), "{d:?}");
+    assert!(d[0].msg.contains("'cache'"), "{d:?}");
+}
+
+#[test]
+fn lock_suppressed() {
+    let d = lint("crates/engine/src/lib.rs", include_str!("../fixtures/lock/suppressed.rs"));
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn lock_declared_order_is_directional() {
+    // The declared order is accounts -> ledger; the reverse still fails.
+    let text = "pub fn f(b: &Bank) {\n    let ledger = b.ledger.lock();\n    let accounts = b.accounts.lock();\n    drop(accounts);\n    drop(ledger);\n}\n";
+    let d = lint("crates/engine/src/lib.rs", text);
+    assert_eq!(rules(&d), ["lock"], "{d:?}");
+}
+
+// ---- pragma ----------------------------------------------------------------
+
+#[test]
+fn pragma_pass() {
+    let d = lint("crates/engine/src/lib.rs", include_str!("../fixtures/pragma/pass.rs"));
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn pragma_fail() {
+    let d = lint("crates/engine/src/lib.rs", include_str!("../fixtures/pragma/fail.rs"));
+    // The typo'd rule and the reasonless pragma are violations, and
+    // neither suppresses its unwrap (diagnostics sort by rule per line).
+    assert_eq!(rules(&d), ["panic", "pragma", "panic", "pragma"], "{d:?}");
+}

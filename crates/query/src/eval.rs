@@ -58,6 +58,7 @@ pub fn eval_expr(world: &World, env: &Env, expr: &Expr) -> Result<Value> {
         }
         Expr::Call(name, args) => {
             let mut vals = Vec::with_capacity(args.len());
+            // lint: allow(tick, iterates call arguments in the AST, bounded by query text)
             for a in args {
                 vals.push(eval_expr(world, env, a)?);
             }
@@ -65,6 +66,7 @@ pub fn eval_expr(world: &World, env: &Env, expr: &Expr) -> Result<Value> {
         }
         Expr::Array(items) => {
             let mut out = Vec::with_capacity(items.len());
+            // lint: allow(tick, iterates array-literal elements in the AST, bounded by query text)
             for i in items {
                 out.push(eval_expr(world, env, i)?);
             }
@@ -72,6 +74,7 @@ pub fn eval_expr(world: &World, env: &Env, expr: &Expr) -> Result<Value> {
         }
         Expr::Object(fields) => {
             let mut obj = mmdb_types::value::ObjectMap::new();
+            // lint: allow(tick, iterates object-literal fields in the AST, bounded by query text)
             for (k, e) in fields {
                 obj.insert(k.clone(), eval_expr(world, env, e)?);
             }
@@ -140,6 +143,7 @@ fn eval_binary(world: &World, env: &Env, op: BinOp, l: &Expr, r: &Expr) -> Resul
         BinOp::Mul => arith(&lv, &rv, op)?,
         BinOp::Div => arith(&lv, &rv, op)?,
         BinOp::Mod => arith(&lv, &rv, op)?,
+        // lint: allow(panic, And/Or short-circuit in the caller before this match)
         BinOp::And | BinOp::Or => unreachable!("handled above"),
     })
 }
@@ -181,6 +185,7 @@ fn arith(l: &Value, r: &Value, op: BinOp) -> Result<Value> {
                 }
                 Value::int(x % y)
             }
+            // lint: allow(panic, arith is only called with arithmetic BinOps)
             _ => unreachable!(),
         });
     }
@@ -196,6 +201,7 @@ fn arith(l: &Value, r: &Value, op: BinOp) -> Result<Value> {
             Value::float(x / y)
         }
         BinOp::Mod => Value::float(x % y),
+        // lint: allow(panic, arith is only called with arithmetic BinOps)
         _ => unreachable!(),
     })
 }

@@ -40,6 +40,7 @@ impl Env {
     /// Look up a variable (innermost binding wins).
     pub fn get(&self, name: &str) -> Option<&Value> {
         let mut cur = self.head.as_deref();
+        // lint: allow(tick, walks binding frames, bounded by the query's variable count, not rows)
         while let Some(f) = cur {
             if f.name == name {
                 return Some(&f.value);
@@ -64,6 +65,7 @@ impl Env {
         let mut seen: Vec<&str> = Vec::new();
         let mut out = Vec::new();
         let mut cur = self.head.as_deref();
+        // lint: allow(tick, walks binding frames, bounded by the query's variable count, not rows)
         while let Some(f) = cur {
             if !seen.contains(&f.name.as_str()) {
                 seen.push(&f.name);
@@ -95,6 +97,7 @@ pub fn execute_plan(world: &World, plan: &Plan) -> Result<Vec<Value>> {
 /// Execute a plan from an initial environment.
 pub fn execute_plan_with_env(world: &World, plan: &Plan, env: Env) -> Result<Vec<Value>> {
     let mut envs = vec![env];
+    // lint: allow(tick, iterates plan operators, bounded by query size; apply_node ticks per row)
     for node in &plan.nodes {
         envs = apply_node(world, node, envs)?;
         if envs.is_empty() {
@@ -141,6 +144,7 @@ pub fn execute_plan_traced(
     let started = std::time::Instant::now();
     let mut envs = vec![env];
     let mut ops: Vec<OpStats> = Vec::with_capacity(plan.nodes.len() + 1);
+    // lint: allow(tick, iterates plan operators, bounded by query size; apply_node ticks per row)
     for node in &plan.nodes {
         let rows_in = envs.len();
         let access_path = describe_access_path(world, node, envs.first());
@@ -304,13 +308,16 @@ fn apply_node(world: &World, node: &PlanNode, envs: Vec<Env>) -> Result<Vec<Env>
         PlanNode::Sort(keys) => {
             let mut decorated: Vec<(Vec<Value>, Env)> = Vec::with_capacity(envs.len());
             for env in envs {
+                cancel::tick()?;
                 let mut ks = Vec::with_capacity(keys.len());
+                // lint: allow(tick, iterates ORDER BY keys, bounded by query text; outer loop ticks per row)
                 for (e, _) in keys {
                     ks.push(eval_expr(world, &env, e)?);
                 }
                 decorated.push((ks, env));
             }
             decorated.sort_by(|(a, _), (b, _)| {
+                // lint: allow(tick, infallible comparator over ORDER BY keys; cannot propagate a cancel error)
                 for (i, (_, order)) in keys.iter().enumerate() {
                     let c = a[i].cmp(&b[i]);
                     let c = if *order == SortOrder::Desc { c.reverse() } else { c };
@@ -330,6 +337,7 @@ fn apply_node(world: &World, node: &PlanNode, envs: Vec<Env>) -> Result<Vec<Env>
             let mut order: Vec<Value> = Vec::new();
             let mut groups: HashMap<Value, Vec<Env>> = HashMap::new();
             for env in envs {
+                cancel::tick()?;
                 let k = match key {
                     Some((_, e)) => eval_expr(world, &env, e)?,
                     None => Value::Null,
@@ -342,7 +350,10 @@ fn apply_node(world: &World, node: &PlanNode, envs: Vec<Env>) -> Result<Vec<Env>
             order.sort();
             let mut out = Vec::with_capacity(order.len());
             for k in order {
-                let members = groups.remove(&k).expect("group exists");
+                cancel::tick()?;
+                // Every key in `order` was inserted into `groups` above;
+                // skip rather than panic if that invariant ever breaks.
+                let Some(members) = groups.remove(&k) else { continue };
                 let mut env = Env::new();
                 if let Some((var, _)) = key {
                     env.insert(var.clone(), k);
@@ -361,6 +372,7 @@ fn apply_node(world: &World, node: &PlanNode, envs: Vec<Env>) -> Result<Vec<Env>
                 for (var, func, argexpr) in aggregates {
                     let mut vals = Vec::with_capacity(members.len());
                     for m in &members {
+                        cancel::tick()?;
                         vals.push(eval_expr(world, m, argexpr)?);
                     }
                     env.insert(var.clone(), aggregate(*func, &vals)?);

@@ -274,7 +274,7 @@ fn fold_binary(op: BinOp, a: &Value, b: &Value) -> Option<Value> {
                     }
                     x % y
                 }
-                _ => unreachable!(),
+                _ => unreachable!(), // lint: allow(panic, folding is only attempted for the arithmetic BinOps matched above)
             };
             if f.fract() == 0.0
                 && f.abs() < 9.0e18

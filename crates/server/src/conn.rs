@@ -152,7 +152,7 @@ pub(crate) fn handle_connection(inner: &ServerInner, mut stream: TcpStream) {
         }
     }
     if let Some(session) = conn.session.take() {
-        inner.metrics.sessions_reaped.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.sessions_reaped.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed, monotonic metric counter; no synchronization role)
         drop(session); // abort-on-drop
     }
 }
@@ -428,6 +428,15 @@ fn run_admin(inner: &ServerInner, command: &str) -> Result<Response> {
         "SLOWLOG" => {
             let entries: Vec<Value> = inner.slowlog.lock().iter().cloned().collect();
             Ok(Response::Stats(Value::Array(entries)))
+        }
+        "SLOWLOG RESET" => {
+            let dropped = {
+                let mut log = inner.slowlog.lock();
+                let n = log.len();
+                log.clear();
+                n
+            };
+            Ok(Response::Stats(Value::object([("dropped", Value::int(dropped as i64))])))
         }
         "PING" => Ok(Response::Pong),
         // Health summary for load balancers and operators: `ok` while the

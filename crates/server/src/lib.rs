@@ -70,6 +70,10 @@ pub struct ServerConfig {
     /// recorded in the slow-query log, readable with `ADMIN SLOWLOG`.
     /// `Duration::ZERO` logs every query.
     pub slow_query_threshold: Duration,
+    /// Slow-query log entries kept in the in-memory ring; the oldest is
+    /// evicted beyond this. `0` disables recording entirely. The log can
+    /// be cleared at runtime with `ADMIN SLOWLOG RESET`.
+    pub slow_query_log_size: usize,
 }
 
 impl Default for ServerConfig {
@@ -85,12 +89,10 @@ impl Default for ServerConfig {
             max_frame_len: frame::MAX_FRAME_LEN,
             max_query_time: Duration::from_secs(30),
             slow_query_threshold: Duration::from_millis(250),
+            slow_query_log_size: 128,
         }
     }
 }
-
-/// Slow-query log entries kept; the oldest is evicted beyond this.
-pub(crate) const SLOWLOG_CAPACITY: usize = 128;
 
 /// State shared by the acceptor, the workers, and [`Server`].
 pub(crate) struct ServerInner {
@@ -114,8 +116,12 @@ impl ServerInner {
 
     /// Append a slow-query entry, evicting the oldest at capacity.
     pub(crate) fn push_slowlog(&self, entry: mmdb_types::Value) {
+        let cap = self.config.slow_query_log_size;
+        if cap == 0 {
+            return;
+        }
         let mut log = self.slowlog.lock();
-        if log.len() == SLOWLOG_CAPACITY {
+        while log.len() >= cap {
             log.pop_front();
         }
         log.push_back(entry);
@@ -158,7 +164,7 @@ impl Server {
                 std::thread::Builder::new()
                     .name(format!("mmdb-worker-{i}"))
                     .spawn(move || worker_loop(&inner))
-                    .expect("spawn worker thread")
+                    .expect("spawn worker thread") // lint: allow(panic, thread spawn at startup; fails only on resource exhaustion, abort is documented)
             })
             .collect();
         let acceptor = {
@@ -166,7 +172,7 @@ impl Server {
             std::thread::Builder::new()
                 .name("mmdb-acceptor".into())
                 .spawn(move || accept_loop(&inner, listener))
-                .expect("spawn acceptor thread")
+                .expect("spawn acceptor thread") // lint: allow(panic, thread spawn at startup; fails only on resource exhaustion, abort is documented)
         };
 
         Ok(Server { inner, local_addr, acceptor: Some(acceptor), workers })
@@ -203,12 +209,12 @@ fn accept_loop(inner: &ServerInner, listener: TcpListener) {
             Ok((stream, _peer)) => {
                 let active = inner.active.load(Ordering::SeqCst);
                 if active >= inner.config.max_connections as u64 {
-                    inner.metrics.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.connections_rejected.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed, monotonic metric counter; admission control uses the SeqCst active gauge)
                     reject_busy(inner, stream);
                     continue;
                 }
                 inner.active.fetch_add(1, Ordering::SeqCst);
-                inner.metrics.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.connections_accepted.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed, monotonic metric counter; admission control uses the SeqCst active gauge)
                 let mut queue = inner.queue.lock();
                 queue.push_back(stream);
                 drop(queue);
@@ -256,9 +262,9 @@ fn worker_loop(inner: &Arc<ServerInner>) {
             }
         };
         let Some(stream) = stream else { return };
-        inner.metrics.connections_active.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.connections_active.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed, metric gauge read only by ADMIN STATS; no synchronization role)
         conn::handle_connection(inner, stream);
-        inner.metrics.connections_active.fetch_sub(1, Ordering::Relaxed);
+        inner.metrics.connections_active.fetch_sub(1, Ordering::Relaxed); // lint: allow(relaxed, metric gauge read only by ADMIN STATS; no synchronization role)
         inner.active.fetch_sub(1, Ordering::SeqCst);
     }
 }

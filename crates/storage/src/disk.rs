@@ -89,7 +89,7 @@ impl Backend for MemBackend {
     fn write(&self, page: PageId, buf: &[u8]) -> Result<()> {
         let mut pages = self.pages.lock();
         while pages.len() <= page as usize {
-            pages.push(vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().expect("size"));
+            pages.push(vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().expect("size")); // lint: allow(panic, vec of exactly PAGE_SIZE bytes; fixed-size conversion is infallible)
         }
         pages[page as usize].copy_from_slice(buf);
         Ok(())
@@ -155,7 +155,7 @@ impl DiskManager {
     pub fn read_page(&self, page: PageId, buf: &mut [u8]) -> Result<()> {
         debug_assert_eq!(buf.len(), PAGE_SIZE);
         self.backend.read(page, buf)?;
-        let stored = u32::from_le_bytes(buf[PAGE_CRC_RANGE].try_into().expect("4 bytes"));
+        let stored = u32::from_le_bytes(buf[PAGE_CRC_RANGE].try_into().expect("4 bytes")); // lint: allow(panic, PAGE_CRC_RANGE is a fixed 4-byte range; conversion is infallible)
         if stored != 0 {
             let computed = page_crc(buf);
             if computed != stored {

@@ -40,7 +40,7 @@ impl SlottedPage {
     /// A fresh, empty page.
     pub fn new() -> Self {
         let mut p = SlottedPage {
-            data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().expect("size"),
+            data: vec![0u8; PAGE_SIZE].into_boxed_slice().try_into().expect("size"), // lint: allow(panic, vec of exactly PAGE_SIZE bytes; fixed-size conversion is infallible)
         };
         p.set_slot_count(0);
         p.set_free_end(PAGE_SIZE as u16);
@@ -57,7 +57,7 @@ impl SlottedPage {
         }
         let mut data = vec![0u8; PAGE_SIZE].into_boxed_slice();
         data.copy_from_slice(bytes);
-        let p = SlottedPage { data: data.try_into().expect("size") };
+        let p = SlottedPage { data: data.try_into().expect("size") }; // lint: allow(panic, boxed slice of exactly PAGE_SIZE bytes; fixed-size conversion is infallible)
         // Sanity-check the header so corrupt pages fail fast.
         let slots = p.slot_count() as usize;
         let free_end = p.free_end() as usize;

@@ -317,8 +317,8 @@ pub fn recover_from_bytes(full: &[u8]) -> Recovery {
     let mut torn = false;
     let mut valid_len = 0u64;
     while data.len() >= 8 {
-        let len = u32::from_le_bytes(data[0..4].try_into().expect("len")) as usize;
-        let crc = u32::from_le_bytes(data[4..8].try_into().expect("crc"));
+        let len = u32::from_le_bytes([data[0], data[1], data[2], data[3]]) as usize;
+        let crc = u32::from_le_bytes([data[4], data[5], data[6], data[7]]);
         if data.len() < 8 + len {
             torn = true;
             break;

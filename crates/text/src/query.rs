@@ -64,7 +64,7 @@ impl TextQuery {
         }
         match clauses.len() {
             0 => TextQuery::And(Vec::new()),
-            1 => clauses.pop().expect("one clause"),
+            1 => clauses.pop().expect("one clause"), // lint: allow(panic, match arm guarantees clauses.len() == 1)
             _ => TextQuery::And(clauses),
         }
     }

@@ -82,7 +82,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<()> {
+    fn expect_byte(&mut self, b: u8) -> Result<()> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -121,7 +121,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_object(&mut self) -> Result<Value> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut obj = crate::value::ObjectMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -135,7 +135,7 @@ impl<'a> Parser<'a> {
             }
             let key = self.parse_string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let val = self.parse_value()?;
             obj.insert(key, val);
@@ -149,7 +149,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_array(&mut self) -> Result<Value> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut arr = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -169,7 +169,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_string(&mut self) -> Result<String> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut s = String::new();
         loop {
             match self.bump() {
@@ -290,6 +290,7 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
+        // lint: allow(panic, slice spans only ASCII digits/sign/dot scanned above)
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
         if !is_float {
             if let Ok(i) = text.parse::<i64>() {

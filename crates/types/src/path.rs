@@ -198,7 +198,7 @@ impl Path {
                     if !obj.contains_key(name) {
                         obj.insert(name.clone(), Value::Null);
                     }
-                    cur = obj.get_mut(name).expect("just inserted");
+                    cur = obj.get_mut(name).expect("just inserted"); // lint: allow(panic, key inserted two lines up; get_mut cannot miss)
                 }
                 PathStep::Index(idx) => {
                     let arr = match cur {
@@ -225,7 +225,7 @@ impl Path {
                 return Ok(());
             }
         }
-        unreachable!("loop always returns on the last step")
+        unreachable!("loop always returns on the last step") // lint: allow(panic, enumerate is nonempty and the last-step arm always returns)
     }
 }
 

@@ -20,6 +20,9 @@ cargo test -q
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> mmdb-lint (workspace invariant rules; see DESIGN.md 'Static analysis')"
+cargo run -q --release -p mmdb-lint
+
 echo "==> crash-recovery torture suite (--features failpoints)"
 cargo test -q --features failpoints --test crash_recovery
 

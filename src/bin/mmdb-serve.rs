@@ -12,6 +12,7 @@
 //!   --workers N            worker threads (default 4)
 //!   --max-connections N    connection cap before busy-rejection (default 64)
 //!   --slow-query-ms N      slow-query log threshold in ms (default 250; 0 logs everything)
+//!   --slow-query-log-size N  slow-query log ring capacity (default 128; 0 disables)
 //!   --demo                 preload the paper's demo data set
 //!
 //! The server runs until stdin closes or a `quit` line arrives, then
@@ -49,6 +50,11 @@ fn main() {
                 config.slow_query_threshold = std::time::Duration::from_millis(
                     flag_value(&mut i).parse().unwrap_or_else(|_| usage("--slow-query-ms needs a number")),
                 )
+            }
+            "--slow-query-log-size" => {
+                config.slow_query_log_size = flag_value(&mut i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--slow-query-log-size needs a number"))
             }
             "--demo" => demo = true,
             "--help" | "-h" => usage(""),
@@ -106,7 +112,7 @@ fn usage(problem: &str) -> ! {
     }
     eprintln!(
         "usage: mmdb-serve [--addr HOST:PORT] [--data-dir PATH] [--workers N] \
-         [--max-connections N] [--slow-query-ms N] [--demo]"
+         [--max-connections N] [--slow-query-ms N] [--slow-query-log-size N] [--demo]"
     );
     std::process::exit(2);
 }

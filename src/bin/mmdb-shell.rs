@@ -174,7 +174,13 @@ fn dispatch_remote(client: &mut Client, line: &str) -> mmdb::Result<Reply> {
                 Ok(Reply::Text("pong".into()))
             }
             "stats" => Ok(Reply::Text(mmdb::to_json_pretty(&client.admin_stats()?))),
-            "slowlog" => Ok(Reply::Text(mmdb::to_json_pretty(&client.admin_slowlog()?))),
+            "slowlog" => {
+                if arg.trim().eq_ignore_ascii_case("reset") {
+                    Ok(Reply::Text(mmdb::to_json_pretty(&client.admin_slowlog_reset()?)))
+                } else {
+                    Ok(Reply::Text(mmdb::to_json_pretty(&client.admin_slowlog()?)))
+                }
+            }
             "health" => Ok(Reply::Text(mmdb::to_json_pretty(&client.admin_health()?))),
             other => Ok(Reply::Text(format!("unknown command '.{other}' — try .help"))),
         };
@@ -211,6 +217,7 @@ Remote-only commands (--connect mode):
   .commit  .abort        finish the open transaction
   .stats                 server metrics (ADMIN STATS)
   .slowlog               recent slow queries (ADMIN SLOWLOG)
+  .slowlog reset         clear the slow-query log (ADMIN SLOWLOG RESET)
   .health                server health: ok | degraded (ADMIN HEALTH)
   .ping                  liveness check
 "#;

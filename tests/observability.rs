@@ -175,3 +175,52 @@ fn admin_stats_reports_access_paths_and_model_ops() {
 
     server.shutdown().unwrap();
 }
+
+#[test]
+fn slowlog_ring_capacity_is_configurable_and_resettable() {
+    let config = ServerConfig {
+        slow_query_threshold: Duration::ZERO,
+        slow_query_log_size: 2,
+        ..ServerConfig::default()
+    };
+    let (_db, server, addr) = start(config);
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Three slow queries into a 2-entry ring: the oldest is evicted.
+    client.query("RETURN 1").unwrap();
+    client.query("RETURN 2").unwrap();
+    client.query("RETURN 3").unwrap();
+    let log = client.admin_slowlog().unwrap();
+    let entries = log.as_array().unwrap();
+    assert_eq!(entries.len(), 2, "{log:?}");
+    assert_eq!(entries[0].get_field("query"), &Value::str("RETURN 2"));
+    assert_eq!(entries[1].get_field("query"), &Value::str("RETURN 3"));
+
+    // SLOWLOG RESET reports how many entries it discarded...
+    let reply = client.admin_slowlog_reset().unwrap();
+    assert_eq!(reply.get_field("dropped"), &Value::int(2));
+    assert_eq!(client.admin_slowlog().unwrap(), Value::Array(vec![]));
+
+    // ...and recording continues afterwards.
+    client.query("RETURN 4").unwrap();
+    assert_eq!(client.admin_slowlog().unwrap().as_array().unwrap().len(), 1);
+
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn slowlog_size_zero_disables_recording() {
+    let config = ServerConfig {
+        slow_query_threshold: Duration::ZERO,
+        slow_query_log_size: 0,
+        ..ServerConfig::default()
+    };
+    let (_db, server, addr) = start(config);
+    let mut client = Client::connect(&addr).unwrap();
+
+    client.query("RETURN 1").unwrap();
+    assert_eq!(client.admin_slowlog().unwrap(), Value::Array(vec![]));
+    assert_eq!(client.admin_slowlog_reset().unwrap().get_field("dropped"), &Value::int(0));
+
+    server.shutdown().unwrap();
+}
