@@ -14,7 +14,7 @@
 mod pool;
 mod retry;
 
-pub use pool::{Pool, PoolConfig, PoolStats, PooledClient};
+pub use pool::{Consistency, Pool, PoolConfig, PoolStats, PooledClient};
 pub use retry::RetryPolicy;
 
 use std::net::{TcpStream, ToSocketAddrs};
@@ -55,6 +55,12 @@ pub struct Client {
     /// Set after an I/O or framing failure: the stream position is
     /// unknown, so the connection must not be reused.
     poisoned: bool,
+    /// WAL position of the newest commit acknowledged on this
+    /// connection; feeds read-your-writes session tokens.
+    last_commit_lsn: Option<u64>,
+    /// Set after `replica_hello`/`subscribe`: the server now pushes
+    /// `Change` frames and ordinary request/response calls are invalid.
+    streaming: bool,
 }
 
 impl std::fmt::Debug for Client {
@@ -79,8 +85,14 @@ impl Client {
         stream.set_read_timeout(config.read_timeout)?;
         stream.set_write_timeout(config.write_timeout)?;
         stream.set_nodelay(true)?;
-        let mut client =
-            Client { stream, config, server: String::new(), poisoned: false };
+        let mut client = Client {
+            stream,
+            config,
+            server: String::new(),
+            poisoned: false,
+            last_commit_lsn: None,
+            streaming: false,
+        };
         match client.call(&Request::Hello { version: PROTOCOL_VERSION })? {
             Response::Hello { server, .. } => {
                 client.server = server;
@@ -110,6 +122,11 @@ impl Client {
         if self.poisoned {
             return Err(Error::Protocol(
                 "connection poisoned by an earlier I/O failure".into(),
+            ));
+        }
+        if self.streaming {
+            return Err(Error::Protocol(
+                "connection is in streaming mode; only next_change is valid".into(),
             ));
         }
         let result = (|| {
@@ -258,6 +275,91 @@ impl Client {
         }
     }
 
+    /// Fetch the server's replication summary: role, WAL tail / applied
+    /// LSNs, and (on a replica) connection state and lag.
+    pub fn admin_repl(&mut self) -> Result<Value> {
+        let req = Request::Admin { command: "REPL".into() };
+        match self.call(&req)? {
+            Response::Stats(v) => Ok(v),
+            other => Err(unexpected(&req, &other)),
+        }
+    }
+
+    // ---- streaming ---------------------------------------------------------
+
+    /// Switch this connection into the raw WAL replica stream, resuming
+    /// at `from_lsn` (0 = from the start of the log). After this call
+    /// the only valid operation is [`Client::next_change`].
+    pub fn replica_hello(&mut self, from_lsn: u64) -> Result<()> {
+        self.enter_stream(&Request::ReplicaHello { from_lsn })
+    }
+
+    /// Switch this connection into the `SUBSCRIBE` change feed: decoded
+    /// committed writes starting at `from_lsn` (use an earlier event's
+    /// `lsn` field to resume). After this call the only valid operation
+    /// is [`Client::next_change`].
+    pub fn subscribe(&mut self, from_lsn: u64) -> Result<()> {
+        self.enter_stream(&Request::Subscribe { from_lsn })
+    }
+
+    fn enter_stream(&mut self, req: &Request) -> Result<()> {
+        if self.poisoned {
+            return Err(Error::Protocol(
+                "connection poisoned by an earlier I/O failure".into(),
+            ));
+        }
+        if self.streaming {
+            return Err(Error::Protocol("connection is already streaming".into()));
+        }
+        if let Err(e) =
+            frame::write_frame(&mut self.stream, &req.encode(), self.config.max_frame_len)
+        {
+            self.poisoned = true;
+            return Err(e);
+        }
+        self.streaming = true;
+        Ok(())
+    }
+
+    /// Block for the next pushed stream frame (after
+    /// [`Client::replica_hello`] or [`Client::subscribe`]).
+    ///
+    /// A read timeout, like any other failure, poisons the connection:
+    /// the server heartbeats idle streams several times a second, so a
+    /// silent connection is a dead one — reconnect and resume by LSN.
+    pub fn next_change(&mut self) -> Result<Value> {
+        if self.poisoned {
+            return Err(Error::Protocol(
+                "connection poisoned by an earlier I/O failure".into(),
+            ));
+        }
+        if !self.streaming {
+            return Err(Error::Protocol(
+                "next_change is only valid after replica_hello or subscribe".into(),
+            ));
+        }
+        let result = (|| {
+            let payload = frame::read_frame(&mut self.stream, self.config.max_frame_len)?;
+            Response::decode(&payload)
+        })();
+        match result {
+            Ok(Response::Change(v)) => Ok(v),
+            Ok(Response::Err { kind, message }) => {
+                // The server ended the stream; nothing more will arrive.
+                self.poisoned = true;
+                Err(Response::into_error(&kind, message))
+            }
+            Ok(other) => {
+                self.poisoned = true;
+                Err(Error::Protocol(format!("unexpected stream frame: {other:?}")))
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
     // ---- transactions ------------------------------------------------------
 
     /// Open an explicit transaction; returns the transaction id.
@@ -271,9 +373,21 @@ impl Client {
     /// Commit the open transaction; returns the commit timestamp.
     pub fn commit(&mut self) -> Result<u64> {
         match self.call(&Request::Commit)? {
-            Response::Committed { commit_ts } => Ok(commit_ts as u64),
+            Response::Committed { commit_ts, lsn } => {
+                if lsn.is_some() {
+                    self.last_commit_lsn = self.last_commit_lsn.max(lsn);
+                }
+                Ok(commit_ts as u64)
+            }
             other => Err(unexpected(&Request::Commit, &other)),
         }
+    }
+
+    /// WAL position of the newest commit acknowledged on this
+    /// connection — the session token for read-your-writes routing.
+    /// `None` until a commit succeeds (or when the server has no WAL).
+    pub fn last_commit_lsn(&self) -> Option<u64> {
+        self.last_commit_lsn
     }
 
     /// Abort the open transaction.

@@ -42,6 +42,12 @@ pub struct PoolConfig {
     pub health_check_after: Duration,
     /// Per-connection configuration.
     pub client: ClientConfig,
+    /// Read replica addresses. When non-empty and [`PoolConfig::consistency`]
+    /// permits, [`Pool::retry_read`] routes to a replica and falls back
+    /// to the primary when none is fresh enough (or all are down).
+    pub replicas: Vec<String>,
+    /// When a replica is allowed to serve a read.
+    pub consistency: Consistency,
 }
 
 impl Default for PoolConfig {
@@ -51,8 +57,32 @@ impl Default for PoolConfig {
             checkout_timeout: Duration::from_secs(5),
             health_check_after: Duration::from_secs(60),
             client: ClientConfig::default(),
+            replicas: Vec::new(),
+            consistency: Consistency::Primary,
         }
     }
+}
+
+/// Session consistency mode for replica reads.
+///
+/// Freshness is checked per read with one `ADMIN REPL` round trip on
+/// the candidate replica connection; a replica that fails the check
+/// (or the call) is skipped, and when every replica is skipped the
+/// read runs on the primary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Consistency {
+    /// All reads go to the primary; replicas are ignored.
+    Primary,
+    /// A replica may serve reads while it was caught up with its
+    /// primary within the last `max_staleness`; a replica that has
+    /// never been caught up (or whose primary vanished longer ago than
+    /// the bound) is skipped.
+    BoundedStaleness(Duration),
+    /// A replica may serve reads once its applied LSN has reached the
+    /// session's own last commit LSN (the token accumulated from
+    /// [`Client::last_commit_lsn`] as connections return to the pool),
+    /// so a session never observes a state older than its own writes.
+    ReadYourWrites,
 }
 
 /// Counters describing the pool's lifetime activity.
@@ -71,6 +101,11 @@ pub struct PoolStats {
     pub retries_write: u64,
     /// Idle connections discarded by the checkout health check.
     pub unhealthy_discarded: u64,
+    /// Reads served by a replica connection.
+    pub replica_reads: u64,
+    /// Reads that wanted a replica but fell back to the primary (none
+    /// fresh enough, or all unreachable).
+    pub replica_fallbacks: u64,
 }
 
 struct IdleConn {
@@ -90,6 +125,17 @@ struct PoolInner {
     retries_read: AtomicU64,
     retries_write: AtomicU64,
     unhealthy_discarded: AtomicU64,
+    /// Idle replica connections, tagged with their index into
+    /// `config.replicas`.
+    replica_idle: Mutex<Vec<(usize, IdleConn)>>,
+    /// Round-robin cursor over `config.replicas`.
+    replica_cursor: AtomicUsize,
+    replica_reads: AtomicU64,
+    replica_fallbacks: AtomicU64,
+    /// Read-your-writes token: the highest commit LSN any connection of
+    /// this pool has been acknowledged (collected as connections return
+    /// to the pool).
+    session_lsn: AtomicU64,
 }
 
 /// A thread-safe pool of [`Client`] connections to one server.
@@ -112,8 +158,20 @@ impl Pool {
                 retries_read: AtomicU64::new(0),
                 retries_write: AtomicU64::new(0),
                 unhealthy_discarded: AtomicU64::new(0),
+                replica_idle: Mutex::new(Vec::new()),
+                replica_cursor: AtomicUsize::new(0),
+                replica_reads: AtomicU64::new(0),
+                replica_fallbacks: AtomicU64::new(0),
+                session_lsn: AtomicU64::new(0),
             }),
         }
+    }
+
+    /// The read-your-writes session token: the highest commit LSN this
+    /// pool has seen acknowledged. Zero until a commit succeeds against
+    /// a WAL-backed server.
+    pub fn session_lsn(&self) -> u64 {
+        self.inner.session_lsn.load(Ordering::SeqCst)
     }
 
     /// Check out a connection, opening one if under `max_size`, waiting
@@ -223,6 +281,25 @@ impl Pool {
         let mut slept = Duration::ZERO;
         let mut attempt = 0u32;
         loop {
+            // Reads go to a fresh-enough replica when one is configured;
+            // any replica-side failure falls back to the primary within
+            // the same attempt (reads are safe to re-run).
+            if is_read && self.wants_replica() {
+                match self.replica_for_read() {
+                    Some(mut replica) => match op(replica.client()) {
+                        Ok(v) => {
+                            inner.replica_reads.fetch_add(1, Ordering::Relaxed);
+                            return Ok(v);
+                        }
+                        Err(_) => {
+                            inner.replica_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        }
+                    },
+                    None => {
+                        inner.replica_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
             // Classify the failure: pre-send (request never left), mid-call
             // (connection poisoned, response unknown), or server-reported
             // (clean engine error over a healthy connection).
@@ -255,6 +332,89 @@ impl Pool {
         }
     }
 
+    fn wants_replica(&self) -> bool {
+        !self.inner.config.replicas.is_empty()
+            && self.inner.config.consistency != Consistency::Primary
+    }
+
+    /// Pick a replica connection that passes the consistency check,
+    /// round-robin across the configured replicas. `None` when no
+    /// replica is reachable and fresh enough.
+    fn replica_for_read(&self) -> Option<ReplicaGuard> {
+        let inner = &self.inner;
+        let n = inner.config.replicas.len();
+        let start = inner.replica_cursor.fetch_add(1, Ordering::Relaxed);
+        for k in 0..n {
+            let idx = (start + k) % n;
+            let Some(mut guard) = self.checkout_replica(idx) else { continue };
+            if self.replica_is_fresh(guard.client()) {
+                return Some(guard);
+            }
+            // Healthy but stale: the guard's drop recycles the connection.
+        }
+        None
+    }
+
+    /// Check out (or open) a connection to replica `idx`; `None` when it
+    /// is unreachable.
+    fn checkout_replica(&self, idx: usize) -> Option<ReplicaGuard> {
+        let inner = &self.inner;
+        let cached = {
+            let mut idle = inner.replica_idle.lock();
+            idle.iter().rposition(|(i, _)| *i == idx).map(|p| idle.remove(p).1)
+        };
+        let client = match cached {
+            Some(entry) if entry.since.elapsed() < inner.config.health_check_after => {
+                entry.client
+            }
+            Some(entry) => {
+                let mut c = entry.client;
+                if c.ping().is_ok() {
+                    c
+                } else {
+                    inner.unhealthy_discarded.fetch_add(1, Ordering::Relaxed);
+                    self.connect_replica(idx)?
+                }
+            }
+            None => self.connect_replica(idx)?,
+        };
+        Some(ReplicaGuard { client: Some(client), idx, pool: Arc::clone(inner) })
+    }
+
+    fn connect_replica(&self, idx: usize) -> Option<Client> {
+        let inner = &self.inner;
+        let addr = resolve(&inner.config.replicas[idx]).ok()?;
+        Client::connect_with(addr, inner.config.client.clone()).ok()
+    }
+
+    /// One `ADMIN REPL` round trip deciding whether this replica may
+    /// serve the read under the configured consistency mode.
+    fn replica_is_fresh(&self, client: &mut Client) -> bool {
+        match self.inner.config.consistency {
+            Consistency::Primary => false,
+            Consistency::BoundedStaleness(max) => {
+                let Ok(v) = client.admin_repl() else { return false };
+                match v.get_field("staleness_ms").as_int() {
+                    // Null staleness = never caught up; skip.
+                    Ok(ms) => ms >= 0 && (ms as u128) <= max.as_millis(),
+                    Err(_) => false,
+                }
+            }
+            Consistency::ReadYourWrites => {
+                let token = self.inner.session_lsn.load(Ordering::SeqCst);
+                if token == 0 {
+                    // The session hasn't written; anything is consistent.
+                    return true;
+                }
+                let Ok(v) = client.admin_repl() else { return false };
+                matches!(
+                    v.get_field("applied_lsn").as_int(),
+                    Ok(applied) if applied >= 0 && applied as u64 >= token
+                )
+            }
+        }
+    }
+
     /// Currently open connections (idle + checked out).
     pub fn open_connections(&self) -> usize {
         self.inner.open.load(Ordering::SeqCst)
@@ -269,6 +429,8 @@ impl Pool {
             retries_read: self.inner.retries_read.load(Ordering::Relaxed),
             retries_write: self.inner.retries_write.load(Ordering::Relaxed),
             unhealthy_discarded: self.inner.unhealthy_discarded.load(Ordering::Relaxed),
+            replica_reads: self.inner.replica_reads.load(Ordering::Relaxed),
+            replica_fallbacks: self.inner.replica_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -298,9 +460,43 @@ impl DerefMut for PooledClient {
     }
 }
 
+/// A checked-out replica connection; recycled into the replica idle
+/// list on drop unless poisoned.
+struct ReplicaGuard {
+    client: Option<Client>,
+    idx: usize,
+    pool: Arc<PoolInner>,
+}
+
+impl ReplicaGuard {
+    fn client(&mut self) -> &mut Client {
+        self.client.as_mut().expect("client taken") // lint: allow(panic, client is Some from checkout until drop recycles it)
+    }
+}
+
+impl Drop for ReplicaGuard {
+    fn drop(&mut self) {
+        let Some(client) = self.client.take() else { return };
+        if client.is_poisoned() {
+            return;
+        }
+        let mut idle = self.pool.replica_idle.lock();
+        // Bound the cache; replica connections reopen cheaply on demand.
+        if idle.len() < self.pool.config.max_size {
+            idle.push((self.idx, IdleConn { client, since: Instant::now() }));
+        }
+    }
+}
+
 impl Drop for PooledClient {
     fn drop(&mut self) {
         let Some(client) = self.client.take() else { return };
+        // Harvest the read-your-writes token before the connection is
+        // recycled or discarded: the pool's session LSN is the max
+        // commit LSN any of its connections has been acknowledged.
+        if let Some(lsn) = client.last_commit_lsn() {
+            self.pool.session_lsn.fetch_max(lsn, Ordering::SeqCst);
+        }
         if client.is_poisoned() {
             // Broken connection: free the slot instead of recycling it.
             self.pool.open.fetch_sub(1, Ordering::SeqCst);

@@ -17,12 +17,22 @@ use crate::session::{apply_committed, Session};
 pub struct Database {
     world: Arc<World>,
     mvcc: MvccStore,
+    wal: Option<Arc<Wal>>,
 }
 
 impl Database {
     /// A volatile in-memory database.
     pub fn in_memory() -> Database {
         Self::build(None)
+    }
+
+    /// A volatile in-memory database that still keeps a (memory-backed)
+    /// write-ahead log. The log is what replication ships, so a primary
+    /// must have one even when durability is not wanted — demos and tests
+    /// use this to serve `SUBSCRIBE` and replica streams without a data
+    /// directory.
+    pub fn in_memory_logged() -> Database {
+        Self::build(Some(Arc::new(Wal::in_memory())))
     }
 
     /// A database with a durable write-ahead log at `dir/mmdb.wal`;
@@ -45,12 +55,17 @@ impl Database {
         let wal = Arc::new(Wal::open(&wal_path)?);
         let db = Self::build(Some(wal));
         db.mvcc.recover(&recovery)?;
+        // Replication watermark: everything up to the recovered tail is
+        // committed history a replica may resume from.
+        if let Some(w) = &db.wal {
+            db.mvcc.note_commit_lsn(w.tail_lsn());
+        }
         Ok(db)
     }
 
     fn build(wal: Option<Arc<Wal>>) -> Database {
         let world = Arc::new(World::in_memory());
-        let mvcc = MvccStore::new(wal);
+        let mvcc = MvccStore::new(wal.clone());
         let hook_world = Arc::clone(&world);
         mvcc.add_commit_hook(move |writes| {
             // Commit hooks must not fail; surface problems loudly in debug
@@ -60,7 +75,7 @@ impl Database {
                 debug_assert!(false, "commit hook failed: {e}");
             }
         });
-        Database { world, mvcc }
+        Database { world, mvcc, wal }
     }
 
     /// The query-visible world of model stores.
@@ -71,6 +86,22 @@ impl Database {
     /// The MVCC transaction store.
     pub fn mvcc(&self) -> &MvccStore {
         &self.mvcc
+    }
+
+    /// The write-ahead log, when this database keeps one. This is the
+    /// replication feed: a primary tails it to stream records to replicas
+    /// and `SUBSCRIBE` change-feed clients.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// WAL position just past the most recent durable commit — the
+    /// replication watermark. On a primary this tracks local commits; on a
+    /// replica the apply loop advances it to the primary offsets it has
+    /// applied, so the same accessor answers "how far along is this node"
+    /// on both ends.
+    pub fn last_commit_lsn(&self) -> u64 {
+        self.mvcc.last_commit_lsn()
     }
 
     /// Set per-model consistency levels (hybrid consistency).

@@ -10,10 +10,13 @@
 //! * [`schema`] — relational schemas as wire values for remote
 //!   `CREATE TABLE`.
 //!
-//! The protocol is strictly request/response: the client writes one
-//! framed `Request`, the server answers with exactly one framed
-//! `Response`. Connection state is limited to the handshake flag and at
-//! most one open transaction.
+//! The protocol is request/response — the client writes one framed
+//! `Request`, the server answers with exactly one framed `Response` —
+//! with a single exception: `ReplicaHello` and `Subscribe` switch the
+//! connection into a push stream, after which the server sends framed
+//! `Response::Change` messages (WAL records, CDC events, heartbeats)
+//! until either side closes. Connection state is limited to the
+//! handshake flag, at most one open transaction, and the stream mode.
 
 pub mod frame;
 pub mod message;

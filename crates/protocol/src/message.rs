@@ -48,6 +48,17 @@ pub enum Request {
     Ddl(DdlOp),
     /// An administrative command, e.g. `STATS`.
     Admin { command: String },
+    /// `REPLICA HELLO <lsn>`: switch this connection into a replication
+    /// stream. The server first sends every WAL record from `from_lsn`
+    /// (catch-up), then tails the log live, pushing one [`Response::Change`]
+    /// frame per record plus periodic heartbeats. The connection never
+    /// returns to request/response mode.
+    ReplicaHello { from_lsn: u64 },
+    /// `SUBSCRIBE <lsn>`: the same stream for ordinary clients, as a
+    /// change-data-capture feed. Only the writes of *committed*
+    /// transactions are pushed (one frame per write, buffered until the
+    /// commit record arrives), each carrying the commit's resume LSN.
+    Subscribe { from_lsn: u64 },
 }
 
 /// Typed data operations mirroring `mmdb_core::Session`.
@@ -100,14 +111,22 @@ pub enum Response {
     Key(String),
     /// Transaction opened; carries its id.
     TxnBegun { txn_id: i64 },
-    /// Transaction committed at this timestamp.
-    Committed { commit_ts: i64 },
+    /// Transaction committed at this timestamp. `lsn` is the replication
+    /// watermark just past the commit's WAL record — a read-your-writes
+    /// token (optional trailing field: pre-replication servers never send
+    /// it, and 0/absent both mean "no token").
+    Committed { commit_ts: i64, lsn: Option<u64> },
     /// Transaction aborted.
     Aborted,
     /// Free-form text (EXPLAIN output).
     Text(String),
     /// `ADMIN STATS` payload.
     Stats(Value),
+    /// One pushed frame of a replication / change-feed stream (after
+    /// `REPLICA HELLO` or `SUBSCRIBE`). The payload shape is defined by
+    /// `mmdb-repl`: a tagged object — a WAL record, a CDC write event, or
+    /// a heartbeat carrying the primary's current tail LSN.
+    Change(Value),
     /// Any failure; `kind` matches [`Error::kind`].
     Err { kind: String, message: String },
 }
@@ -202,6 +221,13 @@ fn opt_ms_field(rest: &[Value], idx: usize, tag: &str) -> Result<Option<u64>> {
     }
 }
 
+/// A required non-negative integer field decoded as a WAL position.
+fn lsn_field(rest: &[Value], idx: usize, tag: &str) -> Result<u64> {
+    let n = int_field(rest, idx, tag)?;
+    u64::try_from(n)
+        .map_err(|_| Error::Protocol(format!("'{tag}' field {idx} must be a non-negative LSN")))
+}
+
 /// An optional trailing boolean field; absent decodes to `false`.
 fn opt_bool_field(rest: &[Value], idx: usize, tag: &str) -> Result<bool> {
     match rest.get(idx) {
@@ -262,6 +288,12 @@ impl Request {
             Request::Op(op) => tagged("op", vec![op.to_value()]),
             Request::Ddl(op) => tagged("ddl", vec![op.to_value()]),
             Request::Admin { command } => tagged("admin", vec![Value::str(command)]),
+            Request::ReplicaHello { from_lsn } => {
+                tagged("replica_hello", vec![Value::int(*from_lsn as i64)])
+            }
+            Request::Subscribe { from_lsn } => {
+                tagged("subscribe", vec![Value::int(*from_lsn as i64)])
+            }
         }
     }
 
@@ -289,6 +321,8 @@ impl Request {
             "op" => Request::Op(SessionOp::from_value(field(rest, 0, tag)?)?),
             "ddl" => Request::Ddl(DdlOp::from_value(field(rest, 0, tag)?)?),
             "admin" => Request::Admin { command: str_field(rest, 0, tag)? },
+            "replica_hello" => Request::ReplicaHello { from_lsn: lsn_field(rest, 0, tag)? },
+            "subscribe" => Request::Subscribe { from_lsn: lsn_field(rest, 0, tag)? },
             other => return Err(Error::Protocol(format!("unknown request tag '{other}'"))),
         })
     }
@@ -307,6 +341,8 @@ impl Request {
             Request::Op(_) => "op",
             Request::Ddl(_) => "ddl",
             Request::Admin { .. } => "admin",
+            Request::ReplicaHello { .. } => "replica",
+            Request::Subscribe { .. } => "subscribe",
         }
     }
 }
@@ -525,12 +561,17 @@ impl Response {
             },
             Response::Key(k) => tagged("key", vec![Value::str(k)]),
             Response::TxnBegun { txn_id } => tagged("begun", vec![Value::int(*txn_id)]),
-            Response::Committed { commit_ts } => {
-                tagged("committed", vec![Value::int(*commit_ts)])
+            Response::Committed { commit_ts, lsn } => {
+                let mut fields = vec![Value::int(*commit_ts)];
+                if let Some(lsn) = lsn {
+                    fields.push(Value::int(*lsn as i64));
+                }
+                tagged("committed", fields)
             }
             Response::Aborted => tagged("aborted", vec![]),
             Response::Text(t) => tagged("text", vec![Value::str(t)]),
             Response::Stats(v) => tagged("stats", vec![v.clone()]),
+            Response::Change(v) => tagged("change", vec![v.clone()]),
             Response::Err { kind, message } => {
                 tagged("err", vec![Value::str(kind), Value::str(message)])
             }
@@ -555,10 +596,14 @@ impl Response {
             "maybe" => Response::Maybe(rest.first().cloned()),
             "key" => Response::Key(str_field(rest, 0, tag)?),
             "begun" => Response::TxnBegun { txn_id: int_field(rest, 0, tag)? },
-            "committed" => Response::Committed { commit_ts: int_field(rest, 0, tag)? },
+            "committed" => Response::Committed {
+                commit_ts: int_field(rest, 0, tag)?,
+                lsn: opt_ms_field(rest, 1, tag)?,
+            },
             "aborted" => Response::Aborted,
             "text" => Response::Text(str_field(rest, 0, tag)?),
             "stats" => Response::Stats(field(rest, 0, tag)?.clone()),
+            "change" => Response::Change(field(rest, 0, tag)?.clone()),
             "err" => Response::Err {
                 kind: str_field(rest, 0, tag)?,
                 message: str_field(rest, 1, tag)?,
@@ -623,6 +668,10 @@ mod tests {
                 field: "text".into(),
             }),
             Request::Admin { command: "STATS".into() },
+            Request::ReplicaHello { from_lsn: 0 },
+            Request::ReplicaHello { from_lsn: 123_456 },
+            Request::Subscribe { from_lsn: 0 },
+            Request::Subscribe { from_lsn: 987 },
         ];
         for req in cases {
             let bytes = req.encode();
@@ -642,10 +691,15 @@ mod tests {
             Response::Maybe(Some(Value::object([("a", Value::int(1))]))),
             Response::Key("o1".into()),
             Response::TxnBegun { txn_id: 42 },
-            Response::Committed { commit_ts: 7 },
+            Response::Committed { commit_ts: 7, lsn: None },
+            Response::Committed { commit_ts: 7, lsn: Some(9001) },
             Response::Aborted,
             Response::Text("plan".into()),
             Response::Stats(Value::object([("requests", Value::int(9))])),
+            Response::Change(Value::object([
+                ("type", Value::str("record")),
+                ("lsn", Value::int(64)),
+            ])),
             Response::Err { kind: "not_found".into(), message: "no such thing".into() },
         ];
         for resp in cases {
@@ -720,6 +774,30 @@ mod tests {
             Value::str("soon"),
         ]));
         assert_eq!(Request::decode(&bogus).unwrap_err().kind(), "protocol");
+    }
+
+    #[test]
+    fn commit_lsn_is_an_optional_trailing_field() {
+        // A bare ["committed", ts] (what pre-replication servers send)
+        // still decodes, to a commit with no read-your-writes token.
+        let legacy =
+            value_to_bytes(&Value::Array(vec![Value::str("committed"), Value::int(5)]));
+        assert_eq!(
+            Response::decode(&legacy).unwrap(),
+            Response::Committed { commit_ts: 5, lsn: None }
+        );
+        // A negative LSN is a protocol violation.
+        let negative = value_to_bytes(&Value::Array(vec![
+            Value::str("committed"),
+            Value::int(5),
+            Value::int(-1),
+        ]));
+        assert_eq!(Response::decode(&negative).unwrap_err().kind(), "protocol");
+        // So is a negative replica_hello/subscribe position.
+        for tag in ["replica_hello", "subscribe"] {
+            let bad = value_to_bytes(&Value::Array(vec![Value::str(tag), Value::int(-7)]));
+            assert_eq!(Request::decode(&bad).unwrap_err().kind(), "protocol", "{tag}");
+        }
     }
 
     #[test]

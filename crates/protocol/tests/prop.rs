@@ -53,7 +53,10 @@ fn arb_response() -> impl Strategy<Value = Response> {
         Just(Response::Pong),
         Just(Response::Aborted),
         any::<i64>().prop_map(|txn_id| Response::TxnBegun { txn_id }),
-        any::<i64>().prop_map(|commit_ts| Response::Committed { commit_ts }),
+        // The commit LSN rides the wire as a non-negative Value::int,
+        // so only the i64-representable range round-trips.
+        (any::<i64>(), prop_oneof![Just(None), any::<i64>().prop_map(|l| Some((l & i64::MAX) as u64))])
+            .prop_map(|(commit_ts, lsn)| Response::Committed { commit_ts, lsn }),
         prop::collection::vec(arb_value(), 0..4).prop_map(Response::Rows),
         prop_oneof![Just(None), arb_value().prop_map(Some)].prop_map(Response::Maybe),
         "[a-z]{1,10}".prop_map(Response::Key),

@@ -8,7 +8,7 @@
 use mmdb_types::{Error, Number, Result, Value};
 
 use crate::ast::{BinOp, Expr};
-use crate::exec::{execute_query_with_env, Env};
+use crate::exec::Env;
 use crate::functions::call_function;
 use crate::world::World;
 
@@ -80,7 +80,9 @@ pub fn eval_expr(world: &World, env: &Env, expr: &Expr) -> Result<Value> {
             }
             Ok(Value::Object(obj))
         }
-        Expr::Subquery(q) => Ok(Value::Array(execute_query_with_env(world, q, env.clone())?)),
+        Expr::Subquery(q) => {
+            Ok(Value::Array(crate::exec::execute_subquery(world, q, env.clone())?))
+        }
         Expr::Ternary(c, a, b) => {
             if eval_expr(world, env, c)?.is_truthy() {
                 eval_expr(world, env, a)

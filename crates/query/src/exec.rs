@@ -89,6 +89,132 @@ pub fn execute_query_with_env(world: &World, query: &Query, env: Env) -> Result<
     execute_plan_with_env(world, &plan, env)
 }
 
+/// Evaluate an inline subquery (a `LET x = (FOR ...)` body or a
+/// parenthesized pipeline in expression position). Outside a traced
+/// execution this is exactly [`execute_query_with_env`]. Inside
+/// [`execute_plan_traced`] the subquery pipeline is profiled too: its
+/// operators are aggregated across per-row evaluations, indented one
+/// level per nesting depth, and spliced into the parent's profile right
+/// after the operator that evaluated them — so EXPLAIN ANALYZE no
+/// longer hides subquery work inside the parent operator's elapsed time.
+pub fn execute_subquery(world: &World, query: &Query, env: Env) -> Result<Vec<Value>> {
+    if !SUB_TRACE.with(|t| t.borrow().is_some()) {
+        return execute_query_with_env(world, query, env);
+    }
+    let plan = crate::optimize::optimize(build_plan(query)?, world);
+    let depth = SUB_TRACE.with(|t| {
+        let mut slot = t.borrow_mut();
+        match slot.as_mut() {
+            Some(trace) => {
+                trace.depth += 1;
+                trace.depth
+            }
+            None => 0,
+        }
+    });
+    let result = execute_plan_traced_sub(world, &plan, env, depth);
+    SUB_TRACE.with(|t| {
+        if let Some(trace) = t.borrow_mut().as_mut() {
+            trace.depth = trace.depth.saturating_sub(1);
+        }
+    });
+    result
+}
+
+thread_local! {
+    /// Active only for the duration of [`execute_plan_traced`]: collects
+    /// the per-operator stats of subqueries evaluated from expressions.
+    /// The traced executor drains it after each plan node, splicing the
+    /// subquery operators into the profile in execution order.
+    static SUB_TRACE: std::cell::RefCell<Option<SubTrace>> = const { std::cell::RefCell::new(None) };
+}
+
+struct SubTrace {
+    /// Current subquery nesting depth (0 = the traced top-level plan).
+    depth: usize,
+    entries: Vec<crate::stats::OpStats>,
+}
+
+/// Installs the subquery trace sink on construction (if none is active)
+/// and clears it on drop, so an error return mid-trace cannot leak an
+/// active sink into the next query on this thread.
+struct SubTraceGuard {
+    installed: bool,
+}
+
+impl SubTraceGuard {
+    fn install() -> SubTraceGuard {
+        SUB_TRACE.with(|t| {
+            let mut slot = t.borrow_mut();
+            if slot.is_none() {
+                *slot = Some(SubTrace { depth: 0, entries: Vec::new() });
+                SubTraceGuard { installed: true }
+            } else {
+                SubTraceGuard { installed: false }
+            }
+        })
+    }
+}
+
+impl Drop for SubTraceGuard {
+    fn drop(&mut self) {
+        if self.installed {
+            SUB_TRACE.with(|t| *t.borrow_mut() = None);
+        }
+    }
+}
+
+/// Take the subquery operator stats accumulated since the last drain.
+fn drain_sub_trace() -> Vec<crate::stats::OpStats> {
+    SUB_TRACE.with(|t| {
+        t.borrow_mut().as_mut().map(|trace| std::mem::take(&mut trace.entries)).unwrap_or_default()
+    })
+}
+
+/// Record one subquery operator evaluation into the active sink,
+/// merging repeats: a `LET` body re-evaluated for every parent row
+/// shows up as one line with summed rows and elapsed time, not N lines.
+fn record_sub_op(op: String, rows_in: usize, rows_out: usize, elapsed: std::time::Duration, access_path: Option<String>) {
+    SUB_TRACE.with(|t| {
+        if let Some(trace) = t.borrow_mut().as_mut() {
+            if let Some(existing) = trace.entries.iter_mut().find(|e| e.op == op) {
+                existing.rows_in += rows_in;
+                existing.rows_out += rows_out;
+                existing.elapsed += elapsed;
+                if existing.access_path.is_none() {
+                    existing.access_path = access_path;
+                }
+            } else {
+                trace.entries.push(crate::stats::OpStats { op, rows_in, rows_out, elapsed, access_path });
+            }
+        }
+    });
+}
+
+/// The traced executor for subquery plans: same shape as the top-level
+/// traced loop, but operator stats go to the thread-local sink (indented
+/// by nesting depth) instead of a local `ops` vector.
+fn execute_plan_traced_sub(world: &World, plan: &Plan, env: Env, depth: usize) -> Result<Vec<Value>> {
+    let indent = "  ".repeat(depth.max(1) - 1);
+    let mut envs = vec![env];
+    // lint: allow(tick, iterates plan operators, bounded by query size; apply_node ticks per row)
+    for node in &plan.nodes {
+        let rows_in = envs.len();
+        let access_path = describe_access_path(world, node, envs.first());
+        let node_started = std::time::Instant::now();
+        envs = apply_node(world, node, envs)?;
+        record_sub_op(format!("{indent}└ {}", node.describe()), rows_in, envs.len(), node_started.elapsed(), access_path);
+        if envs.is_empty() {
+            break;
+        }
+    }
+    let rows_in = envs.len();
+    let ret_started = std::time::Instant::now();
+    let out = project_return(world, plan, &envs)?;
+    record_sub_op(format!("{indent}└ {}", plan.describe_return()), rows_in, out.len(), ret_started.elapsed(), None);
+    Ok(out)
+}
+
 /// Execute an already-optimized plan.
 pub fn execute_plan(world: &World, plan: &Plan) -> Result<Vec<Value>> {
     execute_plan_with_env(world, plan, Env::new())
@@ -141,6 +267,7 @@ pub fn execute_plan_traced(
     env: Env,
 ) -> Result<(Vec<Value>, crate::stats::ExecStats)> {
     use crate::stats::{ExecStats, OpStats};
+    let _sub_trace = SubTraceGuard::install();
     let started = std::time::Instant::now();
     let mut envs = vec![env];
     let mut ops: Vec<OpStats> = Vec::with_capacity(plan.nodes.len() + 1);
@@ -157,6 +284,10 @@ pub fn execute_plan_traced(
             elapsed: node_started.elapsed(),
             access_path,
         });
+        // Subqueries evaluated while this node ran (LET bodies, inline
+        // pipelines) traced themselves into the sink; splice their
+        // operators in right below the node that evaluated them.
+        ops.extend(drain_sub_trace());
         if envs.is_empty() {
             break;
         }
@@ -171,6 +302,7 @@ pub fn execute_plan_traced(
         elapsed: ret_started.elapsed(),
         access_path: None,
     });
+    ops.extend(drain_sub_trace());
     let stats = ExecStats { ops, rows_returned: out.len(), total: started.elapsed() };
     Ok((out, stats))
 }
@@ -608,6 +740,82 @@ mod tests {
         )
         .unwrap();
         assert_eq!(got, vec![Value::int(10000), Value::int(6000), Value::int(4000)]);
+    }
+
+    #[test]
+    fn traced_execution_profiles_subquery_pipelines() {
+        let w = paper_world();
+        let (got, stats) = crate::run_traced(
+            &w,
+            r#"
+            LET rich = (FOR c IN customers FILTER c.credit_limit >= 3000 RETURN c.name)
+            FOR n IN rich
+              RETURN UPPER(n)
+            "#,
+            &mmdb_types::CancelToken::none(),
+        )
+        .unwrap();
+        assert_eq!(got, vec![Value::str("MARY"), Value::str("JOHN")]);
+        // The LET body's pipeline shows up as indented operators spliced
+        // into the parent profile, not hidden inside the LET's elapsed.
+        let sub_ops: Vec<&crate::stats::OpStats> =
+            stats.ops.iter().filter(|o| o.op.starts_with("└ ")).collect();
+        assert!(
+            sub_ops.iter().any(|o| o.op.contains("For c")),
+            "expected the subquery FOR among {:?}",
+            stats.ops.iter().map(|o| &o.op).collect::<Vec<_>>()
+        );
+        assert!(
+            sub_ops.iter().any(|o| o.op.contains("Filter")),
+            "expected the subquery FILTER among {:?}",
+            stats.ops.iter().map(|o| &o.op).collect::<Vec<_>>()
+        );
+        // And the parent pipeline is still fully present.
+        assert!(stats.ops.iter().any(|o| o.op.contains("Let") && !o.op.starts_with("└ ")));
+    }
+
+    #[test]
+    fn traced_correlated_subquery_aggregates_per_row_evaluations() {
+        let w = paper_world();
+        let (got, stats) = crate::run_traced(
+            &w,
+            r#"
+            FOR c IN customers
+              LET doubled = (FOR x IN [1] RETURN c.credit_limit * 2)
+              SORT c.id
+              RETURN doubled[0]
+            "#,
+            &mmdb_types::CancelToken::none(),
+        )
+        .unwrap();
+        assert_eq!(got, vec![Value::int(10000), Value::int(6000), Value::int(4000)]);
+        // The LET body ran once per customer, but it aggregates into a
+        // single profile line with summed row counts.
+        let sub_for: Vec<&crate::stats::OpStats> = stats
+            .ops
+            .iter()
+            .filter(|o| o.op.starts_with("└ ") && o.op.contains("For x"))
+            .collect();
+        assert_eq!(sub_for.len(), 1, "ops: {:?}", stats.ops.iter().map(|o| &o.op).collect::<Vec<_>>());
+        assert_eq!(sub_for[0].rows_in, 3);
+        assert_eq!(sub_for[0].rows_out, 3);
+    }
+
+    #[test]
+    fn untraced_execution_leaves_no_subquery_trace_behind() {
+        let w = paper_world();
+        // A plain run after a traced one must not see a stale sink.
+        let (_, stats) = crate::run_traced(
+            &w,
+            "LET a = (FOR c IN customers RETURN c.id) RETURN LENGTH(a)",
+            &mmdb_types::CancelToken::none(),
+        )
+        .unwrap();
+        assert!(stats.ops.iter().any(|o| o.op.starts_with("└ ")));
+        let got = run(&w, "LET a = (FOR c IN customers RETURN c.id) RETURN LENGTH(a)").unwrap();
+        assert_eq!(got, vec![Value::int(3)]);
+        // Running untraced did not record anything (sink is inactive).
+        assert!(drain_sub_trace().is_empty());
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! The replica side: connect, catch up, tail, reconnect.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mmdb_client::{Client, ClientConfig};
+use mmdb_core::Database;
+use mmdb_storage::wal::{TxId, WalRecord};
+use mmdb_txn::CommittedWrite;
+use mmdb_types::codec::value_from_bytes;
+use mmdb_types::{Result, Value};
+use parking_lot::Mutex;
+
+use crate::feed::{parse_frame, Frame};
+use crate::status::ReplStatus;
+
+/// Tunables for a [`ReplicaRunner`].
+#[derive(Debug, Clone)]
+pub struct ReplicaOptions {
+    /// Pause between reconnect attempts after the primary goes away.
+    pub reconnect_delay: Duration,
+    /// Connection settings for the stream. The read timeout doubles as
+    /// the liveness bound: the primary heartbeats a few times per
+    /// second, so a timed-out read means the primary is gone and the
+    /// runner reconnects.
+    pub client: ClientConfig,
+}
+
+impl Default for ReplicaOptions {
+    fn default() -> Self {
+        // Heartbeats arrive every ~200ms; 5s of silence is a dead primary.
+        let client =
+            ClientConfig { read_timeout: Some(Duration::from_secs(5)), ..ClientConfig::default() };
+        ReplicaOptions { reconnect_delay: Duration::from_millis(300), client }
+    }
+}
+
+/// Drives one replica database from a primary's WAL stream.
+///
+/// On `start` the local store is latched read-only and a background
+/// thread loops: connect, `REPLICA HELLO <applied_lsn>`, apply streamed
+/// transactions via [`mmdb_txn::MvccStore::apply_replicated`], and on
+/// any failure reconnect after [`ReplicaOptions::reconnect_delay`],
+/// resuming from the last fully-applied transaction boundary. While
+/// disconnected the replica keeps serving reads from its latest
+/// applied state.
+pub struct ReplicaRunner {
+    status: Arc<ReplStatus>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ReplicaRunner {
+    /// Latch `db` read-only and start replicating from `primary_addr`.
+    pub fn start(
+        db: Arc<Database>,
+        primary_addr: impl Into<String>,
+        opts: ReplicaOptions,
+    ) -> ReplicaRunner {
+        let primary_addr = primary_addr.into();
+        db.mvcc()
+            .latch_read_only(&format!("read-only replica of {primary_addr}"));
+        let status = Arc::new(ReplStatus::new(primary_addr.clone()));
+        // Resume from the database's own replication watermark, not LSN 0:
+        // a runner restarted over an already-fed replica must not replay
+        // (and double-apply) transactions the store has already absorbed.
+        status.advance_applied(db.last_commit_lsn());
+        let stop = Arc::new(AtomicBool::new(false));
+        let worker = Worker {
+            db,
+            addr: primary_addr,
+            opts,
+            status: Arc::clone(&status),
+            stop: Arc::clone(&stop),
+            last_error: Arc::new(Mutex::new(None)),
+        };
+        let handle = {
+            std::thread::Builder::new()
+                .name("mmdb-replica".into())
+                .spawn(move || worker.run())
+                .expect("spawn replica thread") // lint: allow(panic, thread spawn at startup; fails only on resource exhaustion, abort is documented)
+        };
+        ReplicaRunner { status, stop, handle: Some(handle) }
+    }
+
+    /// The shared status handle (clone it into server admin handlers).
+    pub fn status(&self) -> Arc<ReplStatus> {
+        Arc::clone(&self.status)
+    }
+
+    /// Signal the thread and wait for it to exit. Returns promptly when
+    /// idle; bounded by the stream read timeout when mid-read.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ReplicaRunner {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+struct Worker {
+    db: Arc<Database>,
+    addr: String,
+    opts: ReplicaOptions,
+    status: Arc<ReplStatus>,
+    stop: Arc<AtomicBool>,
+    last_error: Arc<Mutex<Option<String>>>,
+}
+
+impl Worker {
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    fn run(&self) {
+        while !self.stopped() {
+            if let Err(e) = self.stream_once() {
+                *self.last_error.lock() = Some(e.to_string());
+            }
+            self.status.set_connected(false);
+            if self.stopped() {
+                break;
+            }
+            std::thread::sleep(self.opts.reconnect_delay);
+        }
+    }
+
+    /// One connection lifetime: hello, then apply frames until an error
+    /// or shutdown. Returns `Ok(())` only on shutdown.
+    fn stream_once(&self) -> Result<()> {
+        let mut client = Client::connect_with(&*self.addr, self.opts.client.clone())?;
+        client.replica_hello(self.status.applied_lsn())?;
+        self.status.set_connected(true);
+
+        // Writes of transactions whose commit record hasn't arrived yet.
+        // The primary serializes Begin..Write*..Commit blocks in its log
+        // (only lone Aborts interleave), so at most a handful are open.
+        let mut pending: HashMap<TxId, Vec<CommittedWrite>> = HashMap::new();
+
+        while !self.stopped() {
+            let frame = client.next_change()?;
+            self.status.note_contact();
+            match parse_frame(&frame)? {
+                Frame::Heartbeat { tail_lsn } => self.status.observe_tail(tail_lsn),
+                Frame::Record(rec) => {
+                    self.status.observe_tail(rec.next_lsn);
+                    match &rec.record {
+                        WalRecord::Begin { txid } => {
+                            // The primary logs whole Begin..Write*..Commit
+                            // blocks under its commit mutex, so a fresh
+                            // Begin means any earlier open block is a
+                            // crash artifact whose Commit can never
+                            // arrive. Drop it — primary recovery ignores
+                            // such blocks too — or it would pin
+                            // `pending` non-empty and freeze the resume
+                            // watermark forever.
+                            pending.retain(|t, _| t == txid);
+                            pending.entry(*txid).or_default();
+                        }
+                        WalRecord::Write { txid, domain, key, value } => {
+                            let value = match value {
+                                Some(bytes) => Some(value_from_bytes(bytes)?),
+                                None => None,
+                            };
+                            pending.entry(*txid).or_default().push(CommittedWrite {
+                                domain: domain.clone(),
+                                key: key.clone(),
+                                value,
+                            });
+                        }
+                        WalRecord::Commit { txid } => {
+                            let writes = pending.remove(txid).unwrap_or_default();
+                            // Dropping the connection here (error/crash)
+                            // is safe: applied_lsn hasn't advanced, so the
+                            // reconnect replays the block and the apply
+                            // repeats idempotently onto newer versions.
+                            mmdb_fault::fail_point!("repl.apply", |msg| {
+                                mmdb_types::Error::Storage(format!("replica apply: {msg}"))
+                            });
+                            self.db.mvcc().apply_replicated(&writes)?;
+                            self.status.note_txn_applied();
+                        }
+                        WalRecord::Abort { txid } => {
+                            pending.remove(txid);
+                        }
+                        WalRecord::Checkpoint => {}
+                    }
+                    // Only a transaction boundary is a safe resume point:
+                    // `REPLICA HELLO` replays whole records, and a Begin or
+                    // Write we've buffered but not applied must be streamed
+                    // again if this connection dies.
+                    if pending.is_empty() {
+                        self.status.advance_applied(rec.next_lsn);
+                        // Mirror the watermark into the store so
+                        // `Database::last_commit_lsn` answers "how far
+                        // along is this node" on a replica too — and a
+                        // future runner on this database resumes here.
+                        self.db.mvcc().note_commit_lsn(rec.next_lsn);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(dead_code)]
+    fn last_error(&self) -> Option<String> {
+        self.last_error.lock().clone()
+    }
+}
+
+/// Convenience for tests and tools: dump a database's current change
+/// feed cursor, i.e. the LSN a fresh `SUBSCRIBE` should start from to
+/// see only future commits.
+pub fn current_cursor(db: &Database) -> Value {
+    Value::int(db.wal().map(|w| w.tail_lsn()).unwrap_or(0) as i64)
+}

@@ -1,0 +1,204 @@
+//! Replica lag and health accounting.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use mmdb_storage::wal::Lsn;
+use mmdb_types::Value;
+
+fn epoch_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
+
+/// Shared, lock-free view of a replica's replication state.
+///
+/// Written by the [`crate::ReplicaRunner`] thread, read by `ADMIN
+/// HEALTH` / `ADMIN REPL` handlers and by pool freshness checks. Lag
+/// is reported two ways:
+///
+/// * `lag_bytes` — how far `applied_lsn` trails the primary's last
+///   advertised WAL tail. Exact while connected; a lower bound after
+///   the primary goes away (the tail stops advancing in our view).
+/// * `staleness_ms` — wall-clock time since the replica last *knew*
+///   it was caught up (applied LSN == advertised tail). This keeps
+///   growing after a disconnect even though `lag_bytes` freezes,
+///   which is what bounded-staleness reads need.
+#[derive(Debug)]
+pub struct ReplStatus {
+    primary_addr: String,
+    connected: AtomicBool,
+    /// Everything below `applied_lsn` (in the *primary's* LSN space)
+    /// has been applied locally as complete transactions.
+    applied_lsn: AtomicU64,
+    /// The primary's WAL tail as of the last frame we saw.
+    primary_tail_lsn: AtomicU64,
+    /// Epoch ms of the last frame received from the primary; 0 = never.
+    last_contact_ms: AtomicU64,
+    /// Epoch ms when `applied_lsn == primary_tail_lsn` last held; 0 = never.
+    caught_up_at_ms: AtomicU64,
+    txns_applied: AtomicU64,
+    connects: AtomicU64,
+}
+
+impl ReplStatus {
+    /// A fresh status for a replica of `primary_addr`, starting at LSN 0.
+    pub fn new(primary_addr: impl Into<String>) -> ReplStatus {
+        ReplStatus {
+            primary_addr: primary_addr.into(),
+            connected: AtomicBool::new(false),
+            applied_lsn: AtomicU64::new(0),
+            primary_tail_lsn: AtomicU64::new(0),
+            last_contact_ms: AtomicU64::new(0),
+            caught_up_at_ms: AtomicU64::new(0),
+            txns_applied: AtomicU64::new(0),
+            connects: AtomicU64::new(0),
+        }
+    }
+
+    /// Address of the primary this replica follows.
+    pub fn primary_addr(&self) -> &str {
+        &self.primary_addr
+    }
+
+    /// Whether the streaming connection is currently up.
+    pub fn is_connected(&self) -> bool {
+        self.connected.load(Ordering::SeqCst)
+    }
+
+    /// Primary-space LSN below which all transactions are applied.
+    pub fn applied_lsn(&self) -> Lsn {
+        self.applied_lsn.load(Ordering::SeqCst)
+    }
+
+    /// The primary's WAL tail as last advertised.
+    pub fn primary_tail_lsn(&self) -> Lsn {
+        self.primary_tail_lsn.load(Ordering::SeqCst)
+    }
+
+    /// Complete transactions applied since this process started.
+    pub fn txns_applied(&self) -> u64 {
+        self.txns_applied.load(Ordering::SeqCst)
+    }
+
+    /// Successful stream connections (1 = never had to reconnect).
+    pub fn connects(&self) -> u64 {
+        self.connects.load(Ordering::SeqCst)
+    }
+
+    /// Bytes of primary WAL known but not yet applied.
+    pub fn lag_bytes(&self) -> u64 {
+        self.primary_tail_lsn().saturating_sub(self.applied_lsn())
+    }
+
+    /// Milliseconds since the replica last knew it was caught up, or
+    /// `None` if it never has been.
+    pub fn staleness_ms(&self) -> Option<u64> {
+        let at = self.caught_up_at_ms.load(Ordering::SeqCst);
+        if at == 0 {
+            return None;
+        }
+        Some(epoch_ms().saturating_sub(at))
+    }
+
+    // ---- runner-side updates ----------------------------------------------
+
+    pub(crate) fn set_connected(&self, up: bool) {
+        if up {
+            self.connects.fetch_add(1, Ordering::SeqCst);
+        }
+        self.connected.store(up, Ordering::SeqCst);
+    }
+
+    pub(crate) fn note_contact(&self) {
+        self.last_contact_ms.store(epoch_ms(), Ordering::SeqCst);
+    }
+
+    pub(crate) fn observe_tail(&self, tail: Lsn) {
+        self.primary_tail_lsn.fetch_max(tail, Ordering::SeqCst);
+        self.refresh_caught_up();
+    }
+
+    pub(crate) fn advance_applied(&self, lsn: Lsn) {
+        self.applied_lsn.fetch_max(lsn, Ordering::SeqCst);
+        self.refresh_caught_up();
+    }
+
+    pub(crate) fn note_txn_applied(&self) {
+        self.txns_applied.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn refresh_caught_up(&self) {
+        if self.applied_lsn() >= self.primary_tail_lsn() {
+            self.caught_up_at_ms.store(epoch_ms(), Ordering::SeqCst);
+        }
+    }
+
+    /// The `ADMIN REPL` payload for a replica.
+    pub fn to_value(&self) -> Value {
+        Value::object([
+            ("role", Value::str("replica")),
+            ("primary", Value::str(self.primary_addr.clone())),
+            ("connected", Value::Bool(self.is_connected())),
+            ("applied_lsn", Value::int(self.applied_lsn() as i64)),
+            ("primary_tail_lsn", Value::int(self.primary_tail_lsn() as i64)),
+            ("lag_bytes", Value::int(self.lag_bytes() as i64)),
+            (
+                "staleness_ms",
+                match self.staleness_ms() {
+                    Some(ms) => Value::int(ms as i64),
+                    None => Value::Null,
+                },
+            ),
+            ("txns_applied", Value::int(self.txns_applied() as i64)),
+            ("connects", Value::int(self.connects() as i64)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_and_staleness_track_the_stream() {
+        let s = ReplStatus::new("127.0.0.1:7777");
+        assert_eq!(s.lag_bytes(), 0);
+        assert_eq!(s.staleness_ms(), None);
+
+        s.set_connected(true);
+        s.observe_tail(100);
+        assert_eq!(s.lag_bytes(), 100);
+        // Not caught up yet, so still never-fresh.
+        assert_eq!(s.staleness_ms(), None);
+
+        s.advance_applied(100);
+        s.note_txn_applied();
+        assert_eq!(s.lag_bytes(), 0);
+        assert!(s.staleness_ms().is_some());
+
+        // A disconnect freezes lag_bytes but staleness keeps counting.
+        s.set_connected(false);
+        assert_eq!(s.lag_bytes(), 0);
+        assert!(s.staleness_ms().is_some());
+
+        let v = s.to_value();
+        assert_eq!(v.get_field("role").as_str().unwrap(), "replica");
+        assert_eq!(v.get_field("applied_lsn").as_int().unwrap(), 100);
+        assert_eq!(v.get_field("connected"), &Value::Bool(false));
+        assert_eq!(v.get_field("txns_applied").as_int().unwrap(), 1);
+    }
+
+    #[test]
+    fn applied_and_tail_only_move_forward() {
+        let s = ReplStatus::new("p");
+        s.observe_tail(50);
+        s.observe_tail(20);
+        assert_eq!(s.primary_tail_lsn(), 50);
+        s.advance_applied(40);
+        s.advance_applied(10);
+        assert_eq!(s.applied_lsn(), 40);
+    }
+}

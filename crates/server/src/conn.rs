@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 
 use mmdb_core::Session;
 use mmdb_protocol::{frame, DdlOp, Request, Response, SessionOp, PROTOCOL_VERSION};
+use mmdb_repl::feed::{self, CdcBuffer};
 use mmdb_types::{CancelToken, Error, Result, Value};
 use mmdb_txn::IsolationLevel;
 
@@ -137,6 +138,27 @@ pub(crate) fn handle_connection(inner: &ServerInner, mut stream: TcpStream) {
                 break;
             }
         };
+        // Stream requests flip the connection into push mode and never
+        // come back: the loop ends when the stream does.
+        if conn.hello_done {
+            if let Request::ReplicaHello { from_lsn } | Request::Subscribe { from_lsn } =
+                &request
+            {
+                let cdc = matches!(request, Request::Subscribe { .. });
+                let started = Instant::now();
+                let result = serve_stream(inner, &mut stream, *from_lsn, cdc);
+                inner.metrics.record_request(&request, result.is_ok(), started.elapsed());
+                if let Err(e) = result {
+                    let resp = Response::from_error(&e);
+                    let _ = frame::write_frame(
+                        &mut stream,
+                        &resp.encode(),
+                        inner.config.max_frame_len,
+                    );
+                }
+                break;
+            }
+        }
         let started = Instant::now();
         let response = dispatch(inner, &mut conn, &request);
         let ok = !matches!(response, Response::Err { .. });
@@ -236,7 +258,11 @@ fn run_request(inner: &ServerInner, conn: &mut ConnState, req: &Request) -> Resu
                 .take()
                 .ok_or_else(|| Error::TxnClosed("no open transaction to commit".into()))?;
             let commit_ts = session.commit()? as i64;
-            Response::Committed { commit_ts }
+            // The watermark is read after this commit's WAL block landed,
+            // so it is at least this transaction's durable position — a
+            // valid (if slightly strict) read-your-writes token.
+            let lsn = db.wal().map(|_| db.last_commit_lsn());
+            Response::Committed { commit_ts, lsn }
         }
         Request::Abort => {
             let session = conn
@@ -265,7 +291,70 @@ fn run_request(inner: &ServerInner, conn: &mut ConnState, req: &Request) -> Resu
         }
         Request::Ddl(op) => apply_ddl(db, op)?,
         Request::Admin { command } => run_admin(inner, command)?,
+        // Handled in `handle_connection` before dispatch (they change
+        // the connection mode); reaching here is a logic error.
+        Request::ReplicaHello { .. } | Request::Subscribe { .. } => {
+            return Err(Error::Internal(
+                "stream request reached request/response dispatch".into(),
+            ))
+        }
     })
+}
+
+/// Serve the push stream after `REPLICA HELLO`/`SUBSCRIBE`: ship WAL
+/// records from `from_lsn` (catch-up), then live-tail the log,
+/// heartbeating the tail LSN when idle. Replicas get raw records;
+/// `SUBSCRIBE` (`cdc`) gets decoded committed writes only. Occupies this
+/// connection's worker until the peer or the server goes away.
+fn serve_stream(
+    inner: &ServerInner,
+    stream: &mut TcpStream,
+    from_lsn: u64,
+    cdc: bool,
+) -> Result<()> {
+    const HEARTBEAT_EVERY: Duration = Duration::from_millis(200);
+    const BATCH: usize = 256;
+    let Some(wal) = inner.db.wal().cloned() else {
+        return Err(Error::Unsupported(
+            "this server has no WAL to stream (pure in-memory database)".into(),
+        ));
+    };
+    let mut cursor = from_lsn;
+    let mut cdc_buf = CdcBuffer::new();
+    // Immediate first heartbeat: tells the subscriber the current tail
+    // even when the cursor starts caught-up.
+    send_change(inner, stream, feed::heartbeat_frame(wal.tail_lsn()))?;
+    let mut last_beat = Instant::now();
+    loop {
+        if inner.shutting_down() {
+            return Ok(());
+        }
+        let records = wal.read_records_from(cursor, BATCH)?;
+        if records.is_empty() {
+            if last_beat.elapsed() >= HEARTBEAT_EVERY {
+                send_change(inner, stream, feed::heartbeat_frame(wal.tail_lsn()))?;
+                last_beat = Instant::now();
+            }
+            std::thread::sleep(inner.config.poll_interval.min(HEARTBEAT_EVERY));
+            continue;
+        }
+        for rec in &records {
+            if cdc {
+                for event in cdc_buf.push(rec)? {
+                    send_change(inner, stream, event)?;
+                }
+            } else {
+                send_change(inner, stream, feed::record_frame(rec))?;
+            }
+            cursor = rec.next_lsn;
+        }
+        // Records just flowed; the next heartbeat can wait a full period.
+        last_beat = Instant::now();
+    }
+}
+
+fn send_change(inner: &ServerInner, stream: &mut TcpStream, event: Value) -> Result<()> {
+    frame::write_frame(stream, &Response::Change(event).encode(), inner.config.max_frame_len)
 }
 
 fn apply_op(s: &mut Session, op: &SessionOp) -> Result<Response> {
@@ -442,7 +531,17 @@ fn run_admin(inner: &ServerInner, command: &str) -> Result<Response> {
         // Health summary for load balancers and operators: `ok` while the
         // engine accepts writes, `degraded` once a durability failure has
         // latched it read-only (reads keep serving; drain writes elsewhere).
+        // A read replica reports `replica` plus its lag figures — it is
+        // intentionally read-only, not degraded, even when its primary is
+        // unreachable (it keeps serving reads and its staleness grows).
         "HEALTH" => {
+            if let Some(provider) = inner.replica_status.get() {
+                let mut status = provider();
+                if let Ok(obj) = status.as_object_mut() {
+                    obj.insert("status", Value::str("replica"));
+                }
+                return Ok(Response::Stats(status));
+            }
             let degraded = inner.db.is_degraded();
             let mut fields = vec![(
                 "status".to_string(),
@@ -452,6 +551,29 @@ fn run_admin(inner: &ServerInner, command: &str) -> Result<Response> {
                 fields.push(("reason".to_string(), Value::str(&reason)));
             }
             Ok(Response::Stats(Value::object(fields)))
+        }
+        // Replication summary: on a replica, the live runner status
+        // (connection state, applied LSN, lag); on a primary, the WAL
+        // tail and commit watermark that feed session tokens.
+        "REPL" => {
+            if let Some(provider) = inner.replica_status.get() {
+                return Ok(Response::Stats(provider()));
+            }
+            let db = &inner.db;
+            Ok(Response::Stats(match db.wal() {
+                Some(wal) => Value::object([
+                    ("role", Value::str("primary")),
+                    ("wal_tail_lsn", Value::int(wal.tail_lsn() as i64)),
+                    ("last_commit_lsn", Value::int(db.last_commit_lsn() as i64)),
+                ]),
+                // No WAL: nothing to ship, but answer rather than error so
+                // clients can probe capability.
+                None => Value::object([
+                    ("role", Value::str("primary")),
+                    ("wal_tail_lsn", Value::Null),
+                    ("last_commit_lsn", Value::Null),
+                ]),
+            }))
         }
         other => Err(Error::Unsupported(format!("unknown admin command '{other}'"))),
     }

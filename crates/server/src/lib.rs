@@ -27,7 +27,7 @@ pub use metrics::{CommandStats, LatencyHistogram, Metrics, COMMAND_LABELS, MODEL
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -107,7 +107,17 @@ pub(crate) struct ServerInner {
     active: AtomicU64,
     queue: Mutex<VecDeque<TcpStream>>,
     queue_ready: Condvar,
+    /// Set once when this server fronts a read replica (see
+    /// [`Server::attach_replica_status`]): a provider returning the
+    /// live replication status object for `ADMIN REPL`/`ADMIN HEALTH`.
+    pub(crate) replica_status: OnceLock<ReplicaStatusProvider>,
 }
+
+/// Callback returning a replica's live replication status as a `Value`
+/// object (role, LSNs, lag) — supplied by the process that wired up the
+/// replica so the server crate needs no dependency on the replication
+/// machinery.
+pub type ReplicaStatusProvider = Arc<dyn Fn() -> mmdb_types::Value + Send + Sync>;
 
 impl ServerInner {
     pub(crate) fn shutting_down(&self) -> bool {
@@ -156,6 +166,7 @@ impl Server {
             active: AtomicU64::new(0),
             queue: Mutex::new(VecDeque::new()),
             queue_ready: Condvar::new(),
+            replica_status: OnceLock::new(),
         });
 
         let workers = (0..config.workers.max(1))
@@ -186,6 +197,14 @@ impl Server {
     /// The server's metrics registry.
     pub fn metrics(&self) -> &Metrics {
         &self.inner.metrics
+    }
+
+    /// Declare this server a read replica. `provider` is polled by
+    /// `ADMIN REPL` and `ADMIN HEALTH` for the live replication status
+    /// (connection state, applied LSN, lag); the first call wins and
+    /// later calls are ignored.
+    pub fn attach_replica_status(&self, provider: ReplicaStatusProvider) {
+        let _ = self.inner.replica_status.set(provider);
     }
 
     /// Stop gracefully: refuse new connections, drain in-flight

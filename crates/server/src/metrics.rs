@@ -12,8 +12,10 @@ use mmdb_protocol::Request;
 use mmdb_types::Value;
 
 /// Commands tracked individually. Indexes into [`Metrics::commands`].
-pub const COMMAND_LABELS: [&str; 11] = [
+/// Kept in sync with `Request::command_label`.
+pub const COMMAND_LABELS: [&str; 13] = [
     "hello", "ping", "query", "sql", "explain", "begin", "commit", "abort", "op", "ddl", "admin",
+    "replica", "subscribe",
 ];
 
 fn command_index(label: &str) -> usize {
@@ -36,6 +38,10 @@ const BUCKETS: usize = 28;
 #[derive(Default)]
 pub struct LatencyHistogram {
     buckets: [AtomicU64; BUCKETS],
+    /// Largest observation seen per bucket: lets percentiles report an
+    /// actual observation instead of the bucket's power-of-two upper
+    /// bound, which overshoots by up to 2× in mid-range buckets.
+    bucket_max: [AtomicU64; BUCKETS],
     count: AtomicU64,
     total_micros: AtomicU64,
     max_micros: AtomicU64,
@@ -47,6 +53,7 @@ impl LatencyHistogram {
         let micros = elapsed.as_micros().min(u64::MAX as u128) as u64;
         let idx = (64 - micros.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.bucket_max[idx].fetch_max(micros.max(1), Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.total_micros.fetch_add(micros, Ordering::Relaxed);
         self.max_micros.fetch_max(micros, Ordering::Relaxed);
@@ -62,11 +69,13 @@ impl LatencyHistogram {
         self.max_micros.load(Ordering::Relaxed)
     }
 
-    /// Approximate percentile in microseconds: the upper bound of the
-    /// bucket containing the `q`-quantile observation, clamped to the
-    /// exact running maximum. The clamp matters most in the open-ended
-    /// top bucket, which would otherwise report its 2²⁸ µs (~268 s) upper
-    /// bound for any saturating observation. 0 when empty.
+    /// Approximate percentile in microseconds: the largest observation
+    /// recorded in the bucket containing the `q`-quantile observation
+    /// (its running max), clamped to the exact global maximum. Reporting
+    /// a real observation instead of the bucket's power-of-two upper
+    /// bound tightens mid-range percentiles by up to 2×, and keeps the
+    /// open-ended top bucket from reporting its 2²⁸ µs (~268 s) bound.
+    /// 0 when empty.
     pub fn percentile_micros(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
@@ -78,7 +87,11 @@ impl LatencyHistogram {
         for (i, b) in self.buckets.iter().enumerate() {
             seen += b.load(Ordering::Relaxed);
             if seen >= rank {
-                return (1u64 << (i + 1)).min(max);
+                let bucket_max = self.bucket_max[i].load(Ordering::Relaxed);
+                // 0 only in a transient count/max race: fall back to the
+                // bucket's upper bound rather than reporting zero.
+                let bound = if bucket_max == 0 { 1u64 << (i + 1) } else { bucket_max };
+                return bound.min(max);
             }
         }
         // Unreachable: `rank <= total` and the buckets sum to `total`,
@@ -245,18 +258,39 @@ mod tests {
     #[test]
     fn percentiles_clamp_to_exact_max() {
         // 9×100µs + 1×5000µs. The p50 observation sits in bucket 6
-        // ([64,128)µs) so reports that bucket's 128µs upper bound; p95
-        // and p99 land on the 5000µs outlier, whose bucket bound (8192)
-        // must clamp to the exact running max.
+        // ([64,128)µs), whose running max is the exact 100µs; p95 and
+        // p99 land on the 5000µs outlier, whose bucket max equals the
+        // global max.
         let h = LatencyHistogram::default();
         for _ in 0..9 {
             h.record(Duration::from_micros(100));
         }
         h.record(Duration::from_micros(5000));
         assert_eq!(h.max_micros(), 5000);
-        assert_eq!(h.percentile_micros(0.50), 128);
+        assert_eq!(h.percentile_micros(0.50), 100);
         assert_eq!(h.percentile_micros(0.95), 5000);
         assert_eq!(h.percentile_micros(0.99), 5000);
+    }
+
+    #[test]
+    fn mid_bucket_percentiles_report_the_bucket_running_max() {
+        // 1000µs lands in bucket [512,1024): the old report was the
+        // 1024µs bucket bound, now it is the exact observation.
+        let h = LatencyHistogram::default();
+        for _ in 0..10 {
+            h.record(Duration::from_micros(1000));
+        }
+        assert_eq!(h.percentile_micros(0.50), 1000);
+
+        // In a mixed bucket the report is the largest observation of
+        // *that* bucket, not the global max and not the bucket bound.
+        let h = LatencyHistogram::default();
+        for _ in 0..9 {
+            h.record(Duration::from_micros(70)); // bucket [64,128)
+        }
+        h.record(Duration::from_micros(100)); // same bucket, larger
+        h.record(Duration::from_micros(1_000_000)); // outlier, other bucket
+        assert_eq!(h.percentile_micros(0.50), 100);
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod wal;
 pub use buffer::BufferPool;
 pub use disk::{DiskManager, PageId, PAGE_SIZE};
 pub use heap::{HeapFile, RecordId};
-pub use wal::{Lsn, Wal, WalRecord};
+pub use wal::{Lsn, TailedRecord, Wal, WalRecord};
 
 /// Every failpoint site this crate declares (see `mmdb-fault`). The
 /// crash-recovery torture suite iterates this roster, so adding a

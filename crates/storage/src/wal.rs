@@ -278,6 +278,95 @@ impl Wal {
             WalBackend::File(_) => Vec::new(),
         }
     }
+
+    /// Tail the log: read up to `max_records` CRC-verified records starting
+    /// at byte offset `from` (an LSN previously returned by [`Wal::append`],
+    /// [`Wal::tail_lsn`] or a prior tail read). This is the replication
+    /// feed — a primary streams the result to replicas and change-feed
+    /// subscribers, who resume from the last `next_lsn` they saw.
+    ///
+    /// The scan stops cleanly (no error) at a torn or partial tail record,
+    /// exactly like recovery: such bytes only exist transiently between a
+    /// failed append and the crash/truncate that follows, and must never be
+    /// shipped. Reads never move the append cursor.
+    pub fn read_records_from(&self, from: Lsn, max_records: usize) -> Result<Vec<TailedRecord>> {
+        /// Per-call read budget: bounds memory when a replica is far
+        /// behind. A record larger than the chunk is re-read at its exact
+        /// size below, so oversized records slow tailing down rather than
+        /// stall it.
+        const TAIL_CHUNK: usize = 1 << 20;
+
+        let inner = self.inner.lock();
+        let end = inner.next_lsn;
+        if from >= end || max_records == 0 {
+            return Ok(Vec::new());
+        }
+        let read_chunk = |inner: &WalInner, want: usize| -> Result<Vec<u8>> {
+            match &inner.backend {
+                WalBackend::Memory(v) => {
+                    Ok(v[from as usize..from as usize + want].to_vec())
+                }
+                WalBackend::File(f) => {
+                    use std::os::unix::fs::FileExt;
+                    let mut b = vec![0u8; want];
+                    let n = f
+                        .read_at(&mut b, from)
+                        .map_err(|e| Error::Storage(format!("wal tail read: {e}")))?;
+                    b.truncate(n);
+                    Ok(b)
+                }
+            }
+        };
+        let remaining = (end - from) as usize;
+        let mut buf = read_chunk(&inner, remaining.min(TAIL_CHUNK))?;
+        // A single record can exceed the chunk (one huge value): re-read
+        // with exactly that record's size so the cursor always advances.
+        if buf.len() >= 8 {
+            let first_len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+            if 8 + first_len > buf.len() && 8 + first_len <= remaining {
+                buf = read_chunk(&inner, 8 + first_len)?;
+            }
+        }
+        drop(inner);
+
+        let mut out = Vec::new();
+        let mut off = 0usize;
+        while out.len() < max_records && buf.len() - off >= 8 {
+            let len = u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+                as usize;
+            let crc =
+                u32::from_le_bytes([buf[off + 4], buf[off + 5], buf[off + 6], buf[off + 7]]);
+            if buf.len() - off < 8 + len {
+                break; // partial frame: either the chunk boundary or a torn tail
+            }
+            let payload = &buf[off + 8..off + 8 + len];
+            if crc32(payload) != crc {
+                break; // corrupt tail: stop where recovery would
+            }
+            let record = match WalRecord::decode(payload) {
+                Ok(r) => r,
+                Err(_) => break,
+            };
+            out.push(TailedRecord {
+                lsn: from + off as u64,
+                next_lsn: from + (off + 8 + len) as u64,
+                record,
+            });
+            off += 8 + len;
+        }
+        Ok(out)
+    }
+}
+
+/// One record surfaced by [`Wal::read_records_from`], with its position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailedRecord {
+    /// Byte offset where this record's frame starts.
+    pub lsn: Lsn,
+    /// Byte offset just past this record — resume tailing here.
+    pub next_lsn: Lsn,
+    /// The decoded record.
+    pub record: WalRecord,
 }
 
 /// One redo operation surfaced by recovery.
@@ -548,5 +637,82 @@ mod tests {
         let rec = recover_from_file("/nonexistent/path/to.wal").unwrap();
         assert!(rec.redo.is_empty());
         assert!(!rec.torn_tail);
+    }
+
+    #[test]
+    fn tailing_reads_records_and_resumes_by_lsn() {
+        let wal = Wal::in_memory();
+        let l1 = wal.append(&WalRecord::Begin { txid: 1 }).unwrap();
+        wal.append(&w(1, "a", Some("1"))).unwrap();
+        wal.append(&WalRecord::Commit { txid: 1 }).unwrap();
+        assert_eq!(l1, 0);
+
+        let all = wal.read_records_from(0, usize::MAX).unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[0].record, WalRecord::Begin { txid: 1 });
+        assert_eq!(all[2].record, WalRecord::Commit { txid: 1 });
+        assert_eq!(all[2].next_lsn, wal.tail_lsn());
+
+        // Resume from a mid-log LSN: only subsequent records arrive.
+        let rest = wal.read_records_from(all[0].next_lsn, usize::MAX).unwrap();
+        assert_eq!(rest.len(), 2);
+        assert_eq!(rest[0].lsn, all[1].lsn);
+
+        // A tail read at the end is empty, not an error.
+        assert!(wal.read_records_from(wal.tail_lsn(), usize::MAX).unwrap().is_empty());
+
+        // max_records bounds the batch; next_lsn chains across batches.
+        let one = wal.read_records_from(0, 1).unwrap();
+        assert_eq!(one.len(), 1);
+        let two = wal.read_records_from(one[0].next_lsn, 1).unwrap();
+        assert_eq!(two[0].record, all[1].record);
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn tailing_stops_cleanly_at_a_torn_tail() {
+        mmdb_fault::clear_all();
+        let wal = Wal::in_memory();
+        wal.append(&WalRecord::Begin { txid: 1 }).unwrap();
+        wal.append(&WalRecord::Commit { txid: 1 }).unwrap();
+
+        // Tear the next record mid-frame: the bytes land in the log, so the
+        // tail scan must stop at them without erroring — exactly where
+        // recovery would truncate.
+        mmdb_fault::set("wal.append", "short").unwrap();
+        assert!(wal.append(&w(1, "torn", Some("x"))).is_err());
+        mmdb_fault::clear_all();
+
+        let tailed = wal.read_records_from(0, usize::MAX).unwrap();
+        assert_eq!(tailed.len(), 2, "only intact records are served");
+        assert!(tailed[1].next_lsn < wal.tail_lsn(), "torn bytes are never shipped");
+        let rec = recover_from_bytes(&wal.snapshot_bytes());
+        assert!(rec.torn_tail);
+        assert_eq!(rec.valid_len, tailed[1].next_lsn, "tail stops where recovery truncates");
+    }
+
+    #[test]
+    fn tailing_works_on_a_file_backed_wal() {
+        let dir = std::env::temp_dir().join(format!("mmdb-wal-tail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tail.wal");
+        let _ = std::fs::remove_file(&path);
+        let wal = Wal::open(&path).unwrap();
+        wal.append(&WalRecord::Begin { txid: 5 }).unwrap();
+        wal.append(&w(5, "k", Some("v"))).unwrap();
+        let commit_lsn = wal.append(&WalRecord::Commit { txid: 5 }).unwrap();
+        wal.sync().unwrap();
+
+        let tailed = wal.read_records_from(0, usize::MAX).unwrap();
+        assert_eq!(tailed.len(), 3);
+        assert_eq!(tailed[2].lsn, commit_lsn);
+        assert_eq!(tailed[2].next_lsn, wal.tail_lsn());
+
+        // Tailing does not disturb the append cursor.
+        wal.append(&WalRecord::Checkpoint).unwrap();
+        let more = wal.read_records_from(tailed[2].next_lsn, usize::MAX).unwrap();
+        assert_eq!(more.len(), 1);
+        assert_eq!(more[0].record, WalRecord::Checkpoint);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use mmdb_storage::wal::{self, Wal, WalRecord};
+use mmdb_storage::wal::{self, Lsn, Wal, WalRecord};
 use mmdb_types::codec::{value_from_bytes, value_to_bytes};
 use mmdb_types::{Error, Result, Value};
 
@@ -74,6 +74,11 @@ struct StoreInner {
     /// fsync): the store degrades to read-only. See [`StoreInner::latch_degraded`].
     degraded: AtomicBool,
     degraded_reason: RwLock<Option<String>>,
+    /// WAL position just past the most recently durable commit record —
+    /// the replication watermark. Published after every commit (and bumped
+    /// to the recovered tail at startup) so sessions can take
+    /// read-your-writes tokens and `ADMIN STATS` can report it.
+    last_commit_lsn: AtomicU64,
 }
 
 impl StoreInner {
@@ -133,6 +138,7 @@ impl MvccStore {
                 commits: AtomicU64::new(0),
                 degraded: AtomicBool::new(false),
                 degraded_reason: RwLock::new(None),
+                last_commit_lsn: AtomicU64::new(0),
             }),
         }
     }
@@ -203,6 +209,15 @@ impl MvccStore {
         self.inner.degraded_reason.read().clone()
     }
 
+    /// Deliberately engage the read-only latch — the same mechanism a
+    /// durability failure trips, reused by read replicas so that local
+    /// writes fail fast with `read_only` while replicated applies (which
+    /// bypass the latch) keep landing. There is no unlatch: a replica
+    /// stays read-only for the life of the process.
+    pub fn latch_read_only(&self, reason: &str) {
+        self.inner.latch_degraded(reason);
+    }
+
     /// `(commits, aborts)` counters.
     pub fn stats(&self) -> (u64, u64) {
         (
@@ -236,6 +251,67 @@ impl MvccStore {
     /// Current logical time (usable as a vacuum horizon).
     pub fn now(&self) -> u64 {
         self.inner.clock.load(Ordering::SeqCst)
+    }
+
+    /// WAL position just past the most recently durable commit record —
+    /// the replication watermark (0 before any commit). A session that
+    /// reads this right after its own commit holds a read-your-writes
+    /// token: any replica that has applied up to this LSN has the
+    /// session's writes.
+    pub fn last_commit_lsn(&self) -> Lsn {
+        self.inner.last_commit_lsn.load(Ordering::SeqCst)
+    }
+
+    /// Raise the replication watermark to at least `lsn`. Called at
+    /// startup (recovery leaves the watermark at the recovered log tail)
+    /// and by the replica apply loop as it advances through the primary's
+    /// log.
+    pub fn note_commit_lsn(&self, lsn: Lsn) {
+        self.inner.last_commit_lsn.fetch_max(lsn, Ordering::SeqCst);
+    }
+
+    /// Install one replicated transaction's writes — the replica-side
+    /// twin of [`MvccStore::recover`], applied incrementally as committed
+    /// transactions arrive off the primary's log stream. Bypasses conflict
+    /// validation (the primary already serialized the log), takes a fresh
+    /// local commit timestamp, re-logs to this store's own WAL when it has
+    /// one, and fires commit hooks so model stores apply the writes through
+    /// the same path recovery uses.
+    pub fn apply_replicated(&self, writes: &[CommittedWrite]) -> Result<u64> {
+        if writes.is_empty() {
+            return Ok(self.now());
+        }
+        let _guard = self.inner.commit_mutex.lock();
+        let txid = self.inner.next_txid.fetch_add(1, Ordering::SeqCst);
+        let commit_ts = self.inner.clock.fetch_add(1, Ordering::SeqCst) + 1;
+        if let Some(wal) = &self.inner.wal {
+            wal.append(&WalRecord::Begin { txid })?;
+            for w in writes {
+                wal.append(&WalRecord::Write {
+                    txid,
+                    domain: w.domain.clone(),
+                    key: w.key.clone(),
+                    value: w.value.as_ref().map(|v| value_to_bytes(v).to_vec()),
+                })?;
+            }
+            wal.append(&WalRecord::Commit { txid })?;
+            wal.sync()?;
+        }
+        {
+            let mut versions = self.inner.versions.write();
+            for w in writes {
+                versions
+                    .entry((w.domain.clone(), w.key.clone()))
+                    .or_default()
+                    .push(Version { commit_ts, value: w.value.clone() });
+            }
+        }
+        self.inner.commits.fetch_add(1, Ordering::SeqCst);
+        let hooks = self.inner.hooks.read();
+        for h in hooks.iter() {
+            h(writes);
+        }
+        Ok(commit_ts)
     }
 
     /// Apply WAL recovery output: reinstall the committed writes of the
@@ -406,6 +482,7 @@ impl Transaction {
         // released — not half-committed (failure atomicity; exercised by
         // the wal.* failpoints).
         let mut sync_failed = false;
+        let mut commit_lsn: Option<Lsn> = None;
         let wal_result: Result<()> = (|| {
             if let Some(wal) = &self.store.wal {
                 wal.append(&WalRecord::Begin { txid: self.txid })?;
@@ -418,6 +495,11 @@ impl Transaction {
                     })?;
                 }
                 wal.append(&WalRecord::Commit { txid: self.txid })?;
+                // The replication watermark: everything at or past this
+                // offset is after our commit record. `tail_lsn` may already
+                // include a concurrent abort record (aborts bypass the
+                // commit mutex), which only makes the token stricter.
+                commit_lsn = Some(wal.tail_lsn());
                 if let Err(e) = wal.sync() {
                     sync_failed = true;
                     return Err(e);
@@ -463,6 +545,9 @@ impl Transaction {
                 .collect()
         };
         self.store.commits.fetch_add(1, Ordering::SeqCst);
+        if let Some(lsn) = commit_lsn {
+            self.store.last_commit_lsn.fetch_max(lsn, Ordering::SeqCst);
+        }
         self.release_locks();
         let hooks = self.store.hooks.read();
         for h in hooks.iter() {
@@ -812,6 +897,70 @@ mod tests {
         w.put("graph/likes", b"e2", Value::int(9)).unwrap();
         w.commit().unwrap();
         assert_eq!(reader.get("graph/likes", b"e2").unwrap(), Some(Value::int(9)));
+    }
+
+    #[test]
+    fn commit_publishes_a_wal_watermark() {
+        let wal = Arc::new(Wal::in_memory());
+        let s = MvccStore::new(Some(Arc::clone(&wal)));
+        assert_eq!(s.last_commit_lsn(), 0, "no commits, no watermark");
+
+        let mut t = s.begin(IsolationLevel::Snapshot);
+        t.put("kv/cart", b"1", Value::str("a")).unwrap();
+        t.commit().unwrap();
+        let first = s.last_commit_lsn();
+        assert_eq!(first, wal.tail_lsn(), "watermark sits just past the commit record");
+
+        // Read-only commits and aborts leave the watermark alone.
+        s.begin(IsolationLevel::Snapshot).commit().unwrap();
+        let mut a = s.begin(IsolationLevel::Snapshot);
+        a.put("kv/cart", b"2", Value::str("b")).unwrap();
+        a.abort();
+        assert_eq!(s.last_commit_lsn(), first);
+
+        let mut t = s.begin(IsolationLevel::Snapshot);
+        t.put("kv/cart", b"2", Value::str("c")).unwrap();
+        t.commit().unwrap();
+        assert!(s.last_commit_lsn() > first, "watermark advances monotonically");
+
+        // note_commit_lsn only ever raises it.
+        let high = s.last_commit_lsn();
+        s.note_commit_lsn(3);
+        assert_eq!(s.last_commit_lsn(), high);
+        s.note_commit_lsn(high + 100);
+        assert_eq!(s.last_commit_lsn(), high + 100);
+    }
+
+    #[test]
+    fn apply_replicated_matches_a_direct_commit() {
+        // Writes applied off a replication stream must land exactly like
+        // a local commit: visible, counted, hook-visible, re-logged.
+        let wal = Arc::new(Wal::in_memory());
+        let s = MvccStore::new(Some(Arc::clone(&wal)));
+        let hooked = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let h = hooked.clone();
+        s.add_commit_hook(move |ws| {
+            h.fetch_add(ws.len(), Ordering::SeqCst);
+        });
+        let writes = vec![
+            CommittedWrite { domain: "doc/orders".into(), key: b"o1".to_vec(), value: Some(Value::int(7)) },
+            CommittedWrite { domain: "kv/cart".into(), key: b"c1".to_vec(), value: None },
+        ];
+        s.apply_replicated(&writes).unwrap();
+        assert_eq!(s.get_latest("doc/orders", b"o1"), Some(Value::int(7)));
+        assert_eq!(s.get_latest("kv/cart", b"c1"), None, "deletes replicate too");
+        assert_eq!(hooked.load(Ordering::SeqCst), 2);
+        assert_eq!(s.stats().0, 1);
+        // The replica re-logged the transaction: a store recovered from the
+        // replica's own WAL sees the same state.
+        let rec = wal::recover_from_bytes(&wal.snapshot_bytes());
+        let s2 = MvccStore::new(None);
+        assert_eq!(s2.recover(&rec).unwrap(), 2);
+        assert_eq!(s2.get_latest("doc/orders", b"o1"), Some(Value::int(7)));
+        // Empty batches are a cheap no-op.
+        let before = wal.tail_lsn();
+        s.apply_replicated(&[]).unwrap();
+        assert_eq!(wal.tail_lsn(), before);
     }
 
     #[test]

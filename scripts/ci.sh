@@ -29,6 +29,9 @@ cargo test -q --features failpoints --test crash_recovery
 echo "==> request-lifecycle torture suite (--features failpoints)"
 cargo test -q --features failpoints --test lifecycle_torture
 
+echo "==> replication failover torture suite (--features failpoints)"
+cargo test -q --features failpoints --test replication
+
 echo "==> failpoints stay a no-op when the feature is off"
 cargo test -q -p mmdb-fault
 # Deadline checks ride the same feature: a default build must run the

@@ -9,6 +9,11 @@
 //! Options:
 //!   --addr HOST:PORT       listen address (default 127.0.0.1:7687; port 0 = ephemeral)
 //!   --data-dir PATH        durable database directory (default: in-memory)
+//!   --replica-of HOST:PORT serve as a read replica of the primary at that
+//!                          address: the database is in-memory, latched
+//!                          read-only, and fed from the primary's WAL
+//!                          stream (mutually exclusive with --data-dir
+//!                          and --demo)
 //!   --workers N            worker threads (default 4)
 //!   --max-connections N    connection cap before busy-rejection (default 64)
 //!   --slow-query-ms N      slow-query log threshold in ms (default 250; 0 logs everything)
@@ -22,11 +27,13 @@ use std::io::BufRead;
 use std::sync::Arc;
 
 use mmdb::Database;
+use mmdb_repl::{ReplicaOptions, ReplicaRunner};
 use mmdb_server::{Server, ServerConfig};
 
 fn main() {
     let mut config = ServerConfig { addr: "127.0.0.1:7687".into(), ..ServerConfig::default() };
     let mut data_dir: Option<String> = None;
+    let mut replica_of: Option<String> = None;
     let mut demo = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +46,7 @@ fn main() {
         match args[i].as_str() {
             "--addr" => config.addr = flag_value(&mut i),
             "--data-dir" => data_dir = Some(flag_value(&mut i)),
+            "--replica-of" => replica_of = Some(flag_value(&mut i)),
             "--workers" => {
                 config.workers = flag_value(&mut i).parse().unwrap_or_else(|_| usage("--workers needs a number"))
             }
@@ -63,6 +71,13 @@ fn main() {
         i += 1;
     }
 
+    if replica_of.is_some() && data_dir.is_some() {
+        usage("--replica-of and --data-dir are mutually exclusive (replicas resync from the primary's WAL, not from disk)");
+    }
+    if replica_of.is_some() && demo {
+        usage("--replica-of and --demo are mutually exclusive (a replica is read-only)");
+    }
+
     let db = match &data_dir {
         Some(dir) => match Database::open(dir) {
             Ok(db) => db,
@@ -71,6 +86,10 @@ fn main() {
                 std::process::exit(1);
             }
         },
+        // A primary keeps a WAL even in memory so replicas and SUBSCRIBE
+        // can stream it; a replica is plain in-memory (it re-logs into
+        // nothing and resyncs from LSN 0 on restart).
+        None if replica_of.is_none() => Database::in_memory_logged(),
         None => Database::in_memory(),
     };
     let db = Arc::new(db);
@@ -81,6 +100,10 @@ fn main() {
         }
     }
 
+    let replica = replica_of.as_ref().map(|primary| {
+        ReplicaRunner::start(Arc::clone(&db), primary.clone(), ReplicaOptions::default())
+    });
+
     let server = match Server::start(Arc::clone(&db), config) {
         Ok(s) => s,
         Err(e) => {
@@ -88,6 +111,14 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if let Some(runner) = &replica {
+        let status = runner.status();
+        server.attach_replica_status(Arc::new(move || status.to_value()));
+        println!(
+            "mmdb-serve replicating from {} (read-only)",
+            replica_of.as_deref().unwrap_or("?")
+        );
+    }
     println!("mmdb-serve listening on {}", server.local_addr());
     println!("(close stdin or type 'quit' to shut down)");
 
@@ -100,6 +131,9 @@ fn main() {
         }
     }
     println!("shutting down...");
+    if let Some(runner) = replica {
+        runner.stop();
+    }
     if let Err(e) = server.shutdown() {
         eprintln!("shutdown error: {e}");
         std::process::exit(1);
@@ -111,8 +145,9 @@ fn usage(problem: &str) -> ! {
         eprintln!("error: {problem}");
     }
     eprintln!(
-        "usage: mmdb-serve [--addr HOST:PORT] [--data-dir PATH] [--workers N] \
-         [--max-connections N] [--slow-query-ms N] [--slow-query-log-size N] [--demo]"
+        "usage: mmdb-serve [--addr HOST:PORT] [--data-dir PATH] [--replica-of HOST:PORT] \
+         [--workers N] [--max-connections N] [--slow-query-ms N] [--slow-query-log-size N] \
+         [--demo]"
     );
     std::process::exit(2);
 }

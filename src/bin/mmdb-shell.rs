@@ -56,7 +56,8 @@ fn run_remote(addr: &str) {
         addr,
         client.server_version()
     );
-    repl(move |line| dispatch_remote(&mut client, line));
+    let addr = addr.to_string();
+    repl(move |line| dispatch_remote(&mut client, &addr, line));
 }
 
 fn repl(mut handle: impl FnMut(&str) -> mmdb::Result<Reply>) {
@@ -131,7 +132,7 @@ fn dispatch(db: &Database, line: &str) -> mmdb::Result<Reply> {
     render(db.query(line)?)
 }
 
-fn dispatch_remote(client: &mut Client, line: &str) -> mmdb::Result<Reply> {
+fn dispatch_remote(client: &mut Client, addr: &str, line: &str) -> mmdb::Result<Reply> {
     if let Some(rest) = line.strip_prefix('.') {
         let (cmd, arg) = rest.split_once(' ').unwrap_or((rest, ""));
         return match cmd {
@@ -182,10 +183,42 @@ fn dispatch_remote(client: &mut Client, line: &str) -> mmdb::Result<Reply> {
                 }
             }
             "health" => Ok(Reply::Text(mmdb::to_json_pretty(&client.admin_health()?))),
+            "repl" => Ok(Reply::Text(mmdb::to_json_pretty(&client.admin_repl()?))),
+            "subscribe" => {
+                let from = match arg.trim() {
+                    // Default: only future commits — start at the current
+                    // WAL tail the server reports.
+                    "" => match client.admin_repl()?.get_field("wal_tail_lsn").as_int() {
+                        Ok(lsn) if lsn >= 0 => lsn as u64,
+                        _ => 0,
+                    },
+                    lsn => lsn
+                        .parse()
+                        .map_err(|_| mmdb::Error::Parse(".subscribe [from_lsn]".into()))?,
+                };
+                follow_feed(addr, from)
+            }
             other => Ok(Reply::Text(format!("unknown command '.{other}' — try .help"))),
         };
     }
     render(client.query(line)?)
+}
+
+/// Follow the `SUBSCRIBE` change feed on a dedicated connection (the
+/// shell's own connection must stay in request/response mode), printing
+/// committed writes as JSON lines until the server goes away or the
+/// shell is interrupted.
+fn follow_feed(addr: &str, from_lsn: u64) -> mmdb::Result<Reply> {
+    let mut feed = Client::connect(addr)?;
+    feed.subscribe(from_lsn)?;
+    println!("change feed from lsn {from_lsn} — ctrl-C to stop");
+    loop {
+        let event = feed.next_change()?;
+        if matches!(event.get_field("type").as_str(), Ok("heartbeat")) {
+            continue;
+        }
+        println!("{}", mmdb::to_json(&event));
+    }
 }
 
 fn render(rows: Vec<Value>) -> mmdb::Result<Reply> {
@@ -218,7 +251,9 @@ Remote-only commands (--connect mode):
   .stats                 server metrics (ADMIN STATS)
   .slowlog               recent slow queries (ADMIN SLOWLOG)
   .slowlog reset         clear the slow-query log (ADMIN SLOWLOG RESET)
-  .health                server health: ok | degraded (ADMIN HEALTH)
+  .health                server health: ok | degraded | replica (ADMIN HEALTH)
+  .repl                  replication status: role, LSNs, lag (ADMIN REPL)
+  .subscribe [lsn]       follow the change feed (committed writes; default: from now)
   .ping                  liveness check
 "#;
 

@@ -43,6 +43,7 @@ pub mod substrate {
     pub use mmdb_query as query;
     pub use mmdb_rdf as rdf;
     pub use mmdb_relational as relational;
+    pub use mmdb_repl as repl;
     pub use mmdb_storage as storage;
     pub use mmdb_text as text;
     pub use mmdb_txn as txn;
