@@ -19,16 +19,26 @@ struct Args {
     scale: f64,
     workload: String,
     seed: u64,
+    /// Writer-thread counts for the concurrent Workload C section.
+    writers: Vec<usize>,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { scale: 0.5, workload: "all".into(), seed: 42 };
+    let mut args =
+        Args { scale: 0.5, workload: "all".into(), seed: 42, writers: vec![1, 8, 64] };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => args.scale = it.next().and_then(|v| v.parse().ok()).unwrap_or(0.5),
             "--workload" => args.workload = it.next().unwrap_or_else(|| "all".into()),
             "--seed" => args.seed = it.next().and_then(|v| v.parse().ok()).unwrap_or(42),
+            "--writers" => {
+                args.writers = it
+                    .next()
+                    .map(|v| v.split(',').filter_map(|w| w.parse().ok()).collect())
+                    .filter(|v: &Vec<usize>| !v.is_empty())
+                    .unwrap_or_else(|| vec![1, 8, 64]);
+            }
             other => {
                 eprintln!("unknown argument '{other}'");
                 std::process::exit(2);
@@ -62,6 +72,7 @@ fn main() {
     }
     if run_c {
         workload_c(&data);
+        workload_c_writers(&data, &args.writers);
     }
 }
 
@@ -269,6 +280,79 @@ fn workload_c(data: &Dataset) {
     ]);
     println!("{}", table.render());
     assert!(pg_bad > 0, "the crash injection should have produced polyglot inconsistencies");
+}
+
+/// Workload C under concurrency: the same new-order transaction fired
+/// from N writer threads against one shared database. This is the
+/// group-commit showcase — all writers' commits sequence through one
+/// leader, so the fsync count stays near the batch count while
+/// throughput scales with writers. Each run prints a `BENCH` JSON line
+/// for machines next to the human-readable table.
+fn workload_c_writers(data: &Dataset, writer_counts: &[usize]) {
+    println!("== Workload C: concurrent writers (group commit) ==");
+    const TOTAL_TXNS: usize = 256;
+    let n_customers = data.customers.len();
+    let mut table = TextTable::new(&[
+        "writers", "txns", "elapsed", "throughput", "batches", "max batch", "fsyncs saved",
+    ]);
+    for &writers in writer_counts {
+        let writers = writers.max(1);
+        let per_writer = TOTAL_TXNS.div_ceil(writers);
+        let db = std::sync::Arc::new(fresh_loaded(data));
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..writers)
+            .map(|t| {
+                let db = std::sync::Arc::clone(&db);
+                std::thread::spawn(move || {
+                    for i in 0..per_writer {
+                        // Spread customers across writers so row-update
+                        // conflicts stay rare; retry the retryable rest.
+                        let cid = ((t + i * writers) % n_customers) as i64 + 1;
+                        let order = order_for(t * per_writer + i, &format!("w{writers}"));
+                        loop {
+                            match workloads::place_order_mmdb(&db, cid, &order) {
+                                Ok(()) => break,
+                                Err(e) if e.is_retryable() => continue,
+                                Err(e) => panic!("place order: {e}"),
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer thread");
+        }
+        let elapsed = t0.elapsed();
+        let txns = per_writer * writers;
+        let g = db.mvcc().group_commit_stats();
+        table.row(&[
+            writers.to_string(),
+            txns.to_string(),
+            fmt_duration(elapsed),
+            fmt_throughput(txns, elapsed),
+            g.batches.to_string(),
+            g.max_group_size.to_string(),
+            g.fsyncs_saved.to_string(),
+        ]);
+        let tps = txns as f64 / elapsed.as_secs_f64().max(1e-9);
+        println!(
+            "{}",
+            mmdb_bench::report::bench_json(
+                "workload_c_writers",
+                &[
+                    ("writers", writers.to_string()),
+                    ("txns", txns.to_string()),
+                    ("elapsed_us", elapsed.as_micros().to_string()),
+                    ("throughput_tps", format!("{tps:.1}")),
+                    ("group_batches", g.batches.to_string()),
+                    ("group_max_size", g.max_group_size.to_string()),
+                    ("fsyncs_saved", g.fsyncs_saved.to_string()),
+                ],
+            )
+        );
+    }
+    println!("{}", table.render());
 }
 
 fn order_for(i: usize, tag: &str) -> Value {

@@ -47,6 +47,19 @@ impl TextTable {
     }
 }
 
+/// Render one machine-readable benchmark result line. The `BENCH `
+/// prefix makes the lines greppable out of the human-readable harness
+/// output; the payload is a flat JSON object. Values are pre-rendered
+/// JSON fragments (numbers unquoted, strings pre-quoted by the caller).
+pub fn bench_json(name: &str, fields: &[(&str, String)]) -> String {
+    let mut out = format!("BENCH {{\"name\":\"{name}\"");
+    for (k, v) in fields {
+        out.push_str(&format!(",\"{k}\":{v}"));
+    }
+    out.push('}');
+    out
+}
+
 /// Format a duration in adaptive units.
 pub fn fmt_duration(d: std::time::Duration) -> String {
     let us = d.as_micros();
@@ -86,6 +99,18 @@ mod tests {
         assert!(s.contains("| a much longer name |"));
         let lines: Vec<&str> = s.lines().collect();
         assert!(lines.iter().all(|l| l.len() == lines[0].len()), "all lines same width");
+    }
+
+    #[test]
+    fn bench_json_lines_are_flat_objects() {
+        let line = bench_json(
+            "workload_c_writers",
+            &[("writers", "8".into()), ("throughput_tps", "1234.5".into())],
+        );
+        assert_eq!(
+            line,
+            "BENCH {\"name\":\"workload_c_writers\",\"writers\":8,\"throughput_tps\":1234.5}"
+        );
     }
 
     #[test]

@@ -224,7 +224,9 @@ impl Worker {
 
 /// Convenience for tests and tools: dump a database's current change
 /// feed cursor, i.e. the LSN a fresh `SUBSCRIBE` should start from to
-/// see only future commits.
+/// see only future commits. Uses the *durable* watermark — with group
+/// commit, bytes past it are appended but not yet fsynced, and the
+/// stream never ships them.
 pub fn current_cursor(db: &Database) -> Value {
-    Value::int(db.wal().map(|w| w.tail_lsn()).unwrap_or(0) as i64)
+    Value::int(db.wal().map(|w| w.durable_lsn()).unwrap_or(0) as i64)
 }

@@ -322,17 +322,30 @@ fn serve_stream(
     let mut cursor = from_lsn;
     let mut cdc_buf = CdcBuffer::new();
     // Immediate first heartbeat: tells the subscriber the current tail
-    // even when the cursor starts caught-up.
-    send_change(inner, stream, feed::heartbeat_frame(wal.tail_lsn()))?;
+    // even when the cursor starts caught-up. Everything this stream
+    // reports or ships is bounded by the *durable* LSN: with group
+    // commit, a batch sits appended-but-unsynced for a moment, and
+    // shipping (or even advertising) those bytes would let a replica get
+    // ahead of what a primary crash can replay.
+    send_change(inner, stream, feed::heartbeat_frame(wal.durable_lsn()))?;
     let mut last_beat = Instant::now();
     loop {
         if inner.shutting_down() {
             return Ok(());
         }
-        let records = wal.read_records_from(cursor, BATCH)?;
+        let durable = wal.durable_lsn();
+        let records = if cursor < durable {
+            wal.read_records_from(cursor, BATCH)?
+        } else {
+            Vec::new()
+        };
+        // `read_records_from` tails the in-memory log, which may already
+        // hold an unsynced batch; cut the run at the durability boundary
+        // (batches land WAL-block-aligned, so `durable` is a record edge).
+        let records: Vec<_> = records.into_iter().take_while(|r| r.next_lsn <= durable).collect();
         if records.is_empty() {
             if last_beat.elapsed() >= HEARTBEAT_EVERY {
-                send_change(inner, stream, feed::heartbeat_frame(wal.tail_lsn()))?;
+                send_change(inner, stream, feed::heartbeat_frame(wal.durable_lsn()))?;
                 last_beat = Instant::now();
             }
             std::thread::sleep(inner.config.poll_interval.min(HEARTBEAT_EVERY));
@@ -489,6 +502,7 @@ fn run_admin(inner: &ServerInner, command: &str) -> Result<Response> {
         "STATS" => {
             let mut stats = inner.metrics.snapshot();
             let (commits, aborts) = inner.db.mvcc().stats();
+            let group = inner.db.mvcc().group_commit_stats();
             let world = inner.db.world();
             let rdf = world.rdf.read().stats();
             if let Ok(obj) = stats.as_object_mut() {
@@ -497,6 +511,10 @@ fn run_admin(inner: &ServerInner, command: &str) -> Result<Response> {
                     Value::object([
                         ("commits", Value::int(commits as i64)),
                         ("aborts", Value::int(aborts as i64)),
+                        ("group_commit_batches", Value::int(group.batches as i64)),
+                        ("group_commit_txns", Value::int(group.txns as i64)),
+                        ("group_commit_fsyncs_saved", Value::int(group.fsyncs_saved as i64)),
+                        ("group_commit_max_size", Value::int(group.max_group_size as i64)),
                     ]),
                 );
                 // Access paths taken by query operators since startup:

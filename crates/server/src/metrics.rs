@@ -42,6 +42,11 @@ pub struct LatencyHistogram {
     /// actual observation instead of the bucket's power-of-two upper
     /// bound, which overshoots by up to 2× in mid-range buckets.
     bucket_max: [AtomicU64; BUCKETS],
+    /// Smallest observation seen per bucket (0 = none yet): together
+    /// with the running max this brackets the bucket's population, so
+    /// mid-bucket percentiles can rank-interpolate inside `[min, max]`
+    /// instead of pessimistically reporting the max.
+    bucket_min: [AtomicU64; BUCKETS],
     count: AtomicU64,
     total_micros: AtomicU64,
     max_micros: AtomicU64,
@@ -54,6 +59,20 @@ impl LatencyHistogram {
         let idx = (64 - micros.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.bucket_max[idx].fetch_max(micros.max(1), Ordering::Relaxed);
+        // fetch_min can't express "0 means empty", so CAS the sentinel.
+        let clamped = micros.max(1);
+        let mut cur = self.bucket_min[idx].load(Ordering::Relaxed);
+        while cur == 0 || clamped < cur {
+            match self.bucket_min[idx].compare_exchange_weak(
+                cur,
+                clamped,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
+        }
         self.count.fetch_add(1, Ordering::Relaxed);
         self.total_micros.fetch_add(micros, Ordering::Relaxed);
         self.max_micros.fetch_max(micros, Ordering::Relaxed);
@@ -69,13 +88,14 @@ impl LatencyHistogram {
         self.max_micros.load(Ordering::Relaxed)
     }
 
-    /// Approximate percentile in microseconds: the largest observation
-    /// recorded in the bucket containing the `q`-quantile observation
-    /// (its running max), clamped to the exact global maximum. Reporting
-    /// a real observation instead of the bucket's power-of-two upper
-    /// bound tightens mid-range percentiles by up to 2×, and keeps the
-    /// open-ended top bucket from reporting its 2²⁸ µs (~268 s) bound.
-    /// 0 when empty.
+    /// Approximate percentile in microseconds. The `q`-quantile rank is
+    /// located in its bucket, then linearly interpolated between that
+    /// bucket's running minimum and maximum by rank position — so a
+    /// bucket holding `[70,…,70,100]` reports p50 ≈ 86 rather than the
+    /// pessimistic 100. Single-occupant (or degenerate) buckets report
+    /// their running max exactly, and everything clamps to the exact
+    /// global maximum, which keeps the open-ended top bucket from
+    /// reporting its 2²⁸ µs (~268 s) bound. 0 when empty.
     pub fn percentile_micros(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
@@ -85,14 +105,24 @@ impl LatencyHistogram {
         let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
         for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= rank {
-                let bucket_max = self.bucket_max[i].load(Ordering::Relaxed);
-                // 0 only in a transient count/max race: fall back to the
-                // bucket's upper bound rather than reporting zero.
-                let bound = if bucket_max == 0 { 1u64 << (i + 1) } else { bucket_max };
-                return bound.min(max);
+            let n = b.load(Ordering::Relaxed);
+            if seen + n < rank {
+                seen += n;
+                continue;
             }
+            let bucket_max = self.bucket_max[i].load(Ordering::Relaxed);
+            let bucket_min = self.bucket_min[i].load(Ordering::Relaxed);
+            // max == 0 only in a transient count/max race: fall back to
+            // the bucket's upper bound rather than reporting zero.
+            let bound = if bucket_max == 0 { 1u64 << (i + 1) } else { bucket_max };
+            // 1-based rank within this bucket's population of `n`.
+            let rank_in = rank - seen;
+            let est = if bucket_min == 0 || bucket_min >= bound || n <= 1 {
+                bound
+            } else {
+                bucket_min + (bound - bucket_min) * (rank_in - 1) / (n - 1)
+            };
+            return est.min(max);
         }
         // Unreachable: `rank <= total` and the buckets sum to `total`,
         // so the loop always returns. Report the max rather than a
@@ -273,24 +303,59 @@ mod tests {
     }
 
     #[test]
-    fn mid_bucket_percentiles_report_the_bucket_running_max() {
-        // 1000µs lands in bucket [512,1024): the old report was the
-        // 1024µs bucket bound, now it is the exact observation.
+    fn mid_bucket_percentiles_interpolate_between_bucket_min_and_max() {
+        // 1000µs lands in bucket [512,1024): the report was once the
+        // 1024µs bucket bound, then the running max; a uniform bucket
+        // still reports the exact observation.
         let h = LatencyHistogram::default();
         for _ in 0..10 {
             h.record(Duration::from_micros(1000));
         }
         assert_eq!(h.percentile_micros(0.50), 1000);
 
-        // In a mixed bucket the report is the largest observation of
-        // *that* bucket, not the global max and not the bucket bound.
+        // A mixed bucket interpolates by rank between its own min and
+        // max: nine 70s and one 100 put the rank-6 (p50 of 11) estimate
+        // at 70 + (100-70)·(6-1)/(10-1) = 86 — closer to the true p50
+        // of 70 than the old running-max report of 100, and never past
+        // the bucket's real top.
         let h = LatencyHistogram::default();
         for _ in 0..9 {
             h.record(Duration::from_micros(70)); // bucket [64,128)
         }
         h.record(Duration::from_micros(100)); // same bucket, larger
         h.record(Duration::from_micros(1_000_000)); // outlier, other bucket
-        assert_eq!(h.percentile_micros(0.50), 100);
+        assert_eq!(h.percentile_micros(0.50), 86);
+    }
+
+    #[test]
+    fn interpolation_exact_expectations() {
+        // Two observations bracketing a bucket: 64 and 127 share bucket
+        // [64,128). Ranks 1 and 2 of 2 must report the endpoints
+        // exactly: min + (max-min)·(rank-1)/(n-1).
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(64));
+        h.record(Duration::from_micros(127));
+        assert_eq!(h.percentile_micros(0.50), 64, "rank 1 of 2 is the bucket min");
+        assert_eq!(h.percentile_micros(0.99), 127, "rank 2 of 2 is the bucket max");
+
+        // Four observations in one bucket: 64,64,64,120. Ranks walk the
+        // line 64 + 56·(r-1)/3 → 64, 82, 101, 120.
+        let h = LatencyHistogram::default();
+        for m in [64u64, 64, 64, 120] {
+            h.record(Duration::from_micros(m));
+        }
+        assert_eq!(h.percentile_micros(0.25), 64);
+        assert_eq!(h.percentile_micros(0.50), 82);
+        assert_eq!(h.percentile_micros(0.75), 101);
+        assert_eq!(h.percentile_micros(1.0), 120);
+
+        // The estimate never leaves [bucket_min, global max] even when
+        // the rank bucket's max exceeds the global max (impossible by
+        // construction, but the clamp also covers the count/max race).
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(90));
+        h.record(Duration::from_micros(90));
+        assert_eq!(h.percentile_micros(0.99), 90);
     }
 
     #[test]

@@ -191,6 +191,11 @@ enum WalBackend {
 /// The write-ahead log.
 pub struct Wal {
     inner: Mutex<WalInner>,
+    /// Byte offset up to which the log is known durable: the tail as of
+    /// the last successful [`Wal::sync`]. Replication streams are capped
+    /// here so appended-but-unsynced records (which a crash could still
+    /// erase) never reach a replica or change-feed subscriber.
+    durable_lsn: std::sync::atomic::AtomicU64,
 }
 
 struct WalInner {
@@ -210,6 +215,9 @@ impl Wal {
         let len = file.metadata().map_err(|e| Error::Storage(e.to_string()))?.len();
         Ok(Wal {
             inner: Mutex::new(WalInner { backend: WalBackend::File(file), next_lsn: len }),
+            // Everything already in the file survived a previous run's
+            // syncs (recovery truncated any torn tail before this open).
+            durable_lsn: std::sync::atomic::AtomicU64::new(len),
         })
     }
 
@@ -217,6 +225,7 @@ impl Wal {
     pub fn in_memory() -> Self {
         Wal {
             inner: Mutex::new(WalInner { backend: WalBackend::Memory(Vec::new()), next_lsn: 0 }),
+            durable_lsn: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -253,6 +262,63 @@ impl Wal {
         Ok(lsn)
     }
 
+    /// Append a run of records as one contiguous write, returning for
+    /// each record the LSN just past it (the `next_lsn` a tailer would
+    /// see). This is the group-commit path: a commit leader frames every
+    /// transaction of its batch into one buffer and lands it with a
+    /// single backend write, so the batch occupies one gap-free LSN run
+    /// that no concurrent append can interleave.
+    ///
+    /// Failure atomicity mirrors [`Wal::append`]: an injected `fail` on
+    /// `wal.append` rejects the whole batch before any byte lands, and
+    /// an injected `short` tears the log at the affected record's frame
+    /// (everything framed before it still lands, recovery truncates).
+    pub fn append_batch(&self, records: &[WalRecord]) -> Result<Vec<Lsn>> {
+        if records.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut buf = Vec::new();
+        let mut ends = Vec::with_capacity(records.len());
+        let mut torn = false;
+        for record in records {
+            let payload = record.encode();
+            // The same `wal.append` failpoint guards every record of the
+            // batch, so existing crash schedules (`1in5`, `short`) reach
+            // mid-batch offsets too.
+            match mmdb_fault::eval("wal.append") {
+                mmdb_fault::Decision::Proceed => {}
+                mmdb_fault::Decision::Fail(msg) => {
+                    return Err(Error::Storage(format!("wal append: {msg}")))
+                }
+                mmdb_fault::Decision::Short => torn = true,
+            }
+            let frame_start = buf.len();
+            buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+            buf.extend_from_slice(&payload);
+            if torn {
+                // Same tear as the single-record path: half the frame
+                // lands, the rest of the batch never gets framed.
+                buf.truncate(frame_start + (payload.len() + 8) / 2);
+                break;
+            }
+            ends.push(buf.len() as u64);
+        }
+        let mut inner = self.inner.lock();
+        let base = inner.next_lsn;
+        match &mut inner.backend {
+            WalBackend::File(f) => f
+                .write_all(&buf)
+                .map_err(|e| Error::Storage(format!("wal append: {e}")))?,
+            WalBackend::Memory(v) => v.extend_from_slice(&buf),
+        }
+        inner.next_lsn += buf.len() as u64;
+        if torn {
+            return Err(Error::Storage("wal append: torn write (injected)".into()));
+        }
+        Ok(ends.into_iter().map(|e| base + e).collect())
+    }
+
     /// Durably flush appended records.
     pub fn sync(&self) -> Result<()> {
         // Failpoint `wal.sync`: `delay(ms)` models a slow fsync, `error`
@@ -262,12 +328,23 @@ impl Wal {
         if let WalBackend::File(f) = &inner.backend {
             f.sync_data().map_err(|e| Error::Storage(format!("wal fsync: {e}")))?;
         }
+        // Everything appended before this sync is now durable. Published
+        // under the inner lock so the watermark never races past a
+        // concurrent append it did not cover.
+        self.durable_lsn.fetch_max(inner.next_lsn, std::sync::atomic::Ordering::SeqCst);
         Ok(())
     }
 
     /// Next LSN to be assigned (== current log length in bytes).
     pub fn tail_lsn(&self) -> Lsn {
         self.inner.lock().next_lsn
+    }
+
+    /// The durable tail: the log length as of the last successful
+    /// [`Wal::sync`]. Records at or past this offset may still be lost
+    /// to a crash, so replication only ships below it.
+    pub fn durable_lsn(&self) -> Lsn {
+        self.durable_lsn.load(std::sync::atomic::Ordering::SeqCst)
     }
 
     /// Read back the whole log (in-memory backend) — test helper.
@@ -689,6 +766,103 @@ mod tests {
         let rec = recover_from_bytes(&wal.snapshot_bytes());
         assert!(rec.torn_tail);
         assert_eq!(rec.valid_len, tailed[1].next_lsn, "tail stops where recovery truncates");
+    }
+
+    #[test]
+    fn batch_append_is_contiguous_and_byte_identical_to_serial() {
+        // The same records appended one-by-one and as a batch must
+        // produce identical bytes and identical per-record offsets —
+        // recovery and tailing cannot tell the two paths apart.
+        let records = vec![
+            WalRecord::Begin { txid: 1 },
+            w(1, "a", Some("1")),
+            WalRecord::Commit { txid: 1 },
+            WalRecord::Begin { txid: 2 },
+            w(2, "b", None),
+            WalRecord::Commit { txid: 2 },
+        ];
+        let serial = Wal::in_memory();
+        for r in &records {
+            serial.append(r).unwrap();
+        }
+        let batched = Wal::in_memory();
+        let ends = batched.append_batch(&records).unwrap();
+        assert_eq!(serial.snapshot_bytes(), batched.snapshot_bytes());
+        assert_eq!(ends.len(), records.len());
+        let tailed = batched.read_records_from(0, usize::MAX).unwrap();
+        for (t, end) in tailed.iter().zip(&ends) {
+            assert_eq!(t.next_lsn, *end, "per-record end offsets line up with tailing");
+        }
+        assert_eq!(*ends.last().unwrap(), batched.tail_lsn());
+        assert!(batched.append_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sync_advances_the_durable_watermark() {
+        let wal = Wal::in_memory();
+        assert_eq!(wal.durable_lsn(), 0);
+        wal.append(&WalRecord::Begin { txid: 1 }).unwrap();
+        assert_eq!(wal.durable_lsn(), 0, "appended but unsynced is not durable");
+        wal.sync().unwrap();
+        assert_eq!(wal.durable_lsn(), wal.tail_lsn());
+        wal.append_batch(&[w(1, "k", Some("v")), WalRecord::Commit { txid: 1 }]).unwrap();
+        assert!(wal.durable_lsn() < wal.tail_lsn());
+        wal.sync().unwrap();
+        assert_eq!(wal.durable_lsn(), wal.tail_lsn());
+    }
+
+    #[test]
+    fn reopened_wal_treats_existing_content_as_durable() {
+        let dir = std::env::temp_dir().join(format!("mmdb-wal-durable-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("durable.wal");
+        let _ = std::fs::remove_file(&path);
+        {
+            let wal = Wal::open(&path).unwrap();
+            wal.append(&WalRecord::Begin { txid: 1 }).unwrap();
+            wal.append(&WalRecord::Commit { txid: 1 }).unwrap();
+            wal.sync().unwrap();
+        }
+        let wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.durable_lsn(), wal.tail_lsn(), "recovered prefix is durable history");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn batch_append_failures_are_atomic_or_tear_like_serial_appends() {
+        // `fail`: the whole batch is rejected before any byte lands.
+        mmdb_fault::clear_all();
+        let wal = Wal::in_memory();
+        wal.append(&WalRecord::Begin { txid: 1 }).unwrap();
+        wal.append(&WalRecord::Commit { txid: 1 }).unwrap();
+        let intact = wal.snapshot_bytes();
+        mmdb_fault::set("wal.append", "error").unwrap();
+        assert!(wal
+            .append_batch(&[WalRecord::Begin { txid: 2 }, WalRecord::Commit { txid: 2 }])
+            .is_err());
+        assert_eq!(wal.snapshot_bytes(), intact, "a failed batch leaves no trace");
+
+        // `short`: the armed record tears mid-frame and the rest of the
+        // batch is never framed; recovery and tailing both stop at the
+        // intact prefix.
+        mmdb_fault::set("wal.append", "short").unwrap();
+        assert!(wal
+            .append_batch(&[
+                WalRecord::Begin { txid: 10 },
+                w(10, "k", Some("v")),
+                WalRecord::Commit { txid: 10 },
+            ])
+            .is_err());
+        mmdb_fault::clear_all();
+        let rec = recover_from_bytes(&wal.snapshot_bytes());
+        assert!(rec.torn_tail);
+        let tailed = wal.read_records_from(0, usize::MAX).unwrap();
+        assert_eq!(
+            tailed.last().unwrap().next_lsn,
+            rec.valid_len,
+            "tailing stops exactly where recovery truncates"
+        );
     }
 
     #[test]

@@ -29,9 +29,15 @@ pub mod mvcc;
 
 pub use consistency::{ConsistencyLevel, ConsistencyPolicy};
 pub use locks::{LockManager, LockMode};
-pub use mvcc::{CommittedWrite, IsolationLevel, MvccStore, Transaction};
+pub use mvcc::{CommittedWrite, GroupCommitStats, IsolationLevel, MvccStore, Transaction};
 
 /// Every failpoint site this crate declares (see `mmdb-fault`). The
 /// crash-recovery torture suite iterates this roster, so adding a
 /// `fail_point!` here without extending the list fails that suite.
-pub const FAILPOINT_SITES: &[&str] = &["txn.commit.before_wal", "txn.commit.after_wal"];
+pub const FAILPOINT_SITES: &[&str] = &[
+    "txn.commit.before_wal",
+    "txn.commit.after_wal",
+    "txn.group_commit.enqueue",
+    "txn.group_commit.before_sync",
+    "txn.group_commit.after_sync",
+];

@@ -6,18 +6,24 @@
 //! every data model — the tutorial's "cross-model transaction".
 //!
 //! Protocol: a transaction reads the latest version with
-//! `commit_ts <= start_ts` (its snapshot) and buffers writes locally. At
-//! commit, *first-committer-wins* validation rejects the transaction if
-//! any written key has a version committed after its snapshot; surviving
-//! writes get a fresh commit timestamp, go to the WAL (Begin/Write*/
-//! Commit + fsync), install into the version chains, and fire the
+//! `commit_ts <= start_ts` (its snapshot) and buffers writes locally.
+//! Commits go through a **group-commit sequencer**: concurrent
+//! committers enqueue their write sets, one leader drains the queue,
+//! runs *first-committer-wins* validation per write set (a transaction
+//! loses if any strong-domain key it wrote has a version committed
+//! after its snapshot, or was claimed by an earlier transaction in the
+//! same batch), appends every winner's Begin/Write*/Commit block with
+//! one contiguous WAL batch write, issues a **single** `wal.sync()`,
+//! installs the version chains in commit order, and fires the
 //! registered commit hooks so model stores can update their indexes.
+//! K concurrent commits cost one fsync instead of K; losers get the
+//! usual retryable conflict error.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use mmdb_storage::wal::{self, Lsn, Wal, WalRecord};
 use mmdb_types::codec::{value_from_bytes, value_to_bytes};
@@ -58,16 +64,81 @@ pub struct CommittedWrite {
 
 type CommitHook = Box<dyn Fn(&[CommittedWrite]) + Send + Sync>;
 
+/// A committer's parking slot: the group-commit leader publishes the
+/// outcome here and wakes the owner.
+#[derive(Default)]
+struct CommitSlot {
+    result: Mutex<Option<Result<u64>>>,
+    ready: Condvar,
+}
+
+impl CommitSlot {
+    fn publish(&self, outcome: Result<u64>) {
+        *self.result.lock() = Some(outcome);
+        self.ready.notify_all();
+    }
+}
+
+/// One transaction's commit work, queued for the group-commit leader.
+struct CommitRequest {
+    txid: u64,
+    start_ts: u64,
+    writes: Vec<PendingWrite>,
+    slot: Arc<CommitSlot>,
+}
+
+/// The group-commit queue. Committers enqueue under this lock and the
+/// first to find no leader running becomes the leader; everyone else
+/// parks on their slot. The lock is only ever held for queue surgery —
+/// never across validation, WAL writes, or hooks.
+#[derive(Default)]
+struct GroupQueue {
+    pending: Vec<CommitRequest>,
+    leader_active: bool,
+}
+
+/// Snapshot of the group-commit counters (see `ADMIN STATS`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupCommitStats {
+    /// Batches a leader has sequenced.
+    pub batches: u64,
+    /// Transactions that went through the sequencer (winners + losers).
+    pub txns: u64,
+    /// Fsyncs avoided versus one-sync-per-commit: for every batch with
+    /// W winning transactions, W−1 syncs were saved.
+    pub fsyncs_saved: u64,
+    /// Largest batch sequenced so far.
+    pub max_group_size: u64,
+}
+
 struct StoreInner {
     versions: RwLock<HashMap<TxnKey, Vec<Version>>>,
     clock: AtomicU64,
+    /// Visibility watermark: the highest commit timestamp whose versions
+    /// are fully installed. `begin` snapshots read this, not `clock` —
+    /// the sequencer allocates timestamps *before* the WAL append and
+    /// install, so a snapshot taken from `clock` in that window would
+    /// cover an allocated-but-uninstalled commit and watch the key
+    /// change under it mid-read. Advanced (fetch_max) only after the
+    /// corresponding versions are in the map.
+    snapshot_ts: AtomicU64,
     next_txid: AtomicU64,
     wal: Option<Arc<Wal>>,
     locks: LockManager,
     policy: RwLock<ConsistencyPolicy>,
     hooks: RwLock<Vec<CommitHook>>,
-    /// Serializes validate+install (the commit critical section).
+    /// Serializes batch sequencing with [`MvccStore::apply_replicated`]
+    /// and guards the validate+install critical section. Individual
+    /// committers no longer take it — only the group-commit leader does,
+    /// once per batch.
     commit_mutex: Mutex<()>,
+    /// The group-commit sequencer queue (see [`GroupQueue`]).
+    group: Mutex<GroupQueue>,
+    /// Group-commit observability counters (see [`GroupCommitStats`]).
+    group_batches: AtomicU64,
+    group_txns: AtomicU64,
+    fsyncs_saved: AtomicU64,
+    max_group_size: AtomicU64,
     aborts: AtomicU64,
     commits: AtomicU64,
     /// Latched after an unrecoverable durability failure (a failed WAL
@@ -107,6 +178,285 @@ impl StoreInner {
             .unwrap_or_else(|| "durability failure".into());
         Error::ReadOnly(format!("store is degraded after a durability failure: {reason}"))
     }
+
+    // ---- group-commit sequencer -------------------------------------------
+    //
+    // Concurrent committers enqueue their write sets; whoever finds no
+    // leader running drains the queue, validates every transaction
+    // (first committer wins — within the batch, earlier queue position
+    // wins), lands all surviving WAL blocks with one contiguous batch
+    // append and a *single* `wal.sync()`, installs the versions, fires
+    // the hooks in commit order, and wakes everyone. K concurrent
+    // commits therefore cost one fsync instead of K, and conflict
+    // detection happens per write set at sequencing time instead of
+    // each committer serializing on the version map.
+
+    /// Enqueue one transaction's writes and wait for the sequencing
+    /// leader (possibly this thread) to publish the outcome.
+    fn group_commit(&self, txid: u64, start_ts: u64, writes: Vec<PendingWrite>) -> Result<u64> {
+        let slot = Arc::new(CommitSlot::default());
+        let lead = {
+            let mut q = self.group.lock();
+            q.pending.push(CommitRequest { txid, start_ts, writes, slot: Arc::clone(&slot) });
+            if q.leader_active {
+                false
+            } else {
+                q.leader_active = true;
+                true
+            }
+        };
+        if lead {
+            self.lead_group();
+        }
+        let mut r = slot.result.lock();
+        loop {
+            if let Some(outcome) = r.take() {
+                return outcome;
+            }
+            slot.ready.wait(&mut r);
+        }
+    }
+
+    /// Leader loop: sequence batches until the queue drains, then step
+    /// down. Runs on the committer thread that found no leader active.
+    fn lead_group(&self) {
+        loop {
+            let batch = {
+                let mut q = self.group.lock();
+                if q.pending.is_empty() {
+                    q.leader_active = false;
+                    return;
+                }
+                std::mem::take(&mut q.pending)
+            };
+            self.commit_batch(batch);
+        }
+    }
+
+    /// Sequence one batch and wake its committers.
+    fn commit_batch(&self, batch: Vec<CommitRequest>) {
+        // Containment for injected leader crashes: if a crash failpoint
+        // unwinds the batch mid-flight, fail every parked committer
+        // (this batch and anything queued behind it) and step down so a
+        // `catch_unwind` harness keeps a live, consistent store.
+        struct UnwindGuard<'a> {
+            store: &'a StoreInner,
+            slots: Option<Vec<Arc<CommitSlot>>>,
+        }
+        impl Drop for UnwindGuard<'_> {
+            fn drop(&mut self) {
+                let Some(slots) = self.slots.take() else { return };
+                let crashed = || Error::Storage("commit leader crashed mid-batch".into());
+                for slot in &slots {
+                    slot.publish(Err(crashed()));
+                }
+                let stranded = {
+                    let mut q = self.store.group.lock();
+                    q.leader_active = false;
+                    std::mem::take(&mut q.pending)
+                };
+                for req in &stranded {
+                    req.slot.publish(Err(crashed()));
+                }
+            }
+        }
+        let mut unwind = UnwindGuard {
+            store: self,
+            slots: Some(batch.iter().map(|r| Arc::clone(&r.slot)).collect()),
+        };
+        let outcomes = self.sequence_batch(&batch);
+        // Everything that can panic (the crash failpoints) is behind us:
+        // defuse the guard and publish for real.
+        unwind.slots = None;
+        for (req, outcome) in batch.iter().zip(outcomes) {
+            req.slot.publish(outcome);
+        }
+    }
+
+    /// Validate, log, sync, and install one batch; returns one outcome
+    /// per request, in batch order.
+    fn sequence_batch(&self, batch: &[CommitRequest]) -> Vec<Result<u64>> {
+        self.group_batches.fetch_add(1, Ordering::SeqCst);
+        self.group_txns.fetch_add(batch.len() as u64, Ordering::SeqCst);
+        self.max_group_size.fetch_max(batch.len() as u64, Ordering::SeqCst);
+
+        // Serializes with `apply_replicated` (and keeps WAL Begin..Commit
+        // blocks contiguous across the two paths).
+        let _commit_guard = self.commit_mutex.lock();
+        if self.degraded.load(Ordering::SeqCst) {
+            self.aborts.fetch_add(batch.len() as u64, Ordering::SeqCst);
+            return batch.iter().map(|_| Err(self.read_only_error())).collect();
+        }
+
+        // First-committer-wins validation at sequencing time: a write
+        // set loses if any strong-domain key has a version committed
+        // after its snapshot, or was already claimed by an earlier
+        // winner of this same batch.
+        let mut results: Vec<Option<Result<u64>>> = batch.iter().map(|_| None).collect();
+        let mut winners: Vec<usize> = Vec::with_capacity(batch.len());
+        {
+            let policy = self.policy.read();
+            let versions = self.versions.read();
+            let mut claimed: std::collections::HashSet<&TxnKey> = std::collections::HashSet::new();
+            for (i, req) in batch.iter().enumerate() {
+                let conflict = req.writes.iter().find(|w| {
+                    policy.level(&w.key.0) == ConsistencyLevel::Strong
+                        && (claimed.contains(&w.key)
+                            || versions
+                                .get(&w.key)
+                                .and_then(|chain| chain.last())
+                                .is_some_and(|last| last.commit_ts > req.start_ts))
+                });
+                match conflict {
+                    Some(w) => {
+                        results[i] = Some(Err(Error::TxnConflict(format!(
+                            "write-write conflict on {}/{:?}",
+                            w.key.0, w.key.1
+                        ))));
+                    }
+                    None => {
+                        for w in &req.writes {
+                            if policy.level(&w.key.0) == ConsistencyLevel::Strong {
+                                claimed.insert(&w.key);
+                            }
+                        }
+                        winners.push(i);
+                    }
+                }
+            }
+        }
+        let losers = (batch.len() - winners.len()) as u64;
+        if losers > 0 {
+            self.aborts.fetch_add(losers, Ordering::SeqCst);
+        }
+        if winners.is_empty() {
+            return finish(results);
+        }
+
+        // Contiguous commit timestamps in batch order.
+        let commit_ts: Vec<u64> = winners
+            .iter()
+            .map(|_| self.clock.fetch_add(1, Ordering::SeqCst) + 1)
+            .collect();
+
+        // One contiguous WAL append for every winner's Begin..Commit
+        // block, then exactly one sync. A failed append aborts the whole
+        // batch cleanly (nothing ambiguous reached the log — the batch
+        // append is atomic on failure); anything that fails *after* the
+        // append leaves commit records of unknown durability in the log,
+        // which is exactly the fsyncgate condition: latch degraded.
+        let mut appended = false;
+        let wal_result: Result<Vec<Option<Lsn>>> = (|| {
+            let Some(wal) = &self.wal else {
+                return Ok(vec![None; winners.len()]);
+            };
+            let mut records = Vec::new();
+            let mut commit_record_at = Vec::with_capacity(winners.len());
+            for &i in &winners {
+                let req = &batch[i];
+                records.push(WalRecord::Begin { txid: req.txid });
+                for w in &req.writes {
+                    records.push(WalRecord::Write {
+                        txid: req.txid,
+                        domain: w.key.0.clone(),
+                        key: w.key.1.clone(),
+                        value: w.value.as_ref().map(|v| value_to_bytes(v).to_vec()),
+                    });
+                }
+                records.push(WalRecord::Commit { txid: req.txid });
+                commit_record_at.push(records.len() - 1);
+            }
+            let ends = wal.append_batch(&records)?;
+            appended = true;
+            // Failpoint `txn.group_commit.before_sync`: the batch is in
+            // the log but not yet durable — crash here and recovery
+            // replays it (the appended bytes are in the file); error
+            // here and durability is unknowable, so the store latches.
+            if let Some(msg) = mmdb_fault::eval_to_error("txn.group_commit.before_sync") {
+                return Err(Error::Storage(format!("group commit: {msg}")));
+            }
+            wal.sync()?;
+            Ok(commit_record_at.iter().map(|&at| Some(ends[at])).collect())
+        })();
+        let commit_lsns = match wal_result {
+            Ok(lsns) => lsns,
+            Err(e) => {
+                self.aborts.fetch_add(winners.len() as u64, Ordering::SeqCst);
+                if appended {
+                    self.latch_degraded(&e.to_string());
+                }
+                for &i in &winners {
+                    results[i] = Some(Err(e.clone()));
+                }
+                return finish(results);
+            }
+        };
+        // The durability point has passed. Both crash-only sites fire
+        // per batch: the legacy per-commit one (so existing schedules
+        // keep covering the commit path) and the batch-scoped one.
+        mmdb_fault::fail_point!("txn.commit.after_wal");
+        mmdb_fault::fail_point!("txn.group_commit.after_sync");
+
+        // Install every winner under one write lock, in commit-ts order.
+        let committed_sets: Vec<Vec<CommittedWrite>> = {
+            let mut versions = self.versions.write();
+            winners
+                .iter()
+                .zip(&commit_ts)
+                .map(|(&i, &ts)| {
+                    batch[i]
+                        .writes
+                        .iter()
+                        .map(|w| {
+                            versions
+                                .entry(w.key.clone())
+                                .or_default()
+                                .push(Version { commit_ts: ts, value: w.value.clone() });
+                            CommittedWrite {
+                                domain: w.key.0.clone(),
+                                key: w.key.1.clone(),
+                                value: w.value.clone(),
+                            }
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        // Only now that every version is in the map may new snapshots
+        // cover these timestamps (see `snapshot_ts`). A WAL failure
+        // above leaves a permanent gap between `snapshot_ts` and
+        // `clock` for the wasted allocations, which is harmless — the
+        // next successful batch jumps the watermark past it.
+        if let Some(&ts) = commit_ts.last() {
+            self.snapshot_ts.fetch_max(ts, Ordering::SeqCst);
+        }
+        self.commits.fetch_add(winners.len() as u64, Ordering::SeqCst);
+        self.fsyncs_saved.fetch_add(winners.len() as u64 - 1, Ordering::SeqCst);
+        for lsn in commit_lsns.iter().flatten() {
+            self.last_commit_lsn.fetch_max(*lsn, Ordering::SeqCst);
+        }
+        {
+            let hooks = self.hooks.read();
+            for set in &committed_sets {
+                for h in hooks.iter() {
+                    h(set);
+                }
+            }
+        }
+        for (&i, &ts) in winners.iter().zip(&commit_ts) {
+            results[i] = Some(Ok(ts));
+        }
+        finish(results)
+    }
+}
+
+/// Unwrap sequencing outcomes; a request the leader somehow never
+/// decided gets an internal error instead of a panic.
+fn finish(results: Vec<Option<Result<u64>>>) -> Vec<Result<u64>> {
+    results
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|| Err(Error::Internal("commit request left unsequenced".into()))))
+        .collect()
 }
 
 /// The shared MVCC store.
@@ -128,12 +478,18 @@ impl MvccStore {
             inner: Arc::new(StoreInner {
                 versions: RwLock::new(HashMap::new()),
                 clock: AtomicU64::new(1),
+                snapshot_ts: AtomicU64::new(1),
                 next_txid: AtomicU64::new(1),
                 wal,
                 locks: LockManager::new(),
                 policy: RwLock::new(ConsistencyPolicy::default()),
                 hooks: RwLock::new(Vec::new()),
                 commit_mutex: Mutex::new(()),
+                group: Mutex::new(GroupQueue::default()),
+                group_batches: AtomicU64::new(0),
+                group_txns: AtomicU64::new(0),
+                fsyncs_saved: AtomicU64::new(0),
+                max_group_size: AtomicU64::new(0),
                 aborts: AtomicU64::new(0),
                 commits: AtomicU64::new(0),
                 degraded: AtomicBool::new(false),
@@ -159,7 +515,7 @@ impl MvccStore {
         Transaction {
             store: self.inner.clone(),
             txid: self.inner.next_txid.fetch_add(1, Ordering::SeqCst),
-            start_ts: self.inner.clock.load(Ordering::SeqCst),
+            start_ts: self.inner.snapshot_ts.load(Ordering::SeqCst),
             isolation,
             writes: Vec::new(),
             closed: false,
@@ -218,6 +574,17 @@ impl MvccStore {
         self.inner.latch_degraded(reason);
     }
 
+    /// Group-commit sequencer counters (batches, txns sequenced, fsyncs
+    /// saved, largest batch).
+    pub fn group_commit_stats(&self) -> GroupCommitStats {
+        GroupCommitStats {
+            batches: self.inner.group_batches.load(Ordering::SeqCst),
+            txns: self.inner.group_txns.load(Ordering::SeqCst),
+            fsyncs_saved: self.inner.fsyncs_saved.load(Ordering::SeqCst),
+            max_group_size: self.inner.max_group_size.load(Ordering::SeqCst),
+        }
+    }
+
     /// `(commits, aborts)` counters.
     pub fn stats(&self) -> (u64, u64) {
         (
@@ -248,9 +615,10 @@ impl MvccStore {
         dropped
     }
 
-    /// Current logical time (usable as a vacuum horizon).
+    /// Current visible logical time (usable as a vacuum horizon): the
+    /// highest commit timestamp whose versions are fully installed.
     pub fn now(&self) -> u64 {
-        self.inner.clock.load(Ordering::SeqCst)
+        self.inner.snapshot_ts.load(Ordering::SeqCst)
     }
 
     /// WAL position just past the most recently durable commit record —
@@ -306,6 +674,7 @@ impl MvccStore {
                     .push(Version { commit_ts, value: w.value.clone() });
             }
         }
+        self.inner.snapshot_ts.fetch_max(commit_ts, Ordering::SeqCst);
         self.inner.commits.fetch_add(1, Ordering::SeqCst);
         let hooks = self.inner.hooks.read();
         for h in hooks.iter() {
@@ -332,6 +701,7 @@ impl MvccStore {
                     .push(Version { commit_ts: ts, value: w.value.clone() });
             }
         }
+        self.inner.snapshot_ts.fetch_max(ts, Ordering::SeqCst);
         let hooks = self.inner.hooks.read();
         for h in hooks.iter() {
             h(&by_txn);
@@ -428,6 +798,11 @@ impl Transaction {
 
     /// Commit. On `TxnConflict` the transaction is rolled back and should
     /// be retried by the caller.
+    ///
+    /// The heavy lifting happens in the group-commit sequencer: this
+    /// thread enqueues its write set and either leads the batch or parks
+    /// until a leader publishes the outcome (see
+    /// [`StoreInner::group_commit`]).
     pub fn commit(mut self) -> Result<u64> {
         self.check_open()?;
         self.closed = true;
@@ -451,109 +826,19 @@ impl Transaction {
             self.writes.clear();
             return Err(Error::Storage(format!("commit: {msg}")));
         }
-        let _guard = self.store.commit_mutex.lock();
-        // First-committer-wins validation for strong domains.
-        {
-            let policy = self.store.policy.read();
-            let versions = self.store.versions.read();
-            for w in &self.writes {
-                if policy.level(&w.key.0) == ConsistencyLevel::Eventual {
-                    continue;
-                }
-                if let Some(chain) = versions.get(&w.key) {
-                    if let Some(last) = chain.last() {
-                        if last.commit_ts > self.start_ts {
-                            drop(versions);
-                            drop(policy);
-                            self.store.aborts.fetch_add(1, Ordering::SeqCst);
-                            self.release_locks();
-                            return Err(Error::TxnConflict(format!(
-                                "write-write conflict on {}/{:?}",
-                                w.key.0, w.key.1
-                            )));
-                        }
-                    }
-                }
-            }
-        }
-        let commit_ts = self.store.clock.fetch_add(1, Ordering::SeqCst) + 1;
-        // WAL first (durability), then install. A WAL failure must leave
-        // the transaction fully aborted — nothing installed, locks
-        // released — not half-committed (failure atomicity; exercised by
-        // the wal.* failpoints).
-        let mut sync_failed = false;
-        let mut commit_lsn: Option<Lsn> = None;
-        let wal_result: Result<()> = (|| {
-            if let Some(wal) = &self.store.wal {
-                wal.append(&WalRecord::Begin { txid: self.txid })?;
-                for w in &self.writes {
-                    wal.append(&WalRecord::Write {
-                        txid: self.txid,
-                        domain: w.key.0.clone(),
-                        key: w.key.1.clone(),
-                        value: w.value.as_ref().map(|v| value_to_bytes(v).to_vec()),
-                    })?;
-                }
-                wal.append(&WalRecord::Commit { txid: self.txid })?;
-                // The replication watermark: everything at or past this
-                // offset is after our commit record. `tail_lsn` may already
-                // include a concurrent abort record (aborts bypass the
-                // commit mutex), which only makes the token stricter.
-                commit_lsn = Some(wal.tail_lsn());
-                if let Err(e) = wal.sync() {
-                    sync_failed = true;
-                    return Err(e);
-                }
-            }
-            Ok(())
-        })();
-        if let Err(e) = wal_result {
+        // Failpoint `txn.group_commit.enqueue`: same no-trace window as
+        // `before_wal`, but scoped to the sequencer hand-off — a crash or
+        // error here means the request never reached a leader.
+        if let Some(msg) = mmdb_fault::eval_to_error("txn.group_commit.enqueue") {
             self.store.aborts.fetch_add(1, Ordering::SeqCst);
             self.release_locks();
             self.writes.clear();
-            // A failed append aborts cleanly and the store stays usable —
-            // nothing ambiguous reached the log. A failed *fsync* is
-            // different: the durability of everything buffered is now
-            // unknowable, so the store latches into degraded read-only
-            // mode (see `latch_degraded`). This transaction still reports
-            // the original storage error; subsequent writes get
-            // `read_only`.
-            if sync_failed {
-                self.store.latch_degraded(&e.to_string());
-            }
-            return Err(e);
+            return Err(Error::Storage(format!("commit enqueue: {msg}")));
         }
-        // Failpoint `txn.commit.after_wal`: the durability point has
-        // passed — a crash here must still surface the transaction as
-        // committed after recovery (crash-only site: panic/delay).
-        mmdb_fault::fail_point!("txn.commit.after_wal");
-        let committed: Vec<CommittedWrite> = {
-            let mut versions = self.store.versions.write();
-            self.writes
-                .iter()
-                .map(|w| {
-                    versions
-                        .entry(w.key.clone())
-                        .or_default()
-                        .push(Version { commit_ts, value: w.value.clone() });
-                    CommittedWrite {
-                        domain: w.key.0.clone(),
-                        key: w.key.1.clone(),
-                        value: w.value.clone(),
-                    }
-                })
-                .collect()
-        };
-        self.store.commits.fetch_add(1, Ordering::SeqCst);
-        if let Some(lsn) = commit_lsn {
-            self.store.last_commit_lsn.fetch_max(lsn, Ordering::SeqCst);
-        }
+        let writes = std::mem::take(&mut self.writes);
+        let result = self.store.group_commit(self.txid, self.start_ts, writes);
         self.release_locks();
-        let hooks = self.store.hooks.read();
-        for h in hooks.iter() {
-            h(&committed);
-        }
-        Ok(commit_ts)
+        result
     }
 
     /// Abort: discard buffered writes, release locks, log the abort.
@@ -961,6 +1246,101 @@ mod tests {
         let before = wal.tail_lsn();
         s.apply_replicated(&[]).unwrap();
         assert_eq!(wal.tail_lsn(), before);
+    }
+
+    #[test]
+    fn concurrent_committers_batch_onto_fewer_fsyncs() {
+        // 8 threads × 8 commits on distinct keys: every commit succeeds,
+        // and the sequencer accounting proves batching happened exactly
+        // when batches formed (fsyncs_saved + batches == txns when every
+        // batch commits all its members).
+        let wal = Arc::new(Wal::in_memory());
+        let s = MvccStore::new(Some(Arc::clone(&wal)));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for i in 0..8u32 {
+                        let mut txn = s.begin(IsolationLevel::Snapshot);
+                        let key = format!("t{t}-{i}");
+                        txn.put("kv/cart", key.as_bytes(), Value::int(i as i64)).unwrap();
+                        txn.commit().unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in threads {
+            h.join().unwrap();
+        }
+        let (commits, aborts) = s.stats();
+        assert_eq!((commits, aborts), (64, 0));
+        let g = s.group_commit_stats();
+        assert_eq!(g.txns, 64);
+        assert!(g.batches >= 1 && g.batches <= 64);
+        assert!(g.max_group_size >= 1);
+        assert_eq!(
+            g.fsyncs_saved + g.batches,
+            g.txns,
+            "every batch of W winners saves W-1 syncs: {g:?}"
+        );
+        // All 64 transactions are durable and recoverable.
+        let rec = wal::recover_from_bytes(&wal.snapshot_bytes());
+        let s2 = MvccStore::new(None);
+        assert_eq!(s2.recover(&rec).unwrap(), 64);
+        assert_eq!(s2.get_latest("kv/cart", b"t7-7"), Some(Value::int(7)));
+    }
+
+    #[test]
+    fn batched_conflicts_have_exactly_one_winner() {
+        // Many threads hammer the same strong key from the same snapshot:
+        // exactly one can win, no matter how the sequencer batches them.
+        let s = store();
+        let mut seed = s.begin(IsolationLevel::Snapshot);
+        seed.put("d", b"hot", Value::int(0)).unwrap();
+        seed.commit().unwrap();
+
+        let barrier = Arc::new(std::sync::Barrier::new(16));
+        let threads: Vec<_> = (0..16)
+            .map(|t| {
+                let s = s.clone();
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut txn = s.begin(IsolationLevel::Snapshot);
+                    txn.put("d", b"hot", Value::int(t)).unwrap();
+                    barrier.wait();
+                    txn.commit().is_ok()
+                })
+            })
+            .collect();
+        let wins = threads.into_iter().filter_map(|h| h.join().unwrap().then_some(())).count();
+        assert_eq!(wins, 1, "first committer wins, all others conflict");
+        let (commits, aborts) = s.stats();
+        assert_eq!(commits, 2, "seed + the single winner");
+        assert_eq!(aborts, 15);
+    }
+
+    #[test]
+    fn group_commit_losers_keep_the_store_consistent() {
+        // A loser inside a batch must not poison the winners' install,
+        // hooks, or the WAL (its block is never logged).
+        let wal = Arc::new(Wal::in_memory());
+        let s = MvccStore::new(Some(Arc::clone(&wal)));
+        let mut seed = s.begin(IsolationLevel::Snapshot);
+        seed.put("d", b"k", Value::int(1)).unwrap();
+        seed.commit().unwrap();
+        // Loser: stale snapshot of k. Winner: fresh key.
+        let mut loser = s.begin(IsolationLevel::Snapshot);
+        let mut seed2 = s.begin(IsolationLevel::Snapshot);
+        seed2.put("d", b"k", Value::int(2)).unwrap();
+        seed2.commit().unwrap();
+        loser.put("d", b"k", Value::int(99)).unwrap();
+        assert_eq!(loser.commit().unwrap_err().kind(), "txn_conflict");
+        assert_eq!(s.get_latest("d", b"k"), Some(Value::int(2)));
+        // The loser's block never reached the log.
+        let rec = wal::recover_from_bytes(&wal.snapshot_bytes());
+        let s2 = MvccStore::new(None);
+        s2.recover(&rec).unwrap();
+        assert_eq!(s2.get_latest("d", b"k"), Some(Value::int(2)));
     }
 
     #[test]

@@ -32,6 +32,9 @@ cargo test -q --features failpoints --test lifecycle_torture
 echo "==> replication failover torture suite (--features failpoints)"
 cargo test -q --features failpoints --test replication
 
+echo "==> group-commit torture & property suite (--features failpoints)"
+cargo test -q --features failpoints --test group_commit
+
 echo "==> failpoints stay a no-op when the feature is off"
 cargo test -q -p mmdb-fault
 # Deadline checks ride the same feature: a default build must run the
@@ -45,5 +48,10 @@ echo "==> unibench smoke run (tiny scale factor)"
 # Not a performance gate — just proves the bench binary builds, generates
 # data, and completes every workload end to end.
 cargo run -q --release -p mmdb-bench --bin unibench -- --scale 0.05 --workload all --seed 21
+
+echo "==> workload C multi-writer smoke (group commit, 1 vs 8 writers)"
+# Also not a performance gate — proves the concurrent write path drives
+# the group-commit sequencer end to end and emits its BENCH lines.
+cargo run -q --release -p mmdb-bench --bin unibench -- --scale 0.05 --workload c --writers 1,8 --seed 21
 
 echo "==> tier-1 gate passed"

@@ -9,8 +9,13 @@
 //!
 //! Differences from real proptest, deliberately accepted:
 //!
-//! * **No shrinking.** A failing case reports its inputs (via the panic
-//!   message and the deterministic per-case seed) but is not minimized.
+//! * **Simplified shrinking.** Failing cases are minimized by greedy
+//!   halving (integers: toward the range start) and truncation (vectors:
+//!   toward the minimum length), re-running the body one swapped argument
+//!   at a time to a fixpoint. This finds the same minimal counterexamples
+//!   as real proptest for monotone properties but does not replay the
+//!   full generation tree, so map/union/string outputs are reported
+//!   unminimized.
 //! * **Deterministic seeds.** Cases derive from a hash of the test name
 //!   and the case index, so runs are reproducible by construction; there
 //!   is no `PROPTEST_CASES`/persistence machinery.
@@ -91,6 +96,16 @@ pub mod strategy {
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+        /// Candidate simpler values for `value`, best first. The
+        /// `proptest!` runner calls this on a failing case and greedily
+        /// re-runs the body on each candidate, walking toward a minimal
+        /// counterexample. Strategies that can't meaningfully simplify
+        /// (maps, unions, strings) return nothing and the original
+        /// failing value is reported as-is.
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
+
         fn prop_map<U, F>(self, f: F) -> Map<Self, F>
         where
             Self: Sized,
@@ -138,11 +153,15 @@ pub mod strategy {
 
     trait DynStrategy<T> {
         fn generate_dyn(&self, rng: &mut TestRng) -> T;
+        fn shrink_dyn(&self, value: &T) -> Vec<T>;
     }
 
     impl<S: Strategy> DynStrategy<S::Value> for S {
         fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
             self.generate(rng)
+        }
+        fn shrink_dyn(&self, value: &S::Value) -> Vec<S::Value> {
+            self.shrink(value)
         }
     }
 
@@ -159,6 +178,9 @@ pub mod strategy {
         type Value = T;
         fn generate(&self, rng: &mut TestRng) -> T {
             self.0.generate_dyn(rng)
+        }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            self.0.shrink_dyn(value)
         }
     }
 
@@ -205,6 +227,12 @@ pub mod strategy {
                 }
             }
             panic!("prop_filter '{}' rejected 1000 candidates in a row", self.reason)
+        }
+        fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+            // Shrunk candidates must still satisfy the filter, or the
+            // runner would "minimize" onto an input the strategy could
+            // never have produced.
+            self.inner.shrink(value).into_iter().filter(|v| (self.f)(v)).collect()
         }
     }
 
@@ -268,6 +296,21 @@ pub mod strategy {
 
     // ---- numeric range strategies ------------------------------------------
 
+    /// Halving shrink candidates for an integer drawn from
+    /// `[start, start+span)`: the range start (simplest possible), the
+    /// halfway point between start and the value (binary search toward
+    /// the smallest failing input), and the predecessor (final linear
+    /// steps once halving overshoots).
+    fn int_shrink_candidates(start: i128, value: i128) -> Vec<i128> {
+        let mut out = Vec::new();
+        for cand in [start, start + (value - start) / 2, value - 1] {
+            if cand != value && cand >= start && !out.contains(&cand) {
+                out.push(cand);
+            }
+        }
+        out
+    }
+
     macro_rules! impl_int_range_strategy {
         ($($t:ty),*) => {$(
             impl Strategy for Range<$t> {
@@ -278,6 +321,13 @@ pub mod strategy {
                     let v = ((rng.next_u64() as u128) % span) as i128;
                     (self.start as i128 + v) as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink_candidates(self.start as i128, *value as i128)
+                        .into_iter()
+                        .filter(|c| *c < self.end as i128)
+                        .map(|c| c as $t)
+                        .collect()
+                }
             }
             impl Strategy for RangeInclusive<$t> {
                 type Value = $t;
@@ -287,6 +337,13 @@ pub mod strategy {
                     let span = (end as i128 - start as i128) as u128 + 1;
                     let v = ((rng.next_u64() as u128) % span) as i128;
                     (start as i128 + v) as $t
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink_candidates(*self.start() as i128, *value as i128)
+                        .into_iter()
+                        .filter(|c| *c <= *self.end() as i128)
+                        .map(|c| c as $t)
+                        .collect()
                 }
             }
         )*};
@@ -466,11 +523,35 @@ pub mod collection {
         VecStrategy { element, size: size.into() }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let n = self.size.pick(rng);
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let len = value.len();
+            let min = self.size.min;
+            let mut out: Vec<Vec<S::Value>> = Vec::new();
+            // Truncations first — structure dominates: the shortest legal
+            // prefix, the halfway prefix, then one-off-the-end.
+            for target in [min, min + (len - min) / 2, len.saturating_sub(1)] {
+                if target < len && target >= min && !out.iter().any(|v| v.len() == target) {
+                    out.push(value[..target].to_vec());
+                }
+            }
+            // Then simplify elements in place, one candidate per slot.
+            for (i, el) in value.iter().enumerate() {
+                if let Some(cand) = self.element.shrink(el).into_iter().next() {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 
@@ -763,6 +844,14 @@ pub mod string {
 /// Run each `#[test] fn name(arg in strategy, ...) { body }` once per case
 /// with freshly generated inputs. `prop_assert*` failures report the case
 /// number; re-running is deterministic (seeds derive from the test name).
+///
+/// On failure the runner **shrinks**: each argument's strategy proposes
+/// simpler candidates (halved integers, truncated vectors), the body is
+/// re-run with one argument swapped at a time, and any candidate that
+/// still fails becomes the new baseline. The loop repeats to a fixpoint
+/// (bounded at 256 accepted steps) and the panic reports the minimized
+/// inputs alongside the original case number. Argument types must be
+/// `Clone + Debug` for this re-run/report machinery.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -781,15 +870,51 @@ macro_rules! proptest {
                 let full_name = concat!(module_path!(), "::", stringify!($name));
                 for case in 0..cases {
                     let mut proptest_rng = $crate::test_runner::TestRng::for_case(full_name, case);
-                    $(let $arg = $crate::strategy::Strategy::generate(
-                        &($strat), &mut proptest_rng);)+
-                    let result: ::std::result::Result<(), ::std::string::String> =
-                        (move || {
-                            { $body }
-                            ::std::result::Result::Ok(())
-                        })();
-                    if let ::std::result::Result::Err(message) = result {
-                        panic!("proptest {full_name} failed at case {case}: {message}");
+                    // Current inputs live in RefCells so the body can be
+                    // re-run with one argument swapped during shrinking.
+                    $(let $arg = ::std::cell::RefCell::new(
+                        $crate::strategy::Strategy::generate(&($strat), &mut proptest_rng));)+
+                    let run = || -> ::std::result::Result<(), ::std::string::String> {
+                        $(let $arg = ::std::clone::Clone::clone(&*$arg.borrow());)+
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    };
+                    if let ::std::result::Result::Err(mut message) = run() {
+                        // Greedy shrink to a fixpoint: per argument, adopt
+                        // the first candidate that still fails, restart.
+                        let mut steps = 0usize;
+                        let mut progress = true;
+                        while progress && steps < 256 {
+                            progress = false;
+                            $(
+                                let current = ::std::clone::Clone::clone(&*$arg.borrow());
+                                for cand in $crate::strategy::Strategy::shrink(&($strat), &current)
+                                {
+                                    let prev = $arg.replace(cand);
+                                    match run() {
+                                        ::std::result::Result::Err(m) => {
+                                            message = m;
+                                            progress = true;
+                                            steps += 1;
+                                            break;
+                                        }
+                                        ::std::result::Result::Ok(()) => {
+                                            let _ = $arg.replace(prev);
+                                        }
+                                    }
+                                }
+                            )+
+                        }
+                        let shrunk = if steps > 0 {
+                            format!(" (shrunk {steps} steps)")
+                        } else {
+                            ::std::string::String::new()
+                        };
+                        panic!(
+                            "proptest {full_name} failed at case {case}{shrunk}: {message}\n  \
+                             minimized inputs: {:?}",
+                            ($(&*$arg.borrow(),)+)
+                        );
                     }
                 }
             }
@@ -924,5 +1049,76 @@ mod tests {
             prop_assert_eq!(b, b);
             prop_assert_ne!(b, 4);
         }
+
+        /// Vec strategies keep working through the macro (now that
+        /// shrinking demands Clone elements).
+        #[test]
+        fn macro_vec_args(v in prop::collection::vec(0u8..10, 0..6)) {
+            prop_assert!(v.len() < 6);
+        }
+    }
+
+    #[test]
+    fn int_shrink_proposes_start_half_and_predecessor() {
+        let c = Strategy::shrink(&(0i64..100), &80);
+        assert_eq!(c, vec![0, 40, 79]);
+        let c = Strategy::shrink(&(10u32..=90), &10);
+        assert!(c.is_empty(), "the range start cannot shrink further, got {c:?}");
+        // Candidates never leave the range.
+        let c = Strategy::shrink(&(5i64..100), &6);
+        assert!(c.iter().all(|v| (5..100).contains(v)), "{c:?}");
+    }
+
+    #[test]
+    fn int_shrink_fixpoint_finds_the_minimal_counterexample() {
+        // Property "v < 10" first fails at 10: greedy shrinking from any
+        // failing start must land exactly there.
+        let strat = 0i64..1000;
+        let fails = |v: i64| v >= 10;
+        for start in [995i64, 10, 11, 500] {
+            let mut v = start;
+            while let Some(n) =
+                Strategy::shrink(&strat, &v).into_iter().find(|c| fails(*c))
+            {
+                v = n;
+            }
+            assert_eq!(v, 10, "from {start}");
+        }
+    }
+
+    #[test]
+    fn vec_shrink_truncates_toward_the_minimum_length() {
+        let strat = prop::collection::vec(0u8..100, 1..20);
+        let v: Vec<u8> = vec![9; 10];
+        let c = Strategy::shrink(&strat, &v);
+        let lens: Vec<usize> = c.iter().map(Vec::len).collect();
+        assert!(lens.contains(&1) && lens.contains(&5) && lens.contains(&9), "{lens:?}");
+        // All candidates are prefixes or single-element simplifications.
+        assert!(c.iter().all(|cv| cv.len() <= v.len()));
+        // Fixpoint: property "len >= 3" minimizes to exactly 3 elements.
+        let fails = |v: &Vec<u8>| v.len() >= 3;
+        let mut cur = v;
+        while let Some(n) =
+            Strategy::shrink(&strat, &cur).into_iter().find(|c| fails(c))
+        {
+            cur = n;
+        }
+        assert_eq!(cur.len(), 3);
+        // Elements shrink too (second phase of the candidate list).
+        assert!(cur.iter().all(|e| *e < 9), "elements minimized: {cur:?}");
+    }
+
+    #[test]
+    fn filter_shrink_respects_the_predicate() {
+        let strat = (0i64..100).prop_filter("even", |v| v % 2 == 0);
+        let c = Strategy::shrink(&strat, &80);
+        assert!(!c.is_empty());
+        assert!(c.iter().all(|v| v % 2 == 0), "{c:?}");
+    }
+
+    #[test]
+    fn boxed_strategies_forward_shrink() {
+        let strat = (0i64..100).boxed();
+        assert_eq!(Strategy::shrink(&strat, &80), vec![0, 40, 79]);
     }
 }

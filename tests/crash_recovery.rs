@@ -181,8 +181,16 @@ fn doomed_op(db: &Database, site: &str) -> mmdb::Result<()> {
     match site {
         // Commit-path sites: one cross-model transaction touching a
         // document, a key/value pair and a relational row. Its marks live
-        // in stores the probes never read.
-        "wal.append" | "wal.sync" | "txn.commit.before_wal" | "txn.commit.after_wal" => db
+        // in stores the probes never read. The `txn.group_commit.*` sites
+        // fire on the sequencing leader, which for a lone committer is
+        // this same thread.
+        "wal.append"
+        | "wal.sync"
+        | "txn.commit.before_wal"
+        | "txn.commit.after_wal"
+        | "txn.group_commit.enqueue"
+        | "txn.group_commit.before_sync"
+        | "txn.group_commit.after_sync" => db
             .transact(IsolationLevel::Snapshot, 0, |s| {
                 s.insert_document("doomed", mmdb::from_json(r#"{"_key":"d1","x":1}"#).unwrap())?;
                 s.kv_put("scratch", "d", Value::int(1))?;
@@ -255,13 +263,17 @@ fn every_site_crash_recovers_to_the_oracle() {
         );
         match site {
             // Crash before the durability point: no trace.
-            "txn.commit.before_wal" | "wal.append" => {
+            "txn.commit.before_wal" | "txn.group_commit.enqueue" | "wal.append" => {
                 assert!(!doc, "site {site}: uncommitted transaction resurfaced")
             }
             // Crash at/after it: the records reached the log file (for
-            // `wal.sync`, unsynced but readable on the same machine), so
-            // recovery replays the transaction in full.
-            "txn.commit.after_wal" | "wal.sync" => {
+            // `wal.sync` and `txn.group_commit.before_sync`, unsynced but
+            // readable on the same machine), so recovery replays the
+            // transaction in full.
+            "txn.commit.after_wal"
+            | "txn.group_commit.before_sync"
+            | "txn.group_commit.after_sync"
+            | "wal.sync" => {
                 assert!(doc, "site {site}: durable transaction lost")
             }
             // Page/LSM maintenance writes no new logical state.
@@ -285,9 +297,14 @@ fn error_injection_fails_cleanly_with_no_partial_state() {
     let baseline = probes(&db);
     for site in all_sites() {
         match site {
-            // Crash-only site: it sits past the durability point, where
+            // Crash-only sites: they sit past the durability point, where
             // returning an error would disown an already-durable commit.
-            "txn.commit.after_wal" => continue,
+            "txn.commit.after_wal" | "txn.group_commit.after_sync" => continue,
+            // An error between the batch append and its fsync is the same
+            // condition as a failed fsync: the appended records' durability
+            // is unknowable, so the store latches degraded rather than
+            // aborting cleanly. Exercised in tests/group_commit.rs.
+            "txn.group_commit.before_sync" => continue,
             // Unit site (`eval_unit`): `error` degrades to off by design —
             // cancellation errors come from the deadline token, tortured
             // in tests/lifecycle_torture.rs.
