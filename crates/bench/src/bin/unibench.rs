@@ -3,7 +3,7 @@
 //! EXPERIMENTS.md records.
 //!
 //! ```text
-//! unibench [--scale 0.5] [--workload a|b|c|all] [--seed 42]
+//! unibench [--scale 0.5] [--workload a|b|c|r|all] [--seed 42]
 //! ```
 
 use std::time::Instant;
@@ -63,6 +63,7 @@ fn main() {
     let run_a = args.workload == "all" || args.workload == "a";
     let run_b = args.workload == "all" || args.workload == "b";
     let run_c = args.workload == "all" || args.workload == "c";
+    let run_r = args.workload == "all" || args.workload == "r" || args.workload == "recovery";
 
     if run_a {
         workload_a(&data);
@@ -73,6 +74,9 @@ fn main() {
     if run_c {
         workload_c(&data);
         workload_c_writers(&data, &args.writers);
+    }
+    if run_r {
+        workload_recovery(&data, args.scale);
     }
 }
 
@@ -353,6 +357,136 @@ fn workload_c_writers(data: &Dataset, writer_counts: &[usize]) {
         );
     }
     println!("{}", table.render());
+}
+
+/// Load the data set through the transactional write path — every write
+/// reaches the WAL, unlike [`workloads::load_mmdb`]'s bulk fast path —
+/// batched a few dozen writes per commit so loading stays tolerable.
+fn load_mmdb_logged(db: &Database, data: &Dataset) {
+    use mmdb_txn::IsolationLevel;
+    const CHUNK: usize = 64;
+    let txn = |f: &mut dyn FnMut(&mut mmdb_core::Session) -> mmdb_types::Result<()>| {
+        db.transact(IsolationLevel::Snapshot, 3, |s| f(s)).expect("logged load");
+    };
+    for batch in data.customers.chunks(CHUNK) {
+        txn(&mut |s| {
+            for c in batch {
+                s.insert_row(
+                    "customers",
+                    Value::object([
+                        ("id", Value::int(c.id)),
+                        ("name", Value::str(&c.name)),
+                        ("place", Value::str(&c.place)),
+                        ("credit_limit", Value::int(c.credit_limit)),
+                    ]),
+                )?;
+                s.add_vertex(
+                    "social",
+                    "persons",
+                    Value::object([("_key", Value::str(c.id.to_string()))]),
+                )?;
+            }
+            Ok(())
+        });
+    }
+    for batch in data.knows.chunks(CHUNK) {
+        txn(&mut |s| {
+            for (a, b) in batch {
+                s.add_edge(
+                    "social",
+                    "knows",
+                    &format!("persons/{a}"),
+                    &format!("persons/{b}"),
+                    Value::Object(Default::default()),
+                )?;
+            }
+            Ok(())
+        });
+    }
+    for batch in data.products.chunks(CHUNK) {
+        txn(&mut |s| {
+            for p in batch {
+                s.insert_document("products", p.to_document())?;
+            }
+            Ok(())
+        });
+    }
+    for batch in data.orders.chunks(CHUNK) {
+        txn(&mut |s| {
+            for o in batch {
+                s.insert_document("orders", o.to_document())?;
+            }
+            Ok(())
+        });
+    }
+    for batch in data.carts.chunks(CHUNK) {
+        txn(&mut |s| {
+            for (cid, order_no) in batch {
+                s.kv_put("cart", &cid.to_string(), Value::str(order_no))?;
+            }
+            Ok(())
+        });
+    }
+}
+
+/// Time-to-reopen: how long `Database::open` takes to bring a durable
+/// database back, replaying the full WAL vs loading a checkpoint
+/// snapshot plus the (empty) log suffix. The data is loaded through the
+/// ordinary logged write path — not a bulk import — so the no-checkpoint
+/// reopen replays every record the workload produced.
+fn workload_recovery(data: &Dataset, scale: f64) {
+    println!("== Recovery: time-to-reopen, full WAL replay vs checkpoint ==");
+    let dir =
+        std::env::temp_dir().join(format!("mmdb-unibench-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = Database::open(&dir).expect("open");
+    workloads::create_mmdb_schema(&db).expect("schema");
+    load_mmdb_logged(&db, data);
+    let wal_replay_bytes = db.wal_size_bytes();
+    drop(db);
+
+    let mut table = TextTable::new(&["reopen", "wal bytes", "elapsed"]);
+    let t0 = Instant::now();
+    let db = Database::open(&dir).expect("reopen");
+    let replay = t0.elapsed();
+    table.row(&["full WAL replay".into(), wal_replay_bytes.to_string(), fmt_duration(replay)]);
+    println!(
+        "{}",
+        mmdb_bench::report::bench_json(
+            "time_to_reopen",
+            &[
+                ("scale", scale.to_string()),
+                ("checkpoint", "false".into()),
+                ("wal_bytes", wal_replay_bytes.to_string()),
+                ("elapsed_us", replay.as_micros().to_string()),
+            ],
+        )
+    );
+
+    let summary = db.checkpoint().expect("checkpoint");
+    let wal_snap_bytes = db.wal_size_bytes();
+    drop(db);
+    let t0 = Instant::now();
+    let db = Database::open(&dir).expect("reopen");
+    let snap = t0.elapsed();
+    drop(db);
+    table.row(&["checkpoint snapshot".into(), wal_snap_bytes.to_string(), fmt_duration(snap)]);
+    println!(
+        "{}",
+        mmdb_bench::report::bench_json(
+            "time_to_reopen",
+            &[
+                ("scale", scale.to_string()),
+                ("checkpoint", "true".into()),
+                ("wal_bytes", wal_snap_bytes.to_string()),
+                ("snapshot_entries", summary.entries.to_string()),
+                ("wal_bytes_reclaimed", summary.wal_bytes_reclaimed.to_string()),
+                ("elapsed_us", snap.as_micros().to_string()),
+            ],
+        )
+    );
+    println!("{}", table.render());
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 fn order_for(i: usize, tag: &str) -> Value {

@@ -285,6 +285,19 @@ impl Client {
         }
     }
 
+    /// Ask the server to checkpoint now: snapshot the live state, append
+    /// the checkpoint marker, truncate the WAL prefix, vacuum dead MVCC
+    /// versions. Returns the summary (`snapshot_lsn`, `entries`,
+    /// `snapshot_bytes`, `wal_bytes_reclaimed`, `versions_vacuumed`,
+    /// `micros`).
+    pub fn admin_checkpoint(&mut self) -> Result<Value> {
+        let req = Request::Admin { command: "CHECKPOINT".into() };
+        match self.call(&req)? {
+            Response::Stats(v) => Ok(v),
+            other => Err(unexpected(&req, &other)),
+        }
+    }
+
     // ---- streaming ---------------------------------------------------------
 
     /// Switch this connection into the raw WAL replica stream, resuming

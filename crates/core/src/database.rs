@@ -1,29 +1,71 @@
 //! The [`Database`] facade.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
 
 use mmdb_graph::Graph;
 use mmdb_kv::KvStore;
 use mmdb_query::World;
 use mmdb_relational::{Schema, Table};
-use mmdb_storage::wal::{self, Wal};
+use mmdb_storage::snapshot::{self, SnapshotEntry};
+use mmdb_storage::wal::{self, Lsn, Wal};
 use mmdb_txn::{ConsistencyPolicy, IsolationLevel, MvccStore};
+use mmdb_types::codec::value_to_bytes;
 use mmdb_types::{CancelToken, Error, Result, Value};
 
 use crate::session::{apply_committed, Session};
+
+/// Checkpoint bookkeeping: serialization and the `ADMIN STATS` /
+/// `ADMIN HEALTH` counters.
+#[derive(Default)]
+struct CheckpointState {
+    /// One checkpoint at a time. Ordered *outside* the MVCC commit
+    /// mutex: the holder calls `quiesce_commits` (see lint.toml).
+    serial: Mutex<()>,
+    count: AtomicU64,
+    total_micros: AtomicU64,
+    bytes_reclaimed: AtomicU64,
+    /// When the last successful checkpoint finished.
+    last_at: Mutex<Option<Instant>>,
+}
+
+/// What one [`Database::checkpoint`] accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointSummary {
+    /// The WAL LSN the snapshot captures (0 for wal-less databases).
+    pub snapshot_lsn: Lsn,
+    /// Live (domain, key) pairs serialized into the snapshot.
+    pub entries: usize,
+    /// Size of the written snapshot file in bytes (0 when the database
+    /// has no directory to write one into).
+    pub snapshot_bytes: u64,
+    /// WAL prefix bytes reclaimed by truncation.
+    pub wal_bytes_reclaimed: u64,
+    /// MVCC versions dropped by the post-checkpoint vacuum.
+    pub versions_vacuumed: usize,
+    /// Wall time of the whole checkpoint.
+    pub micros: u64,
+}
 
 /// The multi-model database: every model, one backend.
 pub struct Database {
     world: Arc<World>,
     mvcc: MvccStore,
     wal: Option<Arc<Wal>>,
+    /// The data directory for durable databases (`None` in memory) —
+    /// where `mmdb.snapshot` lives.
+    dir: Option<PathBuf>,
+    ckpt: CheckpointState,
 }
 
 impl Database {
     /// A volatile in-memory database.
     pub fn in_memory() -> Database {
-        Self::build(None)
+        Self::build(None, None)
     }
 
     /// A volatile in-memory database that still keeps a (memory-backed)
@@ -32,16 +74,33 @@ impl Database {
     /// use this to serve `SUBSCRIBE` and replica streams without a data
     /// directory.
     pub fn in_memory_logged() -> Database {
-        Self::build(Some(Arc::new(Wal::in_memory())))
+        Self::build(Some(Arc::new(Wal::in_memory())), None)
     }
 
-    /// A database with a durable write-ahead log at `dir/mmdb.wal`;
-    /// committed transactions are replayed into the model stores on open.
+    /// A database with a durable write-ahead log at `dir/mmdb.wal`.
+    /// If a checkpoint snapshot (`dir/mmdb.snapshot`) exists it is loaded
+    /// first, then the WAL suffix past its LSN is replayed — so restart
+    /// time is bounded by the write volume since the last checkpoint,
+    /// not by all of history.
     pub fn open(dir: impl AsRef<Path>) -> Result<Database> {
-        std::fs::create_dir_all(dir.as_ref())
-            .map_err(|e| Error::Storage(format!("create {:?}: {e}", dir.as_ref())))?;
-        let wal_path = dir.as_ref().join("mmdb.wal");
-        let recovery = wal::recover_from_file(&wal_path)?;
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| Error::Storage(format!("create {dir:?}: {e}")))?;
+        // A crash between snapshot write and rename leaves a stale tmp;
+        // it was never published, so it is garbage.
+        snapshot::remove_stale_tmp(dir);
+        let snap = snapshot::read_snapshot(dir)?;
+        let snapshot_lsn = snap.as_ref().map(|(lsn, _)| *lsn).unwrap_or(0);
+        let wal_path = dir.join("mmdb.wal");
+        let mut recovery = wal::recover_from_file_after(&wal_path, snapshot_lsn)?;
+        if recovery.base_lsn > snapshot_lsn {
+            // The log prefix was truncated away but the snapshot that
+            // replaced it is missing or older: state is unrecoverable.
+            return Err(Error::Corruption(format!(
+                "wal truncated at {} but snapshot covers only {}",
+                recovery.base_lsn, snapshot_lsn
+            )));
+        }
         if recovery.torn_tail {
             // Truncate the corrupt tail so new appends extend the valid
             // prefix instead of hiding behind garbage.
@@ -52,8 +111,23 @@ impl Database {
             f.set_len(recovery.valid_len)
                 .map_err(|e| Error::Storage(format!("truncate wal: {e}")))?;
         }
+        // Snapshot state replays first, through the same apply path as
+        // WAL redo (txid 0 marks snapshot provenance), then the suffix.
+        if let Some((_, entries)) = snap {
+            let mut redo: Vec<wal::RedoOp> = entries
+                .into_iter()
+                .map(|e| wal::RedoOp {
+                    txid: 0,
+                    domain: e.domain,
+                    key: e.key,
+                    value: Some(e.value),
+                })
+                .collect();
+            redo.append(&mut recovery.redo);
+            recovery.redo = redo;
+        }
         let wal = Arc::new(Wal::open(&wal_path)?);
-        let db = Self::build(Some(wal));
+        let db = Self::build(Some(wal), Some(dir.to_path_buf()));
         db.mvcc.recover(&recovery)?;
         // Replication watermark: everything up to the recovered tail is
         // committed history a replica may resume from.
@@ -63,7 +137,7 @@ impl Database {
         Ok(db)
     }
 
-    fn build(wal: Option<Arc<Wal>>) -> Database {
+    fn build(wal: Option<Arc<Wal>>, dir: Option<PathBuf>) -> Database {
         let world = Arc::new(World::in_memory());
         let mvcc = MvccStore::new(wal.clone());
         let hook_world = Arc::clone(&world);
@@ -75,7 +149,7 @@ impl Database {
                 debug_assert!(false, "commit hook failed: {e}");
             }
         });
-        Database { world, mvcc, wal }
+        Database { world, mvcc, wal, dir, ckpt: CheckpointState::default() }
     }
 
     /// The query-visible world of model stores.
@@ -284,6 +358,91 @@ impl Database {
         mmdb_query::run_sql_traced(&self.world, text, cancel)
     }
 
+    // ---- checkpointing -------------------------------------------------------
+
+    /// Take a checkpoint: quiesce commits, capture every live key at the
+    /// WAL tail LSN, write `mmdb.snapshot` crash-safely (write-temp +
+    /// fsync + atomic rename), append a durable `Checkpoint` marker, and
+    /// truncate the WAL prefix below the snapshot LSN. Afterwards (outside
+    /// the quiesce window) MVCC version chains are vacuumed to the same
+    /// horizon.
+    ///
+    /// Crash-safe at every step: until the rename publishes the new
+    /// snapshot the old snapshot+log pair recovers; after it, recovery
+    /// skips redo below the snapshot LSN whether or not the marker or the
+    /// truncation landed. Databases without a directory (in-memory logged
+    /// primaries) skip the snapshot file but still truncate their memory
+    /// log — a replica that falls below the horizon bootstraps over the
+    /// wire instead.
+    pub fn checkpoint(&self) -> Result<CheckpointSummary> {
+        let _one_at_a_time = self.ckpt.serial.lock();
+        let started = Instant::now();
+        let mut summary = CheckpointSummary::default();
+        if let Some(wal) = &self.wal {
+            let (lsn, entries, snapshot_bytes, reclaimed) =
+                self.mvcc.quiesce_commits(|| -> Result<(Lsn, usize, u64, u64)> {
+                    // Make the tail durable so the snapshot LSN is a
+                    // point no crash can roll back behind.
+                    wal.sync()?;
+                    let lsn = wal.tail_lsn();
+                    let live = self.mvcc.latest_committed_writes();
+                    let encoded: Vec<SnapshotEntry> = live
+                        .iter()
+                        .filter_map(|w| {
+                            w.value.as_ref().map(|v| SnapshotEntry {
+                                domain: w.domain.clone(),
+                                key: w.key.clone(),
+                                value: value_to_bytes(v).to_vec(),
+                            })
+                        })
+                        .collect();
+                    let mut snapshot_bytes = 0;
+                    if let Some(dir) = &self.dir {
+                        snapshot_bytes = snapshot::write_snapshot(dir, lsn, &encoded)?;
+                    }
+                    wal.append_checkpoint(lsn)?;
+                    let reclaimed = wal.truncate_below(lsn)?;
+                    Ok((lsn, encoded.len(), snapshot_bytes, reclaimed))
+                })?;
+            summary.snapshot_lsn = lsn;
+            summary.entries = entries;
+            summary.snapshot_bytes = snapshot_bytes;
+            summary.wal_bytes_reclaimed = reclaimed;
+        }
+        // Version chains below the current visibility horizon are now
+        // redundant with the snapshot — trim them (ROADMAP: first step
+        // toward epoch-based reclamation).
+        summary.versions_vacuumed = self.mvcc.vacuum(self.mvcc.now());
+        summary.micros = started.elapsed().as_micros() as u64;
+        self.ckpt.count.fetch_add(1, Ordering::SeqCst);
+        self.ckpt.total_micros.fetch_add(summary.micros, Ordering::SeqCst);
+        self.ckpt.bytes_reclaimed.fetch_add(summary.wal_bytes_reclaimed, Ordering::SeqCst);
+        *self.ckpt.last_at.lock() = Some(Instant::now());
+        Ok(summary)
+    }
+
+    /// Checkpoint counters for `ADMIN STATS`: `(count, total µs spent,
+    /// WAL bytes reclaimed)`.
+    pub fn checkpoint_stats(&self) -> (u64, u64, u64) {
+        (
+            self.ckpt.count.load(Ordering::SeqCst),
+            self.ckpt.total_micros.load(Ordering::SeqCst),
+            self.ckpt.bytes_reclaimed.load(Ordering::SeqCst),
+        )
+    }
+
+    /// Seconds since the last successful checkpoint in this process
+    /// (`None` before the first one) — `ADMIN HEALTH`.
+    pub fn seconds_since_checkpoint(&self) -> Option<u64> {
+        self.ckpt.last_at.lock().map(|at| at.elapsed().as_secs())
+    }
+
+    /// Physical WAL size in bytes (0 without a WAL) — the auto-checkpoint
+    /// trigger input and an `ADMIN STATS` gauge.
+    pub fn wal_size_bytes(&self) -> u64 {
+        self.wal.as_ref().map(|w| w.size_bytes()).unwrap_or(0)
+    }
+
     // ---- health --------------------------------------------------------------
 
     /// True when the engine has latched into degraded read-only mode after
@@ -371,6 +530,88 @@ mod tests {
             assert_eq!(db.kv().get("cart", "1").unwrap(), Some(Value::str("o1")));
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_reopen_loads_snapshot() {
+        let dir = std::env::temp_dir().join(format!("mmdb-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let db = Database::open(&dir).unwrap();
+            db.create_collection("orders").unwrap();
+            db.create_bucket("cart").unwrap();
+            for i in 0..20 {
+                db.insert_json("orders", &format!(r#"{{"_key":"o{i}","total":{i}}}"#)).unwrap();
+            }
+            db.kv_put("cart", "1", Value::str("o1")).unwrap();
+            let wal_before = db.wal_size_bytes();
+            let summary = db.checkpoint().unwrap();
+            assert!(summary.snapshot_lsn > 0);
+            assert!(summary.entries >= 21, "all live keys captured: {summary:?}");
+            assert!(summary.wal_bytes_reclaimed > 0);
+            assert!(db.wal_size_bytes() < wal_before, "the log shrank");
+            assert_eq!(db.checkpoint_stats().0, 1);
+            assert!(db.seconds_since_checkpoint().is_some());
+            // Writes after the checkpoint land in the (new) log suffix.
+            db.insert_json("orders", r#"{"_key":"after","total":99}"#).unwrap();
+        }
+        {
+            let db = Database::open(&dir).unwrap();
+            assert_eq!(
+                db.get_document("orders", "o7").unwrap().unwrap().get_field("total"),
+                &Value::int(7)
+            );
+            assert_eq!(
+                db.get_document("orders", "after").unwrap().unwrap().get_field("total"),
+                &Value::int(99)
+            );
+            assert_eq!(db.kv().get("cart", "1").unwrap(), Some(Value::str("o1")));
+            // A second checkpoint over the already-truncated log works.
+            db.checkpoint().unwrap();
+        }
+        {
+            let db = Database::open(&dir).unwrap();
+            assert_eq!(
+                db.get_document("orders", "after").unwrap().unwrap().get_field("total"),
+                &Value::int(99)
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_wal_without_snapshot_is_corruption() {
+        let dir = std::env::temp_dir().join(format!("mmdb-ckpt-nosnap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let db = Database::open(&dir).unwrap();
+            db.create_collection("c").unwrap();
+            db.insert_json("c", r#"{"_key":"k","v":1}"#).unwrap();
+            db.checkpoint().unwrap();
+        }
+        std::fs::remove_file(dir.join("mmdb.snapshot")).unwrap();
+        let err = Database::open(&dir).map(|_| ()).unwrap_err();
+        assert_eq!(err.kind(), "corruption");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_memory_checkpoint_bounds_the_log() {
+        let db = Database::in_memory_logged();
+        db.create_collection("c").unwrap();
+        for i in 0..10 {
+            db.insert_json("c", &format!(r#"{{"_key":"k{i}","v":{i}}}"#)).unwrap();
+        }
+        let before = db.wal_size_bytes();
+        let summary = db.checkpoint().unwrap();
+        assert!(summary.wal_bytes_reclaimed > 0);
+        assert_eq!(summary.snapshot_bytes, 0, "no directory, no snapshot file");
+        assert!(db.wal_size_bytes() < before);
+        // State is untouched.
+        assert_eq!(
+            db.get_document("c", "k3").unwrap().unwrap().get_field("v"),
+            &Value::int(3)
+        );
     }
 
     #[test]

@@ -161,6 +161,7 @@ impl Response {
             "deadline_exceeded" => Error::DeadlineExceeded(message),
             "read_only" => Error::ReadOnly(message),
             "corruption" => Error::Corruption(message),
+            "log_truncated" => Error::LogTruncated(message),
             _ => Error::Internal(message),
         }
     }
@@ -727,6 +728,7 @@ mod tests {
             Error::DeadlineExceeded("x".into()),
             Error::ReadOnly("x".into()),
             Error::Corruption("x".into()),
+            Error::LogTruncated("x".into()),
             Error::Protocol("x".into()),
             Error::Internal("x".into()),
         ] {

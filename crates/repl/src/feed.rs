@@ -66,9 +66,40 @@ pub fn record_frame(t: &TailedRecord) -> Value {
             fields.push(("kind", Value::str("abort")));
             fields.push(("txid", Value::int(*txid as i64)));
         }
-        WalRecord::Checkpoint => fields.push(("kind", Value::str("checkpoint"))),
+        WalRecord::Checkpoint { snapshot_lsn } => {
+            fields.push(("kind", Value::str("checkpoint")));
+            fields.push(("snapshot_lsn", Value::int(*snapshot_lsn as i64)));
+        }
     }
     Value::object(fields)
+}
+
+/// Frames for a snapshot bootstrap: the primary's live state at
+/// `snapshot_lsn`, shipped as one synthetic transaction (txid 0) over
+/// the ordinary record framing. A replica whose `REPLICA HELLO` LSN
+/// fell below the primary's truncation horizon receives these instead
+/// of the vanished log prefix: its normal apply path installs them like
+/// any replicated transaction, and the commit frame's `next_lsn`
+/// (`snapshot_lsn`) positions its resume cursor at the live tail.
+///
+/// `writes` are `(domain, key, encoded live value)` triples — snapshots
+/// carry no deletes.
+pub fn bootstrap_frames(snapshot_lsn: Lsn, writes: &[(String, Vec<u8>, Vec<u8>)]) -> Vec<Value> {
+    let at = |record: WalRecord| {
+        record_frame(&TailedRecord { lsn: snapshot_lsn, next_lsn: snapshot_lsn, record })
+    };
+    let mut frames = Vec::with_capacity(writes.len() + 2);
+    frames.push(at(WalRecord::Begin { txid: 0 }));
+    for (domain, key, value) in writes {
+        frames.push(at(WalRecord::Write {
+            txid: 0,
+            domain: domain.clone(),
+            key: key.clone(),
+            value: Some(value.clone()),
+        }));
+    }
+    frames.push(at(WalRecord::Commit { txid: 0 }));
+    frames
 }
 
 /// Encode an idle heartbeat carrying the primary's WAL tail.
@@ -123,7 +154,10 @@ pub fn parse_frame(v: &Value) -> Result<Frame> {
                 },
                 "commit" => WalRecord::Commit { txid: field_u64(v, "txid")? },
                 "abort" => WalRecord::Abort { txid: field_u64(v, "txid")? },
-                "checkpoint" => WalRecord::Checkpoint,
+                // Older primaries omit snapshot_lsn; treat as 0.
+                "checkpoint" => WalRecord::Checkpoint {
+                    snapshot_lsn: field_u64(v, "snapshot_lsn").unwrap_or(0),
+                },
                 other => {
                     return Err(Error::Protocol(format!(
                         "unknown replication record kind {other:?}"
@@ -187,7 +221,7 @@ impl CdcBuffer {
                 self.pending.remove(txid);
                 Ok(Vec::new())
             }
-            WalRecord::Checkpoint => Ok(Vec::new()),
+            WalRecord::Checkpoint { .. } => Ok(Vec::new()),
             WalRecord::Commit { txid } => {
                 let writes = self.pending.remove(txid).unwrap_or_default();
                 let mut events = Vec::with_capacity(writes.len());
@@ -247,7 +281,7 @@ mod tests {
             ),
             rec(90, 107, WalRecord::Commit { txid: 7 }),
             rec(107, 124, WalRecord::Abort { txid: 8 }),
-            rec(124, 133, WalRecord::Checkpoint),
+            rec(124, 133, WalRecord::Checkpoint { snapshot_lsn: 124 }),
         ];
         for r in records {
             let frame = record_frame(&r);

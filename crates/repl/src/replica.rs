@@ -196,7 +196,19 @@ impl Worker {
                         WalRecord::Abort { txid } => {
                             pending.remove(txid);
                         }
-                        WalRecord::Checkpoint => {}
+                        WalRecord::Checkpoint { .. } => {
+                            // The primary checkpointed and truncated its
+                            // log; do the same locally so replica logs
+                            // stay bounded too. A checkpoint is not a
+                            // commit, so the read-only latch doesn't
+                            // apply; failure is non-fatal (worst case the
+                            // local log keeps growing until the next
+                            // marker) but worth surfacing in status.
+                            if let Err(e) = self.db.checkpoint() {
+                                *self.last_error.lock() =
+                                    Some(format!("local checkpoint: {e}"));
+                            }
+                        }
                     }
                     // Only a transaction boundary is a safe resume point:
                     // `REPLICA HELLO` replays whole records, and a Begin or

@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 use mmdb_core::Session;
 use mmdb_protocol::{frame, DdlOp, Request, Response, SessionOp, PROTOCOL_VERSION};
 use mmdb_repl::feed::{self, CdcBuffer};
+use mmdb_types::codec::value_to_bytes;
 use mmdb_types::{CancelToken, Error, Result, Value};
 use mmdb_txn::IsolationLevel;
 
@@ -321,6 +322,42 @@ fn serve_stream(
     };
     let mut cursor = from_lsn;
     let mut cdc_buf = CdcBuffer::new();
+    // A cursor below the truncation horizon points into a log prefix a
+    // checkpoint has deleted; those records cannot be shipped.
+    let horizon = wal.truncated_lsn();
+    if cursor < horizon {
+        if cdc {
+            // A change feed cannot be rebuilt from a snapshot — the
+            // intermediate writes between the cursor and the horizon are
+            // gone — so tell the subscriber instead of silently skipping
+            // ahead and dropping events.
+            return Err(Error::LogTruncated(format!(
+                "subscribe cursor {cursor} predates the WAL truncation horizon {horizon}; \
+                 resubscribe from the current tail"
+            )));
+        }
+        // Replica bootstrap: ship the primary's live state at a
+        // consistent LSN as one synthetic transaction, then tail from
+        // there. State is extracted under the commit quiesce so no
+        // commit can land between the state read and the chosen LSN;
+        // the network sends happen after release so a slow replica
+        // cannot stall the primary's writers.
+        let (snap_lsn, live) = {
+            let db = &inner.db;
+            db.mvcc().quiesce_commits(|| -> Result<_> {
+                wal.sync()?;
+                Ok((wal.tail_lsn(), db.mvcc().latest_committed_writes()))
+            })?
+        };
+        let writes: Vec<(String, Vec<u8>, Vec<u8>)> = live
+            .into_iter()
+            .filter_map(|w| w.value.map(|v| (w.domain, w.key, value_to_bytes(&v).to_vec())))
+            .collect();
+        for event in feed::bootstrap_frames(snap_lsn, &writes) {
+            send_change(inner, stream, event)?;
+        }
+        cursor = snap_lsn;
+    }
     // Immediate first heartbeat: tells the subscriber the current tail
     // even when the cursor starts caught-up. Everything this stream
     // reports or ships is bounded by the *durable* LSN: with group
@@ -503,6 +540,7 @@ fn run_admin(inner: &ServerInner, command: &str) -> Result<Response> {
             let mut stats = inner.metrics.snapshot();
             let (commits, aborts) = inner.db.mvcc().stats();
             let group = inner.db.mvcc().group_commit_stats();
+            let (ckpt_count, ckpt_micros, ckpt_reclaimed) = inner.db.checkpoint_stats();
             let world = inner.db.world();
             let rdf = world.rdf.read().stats();
             if let Ok(obj) = stats.as_object_mut() {
@@ -515,6 +553,24 @@ fn run_admin(inner: &ServerInner, command: &str) -> Result<Response> {
                         ("group_commit_txns", Value::int(group.txns as i64)),
                         ("group_commit_fsyncs_saved", Value::int(group.fsyncs_saved as i64)),
                         ("group_commit_max_size", Value::int(group.max_group_size as i64)),
+                        ("checkpoint_count", Value::int(ckpt_count as i64)),
+                        ("checkpoint_total_micros", Value::int(ckpt_micros as i64)),
+                        ("checkpoint_bytes_reclaimed", Value::int(ckpt_reclaimed as i64)),
+                    ]),
+                );
+                // Log footprint: current on-disk size and the LSN below
+                // which the prefix has been checkpointed away.
+                obj.insert(
+                    "wal",
+                    Value::object([
+                        ("size_bytes", Value::int(inner.db.wal_size_bytes() as i64)),
+                        (
+                            "truncated_lsn",
+                            match inner.db.wal() {
+                                Some(wal) => Value::int(wal.truncated_lsn() as i64),
+                                None => Value::Null,
+                            },
+                        ),
                     ]),
                 );
                 // Access paths taken by query operators since startup:
@@ -568,7 +624,31 @@ fn run_admin(inner: &ServerInner, command: &str) -> Result<Response> {
             if let Some(reason) = inner.db.degraded_reason() {
                 fields.push(("reason".to_string(), Value::str(&reason)));
             }
+            // How stale the last checkpoint is; Null until the first one
+            // runs. Operators alert on this growing unbounded while the
+            // WAL keeps expanding.
+            fields.push((
+                "seconds_since_checkpoint".to_string(),
+                match inner.db.seconds_since_checkpoint() {
+                    Some(s) => Value::int(s as i64),
+                    None => Value::Null,
+                },
+            ));
             Ok(Response::Stats(Value::object(fields)))
+        }
+        // Take a checkpoint right now: snapshot live state, append the
+        // marker, truncate the WAL prefix, vacuum dead versions. Returns
+        // what it cost and what it reclaimed.
+        "CHECKPOINT" => {
+            let summary = inner.db.checkpoint()?;
+            Ok(Response::Stats(Value::object([
+                ("snapshot_lsn", Value::int(summary.snapshot_lsn as i64)),
+                ("entries", Value::int(summary.entries as i64)),
+                ("snapshot_bytes", Value::int(summary.snapshot_bytes as i64)),
+                ("wal_bytes_reclaimed", Value::int(summary.wal_bytes_reclaimed as i64)),
+                ("versions_vacuumed", Value::int(summary.versions_vacuumed as i64)),
+                ("micros", Value::int(summary.micros as i64)),
+            ])))
         }
         // Replication summary: on a replica, the live runner status
         // (connection state, applied LSN, lag); on a primary, the WAL

@@ -74,6 +74,11 @@ pub struct ServerConfig {
     /// evicted beyond this. `0` disables recording entirely. The log can
     /// be cleared at runtime with `ADMIN SLOWLOG RESET`.
     pub slow_query_log_size: usize,
+    /// When set, a background thread checkpoints the database whenever
+    /// the WAL grows past this many bytes, bounding both the log's disk
+    /// footprint and recovery replay time. `None` (the default) leaves
+    /// checkpointing to `ADMIN CHECKPOINT`.
+    pub checkpoint_wal_bytes: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -90,6 +95,7 @@ impl Default for ServerConfig {
             max_query_time: Duration::from_secs(30),
             slow_query_threshold: Duration::from_millis(250),
             slow_query_log_size: 128,
+            checkpoint_wal_bytes: None,
         }
     }
 }
@@ -146,6 +152,7 @@ pub struct Server {
     local_addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    checkpointer: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -186,7 +193,19 @@ impl Server {
                 .expect("spawn acceptor thread") // lint: allow(panic, thread spawn at startup; fails only on resource exhaustion, abort is documented)
         };
 
-        Ok(Server { inner, local_addr, acceptor: Some(acceptor), workers })
+        // Size-triggered checkpointing: poll the WAL footprint and
+        // checkpoint past the threshold. Polling (rather than hooking
+        // the commit path) keeps commits oblivious to checkpoint policy;
+        // the WAL may overshoot by up to one poll tick of writes.
+        let checkpointer = config.checkpoint_wal_bytes.map(|threshold| {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("mmdb-checkpointer".into())
+                .spawn(move || checkpoint_loop(&inner, threshold))
+                .expect("spawn checkpointer thread") // lint: allow(panic, thread spawn at startup; fails only on resource exhaustion, abort is documented)
+        });
+
+        Ok(Server { inner, local_addr, acceptor: Some(acceptor), workers, checkpointer })
     }
 
     /// The bound address (useful with port 0).
@@ -218,7 +237,24 @@ impl Server {
         for h in self.workers.drain(..) {
             h.join().map_err(|_| Error::Internal("worker thread panicked".into()))?;
         }
+        if let Some(h) = self.checkpointer.take() {
+            h.join().map_err(|_| Error::Internal("checkpointer thread panicked".into()))?;
+        }
         Ok(())
+    }
+}
+
+/// Background loop for [`ServerConfig::checkpoint_wal_bytes`]: poll the
+/// WAL size and checkpoint once it passes `threshold`. Checkpoint
+/// failures don't kill the loop — a durability failure has already
+/// latched the store degraded (and the next pass repeats the error) —
+/// but they are counted in the metrics.
+fn checkpoint_loop(inner: &ServerInner, threshold: u64) {
+    while !inner.shutting_down() {
+        if inner.db.wal_size_bytes() > threshold && inner.db.checkpoint().is_err() {
+            inner.metrics.checkpoint_failures.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed, monotonic metric counter; no synchronization role)
+        }
+        std::thread::sleep(inner.config.poll_interval);
     }
 }
 

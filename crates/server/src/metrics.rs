@@ -167,6 +167,10 @@ pub struct Metrics {
     pub connections_active: AtomicU64,
     /// Open transactions aborted because their connection went away.
     pub sessions_reaped: AtomicU64,
+    /// Auto-checkpoint attempts (size-triggered background loop) that
+    /// returned an error. Manual `ADMIN CHECKPOINT` failures surface to
+    /// the caller instead.
+    pub checkpoint_failures: AtomicU64,
     /// Total requests served across all commands.
     pub requests_total: AtomicU64,
     /// Total error responses across all commands.
@@ -249,6 +253,10 @@ impl Metrics {
             (
                 "sessions_reaped",
                 Value::int(self.sessions_reaped.load(Ordering::Relaxed) as i64),
+            ),
+            (
+                "checkpoint_failures",
+                Value::int(self.checkpoint_failures.load(Ordering::Relaxed) as i64),
             ),
             ("commands", Value::Array(commands)),
             (

@@ -25,11 +25,13 @@ pub mod heap;
 pub mod logstore;
 pub mod lsm;
 pub mod page;
+pub mod snapshot;
 pub mod wal;
 
 pub use buffer::BufferPool;
 pub use disk::{DiskManager, PageId, PAGE_SIZE};
 pub use heap::{HeapFile, RecordId};
+pub use snapshot::SnapshotEntry;
 pub use wal::{Lsn, TailedRecord, Wal, WalRecord};
 
 /// Every failpoint site this crate declares (see `mmdb-fault`). The
@@ -42,4 +44,8 @@ pub const FAILPOINT_SITES: &[&str] = &[
     "buffer.flush",
     "lsm.flush",
     "lsm.compact",
+    "ckpt.snapshot_write",
+    "ckpt.snapshot_rename",
+    "ckpt.marker_append",
+    "ckpt.wal_truncate",
 ];

@@ -14,7 +14,7 @@
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use bytes::{Buf, BufMut, BytesMut};
 use parking_lot::Mutex;
@@ -47,9 +47,15 @@ pub enum WalRecord {
     Commit { txid: TxId },
     /// Transaction abort.
     Abort { txid: TxId },
-    /// Checkpoint marker: everything before this LSN is already in the
-    /// data files, so recovery may start here.
-    Checkpoint,
+    /// Checkpoint marker: a consistent snapshot of all engine state as
+    /// of `snapshot_lsn` exists (in `mmdb.snapshot`), so recovery may
+    /// start here and the log prefix below `snapshot_lsn` may be
+    /// truncated. Replicas react by checkpointing locally.
+    Checkpoint {
+        /// The LSN the snapshot captures — every record below it is
+        /// reflected in the snapshot, no record at or past it is.
+        snapshot_lsn: Lsn,
+    },
 }
 
 const T_BEGIN: u8 = 1;
@@ -74,7 +80,10 @@ impl WalRecord {
                 b.put_u8(T_ABORT);
                 b.put_u64(*txid);
             }
-            WalRecord::Checkpoint => b.put_u8(T_CHECKPOINT),
+            WalRecord::Checkpoint { snapshot_lsn } => {
+                b.put_u8(T_CHECKPOINT);
+                b.put_u64(*snapshot_lsn);
+            }
             WalRecord::Write { txid, domain, key, value } => {
                 b.put_u8(T_WRITE);
                 b.put_u64(*txid);
@@ -105,7 +114,10 @@ impl WalRecord {
             T_BEGIN => WalRecord::Begin { txid: read_u64(&mut buf)? },
             T_COMMIT => WalRecord::Commit { txid: read_u64(&mut buf)? },
             T_ABORT => WalRecord::Abort { txid: read_u64(&mut buf)? },
-            T_CHECKPOINT => WalRecord::Checkpoint,
+            // Pre-truncation logs carried a bare checkpoint marker with
+            // no payload; tolerate it as "snapshot at LSN 0".
+            T_CHECKPOINT if buf.is_empty() => WalRecord::Checkpoint { snapshot_lsn: 0 },
+            T_CHECKPOINT => WalRecord::Checkpoint { snapshot_lsn: read_u64(&mut buf)? },
             T_WRITE => {
                 let txid = read_u64(&mut buf)?;
                 let dlen = read_u32(&mut buf)? as usize;
@@ -188,10 +200,47 @@ enum WalBackend {
     Memory(Vec<u8>),
 }
 
+/// Magic opening a truncated ("v2") WAL file. The first four bytes are
+/// `0xFFFFFFFF` — an impossible frame length, so a header can never be
+/// confused with a legacy headerless log whose first record it would
+/// otherwise shadow. The header is [`WAL_HEADER_LEN`] bytes: the magic
+/// followed by the file's base LSN as `u64` little-endian.
+pub const WAL2_MAGIC: [u8; 8] = [0xFF, 0xFF, 0xFF, 0xFF, b'W', b'A', b'L', b'2'];
+
+/// Size of the v2 file header (magic + base LSN).
+pub const WAL_HEADER_LEN: u64 = 16;
+
+/// Parse a v2 header from the start of a log file's bytes. Returns the
+/// base LSN when the magic matches, `None` for legacy headerless logs.
+pub fn parse_wal_header(data: &[u8]) -> Option<Lsn> {
+    if data.len() >= WAL_HEADER_LEN as usize && data[..8] == WAL2_MAGIC {
+        Some(u64::from_le_bytes(data[8..16].try_into().unwrap_or([0; 8])))
+    } else {
+        None
+    }
+}
+
+fn encode_wal_header(base_lsn: Lsn) -> [u8; WAL_HEADER_LEN as usize] {
+    let mut h = [0u8; WAL_HEADER_LEN as usize];
+    h[..8].copy_from_slice(&WAL2_MAGIC);
+    h[8..].copy_from_slice(&base_lsn.to_le_bytes());
+    h
+}
+
 /// The write-ahead log.
+///
+/// LSNs are *logical*: they keep counting monotonically across
+/// [`Wal::truncate_below`], which rewrites the file to hold only the
+/// suffix at or past a checkpoint horizon. A truncated file starts with
+/// a [`WAL2_MAGIC`] header recording its base LSN, and
+/// `physical offset = header + (lsn - base)`. Fresh logs are headerless
+/// with base 0, so pre-truncation files stay readable unchanged.
 pub struct Wal {
     inner: Mutex<WalInner>,
-    /// Byte offset up to which the log is known durable: the tail as of
+    /// The file path for file-backed logs (`None` in memory) — needed by
+    /// [`Wal::truncate_below`] to rewrite-and-rename in place.
+    path: Option<PathBuf>,
+    /// Logical LSN up to which the log is known durable: the tail as of
     /// the last successful [`Wal::sync`]. Replication streams are capped
     /// here so appended-but-unsynced records (which a crash could still
     /// erase) never reach a replica or change-feed subscriber.
@@ -200,7 +249,21 @@ pub struct Wal {
 
 struct WalInner {
     backend: WalBackend,
+    /// Next logical LSN to be assigned.
     next_lsn: Lsn,
+    /// Logical LSN of the first byte stored in the backend: the last
+    /// truncation horizon (0 until the first truncation).
+    base_lsn: Lsn,
+    /// Physical offset where record data starts: [`WAL_HEADER_LEN`] for
+    /// truncated files, 0 for legacy files and the memory backend.
+    data_start: u64,
+}
+
+impl WalInner {
+    /// Physical backend offset of logical LSN `lsn`.
+    fn physical(&self, lsn: Lsn) -> u64 {
+        self.data_start + (lsn - self.base_lsn)
+    }
 }
 
 impl Wal {
@@ -213,18 +276,42 @@ impl Wal {
             .open(path.as_ref())
             .map_err(|e| Error::Storage(format!("open wal {:?}: {e}", path.as_ref())))?;
         let len = file.metadata().map_err(|e| Error::Storage(e.to_string()))?.len();
+        // A truncated log opens with the v2 header; its records' logical
+        // LSNs continue from the recorded base.
+        let mut header = [0u8; WAL_HEADER_LEN as usize];
+        let got = {
+            use std::os::unix::fs::FileExt;
+            file.read_at(&mut header, 0).map_err(|e| Error::Storage(e.to_string()))?
+        };
+        let (base_lsn, data_start) = match parse_wal_header(&header[..got]) {
+            Some(base) => (base, WAL_HEADER_LEN),
+            None => (0, 0),
+        };
+        let next_lsn = base_lsn + len.saturating_sub(data_start);
         Ok(Wal {
-            inner: Mutex::new(WalInner { backend: WalBackend::File(file), next_lsn: len }),
+            inner: Mutex::new(WalInner {
+                backend: WalBackend::File(file),
+                next_lsn,
+                base_lsn,
+                data_start,
+            }),
+            path: Some(path.as_ref().to_path_buf()),
             // Everything already in the file survived a previous run's
             // syncs (recovery truncated any torn tail before this open).
-            durable_lsn: std::sync::atomic::AtomicU64::new(len),
+            durable_lsn: std::sync::atomic::AtomicU64::new(next_lsn),
         })
     }
 
     /// An in-memory WAL (tests; volatile databases).
     pub fn in_memory() -> Self {
         Wal {
-            inner: Mutex::new(WalInner { backend: WalBackend::Memory(Vec::new()), next_lsn: 0 }),
+            inner: Mutex::new(WalInner {
+                backend: WalBackend::Memory(Vec::new()),
+                next_lsn: 0,
+                base_lsn: 0,
+                data_start: 0,
+            }),
+            path: None,
             durable_lsn: std::sync::atomic::AtomicU64::new(0),
         }
     }
@@ -378,16 +465,21 @@ impl Wal {
         if from >= end || max_records == 0 {
             return Ok(Vec::new());
         }
+        if from < inner.base_lsn {
+            return Err(Error::LogTruncated(format!(
+                "LSN {from} is below the truncation horizon {}",
+                inner.base_lsn
+            )));
+        }
         let read_chunk = |inner: &WalInner, want: usize| -> Result<Vec<u8>> {
+            let at = inner.physical(from);
             match &inner.backend {
-                WalBackend::Memory(v) => {
-                    Ok(v[from as usize..from as usize + want].to_vec())
-                }
+                WalBackend::Memory(v) => Ok(v[at as usize..at as usize + want].to_vec()),
                 WalBackend::File(f) => {
                     use std::os::unix::fs::FileExt;
                     let mut b = vec![0u8; want];
                     let n = f
-                        .read_at(&mut b, from)
+                        .read_at(&mut b, at)
                         .map_err(|e| Error::Storage(format!("wal tail read: {e}")))?;
                     b.truncate(n);
                     Ok(b)
@@ -433,6 +525,115 @@ impl Wal {
         }
         Ok(out)
     }
+
+    /// Physical size of the log in bytes (header included, if any).
+    pub fn size_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.data_start + (inner.next_lsn - inner.base_lsn)
+    }
+
+    /// The truncation horizon: the lowest logical LSN still present in
+    /// the log (0 until the first [`Wal::truncate_below`]).
+    pub fn truncated_lsn(&self) -> Lsn {
+        self.inner.lock().base_lsn
+    }
+
+    /// Append a checkpoint marker carrying `snapshot_lsn` and make it
+    /// durable. Returns the marker's LSN.
+    pub fn append_checkpoint(&self, snapshot_lsn: Lsn) -> Result<Lsn> {
+        // Failpoint `ckpt.marker_append`: the snapshot file exists but
+        // the marker never lands — recovery must still be consistent
+        // (the snapshot is simply newer than the last marker).
+        mmdb_fault::fail_point!("ckpt.marker_append", |msg| Error::Storage(format!(
+            "checkpoint marker append: {msg}"
+        )));
+        let lsn = self.append(&WalRecord::Checkpoint { snapshot_lsn })?;
+        self.sync()?;
+        Ok(lsn)
+    }
+
+    /// Drop the log prefix below `horizon`, keeping LSNs stable: the
+    /// suffix is rewritten to a temp file carrying a [`WAL2_MAGIC`]
+    /// header with `base = horizon`, fsynced, and atomically renamed
+    /// over the log. Returns the number of bytes reclaimed.
+    ///
+    /// The caller must guarantee `horizon` is record-aligned and at or
+    /// below [`Wal::durable_lsn`] — `Database::checkpoint` calls this
+    /// under commit quiesce right after a sync, so both hold there. A
+    /// crash anywhere inside leaves either the old or the new file,
+    /// each a complete, recoverable log.
+    pub fn truncate_below(&self, horizon: Lsn) -> Result<u64> {
+        // Failpoint `ckpt.wal_truncate`: the checkpoint marker is
+        // durable but the prefix survives — recovery just replays more
+        // than strictly needed.
+        mmdb_fault::fail_point!("ckpt.wal_truncate", |msg| Error::Storage(format!(
+            "wal truncate: {msg}"
+        )));
+        let mut inner = self.inner.lock();
+        if horizon <= inner.base_lsn {
+            return Ok(0);
+        }
+        if horizon > inner.next_lsn {
+            return Err(Error::Storage(format!(
+                "wal truncate horizon {horizon} past tail {}",
+                inner.next_lsn
+            )));
+        }
+        let reclaimed = horizon - inner.base_lsn;
+        let at = inner.physical(horizon);
+        if let WalBackend::Memory(v) = &mut inner.backend {
+            v.drain(..reclaimed as usize);
+            inner.base_lsn = horizon;
+            return Ok(reclaimed);
+        }
+        let path =
+            self.path.as_ref().ok_or_else(|| Error::Storage("file wal has no path".into()))?;
+        let suffix = {
+            use std::os::unix::fs::FileExt;
+            let WalBackend::File(f) = &inner.backend else {
+                return Err(Error::Storage("wal truncate: no file backend".into()));
+            };
+            let want = (inner.next_lsn - horizon) as usize;
+            let mut b = vec![0u8; want];
+            let mut done = 0;
+            while done < want {
+                let n = f
+                    .read_at(&mut b[done..], at + done as u64)
+                    .map_err(|e| Error::Storage(format!("wal truncate read: {e}")))?;
+                if n == 0 {
+                    return Err(Error::Storage("wal truncate: short read".into()));
+                }
+                done += n;
+            }
+            b
+        };
+        let tmp = path.with_file_name("mmdb.wal.tmp");
+        let mut out =
+            File::create(&tmp).map_err(|e| Error::Storage(format!("wal truncate tmp: {e}")))?;
+        out.write_all(&encode_wal_header(horizon))
+            .and_then(|()| out.write_all(&suffix))
+            .and_then(|()| out.sync_all())
+            .map_err(|e| Error::Storage(format!("wal truncate write: {e}")))?;
+        std::fs::rename(&tmp, path)
+            .map_err(|e| Error::Storage(format!("wal truncate rename: {e}")))?;
+        // The rename is what makes the truncation visible after a crash,
+        // so fsync the directory too (best-effort), then point the live
+        // handle at the new inode.
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| Error::Storage(format!("wal truncate reopen: {e}")))?;
+        inner.backend = WalBackend::File(file);
+        inner.base_lsn = horizon;
+        inner.data_start = WAL_HEADER_LEN;
+        Ok(reclaimed)
+    }
 }
 
 /// One record surfaced by [`Wal::read_records_from`], with its position.
@@ -469,57 +670,67 @@ pub struct Recovery {
     pub losers: Vec<TxId>,
     /// Records dropped because the log ended mid-record (torn write).
     pub torn_tail: bool,
-    /// Byte length of the valid log prefix. When `torn_tail` is set the
-    /// caller should truncate the log to this length before appending, or
-    /// later appends would hide behind the corruption and be lost by the
-    /// next recovery.
+    /// *Physical* byte length of the valid log prefix (v2 header
+    /// included). When `torn_tail` is set the caller should truncate the
+    /// log file to this length before appending, or later appends would
+    /// hide behind the corruption and be lost by the next recovery.
     pub valid_len: u64,
+    /// The file's truncation horizon: logical LSN of its first record
+    /// (0 for never-truncated logs). A base above 0 means a checkpoint
+    /// snapshot must exist — the prefix it replaced is gone.
+    pub base_lsn: Lsn,
 }
 
-/// Scan raw log bytes and compute the redo set.
-pub fn recover_from_bytes(full: &[u8]) -> Recovery {
-    let mut data = full;
-    let mut records: Vec<WalRecord> = Vec::new();
+/// Scan record bytes (no file header) whose first byte sits at logical
+/// LSN `base`, skipping committed writes of records that end at or below
+/// `min_lsn` — those are already captured by the snapshot the caller
+/// loaded. `valid_len` in the result counts only the bytes of `data`.
+fn recover_scan(data: &[u8], base: Lsn, min_lsn: Lsn) -> Recovery {
+    // (record, logical end LSN) pairs of the intact prefix.
+    let mut records: Vec<(WalRecord, Lsn)> = Vec::new();
     let mut torn = false;
     let mut valid_len = 0u64;
-    while data.len() >= 8 {
-        let len = u32::from_le_bytes([data[0], data[1], data[2], data[3]]) as usize;
-        let crc = u32::from_le_bytes([data[4], data[5], data[6], data[7]]);
-        if data.len() < 8 + len {
+    let mut rest = data;
+    while rest.len() >= 8 {
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        let crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        if rest.len() < 8 + len {
             torn = true;
             break;
         }
-        let payload = &data[8..8 + len];
+        let payload = &rest[8..8 + len];
         if crc32(payload) != crc {
             // Corrupt record: everything after it is untrustworthy.
             torn = true;
             break;
         }
         match WalRecord::decode(payload) {
-            Ok(r) => records.push(r),
+            Ok(r) => {
+                valid_len += 8 + len as u64;
+                records.push((r, base + valid_len));
+            }
             Err(_) => {
                 torn = true;
                 break;
             }
         }
-        data = &data[8 + len..];
-        valid_len += 8 + len as u64;
+        rest = &rest[8 + len..];
     }
-    if !data.is_empty() && data.len() < 8 {
+    if !rest.is_empty() && rest.len() < 8 {
         torn = true;
     }
 
-    // Start replay at the last checkpoint.
+    // Start replay at the last checkpoint marker.
     let start = records
         .iter()
-        .rposition(|r| matches!(r, WalRecord::Checkpoint))
+        .rposition(|(r, _)| matches!(r, WalRecord::Checkpoint { .. }))
         .map(|i| i + 1)
         .unwrap_or(0);
 
     let mut committed = std::collections::HashSet::new();
     let mut seen = std::collections::HashSet::new();
     let mut aborted = std::collections::HashSet::new();
-    for r in &records[start..] {
+    for (r, _) in &records[start..] {
         match r {
             WalRecord::Begin { txid } => {
                 seen.insert(*txid);
@@ -534,8 +745,16 @@ pub fn recover_from_bytes(full: &[u8]) -> Recovery {
         }
     }
     let mut redo = Vec::new();
-    for r in &records[start..] {
+    for (r, end) in &records[start..] {
         if let WalRecord::Write { txid, domain, key, value } = r {
+            // Skip writes the snapshot already reflects: replay is not
+            // idempotent for every model (graph edges accumulate), so a
+            // record wholly below the snapshot LSN must not re-apply.
+            // Group commit appends each Begin..Commit block contiguously,
+            // so a block never straddles the snapshot LSN.
+            if *end <= min_lsn {
+                continue;
+            }
             if committed.contains(txid) {
                 redo.push(RedoOp {
                     txid: *txid,
@@ -550,11 +769,18 @@ pub fn recover_from_bytes(full: &[u8]) -> Recovery {
         .into_iter()
         .filter(|t| !committed.contains(t) && !aborted.contains(t))
         .collect();
-    Recovery { redo, losers, torn_tail: torn, valid_len }
+    Recovery { redo, losers, torn_tail: torn, valid_len, base_lsn: base }
 }
 
-/// Recover from a file-backed log.
-pub fn recover_from_file(path: impl AsRef<Path>) -> Result<Recovery> {
+/// Scan raw headerless log bytes and compute the redo set.
+pub fn recover_from_bytes(full: &[u8]) -> Recovery {
+    recover_scan(full, 0, 0)
+}
+
+/// Recover from a file-backed log, skipping committed writes at or below
+/// `min_lsn` (the loaded snapshot's LSN; pass 0 without a snapshot). The
+/// file may be a legacy headerless log or a truncated v2 log.
+pub fn recover_from_file_after(path: impl AsRef<Path>, min_lsn: Lsn) -> Result<Recovery> {
     let mut data = Vec::new();
     match File::open(path.as_ref()) {
         Ok(mut f) => {
@@ -564,7 +790,18 @@ pub fn recover_from_file(path: impl AsRef<Path>) -> Result<Recovery> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
         Err(e) => return Err(Error::Storage(format!("open wal: {e}"))),
     }
-    Ok(recover_from_bytes(&data))
+    let (body, base, header_len) = match parse_wal_header(&data) {
+        Some(base) => (&data[WAL_HEADER_LEN as usize..], base, WAL_HEADER_LEN),
+        None => (&data[..], 0, 0),
+    };
+    let mut rec = recover_scan(body, base, min_lsn);
+    rec.valid_len += header_len;
+    Ok(rec)
+}
+
+/// Recover from a file-backed log (no snapshot).
+pub fn recover_from_file(path: impl AsRef<Path>) -> Result<Recovery> {
+    recover_from_file_after(path, 0)
 }
 
 #[cfg(test)]
@@ -586,12 +823,18 @@ mod tests {
             WalRecord::Begin { txid: 7 },
             WalRecord::Commit { txid: 7 },
             WalRecord::Abort { txid: 9 },
-            WalRecord::Checkpoint,
+            WalRecord::Checkpoint { snapshot_lsn: 0 },
+            WalRecord::Checkpoint { snapshot_lsn: 123_456_789 },
             w(7, "k1", Some("v1")),
             w(7, "k2", None),
         ] {
             assert_eq!(WalRecord::decode(&r.encode()).unwrap(), r);
         }
+        // Legacy logs carry payload-less checkpoint markers.
+        assert_eq!(
+            WalRecord::decode(&[5u8]).unwrap(),
+            WalRecord::Checkpoint { snapshot_lsn: 0 }
+        );
     }
 
     #[test]
@@ -634,7 +877,7 @@ mod tests {
         wal.append(&WalRecord::Begin { txid: 1 }).unwrap();
         wal.append(&w(1, "old", Some("x"))).unwrap();
         wal.append(&WalRecord::Commit { txid: 1 }).unwrap();
-        wal.append(&WalRecord::Checkpoint).unwrap();
+        wal.append(&WalRecord::Checkpoint { snapshot_lsn: wal.tail_lsn() }).unwrap();
         wal.append(&WalRecord::Begin { txid: 2 }).unwrap();
         wal.append(&w(2, "new", Some("y"))).unwrap();
         wal.append(&WalRecord::Commit { txid: 2 }).unwrap();
@@ -883,10 +1126,101 @@ mod tests {
         assert_eq!(tailed[2].next_lsn, wal.tail_lsn());
 
         // Tailing does not disturb the append cursor.
-        wal.append(&WalRecord::Checkpoint).unwrap();
+        wal.append(&WalRecord::Checkpoint { snapshot_lsn: 0 }).unwrap();
         let more = wal.read_records_from(tailed[2].next_lsn, usize::MAX).unwrap();
         assert_eq!(more.len(), 1);
-        assert_eq!(more[0].record, WalRecord::Checkpoint);
+        assert_eq!(more[0].record, WalRecord::Checkpoint { snapshot_lsn: 0 });
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Append a committed txn and return the logical tail afterwards.
+    fn commit_one(wal: &Wal, txid: TxId, key: &str) -> Lsn {
+        wal.append(&WalRecord::Begin { txid }).unwrap();
+        wal.append(&w(txid, key, Some("v"))).unwrap();
+        wal.append(&WalRecord::Commit { txid }).unwrap();
+        wal.sync().unwrap();
+        wal.tail_lsn()
+    }
+
+    #[test]
+    fn truncate_keeps_lsns_stable_in_memory() {
+        let wal = Wal::in_memory();
+        let h = commit_one(&wal, 1, "old");
+        let tail = commit_one(&wal, 2, "new");
+        let before = wal.read_records_from(h, usize::MAX).unwrap();
+        let reclaimed = wal.truncate_below(h).unwrap();
+        assert_eq!(reclaimed, h);
+        assert_eq!(wal.truncated_lsn(), h);
+        assert_eq!(wal.tail_lsn(), tail, "logical tail is unchanged");
+        // Reads at or past the horizon are byte-identical to before.
+        assert_eq!(wal.read_records_from(h, usize::MAX).unwrap(), before);
+        // Reads below it are a typed error.
+        assert!(matches!(
+            wal.read_records_from(0, usize::MAX),
+            Err(Error::LogTruncated(_))
+        ));
+        // Truncating at or below the horizon is a no-op.
+        assert_eq!(wal.truncate_below(h).unwrap(), 0);
+    }
+
+    #[test]
+    fn truncated_file_reopens_with_stable_lsns() {
+        let dir = std::env::temp_dir().join(format!("mmdb-wal-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mmdb.wal");
+        let _ = std::fs::remove_file(&path);
+        let (h, tail, suffix) = {
+            let wal = Wal::open(&path).unwrap();
+            let h = commit_one(&wal, 1, "old");
+            let tail = commit_one(&wal, 2, "new");
+            let size_before = wal.size_bytes();
+            assert_eq!(wal.truncate_below(h).unwrap(), h);
+            assert!(wal.size_bytes() < size_before, "the file shrank");
+            (h, tail, wal.read_records_from(h, usize::MAX).unwrap())
+        };
+        // Reopen: header restores the base, logical LSNs keep counting.
+        let wal = Wal::open(&path).unwrap();
+        assert_eq!(wal.truncated_lsn(), h);
+        assert_eq!(wal.tail_lsn(), tail);
+        assert_eq!(wal.durable_lsn(), tail);
+        assert_eq!(wal.read_records_from(h, usize::MAX).unwrap(), suffix);
+        // Appends after reopen continue the logical sequence and the
+        // recovery scan reports the base.
+        let tail2 = commit_one(&wal, 3, "more");
+        assert!(tail2 > tail);
+        let rec = recover_from_file(&path).unwrap();
+        assert_eq!(rec.base_lsn, h);
+        assert_eq!(rec.redo.len(), 2, "only records past the horizon remain");
+        assert_eq!(rec.valid_len, wal.size_bytes());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn recovery_filters_redo_below_the_snapshot_lsn() {
+        let dir = std::env::temp_dir().join(format!("mmdb-wal-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mmdb.wal");
+        let _ = std::fs::remove_file(&path);
+        let wal = Wal::open(&path).unwrap();
+        let s = commit_one(&wal, 1, "snapshotted");
+        commit_one(&wal, 2, "replayed");
+        // Snapshot at `s`, but no marker and no truncation (the crash
+        // windows between snapshot rename and marker append): recovery
+        // must skip everything the snapshot already holds.
+        let rec = recover_from_file_after(&path, s).unwrap();
+        assert_eq!(rec.redo.len(), 1);
+        assert_eq!(rec.redo[0].key, b"replayed");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_checkpoint_is_durable_and_carries_the_lsn() {
+        let wal = Wal::in_memory();
+        let s = commit_one(&wal, 1, "a");
+        wal.append_checkpoint(s).unwrap();
+        assert_eq!(wal.durable_lsn(), wal.tail_lsn(), "marker is synced");
+        let tailed = wal.read_records_from(s, usize::MAX).unwrap();
+        assert_eq!(tailed.len(), 1);
+        assert_eq!(tailed[0].record, WalRecord::Checkpoint { snapshot_lsn: s });
     }
 }

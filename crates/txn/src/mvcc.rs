@@ -621,6 +621,55 @@ impl MvccStore {
         self.inner.snapshot_ts.load(Ordering::SeqCst)
     }
 
+    /// Run `f` with commits quiesced: the commit mutex is held, so no
+    /// group-commit batch can sequence and no replicated transaction can
+    /// apply while `f` runs. This is the checkpoint window — between two
+    /// commits the WAL tail and the version store agree exactly, so
+    /// state extracted inside `f` is consistent with the tail LSN read
+    /// inside `f`.
+    pub fn quiesce_commits<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = self.inner.commit_mutex.lock();
+        f()
+    }
+
+    /// The newest committed live value of every key, as `CommittedWrite`s
+    /// (deletes are absent — a snapshot has no tombstones). This is the
+    /// checkpoint extraction path: call inside [`MvccStore::quiesce_commits`]
+    /// so the result is consistent with [`Wal::tail_lsn`].
+    ///
+    /// Ordering matters because snapshot load replays these through the
+    /// same apply path as recovery: DDL first (tables before their rows),
+    /// graph edges last (edges need their endpoint vertices installed),
+    /// and (domain, key) within each class for determinism.
+    pub fn latest_committed_writes(&self) -> Vec<CommittedWrite> {
+        let versions = self.inner.versions.read();
+        let mut out: Vec<CommittedWrite> = Vec::new();
+        for ((domain, key), chain) in versions.iter() {
+            if let Some(v) = chain.last() {
+                if let Some(value) = &v.value {
+                    out.push(CommittedWrite {
+                        domain: domain.clone(),
+                        key: key.clone(),
+                        value: Some(value.clone()),
+                    });
+                }
+            }
+        }
+        let class = |domain: &str| -> u8 {
+            if domain.starts_with("ddl/") {
+                0
+            } else if domain.contains("/e/") {
+                2
+            } else {
+                1
+            }
+        };
+        out.sort_by(|a, b| {
+            (class(&a.domain), &a.domain, &a.key).cmp(&(class(&b.domain), &b.domain, &b.key))
+        });
+        out
+    }
+
     /// WAL position just past the most recently durable commit record —
     /// the replication watermark (0 before any commit). A session that
     /// reads this right after its own commit holds a read-your-writes

@@ -54,6 +54,11 @@ pub enum Error {
     /// Unlike [`Error::Storage`] this is not an I/O failure: the bytes came
     /// back, but they are not the bytes that were written.
     Corruption(String),
+    /// The requested WAL position was truncated away by a checkpoint.
+    /// Not retryable: the history below the truncation horizon is gone,
+    /// so a consumer resuming there must re-bootstrap from a snapshot
+    /// (replicas do) or restart its feed from the current tail.
+    LogTruncated(String),
     /// Internal invariant violation — always a bug in mmdb itself.
     Internal(String),
 }
@@ -78,6 +83,7 @@ impl Error {
             Error::DeadlineExceeded(_) => "deadline_exceeded",
             Error::ReadOnly(_) => "read_only",
             Error::Corruption(_) => "corruption",
+            Error::LogTruncated(_) => "log_truncated",
             Error::Internal(_) => "internal",
         }
     }
@@ -106,6 +112,7 @@ impl fmt::Display for Error {
             Error::DeadlineExceeded(m) => ("deadline exceeded", m),
             Error::ReadOnly(m) => ("read-only mode", m),
             Error::Corruption(m) => ("data corruption", m),
+            Error::LogTruncated(m) => ("log truncated", m),
             Error::Internal(m) => ("internal error", m),
         };
         write!(f, "{kind}: {msg}")
@@ -139,6 +146,7 @@ mod tests {
         assert!(!Error::Storage("disk".into()).is_retryable());
         assert!(!Error::ReadOnly("degraded".into()).is_retryable());
         assert!(!Error::Corruption("page 3".into()).is_retryable());
+        assert!(!Error::LogTruncated("below horizon".into()).is_retryable());
         assert!(!Error::Parse("bad".into()).is_retryable());
     }
 

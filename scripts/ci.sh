@@ -35,11 +35,18 @@ cargo test -q --features failpoints --test replication
 echo "==> group-commit torture & property suite (--features failpoints)"
 cargo test -q --features failpoints --test group_commit
 
+echo "==> checkpoint torture suite (--features failpoints)"
+cargo test -q --features failpoints --test checkpoint
+
 echo "==> failpoints stay a no-op when the feature is off"
 cargo test -q -p mmdb-fault
 # Deadline checks ride the same feature: a default build must run the
 # query cancellation scaffolding as free no-ops.
 cargo test -q -p mmdb-query cancel
+# The ckpt.* sites ride it too: a default build must checkpoint with the
+# failpoint scaffolding compiled out.
+cargo test -q -p mmdb-core checkpoint
+cargo test -q -p mmdb-storage snapshot
 
 echo "==> cargo clippy --features failpoints (lints the torture suite)"
 cargo clippy -p mmdb --all-targets --features failpoints -- -D warnings

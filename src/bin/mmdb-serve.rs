@@ -18,6 +18,8 @@
 //!   --max-connections N    connection cap before busy-rejection (default 64)
 //!   --slow-query-ms N      slow-query log threshold in ms (default 250; 0 logs everything)
 //!   --slow-query-log-size N  slow-query log ring capacity (default 128; 0 disables)
+//!   --checkpoint-wal-bytes N checkpoint automatically once the WAL grows
+//!                          past N bytes (default: manual via ADMIN CHECKPOINT)
 //!   --demo                 preload the paper's demo data set
 //!
 //! The server runs until stdin closes or a `quit` line arrives, then
@@ -63,6 +65,13 @@ fn main() {
                 config.slow_query_log_size = flag_value(&mut i)
                     .parse()
                     .unwrap_or_else(|_| usage("--slow-query-log-size needs a number"))
+            }
+            "--checkpoint-wal-bytes" => {
+                config.checkpoint_wal_bytes = Some(
+                    flag_value(&mut i)
+                        .parse()
+                        .unwrap_or_else(|_| usage("--checkpoint-wal-bytes needs a number")),
+                )
             }
             "--demo" => demo = true,
             "--help" | "-h" => usage(""),
@@ -147,7 +156,7 @@ fn usage(problem: &str) -> ! {
     eprintln!(
         "usage: mmdb-serve [--addr HOST:PORT] [--data-dir PATH] [--replica-of HOST:PORT] \
          [--workers N] [--max-connections N] [--slow-query-ms N] [--slow-query-log-size N] \
-         [--demo]"
+         [--checkpoint-wal-bytes N] [--demo]"
     );
     std::process::exit(2);
 }

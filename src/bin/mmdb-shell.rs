@@ -184,6 +184,9 @@ fn dispatch_remote(client: &mut Client, addr: &str, line: &str) -> mmdb::Result<
             }
             "health" => Ok(Reply::Text(mmdb::to_json_pretty(&client.admin_health()?))),
             "repl" => Ok(Reply::Text(mmdb::to_json_pretty(&client.admin_repl()?))),
+            "checkpoint" => {
+                Ok(Reply::Text(mmdb::to_json_pretty(&client.admin_checkpoint()?)))
+            }
             "subscribe" => {
                 let from = match arg.trim() {
                     // Default: only future commits — start at the current
@@ -253,6 +256,7 @@ Remote-only commands (--connect mode):
   .slowlog reset         clear the slow-query log (ADMIN SLOWLOG RESET)
   .health                server health: ok | degraded | replica (ADMIN HEALTH)
   .repl                  replication status: role, LSNs, lag (ADMIN REPL)
+  .checkpoint            snapshot + truncate the WAL now (ADMIN CHECKPOINT)
   .subscribe [lsn]       follow the change feed (committed writes; default: from now)
   .ping                  liveness check
 "#;

@@ -1,0 +1,374 @@
+//! Checkpoint torture suite. Built only with `--features failpoints`
+//! (see the `[[test]]` entry in Cargo.toml); `scripts/ci.sh` runs it.
+//!
+//! A checkpoint is pure maintenance: it snapshots the live state at a
+//! quiesced LSN, appends a marker, truncates the WAL prefix, and
+//! vacuums dead MVCC versions — it must never change what a reopen
+//! recovers. This suite proves that by crashing the engine at every
+//! `ckpt.*` failpoint site mid-checkpoint and asserting the reopened
+//! database answers the five-model probes byte-identically to an oracle
+//! that never checkpointed at all. It also proves the operational
+//! claims: the WAL file measurably shrinks under a multi-writer
+//! workload, a replica whose resume LSN predates the truncation horizon
+//! bootstraps from a snapshot and converges byte-for-byte, and the
+//! size-triggered server loop checkpoints without being asked.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use mmdb::substrate::relational::{ColumnDef, DataType, Schema};
+use mmdb::substrate::repl::{ReplicaOptions, ReplicaRunner};
+use mmdb::substrate::txn::IsolationLevel;
+use mmdb::{fault, Database, Value};
+use mmdb_client::{Client, ClientConfig};
+use mmdb_server::{Server, ServerConfig};
+
+/// The paper's cross-model recommendation query (same as
+/// `tests/crash_recovery.rs`); the oracle answer is `["2724f", "3424g"]`.
+const RECOMMENDATION: &str = r#"
+    FOR c IN customers
+      FILTER c.credit_limit > 3000
+      FOR friend IN 1..1 OUTBOUND CONCAT("persons/", c.id) knows
+        LET order = DOC("orders", KV_GET("cart", friend._key))
+        FILTER order != NULL
+        FOR line IN order.orderlines
+          RETURN line.product_no
+"#;
+
+/// Failpoints are process-global, so the tests in this binary serialize.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    let guard = LOCK
+        .get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    fault::clear_all();
+    guard
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mmdb-ckpt-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Run `f`, catching the injected panic; the default hook is swapped out
+/// so the expected crash does not spray a backtrace over the test output.
+fn catch_crash<R>(f: impl FnOnce() -> R) -> std::thread::Result<R> {
+    let prev = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    let _ = panic::take_hook();
+    panic::set_hook(prev);
+    result
+}
+
+/// The checkpoint-path failpoint sites, straight from the registry.
+fn ckpt_sites() -> Vec<&'static str> {
+    let mut sites: Vec<&'static str> = mmdb::substrate::storage::FAILPOINT_SITES
+        .iter()
+        .copied()
+        .filter(|s| s.starts_with("ckpt."))
+        .collect();
+    sites.sort_unstable();
+    assert_eq!(sites.len(), 4, "expected the four checkpoint failpoint sites: {sites:?}");
+    sites
+}
+
+/// Seed the paper scenario through WAL-logged paths only (same data as
+/// `tests/crash_recovery.rs`, so the probes answer identically).
+fn seed(db: &Database) {
+    db.create_table(
+        "customers",
+        Schema::new(
+            vec![
+                ColumnDef::new("id", DataType::Int),
+                ColumnDef::new("name", DataType::Text),
+                ColumnDef::new("credit_limit", DataType::Int),
+            ],
+            "id",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db.create_bucket("cart").unwrap();
+    db.create_collection("orders").unwrap();
+    let g = db.create_graph("social").unwrap();
+    g.create_vertex_collection("persons").unwrap();
+    g.create_edge_collection("knows").unwrap();
+    for (id, name, limit) in [(1, "Mary", 5000), (2, "John", 3000), (3, "Anne", 2000)] {
+        db.transact(IsolationLevel::Snapshot, 3, |s| {
+            s.insert_row(
+                "customers",
+                mmdb::from_json(&format!(
+                    r#"{{"id":{id},"name":"{name}","credit_limit":{limit}}}"#
+                ))
+                .unwrap(),
+            )?;
+            s.add_vertex(
+                "social",
+                "persons",
+                mmdb::from_json(&format!(r#"{{"_key":"{id}"}}"#)).unwrap(),
+            )?;
+            s.rdf_insert(&format!("customers:{id}"), "credit_limit", Value::int(limit))
+        })
+        .unwrap();
+    }
+    db.transact(IsolationLevel::Snapshot, 3, |s| {
+        s.add_edge("social", "knows", "persons/1", "persons/2", mmdb::from_json("{}").unwrap())?;
+        s.add_edge("social", "knows", "persons/3", "persons/1", mmdb::from_json("{}").unwrap())
+            .map(|_| ())
+    })
+    .unwrap();
+    db.kv_put("cart", "1", Value::str("34e5e759")).unwrap();
+    db.kv_put("cart", "2", Value::str("0c6df508")).unwrap();
+    db.insert_json(
+        "orders",
+        r#"{"_key":"0c6df508","orderlines":[
+            {"product_no":"2724f","product_name":"Toy","price":66},
+            {"product_no":"3424g","product_name":"Book","price":40}]}"#,
+    )
+    .unwrap();
+    db.insert_json(
+        "orders",
+        r#"{"_key":"34e5e759","orderlines":[{"product_no":"1111a","price":2}]}"#,
+    )
+    .unwrap();
+}
+
+/// Cross-model answers over the committed state, serialized to JSON so
+/// oracle comparisons are byte-identical, not merely structurally equal.
+fn probes(db: &Database) -> String {
+    let mut out = vec![
+        Value::Array(db.query(RECOMMENDATION).unwrap()),
+        Value::Array(
+            db.query_sql("SELECT id, name, credit_limit FROM customers WHERE id <= 3 ORDER BY id")
+                .unwrap(),
+        ),
+        Value::Array(db.query("FOR o IN orders SORT o._key RETURN o").unwrap()),
+        Value::Array(
+            db.query(r#"FOR p IN 1..1 OUTBOUND "persons/3" knows RETURN p._key"#).unwrap(),
+        ),
+        Value::Array(
+            db.query(r#"FOR t IN TRIPLES(NULL, "credit_limit", NULL) SORT t.s RETURN [t.s, t.o]"#)
+                .unwrap(),
+        ),
+    ];
+    for key in ["1", "2"] {
+        out.push(db.kv().get("cart", key).unwrap().unwrap_or(Value::Null));
+    }
+    mmdb::to_json(&Value::Array(out))
+}
+
+#[test]
+fn crash_at_every_ckpt_site_reopens_byte_identical_to_the_oracle() {
+    let _serial = lock();
+    // The oracle never checkpoints: its probe answers are what recovery
+    // must reproduce no matter where the checkpoint died.
+    let oracle_dir = fresh_dir("oracle");
+    let oracle = {
+        let db = Database::open(&oracle_dir).unwrap();
+        seed(&db);
+        probes(&db)
+    };
+    for site in ckpt_sites() {
+        fault::clear_all();
+        let dir = fresh_dir(&format!("site-{}", site.replace('.', "-")));
+        let db = Database::open(&dir).unwrap();
+        seed(&db);
+
+        let hits_before = fault::hits(site);
+        fault::set(site, "panic").unwrap();
+        let crashed = catch_crash(|| db.checkpoint());
+        assert!(crashed.is_err(), "site {site}: the armed checkpoint must crash");
+        assert!(fault::hits(site) > hits_before, "site {site}: failpoint never fired");
+        fault::clear_all();
+        drop(db);
+
+        // What survived on disk differs per site — no snapshot at all,
+        // a stale tmp, a published snapshot without its marker, or a
+        // marker without the truncation — but reopen must not care.
+        let db = Database::open(&dir).unwrap();
+        assert_eq!(probes(&db), oracle, "site {site}: state diverged after recovery");
+        let _ = std::fs::remove_file(dir.join("mmdb.snapshot.tmp"));
+
+        // The recovered engine accepts new writes, a full checkpoint now
+        // succeeds, and the state still matches after yet another reopen.
+        db.kv_put("cart", "post-crash", Value::str(site)).unwrap();
+        let summary = db.checkpoint().unwrap();
+        assert!(summary.wal_bytes_reclaimed > 0, "site {site}: checkpoint reclaimed nothing");
+        drop(db);
+        let db = Database::open(&dir).unwrap();
+        assert_eq!(probes(&db), oracle, "site {site}: state diverged after the checkpoint");
+        assert_eq!(db.kv().get("cart", "post-crash").unwrap(), Some(Value::str(site)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&oracle_dir);
+}
+
+#[test]
+fn checkpoint_shrinks_the_wal_under_multi_writer_load() {
+    let _serial = lock();
+    let dir = fresh_dir("shrink");
+    let db = Arc::new(Database::open(&dir).unwrap());
+    db.create_bucket("cart").unwrap();
+
+    // Sustained multi-writer load: four threads, fifty commits each, all
+    // through group commit onto the one shared log.
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                for i in 0..50 {
+                    db.kv_put("cart", &format!("w{t}-{i}"), Value::int(i)).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let wal_path = dir.join("mmdb.wal");
+    let before = std::fs::metadata(&wal_path).unwrap().len();
+    let summary = db.checkpoint().unwrap();
+    let after = std::fs::metadata(&wal_path).unwrap().len();
+    assert!(
+        after < before / 2,
+        "checkpoint did not measurably shrink the WAL file: {before} -> {after} bytes"
+    );
+    assert!(summary.wal_bytes_reclaimed > 0);
+    assert_eq!(summary.entries, 200, "one live snapshot entry per key");
+
+    // Writers keep going against the truncated log, and everything —
+    // snapshot state and post-checkpoint commits — survives a reopen.
+    db.kv_put("cart", "after", Value::int(1)).unwrap();
+    drop(db);
+    let db = Database::open(&dir).unwrap();
+    assert_eq!(db.kv().get("cart", "w3-49").unwrap(), Some(Value::int(49)));
+    assert_eq!(db.kv().get("cart", "after").unwrap(), Some(Value::int(1)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        poll_interval: Duration::from_millis(5),
+        ..ServerConfig::default()
+    }
+}
+
+/// Spin until `cond` holds; panics with `what` after 15s.
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    // lint: allow(tick, test helper poll loop with a hard 15s deadline)
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn replica_below_the_horizon_bootstraps_from_a_snapshot_and_converges() {
+    let _serial = lock();
+    let dir = fresh_dir("bootstrap");
+    let db = Arc::new(Database::open(&dir).unwrap());
+    let server = Server::start(Arc::clone(&db), server_config()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Seed, then checkpoint: the whole seed prefix vanishes below the
+    // truncation horizon, so a replica joining from LSN 0 cannot be fed
+    // from the log at all — only the snapshot path can serve it.
+    seed(&db);
+    let summary = db.checkpoint().unwrap();
+    assert!(summary.snapshot_lsn > 0);
+    assert_eq!(db.wal().unwrap().truncated_lsn(), summary.snapshot_lsn);
+
+    let replica_db = Arc::new(Database::in_memory());
+    let opts = ReplicaOptions {
+        reconnect_delay: Duration::from_millis(25),
+        client: ClientConfig {
+            read_timeout: Some(Duration::from_secs(2)),
+            ..ClientConfig::default()
+        },
+    };
+    let runner = ReplicaRunner::start(Arc::clone(&replica_db), addr.clone(), opts);
+    let tail = db.wal().unwrap().tail_lsn();
+    wait_until("snapshot bootstrap", || {
+        runner.status().is_connected() && runner.status().applied_lsn() >= tail
+    });
+    assert_eq!(probes(&replica_db), probes(&db), "bootstrapped replica diverged");
+
+    // The stream seamlessly continues past the bootstrap: a live commit
+    // on the primary reaches the replica through the ordinary tail.
+    db.kv_put("cart", "live", Value::str("after-bootstrap")).unwrap();
+    let tail = db.wal().unwrap().tail_lsn();
+    wait_until("live tail after bootstrap", || runner.status().applied_lsn() >= tail);
+    assert_eq!(
+        replica_db.kv().get("cart", "live").unwrap(),
+        Some(Value::str("after-bootstrap"))
+    );
+
+    runner.stop();
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn admin_checkpoint_reports_and_stats_expose_the_wal_footprint() {
+    let _serial = lock();
+    let db = Arc::new(Database::in_memory_logged());
+    db.create_bucket("cart").unwrap();
+    for i in 0..32 {
+        db.kv_put("cart", &i.to_string(), Value::int(i)).unwrap();
+    }
+    let server = Server::start(Arc::clone(&db), server_config()).unwrap();
+    let mut client = Client::connect(server.local_addr().to_string()).unwrap();
+
+    let health = client.admin_health().unwrap();
+    assert_eq!(health.get_field("seconds_since_checkpoint"), &Value::Null);
+
+    let summary = client.admin_checkpoint().unwrap();
+    assert!(summary.get_field("snapshot_lsn").as_int().unwrap() > 0);
+    assert!(summary.get_field("wal_bytes_reclaimed").as_int().unwrap() > 0);
+
+    let stats = client.admin_stats().unwrap();
+    let engine = stats.get_field("engine");
+    assert_eq!(engine.get_field("checkpoint_count").as_int().unwrap(), 1);
+    assert!(engine.get_field("checkpoint_bytes_reclaimed").as_int().unwrap() > 0);
+    let wal = stats.get_field("wal");
+    assert!(wal.get_field("truncated_lsn").as_int().unwrap() > 0);
+
+    let health = client.admin_health().unwrap();
+    assert!(health.get_field("seconds_since_checkpoint").as_int().unwrap() >= 0);
+
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn wal_size_threshold_triggers_checkpoints_automatically() {
+    let _serial = lock();
+    let dir = fresh_dir("auto");
+    let db = Arc::new(Database::open(&dir).unwrap());
+    db.create_bucket("cart").unwrap();
+    let config = ServerConfig {
+        checkpoint_wal_bytes: Some(2048),
+        ..server_config()
+    };
+    let server = Server::start(Arc::clone(&db), config).unwrap();
+
+    // Push the WAL well past the threshold; the background loop must
+    // bring it back down without any ADMIN CHECKPOINT.
+    for i in 0..200 {
+        db.kv_put("cart", &format!("auto-{i}"), Value::int(i)).unwrap();
+    }
+    wait_until("automatic checkpoint", || {
+        let (count, _, _) = db.checkpoint_stats();
+        count > 0 && db.wal_size_bytes() < 2048
+    });
+
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

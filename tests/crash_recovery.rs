@@ -209,6 +209,12 @@ fn doomed_op(db: &Database, site: &str) -> mmdb::Result<()> {
         // query crosses it many times. Queries write nothing, so a crash
         // here must leave no marks at all.
         "query.eval_tick" => db.query(RECOMMENDATION).map(|_| ()),
+        // Checkpoint-path sites: a manual checkpoint quiesces commits,
+        // snapshots live state, appends the marker, truncates the log.
+        // Checkpoints write no logical state, so whichever step crashes,
+        // reopen must land on the oracle. The deeper per-step assertions
+        // (snapshot presence, WAL base) live in tests/checkpoint.rs.
+        s if s.starts_with("ckpt.") => db.checkpoint().map(|_| ()),
         other => panic!(
             "failpoint site '{other}' has no doomed operation in the torture harness — \
              a new site was registered without extending tests/crash_recovery.rs"
@@ -467,6 +473,7 @@ fn the_workload_exercises_every_registered_site() {
     let _ = probes(&db);
     db.world().catalog.pool().flush_all().unwrap();
     db.kv().compact("cart").unwrap();
+    db.checkpoint().unwrap();
     drop(db);
 
     let seen = fault::seen_sites();

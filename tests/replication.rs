@@ -463,6 +463,81 @@ fn subscribe_streams_committed_writes_and_resumes_by_lsn() {
     server.shutdown().unwrap();
 }
 
+#[test]
+fn subscribe_below_the_truncation_horizon_is_a_typed_nonretryable_error() {
+    let _serial = lock();
+    let db = Arc::new(Database::in_memory_logged());
+    db.create_bucket("cart").unwrap();
+    let server = Server::start(Arc::clone(&db), server_config()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // Writes, then a checkpoint: the whole prefix — including LSN 0 —
+    // now sits below the truncation horizon.
+    for i in 0..8 {
+        db.kv_put("cart", &i.to_string(), Value::int(i)).unwrap();
+    }
+    let summary = db.checkpoint().unwrap();
+    assert!(summary.snapshot_lsn > 0);
+
+    // A change feed cannot be rebuilt from a snapshot (the intermediate
+    // events are gone), so resuming below the horizon must fail loudly —
+    // a typed, non-retryable error, not a silent skip-ahead.
+    let mut sub = Client::connect(&addr).unwrap();
+    sub.subscribe(0).unwrap();
+    let err = sub.next_change().unwrap_err();
+    assert_eq!(err.kind(), "log_truncated", "{err}");
+    assert!(!err.is_retryable(), "log_truncated must not invite a retry: {err}");
+
+    // Resuming at or past the horizon still works.
+    let mut ok = Client::connect(&addr).unwrap();
+    ok.subscribe(summary.snapshot_lsn).unwrap();
+    db.kv_put("cart", "fresh", Value::int(99)).unwrap();
+    assert_eq!(next_event(&mut ok).get_field("value"), &Value::int(99));
+
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn replica_applies_a_streamed_checkpoint_and_truncates_its_own_log() {
+    let _serial = lock();
+    let db = Arc::new(Database::in_memory_logged());
+    db.create_bucket("cart").unwrap();
+    let server = Server::start(Arc::clone(&db), server_config()).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // The replica keeps its own log (in-memory logged) so the streamed
+    // checkpoint has something to truncate locally.
+    let replica_db = Arc::new(Database::in_memory_logged());
+    let runner = ReplicaRunner::start(Arc::clone(&replica_db), addr, fast_opts());
+    for i in 0..16 {
+        db.kv_put("cart", &i.to_string(), Value::int(i)).unwrap();
+    }
+    wait_caught_up(&runner, db.wal().unwrap().tail_lsn(), "pre-checkpoint catch-up");
+    let replica_log_before = replica_db.wal_size_bytes();
+    assert!(replica_log_before > 0, "replica re-logs applied transactions");
+
+    // The primary checkpoints; the marker rides the stream and the
+    // replica checkpoints its own store in response.
+    db.checkpoint().unwrap();
+    wait_caught_up(&runner, db.wal().unwrap().tail_lsn(), "checkpoint record delivery");
+    wait_until("replica local checkpoint", || {
+        let (count, _, _) = replica_db.checkpoint_stats();
+        count > 0
+    });
+    assert!(
+        replica_db.wal_size_bytes() < replica_log_before,
+        "the streamed checkpoint must bound the replica's own log"
+    );
+
+    // Replication continues normally past the checkpoint record.
+    db.kv_put("cart", "post", Value::int(1)).unwrap();
+    wait_caught_up(&runner, db.wal().unwrap().tail_lsn(), "post-checkpoint tail");
+    assert_eq!(replica_db.kv().get("cart", "post").unwrap(), Some(Value::int(1)));
+
+    runner.stop();
+    server.shutdown().unwrap();
+}
+
 /// Pull the next CDC event, skipping heartbeats.
 fn next_event(sub: &mut Client) -> Value {
     // lint: allow(tick, bounded by the client read timeout; heartbeats arrive every 200ms)
