@@ -3,16 +3,28 @@
 //! EXPERIMENTS.md records.
 //!
 //! ```text
-//! unibench [--scale 0.5] [--workload a|b|c|r|all] [--seed 42]
+//! unibench [--scale 0.5] [--workload a|b|c|r|p|all] [--seed 42]
 //! ```
+//!
+//! Workload P (pipelining; opt-in, not part of `all`) measures
+//! request-parallel QPS over hot connections at pipeline depth 1 vs 32
+//! while thousands of idle connections sit on the same server. The idle
+//! connections live in a re-exec'd child process (`--idle-holder`, an
+//! internal mode) so the bench process's fd budget is not shared with
+//! the server's.
 
-use std::time::Instant;
+use std::io::{BufRead, BufReader, Write};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 use mmdb_bench::gen::{self, Dataset};
 use mmdb_bench::polyglot::PolyglotStores;
 use mmdb_bench::report::{fmt_duration, fmt_throughput, TextTable};
 use mmdb_bench::workloads;
+use mmdb_client::Client;
 use mmdb_core::Database;
+use mmdb_protocol::{Request, SessionOp};
+use mmdb_server::{Server, ServerConfig};
 use mmdb_types::Value;
 
 struct Args {
@@ -21,11 +33,24 @@ struct Args {
     seed: u64,
     /// Writer-thread counts for the concurrent Workload C section.
     writers: Vec<usize>,
+    /// Workload P: idle connections parked on the server.
+    idle_conns: usize,
+    /// Workload P: hot client threads issuing requests.
+    hot_conns: usize,
+    /// Workload P: requests per hot connection per depth.
+    pipeline_ops: usize,
 }
 
 fn parse_args() -> Args {
-    let mut args =
-        Args { scale: 0.5, workload: "all".into(), seed: 42, writers: vec![1, 8, 64] };
+    let mut args = Args {
+        scale: 0.5,
+        workload: "all".into(),
+        seed: 42,
+        writers: vec![1, 8, 64],
+        idle_conns: 10_000,
+        hot_conns: 100,
+        pipeline_ops: 512,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -39,6 +64,15 @@ fn parse_args() -> Args {
                     .filter(|v: &Vec<usize>| !v.is_empty())
                     .unwrap_or_else(|| vec![1, 8, 64]);
             }
+            "--idle-conns" => {
+                args.idle_conns = it.next().and_then(|v| v.parse().ok()).unwrap_or(10_000)
+            }
+            "--hot-conns" => {
+                args.hot_conns = it.next().and_then(|v| v.parse().ok()).unwrap_or(100)
+            }
+            "--pipeline-ops" => {
+                args.pipeline_ops = it.next().and_then(|v| v.parse().ok()).unwrap_or(512)
+            }
             other => {
                 eprintln!("unknown argument '{other}'");
                 std::process::exit(2);
@@ -49,6 +83,13 @@ fn parse_args() -> Args {
 }
 
 fn main() {
+    // Internal re-exec mode: hold N idle connections open from a child
+    // process (its own fd budget), then park until stdin closes.
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) == Some("--idle-holder") {
+        idle_holder(&argv[2], argv[3].parse().expect("idle-holder count"));
+        return;
+    }
     let args = parse_args();
     println!("UniBench — scale {}, seed {}\n", args.scale, args.seed);
     let data = gen::generate(args.scale, args.seed);
@@ -64,6 +105,7 @@ fn main() {
     let run_b = args.workload == "all" || args.workload == "b";
     let run_c = args.workload == "all" || args.workload == "c";
     let run_r = args.workload == "all" || args.workload == "r" || args.workload == "recovery";
+    let run_p = args.workload == "p" || args.workload == "pipeline";
 
     if run_a {
         workload_a(&data);
@@ -78,6 +120,166 @@ fn main() {
     if run_r {
         workload_recovery(&data, args.scale);
     }
+    if run_p {
+        workload_pipeline(&args);
+    }
+}
+
+/// `--idle-holder <addr> <count>`: connect `count` clients, report
+/// readiness on stdout, hold the connections until stdin closes.
+fn idle_holder(addr: &str, count: usize) {
+    let mut conns = Vec::with_capacity(count);
+    for i in 0..count {
+        match Client::connect(addr) {
+            Ok(c) => conns.push(c),
+            Err(e) => {
+                println!("error connecting idle conn {i}: {e}");
+                let _ = std::io::stdout().flush();
+                return;
+            }
+        }
+    }
+    println!("ready {}", conns.len());
+    let _ = std::io::stdout().flush();
+    let mut sink = String::new();
+    let _ = std::io::stdin().lock().read_line(&mut sink);
+}
+
+/// Hot threads each drive one connection at the given pipeline depth:
+/// submit a window of KvGets, then receive them all, until
+/// `ops_per_thread` requests have completed. Depth 1 degenerates to
+/// strict request/response.
+fn run_pipeline_depth(
+    addr: &str,
+    hot: usize,
+    depth: usize,
+    ops_per_thread: usize,
+) -> (usize, Duration) {
+    let barrier = Arc::new(Barrier::new(hot + 1));
+    let handles: Vec<_> = (0..hot)
+        .map(|t| {
+            let addr = addr.to_string();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("hot connect");
+                barrier.wait();
+                let mut done = 0usize;
+                while done < ops_per_thread {
+                    let window = depth.min(ops_per_thread - done);
+                    let ids: Vec<u64> = (0..window)
+                        .map(|i| {
+                            let key = format!("k{}", (t * 31 + done + i) % 1024);
+                            client
+                                .submit(&Request::Op(SessionOp::KvGet {
+                                    bucket: "cart".into(),
+                                    key,
+                                }))
+                                .expect("submit")
+                        })
+                        .collect();
+                    for id in ids {
+                        client.receive(id).expect("receive");
+                    }
+                    done += window;
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t0 = Instant::now();
+    for h in handles {
+        h.join().expect("hot thread");
+    }
+    (hot * ops_per_thread, t0.elapsed())
+}
+
+/// Workload P: pipelined request throughput with a cold-connection
+/// backdrop. Parks `idle_conns` handshaken-but-silent connections (in a
+/// child process), then measures `hot_conns` threads running
+/// `pipeline_ops` KvGets each at depth 1 vs depth 32 against the same
+/// server. Idle connections cost one parked reader thread each and no
+/// executor-pool slots, so the hot path's QPS must not degrade with
+/// them present; the depth-32 row shows the win from batching frames
+/// across the connection, the executor lane, and the outbound writer.
+fn workload_pipeline(args: &Args) {
+    println!("== Workload P: pipelined request throughput ==");
+    let db = Arc::new(Database::in_memory());
+    db.create_bucket("cart").expect("bucket");
+    for i in 0..1024 {
+        db.kv_put("cart", &format!("k{i}"), Value::int(i)).expect("seed key");
+    }
+    let server = Server::start(
+        Arc::clone(&db),
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            max_connections: args.idle_conns + args.hot_conns + 16,
+            idle_timeout: Duration::from_secs(3600),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server start");
+    let addr = server.local_addr().to_string();
+
+    let mut child = None;
+    if args.idle_conns > 0 {
+        let exe = std::env::current_exe().expect("current_exe");
+        let mut c = std::process::Command::new(exe)
+            .arg("--idle-holder")
+            .arg(&addr)
+            .arg(args.idle_conns.to_string())
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn idle holder");
+        let mut ready = String::new();
+        BufReader::new(c.stdout.take().expect("holder stdout"))
+            .read_line(&mut ready)
+            .expect("holder readiness");
+        assert!(
+            ready.starts_with("ready"),
+            "idle holder failed: {}",
+            ready.trim()
+        );
+        println!("parked {} idle connections", args.idle_conns);
+        child = Some(c);
+    }
+
+    let mut table =
+        TextTable::new(&["depth", "idle conns", "hot conns", "ops", "elapsed", "throughput"]);
+    for depth in [1usize, 32] {
+        let (ops, elapsed) =
+            run_pipeline_depth(&addr, args.hot_conns, depth, args.pipeline_ops);
+        let qps = ops as f64 / elapsed.as_secs_f64().max(1e-9);
+        table.row(&[
+            depth.to_string(),
+            args.idle_conns.to_string(),
+            args.hot_conns.to_string(),
+            ops.to_string(),
+            fmt_duration(elapsed),
+            fmt_throughput(ops, elapsed),
+        ]);
+        println!(
+            "{}",
+            mmdb_bench::report::bench_json(
+                "pipelined_qps",
+                &[
+                    ("depth", depth.to_string()),
+                    ("idle_connections", args.idle_conns.to_string()),
+                    ("hot_connections", args.hot_conns.to_string()),
+                    ("ops", ops.to_string()),
+                    ("elapsed_us", elapsed.as_micros().to_string()),
+                    ("qps", format!("{qps:.1}")),
+                ],
+            )
+        );
+    }
+    println!("{}", table.render());
+
+    if let Some(mut c) = child {
+        drop(c.stdin.take());
+        let _ = c.wait();
+    }
+    server.shutdown().expect("server shutdown");
 }
 
 fn fresh_loaded(data: &Dataset) -> Database {

@@ -17,6 +17,8 @@ mod retry;
 pub use pool::{Consistency, Pool, PoolConfig, PoolStats, PooledClient};
 pub use retry::RetryPolicy;
 
+use std::collections::{HashMap, HashSet};
+use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -61,6 +63,16 @@ pub struct Client {
     /// Set after `replica_hello`/`subscribe`: the server now pushes
     /// `Change` frames and ordinary request/response calls are invalid.
     streaming: bool,
+    /// Next request id handed out by [`Client::submit`].
+    next_id: u64,
+    /// Ids submitted but not yet handed back by [`Client::receive`].
+    pending: HashSet<u64>,
+    /// Encoded frames buffered by `submit` and flushed in one write on
+    /// the next `receive` (or explicit [`Client::flush`]).
+    send_buf: Vec<u8>,
+    /// Responses read off the wire ahead of the id the caller asked
+    /// for: the server may complete pipelined requests out of order.
+    stash: HashMap<u64, Response>,
 }
 
 impl std::fmt::Debug for Client {
@@ -92,6 +104,10 @@ impl Client {
             poisoned: false,
             last_commit_lsn: None,
             streaming: false,
+            next_id: 1,
+            pending: HashSet::new(),
+            send_buf: Vec::new(),
+            stash: HashMap::new(),
         };
         match client.call(&Request::Hello { version: PROTOCOL_VERSION })? {
             Response::Hello { server, .. } => {
@@ -129,6 +145,11 @@ impl Client {
                 "connection is in streaming mode; only next_change is valid".into(),
             ));
         }
+        if !self.pending.is_empty() {
+            return Err(Error::Protocol(
+                "pipelined requests in flight; receive them before call".into(),
+            ));
+        }
         let result = (|| {
             frame::write_frame(&mut self.stream, &req.encode(), self.config.max_frame_len)?;
             let payload = frame::read_frame(&mut self.stream, self.config.max_frame_len)?;
@@ -143,6 +164,133 @@ impl Client {
                 self.poisoned = true;
                 Err(e)
             }
+        }
+    }
+
+    // ---- pipelining --------------------------------------------------------
+
+    /// Queue a request without waiting for its response; returns the
+    /// request id to pass to [`Client::receive`].
+    ///
+    /// Frames are buffered locally and flushed in one write by the next
+    /// `receive` (or an explicit [`Client::flush`]), so submitting N
+    /// requests then receiving them costs one socket write instead of
+    /// N. Responses may come back out of submission order; `receive`
+    /// stashes whatever else arrives while it waits for the id you
+    /// asked for. The server caps the ids it will hold in flight per
+    /// connection at `pipeline_depth` and stops reading beyond it, so a
+    /// client that submits far more than it receives will eventually
+    /// block in `flush` — that is the backpressure working, not a bug.
+    ///
+    /// Transactions pipeline safely: the server executes `BEGIN` /
+    /// model ops / `COMMIT` from one connection in submission order.
+    pub fn submit(&mut self, req: &Request) -> Result<u64> {
+        if self.poisoned {
+            return Err(Error::Protocol(
+                "connection poisoned by an earlier I/O failure".into(),
+            ));
+        }
+        if self.streaming {
+            return Err(Error::Protocol(
+                "connection is in streaming mode; only next_change is valid".into(),
+            ));
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        // An oversized payload errors before buffering anything, so the
+        // connection stays clean.
+        frame::write_frame(
+            &mut self.send_buf,
+            &req.encode_with_id(Some(id)),
+            self.config.max_frame_len,
+        )?;
+        self.pending.insert(id);
+        Ok(id)
+    }
+
+    /// Push all buffered [`Client::submit`] frames to the server in one
+    /// write. `receive` calls this automatically.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.send_buf.is_empty() {
+            return Ok(());
+        }
+        if self.poisoned {
+            return Err(Error::Protocol(
+                "connection poisoned by an earlier I/O failure".into(),
+            ));
+        }
+        let buf = std::mem::take(&mut self.send_buf);
+        if let Err(e) = self.stream.write_all(&buf) {
+            self.poisoned = true;
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// Wait for the response to a previously [`Client::submit`]ted id.
+    ///
+    /// Ids may be received in any order; responses that arrive for
+    /// other pending ids are stashed and returned when asked for.
+    /// Engine errors come back as `Err` with the original kind and the
+    /// connection stays usable; I/O and framing failures poison it.
+    pub fn receive(&mut self, id: u64) -> Result<Response> {
+        if !self.pending.contains(&id) {
+            return Err(Error::Protocol(format!(
+                "request id {id} is not in flight on this connection"
+            )));
+        }
+        self.flush()?;
+        loop {
+            if let Some(resp) = self.stash.remove(&id) {
+                self.pending.remove(&id);
+                return self.unwrap_pipelined(resp);
+            }
+            if self.poisoned {
+                return Err(Error::Protocol(
+                    "connection poisoned by an earlier I/O failure".into(),
+                ));
+            }
+            let result = (|| {
+                let payload = frame::read_frame(&mut self.stream, self.config.max_frame_len)?;
+                Response::decode_with_id(&payload)
+            })();
+            match result {
+                Ok((Some(got), resp)) if got == id => {
+                    self.pending.remove(&id);
+                    return self.unwrap_pipelined(resp);
+                }
+                Ok((Some(got), resp)) if self.pending.contains(&got) => {
+                    self.stash.insert(got, resp);
+                }
+                Ok((got, resp)) => {
+                    self.poisoned = true;
+                    return Err(Error::Protocol(format!(
+                        "unexpected pipelined frame (id {got:?}): {resp:?}"
+                    )));
+                }
+                Err(e) => {
+                    self.poisoned = true;
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Number of submitted requests not yet received.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn unwrap_pipelined(&mut self, resp: Response) -> Result<Response> {
+        match resp {
+            Response::Err { kind, message } => Err(Response::into_error(&kind, message)),
+            Response::Committed { commit_ts, lsn } => {
+                if lsn.is_some() {
+                    self.last_commit_lsn = self.last_commit_lsn.max(lsn);
+                }
+                Ok(Response::Committed { commit_ts, lsn })
+            }
+            other => Ok(other),
         }
     }
 
@@ -323,6 +471,11 @@ impl Client {
         }
         if self.streaming {
             return Err(Error::Protocol("connection is already streaming".into()));
+        }
+        if !self.pending.is_empty() {
+            return Err(Error::Protocol(
+                "pipelined requests in flight; receive them before streaming".into(),
+            ));
         }
         if let Err(e) =
             frame::write_frame(&mut self.stream, &req.encode(), self.config.max_frame_len)

@@ -3,7 +3,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -29,8 +29,12 @@ struct CheckpointState {
     count: AtomicU64,
     total_micros: AtomicU64,
     bytes_reclaimed: AtomicU64,
-    /// When the last successful checkpoint finished.
-    last_at: Mutex<Option<Instant>>,
+    /// When the last successful checkpoint finished: a stamp instant
+    /// plus how old the checkpoint already was *at* the stamp — zero for
+    /// an in-process checkpoint, the snapshot file's age when reopening
+    /// a directory that already holds one (so `ADMIN HEALTH` keeps
+    /// reporting checkpoint staleness across restarts).
+    last_at: Mutex<Option<(Instant, Duration)>>,
 }
 
 /// What one [`Database::checkpoint`] accomplished.
@@ -128,6 +132,13 @@ impl Database {
         }
         let wal = Arc::new(Wal::open(&wal_path)?);
         let db = Self::build(Some(wal), Some(dir.to_path_buf()));
+        // The snapshot's mtime (stamped by the atomic rename at checkpoint
+        // completion) dates the last checkpoint, so `ADMIN HEALTH` keeps
+        // answering `seconds_since_checkpoint` across restarts instead of
+        // reporting null until the first in-process checkpoint.
+        if let Some(age) = snapshot::snapshot_age(dir) {
+            *db.ckpt.last_at.lock() = Some((Instant::now(), age));
+        }
         db.mvcc.recover(&recovery)?;
         // Replication watermark: everything up to the recovered tail is
         // committed history a replica may resume from.
@@ -417,7 +428,7 @@ impl Database {
         self.ckpt.count.fetch_add(1, Ordering::SeqCst);
         self.ckpt.total_micros.fetch_add(summary.micros, Ordering::SeqCst);
         self.ckpt.bytes_reclaimed.fetch_add(summary.wal_bytes_reclaimed, Ordering::SeqCst);
-        *self.ckpt.last_at.lock() = Some(Instant::now());
+        *self.ckpt.last_at.lock() = Some((Instant::now(), Duration::ZERO));
         Ok(summary)
     }
 
@@ -431,10 +442,12 @@ impl Database {
         )
     }
 
-    /// Seconds since the last successful checkpoint in this process
-    /// (`None` before the first one) — `ADMIN HEALTH`.
+    /// Seconds since the last successful checkpoint — `ADMIN HEALTH`.
+    /// `None` only when no checkpoint has ever happened *and* the data
+    /// directory holds no snapshot: reopening a checkpointed database
+    /// resumes the clock from the snapshot file's mtime.
     pub fn seconds_since_checkpoint(&self) -> Option<u64> {
-        self.ckpt.last_at.lock().map(|at| at.elapsed().as_secs())
+        self.ckpt.last_at.lock().map(|(at, base)| (base + at.elapsed()).as_secs())
     }
 
     /// Physical WAL size in bytes (0 without a WAL) — the auto-checkpoint

@@ -13,6 +13,36 @@ use mmdb_types::{Error, Result, Value};
 /// different major version.
 pub const PROTOCOL_VERSION: i64 = 1;
 
+/// Envelope tag for id-carrying frames (see [`Request::encode_with_id`]).
+/// Ordinary message tags are lowercase words, so the `#` prefix can never
+/// collide with one.
+const ID_TAG: &str = "#id";
+
+/// Wrap an encoded message value in the pipelining id envelope:
+/// `["#id", <id>, <inner message>]`.
+fn envelope(id: u64, inner: Value) -> Value {
+    tagged(ID_TAG, vec![Value::int(id as i64), inner])
+}
+
+/// Split an incoming message value into its optional pipelining id and
+/// the inner message. Id-less frames (everything a pre-pipelining peer
+/// sends) pass through unchanged, which is what keeps the envelope
+/// backward compatible: no id on the wire means no envelope bytes at all,
+/// exactly like the `deadline_ms`/`analyze` trailing-field precedents.
+fn unwrap_envelope(v: &Value) -> Result<(Option<u64>, &Value)> {
+    let (tag, rest) = parts(v)?;
+    if tag != ID_TAG {
+        return Ok((None, v));
+    }
+    let id = int_field(rest, 0, tag)?;
+    let id = u64::try_from(id)
+        .map_err(|_| Error::Protocol("'#id' field 0 must be a non-negative id".into()))?;
+    let inner = field(rest, 1, tag)?;
+    // One level only: an envelope inside an envelope is a protocol error,
+    // caught by the inner from_value seeing an unknown '#id' tag.
+    Ok((Some(id), inner))
+}
+
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -259,6 +289,26 @@ impl Request {
         let v = value_from_bytes(payload)
             .map_err(|e| Error::Protocol(format!("undecodable request payload: {e}")))?;
         Request::from_value(&v)
+    }
+
+    /// Encode with an optional pipelining request id. `None` produces
+    /// exactly the bytes of [`Request::encode`] — an id-less frame is
+    /// byte-identical to what a pre-pipelining client sends, so old
+    /// servers and old clients interoperate unchanged.
+    pub fn encode_with_id(&self, id: Option<u64>) -> Vec<u8> {
+        match id {
+            None => self.encode(),
+            Some(id) => value_to_bytes(&envelope(id, self.to_value())).to_vec(),
+        }
+    }
+
+    /// Decode a wire payload that may carry the pipelining id envelope.
+    /// Returns the id (when present) alongside the request.
+    pub fn decode_with_id(payload: &[u8]) -> Result<(Option<u64>, Request)> {
+        let v = value_from_bytes(payload)
+            .map_err(|e| Error::Protocol(format!("undecodable request payload: {e}")))?;
+        let (id, inner) = unwrap_envelope(&v)?;
+        Ok((id, Request::from_value(inner)?))
     }
 
     fn to_value(&self) -> Value {
@@ -547,6 +597,24 @@ impl Response {
         Response::from_value(&v)
     }
 
+    /// Encode with the request id this response answers. `None` produces
+    /// exactly the bytes of [`Response::encode`] (the reply shape for
+    /// id-less requests).
+    pub fn encode_with_id(&self, id: Option<u64>) -> Vec<u8> {
+        match id {
+            None => self.encode(),
+            Some(id) => value_to_bytes(&envelope(id, self.to_value())).to_vec(),
+        }
+    }
+
+    /// Decode a wire payload that may carry the pipelining id envelope.
+    pub fn decode_with_id(payload: &[u8]) -> Result<(Option<u64>, Response)> {
+        let v = value_from_bytes(payload)
+            .map_err(|e| Error::Protocol(format!("undecodable response payload: {e}")))?;
+        let (id, inner) = unwrap_envelope(&v)?;
+        Ok((id, Response::from_value(inner)?))
+    }
+
     fn to_value(&self) -> Value {
         match self {
             Response::Ok => tagged("ok", vec![]),
@@ -800,6 +868,54 @@ mod tests {
             let bad = value_to_bytes(&Value::Array(vec![Value::str(tag), Value::int(-7)]));
             assert_eq!(Request::decode(&bad).unwrap_err().kind(), "protocol", "{tag}");
         }
+    }
+
+    #[test]
+    fn request_ids_ride_in_an_optional_envelope() {
+        // With an id, both directions round-trip through the envelope.
+        let req = Request::Query { text: "RETURN 1".into(), deadline_ms: Some(50) };
+        let bytes = req.encode_with_id(Some(7));
+        assert_eq!(Request::decode_with_id(&bytes).unwrap(), (Some(7), req.clone()));
+        let resp = Response::Rows(vec![Value::int(1)]);
+        let bytes = resp.encode_with_id(Some(9000));
+        assert_eq!(Response::decode_with_id(&bytes).unwrap(), (Some(9000), resp.clone()));
+
+        // Without an id the bytes are exactly the legacy encoding — the
+        // compatibility rule that keeps pre-pipelining peers working.
+        assert_eq!(req.encode_with_id(None), req.encode());
+        assert_eq!(resp.encode_with_id(None), resp.encode());
+        assert_eq!(Request::decode_with_id(&req.encode()).unwrap(), (None, req));
+        assert_eq!(Response::decode_with_id(&resp.encode()).unwrap(), (None, resp));
+
+        // The plain decoders treat an envelope as an unknown tag, which
+        // is what an old server does with a pipelined frame.
+        let enveloped = Request::Ping.encode_with_id(Some(1));
+        assert_eq!(Request::decode(&enveloped).unwrap_err().kind(), "protocol");
+    }
+
+    #[test]
+    fn malformed_id_envelopes_are_protocol_errors() {
+        // Negative id.
+        let bad = value_to_bytes(&Value::Array(vec![
+            Value::str("#id"),
+            Value::int(-1),
+            Value::Array(vec![Value::str("ping")]),
+        ]));
+        assert_eq!(Request::decode_with_id(&bad).unwrap_err().kind(), "protocol");
+        // Missing inner message.
+        let bad = value_to_bytes(&Value::Array(vec![Value::str("#id"), Value::int(1)]));
+        assert_eq!(Request::decode_with_id(&bad).unwrap_err().kind(), "protocol");
+        // Nested envelopes don't recurse.
+        let nested = value_to_bytes(&Value::Array(vec![
+            Value::str("#id"),
+            Value::int(1),
+            Value::Array(vec![
+                Value::str("#id"),
+                Value::int(2),
+                Value::Array(vec![Value::str("ping")]),
+            ]),
+        ]));
+        assert_eq!(Request::decode_with_id(&nested).unwrap_err().kind(), "protocol");
     }
 
     #[test]

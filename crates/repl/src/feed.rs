@@ -83,7 +83,11 @@ pub fn record_frame(t: &TailedRecord) -> Value {
 /// (`snapshot_lsn`) positions its resume cursor at the live tail.
 ///
 /// `writes` are `(domain, key, encoded live value)` triples — snapshots
-/// carry no deletes.
+/// carry no deletes, so the replica applies txid 0 as a full state
+/// *replace* (`MvccStore::apply_snapshot_replace`): keys it still holds
+/// that are absent from the snapshot get synthesized tombstones, which
+/// is how deletes that happened inside the truncated gap reach a stale
+/// non-empty replica.
 pub fn bootstrap_frames(snapshot_lsn: Lsn, writes: &[(String, Vec<u8>, Vec<u8>)]) -> Vec<Value> {
     let at = |record: WalRecord| {
         record_frame(&TailedRecord { lsn: snapshot_lsn, next_lsn: snapshot_lsn, record })

@@ -190,7 +190,18 @@ impl Worker {
                             mmdb_fault::fail_point!("repl.apply", |msg| {
                                 mmdb_types::Error::Storage(format!("replica apply: {msg}"))
                             });
-                            self.db.mvcc().apply_replicated(&writes)?;
+                            if *txid == 0 {
+                                // Txid 0 is the synthetic snapshot-bootstrap
+                                // transaction: the primary's complete live
+                                // state. Apply it as a full replace so keys
+                                // this replica still holds from before the
+                                // truncation horizon — including ones the
+                                // primary deleted inside the gap — don't
+                                // survive as ghosts.
+                                self.db.mvcc().apply_snapshot_replace(&writes)?;
+                            } else {
+                                self.db.mvcc().apply_replicated(&writes)?;
+                            }
                             self.status.note_txn_applied();
                         }
                         WalRecord::Abort { txid } => {

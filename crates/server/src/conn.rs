@@ -1,19 +1,32 @@
-//! Per-connection protocol loop.
+//! Per-connection machinery for the pipelined server.
 //!
-//! Each connection is served by one worker thread: read a framed
-//! request, dispatch it against the shared [`Database`], write the
-//! framed response. The socket read is polled on a short tick so the
-//! loop observes shutdown promptly while still draining any request
-//! whose bytes have already started arriving.
+//! Each connection is three cooperating parts:
 //!
-//! A connection owns at most one [`Session`]. When the loop exits with
-//! the session still open — client vanished, protocol error, shutdown —
-//! dropping it aborts the transaction (see `mmdb_core::session`), and
-//! the reap is counted in the metrics.
+//! * a **reader** thread (spawned at accept) that blocks on the socket,
+//!   decodes frames, and enqueues requests onto the shared executor
+//!   pool — stopping at `pipeline_depth` requests in flight, which is
+//!   the whole backpressure story;
+//! * the **executor pool** (shared, `workers` threads) that runs the
+//!   requests: stateless tagged requests in parallel, everything
+//!   touching session state (and every untagged request, to preserve
+//!   legacy request/response ordering) on the connection's *serial
+//!   lane* — a queue drained by at most one pool job at a time;
+//! * a lazily-spawned **writer** thread that batches completed
+//!   responses off the outbound queue and writes them with one syscall
+//!   per batch. Connections that never pipeline past the handshake
+//!   (e.g. thousands of idle clients) never get a writer.
+//!
+//! A connection owns at most one [`Session`]. When the reader retires
+//! with the session still open — client vanished, protocol error,
+//! shutdown — dropping it aborts the transaction (see
+//! `mmdb_core::session`), and the reap is counted in the metrics.
 
-use std::io::{ErrorKind, Read};
-use std::net::TcpStream;
-use std::sync::atomic::Ordering;
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use mmdb_core::Session;
@@ -23,77 +36,287 @@ use mmdb_types::codec::value_to_bytes;
 use mmdb_types::{CancelToken, Error, Result, Value};
 use mmdb_txn::IsolationLevel;
 
-use crate::{ServerInner, SERVER_NAME};
+use parking_lot::{Condvar, Mutex};
 
-/// Outcome of one polled frame read.
-enum FrameRead {
-    /// A complete frame payload.
-    Frame(Vec<u8>),
-    /// Clean end: EOF between frames, idle timeout, or shutdown.
-    Closed,
+use crate::{Job, ServerInner, SERVER_NAME};
+
+/// One request parked on a connection's serial lane.
+struct LaneJob {
+    id: Option<u64>,
+    req: Request,
+    token: Option<CancelToken>,
+    enqueued: Instant,
 }
 
-/// Read one frame, waking every poll tick to check for shutdown.
-///
-/// The stream must have a read timeout (the poll tick) configured.
-/// Between frames, shutdown or `idle_timeout` closes the connection;
-/// once the first byte of a frame has arrived the read keeps going —
-/// draining the in-flight request — until `read_timeout` of silence.
-fn read_frame_polled(stream: &mut TcpStream, inner: &ServerInner) -> Result<FrameRead> {
-    let mut header = [0u8; frame::HEADER_LEN];
-    match fill(stream, &mut header, inner, true)? {
-        FillRead::Done => {}
-        FillRead::Closed => return Ok(FrameRead::Closed),
+/// State a connection's reader, writer, and executor jobs share.
+/// One mutex per connection: the queues are small and the hold times
+/// are a few pointer moves.
+struct ConnShared {
+    /// Completed responses as fully framed bytes, oldest first. Bounded
+    /// by construction: the reader admits at most `pipeline_depth`
+    /// requests, so at most that many responses can ever be queued
+    /// (plus one terminal error frame).
+    out: VecDeque<Vec<u8>>,
+    /// Requests decoded but not yet answered.
+    inflight: usize,
+    /// Serial-lane backlog (untagged + session-affecting requests).
+    lane: VecDeque<LaneJob>,
+    /// Whether a lane-drainer job is in (or queued for) the pool.
+    lane_running: bool,
+    /// The writer thread, once spawned; the reader joins it on exit.
+    writer: Option<JoinHandle<()>>,
+    writer_spawned: bool,
+    /// The writer popped a batch and is mid-write (the out queue being
+    /// empty does not mean the socket is quiet).
+    writer_busy: bool,
+    /// The writer hit a write error/timeout: the peer stopped reading.
+    /// Responses are dropped instead of queued from here on.
+    dead: bool,
+    /// No more requests will arrive; the writer drains and exits.
+    closing: bool,
+}
+
+/// Everything the reaper, shutdown, and executor jobs need to reach a
+/// connection. The `TcpStream` is owned here, *unduplicated*: reader
+/// and writer do I/O through `&TcpStream` (both halves are independent)
+/// and the reaper unblocks the reader with [`TcpStream::shutdown`] —
+/// cloning the stream would double the server's fd footprint.
+pub(crate) struct ConnHandle {
+    pub(crate) id: u64,
+    stream: TcpStream,
+    epoch: Instant,
+    state: Mutex<ConnShared>,
+    cv: Condvar,
+    /// Milliseconds since `epoch` of the last completed frame read.
+    last_activity_ms: AtomicU64,
+    /// The reader is mid-frame (first byte arrived): `read_timeout`
+    /// governs, not `idle_timeout`.
+    mid_frame: AtomicBool,
+    /// The connection flipped into replication/CDC push mode.
+    streaming: AtomicBool,
+    /// The connection's open transaction, if any. Only serial-lane jobs
+    /// and the retiring reader touch it; the lane runs one job at a
+    /// time, so the lock is uncontended by design.
+    session: Mutex<Option<Session>>,
+}
+
+impl ConnHandle {
+    pub(crate) fn new(id: u64, stream: TcpStream, inner: &ServerInner) -> ConnHandle {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_write_timeout(Some(inner.config.write_timeout));
+        ConnHandle {
+            id,
+            stream,
+            epoch: Instant::now(),
+            state: Mutex::new(ConnShared {
+                out: VecDeque::new(),
+                inflight: 0,
+                lane: VecDeque::new(),
+                lane_running: false,
+                writer: None,
+                writer_spawned: false,
+                writer_busy: false,
+                dead: false,
+                closing: false,
+            }),
+            cv: Condvar::new(),
+            last_activity_ms: AtomicU64::new(0),
+            mid_frame: AtomicBool::new(false),
+            streaming: AtomicBool::new(false),
+            session: Mutex::new(None),
+        }
     }
-    let len = u32::from_be_bytes(header);
-    if len > inner.config.max_frame_len {
-        return Err(Error::Protocol(format!(
-            "incoming frame announces {len} bytes, exceeding the {} byte limit",
-            inner.config.max_frame_len
-        )));
+
+    /// Unblock a reader parked in a blocking read by shutting the
+    /// socket's read half down: the reader sees EOF and retires
+    /// cleanly. The write half stays up so queued responses still
+    /// flush. Used by the idle reaper and by graceful shutdown.
+    pub(crate) fn unblock_reader(&self) {
+        let _ = self.stream.shutdown(Shutdown::Read);
     }
-    let mut payload = vec![0u8; len as usize];
-    match fill(stream, &mut payload, inner, false)? {
-        FillRead::Done => Ok(FrameRead::Frame(payload)),
-        FillRead::Closed => Err(Error::Protocol("connection closed mid-frame".into())),
+
+    /// Milliseconds since the last completed frame read (or since
+    /// accept).
+    pub(crate) fn idle_for_ms(&self) -> u64 {
+        let now = self.epoch.elapsed().as_millis() as u64;
+        now.saturating_sub(self.last_activity_ms.load(Ordering::Relaxed)) // lint: allow(relaxed, idle-time heuristic read by the reaper; no synchronization role)
+    }
+
+    /// Whether the idle reaper may close this connection: nothing in
+    /// flight, nothing queued, no frame mid-read, not a push stream.
+    pub(crate) fn reapable(&self) -> bool {
+        if self.mid_frame.load(Ordering::Relaxed) || self.streaming.load(Ordering::Relaxed) { // lint: allow(relaxed, reaper heuristic; a racing frame start is re-checked next tick)
+            return false;
+        }
+        let st = self.state.lock();
+        st.inflight == 0 && st.out.is_empty() && st.lane.is_empty() && !st.writer_busy
+    }
+
+    fn note_activity(&self) {
+        let now = self.epoch.elapsed().as_millis() as u64;
+        self.last_activity_ms.store(now, Ordering::Relaxed); // lint: allow(relaxed, idle-time heuristic read by the reaper; no synchronization role)
+    }
+
+    /// The raw stream, for rejecting a connection whose reader thread
+    /// could not be spawned.
+    pub(crate) fn raw_stream(&self) -> &TcpStream {
+        &self.stream
     }
 }
 
-enum FillRead {
-    Done,
-    Closed,
+/// Encode `resp` (tagged with `id` when present) as one wire frame. A
+/// response too large for the frame limit degrades to a framed error —
+/// the request id is preserved so a pipelining client still gets its
+/// answer.
+fn encode_frame(inner: &ServerInner, id: Option<u64>, resp: &Response) -> Vec<u8> {
+    let max = inner.config.max_frame_len;
+    let payload = resp.encode_with_id(id);
+    let mut buf = Vec::with_capacity(payload.len() + frame::HEADER_LEN);
+    if frame::write_frame(&mut buf, &payload, max).is_ok() {
+        return buf;
+    }
+    let err = Response::from_error(&Error::Protocol(format!(
+        "response of {} bytes exceeds the {} byte frame limit",
+        payload.len(),
+        max
+    )));
+    buf.clear();
+    let _ = frame::write_frame(&mut buf, &err.encode_with_id(id), max);
+    buf
 }
 
-fn fill(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    inner: &ServerInner,
-    frame_start: bool,
-) -> Result<FillRead> {
-    let started = Instant::now();
-    let mut filled = 0usize;
-    while filled < buf.len() {
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => {
-                if frame_start && filled == 0 {
-                    return Ok(FillRead::Closed);
+/// Queue one framed message for the writer, lazily spawning it. Drops
+/// the frame when the writer is dead (the peer stopped reading).
+fn push_frame(inner: &Arc<ServerInner>, conn: &Arc<ConnHandle>, bytes: Vec<u8>) {
+    let mut st = conn.state.lock();
+    if st.dead {
+        return;
+    }
+    st.out.push_back(bytes);
+    inner.metrics.responses_queued.inc();
+    spawn_writer_if_needed(inner, conn, &mut st);
+    conn.cv.notify_all();
+}
+
+fn spawn_writer_if_needed(
+    inner: &Arc<ServerInner>,
+    conn: &Arc<ConnHandle>,
+    st: &mut ConnShared,
+) {
+    if st.writer_spawned {
+        return;
+    }
+    st.writer_spawned = true;
+    let handle = {
+        let inner = Arc::clone(inner);
+        let conn = Arc::clone(conn);
+        std::thread::Builder::new()
+            .name(format!("mmdb-wr-{}", conn.id))
+            .stack_size(crate::CONN_STACK_BYTES)
+            .spawn(move || writer_loop(&inner, &conn))
+    };
+    match handle {
+        Ok(h) => st.writer = Some(h),
+        Err(_) => {
+            // No thread, no flush path: treat it like a dead peer.
+            st.dead = true;
+            st.out.clear();
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Record the outcome, frame the response, and hand it to the writer,
+/// releasing one slot of the connection's in-flight budget.
+fn finish(
+    inner: &Arc<ServerInner>,
+    conn: &Arc<ConnHandle>,
+    id: Option<u64>,
+    req: &Request,
+    resp: Response,
+    enqueued: Instant,
+) {
+    let ok = !matches!(resp, Response::Err { .. });
+    inner.metrics.record_request(req, ok, enqueued.elapsed());
+    let bytes = encode_frame(inner, id, &resp);
+    let mut st = conn.state.lock();
+    st.inflight -= 1;
+    inner.metrics.inflight_requests.dec();
+    if !st.dead {
+        st.out.push_back(bytes);
+        inner.metrics.responses_queued.inc();
+        spawn_writer_if_needed(inner, conn, &mut st);
+    }
+    conn.cv.notify_all();
+}
+
+/// The per-connection writer: batch everything queued, write it with
+/// one syscall, repeat. Exits when the connection is closing and fully
+/// drained, or the moment a write fails/times out (a peer that stopped
+/// reading its responses gets disconnected, not buffered without
+/// bound).
+fn writer_loop(inner: &Arc<ServerInner>, conn: &Arc<ConnHandle>) {
+    loop {
+        let batch: VecDeque<Vec<u8>> = {
+            let mut st = conn.state.lock();
+            loop {
+                if st.dead {
+                    return;
                 }
-                return Err(Error::Protocol("connection closed mid-frame".into()));
+                if !st.out.is_empty() {
+                    st.writer_busy = true;
+                    // Claimed frames leave the gauge here, under the
+                    // lock: `responses_queued` counts frames waiting
+                    // for the writer, not bytes in flight to the
+                    // kernel (that window is `writer_busy`).
+                    inner.metrics.responses_queued.sub(st.out.len() as u64);
+                    break std::mem::take(&mut st.out);
+                }
+                if st.closing && st.inflight == 0 {
+                    return;
+                }
+                conn.cv.wait(&mut st);
             }
-            Ok(n) => filled += n,
+        };
+        let total: usize = batch.iter().map(Vec::len).sum();
+        let mut buf = Vec::with_capacity(total);
+        for frame_bytes in &batch {
+            buf.extend_from_slice(frame_bytes);
+        }
+        let result = write_all_bounded(&conn.stream, &buf, inner.config.write_timeout);
+        let mut st = conn.state.lock();
+        st.writer_busy = false;
+        if result.is_err() {
+            st.dead = true;
+            inner.metrics.responses_queued.sub(st.out.len() as u64);
+            st.out.clear();
+            drop(st);
+            // Unblock the reader too: with the peer not reading, the
+            // connection is beyond saving.
+            let _ = conn.stream.shutdown(Shutdown::Both);
+            conn.cv.notify_all();
+            return;
+        }
+        drop(st);
+        conn.cv.notify_all();
+    }
+}
+
+/// `write_all` against a socket with a write timeout configured,
+/// bounding the *total* stall rather than trusting a byte-trickling
+/// peer to reset the per-write clock forever.
+fn write_all_bounded(stream: &TcpStream, buf: &[u8], timeout: Duration) -> Result<()> {
+    let started = Instant::now();
+    let mut done = 0usize;
+    let mut w = stream;
+    while done < buf.len() {
+        match w.write(&buf[done..]) {
+            Ok(0) => return Err(Error::Storage("socket closed mid-write".into())),
+            Ok(n) => done += n,
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                let waiting_for_first_byte = frame_start && filled == 0;
-                if waiting_for_first_byte {
-                    if inner.shutting_down() {
-                        return Ok(FillRead::Closed);
-                    }
-                    if started.elapsed() >= inner.config.idle_timeout {
-                        return Ok(FillRead::Closed);
-                    }
-                } else if started.elapsed() >= inner.config.read_timeout {
+                if started.elapsed() >= timeout {
                     return Err(Error::Storage(format!(
-                        "read stalled mid-frame for {:?}",
-                        inner.config.read_timeout
+                        "write stalled for {timeout:?}: peer not reading responses"
                     )));
                 }
             }
@@ -101,144 +324,371 @@ fn fill(
             Err(e) => return Err(e.into()),
         }
     }
-    Ok(FillRead::Done)
+    Ok(())
 }
 
-/// Serve one connection until it closes.
-pub(crate) fn handle_connection(inner: &ServerInner, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(inner.config.poll_interval));
-    let _ = stream.set_write_timeout(Some(inner.config.write_timeout));
-    let _ = stream.set_nodelay(true);
+/// Outcome of one blocking frame read.
+enum FrameRead {
+    Frame(Vec<u8>),
+    /// Clean end: EOF between frames, idle reap, or shutdown.
+    Closed,
+}
 
-    let mut conn = ConnState { session: None, hello_done: false };
+/// Read one frame. Blocks indefinitely for the first byte (idle is the
+/// reaper's job — it shuts the socket down under us, which reads as
+/// EOF); once a frame has started, the *whole frame* must arrive within
+/// `read_timeout` or the connection is cut off with a stall error.
+fn read_frame_blocking(inner: &ServerInner, conn: &ConnHandle) -> Result<FrameRead> {
+    let stream = &conn.stream;
+    let mut r = stream;
+    let mut header = [0u8; frame::HEADER_LEN];
+    // Phase 1: first byte, no deadline.
+    let _ = stream.set_read_timeout(None);
     loop {
-        let payload = match read_frame_polled(&mut stream, inner) {
+        match r.read(&mut header[..1]) {
+            Ok(0) => return Ok(FrameRead::Closed),
+            Ok(_) => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            // A stray timeout despite no deadline: just keep waiting.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    // Phase 2: the rest of the frame, under one shared deadline.
+    conn.mid_frame.store(true, Ordering::Relaxed); // lint: allow(relaxed, reaper heuristic flag; no synchronization role)
+    let deadline = Instant::now() + inner.config.read_timeout;
+    let result = (|| {
+        read_exact_deadline(inner, stream, &mut header[1..], deadline)?;
+        let len = u32::from_be_bytes(header);
+        if len > inner.config.max_frame_len {
+            return Err(Error::Protocol(format!(
+                "incoming frame announces {len} bytes, exceeding the {} byte limit",
+                inner.config.max_frame_len
+            )));
+        }
+        let mut payload = vec![0u8; len as usize];
+        read_exact_deadline(inner, stream, &mut payload, deadline)?;
+        Ok(FrameRead::Frame(payload))
+    })();
+    conn.mid_frame.store(false, Ordering::Relaxed); // lint: allow(relaxed, reaper heuristic flag; no synchronization role)
+    result
+}
+
+fn read_exact_deadline(
+    inner: &ServerInner,
+    stream: &TcpStream,
+    buf: &mut [u8],
+    deadline: Instant,
+) -> Result<()> {
+    let mut r = stream;
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(Error::Storage(format!(
+                "read stalled mid-frame for {:?}",
+                inner.config.read_timeout
+            )));
+        }
+        let _ = stream.set_read_timeout(Some(remaining));
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return Err(Error::Protocol("connection closed mid-frame".into())),
+            Ok(n) => filled += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// The connection's reader loop: decode frames, admit them under the
+/// pipeline-depth cap, route to the serial lane or the parallel pool.
+/// Owns the connection's whole lifecycle — on exit it flushes a
+/// terminal error (if any), drains and joins the writer, aborts an
+/// orphaned transaction, and unregisters.
+pub(crate) fn conn_reader(inner: &Arc<ServerInner>, conn: &Arc<ConnHandle>) {
+    inner.metrics.connections_active.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed, metric gauge read only by ADMIN STATS; no synchronization role)
+    conn.note_activity();
+    let mut hello_done = false;
+    // A fatal protocol/stall error to report before closing, tagged
+    // with the offending request's id when one was decoded.
+    let mut fatal: Option<(Option<u64>, Error)> = None;
+
+    loop {
+        let payload = match read_frame_blocking(inner, conn) {
             Ok(FrameRead::Frame(p)) => p,
             Ok(FrameRead::Closed) => break,
             Err(e) => {
-                // Tell the peer why before closing (best effort: the
-                // error may be the peer disappearing).
-                let resp = Response::from_error(&e);
-                let _ = frame::write_frame(
-                    &mut stream,
-                    &resp.encode(),
-                    inner.config.max_frame_len,
-                );
+                fatal = Some((None, e));
                 break;
             }
         };
-        let request = match Request::decode(&payload) {
-            Ok(r) => r,
+        conn.note_activity();
+        let (id, request) = match Request::decode_with_id(&payload) {
+            Ok(decoded) => decoded,
             Err(e) => {
-                let resp = Response::from_error(&e);
-                let _ = frame::write_frame(
-                    &mut stream,
-                    &resp.encode(),
-                    inner.config.max_frame_len,
-                );
+                fatal = Some((None, e));
                 break;
             }
         };
-        // Stream requests flip the connection into push mode and never
-        // come back: the loop ends when the stream does.
-        if conn.hello_done {
-            if let Request::ReplicaHello { from_lsn } | Request::Subscribe { from_lsn } =
-                &request
-            {
-                let cdc = matches!(request, Request::Subscribe { .. });
-                let started = Instant::now();
-                let result = serve_stream(inner, &mut stream, *from_lsn, cdc);
-                inner.metrics.record_request(&request, result.is_ok(), started.elapsed());
-                if let Err(e) = result {
-                    let resp = Response::from_error(&e);
-                    let _ = frame::write_frame(
-                        &mut stream,
-                        &resp.encode(),
-                        inner.config.max_frame_len,
-                    );
+
+        // The handshake happens inline on the reader: no writer exists
+        // yet (nothing has been enqueued), so the reader may write.
+        if !hello_done {
+            let started = Instant::now();
+            let result = match &request {
+                Request::Hello { version } if *version == PROTOCOL_VERSION => {
+                    hello_done = true;
+                    Ok(Response::Hello { version: PROTOCOL_VERSION, server: SERVER_NAME.into() })
                 }
+                Request::Hello { version } => Err(Error::Protocol(format!(
+                    "protocol version mismatch: client {version}, server {PROTOCOL_VERSION}"
+                ))),
+                _ => Err(Error::Protocol("first request must be 'hello'".into())),
+            };
+            let resp = match result {
+                Ok(r) => r,
+                Err(e) => Response::from_error(&e),
+            };
+            let ok = !matches!(resp, Response::Err { .. });
+            inner.metrics.record_request(&request, ok, started.elapsed());
+            let mut w = &conn.stream;
+            if frame::write_frame(&mut w, &resp.encode_with_id(id), inner.config.max_frame_len)
+                .is_err()
+                || !hello_done
+            {
                 break;
             }
+            continue;
         }
-        let started = Instant::now();
-        let response = dispatch(inner, &mut conn, &request);
-        let ok = !matches!(response, Response::Err { .. });
-        inner.metrics.record_request(&request, ok, started.elapsed());
-        if frame::write_frame(&mut stream, &response.encode(), inner.config.max_frame_len)
-            .is_err()
+
+        // Stream requests flip the connection into push mode and never
+        // come back; they cannot ride a pipeline.
+        if let Request::ReplicaHello { from_lsn } | Request::Subscribe { from_lsn } = &request {
+            if id.is_some() {
+                fatal = Some((
+                    id,
+                    Error::Protocol("stream requests cannot carry a request id".into()),
+                ));
+                break;
+            }
+            // Quiesce: every admitted request answered and flushed
+            // before the reader takes over the write side.
+            {
+                let mut st = conn.state.lock();
+                while !st.dead && (st.inflight > 0 || !st.out.is_empty() || st.writer_busy) {
+                    conn.cv.wait(&mut st);
+                }
+                if st.dead {
+                    break;
+                }
+            }
+            conn.streaming.store(true, Ordering::Relaxed); // lint: allow(relaxed, reaper heuristic flag; no synchronization role)
+            let started = Instant::now();
+            let cdc = matches!(request, Request::Subscribe { .. });
+            let result = serve_stream(inner, conn, *from_lsn, cdc);
+            inner.metrics.record_request(&request, result.is_ok(), started.elapsed());
+            if let Err(e) = result {
+                let resp = Response::from_error(&e);
+                let mut w = &conn.stream;
+                let _ = frame::write_frame(&mut w, &resp.encode(), inner.config.max_frame_len);
+            }
+            break;
+        }
+
+        // Queries get their cancellation budget *now*: time spent
+        // waiting in the pipeline counts against the deadline.
+        let token = match &request {
+            Request::Query { deadline_ms, .. }
+            | Request::Sql { deadline_ms, .. }
+            | Request::Explain { deadline_ms, .. } => Some(query_budget(inner, *deadline_ms)),
+            _ => None,
+        };
+
+        // Admission under the pipeline-depth cap: stop pulling frames
+        // off the socket until a slot frees. This is the backpressure.
         {
-            break;
+            let depth = inner.config.pipeline_depth.max(1);
+            let mut st = conn.state.lock();
+            if st.inflight >= depth {
+                inner.metrics.pipeline_stalls.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed, monotonic metric counter; no synchronization role)
+            }
+            while st.inflight >= depth && !st.dead {
+                conn.cv.wait(&mut st);
+            }
+            if st.dead {
+                break;
+            }
+            st.inflight += 1;
         }
-        // A failed handshake ends the connection after the error reply.
-        if !conn.hello_done {
-            break;
+        inner.metrics.inflight_requests.inc();
+
+        // Untagged requests keep strict legacy ordering; tagged
+        // session-affecting requests still need the lane so transaction
+        // state mutates in submission order. Tagged stateless requests
+        // run fully parallel.
+        let lane_bound = id.is_none()
+            || matches!(
+                request,
+                Request::Begin { .. }
+                    | Request::Commit
+                    | Request::Abort
+                    | Request::Op(_)
+                    | Request::Ddl(_)
+            );
+        let enqueued = Instant::now();
+        if lane_bound {
+            let mut st = conn.state.lock();
+            st.lane.push_back(LaneJob { id, req: request, token, enqueued });
+            let need_drainer = !st.lane_running;
+            st.lane_running = true;
+            drop(st);
+            if need_drainer {
+                inner.enqueue(Job::Lane { conn: Arc::clone(conn) });
+            }
+        } else {
+            inner.enqueue(Job::Direct {
+                conn: Arc::clone(conn),
+                id,
+                req: request,
+                token,
+                enqueued,
+            });
         }
     }
-    if let Some(session) = conn.session.take() {
+
+    // Retirement. Report the fatal error (pre-handshake: inline, no
+    // writer can exist; post-handshake: through the queue so it cannot
+    // interleave with a concurrent writer flush), then drain.
+    if let Some((fatal_id, e)) = fatal {
+        let resp = Response::from_error(&e);
+        if hello_done {
+            push_frame(inner, conn, encode_frame(inner, fatal_id, &resp));
+        } else {
+            let mut w = &conn.stream;
+            let _ = frame::write_frame(&mut w, &resp.encode(), inner.config.max_frame_len);
+        }
+    }
+    let writer = {
+        let mut st = conn.state.lock();
+        st.closing = true;
+        conn.cv.notify_all();
+        st.writer.take()
+    };
+    if let Some(handle) = writer {
+        let _ = handle.join();
+    }
+    if let Some(session) = conn.session.lock().take() {
         inner.metrics.sessions_reaped.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed, monotonic metric counter; no synchronization role)
         drop(session); // abort-on-drop
     }
+    inner.unregister(conn.id);
+    inner.metrics.connections_active.fetch_sub(1, Ordering::Relaxed); // lint: allow(relaxed, metric gauge read only by ADMIN STATS; no synchronization role)
+    inner.note_conn_gone();
 }
 
-struct ConnState {
-    session: Option<Session>,
-    hello_done: bool,
-}
-
-fn dispatch(inner: &ServerInner, conn: &mut ConnState, req: &Request) -> Response {
-    match run_request(inner, conn, req) {
+/// Execute one stateless tagged request on the pool.
+pub(crate) fn run_direct(
+    inner: &Arc<ServerInner>,
+    conn: &Arc<ConnHandle>,
+    id: Option<u64>,
+    req: &Request,
+    token: Option<CancelToken>,
+    enqueued: Instant,
+) {
+    let resp = match run_stateless(inner, req, token) {
         Ok(resp) => resp,
         Err(e) => Response::from_error(&e),
+    };
+    finish(inner, conn, id, req, resp, enqueued);
+}
+
+/// Drain one connection's serial lane: run queued jobs in order until
+/// the lane is empty. At most one drainer per connection is ever in the
+/// pool (see `lane_running`), which is what makes the lane serial —
+/// and what batches a pipelined burst of ops into one pool activation.
+pub(crate) fn run_lane(inner: &Arc<ServerInner>, conn: &Arc<ConnHandle>) {
+    loop {
+        let job = {
+            let mut st = conn.state.lock();
+            match st.lane.pop_front() {
+                Some(job) => job,
+                None => {
+                    st.lane_running = false;
+                    return;
+                }
+            }
+        };
+        let resp = {
+            let mut session = conn.session.lock();
+            match run_session_request(inner, &mut session, &job.req, job.token) {
+                Ok(resp) => resp,
+                Err(e) => Response::from_error(&e),
+            }
+        };
+        finish(inner, conn, job.id, &job.req, resp, job.enqueued);
     }
 }
 
-fn run_request(inner: &ServerInner, conn: &mut ConnState, req: &Request) -> Result<Response> {
-    if !conn.hello_done {
-        return match req {
-            Request::Hello { version } if *version == PROTOCOL_VERSION => {
-                conn.hello_done = true;
-                Ok(Response::Hello { version: PROTOCOL_VERSION, server: SERVER_NAME.into() })
-            }
-            Request::Hello { version } => Err(Error::Protocol(format!(
-                "protocol version mismatch: client {version}, server {PROTOCOL_VERSION}"
-            ))),
-            _ => Err(Error::Protocol("first request must be 'hello'".into())),
-        };
-    }
+/// Requests that never touch per-connection session state. These run
+/// concurrently on the pool; queries always execute on the committed
+/// state, matching the embedded `Database::query` semantics.
+fn run_stateless(
+    inner: &ServerInner,
+    req: &Request,
+    token: Option<CancelToken>,
+) -> Result<Response> {
     let db = &inner.db;
+    let budget = |inner: &ServerInner| {
+        token.clone().unwrap_or_else(|| CancelToken::with_timeout(inner.config.max_query_time))
+    };
     Ok(match req {
         Request::Hello { .. } => {
             Response::Hello { version: PROTOCOL_VERSION, server: SERVER_NAME.into() }
         }
         Request::Ping => Response::Pong,
-        // Queries always run on the committed state, matching the
-        // embedded `Database::query` semantics. Each gets a cancellation
-        // token derived from the client deadline, capped by the server's
-        // own `max_query_time` budget.
         // Every query runs traced: the per-operator overhead is two clock
         // reads and one small struct per plan node — negligible next to
         // the operator's own work — and it feeds the slow-query log.
-        Request::Query { text, deadline_ms } => {
-            let (rows, stats) =
-                db.query_traced_with(text, &query_budget(inner, *deadline_ms))?;
+        Request::Query { text, .. } => {
+            let (rows, stats) = db.query_traced_with(text, &budget(inner))?;
             note_slow_query(inner, "mmql", text, &stats);
             Response::Rows(rows)
         }
-        Request::Sql { text, deadline_ms } => {
-            let (rows, stats) =
-                db.query_sql_traced_with(text, &query_budget(inner, *deadline_ms))?;
+        Request::Sql { text, .. } => {
+            let (rows, stats) = db.query_sql_traced_with(text, &budget(inner))?;
             note_slow_query(inner, "sql", text, &stats);
             Response::Rows(rows)
         }
-        Request::Explain { text, deadline_ms, analyze } => {
+        Request::Explain { text, analyze, .. } => {
             if *analyze {
-                Response::Text(db.explain_analyze_with(text, &query_budget(inner, *deadline_ms))?)
+                Response::Text(db.explain_analyze_with(text, &budget(inner))?)
             } else {
                 Response::Text(db.explain(text)?)
             }
         }
+        Request::Admin { command } => run_admin(inner, command)?,
+        _ => {
+            return Err(Error::Internal(
+                "session-affecting request reached the stateless executor".into(),
+            ))
+        }
+    })
+}
+
+/// Full dispatch for serial-lane jobs: session-affecting requests plus
+/// anything stateless an untagged client sent (delegated).
+fn run_session_request(
+    inner: &ServerInner,
+    session: &mut Option<Session>,
+    req: &Request,
+    token: Option<CancelToken>,
+) -> Result<Response> {
+    let db = &inner.db;
+    Ok(match req {
         Request::Begin { serializable } => {
-            if conn.session.is_some() {
+            if session.is_some() {
                 return Err(Error::TxnClosed(
                     "a transaction is already open on this connection".into(),
                 ));
@@ -248,17 +698,16 @@ fn run_request(inner: &ServerInner, conn: &mut ConnState, req: &Request) -> Resu
             } else {
                 IsolationLevel::Snapshot
             };
-            let session = db.begin(isolation);
-            let txn_id = session.id() as i64;
-            conn.session = Some(session);
+            let s = db.begin(isolation);
+            let txn_id = s.id() as i64;
+            *session = Some(s);
             Response::TxnBegun { txn_id }
         }
         Request::Commit => {
-            let session = conn
-                .session
+            let s = session
                 .take()
                 .ok_or_else(|| Error::TxnClosed("no open transaction to commit".into()))?;
-            let commit_ts = session.commit()? as i64;
+            let commit_ts = s.commit()? as i64;
             // The watermark is read after this commit's WAL block landed,
             // so it is at least this transaction's durable position — a
             // valid (if slightly strict) read-your-writes token.
@@ -266,17 +715,16 @@ fn run_request(inner: &ServerInner, conn: &mut ConnState, req: &Request) -> Resu
             Response::Committed { commit_ts, lsn }
         }
         Request::Abort => {
-            let session = conn
-                .session
+            let s = session
                 .take()
                 .ok_or_else(|| Error::TxnClosed("no open transaction to abort".into()))?;
-            session.abort();
+            s.abort();
             Response::Aborted
         }
         Request::Op(op) => {
             inner.metrics.record_model_op(op_model(op));
-            match conn.session.as_mut() {
-                Some(session) => apply_op(session, op)?,
+            match session.as_mut() {
+                Some(s) => apply_op(s, op)?,
                 // No explicit transaction: auto-commit the single op,
                 // retrying conflicts like the embedded `transact` helper.
                 None => {
@@ -291,30 +739,27 @@ fn run_request(inner: &ServerInner, conn: &mut ConnState, req: &Request) -> Resu
             }
         }
         Request::Ddl(op) => apply_ddl(db, op)?,
-        Request::Admin { command } => run_admin(inner, command)?,
-        // Handled in `handle_connection` before dispatch (they change
-        // the connection mode); reaching here is a logic error.
+        // Handled before dispatch (they change the connection mode);
+        // reaching here is a logic error.
         Request::ReplicaHello { .. } | Request::Subscribe { .. } => {
             return Err(Error::Internal(
                 "stream request reached request/response dispatch".into(),
             ))
         }
+        stateless => run_stateless(inner, stateless, token)?,
     })
 }
 
 /// Serve the push stream after `REPLICA HELLO`/`SUBSCRIBE`: ship WAL
 /// records from `from_lsn` (catch-up), then live-tail the log,
 /// heartbeating the tail LSN when idle. Replicas get raw records;
-/// `SUBSCRIBE` (`cdc`) gets decoded committed writes only. Occupies this
-/// connection's worker until the peer or the server goes away.
-fn serve_stream(
-    inner: &ServerInner,
-    stream: &mut TcpStream,
-    from_lsn: u64,
-    cdc: bool,
-) -> Result<()> {
+/// `SUBSCRIBE` (`cdc`) gets decoded committed writes only. Runs on the
+/// connection's reader thread (the pipeline is quiesced first, so the
+/// reader owns the write side) until the peer or the server goes away.
+fn serve_stream(inner: &ServerInner, conn: &ConnHandle, from_lsn: u64, cdc: bool) -> Result<()> {
     const HEARTBEAT_EVERY: Duration = Duration::from_millis(200);
     const BATCH: usize = 256;
+    let stream = &conn.stream;
     let Some(wal) = inner.db.wal().cloned() else {
         return Err(Error::Unsupported(
             "this server has no WAL to stream (pure in-memory database)".into(),
@@ -341,7 +786,11 @@ fn serve_stream(
         // there. State is extracted under the commit quiesce so no
         // commit can land between the state read and the chosen LSN;
         // the network sends happen after release so a slow replica
-        // cannot stall the primary's writers.
+        // cannot stall the primary's writers. The replica applies the
+        // synthetic transaction as a full state *replace* (see
+        // `mmdb_repl::replica`), so keys it holds from inside the
+        // truncation gap — including ones since deleted on the
+        // primary — don't survive as ghosts.
         let (snap_lsn, live) = {
             let db = &inner.db;
             db.mvcc().quiesce_commits(|| -> Result<_> {
@@ -403,8 +852,9 @@ fn serve_stream(
     }
 }
 
-fn send_change(inner: &ServerInner, stream: &mut TcpStream, event: Value) -> Result<()> {
-    frame::write_frame(stream, &Response::Change(event).encode(), inner.config.max_frame_len)
+fn send_change(inner: &ServerInner, stream: &TcpStream, event: Value) -> Result<()> {
+    let mut w = stream;
+    frame::write_frame(&mut w, &Response::Change(event).encode(), inner.config.max_frame_len)
 }
 
 fn apply_op(s: &mut Session, op: &SessionOp) -> Result<Response> {
@@ -524,7 +974,8 @@ fn note_slow_query(
 }
 
 /// The effective execution budget for one query: the client's requested
-/// deadline, capped by the server's `max_query_time`.
+/// deadline, capped by the server's `max_query_time`. Minted when the
+/// request is *enqueued*, so pipeline queue time counts against it.
 fn query_budget(inner: &ServerInner, deadline_ms: Option<u64>) -> CancelToken {
     let cap = inner.config.max_query_time;
     let budget = match deadline_ms {
@@ -625,8 +1076,9 @@ fn run_admin(inner: &ServerInner, command: &str) -> Result<Response> {
                 fields.push(("reason".to_string(), Value::str(&reason)));
             }
             // How stale the last checkpoint is; Null until the first one
-            // runs. Operators alert on this growing unbounded while the
-            // WAL keeps expanding.
+            // runs (the stamp survives restarts via the snapshot file's
+            // mtime). Operators alert on this growing unbounded while
+            // the WAL keeps expanding.
             fields.push((
                 "seconds_since_checkpoint".to_string(),
                 match inner.db.seconds_since_checkpoint() {

@@ -145,6 +145,65 @@ impl LatencyHistogram {
     }
 }
 
+/// A current-value gauge with a high-water mark. Updates are relaxed:
+/// these feed `ADMIN STATS`, nothing synchronizes on them.
+#[derive(Default)]
+pub struct Gauge {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl Gauge {
+    /// Add one, bumping the peak.
+    pub fn inc(&self) {
+        let now = self.current.fetch_add(1, Ordering::Relaxed) + 1; // lint: allow(relaxed, metric gauge read only by ADMIN STATS; no synchronization role)
+        self.peak.fetch_max(now, Ordering::Relaxed); // lint: allow(relaxed, metric gauge read only by ADMIN STATS; no synchronization role)
+    }
+
+    /// Subtract one (saturating at zero against racy teardown paths).
+    pub fn dec(&self) {
+        self.sub(1);
+    }
+
+    /// Subtract `n`, saturating at zero.
+    pub fn sub(&self, n: u64) {
+        let mut cur = self.current.load(Ordering::Relaxed); // lint: allow(relaxed, metric gauge read only by ADMIN STATS; no synchronization role)
+        loop {
+            let next = cur.saturating_sub(n);
+            match self.current.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed, // lint: allow(relaxed, metric gauge read only by ADMIN STATS; no synchronization role)
+                Ordering::Relaxed, // lint: allow(relaxed, metric gauge read only by ADMIN STATS; no synchronization role)
+            ) {
+                Ok(_) => return,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Overwrite the current value (for gauges whose exact value is
+    /// known under a lock, like a queue length), bumping the peak.
+    pub fn set_current(&self, v: u64) {
+        self.current.store(v, Ordering::Relaxed); // lint: allow(relaxed, metric gauge read only by ADMIN STATS; no synchronization role)
+        self.peak.fetch_max(v, Ordering::Relaxed); // lint: allow(relaxed, metric gauge read only by ADMIN STATS; no synchronization role)
+    }
+
+    /// The current value.
+    pub fn current(&self) -> u64 {
+        self.current.load(Ordering::Relaxed) // lint: allow(relaxed, metric gauge read only by ADMIN STATS; no synchronization role)
+    }
+
+    /// The largest value ever observed.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed) // lint: allow(relaxed, metric gauge read only by ADMIN STATS; no synchronization role)
+    }
+
+    fn to_value(&self) -> (i64, i64) {
+        (self.current() as i64, self.peak() as i64)
+    }
+}
+
 /// Per-command counters.
 #[derive(Default)]
 pub struct CommandStats {
@@ -175,6 +234,16 @@ pub struct Metrics {
     pub requests_total: AtomicU64,
     /// Total error responses across all commands.
     pub errors_total: AtomicU64,
+    /// Requests decoded but not yet answered, across all connections
+    /// (the pipelined in-flight set).
+    pub inflight_requests: Gauge,
+    /// Jobs waiting in the shared executor pool's queue.
+    pub executor_queue: Gauge,
+    /// Completed responses queued for per-connection writers.
+    pub responses_queued: Gauge,
+    /// Times a connection's reader hit the `pipeline_depth` cap and
+    /// stopped pulling frames (backpressure engaging).
+    pub pipeline_stalls: AtomicU64,
     commands: [CommandStats; COMMAND_LABELS.len()],
     /// Typed data operations served, by data model (see [`MODEL_LABELS`]).
     model_ops: [AtomicU64; MODEL_LABELS.len()],
@@ -249,6 +318,30 @@ impl Metrics {
                     ("total", Value::int(self.requests_total.load(Ordering::Relaxed) as i64)),
                     ("errors", Value::int(self.errors_total.load(Ordering::Relaxed) as i64)),
                 ]),
+            ),
+            // Pipelining health: how many requests are in flight right
+            // now (and the high-water mark), how deep the executor and
+            // response queues run, and how often per-connection
+            // backpressure engaged.
+            (
+                "pipeline",
+                {
+                    let (inflight, inflight_peak) = self.inflight_requests.to_value();
+                    let (queue, queue_peak) = self.executor_queue.to_value();
+                    let (resp, resp_peak) = self.responses_queued.to_value();
+                    Value::object([
+                        ("inflight_requests", Value::int(inflight)),
+                        ("inflight_peak", Value::int(inflight_peak)),
+                        ("executor_queue_depth", Value::int(queue)),
+                        ("executor_queue_peak", Value::int(queue_peak)),
+                        ("responses_queued", Value::int(resp)),
+                        ("responses_queued_peak", Value::int(resp_peak)),
+                        (
+                            "depth_stalls",
+                            Value::int(self.pipeline_stalls.load(Ordering::Relaxed) as i64),
+                        ),
+                    ])
+                },
             ),
             (
                 "sessions_reaped",

@@ -170,6 +170,16 @@ pub fn remove_stale_tmp(dir: &Path) {
     let _ = std::fs::remove_file(dir.join(SNAPSHOT_TMP_FILE));
 }
 
+/// Age of the published snapshot, from the file's mtime (the atomic
+/// rename stamps it at checkpoint completion). `None` when no snapshot
+/// exists or the filesystem can't answer; clock skew that puts the
+/// mtime in the future clamps to zero rather than failing. This is what
+/// lets `seconds_since_checkpoint` survive a process restart.
+pub fn snapshot_age(dir: &Path) -> Option<std::time::Duration> {
+    let mtime = std::fs::metadata(snapshot_path(dir)).ok()?.modified().ok()?;
+    Some(mtime.elapsed().unwrap_or_default())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

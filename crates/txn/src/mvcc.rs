@@ -732,6 +732,54 @@ impl MvccStore {
         Ok(commit_ts)
     }
 
+    /// Install a snapshot bootstrap as a full state *replace* — the
+    /// stale-replica twin of [`MvccStore::apply_replicated`]. `writes`
+    /// is the primary's complete live state (snapshots carry no
+    /// tombstones), so any key live in this store but absent from the
+    /// snapshot was deleted on the primary inside the truncated log gap:
+    /// a tombstone is synthesized for it and the combined set applies as
+    /// one replicated transaction. Running the deletes through the
+    /// ordinary apply path means commit hooks evict the keys from the
+    /// model stores and this store's own WAL records the deletes, so a
+    /// replica restart replays them too. A fresh (empty) store diffs to
+    /// nothing and behaves exactly like `apply_replicated`.
+    pub fn apply_snapshot_replace(&self, writes: &[CommittedWrite]) -> Result<u64> {
+        let mut doomed: Vec<CommittedWrite> = Vec::new();
+        {
+            let incoming: std::collections::HashSet<(&str, &[u8])> =
+                writes.iter().map(|w| (w.domain.as_str(), w.key.as_slice())).collect();
+            let versions = self.inner.versions.read();
+            for ((domain, key), chain) in versions.iter() {
+                let live = chain.last().is_some_and(|v| v.value.is_some());
+                if live && !incoming.contains(&(domain.as_str(), key.as_slice())) {
+                    doomed.push(CommittedWrite {
+                        domain: domain.clone(),
+                        key: key.clone(),
+                        value: None,
+                    });
+                }
+            }
+        }
+        // Deletes first, in reverse dependency order (edges before their
+        // vertices, DDL last — the mirror image of the snapshot's
+        // DDL-first/edges-last load order), then the snapshot upserts.
+        let class = |domain: &str| -> u8 {
+            if domain.starts_with("ddl/") {
+                2
+            } else if domain.contains("/e/") {
+                0
+            } else {
+                1
+            }
+        };
+        doomed.sort_by(|a, b| {
+            (class(&a.domain), &a.domain, &a.key).cmp(&(class(&b.domain), &b.domain, &b.key))
+        });
+        let mut combined = doomed;
+        combined.extend(writes.iter().cloned());
+        self.apply_replicated(&combined)
+    }
+
     /// Apply WAL recovery output: reinstall the committed writes of the
     /// log (used at startup). Fires commit hooks so model stores rebuild.
     pub fn recover(&self, recovery: &wal::Recovery) -> Result<usize> {

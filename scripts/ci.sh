@@ -38,6 +38,9 @@ cargo test -q --features failpoints --test group_commit
 echo "==> checkpoint torture suite (--features failpoints)"
 cargo test -q --features failpoints --test checkpoint
 
+echo "==> pipelining suite (out-of-order completion, backpressure, legacy frames)"
+cargo test -q --test pipeline
+
 echo "==> failpoints stay a no-op when the feature is off"
 cargo test -q -p mmdb-fault
 # Deadline checks ride the same feature: a default build must run the
@@ -60,5 +63,13 @@ echo "==> workload C multi-writer smoke (group commit, 1 vs 8 writers)"
 # Also not a performance gate — proves the concurrent write path drives
 # the group-commit sequencer end to end and emits its BENCH lines.
 cargo run -q --release -p mmdb-bench --bin unibench -- --scale 0.05 --workload c --writers 1,8 --seed 21
+
+echo "==> workload P pipelining smoke (reduced: 200 idle, 8 hot)"
+# Also not a performance gate — proves the pipelined server end to end:
+# idle connections parked by the re-exec'd holder child, hot connections
+# at depth 1 vs 32, and the BENCH rows. The full run (10k idle, 100 hot)
+# is `unibench --workload p`; EXPERIMENTS.md records its numbers.
+cargo run -q --release -p mmdb-bench --bin unibench -- --scale 0.05 --workload p \
+  --idle-conns 200 --hot-conns 8 --pipeline-ops 200 --seed 21
 
 echo "==> tier-1 gate passed"

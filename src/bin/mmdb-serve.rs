@@ -14,8 +14,11 @@
 //!                          read-only, and fed from the primary's WAL
 //!                          stream (mutually exclusive with --data-dir
 //!                          and --demo)
-//!   --workers N            worker threads (default 4)
+//!   --workers N            executor-pool threads (default 4)
 //!   --max-connections N    connection cap before busy-rejection (default 64)
+//!   --pipeline-depth N     per-connection cap on in-flight pipelined
+//!                          requests before the reader stops pulling
+//!                          frames (default 32; 1 disables pipelining)
 //!   --slow-query-ms N      slow-query log threshold in ms (default 250; 0 logs everything)
 //!   --slow-query-log-size N  slow-query log ring capacity (default 128; 0 disables)
 //!   --checkpoint-wal-bytes N checkpoint automatically once the WAL grows
@@ -55,6 +58,10 @@ fn main() {
             "--max-connections" => {
                 config.max_connections =
                     flag_value(&mut i).parse().unwrap_or_else(|_| usage("--max-connections needs a number"))
+            }
+            "--pipeline-depth" => {
+                config.pipeline_depth =
+                    flag_value(&mut i).parse().unwrap_or_else(|_| usage("--pipeline-depth needs a number"))
             }
             "--slow-query-ms" => {
                 config.slow_query_threshold = std::time::Duration::from_millis(
@@ -155,8 +162,8 @@ fn usage(problem: &str) -> ! {
     }
     eprintln!(
         "usage: mmdb-serve [--addr HOST:PORT] [--data-dir PATH] [--replica-of HOST:PORT] \
-         [--workers N] [--max-connections N] [--slow-query-ms N] [--slow-query-log-size N] \
-         [--checkpoint-wal-bytes N] [--demo]"
+         [--workers N] [--max-connections N] [--pipeline-depth N] [--slow-query-ms N] \
+         [--slow-query-log-size N] [--checkpoint-wal-bytes N] [--demo]"
     );
     std::process::exit(2);
 }

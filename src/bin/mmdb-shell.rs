@@ -187,6 +187,14 @@ fn dispatch_remote(client: &mut Client, addr: &str, line: &str) -> mmdb::Result<
             "checkpoint" => {
                 Ok(Reply::Text(mmdb::to_json_pretty(&client.admin_checkpoint()?)))
             }
+            "pipe" => {
+                let (n, query) = arg
+                    .split_once(' ')
+                    .and_then(|(n, q)| Some((n.parse::<usize>().ok()?, q.trim())))
+                    .filter(|(n, q)| *n >= 1 && !q.is_empty())
+                    .ok_or_else(|| mmdb::Error::Parse(".pipe <n> <mmql>".into()))?;
+                pipe_query(client, n, query)
+            }
             "subscribe" => {
                 let from = match arg.trim() {
                     // Default: only future commits — start at the current
@@ -205,6 +213,37 @@ fn dispatch_remote(client: &mut Client, addr: &str, line: &str) -> mmdb::Result<
         };
     }
     render(client.query(line)?)
+}
+
+/// Run the same query `n` times pipelined on the shell's connection —
+/// all submitted before any response is read — and compare the wall
+/// time against `n` strict request/response round trips.
+fn pipe_query(client: &mut Client, n: usize, query: &str) -> mmdb::Result<Reply> {
+    use mmdb_protocol::{Request, Response};
+    let req = Request::Query { text: query.into(), deadline_ms: None };
+
+    let t0 = std::time::Instant::now();
+    let ids: Vec<u64> = (0..n).map(|_| client.submit(&req)).collect::<mmdb::Result<_>>()?;
+    let mut rows = 0usize;
+    for id in ids {
+        match client.receive(id)? {
+            Response::Rows(r) => rows += r.len(),
+            other => return Err(mmdb::Error::Protocol(format!("unexpected response: {other:?}"))),
+        }
+    }
+    let pipelined = t0.elapsed();
+
+    let t0 = std::time::Instant::now();
+    for _ in 0..n {
+        client.query(query)?;
+    }
+    let serial = t0.elapsed();
+
+    let speedup = serial.as_secs_f64() / pipelined.as_secs_f64().max(1e-9);
+    Ok(Reply::Text(format!(
+        "{n} runs, {rows} rows total\npipelined: {pipelined:?}\nserial:    {serial:?} \
+         ({speedup:.2}x speedup from pipelining)"
+    )))
 }
 
 /// Follow the `SUBSCRIBE` change feed on a dedicated connection (the
@@ -258,6 +297,7 @@ Remote-only commands (--connect mode):
   .repl                  replication status: role, LSNs, lag (ADMIN REPL)
   .checkpoint            snapshot + truncate the WAL now (ADMIN CHECKPOINT)
   .subscribe [lsn]       follow the change feed (committed writes; default: from now)
+  .pipe <n> <mmql>       run a query n times pipelined vs serial and compare
   .ping                  liveness check
 "#;
 

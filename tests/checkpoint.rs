@@ -317,6 +317,121 @@ fn replica_below_the_horizon_bootstraps_from_a_snapshot_and_converges() {
 }
 
 #[test]
+fn a_stale_nonempty_replica_converges_through_a_snapshot_bootstrap() {
+    let _serial = lock();
+    let dir = fresh_dir("stale-replica");
+    let db = Arc::new(Database::open(&dir).unwrap());
+    let server = Server::start(Arc::clone(&db), server_config()).unwrap();
+    let addr = server.local_addr().to_string();
+    seed(&db);
+    let summary = db.checkpoint().unwrap();
+    assert!(summary.snapshot_lsn > 0);
+
+    // The replica is NOT empty: it holds state the primary never had —
+    // ghost kv keys, a ghost order, a ghost person and edge. A snapshot
+    // bootstrap is a full state *replace*, so all of it must vanish;
+    // merely applying the snapshot as writes would leave ghosts behind
+    // and the replica would diverge forever (it reads below the
+    // truncation horizon, there is no log left to correct it).
+    let replica_db = Arc::new(Database::in_memory());
+    replica_db.create_bucket("cart").unwrap();
+    replica_db.create_collection("orders").unwrap();
+    let g = replica_db.create_graph("social").unwrap();
+    g.create_vertex_collection("persons").unwrap();
+    g.create_edge_collection("knows").unwrap();
+    replica_db.kv_put("cart", "ghost", Value::str("stale")).unwrap();
+    replica_db.kv_put("cart", "1", Value::str("wrong-value")).unwrap();
+    replica_db
+        .insert_json("orders", r#"{"_key":"ghost-order","orderlines":[]}"#)
+        .unwrap();
+    replica_db
+        .transact(IsolationLevel::Snapshot, 3, |s| {
+            s.add_vertex(
+                "social",
+                "persons",
+                mmdb::from_json(r#"{"_key":"9"}"#).unwrap(),
+            )?;
+            s.add_edge("social", "knows", "persons/9", "persons/9", mmdb::from_json("{}").unwrap())
+                .map(|_| ())
+        })
+        .unwrap();
+
+    let opts = ReplicaOptions {
+        reconnect_delay: Duration::from_millis(25),
+        client: ClientConfig {
+            read_timeout: Some(Duration::from_secs(2)),
+            ..ClientConfig::default()
+        },
+    };
+    let runner = ReplicaRunner::start(Arc::clone(&replica_db), addr.clone(), opts);
+    let tail = db.wal().unwrap().tail_lsn();
+    wait_until("stale replica snapshot bootstrap", || {
+        runner.status().is_connected() && runner.status().applied_lsn() >= tail
+    });
+
+    // Byte-identical to the primary, ghosts and all.
+    assert_eq!(probes(&replica_db), probes(&db), "stale replica diverged after bootstrap");
+    assert_eq!(replica_db.kv().get("cart", "ghost").unwrap(), None, "ghost kv key survived");
+    assert_eq!(
+        replica_db.get_document("orders", "ghost-order").unwrap(),
+        None,
+        "ghost document survived"
+    );
+    assert_eq!(
+        replica_db
+            .query(r#"FOR p IN 1..1 OUTBOUND "persons/9" knows RETURN p._key"#)
+            .unwrap(),
+        Vec::<Value>::new(),
+        "ghost edge survived"
+    );
+
+    // And the stream continues normally past the bootstrap.
+    db.kv_put("cart", "live", Value::str("after-replace")).unwrap();
+    let tail = db.wal().unwrap().tail_lsn();
+    wait_until("live tail after stale bootstrap", || runner.status().applied_lsn() >= tail);
+    assert_eq!(
+        replica_db.kv().get("cart", "live").unwrap(),
+        Some(Value::str("after-replace"))
+    );
+
+    runner.stop();
+    server.shutdown().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn seconds_since_checkpoint_survives_a_process_restart() {
+    let _serial = lock();
+    let dir = fresh_dir("ckpt-age");
+    let db = Database::open(&dir).unwrap();
+    db.create_bucket("cart").unwrap();
+    db.kv_put("cart", "k", Value::int(1)).unwrap();
+    assert_eq!(db.seconds_since_checkpoint(), None, "no checkpoint has ever run");
+    db.checkpoint().unwrap();
+    assert!(db.seconds_since_checkpoint().unwrap() < 60);
+
+    // Reopen: the age must come back from the snapshot file's mtime,
+    // not reset to "never" — a freshly restarted server that reports
+    // `null` here looks like it has unbounded recovery debt and pages
+    // an operator for nothing.
+    drop(db);
+    let db = Database::open(&dir).unwrap();
+    let age = db.seconds_since_checkpoint();
+    assert!(
+        age.is_some() && age.unwrap() < 60,
+        "seconds_since_checkpoint must survive a reopen (got {age:?})"
+    );
+
+    // And it keeps ticking from the real checkpoint time, not reopen
+    // time: a fresh checkpoint resets it.
+    db.kv_put("cart", "k2", Value::int(2)).unwrap();
+    db.checkpoint().unwrap();
+    assert!(db.seconds_since_checkpoint().unwrap() < 60);
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn admin_checkpoint_reports_and_stats_expose_the_wal_footprint() {
     let _serial = lock();
     let db = Arc::new(Database::in_memory_logged());

@@ -1,0 +1,399 @@
+//! Request pipelining over one connection: tagged frames complete out
+//! of order, the depth cap applies backpressure, id-less legacy frames
+//! keep strict FIFO request/response behavior byte-for-byte, and the
+//! reaper/writer failure paths behave under concurrent in-flight work.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mmdb::{Database, Value};
+use mmdb_client::Client;
+use mmdb_protocol::{frame, Request, Response, SessionOp, PROTOCOL_VERSION};
+use mmdb_server::{Server, ServerConfig};
+
+fn start_server(config: ServerConfig) -> (Arc<Database>, Server, String) {
+    let db = Arc::new(Database::in_memory());
+    db.create_bucket("cart").unwrap();
+    db.create_collection("items").unwrap();
+    let server = Server::start(Arc::clone(&db), config).unwrap();
+    let addr = server.local_addr().to_string();
+    (db, server, addr)
+}
+
+/// Populate `items` with enough documents that a full scan takes far
+/// longer than a ping, so scheduling races can't mask out-of-order
+/// completion.
+fn load_items(db: &Database, n: usize) {
+    for i in 0..n {
+        db.insert_json("items", &format!("{{\"n\": {i}, \"pad\": \"{:0>64}\"}}", i)).unwrap();
+    }
+}
+
+/// Wait until `cond` holds or panic after a few seconds.
+fn eventually(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for: {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Raw-socket handshake so tests control frame bytes exactly.
+fn raw_handshake(addr: &str, tagged: bool) -> TcpStream {
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    raw.set_nodelay(true).unwrap();
+    let hello = Request::Hello { version: PROTOCOL_VERSION };
+    let payload = if tagged { hello.encode_with_id(Some(0)) } else { hello.encode() };
+    frame::write_frame(&mut raw, &payload, frame::MAX_FRAME_LEN).unwrap();
+    let reply = frame::read_frame(&mut raw, frame::MAX_FRAME_LEN).unwrap();
+    let (id, resp) = Response::decode_with_id(&reply).unwrap();
+    assert_eq!(id, if tagged { Some(0) } else { None });
+    assert!(matches!(resp, Response::Hello { .. }), "{resp:?}");
+    raw
+}
+
+#[test]
+fn tagged_responses_complete_out_of_order() {
+    let (db, server, addr) = start_server(ServerConfig::default());
+    load_items(&db, 4000);
+    let mut raw = raw_handshake(&addr, true);
+
+    // One slow full scan, then a burst of pings, all written in one
+    // batch. The scan grinds on one executor while the pings finish on
+    // the others — their responses must overtake it, each carrying the
+    // id it was submitted under.
+    let mut batch = Vec::new();
+    let scan = Request::Query {
+        text: "FOR x IN items FILTER x.n >= 0 RETURN x".into(),
+        deadline_ms: None,
+    };
+    frame::write_frame(&mut batch, &scan.encode_with_id(Some(100)), frame::MAX_FRAME_LEN)
+        .unwrap();
+    for id in 101..=104u64 {
+        frame::write_frame(
+            &mut batch,
+            &Request::Ping.encode_with_id(Some(id)),
+            frame::MAX_FRAME_LEN,
+        )
+        .unwrap();
+    }
+    raw.write_all(&batch).unwrap();
+
+    let mut arrival = Vec::new();
+    for _ in 0..5 {
+        let payload = frame::read_frame(&mut raw, frame::MAX_FRAME_LEN).unwrap();
+        let (id, resp) = Response::decode_with_id(&payload).unwrap();
+        let id = id.expect("pipelined responses carry their request id");
+        match id {
+            100 => assert!(matches!(resp, Response::Rows(ref r) if r.len() == 4000)),
+            101..=104 => assert!(matches!(resp, Response::Pong), "{resp:?}"),
+            other => panic!("unknown response id {other}"),
+        }
+        arrival.push(id);
+    }
+    assert_ne!(
+        arrival[0], 100,
+        "a ping must overtake the scan; arrival order was {arrival:?}"
+    );
+    assert_eq!(server.metrics().errors_total.load(Ordering::Relaxed), 0);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn client_submits_many_and_receives_by_id_in_any_order() {
+    let (_db, server, addr) = start_server(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Submit 20 puts then 20 gets in one pipelined burst. The server
+    // runs session ops from one connection in submission order, so the
+    // gets observe the puts regardless of receive order.
+    let mut put_ids = Vec::new();
+    let mut get_ids = Vec::new();
+    for i in 0..20 {
+        let put = Request::Op(SessionOp::KvPut {
+            bucket: "cart".into(),
+            key: format!("k{i}"),
+            value: Value::int(i),
+        });
+        put_ids.push(client.submit(&put).unwrap());
+    }
+    for i in 0..20 {
+        let get = Request::Op(SessionOp::KvGet { bucket: "cart".into(), key: format!("k{i}") });
+        get_ids.push(client.submit(&get).unwrap());
+    }
+    assert_eq!(client.in_flight(), 40);
+
+    // Strict request/response calls are refused while ids are in flight.
+    let err = client.ping().unwrap_err();
+    assert!(err.to_string().contains("in flight"), "{err}");
+
+    // Receive gets first, in reverse submission order; stashing makes
+    // the order irrelevant to the caller.
+    for (i, id) in get_ids.iter().enumerate().rev() {
+        match client.receive(*id).unwrap() {
+            Response::Maybe(Some(v)) => assert_eq!(v, Value::int(i as i64)),
+            other => panic!("get k{i}: {other:?}"),
+        }
+    }
+    for id in put_ids.iter().rev() {
+        assert!(matches!(client.receive(*id).unwrap(), Response::Ok));
+    }
+    assert_eq!(client.in_flight(), 0);
+
+    // A drained pipeline frees the connection for plain calls again,
+    // and an unknown id is a caller error, not a poisoned connection.
+    client.ping().unwrap();
+    assert!(client.receive(999).is_err());
+    assert!(!client.is_poisoned());
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn a_transaction_pipelines_and_commits_atomically() {
+    let (db, server, addr) = start_server(ServerConfig::default());
+    let mut client = Client::connect(&addr).unwrap();
+
+    let begin = client.submit(&Request::Begin { serializable: false }).unwrap();
+    let mut puts = Vec::new();
+    for i in 0..10 {
+        puts.push(
+            client
+                .submit(&Request::Op(SessionOp::KvPut {
+                    bucket: "cart".into(),
+                    key: format!("t{i}"),
+                    value: Value::int(i),
+                }))
+                .unwrap(),
+        );
+    }
+    let commit = client.submit(&Request::Commit).unwrap();
+
+    assert!(matches!(client.receive(begin).unwrap(), Response::TxnBegun { .. }));
+    for id in puts {
+        assert!(matches!(client.receive(id).unwrap(), Response::Ok));
+    }
+    assert!(matches!(client.receive(commit).unwrap(), Response::Committed { .. }));
+    for i in 0..10 {
+        assert_eq!(db.kv().get("cart", &format!("t{i}")).unwrap(), Some(Value::int(i)));
+    }
+    assert_eq!(server.metrics().sessions_reaped.load(Ordering::Relaxed), 0);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn the_depth_cap_stalls_the_reader_and_reports_it() {
+    // One executor and a tiny depth: a slow scan occupies the worker,
+    // pings pile up behind it, and the reader must stop pulling frames
+    // once `pipeline_depth` requests are in flight.
+    let (db, server, addr) = start_server(ServerConfig {
+        workers: 1,
+        pipeline_depth: 2,
+        ..ServerConfig::default()
+    });
+    load_items(&db, 4000);
+    let mut client = Client::connect(&addr).unwrap();
+
+    let scan = client
+        .submit(&Request::Query {
+            text: "FOR x IN items FILTER x.n >= 0 RETURN x".into(),
+            deadline_ms: None,
+        })
+        .unwrap();
+    let pings: Vec<u64> =
+        (0..8).map(|_| client.submit(&Request::Ping).unwrap()).collect();
+    match client.receive(scan).unwrap() {
+        Response::Rows(rows) => assert_eq!(rows.len(), 4000),
+        other => panic!("{other:?}"),
+    }
+    for id in pings {
+        assert!(matches!(client.receive(id).unwrap(), Response::Pong));
+    }
+
+    let stats = client.admin_stats().unwrap();
+    let pipeline = stats.get_field("pipeline");
+    let stalls = pipeline.get_field("depth_stalls").as_int().unwrap();
+    assert!(stalls >= 1, "the reader never hit the depth cap (stalls = {stalls})");
+    // The STATS request reading the gauge is itself the one in flight.
+    assert_eq!(pipeline.get_field("inflight_requests"), &Value::int(1));
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn idless_legacy_frames_round_trip_byte_identically_in_fifo_order() {
+    let (_db, server, addr) = start_server(ServerConfig::default());
+    let mut raw = raw_handshake(&addr, false);
+
+    // Three id-less requests written back to back: responses must come
+    // back strictly in order, each encoded exactly as the pre-pipelining
+    // protocol would have — no envelope, no id, byte for byte.
+    let reqs = [
+        Request::Ping,
+        Request::Op(SessionOp::KvPut {
+            bucket: "cart".into(),
+            key: "legacy".into(),
+            value: Value::int(7),
+        }),
+        Request::Op(SessionOp::KvGet { bucket: "cart".into(), key: "legacy".into() }),
+    ];
+    let mut batch = Vec::new();
+    for req in &reqs {
+        frame::write_frame(&mut batch, &req.encode(), frame::MAX_FRAME_LEN).unwrap();
+    }
+    raw.write_all(&batch).unwrap();
+
+    let expected = [
+        Response::Pong.encode(),
+        Response::Ok.encode(),
+        Response::Maybe(Some(Value::int(7))).encode(),
+    ];
+    for want in &expected {
+        let payload = frame::read_frame(&mut raw, frame::MAX_FRAME_LEN).unwrap();
+        assert_eq!(&payload, want, "id-less responses must be byte-identical to legacy");
+    }
+
+    // Tagged and id-less frames interleave on one connection: the
+    // tagged one comes back enveloped, the id-less one bare.
+    frame::write_frame(&mut raw, &Request::Ping.encode_with_id(Some(42)), frame::MAX_FRAME_LEN)
+        .unwrap();
+    let payload = frame::read_frame(&mut raw, frame::MAX_FRAME_LEN).unwrap();
+    assert_eq!(Response::decode_with_id(&payload).unwrap(), (Some(42), Response::Pong));
+    frame::write_frame(&mut raw, &Request::Ping.encode(), frame::MAX_FRAME_LEN).unwrap();
+    let payload = frame::read_frame(&mut raw, frame::MAX_FRAME_LEN).unwrap();
+    assert_eq!(payload, Response::Pong.encode());
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn stream_requests_refuse_a_request_id() {
+    // ReplicaHello/Subscribe take over the whole connection, so a
+    // pipelined (tagged) variant is meaningless and must be refused
+    // with a framed error instead of wedging the stream.
+    let (_db, server, addr) = start_server(ServerConfig::default());
+    let mut raw = raw_handshake(&addr, true);
+    frame::write_frame(
+        &mut raw,
+        &Request::Subscribe { from_lsn: 0 }.encode_with_id(Some(9)),
+        frame::MAX_FRAME_LEN,
+    )
+    .unwrap();
+    let payload = frame::read_frame(&mut raw, frame::MAX_FRAME_LEN).unwrap();
+    let (id, resp) = Response::decode_with_id(&payload).unwrap();
+    assert_eq!(id, Some(9));
+    match resp {
+        Response::Err { kind, message } => {
+            assert_eq!(kind, "protocol");
+            assert!(message.contains("request id"), "{message}");
+        }
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn an_active_pipeline_defers_the_idle_reaper_and_quiet_wins_it() {
+    let (_db, server, addr) = start_server(ServerConfig {
+        idle_timeout: Duration::from_millis(150),
+        ..ServerConfig::default()
+    });
+    let mut client = Client::connect(&addr).unwrap();
+
+    // Keep frames flowing well past the idle timeout: per-frame
+    // activity keeps the reaper away even though each gap alone is a
+    // large fraction of the budget.
+    let started = Instant::now();
+    while started.elapsed() < Duration::from_millis(450) {
+        let id = client.submit(&Request::Ping).unwrap();
+        assert!(matches!(client.receive(id).unwrap(), Response::Pong));
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert_eq!(server.metrics().connections_active.load(Ordering::Relaxed), 1);
+
+    // Going quiet with nothing in flight gets the connection reaped.
+    eventually("quiet pipelined connection reaped", || {
+        server.metrics().connections_active.load(Ordering::Relaxed) == 0
+    });
+    assert!(client.ping().is_err());
+    assert_eq!(server.metrics().sessions_reaped.load(Ordering::Relaxed), 0);
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn a_dead_reader_stalls_the_writer_and_gets_disconnected() {
+    // The client pipelines scans with multi-megabyte responses and
+    // never reads. Socket buffers fill, the connection writer stalls
+    // past `write_timeout`, and the server must kill the connection
+    // rather than block a writer thread forever.
+    let (db, server, addr) = start_server(ServerConfig {
+        write_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    });
+    load_items(&db, 4000);
+    let mut raw = raw_handshake(&addr, true);
+
+    let scan = Request::Query {
+        text: "FOR x IN items FILTER x.n >= 0 RETURN x".into(),
+        deadline_ms: None,
+    };
+    // Enough ~400KB responses to overrun both kernel socket buffers
+    // many times over, so the writer genuinely blocks.
+    let mut batch = Vec::new();
+    for id in 1..=64u64 {
+        frame::write_frame(&mut batch, &scan.encode_with_id(Some(id)), frame::MAX_FRAME_LEN)
+            .unwrap();
+    }
+    raw.write_all(&batch).unwrap();
+    // Never read. The server's writer must give up within
+    // write_timeout once the kernel buffers are full.
+    eventually("stalled-writer connection killed", || {
+        server.metrics().connections_active.load(Ordering::Relaxed) == 0
+    });
+
+    // The server stays healthy for new connections.
+    let mut probe = Client::connect(&addr).unwrap();
+    probe.ping().unwrap();
+    let stats = probe.admin_stats().unwrap();
+    assert_eq!(stats.get_field("pipeline").get_field("responses_queued"), &Value::int(0));
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn a_slowloris_mid_pipeline_is_cut_off_without_losing_finished_work() {
+    // A client completes one pipelined request, then drips a partial
+    // frame header and stalls. The mid-frame read deadline must cut the
+    // connection off even though the pipeline was recently active.
+    let (_db, server, addr) = start_server(ServerConfig {
+        read_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+    let mut raw = raw_handshake(&addr, true);
+    frame::write_frame(&mut raw, &Request::Ping.encode_with_id(Some(1)), frame::MAX_FRAME_LEN)
+        .unwrap();
+    let payload = frame::read_frame(&mut raw, frame::MAX_FRAME_LEN).unwrap();
+    assert_eq!(Response::decode_with_id(&payload).unwrap(), (Some(1), Response::Pong));
+
+    let started = Instant::now();
+    for byte in &8u32.to_be_bytes()[..3] {
+        raw.write_all(std::slice::from_ref(byte)).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let payload = frame::read_frame(&mut raw, frame::MAX_FRAME_LEN).unwrap();
+    let (_, resp) = Response::decode_with_id(&payload).unwrap();
+    match resp {
+        Response::Err { kind, message } => {
+            assert_eq!(kind, "storage");
+            assert!(message.contains("stalled"), "{message}");
+        }
+        other => panic!("expected a stall error, got {other:?}"),
+    }
+    let mut buf = [0u8; 1];
+    assert_eq!(raw.read(&mut buf).unwrap(), 0, "server closes the stalled connection");
+    assert!(started.elapsed() < Duration::from_secs(3));
+    eventually("stalled connection retired", || {
+        server.metrics().connections_active.load(Ordering::Relaxed) == 0
+    });
+    server.shutdown().unwrap();
+}
