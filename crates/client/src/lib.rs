@@ -14,7 +14,7 @@
 mod pool;
 mod retry;
 
-pub use pool::{Consistency, Pool, PoolConfig, PoolStats, PooledClient};
+pub use pool::{Consistency, Pool, PoolConfig, PoolStats, PooledClient, ReadPipeline};
 pub use retry::RetryPolicy;
 
 use std::collections::{HashMap, HashSet};

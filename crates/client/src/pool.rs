@@ -106,6 +106,10 @@ pub struct PoolStats {
     /// Reads that wanted a replica but fell back to the primary (none
     /// fresh enough, or all unreachable).
     pub replica_fallbacks: u64,
+    /// Read pipelines ([`Pool::read_pipeline`]) routed to a replica.
+    pub replica_pipelines: u64,
+    /// Read pipelines that wanted a replica but ran on the primary.
+    pub pipeline_fallbacks: u64,
 }
 
 struct IdleConn {
@@ -132,6 +136,8 @@ struct PoolInner {
     replica_cursor: AtomicUsize,
     replica_reads: AtomicU64,
     replica_fallbacks: AtomicU64,
+    replica_pipelines: AtomicU64,
+    pipeline_fallbacks: AtomicU64,
     /// Read-your-writes token: the highest commit LSN any connection of
     /// this pool has been acknowledged (collected as connections return
     /// to the pool).
@@ -162,6 +168,8 @@ impl Pool {
                 replica_cursor: AtomicUsize::new(0),
                 replica_reads: AtomicU64::new(0),
                 replica_fallbacks: AtomicU64::new(0),
+                replica_pipelines: AtomicU64::new(0),
+                pipeline_fallbacks: AtomicU64::new(0),
                 session_lsn: AtomicU64::new(0),
             }),
         }
@@ -431,7 +439,36 @@ impl Pool {
             unhealthy_discarded: self.inner.unhealthy_discarded.load(Ordering::Relaxed),
             replica_reads: self.inner.replica_reads.load(Ordering::Relaxed),
             replica_fallbacks: self.inner.replica_fallbacks.load(Ordering::Relaxed),
+            replica_pipelines: self.inner.replica_pipelines.load(Ordering::Relaxed),
+            pipeline_fallbacks: self.inner.pipeline_fallbacks.load(Ordering::Relaxed),
         }
+    }
+
+    /// Check out a connection for a **read pipeline**
+    /// ([`Client::submit`] / [`Client::receive`] batches), routed
+    /// through the pool's consistency mode just like [`Pool::retry_read`]:
+    /// a replica that passes the freshness check serves the whole batch,
+    /// otherwise the primary does. The freshness check runs once per
+    /// pipeline — the batch amortizes it — so a replica may fall up to
+    /// one batch further behind while the pipeline drains; callers
+    /// needing a per-read bound should keep using `retry_read`.
+    ///
+    /// The returned [`ReadPipeline`] dereferences to the underlying
+    /// [`Client`]; dropping it recycles the connection (replica or
+    /// primary) into the appropriate idle list unless it was poisoned.
+    /// Submit only reads: a commit on a replica connection fails
+    /// server-side, and its LSN would not flow into the pool's
+    /// read-your-writes token.
+    pub fn read_pipeline(&self) -> Result<ReadPipeline> {
+        let inner = &self.inner;
+        if self.wants_replica() {
+            if let Some(guard) = self.replica_for_read() {
+                inner.replica_pipelines.fetch_add(1, Ordering::Relaxed);
+                return Ok(ReadPipeline { conn: PipelineConn::Replica(guard) });
+            }
+            inner.pipeline_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(ReadPipeline { conn: PipelineConn::Primary(self.get()?) })
     }
 }
 
@@ -457,6 +494,46 @@ impl Deref for PooledClient {
 impl DerefMut for PooledClient {
     fn deref_mut(&mut self) -> &mut Client {
         self.client.as_mut().expect("client taken") // lint: allow(panic, client is Some from checkout until drop returns it to the pool)
+    }
+}
+
+/// A connection checked out by [`Pool::read_pipeline`], routed to a
+/// replica or the primary under the pool's consistency mode. Derefs to
+/// the underlying [`Client`] so `submit`/`flush`/`receive` work
+/// directly; drop recycles the connection.
+pub struct ReadPipeline {
+    conn: PipelineConn,
+}
+
+enum PipelineConn {
+    Replica(ReplicaGuard),
+    Primary(PooledClient),
+}
+
+impl ReadPipeline {
+    /// Whether this pipeline landed on a replica (as opposed to falling
+    /// back to — or being configured for — the primary).
+    pub fn is_replica(&self) -> bool {
+        matches!(self.conn, PipelineConn::Replica(_))
+    }
+}
+
+impl Deref for ReadPipeline {
+    type Target = Client;
+    fn deref(&self) -> &Client {
+        match &self.conn {
+            PipelineConn::Replica(g) => g.client.as_ref().expect("client taken"), // lint: allow(panic, client is Some from checkout until drop recycles it)
+            PipelineConn::Primary(p) => p,
+        }
+    }
+}
+
+impl DerefMut for ReadPipeline {
+    fn deref_mut(&mut self) -> &mut Client {
+        match &mut self.conn {
+            PipelineConn::Replica(g) => g.client.as_mut().expect("client taken"), // lint: allow(panic, client is Some from checkout until drop recycles it)
+            PipelineConn::Primary(p) => p,
+        }
     }
 }
 

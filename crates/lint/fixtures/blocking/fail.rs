@@ -1,0 +1,13 @@
+// A blocking fsync two calls away from a hot context: `reader_loop`
+// is listed in [hot_contexts], `.sync()` in [blocking] ops.
+pub fn reader_loop(&self) {
+    loop {
+        let frame = self.next_frame();
+        self.persist_frame(frame);
+    }
+}
+
+fn persist_frame(&self, frame: Frame) {
+    self.log.append(frame);
+    self.log_file.sync();
+}

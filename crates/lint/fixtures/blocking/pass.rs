@@ -1,0 +1,13 @@
+// Blocking off the hot path: `compactor` is not a hot context and
+// nothing reachable from `reader_loop` calls it.
+pub fn reader_loop(&self) {
+    loop {
+        let frame = self.next_frame();
+        self.enqueue(frame);
+    }
+}
+
+pub fn compactor(&self) {
+    self.log_file.sync();
+    std::thread::sleep(self.cadence);
+}

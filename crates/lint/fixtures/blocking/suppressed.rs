@@ -1,0 +1,10 @@
+// Deliberate blocking on the hot path, with the design argument in
+// the pragma reason.
+pub fn reader_loop(&self) {
+    loop {
+        let frame = self.next_frame();
+        // lint: allow(blocking, one fsync per frame is this fixture's durability contract)
+        self.log_file.sync();
+        self.ack(frame);
+    }
+}

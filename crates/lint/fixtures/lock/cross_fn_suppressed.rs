@@ -1,0 +1,14 @@
+// Same cross-function shape as cross_fn_fail.rs, but the observation
+// site (the call made while the guard is held) carries a reasoned
+// pragma.
+pub fn refresh(&self) {
+    let guard = self.cache.write();
+    // lint: allow(lock, refresh's cache guard is read-only and flush_all never takes cache)
+    self.flush_journal();
+    drop(guard);
+}
+
+fn flush_journal(&self) {
+    let j = self.journal.lock();
+    j.flush_all();
+}

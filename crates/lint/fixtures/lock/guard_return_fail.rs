@@ -1,0 +1,20 @@
+// The AB/BA inversion the lexical per-fn heuristic provably misses:
+// `locked_cache` RETURNS its guard, so its caller holds `cache`
+// without any visible acquisition. `ab` then nests journal under
+// cache while `ba` nests cache under journal — a deadlock pair (and a
+// cycle) that only guard-return tracking can see.
+fn locked_cache(&self) -> CacheGuard<'_> {
+    self.cache.write()
+}
+
+pub fn ab(&self) {
+    let c = self.locked_cache();
+    let j = self.journal.lock();
+    use_both(&c, &j);
+}
+
+pub fn ba(&self) {
+    let j = self.journal.lock();
+    let c = self.locked_cache();
+    use_both(&c, &j);
+}

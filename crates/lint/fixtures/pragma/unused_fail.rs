@@ -1,0 +1,6 @@
+// A well-formed pragma that suppresses nothing: the unwrap it once
+// excused is gone, so the pragma itself must now be flagged.
+pub fn read_config(&self) -> Config {
+    // lint: allow(panic, config validated at startup)
+    self.config.clone()
+}

@@ -13,6 +13,9 @@ use std::collections::BTreeMap;
 pub struct LockEdge {
     pub outer: String,
     pub inner: String,
+    /// The `[[lock_order]]` header's 1-based line in `lint.toml`, so
+    /// stale-declaration warnings point at the entry to delete.
+    pub line: usize,
 }
 
 /// Parsed `lint.toml`.
@@ -35,6 +38,15 @@ pub struct Config {
     pub locks_exempt: Vec<String>,
     /// The declared lock-order table: permitted nestings.
     pub lock_order: Vec<LockEdge>,
+    /// When true, every declared lock edge must be observed somewhere
+    /// in the scan or it warns as a stale declaration.
+    pub locks_require_observed: bool,
+    /// Blocking-call tokens for the `blocking` rule (`.sync()`, `sleep`).
+    pub blocking_ops: Vec<String>,
+    /// Locks whose acquisition counts as blocking (declared contended).
+    pub blocking_contended: Vec<String>,
+    /// Hot-context fn names: entry points the `blocking` rule walks from.
+    pub hot_fns: Vec<String>,
 }
 
 impl Config {
@@ -68,7 +80,11 @@ impl Config {
                 }
                 in_lock_order = true;
                 current = None;
-                lock_order.push(LockEdge { outer: String::new(), inner: String::new() });
+                lock_order.push(LockEdge {
+                    outer: String::new(),
+                    inner: String::new(),
+                    line: lineno + 1,
+                });
                 continue;
             }
             if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
@@ -113,6 +129,11 @@ impl Config {
             relaxed_allowed: get("relaxed", "allowed"),
             tick_files: get("executor_tick", "files"),
             locks_exempt: get("locks", "exempt"),
+            locks_require_observed: get("locks", "require_observed").first()
+                .is_some_and(|v| v == "true"),
+            blocking_ops: get("blocking", "ops"),
+            blocking_contended: get("blocking", "contended"),
+            hot_fns: get("hot_contexts", "fns"),
             lock_order,
         })
     }
@@ -229,6 +250,16 @@ allowed = ["crates/server/src/metrics.rs"]
 [executor_tick]
 files = ["crates/query/src/exec.rs"]
 
+[locks]
+require_observed = "true"
+
+[blocking]
+ops = [".sync()", "sleep"]
+contended = ["commit_mutex"]
+
+[hot_contexts]
+fns = ["conn_reader"]
+
 [[lock_order]]
 outer = "queue"
 inner = "slowlog"
@@ -244,6 +275,13 @@ inner = "wal"
         assert!(cfg.lock_edge_declared("queue", "slowlog"));
         assert!(cfg.lock_edge_declared("versions", "wal"));
         assert!(!cfg.lock_edge_declared("slowlog", "queue"));
+        assert!(cfg.locks_require_observed);
+        assert_eq!(cfg.blocking_ops, vec![".sync()", "sleep"]);
+        assert_eq!(cfg.blocking_contended, vec!["commit_mutex"]);
+        assert_eq!(cfg.hot_fns, vec!["conn_reader"]);
+        // Each edge remembers its declaration line for stale warnings.
+        assert!(cfg.lock_order.iter().all(|e| e.line > 0));
+        assert!(cfg.lock_order[0].line < cfg.lock_order[1].line);
     }
 
     #[test]

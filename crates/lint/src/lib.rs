@@ -4,12 +4,16 @@
 //! hand-maintained cross-cutting invariants: failpoint rosters that
 //! must mirror every `fail_point!` literal, executor loops that must
 //! stay cancellable, relaxed atomics that are only sound in counter
-//! modules, a no-panic discipline on durability paths, and lock
-//! acquisition orders that must not deadlock. `mmdb-lint` walks every
-//! `.rs` file in the workspace with its own lightweight lexer (string-,
-//! comment-, and `#[cfg(test)]`-aware) and enforces those invariants
-//! as machine-checked rules — see [`rules`] for the catalogue and
-//! `lint.toml` for the per-rule configuration.
+//! modules, a no-panic discipline on durability paths, lock
+//! acquisition orders that must not deadlock, and blocking operations
+//! that must stay off hot paths. `mmdb-lint` walks every `.rs` file in
+//! the workspace with its own lightweight lexer (string-, comment-,
+//! and `#[cfg(test)]`-aware), parses fn items into event streams
+//! ([`parse`]), builds a workspace call graph ([`callgraph`]), and
+//! propagates lock summaries to a fixpoint ([`summaries`]) so
+//! cross-function nestings — including guards returned to callers —
+//! are checked against the declared order. See [`rules`] for the rule
+//! catalogue and `lint.toml` for the per-rule configuration.
 //!
 //! Suppression is pragma-only and always carries a reason:
 //!
@@ -20,12 +24,16 @@
 //! The binary (`cargo run -p mmdb-lint`) exits nonzero on any
 //! unsuppressed violation; `scripts/ci.sh` runs it after clippy.
 
+pub mod blocking;
+pub mod callgraph;
 pub mod config;
 pub mod lex;
+pub mod parse;
 pub mod rules;
+pub mod summaries;
 
 pub use config::Config;
-pub use rules::Diagnostic;
+pub use rules::{Diagnostic, Severity};
 
 use std::path::{Path, PathBuf};
 

@@ -1,26 +1,47 @@
-//! The rule engine: five project-specific invariants plus the pragma
+//! The rule engine: six project-specific invariants plus the pragma
 //! meta-rule.
 //!
 //! | rule        | invariant                                                      |
 //! |-------------|----------------------------------------------------------------|
 //! | `panic`     | no `.unwrap()`/`.expect(`/`panic!`/`unreachable!`/`todo!` on non-test engine paths |
-//! | `failpoint` | every `fail_point!`/`mmdb_fault::eval*` site is rostered in its crate's `FAILPOINT_SITES`, and every roster entry has a live call site |
+//! | `failpoint` | every `fail_point!`/`mmdb_fault::eval*` site is rostered in its crate's `FAILPOINT_SITES`, has a live call site, and is exercised by a test under `tests/` |
 //! | `relaxed`   | `Ordering::Relaxed` only in the designated counter modules     |
 //! | `tick`      | every loop in the executor files contains a `cancel::tick()` (or tick-forwarding) call |
-//! | `lock`      | nested `.lock()`/`.read()`/`.write()` acquisitions follow the declared lock-order table |
-//! | `pragma`    | every `// lint: allow(rule, reason)` names a known rule and gives a reason |
+//! | `lock`      | every observed lock nesting — including cross-function nestings found through the call graph — follows the declared lock-order table, which must be acyclic and (in workspace scans) fully observed |
+//! | `blocking`  | no blocking operation reachable from an annotated hot context without a reasoned pragma |
+//! | `pragma`    | every `// lint: allow(rule, reason)` names a known rule, gives a reason, and suppresses at least one diagnostic |
 //!
 //! Suppression is pragma-only and always carries a reason:
 //! `// lint: allow(panic, length checked two lines up)` on the
-//! offending line, or on a comment-only line directly above it.
+//! offending line, or on a comment-only line directly above it. A
+//! pragma that suppresses nothing is itself a violation, so
+//! suppressions cannot outlive the code they excused.
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::callgraph::CallGraph;
 use crate::config::Config;
 use crate::lex::{contains_token, find_token, is_ident, string_literals, SourceFile};
 
 /// Every rule name a pragma may reference.
-pub const RULE_NAMES: &[&str] = &["panic", "failpoint", "relaxed", "tick", "lock", "pragma"];
+pub const RULE_NAMES: &[&str] =
+    &["panic", "failpoint", "relaxed", "tick", "lock", "blocking", "pragma"];
+
+/// Finding severity: errors gate CI; warnings inform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Severity::Error => write!(f, "error"),
+            Severity::Warning => write!(f, "warning"),
+        }
+    }
+}
 
 /// One `file:line: rule: message` finding.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -30,6 +51,7 @@ pub struct Diagnostic {
     pub line: usize,
     pub rule: &'static str,
     pub msg: String,
+    pub severity: Severity,
 }
 
 impl std::fmt::Display for Diagnostic {
@@ -38,17 +60,37 @@ impl std::fmt::Display for Diagnostic {
     }
 }
 
+/// Which pragmas actually suppressed a diagnostic, keyed by
+/// (file index, 0-based pragma line, rule). Fed by every rule as it
+/// skips a suppressed finding; drained by the unused-pragma check.
+#[derive(Debug, Default)]
+pub struct PragmaUse(BTreeSet<(usize, usize, &'static str)>);
+
+impl PragmaUse {
+    pub fn mark(&mut self, file: usize, line: usize, rule: &'static str) {
+        self.0.insert((file, line, rule));
+    }
+    pub fn contains(&self, file: usize, line: usize, rule: &'static str) -> bool {
+        self.0.contains(&(file, line, rule))
+    }
+}
+
 /// Run every rule over the lexed files.
 pub fn check_files(files: &[SourceFile], cfg: &Config) -> Vec<Diagnostic> {
     let mut out = Vec::new();
-    for file in files {
+    let mut used = PragmaUse::default();
+    for (fi, file) in files.iter().enumerate() {
         check_pragmas(file, &mut out);
-        check_no_panic(file, cfg, &mut out);
-        check_relaxed(file, cfg, &mut out);
-        check_tick(file, cfg, &mut out);
-        check_locks(file, cfg, &mut out);
+        check_no_panic(fi, file, cfg, &mut used, &mut out);
+        check_relaxed(fi, file, cfg, &mut used, &mut out);
+        check_tick(fi, file, cfg, &mut used, &mut out);
     }
-    check_failpoints(files, cfg, &mut out);
+    let items = crate::parse::parse_items(files, cfg);
+    let graph = CallGraph::build(&items);
+    crate::summaries::check_locks(files, &items, &graph, cfg, &mut used, &mut out);
+    crate::blocking::check_blocking(files, &items, &graph, cfg, &mut used, &mut out);
+    check_failpoints(files, cfg, &mut used, &mut out);
+    check_unused_pragmas(files, &used, &mut out);
     out.sort();
     out.dedup();
     out
@@ -56,7 +98,7 @@ pub fn check_files(files: &[SourceFile], cfg: &Config) -> Vec<Diagnostic> {
 
 /// Test-only source by location: `tests/`, `benches/`, `examples/`,
 /// `fixtures/` trees hold no production paths.
-fn is_test_path(path: &str) -> bool {
+pub(crate) fn is_test_path(path: &str) -> bool {
     path.split('/').any(|c| matches!(c, "tests" | "benches" | "examples" | "fixtures"))
 }
 
@@ -94,35 +136,36 @@ fn parse_pragmas(comment: &str) -> Option<Vec<(String, bool)>> {
     Some(out)
 }
 
-/// Is `rule` suppressed at `idx` — by a pragma on the line itself, or
-/// on the run of comment-only lines directly above it?
-fn suppressed(file: &SourceFile, idx: usize, rule: &str) -> bool {
+/// The 0-based line of the pragma that suppresses `rule` at `idx` — on
+/// the line itself, or on the run of comment-only lines directly above
+/// it. `None` when unsuppressed.
+pub fn suppression_line(file: &SourceFile, idx: usize, rule: &str) -> Option<usize> {
     let allows = |i: usize| -> bool {
         parse_pragmas(&file.lines[i].comment)
             .is_some_and(|ps| ps.iter().any(|(r, ok)| r == rule && *ok))
     };
     if allows(idx) {
-        return true;
+        return Some(idx);
     }
     let mut i = idx;
     while i > 0 {
         i -= 1;
         let line = &file.lines[i];
         if !line.code.trim().is_empty() {
-            return false;
+            return None;
         }
         if line.comment.is_empty() {
-            return false;
+            return None;
         }
         if allows(i) {
-            return true;
+            return Some(i);
         }
     }
-    false
+    None
 }
 
-/// The pragma meta-rule: malformed or unknown-rule pragmas are
-/// themselves violations, so a typo can never silently suppress.
+/// The pragma meta-rule, part one: malformed or unknown-rule pragmas
+/// are themselves violations, so a typo can never silently suppress.
 fn check_pragmas(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     for (idx, line) in file.lines.iter().enumerate() {
         let Some(pragmas) = parse_pragmas(&line.comment) else { continue };
@@ -132,6 +175,7 @@ fn check_pragmas(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                 line: idx + 1,
                 rule: "pragma",
                 msg: "`lint:` comment without an `allow(rule, reason)` clause".to_string(),
+                severity: Severity::Error,
             });
             continue;
         }
@@ -145,6 +189,7 @@ fn check_pragmas(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                         "unknown rule '{rule}' in lint pragma (known: {})",
                         RULE_NAMES.join(", ")
                     ),
+                    severity: Severity::Error,
                 });
             } else if !has_reason {
                 out.push(Diagnostic {
@@ -154,7 +199,45 @@ fn check_pragmas(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                     msg: format!(
                         "lint pragma for '{rule}' needs a reason: `lint: allow({rule}, <why>)`"
                     ),
+                    severity: Severity::Error,
                 });
+            }
+        }
+    }
+}
+
+/// The pragma meta-rule, part two: a well-formed pragma that
+/// suppressed nothing anywhere in the scan is dead weight — the code
+/// it excused has moved or been fixed — and must be removed.
+fn check_unused_pragmas(files: &[SourceFile], used: &PragmaUse, out: &mut Vec<Diagnostic>) {
+    for (fi, file) in files.iter().enumerate() {
+        if is_test_path(&file.path) {
+            continue;
+        }
+        for (idx, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            let Some(pragmas) = parse_pragmas(&line.comment) else { continue };
+            for (rule, has_reason) in &pragmas {
+                // Malformed entries were already flagged by part one.
+                let Some(rname) = RULE_NAMES.iter().find(|r| *r == rule) else { continue };
+                if !has_reason {
+                    continue;
+                }
+                if !used.contains(fi, idx, rname) {
+                    out.push(Diagnostic {
+                        path: file.path.clone(),
+                        line: idx + 1,
+                        rule: "pragma",
+                        msg: format!(
+                            "unused pragma: no '{rule}' diagnostic fires here — remove \
+                             `lint: allow({rule}, ...)` so suppressions cannot outlive \
+                             the code they excused"
+                        ),
+                        severity: Severity::Error,
+                    });
+                }
             }
         }
     }
@@ -164,7 +247,13 @@ fn check_pragmas(file: &SourceFile, out: &mut Vec<Diagnostic>) {
 
 const PANIC_PATTERNS: &[&str] = &[".unwrap()", ".expect(", "panic!", "unreachable!", "todo!"];
 
-fn check_no_panic(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+fn check_no_panic(
+    fi: usize,
+    file: &SourceFile,
+    cfg: &Config,
+    used: &mut PragmaUse,
+    out: &mut Vec<Diagnostic>,
+) {
     if is_test_path(&file.path) || path_exempt(&file.path, &cfg.no_panic_exempt) {
         return;
     }
@@ -183,7 +272,11 @@ fn check_no_panic(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
                 found.push(pat);
             }
         }
-        if found.is_empty() || suppressed(file, idx, "panic") {
+        if found.is_empty() {
+            continue;
+        }
+        if let Some(pline) = suppression_line(file, idx, "panic") {
+            used.mark(fi, pline, "panic");
             continue;
         }
         out.push(Diagnostic {
@@ -195,13 +288,20 @@ fn check_no_panic(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
                  `// lint: allow(panic, <reason>)`",
                 found.join(" and ")
             ),
+            severity: Severity::Error,
         });
     }
 }
 
 // ---- rule: relaxed ---------------------------------------------------------
 
-fn check_relaxed(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+fn check_relaxed(
+    fi: usize,
+    file: &SourceFile,
+    cfg: &Config,
+    used: &mut PragmaUse,
+    out: &mut Vec<Diagnostic>,
+) {
     if is_test_path(&file.path) || cfg.relaxed_allowed.iter().any(|p| p == &file.path) {
         return;
     }
@@ -209,7 +309,8 @@ fn check_relaxed(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
         if line.in_test || !line.masked.contains("Ordering::Relaxed") {
             continue;
         }
-        if suppressed(file, idx, "relaxed") {
+        if let Some(pline) = suppression_line(file, idx, "relaxed") {
+            used.mark(fi, pline, "relaxed");
             continue;
         }
         out.push(Diagnostic {
@@ -219,13 +320,20 @@ fn check_relaxed(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
             msg: "Ordering::Relaxed outside the designated counter modules; use a \
                   stronger ordering or annotate `// lint: allow(relaxed, <reason>)`"
                 .to_string(),
+            severity: Severity::Error,
         });
     }
 }
 
 // ---- rule: tick ------------------------------------------------------------
 
-fn check_tick(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+fn check_tick(
+    fi: usize,
+    file: &SourceFile,
+    cfg: &Config,
+    used: &mut PragmaUse,
+    out: &mut Vec<Diagnostic>,
+) {
     if !cfg.tick_files.iter().any(|p| p == &file.path) {
         return;
     }
@@ -240,7 +348,8 @@ fn check_tick(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
         if calls_tick(&body_text) {
             continue;
         }
-        if suppressed(file, line_idx, "tick") {
+        if let Some(pline) = suppression_line(file, line_idx, "tick") {
+            used.mark(fi, pline, "tick");
             continue;
         }
         out.push(Diagnostic {
@@ -251,6 +360,7 @@ fn check_tick(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
                   escape deadlines; tick per item or annotate \
                   `// lint: allow(tick, <reason>)`"
                 .to_string(),
+            severity: Severity::Error,
         });
     }
 }
@@ -371,211 +481,6 @@ fn find_loops(chars: &[char]) -> Vec<(usize, (usize, usize))> {
     out
 }
 
-// ---- rule: lock ------------------------------------------------------------
-
-#[derive(Debug)]
-struct Guard {
-    /// Last path segment of the receiver, e.g. `versions` for
-    /// `self.store.versions.write()`.
-    name: String,
-    /// Binding variable when the guard was `let`-bound.
-    var: Option<String>,
-    /// Brace depth of the binding; the guard dies when a line starts
-    /// shallower than this.
-    depth: i32,
-}
-
-fn check_locks(file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
-    if is_test_path(&file.path) || path_exempt(&file.path, &cfg.locks_exempt) {
-        return;
-    }
-    let (text, line_of) = file.masked_text();
-    let chars: Vec<char> = text.chars().collect();
-    for (start, end) in find_fn_bodies(&chars) {
-        let first_line = line_of[start];
-        let last_line = line_of[end.min(line_of.len() - 1)];
-        if file.lines[first_line].in_test {
-            continue;
-        }
-        lint_fn_locks(file, cfg, first_line, last_line, out);
-    }
-}
-
-/// Body spans (between the braces) of every `fn` item.
-fn find_fn_bodies(chars: &[char]) -> Vec<(usize, usize)> {
-    let mut out = Vec::new();
-    let mut i = 0usize;
-    while i + 1 < chars.len() {
-        if chars[i] == 'f'
-            && chars[i + 1] == 'n'
-            && (i == 0 || !is_ident(chars[i - 1]))
-            && chars.get(i + 2).is_some_and(|&c| !is_ident(c))
-        {
-            // Find the body `{` at paren depth 0, or `;` (no body).
-            let mut depth = 0i32;
-            let mut k = i + 2;
-            let mut open = None;
-            while k < chars.len() {
-                match chars[k] {
-                    '(' | '[' => depth += 1,
-                    ')' | ']' => depth -= 1,
-                    '{' if depth == 0 => {
-                        open = Some(k);
-                        break;
-                    }
-                    ';' if depth == 0 => break,
-                    _ => {}
-                }
-                k += 1;
-            }
-            if let Some(open) = open {
-                let mut level = 0i32;
-                for (off, &c) in chars[open..].iter().enumerate() {
-                    match c {
-                        '{' => level += 1,
-                        '}' => {
-                            level -= 1;
-                            if level == 0 {
-                                out.push((open, open + off));
-                                break;
-                            }
-                        }
-                        _ => {}
-                    }
-                }
-                i = open + 1;
-                continue;
-            }
-        }
-        i += 1;
-    }
-    out
-}
-
-const ACQUIRE_PATTERNS: &[&str] = &[".lock()", ".read()", ".write()"];
-
-fn lint_fn_locks(
-    file: &SourceFile,
-    cfg: &Config,
-    first_line: usize,
-    last_line: usize,
-    out: &mut Vec<Diagnostic>,
-) {
-    let mut active: Vec<Guard> = Vec::new();
-    let lines = file.lines.iter().enumerate().take(last_line + 1).skip(first_line);
-    for (idx, line) in lines {
-        if line.in_test {
-            continue;
-        }
-        active.retain(|g| line.depth >= g.depth);
-        if line.masked.contains("drop(") {
-            active.retain(|g| match &g.var {
-                Some(v) => {
-                    !line.masked.contains(&format!("drop({v})"))
-                        && !line.masked.contains(&format!("drop(&{v})"))
-                }
-                None => true,
-            });
-        }
-        let lchars: Vec<char> = line.masked.chars().collect();
-        let mut pos = 0usize;
-        let mut line_acquires: Vec<Guard> = Vec::new();
-        loop {
-            let mut best: Option<(usize, &str)> = None;
-            for pat in ACQUIRE_PATTERNS {
-                if let Some(p) = find_token_from(&lchars, pat, pos) {
-                    if best.is_none_or(|(b, _)| p < b) {
-                        best = Some((p, pat));
-                    }
-                }
-            }
-            let Some((at, pat)) = best else { break };
-            let name = receiver_name(&lchars, at);
-            // Report undeclared nestings against everything still held.
-            let quiet = suppressed(file, idx, "lock");
-            for g in active.iter().chain(line_acquires.iter()) {
-                if g.name == name || cfg.lock_edge_declared(&g.name, &name) || quiet {
-                    continue;
-                }
-                out.push(Diagnostic {
-                    path: file.path.clone(),
-                    line: idx + 1,
-                    rule: "lock",
-                    msg: format!(
-                        "'{name}' acquired while '{}' is held — undeclared lock \
-                         nesting (deadlock risk); declare `[[lock_order]] outer = \
-                         \"{}\" / inner = \"{name}\"` in lint.toml if this order is \
-                         intended, or drop the outer guard first",
-                        g.name, g.name
-                    ),
-                });
-            }
-            // Held beyond this statement? Only a plain `let g = ...();`
-            // binding keeps the guard alive; any other shape consumes it
-            // within the statement.
-            let after: String = lchars[at + pat.len()..].iter().collect();
-            let has_let = find_token(&line.masked, "let", 0)
-                .is_some_and(|let_at| let_at < at);
-            let held = after.trim_start().starts_with(';') && has_let;
-            let depth_here = line.depth
-                + lchars[..at].iter().filter(|&&c| c == '{').count() as i32
-                - lchars[..at].iter().filter(|&&c| c == '}').count() as i32;
-            let guard = Guard { name, var: let_binding(&line.masked), depth: depth_here };
-            if held {
-                active.push(guard);
-            } else {
-                // Alive for the rest of this statement (same line).
-                line_acquires.push(guard);
-            }
-            pos = at + pat.len();
-        }
-    }
-}
-
-/// Find `needle` as a token in `chars` at or after `from`.
-fn find_token_from(chars: &[char], needle: &str, from: usize) -> Option<usize> {
-    let s: String = chars[from..].iter().collect();
-    find_token(&s, needle, 0).map(|p| p + from)
-}
-
-/// The identifier immediately left of the acquisition's dot: the lock's
-/// field name (`versions` for `self.store.versions.write()`).
-fn receiver_name(chars: &[char], dot_at: usize) -> String {
-    let mut start = dot_at;
-    while start > 0 && is_ident(chars[start - 1]) {
-        start -= 1;
-    }
-    if start == dot_at {
-        return "<expr>".to_string();
-    }
-    chars[start..dot_at].iter().collect()
-}
-
-/// The variable bound by a `let [mut] name = ...` line, if any.
-fn let_binding(masked: &str) -> Option<String> {
-    let at = find_token(masked, "let", 0)?;
-    let rest: Vec<char> = masked.chars().skip(at + 3).collect();
-    let mut i = 0usize;
-    while i < rest.len() && rest[i].is_whitespace() {
-        i += 1;
-    }
-    // Skip a `mut` keyword.
-    if rest.len() >= i + 4 && rest[i..i + 3] == ['m', 'u', 't'] && rest[i + 3].is_whitespace() {
-        i += 4;
-        while i < rest.len() && rest[i].is_whitespace() {
-            i += 1;
-        }
-    }
-    let start = i;
-    while i < rest.len() && is_ident(rest[i]) {
-        i += 1;
-    }
-    if i == start {
-        return None; // tuple/struct pattern — treated as unnamed
-    }
-    Some(rest[start..i].iter().collect())
-}
-
 // ---- rule: failpoint -------------------------------------------------------
 
 const FAILPOINT_MARKERS: &[&str] = &[
@@ -597,14 +502,20 @@ fn crate_of(path: &str) -> String {
     "mmdb".to_string() // the root package (src/, tests/)
 }
 
-fn check_failpoints(files: &[SourceFile], cfg: &Config, out: &mut Vec<Diagnostic>) {
+fn check_failpoints(
+    files: &[SourceFile],
+    cfg: &Config,
+    used: &mut PragmaUse,
+    out: &mut Vec<Diagnostic>,
+) {
     // site → first declaration/use location, per crate.
     type SiteMap = BTreeMap<String, (String, usize)>;
     let mut rosters: BTreeMap<String, SiteMap> = BTreeMap::new();
     let mut uses: BTreeMap<String, SiteMap> = BTreeMap::new();
-    let mut suppressed_sites: BTreeSet<(String, String)> = BTreeSet::new();
+    // (crate, site) → pragma locations that would suppress it.
+    let mut pragma_at: BTreeMap<(String, String), Vec<(usize, usize)>> = BTreeMap::new();
 
-    for file in files {
+    for (fi, file) in files.iter().enumerate() {
         if path_exempt(&file.path, &cfg.failpoints_exempt) || is_test_path(&file.path) {
             continue;
         }
@@ -659,8 +570,8 @@ fn check_failpoints(files: &[SourceFile], cfg: &Config, out: &mut Vec<Diagnostic
                 scan_from = here + needle.chars().count();
                 let entry = rosters.entry(krate.clone()).or_default();
                 entry.entry(site.clone()).or_insert((file.path.clone(), lineno + 1));
-                if suppressed(file, lineno, "failpoint") {
-                    suppressed_sites.insert((krate.clone(), site));
+                if let Some(pline) = suppression_line(file, lineno, "failpoint") {
+                    pragma_at.entry((krate.clone(), site)).or_default().push((fi, pline));
                 }
             }
             from = close;
@@ -684,18 +595,33 @@ fn check_failpoints(files: &[SourceFile], cfg: &Config, out: &mut Vec<Diagnostic
                 let Some(site) = lits.first() else { continue };
                 let entry = uses.entry(krate.clone()).or_default();
                 entry.entry(site.clone()).or_insert((file.path.clone(), i + 1));
-                if suppressed(file, i, "failpoint") {
-                    suppressed_sites.insert((krate.clone(), site.clone()));
+                if let Some(pline) = suppression_line(file, i, "failpoint") {
+                    pragma_at
+                        .entry((krate.clone(), site.clone()))
+                        .or_default()
+                        .push((fi, pline));
                 }
             }
         }
     }
 
+    let suppress = |krate: &str, site: &str, used: &mut PragmaUse| -> bool {
+        match pragma_at.get(&(krate.to_string(), site.to_string())) {
+            Some(locs) => {
+                for &(fi, pline) in locs {
+                    used.mark(fi, pline, "failpoint");
+                }
+                true
+            }
+            None => false,
+        }
+    };
+
     let empty = BTreeMap::new();
-    for (krate, used) in &uses {
+    for (krate, site_uses) in &uses {
         let roster = rosters.get(krate).unwrap_or(&empty);
-        for (site, (path, line)) in used {
-            if roster.contains_key(site) || suppressed_sites.contains(&(krate.clone(), site.clone())) {
+        for (site, (path, line)) in site_uses {
+            if roster.contains_key(site) || suppress(krate, site, used) {
                 continue;
             }
             out.push(Diagnostic {
@@ -706,13 +632,14 @@ fn check_failpoints(files: &[SourceFile], cfg: &Config, out: &mut Vec<Diagnostic
                     "failpoint site \"{site}\" is not in {krate}'s FAILPOINT_SITES \
                      roster — the torture suite cannot find it"
                 ),
+                severity: Severity::Error,
             });
         }
     }
     for (krate, roster) in &rosters {
-        let used = uses.get(krate).unwrap_or(&empty);
+        let site_uses = uses.get(krate).unwrap_or(&empty);
         for (site, (path, line)) in roster {
-            if used.contains_key(site) || suppressed_sites.contains(&(krate.clone(), site.clone())) {
+            if site_uses.contains_key(site) || suppress(krate, site, used) {
                 continue;
             }
             out.push(Diagnostic {
@@ -723,9 +650,127 @@ fn check_failpoints(files: &[SourceFile], cfg: &Config, out: &mut Vec<Diagnostic
                     "rostered failpoint site \"{site}\" has no live call site in \
                      {krate} — stale roster entry"
                 ),
+                severity: Severity::Error,
             });
         }
     }
+
+    // Test coverage: a healthy (rostered + used) site must be exercised
+    // by at least one test — either its literal appears in a test file,
+    // or the test chains the crate's roster (`<crate>::FAILPOINT_SITES`).
+    // Only checkable when the scan actually includes test files.
+    let test_text: String = files
+        .iter()
+        .filter(|f| is_test_path(&f.path))
+        .map(|f| f.code_text().0)
+        .collect::<Vec<_>>()
+        .join("\n");
+    if test_text.is_empty() {
+        return;
+    }
+    for (krate, site_uses) in &uses {
+        let roster = rosters.get(krate).unwrap_or(&empty);
+        let short = krate.rsplit('/').next().unwrap_or(krate);
+        let roster_ref = format!("{short}::FAILPOINT_SITES");
+        let roster_chained = test_text.contains(&roster_ref);
+        for (site, (path, line)) in site_uses {
+            if !roster.contains_key(site) {
+                continue; // already reported as unrostered
+            }
+            if roster_chained || test_text.contains(&format!("\"{site}\"")) {
+                continue;
+            }
+            if suppress(krate, site, used) {
+                continue;
+            }
+            out.push(Diagnostic {
+                path: path.clone(),
+                line: *line,
+                rule: "failpoint",
+                msg: format!(
+                    "failpoint site \"{site}\" is never exercised by a test — \
+                     reference the literal (or chain {short}::FAILPOINT_SITES) from \
+                     a torture test under tests/"
+                ),
+                severity: Severity::Error,
+            });
+        }
+    }
+}
+
+// ---- --explain -------------------------------------------------------------
+
+/// Long-form documentation for `mmdb-lint --explain <rule>`.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "panic" => {
+            "panic: no .unwrap()/.expect(/panic!/unreachable!/todo! on non-test engine paths.\n\
+             \n\
+             A panic on a durability or request path aborts the worker mid-operation and\n\
+             can leave partially applied state. Return a typed mmdb_types::Error instead.\n\
+             Exemptions: [no_panic] exempt path prefixes in lint.toml (vendored shims,\n\
+             the bench harness); per-line `// lint: allow(panic, <reason>)` where the\n\
+             invariant genuinely cannot fail (say why)."
+        }
+        "failpoint" => {
+            "failpoint: every fail_point!/mmdb_fault::eval* site must (1) appear in its\n\
+             crate's FAILPOINT_SITES roster, (2) have a live call site for each roster\n\
+             entry, and (3) be exercised by at least one test under tests/ — either the\n\
+             site literal appears in a test, or the test chains the crate's roster\n\
+             (e.g. `storage::FAILPOINT_SITES`). A site the torture suite cannot find, or\n\
+             never fires, is an untested crash point. The coverage check only runs when\n\
+             the scan includes test files."
+        }
+        "relaxed" => {
+            "relaxed: Ordering::Relaxed is only allowed in the designated counter modules\n\
+             ([relaxed] allowed in lint.toml) where cross-thread ordering is irrelevant\n\
+             by design (monotonic metrics). Anywhere else it needs a reasoned pragma —\n\
+             relaxed atomics that guard state handoffs are a memory-ordering bug."
+        }
+        "tick" => {
+            "tick: every loop in the executor files ([executor_tick] files) must contain\n\
+             a cancel::tick() or tick-forwarding call, so row iteration stays\n\
+             cancellable and deadlines hold. Loops that provably do not iterate rows\n\
+             carry `// lint: allow(tick, <reason>)`."
+        }
+        "lock" => {
+            "lock: every observed lock nesting must follow the [[lock_order]] table in\n\
+             lint.toml. The analysis is interprocedural: per-fn summaries record which\n\
+             locks a fn (or anything it calls) may acquire and which guards it returns\n\
+             to its caller, propagated through the workspace call graph to a fixpoint;\n\
+             a call made while a guard is held attributes all of the callee's\n\
+             acquisitions to the held set. Declared edges close transitively (serial ->\n\
+             commit_mutex plus commit_mutex -> versions blesses serial -> versions).\n\
+             Undeclared observed nestings are errors; a cycle in declared+observed\n\
+             edges is an error; with [locks] require_observed = \"true\", declared\n\
+             edges nothing observes are stale-declaration warnings.\n\
+             \n\
+             Residual blind spots (see KNOWN_ISSUES.md): dyn-dispatch and\n\
+             macro-generated fns are invisible; calls through std-shaped method names\n\
+             (get, insert, ...) are deliberately not resolved; locks reached through\n\
+             closures invoked by a callee are attributed to the closure's lexical\n\
+             context, not its caller."
+        }
+        "blocking" => {
+            "blocking: no blocking operation reachable from an annotated hot context\n\
+             without a reasoned pragma. [hot_contexts] fns names the entry points\n\
+             (reader threads, executor lanes, the group-commit leader); [blocking] ops\n\
+             lists the blocking vocabulary (.sync(), sleep, .wait_for(, ...);\n\
+             [blocking] contended lists locks whose waits count as blocking. The rule\n\
+             walks the call graph breadth-first from each hot fn and reports each\n\
+             direct blocking site with the call path. Deliberate blocking (the leader's\n\
+             one fsync per batch) carries `// lint: allow(blocking, <reason>)` — the\n\
+             reason is the design argument, kept next to the code."
+        }
+        "pragma" => {
+            "pragma: every `// lint: allow(rule, reason)` must name a known rule and\n\
+             give a nonempty reason — and must actually suppress a diagnostic. A pragma\n\
+             that suppresses nothing is itself an error, so suppressions cannot\n\
+             outlive the code they excused. Pragmas bind to their own line or to the\n\
+             run of comment-only lines directly above the offending line."
+        }
+        _ => return None,
+    })
 }
 
 #[cfg(test)]
@@ -761,6 +806,19 @@ mod tests {
     }
 
     #[test]
+    fn unused_pragmas_are_flagged() {
+        let cfg = Config::default();
+        let d = scan_one(
+            "crates/x/src/lib.rs",
+            "fn f() { fine(); } // lint: allow(panic, nothing here panics)\n",
+            &cfg,
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "pragma");
+        assert!(d[0].msg.contains("unused"), "{}", d[0].msg);
+    }
+
+    #[test]
     fn loops_are_found_and_impl_for_is_not_a_loop() {
         let src = "impl Display for Foo { fn f(&self) { for x in items { use_it(x); } } }\n";
         let mut cfg = Config::default();
@@ -783,6 +841,7 @@ mod tests {
         cfg.lock_order.push(crate::config::LockEdge {
             outer: "queue".to_string(),
             inner: "slowlog".to_string(),
+            line: 0,
         });
         assert!(scan_one("crates/x/src/lib.rs", src, &cfg).is_empty());
     }
@@ -828,6 +887,31 @@ mod tests {
     }
 
     #[test]
+    fn failpoint_test_coverage_requires_a_test_reference() {
+        let cfg = Config::default();
+        let engine = "pub const FAILPOINT_SITES: &[&str] = &[\"a.b\"];\nfn f() { mmdb_fault::fail_point!(\"a.b\"); }\n";
+        // A test that fires the literal covers the site.
+        let d = crate::scan_sources(
+            &[("crates/x/src/lib.rs", engine), ("crates/x/tests/torture.rs", "fn t() { fire(\"a.b\"); }\n")],
+            &cfg,
+        );
+        assert!(d.is_empty(), "{d:?}");
+        // Chaining the roster covers every site of the crate.
+        let d = crate::scan_sources(
+            &[("crates/x/src/lib.rs", engine), ("crates/x/tests/torture.rs", "fn t() { for s in x::FAILPOINT_SITES {} }\n")],
+            &cfg,
+        );
+        assert!(d.is_empty(), "{d:?}");
+        // A scan with tests that reference neither flags the site.
+        let d = crate::scan_sources(
+            &[("crates/x/src/lib.rs", engine), ("crates/x/tests/torture.rs", "fn t() {}\n")],
+            &cfg,
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].msg.contains("never exercised"), "{}", d[0].msg);
+    }
+
+    #[test]
     fn relaxed_only_in_designated_modules() {
         let mut cfg = Config::default();
         let src = "fn f() { c.fetch_add(1, Ordering::Relaxed); }\n";
@@ -844,5 +928,13 @@ mod tests {
         let src = "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); panic!(); }\n}\n";
         assert!(scan_one("crates/x/src/lib.rs", src, &cfg).is_empty());
         assert!(scan_one("crates/x/tests/it.rs", "fn f() { x.unwrap(); }\n", &cfg).is_empty());
+    }
+
+    #[test]
+    fn every_rule_has_an_explanation() {
+        for rule in RULE_NAMES {
+            assert!(explain(rule).is_some(), "missing --explain text for {rule}");
+        }
+        assert!(explain("nonsense").is_none());
     }
 }

@@ -1,0 +1,491 @@
+//! Interprocedural lock analysis: per-fn summaries propagated through
+//! the call graph to a fixpoint, then a replay pass that emits every
+//! *observed* lock-nesting edge (outer held while inner is acquired —
+//! directly, through a call whose callee may acquire, or through a
+//! guard returned by a helper), reconciled against the `[[lock_order]]`
+//! table in `lint.toml`:
+//!
+//! - an observed edge with no declared path `outer -> ... -> inner` is
+//!   an **error** (undeclared nesting, deadlock risk);
+//! - with `[locks] require_observed = "true"`, a declared edge that no
+//!   replay ever observes is a **warning** (stale declaration);
+//! - a cycle in the combined declared + observed graph is an **error**
+//!   (no consistent global acquisition order exists).
+//!
+//! A summary records `may_acquire` (every lock the fn or its callees
+//! may take) and `exit_held` (locks whose guards the fn returns to its
+//! caller — the case a per-file heuristic cannot see: the caller holds
+//! a lock it never lexically acquired).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::CallGraph;
+use crate::config::Config;
+use crate::lex::SourceFile;
+use crate::parse::{Event, FnItem};
+use crate::rules::{suppression_line, Diagnostic, PragmaUse, Severity};
+
+/// The interprocedural summary of one fn.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Summary {
+    /// Locks this fn (or anything it may call) may acquire.
+    pub may_acquire: BTreeSet<String>,
+    /// Locks whose guards this fn returns to its caller.
+    pub exit_held: BTreeSet<String>,
+}
+
+/// One observed nesting: `inner` acquired (possibly inside a callee)
+/// while `outer` was held at `file:line`.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    pub outer: String,
+    pub inner: String,
+    pub file: usize,
+    /// 0-based line of the acquisition or call site.
+    pub line: usize,
+    /// The callee the edge went through, for cross-function edges.
+    pub via: Option<String>,
+}
+
+struct ActiveGuard {
+    name: String,
+    var: Option<String>,
+    depth: i32,
+}
+
+/// Compute every fn's summary to a fixpoint (sets only grow, so the
+/// iteration is monotone and terminates).
+pub fn fixpoint(files: &[SourceFile], items: &[FnItem], graph: &CallGraph) -> Vec<Summary> {
+    let mut summaries = vec![Summary::default(); items.len()];
+    // Bound the passes defensively; the monotone lattice converges in
+    // at most the call-graph depth.
+    for _ in 0..64 {
+        let mut changed = false;
+        for (i, item) in items.iter().enumerate() {
+            let next = replay(&files[item.file], item, graph, &summaries, &mut Vec::new());
+            if next != summaries[i] {
+                summaries[i] = next;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    summaries
+}
+
+/// Replay one fn against the current summaries: returns its own
+/// summary and appends every observed nesting edge to `obs`.
+pub fn replay(
+    file: &SourceFile,
+    item: &FnItem,
+    graph: &CallGraph,
+    summaries: &[Summary],
+    obs: &mut Vec<Observation>,
+) -> Summary {
+    let mut sum = Summary::default();
+    let mut active: Vec<ActiveGuard> = Vec::new();
+    let mut line_acq: Vec<ActiveGuard> = Vec::new();
+    let mut cur_line = item.first_line;
+
+    for ev in &item.events {
+        let ev_line = match ev {
+            Event::Acquire { line, .. } | Event::Call { line, .. } | Event::Release { line, .. } => {
+                *line
+            }
+        };
+        if ev_line != cur_line {
+            // Release guards whose scope closed on any line in between
+            // (the shallowest line-start depth wins).
+            let min_depth = (cur_line + 1..=ev_line)
+                .map(|l| file.lines[l].depth)
+                .min()
+                .unwrap_or(i32::MAX);
+            active.retain(|g| min_depth >= g.depth);
+            line_acq.clear();
+            cur_line = ev_line;
+        }
+        match ev {
+            Event::Release { var, .. } => {
+                active.retain(|g| g.var.as_deref() != Some(var.as_str()));
+            }
+            Event::Acquire { lock, var, depth, line, held, ret_pos } => {
+                for g in active.iter().chain(line_acq.iter()) {
+                    if g.name != *lock {
+                        obs.push(Observation {
+                            outer: g.name.clone(),
+                            inner: lock.clone(),
+                            file: item.file,
+                            line: *line,
+                            via: None,
+                        });
+                    }
+                }
+                sum.may_acquire.insert(lock.clone());
+                if *ret_pos {
+                    sum.exit_held.insert(lock.clone());
+                }
+                let guard = ActiveGuard { name: lock.clone(), var: var.clone(), depth: *depth };
+                if *held {
+                    active.push(guard);
+                } else {
+                    line_acq.push(guard);
+                }
+            }
+            Event::Call { name, depth, line, bound, ret_pos } => {
+                let callees = graph.resolve(name);
+                if callees.is_empty() {
+                    continue;
+                }
+                let mut may: BTreeSet<&str> = BTreeSet::new();
+                let mut exit: BTreeSet<&str> = BTreeSet::new();
+                for &c in callees {
+                    may.extend(summaries[c].may_acquire.iter().map(|s| s.as_str()));
+                    exit.extend(summaries[c].exit_held.iter().map(|s| s.as_str()));
+                }
+                for g in active.iter().chain(line_acq.iter()) {
+                    for inner in &may {
+                        if g.name != *inner {
+                            obs.push(Observation {
+                                outer: g.name.clone(),
+                                inner: (*inner).to_string(),
+                                file: item.file,
+                                line: *line,
+                                via: Some(name.clone()),
+                            });
+                        }
+                    }
+                }
+                sum.may_acquire.extend(may.iter().map(|s| s.to_string()));
+                if *ret_pos {
+                    sum.exit_held.extend(exit.iter().map(|s| s.to_string()));
+                }
+                if !exit.is_empty() {
+                    // The callee's guards outlive the call: they stay
+                    // held by the caller (let-bound → past the
+                    // statement, otherwise within it).
+                    for lock in &exit {
+                        let guard = ActiveGuard {
+                            name: (*lock).to_string(),
+                            var: bound.clone(),
+                            depth: *depth,
+                        };
+                        if bound.is_some() {
+                            active.push(guard);
+                        } else {
+                            line_acq.push(guard);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // `let g = self.a.lock(); ... ; g` — a guard returned by name.
+    if let Some(tail) = &item.tail_var {
+        for g in &active {
+            if g.var.as_deref() == Some(tail.as_str()) {
+                sum.exit_held.insert(g.name.clone());
+            }
+        }
+    }
+    sum
+}
+
+/// Is there a declared path `outer -> ... -> inner`? Transitive
+/// closure keeps `lint.toml` small: `serial -> commit_mutex` plus
+/// `commit_mutex -> versions` blesses the observed `serial ->
+/// versions` without its own entry.
+fn declared_reaches(cfg: &Config, outer: &str, inner: &str) -> bool {
+    reaches(outer, inner, &|n| {
+        cfg.lock_order.iter().filter(|e| e.outer == n).map(|e| e.inner.as_str()).collect()
+    })
+}
+
+fn reaches<'a>(from: &'a str, to: &str, next: &dyn Fn(&str) -> Vec<&'a str>) -> bool {
+    let mut seen: BTreeSet<&'a str> = BTreeSet::new();
+    let mut stack: Vec<&'a str> = vec![from];
+    while let Some(n) = stack.pop() {
+        for m in next(n) {
+            if m == to {
+                return true;
+            }
+            if seen.insert(m) {
+                stack.push(m);
+            }
+        }
+    }
+    false
+}
+
+/// The whole interprocedural lock rule: fixpoint, replay, reconcile.
+pub fn check_locks(
+    files: &[SourceFile],
+    items: &[FnItem],
+    graph: &CallGraph,
+    cfg: &Config,
+    used: &mut PragmaUse,
+    out: &mut Vec<Diagnostic>,
+) {
+    let summaries = fixpoint(files, items, graph);
+    let mut obs: Vec<Observation> = Vec::new();
+    for item in items {
+        replay(&files[item.file], item, graph, &summaries, &mut obs);
+    }
+
+    // Group observations per (outer, inner) pair.
+    let mut pairs: BTreeMap<(String, String), Vec<&Observation>> = BTreeMap::new();
+    for o in &obs {
+        pairs.entry((o.outer.clone(), o.inner.clone())).or_default().push(o);
+    }
+
+    for ((outer, inner), sites) in &pairs {
+        if declared_reaches(cfg, outer, inner) {
+            continue;
+        }
+        // Suppression is per observation site; the pair is quiet only
+        // when every site carries (or inherits) a `lock` pragma.
+        let mut unsuppressed: Vec<&&Observation> = Vec::new();
+        for o in sites {
+            match suppression_line(&files[o.file], o.line, "lock") {
+                Some(pline) => used.mark(o.file, pline, "lock"),
+                None => unsuppressed.push(o),
+            }
+        }
+        let Some(first) = unsuppressed
+            .iter()
+            .min_by_key(|o| (files[o.file].path.as_str(), o.line))
+        else {
+            continue;
+        };
+        let via = match &first.via {
+            Some(callee) => format!(" via the call to `{callee}`"),
+            None => String::new(),
+        };
+        out.push(Diagnostic {
+            path: files[first.file].path.clone(),
+            line: first.line + 1,
+            rule: "lock",
+            msg: format!(
+                "'{inner}' acquired while '{outer}' is held{via} — undeclared lock \
+                 nesting (deadlock risk); declare `[[lock_order]] outer = \
+                 \"{outer}\" / inner = \"{inner}\"` in lint.toml if this order is \
+                 intended, or drop the outer guard first"
+            ),
+            severity: Severity::Error,
+        });
+    }
+
+    // Stale declarations: a declared edge no replay observed (directly
+    // or as a path) no longer protects anything.
+    if cfg.locks_require_observed {
+        for edge in &cfg.lock_order {
+            let observed = reaches(&edge.outer, &edge.inner, &|n| {
+                pairs.keys().filter(|(o, _)| o == n).map(|(_, i)| i.as_str()).collect()
+            });
+            if !observed {
+                out.push(Diagnostic {
+                    path: "lint.toml".to_string(),
+                    line: edge.line,
+                    rule: "lock",
+                    msg: format!(
+                        "declared lock order \"{}\" -> \"{}\" was never observed by \
+                         the workspace scan — stale declaration; remove it (or the \
+                         nesting it blessed has moved and the table is out of date)",
+                        edge.outer, edge.inner
+                    ),
+                    severity: Severity::Warning,
+                });
+            }
+        }
+    }
+
+    check_cycles(files, cfg, &pairs, out);
+}
+
+/// A cycle in declared ∪ observed edges means no consistent global
+/// acquisition order exists — report it even if every individual edge
+/// was declared.
+fn check_cycles(
+    files: &[SourceFile],
+    cfg: &Config,
+    pairs: &BTreeMap<(String, String), Vec<&Observation>>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &cfg.lock_order {
+        adj.entry(&e.outer).or_default().insert(&e.inner);
+    }
+    for (o, i) in pairs.keys() {
+        adj.entry(o).or_default().insert(i);
+    }
+    // DFS with an explicit on-stack path for cycle reconstruction.
+    let mut done: BTreeSet<&str> = BTreeSet::new();
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for start in nodes {
+        if done.contains(start) {
+            continue;
+        }
+        let mut path: Vec<&str> = Vec::new();
+        if let Some(cycle) = dfs_cycle(start, &adj, &mut done, &mut path) {
+            let route = cycle.join(" -> ");
+            // Attribute to a declared edge's lint.toml line when one
+            // participates, else to the first observed site.
+            let (path_str, line) = cycle
+                .windows(2)
+                .find_map(|w| {
+                    cfg.lock_order
+                        .iter()
+                        .find(|e| e.outer == w[0] && e.inner == w[1])
+                        .map(|e| ("lint.toml".to_string(), e.line))
+                })
+                .or_else(|| {
+                    cycle.windows(2).find_map(|w| {
+                        pairs
+                            .get(&(w[0].to_string(), w[1].to_string()))
+                            .and_then(|sites| sites.first())
+                            .map(|o| (files[o.file].path.clone(), o.line + 1))
+                    })
+                })
+                .unwrap_or(("lint.toml".to_string(), 1));
+            out.push(Diagnostic {
+                path: path_str,
+                line,
+                rule: "lock",
+                msg: format!(
+                    "lock-order cycle: {route} — no consistent global acquisition \
+                     order exists; break the cycle by refactoring one nesting or \
+                     fixing the declarations"
+                ),
+                severity: Severity::Error,
+            });
+            return; // one cycle report is enough to act on
+        }
+    }
+}
+
+fn dfs_cycle<'a>(
+    node: &'a str,
+    adj: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+    done: &mut BTreeSet<&'a str>,
+    path: &mut Vec<&'a str>,
+) -> Option<Vec<String>> {
+    if let Some(at) = path.iter().position(|&n| n == node) {
+        let mut cycle: Vec<String> = path[at..].iter().map(|s| s.to_string()).collect();
+        cycle.push(node.to_string());
+        return Some(cycle);
+    }
+    if done.contains(node) {
+        return None;
+    }
+    path.push(node);
+    if let Some(nexts) = adj.get(node) {
+        for &m in nexts {
+            if let Some(c) = dfs_cycle(m, adj, done, path) {
+                return Some(c);
+            }
+        }
+    }
+    path.pop();
+    done.insert(node);
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::analyze;
+    use crate::parse::parse_items;
+
+    fn run(src: &str, cfg: &Config) -> Vec<Diagnostic> {
+        let file = analyze("crates/x/src/lib.rs", src);
+        let files = vec![file];
+        let items = parse_items(&files, cfg);
+        let graph = CallGraph::build(&items);
+        let mut used = PragmaUse::default();
+        let mut out = Vec::new();
+        check_locks(&files, &items, &graph, cfg, &mut used, &mut out);
+        out
+    }
+
+    #[test]
+    fn cross_function_nesting_through_a_callee_is_observed() {
+        let cfg = Config::default();
+        let src = "impl S {\n\
+                   fn outer(&self) {\n    let g = self.a.lock();\n    self.helper_b();\n}\n\
+                   fn helper_b(&self) {\n    let h = self.b.lock();\n    h.touch();\n}\n\
+                   }\n";
+        let d = run(src, &cfg);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].msg.contains("'b'"), "{}", d[0].msg);
+        assert!(d[0].msg.contains("'a'"), "{}", d[0].msg);
+        assert!(d[0].msg.contains("helper_b"), "{}", d[0].msg);
+    }
+
+    #[test]
+    fn guard_returning_helper_makes_the_caller_hold_the_lock() {
+        // The AB/BA inversion the per-file heuristic provably misses:
+        // neither fn lexically acquires both locks.
+        let cfg = Config::default();
+        let src = "impl S {\n\
+                   fn lock_a(&self) -> Guard<'_> {\n    self.a.lock()\n}\n\
+                   fn ab(&self) {\n    let g = self.lock_a();\n    let h = self.b.lock();\n}\n\
+                   fn ba(&self) {\n    let h = self.b.lock();\n    let g = self.lock_a();\n}\n\
+                   }\n";
+        let d = run(src, &cfg);
+        // Both inversions, plus the a -> b -> a cycle they form.
+        assert_eq!(d.len(), 3, "{d:?}");
+        let pairs: Vec<&str> = d.iter().map(|x| x.msg.split('—').next().unwrap().trim()).collect();
+        assert!(pairs.iter().any(|m| m.contains("'b' acquired while 'a'")), "{pairs:?}");
+        assert!(pairs.iter().any(|m| m.contains("'a'") && m.contains("'b' is held")), "{pairs:?}");
+        assert!(d.iter().any(|x| x.msg.contains("lock-order cycle")), "{d:?}");
+    }
+
+    #[test]
+    fn transitive_closure_of_declared_edges_blesses_observed_paths() {
+        let mut cfg = Config::default();
+        for (o, i) in [("a", "b"), ("b", "c")] {
+            cfg.lock_order.push(crate::config::LockEdge {
+                outer: o.into(),
+                inner: i.into(),
+                line: 0,
+            });
+        }
+        // a -> c observed directly: blessed by the declared path a->b->c.
+        let src = "fn f(&self) {\n    let g = self.a.lock();\n    let h = self.c.lock();\n}\n";
+        let d = run(src, &cfg);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn a_declared_cycle_is_reported() {
+        let mut cfg = Config::default();
+        for (o, i) in [("a", "b"), ("b", "a")] {
+            cfg.lock_order.push(crate::config::LockEdge {
+                outer: o.into(),
+                inner: i.into(),
+                line: 7,
+            });
+        }
+        let d = run("fn f() {}\n", &cfg);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].msg.contains("cycle"), "{}", d[0].msg);
+    }
+
+    #[test]
+    fn stale_declarations_warn_only_when_required() {
+        let mut cfg = Config::default();
+        cfg.lock_order.push(crate::config::LockEdge {
+            outer: "x".into(),
+            inner: "y".into(),
+            line: 3,
+        });
+        assert!(run("fn f() {}\n", &cfg).is_empty());
+        cfg.locks_require_observed = true;
+        let d = run("fn f() {}\n", &cfg);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].severity, Severity::Warning);
+        assert_eq!(d[0].path, "lint.toml");
+        assert_eq!(d[0].line, 3);
+    }
+}

@@ -30,6 +30,21 @@ inner = "ledger"
     .expect("fixture config parses")
 }
 
+/// The blocking-rule config: a hot context plus a blocking vocabulary.
+fn cfg_blocking() -> Config {
+    Config::parse(
+        r#"
+[blocking]
+ops = [".sync()", "sleep"]
+contended = ["commit_mutex"]
+
+[hot_contexts]
+fns = ["reader_loop"]
+"#,
+    )
+    .expect("blocking fixture config parses")
+}
+
 /// Lint one fixture under the given synthetic path.
 fn lint(path: &str, text: &str) -> Vec<Diagnostic> {
     scan_sources(&[(path, text)], &cfg())
@@ -188,10 +203,134 @@ fn lock_suppressed() {
 
 #[test]
 fn lock_declared_order_is_directional() {
-    // The declared order is accounts -> ledger; the reverse still fails.
+    // The declared order is accounts -> ledger; the reverse still
+    // fails — both as an undeclared nesting and as a cycle against the
+    // declared edge.
     let text = "pub fn f(b: &Bank) {\n    let ledger = b.ledger.lock();\n    let accounts = b.accounts.lock();\n    drop(accounts);\n    drop(ledger);\n}\n";
     let d = lint("crates/engine/src/lib.rs", text);
+    assert_eq!(rules(&d), ["lock", "lock"], "{d:?}");
+    assert!(d.iter().any(|x| x.msg.contains("undeclared lock nesting")), "{d:?}");
+    assert!(d.iter().any(|x| x.msg.contains("lock-order cycle")), "{d:?}");
+}
+
+#[test]
+fn lock_cross_function_nesting_is_detected() {
+    // Neither fn acquires both locks lexically — only the call graph
+    // sees the nesting.
+    let d = lint("crates/engine/src/lib.rs", include_str!("../fixtures/lock/cross_fn_fail.rs"));
     assert_eq!(rules(&d), ["lock"], "{d:?}");
+    assert!(d[0].msg.contains("'journal'"), "{d:?}");
+    assert!(d[0].msg.contains("'cache'"), "{d:?}");
+    assert!(d[0].msg.contains("flush_journal"), "{d:?}");
+}
+
+#[test]
+fn lock_guard_returning_helper_ab_ba_inversion_is_detected() {
+    // The acceptance case: a helper RETURNS its guard, so the caller
+    // holds `cache` with no visible acquisition. `ab` and `ba` nest
+    // the two locks in opposite orders — a deadlock the per-fn lexical
+    // heuristic provably missed (no fn body contains both patterns).
+    let d =
+        lint("crates/engine/src/lib.rs", include_str!("../fixtures/lock/guard_return_fail.rs"));
+    let msgs: Vec<&str> = d.iter().map(|x| x.msg.as_str()).collect();
+    assert!(
+        msgs.iter().any(|m| m.contains("'journal' acquired while 'cache' is held")),
+        "{msgs:?}"
+    );
+    assert!(
+        msgs.iter().any(|m| m.contains("'cache' acquired while 'journal' is held")),
+        "{msgs:?}"
+    );
+    assert!(msgs.iter().any(|m| m.contains("lock-order cycle")), "{msgs:?}");
+}
+
+#[test]
+fn lock_cross_function_suppressed() {
+    let d = lint(
+        "crates/engine/src/lib.rs",
+        include_str!("../fixtures/lock/cross_fn_suppressed.rs"),
+    );
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn lock_stale_declaration_warns_when_observation_is_required() {
+    let mut stale_cfg = cfg();
+    stale_cfg.locks_require_observed = true;
+    // The fixture never nests accounts -> ledger, so the declared edge
+    // (lint.toml line 11 in the inline config) warns as stale.
+    let d = scan_sources(
+        &[("crates/engine/src/lib.rs", "pub fn f() { let a = 1; }\n")],
+        &stale_cfg,
+    );
+    assert_eq!(d.len(), 1, "{d:?}");
+    assert_eq!(d[0].rule, "lock");
+    assert_eq!(d[0].path, "lint.toml");
+    assert_eq!(d[0].severity, mmdb_lint::Severity::Warning);
+    assert!(d[0].msg.contains("never observed"), "{d:?}");
+}
+
+// ---- blocking --------------------------------------------------------------
+
+#[test]
+fn blocking_pass_off_hot_path() {
+    let d = scan_sources(
+        &[("crates/engine/src/lib.rs", include_str!("../fixtures/blocking/pass.rs"))],
+        &cfg_blocking(),
+    );
+    assert!(d.is_empty(), "{d:?}");
+}
+
+#[test]
+fn blocking_fail_reachable_fsync() {
+    let d = scan_sources(
+        &[("crates/engine/src/lib.rs", include_str!("../fixtures/blocking/fail.rs"))],
+        &cfg_blocking(),
+    );
+    assert_eq!(rules(&d), ["blocking"], "{d:?}");
+    assert!(d[0].msg.contains(".sync()"), "{d:?}");
+    assert!(d[0].msg.contains("reader_loop -> persist_frame"), "{d:?}");
+}
+
+#[test]
+fn blocking_suppressed() {
+    let d = scan_sources(
+        &[("crates/engine/src/lib.rs", include_str!("../fixtures/blocking/suppressed.rs"))],
+        &cfg_blocking(),
+    );
+    assert!(d.is_empty(), "{d:?}");
+}
+
+// ---- failpoint test coverage -----------------------------------------------
+
+#[test]
+fn failpoint_coverage_gates_on_test_files_in_the_scan() {
+    let engine = include_str!("../fixtures/failpoint/pass.rs");
+    // Without test files in the scan, coverage is unknowable: quiet.
+    let d = scan_sources(&[("crates/engine/src/lib.rs", engine)], &cfg());
+    assert!(d.is_empty(), "{d:?}");
+    // With a test file that never references the site: flagged.
+    let d = scan_sources(
+        &[
+            ("crates/engine/src/lib.rs", engine),
+            ("crates/engine/tests/torture.rs", "#[test]\nfn smoke() {}\n"),
+        ],
+        &cfg(),
+    );
+    assert_eq!(rules(&d), ["failpoint", "failpoint"], "{d:?}");
+    assert!(d.iter().all(|x| x.msg.contains("never exercised")), "{d:?}");
+    // A test chaining the crate's roster covers every site.
+    let d = scan_sources(
+        &[
+            ("crates/engine/src/lib.rs", engine),
+            (
+                "crates/engine/tests/torture.rs",
+                "#[test]\nfn kill_all() { for s in engine::FAILPOINT_SITES { arm(s); } }\n",
+            ),
+        ],
+        &cfg(),
+    );
+    assert!(d.is_empty(), "{d:?}");
 }
 
 // ---- pragma ----------------------------------------------------------------
@@ -208,4 +347,11 @@ fn pragma_fail() {
     // The typo'd rule and the reasonless pragma are violations, and
     // neither suppresses its unwrap (diagnostics sort by rule per line).
     assert_eq!(rules(&d), ["panic", "pragma", "panic", "pragma"], "{d:?}");
+}
+
+#[test]
+fn pragma_unused_is_flagged() {
+    let d = lint("crates/engine/src/lib.rs", include_str!("../fixtures/pragma/unused_fail.rs"));
+    assert_eq!(rules(&d), ["pragma"], "{d:?}");
+    assert!(d[0].msg.contains("unused pragma"), "{d:?}");
 }

@@ -192,6 +192,7 @@ impl Response {
             "read_only" => Error::ReadOnly(message),
             "corruption" => Error::Corruption(message),
             "log_truncated" => Error::LogTruncated(message),
+            "startup" => Error::Startup(message),
             _ => Error::Internal(message),
         }
     }

@@ -11,7 +11,7 @@ use mmdb_core::Database;
 use mmdb_storage::wal::{TxId, WalRecord};
 use mmdb_txn::CommittedWrite;
 use mmdb_types::codec::value_from_bytes;
-use mmdb_types::{Result, Value};
+use mmdb_types::{Error, Result, Value};
 use parking_lot::Mutex;
 
 use crate::feed::{parse_frame, Frame};
@@ -55,11 +55,16 @@ pub struct ReplicaRunner {
 
 impl ReplicaRunner {
     /// Latch `db` read-only and start replicating from `primary_addr`.
+    ///
+    /// Fails with a typed `startup` error when the OS refuses the
+    /// replica thread. The read-only latch has no unlatch by design, so
+    /// on failure `db` stays read-only — reopen it to write locally, or
+    /// retry `start` to keep it a replica.
     pub fn start(
         db: Arc<Database>,
         primary_addr: impl Into<String>,
         opts: ReplicaOptions,
-    ) -> ReplicaRunner {
+    ) -> Result<ReplicaRunner> {
         let primary_addr = primary_addr.into();
         db.mvcc()
             .latch_read_only(&format!("read-only replica of {primary_addr}"));
@@ -77,13 +82,13 @@ impl ReplicaRunner {
             stop: Arc::clone(&stop),
             last_error: Arc::new(Mutex::new(None)),
         };
-        let handle = {
-            std::thread::Builder::new()
-                .name("mmdb-replica".into())
-                .spawn(move || worker.run())
-                .expect("spawn replica thread") // lint: allow(panic, thread spawn at startup; fails only on resource exhaustion, abort is documented)
-        };
-        ReplicaRunner { status, stop, handle: Some(handle) }
+        let handle = std::thread::Builder::new()
+            .name("mmdb-replica".into())
+            .spawn(move || worker.run())
+            .map_err(|e| {
+                Error::Startup(format!("could not spawn replica thread: {e}"))
+            })?;
+        Ok(ReplicaRunner { status, stop, handle: Some(handle) })
     }
 
     /// The shared status handle (clone it into server admin handlers).

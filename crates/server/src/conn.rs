@@ -275,6 +275,7 @@ fn writer_loop(inner: &Arc<ServerInner>, conn: &Arc<ConnHandle>) {
                 if st.closing && st.inflight == 0 {
                     return;
                 }
+                // lint: allow(blocking, the writer parks between batches by design; it runs on its own thread, not the reader)
                 conn.cv.wait(&mut st);
             }
         };
@@ -478,6 +479,7 @@ pub(crate) fn conn_reader(inner: &Arc<ServerInner>, conn: &Arc<ConnHandle>) {
             {
                 let mut st = conn.state.lock();
                 while !st.dead && (st.inflight > 0 || !st.out.is_empty() || st.writer_busy) {
+                    // lint: allow(blocking, one-time drain before the SUBSCRIBE handoff; the connection becomes a dedicated stream after this)
                     conn.cv.wait(&mut st);
                 }
                 if st.dead {
@@ -515,6 +517,7 @@ pub(crate) fn conn_reader(inner: &Arc<ServerInner>, conn: &Arc<ConnHandle>) {
                 inner.metrics.pipeline_stalls.fetch_add(1, Ordering::Relaxed); // lint: allow(relaxed, monotonic metric counter; no synchronization role)
             }
             while st.inflight >= depth && !st.dead {
+                // lint: allow(blocking, pipeline-depth backpressure; the reader must stop pulling frames until a slot frees)
                 conn.cv.wait(&mut st);
             }
             if st.dead {
@@ -793,7 +796,9 @@ fn serve_stream(inner: &ServerInner, conn: &ConnHandle, from_lsn: u64, cdc: bool
         // primary — don't survive as ghosts.
         let (snap_lsn, live) = {
             let db = &inner.db;
+            // lint: allow(blocking, replica bootstrap snapshot needs the commit-quiesced window; post-SUBSCRIBE the connection is dedicated to streaming)
             db.mvcc().quiesce_commits(|| -> Result<_> {
+                // lint: allow(blocking, the bootstrap LSN must be durable before it is advertised to the replica)
                 wal.sync()?;
                 Ok((wal.tail_lsn(), db.mvcc().latest_committed_writes()))
             })?
@@ -834,6 +839,7 @@ fn serve_stream(inner: &ServerInner, conn: &ConnHandle, from_lsn: u64, cdc: bool
                 send_change(inner, stream, feed::heartbeat_frame(wal.durable_lsn()))?;
                 last_beat = Instant::now();
             }
+            // lint: allow(blocking, change-feed poll cadence on a dedicated streaming connection)
             std::thread::sleep(inner.config.poll_interval.min(HEARTBEAT_EVERY));
             continue;
         }

@@ -243,8 +243,23 @@ pub struct Server {
     checkpointer: Option<JoinHandle<()>>,
 }
 
+/// Convert a refused service-thread spawn (OS thread limit, resource
+/// exhaustion) into a typed [`Error::Startup`], unwinding the
+/// half-started server: the shutdown flag plus a condvar broadcast make
+/// every already-running service thread exit on its next tick. The
+/// threads are detached rather than joined — the same contract as
+/// dropping a `Server` without calling [`Server::shutdown`].
+fn spawn_failed(inner: &Arc<ServerInner>, what: &str, e: std::io::Error) -> Error {
+    inner.shutdown.store(true, Ordering::SeqCst);
+    inner.jobs_ready.notify_all();
+    Error::Startup(format!("could not spawn server {what} thread: {e}"))
+}
+
 impl Server {
     /// Bind and start serving `db` in background threads.
+    ///
+    /// Fails with a typed [`Error::Startup`] (no abort, nothing left
+    /// running) when the OS refuses a service thread.
     pub fn start(db: Arc<Database>, config: ServerConfig) -> Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
@@ -268,41 +283,50 @@ impl Server {
             replica_status: OnceLock::new(),
         });
 
-        let executors = (0..config.workers.max(1))
-            .map(|i| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("mmdb-exec-{i}"))
-                    .spawn(move || executor_loop(&inner))
-                    .expect("spawn executor thread") // lint: allow(panic, thread spawn at startup; fails only on resource exhaustion, abort is documented)
-            })
-            .collect();
+        // A refused thread spawn (OS thread limit, resource exhaustion)
+        // is a typed `startup` error, not an abort: `spawn_failed`
+        // flips the shutdown flag and wakes the already-started service
+        // threads so they drain and exit before the error returns.
+        let mut executors = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let worker = Arc::clone(&inner);
+            let handle = std::thread::Builder::new()
+                .name(format!("mmdb-exec-{i}"))
+                .spawn(move || executor_loop(&worker))
+                .map_err(|e| spawn_failed(&inner, "executor", e))?;
+            executors.push(handle);
+        }
         let acceptor = {
-            let inner = Arc::clone(&inner);
+            let worker = Arc::clone(&inner);
             std::thread::Builder::new()
                 .name("mmdb-acceptor".into())
-                .spawn(move || accept_loop(&inner, listener))
-                .expect("spawn acceptor thread") // lint: allow(panic, thread spawn at startup; fails only on resource exhaustion, abort is documented)
+                .spawn(move || accept_loop(&worker, listener))
+                .map_err(|e| spawn_failed(&inner, "acceptor", e))?
         };
         let reaper = {
-            let inner = Arc::clone(&inner);
+            let worker = Arc::clone(&inner);
             std::thread::Builder::new()
                 .name("mmdb-reaper".into())
-                .spawn(move || reaper_loop(&inner))
-                .expect("spawn reaper thread") // lint: allow(panic, thread spawn at startup; fails only on resource exhaustion, abort is documented)
+                .spawn(move || reaper_loop(&worker))
+                .map_err(|e| spawn_failed(&inner, "reaper", e))?
         };
 
         // Size-triggered checkpointing: poll the WAL footprint and
         // checkpoint past the threshold. Polling (rather than hooking
         // the commit path) keeps commits oblivious to checkpoint policy;
         // the WAL may overshoot by up to one poll tick of writes.
-        let checkpointer = config.checkpoint_wal_bytes.map(|threshold| {
-            let inner = Arc::clone(&inner);
-            std::thread::Builder::new()
-                .name("mmdb-checkpointer".into())
-                .spawn(move || checkpoint_loop(&inner, threshold))
-                .expect("spawn checkpointer thread") // lint: allow(panic, thread spawn at startup; fails only on resource exhaustion, abort is documented)
-        });
+        let checkpointer = match config.checkpoint_wal_bytes {
+            Some(threshold) => {
+                let worker = Arc::clone(&inner);
+                Some(
+                    std::thread::Builder::new()
+                        .name("mmdb-checkpointer".into())
+                        .spawn(move || checkpoint_loop(&worker, threshold))
+                        .map_err(|e| spawn_failed(&inner, "checkpointer", e))?,
+                )
+            }
+            None => None,
+        };
 
         Ok(Server {
             inner,

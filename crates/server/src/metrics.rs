@@ -156,8 +156,8 @@ pub struct Gauge {
 impl Gauge {
     /// Add one, bumping the peak.
     pub fn inc(&self) {
-        let now = self.current.fetch_add(1, Ordering::Relaxed) + 1; // lint: allow(relaxed, metric gauge read only by ADMIN STATS; no synchronization role)
-        self.peak.fetch_max(now, Ordering::Relaxed); // lint: allow(relaxed, metric gauge read only by ADMIN STATS; no synchronization role)
+        let now = self.current.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
     }
 
     /// Subtract one (saturating at zero against racy teardown paths).
@@ -167,14 +167,14 @@ impl Gauge {
 
     /// Subtract `n`, saturating at zero.
     pub fn sub(&self, n: u64) {
-        let mut cur = self.current.load(Ordering::Relaxed); // lint: allow(relaxed, metric gauge read only by ADMIN STATS; no synchronization role)
+        let mut cur = self.current.load(Ordering::Relaxed);
         loop {
             let next = cur.saturating_sub(n);
             match self.current.compare_exchange_weak(
                 cur,
                 next,
-                Ordering::Relaxed, // lint: allow(relaxed, metric gauge read only by ADMIN STATS; no synchronization role)
-                Ordering::Relaxed, // lint: allow(relaxed, metric gauge read only by ADMIN STATS; no synchronization role)
+                Ordering::Relaxed,
+                Ordering::Relaxed,
             ) {
                 Ok(_) => return,
                 Err(now) => cur = now,
@@ -185,18 +185,18 @@ impl Gauge {
     /// Overwrite the current value (for gauges whose exact value is
     /// known under a lock, like a queue length), bumping the peak.
     pub fn set_current(&self, v: u64) {
-        self.current.store(v, Ordering::Relaxed); // lint: allow(relaxed, metric gauge read only by ADMIN STATS; no synchronization role)
-        self.peak.fetch_max(v, Ordering::Relaxed); // lint: allow(relaxed, metric gauge read only by ADMIN STATS; no synchronization role)
+        self.current.store(v, Ordering::Relaxed);
+        self.peak.fetch_max(v, Ordering::Relaxed);
     }
 
     /// The current value.
     pub fn current(&self) -> u64 {
-        self.current.load(Ordering::Relaxed) // lint: allow(relaxed, metric gauge read only by ADMIN STATS; no synchronization role)
+        self.current.load(Ordering::Relaxed)
     }
 
     /// The largest value ever observed.
     pub fn peak(&self) -> u64 {
-        self.peak.load(Ordering::Relaxed) // lint: allow(relaxed, metric gauge read only by ADMIN STATS; no synchronization role)
+        self.peak.load(Ordering::Relaxed)
     }
 
     fn to_value(&self) -> (i64, i64) {

@@ -74,8 +74,8 @@ impl LockManager {
     /// `Err(TxnConflict)` when this transaction is chosen as a deadlock
     /// victim; the caller must abort and release.
     pub fn acquire(&self, txid: TxId, key: LockKey, mode: LockMode) -> Result<()> {
-        let (lock, cv) = &*self.inner;
-        let mut inner = lock.lock();
+        let (lm, cv) = &*self.inner;
+        let mut inner = lm.lock();
         loop {
             if inner.doomed.remove(&txid) {
                 inner.wait_for.remove(&txid);
@@ -180,8 +180,8 @@ impl LockManager {
 
     /// Release every lock of a transaction (commit or abort).
     pub fn release_all(&self, txid: TxId) {
-        let (lock, cv) = &*self.inner;
-        let mut inner = lock.lock();
+        let (lm, cv) = &*self.inner;
+        let mut inner = lm.lock();
         inner.doomed.remove(&txid);
         inner.wait_for.remove(&txid);
         let keys: Vec<LockKey> = inner.held.remove(&txid).into_iter().flatten().collect();

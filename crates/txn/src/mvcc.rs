@@ -213,6 +213,7 @@ impl StoreInner {
             if let Some(outcome) = r.take() {
                 return outcome;
             }
+            // lint: allow(blocking, a committer parks for the leader's outcome; batching K commits onto one fsync is the design)
             slot.ready.wait(&mut r);
         }
     }
@@ -282,6 +283,7 @@ impl StoreInner {
 
         // Serializes with `apply_replicated` (and keeps WAL Begin..Commit
         // blocks contiguous across the two paths).
+        // lint: allow(blocking, one leader sequences per batch; followers park on their slots instead of contending here)
         let _commit_guard = self.commit_mutex.lock();
         if self.degraded.load(Ordering::SeqCst) {
             self.aborts.fetch_add(batch.len() as u64, Ordering::SeqCst);
@@ -330,7 +332,7 @@ impl StoreInner {
             self.aborts.fetch_add(losers, Ordering::SeqCst);
         }
         if winners.is_empty() {
-            return finish(results);
+            return seal_results(results);
         }
 
         // Contiguous commit timestamps in batch order.
@@ -375,6 +377,7 @@ impl StoreInner {
             if let Some(msg) = mmdb_fault::eval_to_error("txn.group_commit.before_sync") {
                 return Err(Error::Storage(format!("group commit: {msg}")));
             }
+            // lint: allow(blocking, the single fsync per batch IS the group-commit throughput win)
             wal.sync()?;
             Ok(commit_record_at.iter().map(|&at| Some(ends[at])).collect())
         })();
@@ -388,7 +391,7 @@ impl StoreInner {
                 for &i in &winners {
                     results[i] = Some(Err(e.clone()));
                 }
-                return finish(results);
+                return seal_results(results);
             }
         };
         // The durability point has passed. Both crash-only sites fire
@@ -446,13 +449,13 @@ impl StoreInner {
         for (&i, &ts) in winners.iter().zip(&commit_ts) {
             results[i] = Some(Ok(ts));
         }
-        finish(results)
+        seal_results(results)
     }
 }
 
 /// Unwrap sequencing outcomes; a request the leader somehow never
 /// decided gets an internal error instead of a panic.
-fn finish(results: Vec<Option<Result<u64>>>) -> Vec<Result<u64>> {
+fn seal_results(results: Vec<Option<Result<u64>>>) -> Vec<Result<u64>> {
     results
         .into_iter()
         .map(|r| r.unwrap_or_else(|| Err(Error::Internal("commit request left unsequenced".into()))))
@@ -628,6 +631,7 @@ impl MvccStore {
     /// state extracted inside `f` is consistent with the tail LSN read
     /// inside `f`.
     pub fn quiesce_commits<R>(&self, f: impl FnOnce() -> R) -> R {
+        // lint: allow(blocking, quiescing the commit pipeline is this function's purpose; callers opt into the stall)
         let _guard = self.inner.commit_mutex.lock();
         f()
     }

@@ -59,6 +59,11 @@ pub enum Error {
     /// so a consumer resuming there must re-bootstrap from a snapshot
     /// (replicas do) or restart its feed from the current tail.
     LogTruncated(String),
+    /// A background service (server worker, acceptor, replica stream)
+    /// failed to start — typically the OS refused a thread spawn under
+    /// resource exhaustion. Nothing half-started is left running: the
+    /// failing constructor unwinds before returning this.
+    Startup(String),
     /// Internal invariant violation — always a bug in mmdb itself.
     Internal(String),
 }
@@ -84,6 +89,7 @@ impl Error {
             Error::ReadOnly(_) => "read_only",
             Error::Corruption(_) => "corruption",
             Error::LogTruncated(_) => "log_truncated",
+            Error::Startup(_) => "startup",
             Error::Internal(_) => "internal",
         }
     }
@@ -113,6 +119,7 @@ impl fmt::Display for Error {
             Error::ReadOnly(m) => ("read-only mode", m),
             Error::Corruption(m) => ("data corruption", m),
             Error::LogTruncated(m) => ("log truncated", m),
+            Error::Startup(m) => ("startup failed", m),
             Error::Internal(m) => ("internal error", m),
         };
         write!(f, "{kind}: {msg}")

@@ -21,7 +21,10 @@ echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> mmdb-lint (workspace invariant rules; see DESIGN.md 'Static analysis')"
-cargo run -q --release -p mmdb-lint
+# JSON report archived for attribution; the per-rule summary table goes
+# to stderr. The binary exits nonzero on any error-severity finding.
+mkdir -p target
+cargo run -q --release -p mmdb-lint -- --format json > target/lint-report.json
 
 echo "==> crash-recovery torture suite (--features failpoints)"
 cargo test -q --features failpoints --test crash_recovery

@@ -116,9 +116,19 @@ fn main() {
         }
     }
 
-    let replica = replica_of.as_ref().map(|primary| {
-        ReplicaRunner::start(Arc::clone(&db), primary.clone(), ReplicaOptions::default())
-    });
+    let replica = match replica_of.as_ref() {
+        Some(primary) => {
+            match ReplicaRunner::start(Arc::clone(&db), primary.clone(), ReplicaOptions::default())
+            {
+                Ok(runner) => Some(runner),
+                Err(e) => {
+                    eprintln!("cannot start replica: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => None,
+    };
 
     let server = match Server::start(Arc::clone(&db), config) {
         Ok(s) => s,

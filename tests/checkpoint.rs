@@ -294,7 +294,7 @@ fn replica_below_the_horizon_bootstraps_from_a_snapshot_and_converges() {
             ..ClientConfig::default()
         },
     };
-    let runner = ReplicaRunner::start(Arc::clone(&replica_db), addr.clone(), opts);
+    let runner = ReplicaRunner::start(Arc::clone(&replica_db), addr.clone(), opts).unwrap();
     let tail = db.wal().unwrap().tail_lsn();
     wait_until("snapshot bootstrap", || {
         runner.status().is_connected() && runner.status().applied_lsn() >= tail
@@ -363,7 +363,7 @@ fn a_stale_nonempty_replica_converges_through_a_snapshot_bootstrap() {
             ..ClientConfig::default()
         },
     };
-    let runner = ReplicaRunner::start(Arc::clone(&replica_db), addr.clone(), opts);
+    let runner = ReplicaRunner::start(Arc::clone(&replica_db), addr.clone(), opts).unwrap();
     let tail = db.wal().unwrap().tail_lsn();
     wait_until("stale replica snapshot bootstrap", || {
         runner.status().is_connected() && runner.status().applied_lsn() >= tail

@@ -449,7 +449,7 @@ fn replicas_converge_byte_for_byte_over_a_group_committed_stream() {
             ..ReplicaOptions::default().client
         },
     };
-    let runner = ReplicaRunner::start(Arc::clone(&replica_db), addr, opts);
+    let runner = ReplicaRunner::start(Arc::clone(&replica_db), addr, opts).unwrap();
 
     // Concurrent writers while the replica tails the stream live: the
     // stream must only ever ship synced (durable) bytes, and batch

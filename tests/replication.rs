@@ -30,6 +30,7 @@ use mmdb::substrate::repl::{ReplicaOptions, ReplicaRunner};
 use mmdb::substrate::txn::IsolationLevel;
 use mmdb::{fault, Database, Value};
 use mmdb_client::{Client, ClientConfig, Consistency, Pool, PoolConfig, RetryPolicy};
+use mmdb_protocol::{Request, Response, SessionOp};
 use mmdb_server::{Server, ServerConfig};
 
 /// The paper's cross-model recommendation query (same as
@@ -232,7 +233,7 @@ fn every_wal_site_crash_converges_replicas_to_the_recovery_oracle() {
 
         // A live replica tails the stream while the primary seeds.
         let replica_db = Arc::new(Database::in_memory());
-        let runner = ReplicaRunner::start(Arc::clone(&replica_db), addr.clone(), fast_opts());
+        let runner = ReplicaRunner::start(Arc::clone(&replica_db), addr.clone(), fast_opts()).unwrap();
         seed(&db);
         wait_caught_up(&runner, db.wal().unwrap().tail_lsn(), "initial catch-up");
         assert!(replica_db.is_degraded(), "site {site}: replica must be latched read-only");
@@ -271,7 +272,7 @@ fn every_wal_site_crash_converges_replicas_to_the_recovery_oracle() {
         );
         let server = Server::start(Arc::clone(&db), server_config()).unwrap();
         let addr = server.local_addr().to_string();
-        let runner = ReplicaRunner::start(Arc::clone(&replica_db), addr, fast_opts());
+        let runner = ReplicaRunner::start(Arc::clone(&replica_db), addr, fast_opts()).unwrap();
         // A crash can leave a dangling Begin at the log tail (a valid
         // frame whose Commit never made it); the stream only passes it
         // once the next committed block proves it dead. Committing fresh
@@ -307,7 +308,7 @@ fn replica_resumes_by_lsn_after_an_apply_failure() {
     let addr = server.local_addr().to_string();
 
     let replica_db = Arc::new(Database::in_memory());
-    let runner = ReplicaRunner::start(Arc::clone(&replica_db), addr, fast_opts());
+    let runner = ReplicaRunner::start(Arc::clone(&replica_db), addr, fast_opts()).unwrap();
     wait_caught_up(&runner, db.wal().unwrap().tail_lsn(), "initial catch-up");
     let resume_floor = runner.status().applied_lsn();
     let connects_before = runner.status().connects();
@@ -353,7 +354,7 @@ fn read_your_writes_never_reads_below_the_session_commit_lsn() {
     let primary_addr = server.local_addr().to_string();
 
     let replica_db = Arc::new(Database::in_memory());
-    let runner = ReplicaRunner::start(Arc::clone(&replica_db), primary_addr.clone(), fast_opts());
+    let runner = ReplicaRunner::start(Arc::clone(&replica_db), primary_addr.clone(), fast_opts()).unwrap();
     let replica_server = Server::start(Arc::clone(&replica_db), server_config()).unwrap();
     let replica_addr = replica_server.local_addr().to_string();
     let status = runner.status();
@@ -410,6 +411,118 @@ fn read_your_writes_never_reads_below_the_session_commit_lsn() {
         fresh_pool.stats().replica_reads,
         1,
         "a caught-up replica under bounded staleness must serve the read"
+    );
+
+    runner.stop();
+    replica_server.shutdown().unwrap();
+    server.shutdown().unwrap();
+}
+
+#[test]
+fn pipelined_reads_route_through_the_pool_consistency_modes() {
+    let _serial = lock();
+    let db = Arc::new(Database::in_memory_logged());
+    db.create_bucket("cart").unwrap();
+    let server = Server::start(Arc::clone(&db), server_config()).unwrap();
+    let primary_addr = server.local_addr().to_string();
+
+    let replica_db = Arc::new(Database::in_memory());
+    let runner = ReplicaRunner::start(Arc::clone(&replica_db), primary_addr.clone(), fast_opts()).unwrap();
+    let replica_server = Server::start(Arc::clone(&replica_db), server_config()).unwrap();
+    let replica_addr = replica_server.local_addr().to_string();
+    let status = runner.status();
+    replica_server.attach_replica_status(Arc::new(move || status.to_value()));
+
+    let policy = RetryPolicy::default();
+    let pool = Pool::new(
+        &primary_addr,
+        PoolConfig {
+            replicas: vec![replica_addr],
+            consistency: Consistency::BoundedStaleness(Duration::from_secs(30)),
+            ..PoolConfig::default()
+        },
+    );
+    for i in 0..10 {
+        pool.retry_write(&policy, |c| {
+            c.begin(false)?;
+            c.kv_put("cart", &format!("k{i}"), Value::int(i))?;
+            c.commit()
+        })
+        .unwrap();
+    }
+    wait_caught_up(&runner, db.wal().unwrap().tail_lsn(), "catch-up before pipelining");
+
+    // A caught-up replica under bounded staleness serves the whole
+    // pipelined batch on one freshness check.
+    {
+        let mut pipe = pool.read_pipeline().unwrap();
+        assert!(pipe.is_replica(), "caught-up replica must serve the pipeline");
+        let ids: Vec<u64> = (0..10)
+            .map(|i| {
+                pipe.submit(&Request::Op(SessionOp::KvGet {
+                    bucket: "cart".into(),
+                    key: format!("k{i}"),
+                }))
+                .unwrap()
+            })
+            .collect();
+        // Receive in reverse order to exercise the stash on the routed
+        // connection too.
+        for (i, id) in ids.iter().enumerate().rev() {
+            match pipe.receive(*id).unwrap() {
+                Response::Maybe(Some(v)) => assert_eq!(v, Value::int(i as i64)),
+                other => panic!("pipelined get k{i} on replica: {other:?}"),
+            }
+        }
+        assert_eq!(pipe.in_flight(), 0);
+    }
+    let stats = pool.stats();
+    assert_eq!(stats.replica_pipelines, 1, "{stats:?}");
+    assert_eq!(stats.pipeline_fallbacks, 0, "{stats:?}");
+
+    // Lag the replica and demand read-your-writes: a pipeline checked
+    // out right after a commit must fall back to the primary (instead
+    // of silently serving stale data, the pre-`read_pipeline` failure
+    // mode) and still observe the session's own write.
+    fault::set("repl.apply", "delay(15)").unwrap();
+    let rw_pool = Pool::new(
+        &primary_addr,
+        PoolConfig {
+            replicas: vec![replica_server.local_addr().to_string()],
+            consistency: Consistency::ReadYourWrites,
+            ..PoolConfig::default()
+        },
+    );
+    for i in 0..20 {
+        rw_pool
+            .retry_write(&policy, |c| {
+                c.begin(false)?;
+                c.kv_put("cart", "rw", Value::int(i))?;
+                c.commit()
+            })
+            .unwrap();
+        assert!(rw_pool.session_lsn() > 0, "commit LSN never reached the pool");
+        let mut pipe = rw_pool.read_pipeline().unwrap();
+        let id = pipe
+            .submit(&Request::Op(SessionOp::KvGet { bucket: "cart".into(), key: "rw".into() }))
+            .unwrap();
+        match pipe.receive(id).unwrap() {
+            Response::Maybe(Some(v)) => {
+                assert_eq!(v, Value::int(i), "pipelined read-your-writes violated at {i}")
+            }
+            other => panic!("pipelined get rw: {other:?}"),
+        }
+    }
+    fault::clear_all();
+    let stats = rw_pool.stats();
+    assert!(
+        stats.pipeline_fallbacks > 0,
+        "a lagged replica never bounced a pipeline to the primary: {stats:?}"
+    );
+    assert_eq!(
+        stats.replica_pipelines + stats.pipeline_fallbacks,
+        20,
+        "every pipeline checkout must be counted exactly once: {stats:?}"
     );
 
     runner.stop();
@@ -508,7 +621,7 @@ fn replica_applies_a_streamed_checkpoint_and_truncates_its_own_log() {
     // The replica keeps its own log (in-memory logged) so the streamed
     // checkpoint has something to truncate locally.
     let replica_db = Arc::new(Database::in_memory_logged());
-    let runner = ReplicaRunner::start(Arc::clone(&replica_db), addr, fast_opts());
+    let runner = ReplicaRunner::start(Arc::clone(&replica_db), addr, fast_opts()).unwrap();
     for i in 0..16 {
         db.kv_put("cart", &i.to_string(), Value::int(i)).unwrap();
     }
@@ -559,7 +672,7 @@ fn admin_endpoints_report_replication_lag() {
     let primary_addr = server.local_addr().to_string();
 
     let replica_db = Arc::new(Database::in_memory());
-    let runner = ReplicaRunner::start(Arc::clone(&replica_db), primary_addr.clone(), fast_opts());
+    let runner = ReplicaRunner::start(Arc::clone(&replica_db), primary_addr.clone(), fast_opts()).unwrap();
     let replica_server = Server::start(Arc::clone(&replica_db), server_config()).unwrap();
     let status = runner.status();
     replica_server.attach_replica_status(Arc::new(move || status.to_value()));
